@@ -1,0 +1,68 @@
+"""Ablation: superscalar width (fetch/commit width, ROB size) vs IPC.
+
+The paper's Buffers tab exists precisely so students can watch this curve;
+the bench regenerates it on an ILP-rich kernel and asserts monotonicity.
+"""
+
+import pytest
+
+from repro import BufferConfig, CpuConfig, FuSpec, Simulation
+
+#: ILP-rich kernel: 8 independent accumulation chains
+KERNEL = "\n".join(
+    f"    addi x{5 + (i % 8)}, x{5 + (i % 8)}, {i % 7 + 1}"
+    for i in range(160)
+) + "\n    ebreak"
+
+
+def config_with_width(width: int, rob: int) -> CpuConfig:
+    config = CpuConfig()
+    config.buffers = BufferConfig(rob_size=rob, fetch_width=width,
+                                  commit_width=width,
+                                  issue_window_size=max(8, 2 * width))
+    config.fus = [FuSpec("FX", f"FX{i}") for i in range(1, width + 1)] + [
+        FuSpec("LS", "LS1"), FuSpec("Branch", "BR1"), FuSpec("Memory", "MEM")]
+    return config
+
+
+def run_width(width: int, rob: int = 64):
+    sim = Simulation.from_source(KERNEL, config=config_with_width(width, rob))
+    sim.run()
+    return sim
+
+
+@pytest.fixture(scope="module")
+def width_sweep():
+    results = {w: run_width(w) for w in (1, 2, 4)}
+    print("\nwidth sweep (ILP-rich kernel):")
+    for w, sim in results.items():
+        print(f"  width {w}: cycles={sim.stats.cycles:<6} "
+              f"IPC={sim.stats.ipc:.3f}")
+    return results
+
+
+class TestWidthAblation:
+    def test_ipc_increases_with_width(self, width_sweep):
+        assert width_sweep[1].stats.ipc < width_sweep[2].stats.ipc \
+            < width_sweep[4].stats.ipc
+
+    def test_width1_bounded_by_one(self, width_sweep):
+        assert width_sweep[1].stats.ipc <= 1.0
+
+    def test_wide_machine_exceeds_ipc_2(self, width_sweep):
+        assert width_sweep[4].stats.ipc > 2.0
+
+    def test_results_independent_of_width(self, width_sweep):
+        finals = {tuple(sim.cpu.arch_regs.snapshot()["int"])
+                  for sim in width_sweep.values()}
+        assert len(finals) == 1
+
+    def test_tiny_rob_throttles_wide_machine(self):
+        big = run_width(4, rob=64)
+        small = run_width(4, rob=4)
+        assert small.stats.ipc < big.stats.ipc
+
+
+def test_width4_benchmark(benchmark):
+    sim = benchmark.pedantic(lambda: run_width(4), rounds=1, iterations=1)
+    assert sim.stats.ipc > 2.0

@@ -1,0 +1,67 @@
+"""Sec. IV-A profiling claim: "about 60 % of the request handling time is
+consumed by working with the JSON format".
+
+We decompose one /session/step request into its two server-side parts —
+simulation work vs JSON serialization of the state payload — and measure
+the JSON share.  The paper concludes the communication format dominates;
+the assertion checks JSON costs a *substantial* share (>= 30 %), since the
+exact split depends on the host language.
+"""
+
+import json
+
+import pytest
+
+from benchmarks.conftest import SUM_LOOP
+from repro import Simulation
+
+
+def _state_payload(sim: Simulation) -> dict:
+    return {"success": True, "state": sim.snapshot()}
+
+
+def test_fig_profile_json_share_of_step_request():
+    sim = Simulation.from_source(SUM_LOOP)
+    import time
+    sim_time = 0.0
+    json_time = 0.0
+    rounds = 200
+    for _ in range(rounds):
+        if sim.halted:
+            sim.reset()
+        t0 = time.perf_counter()
+        sim.step(1)
+        payload = _state_payload(sim)
+        t1 = time.perf_counter()
+        text = json.dumps(payload)
+        json.loads(text)           # the client-side parse the server pays for
+        t2 = time.perf_counter()
+        sim_time += t1 - t0
+        json_time += t2 - t1
+    share = json_time / (sim_time + json_time)
+    print(f"\nJSON share of request handling: {share * 100:.1f} % "
+          f"(paper: ~60 %)")
+    assert share >= 0.30, (
+        f"JSON expected to dominate request handling, got {share:.2%}")
+
+
+def test_step_plus_serialize_benchmark(benchmark):
+    """Cost of one interactive step request (simulate + serialize)."""
+    sim = Simulation.from_source(SUM_LOOP)
+
+    def request():
+        if sim.halted:
+            sim.reset()
+        sim.step(1)
+        return json.dumps(_state_payload(sim))
+
+    out = benchmark(request)
+    assert out
+
+
+def test_serialize_only_benchmark(benchmark):
+    sim = Simulation.from_source(SUM_LOOP)
+    sim.step(30)
+    payload = _state_payload(sim)
+    text = benchmark(json.dumps, payload)
+    assert json.loads(text)["success"]

@@ -1,0 +1,48 @@
+"""Sec. IV claim: "Performance tests showed that rendering typically takes
+around 80 ms" (Google Lighthouse on the web client).
+
+Our presentation layer is the text renderer + JSON state serializer; the
+bench measures a full main-window render (Fig. 12) and a full state
+snapshot, asserting both stay comfortably interactive (< 80 ms), i.e. the
+paper's rendering budget holds for this implementation too.
+"""
+
+import json
+
+from benchmarks.conftest import SUM_LOOP
+from repro import Simulation
+from repro.viz import render_processor, render_statistics
+
+
+def _midflight():
+    sim = Simulation.from_source(SUM_LOOP)
+    sim.step(30)
+    return sim
+
+
+def test_fig12_render_under_80ms(benchmark):
+    sim = _midflight()
+    text = benchmark(render_processor, sim.cpu)
+    assert "[Fetch]" in text
+    assert benchmark.stats["mean"] < 0.080, \
+        f"render took {benchmark.stats['mean'] * 1000:.1f} ms (> 80 ms)"
+
+
+def test_statistics_page_render(benchmark):
+    sim = _midflight()
+    sim.run()
+    text = benchmark(render_statistics, sim.stats)
+    assert "Runtime statistics" in text
+    assert benchmark.stats["mean"] < 0.080
+
+
+def test_state_snapshot_serialization(benchmark):
+    """The JSON the web client renders from."""
+    sim = _midflight()
+
+    def snap():
+        return json.dumps(sim.snapshot())
+
+    text = benchmark(snap)
+    assert json.loads(text)["cycle"] == 30
+    assert benchmark.stats["mean"] < 0.080

@@ -1,0 +1,90 @@
+"""JMH-equivalent microbenchmarks (Sec. IV-A: "a simple benchmark was
+developed using the Java Microbenchmark Harness").
+
+Measures the simulator core in isolation (no JSON, no HTTP): single-step
+cost, run-to-completion cost for the paper's workload classes, and backward
+simulation (which the paper notes "imposes higher computational demands on
+the server").
+"""
+
+import pytest
+
+from benchmarks.conftest import QUICKSORT_C, SUM_LOOP, big_stack, compile_ok
+from repro import CpuConfig, MemoryLocation, Simulation
+
+
+def test_single_step_cost(benchmark):
+    sim = Simulation.from_source(SUM_LOOP)
+
+    def step():
+        if sim.halted:
+            sim.reset()
+        sim.step(1)
+
+    benchmark(step)
+
+
+def test_loop_kernel_run(benchmark):
+    def run():
+        sim = Simulation.from_source(SUM_LOOP)
+        sim.run()
+        return sim
+
+    sim = benchmark(run)
+    assert sim.register_value("a0") == sum(range(1, 201))
+
+
+def test_quicksort_run(benchmark):
+    values = [42, 7, 93, 15, 61, 2, 88, 34, 70, 11, 55, 29, 96, 4, 83, 48]
+    asm = compile_ok(QUICKSORT_C, 2)
+
+    def run():
+        data = MemoryLocation(name="data", dtype="word", values=values)
+        sim = Simulation.from_source(asm, config=big_stack(), entry="main",
+                                     memory_locations=[data])
+        sim.run()
+        return sim
+
+    sim = benchmark(run)
+    base = sim.symbol_address("data")
+    assert [sim.memory_word(base + 4 * i) for i in range(16)] \
+        == sorted(values)
+
+
+def test_simulated_cycles_per_second(benchmark):
+    """Headline simulator throughput metric (cycles/host-second)."""
+    sim = Simulation.from_source(SUM_LOOP)
+
+    def hundred_cycles():
+        if sim.halted:
+            sim.reset()
+        sim.step(100)
+
+    benchmark(hundred_cycles)
+    cps = 100 / benchmark.stats["mean"]
+    print(f"\nsimulation speed: {cps:,.0f} cycles/second")
+
+
+def test_backward_step_cost(benchmark):
+    """Backward simulation re-runs t-1 cycles: cost grows with t, which is
+    why the paper restricts it to small interactive programs."""
+    sim = Simulation.from_source(SUM_LOOP)
+    sim.step(200)
+
+    def back_and_forth():
+        sim.step_back(1)   # re-runs ~200 cycles
+        sim.step(1)
+
+    benchmark(back_and_forth)
+
+
+def test_assembler_cost(benchmark):
+    from repro.asm.parser import assemble
+    program = benchmark(assemble, SUM_LOOP)
+    assert len(program.instructions) == 7
+
+
+def test_compiler_cost_o2(benchmark):
+    from repro.compiler import compile_c
+    result = benchmark(compile_c, QUICKSORT_C, 2)
+    assert result.success

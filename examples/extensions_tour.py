@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Tour of the implemented future-work extensions (paper Sec. V).
+
+The paper lists directions for future development; this reproduction
+implements four of them, and this script demonstrates each:
+
+1. pipelined functional units,
+2. a deeper cache hierarchy (L2),
+3. breakpoints and watches,
+4. chip area / power estimation.
+"""
+
+from repro import CacheConfig, CpuConfig, FuSpec, MemoryLocation, Simulation
+from repro.sim.debugger import DebugSession
+from repro.sim.energy import estimate_area, estimate_energy, render_power_report
+
+# ---------------------------------------------------------------------------
+# 1. pipelined functional units
+# ---------------------------------------------------------------------------
+print("=== 1. pipelined FP unit ===")
+FP_BURST = """
+    li   t0, 0x40400000     # 3.0f
+    fmv.w.x fa0, t0
+""" + "\n".join(f"    fmul.s fa{i}, fa0, fa0" for i in range(1, 8)) \
+    + "\n    ebreak"
+
+for pipelined in (False, True):
+    config = CpuConfig()
+    config.fus = [FuSpec("FX", "FX1"),
+                  FuSpec("FP", "FP1", pipelined=pipelined),
+                  FuSpec("LS", "LS1"), FuSpec("Branch", "BR1"),
+                  FuSpec("Memory", "MEM")]
+    sim = Simulation.from_source(FP_BURST, config=config)
+    sim.run()
+    kind = "pipelined    " if pipelined else "non-pipelined"
+    print(f"  {kind}: {sim.cpu.cycle} cycles for 7 independent fmul.s")
+
+# ---------------------------------------------------------------------------
+# 2. L2 cache
+# ---------------------------------------------------------------------------
+print("\n=== 2. L2 cache ===")
+WALK = """
+    la   t0, buf
+    li   t5, 3
+p:  li   t1, 0
+    li   t2, 256
+w:  slli t3, t1, 2
+    add  t3, t3, t0
+    lw   t4, 0(t3)
+    addi t1, t1, 1
+    blt  t1, t2, w
+    addi t5, t5, -1
+    bnez t5, p
+    ebreak
+"""
+for with_l2 in (False, True):
+    config = CpuConfig()
+    config.cache = CacheConfig(line_count=8, line_size=16, associativity=2,
+                               line_replacement_delay=2)
+    if with_l2:
+        config.l2_cache = CacheConfig(line_count=128, line_size=16,
+                                      associativity=4, access_delay=4)
+    config.memory.load_latency = 40
+    buf = MemoryLocation(name="buf", dtype="word", values=list(range(256)))
+    sim = Simulation.from_source(WALK, config=config, memory_locations=[buf])
+    sim.run()
+    label = "L1 + L2" if with_l2 else "L1 only"
+    extra = ""
+    if with_l2:
+        extra = f" (L2 hit ratio {sim.cpu.l2_cache.stats.hit_ratio:.2f})"
+    print(f"  {label}: {sim.cpu.cycle} cycles{extra}")
+
+# ---------------------------------------------------------------------------
+# 3. breakpoints and watches
+# ---------------------------------------------------------------------------
+print("\n=== 3. debugger ===")
+PROGRAM = """
+main:
+    li   s0, 0
+    li   s1, 4
+loop:
+    addi s0, s0, 1
+    sw   s0, 0(sp)
+    blt  s0, s1, loop
+done:
+    ebreak
+"""
+dbg = DebugSession(Simulation.from_source(PROGRAM, entry="main"))
+dbg.add_breakpoint("loop")
+dbg.watch_register("s0")
+for _ in range(4):
+    event = dbg.run()
+    print(f"  stop: {event}")
+    if event.kind == "halt":
+        break
+
+# ---------------------------------------------------------------------------
+# 4. area / power estimation
+# ---------------------------------------------------------------------------
+print("\n=== 4. area / power model ===")
+print(f"  {'arch':<10} {'area [kGE]':>11} {'energy [nJ]':>12} "
+      f"{'avg power [mW]':>15}")
+SOURCE = "\n".join(f"    addi x{5 + (i % 8)}, x{5 + (i % 8)}, 1"
+                   for i in range(64)) + "\n    ebreak"
+for preset in ("scalar", "default", "wide"):
+    config = CpuConfig.preset(preset)
+    sim = Simulation.from_source(SOURCE, config=config)
+    sim.run()
+    area = estimate_area(config).total
+    energy = estimate_energy(sim.cpu)
+    print(f"  {preset:<10} {area:>11.1f} {energy.total_pj / 1000:>12.2f} "
+          f"{energy.average_power_w * 1000:>15.3f}")
+
+print("\nfull power report for the default run:")
+sim = Simulation.from_source(SOURCE)
+sim.run()
+print(render_power_report(sim.cpu))

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Quickstart: assemble, simulate, inspect — the 5-minute tour.
+
+Covers the core public API: building a simulation from assembly, stepping
+forward and *backward*, reading registers/memory, compiling C, and printing
+the runtime-statistics page the paper's GUI shows (Fig. 10).
+"""
+
+from repro import CpuConfig, Simulation
+from repro.compiler import compile_c
+from repro.viz import render_processor, render_statistics
+
+# ---------------------------------------------------------------------------
+# 1. simulate a small assembly program
+# ---------------------------------------------------------------------------
+SOURCE = """
+# sum of 1..100 in a0
+    li  a0, 0
+    li  t0, 1
+    li  t1, 100
+loop:
+    add a0, a0, t0
+    addi t0, t0, 1
+    ble t0, t1, loop
+    ebreak
+"""
+
+sim = Simulation.from_source(SOURCE)
+sim.run()
+print(f"sum(1..100) = {sim.register_value('a0')}")
+print(f"cycles = {sim.stats.cycles}, IPC = {sim.stats.ipc:.3f}, "
+      f"branch accuracy = {sim.stats.branch_prediction_accuracy:.3f}")
+
+# ---------------------------------------------------------------------------
+# 2. step-by-step simulation, forward and backward (Sec. II of the paper)
+# ---------------------------------------------------------------------------
+sim = Simulation.from_source(SOURCE)
+sim.step(25)
+print(f"\nafter 25 cycles: committed={sim.cpu.committed}")
+sim.step_back(10)        # deterministic re-run of the first 15 cycles
+print(f"after stepping back 10: cycle={sim.cycle}, "
+      f"committed={sim.cpu.committed}")
+
+# ---------------------------------------------------------------------------
+# 3. compile C and watch the optimizer work
+# ---------------------------------------------------------------------------
+C_SOURCE = """
+int dot(int *a, int *b, int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++) s += a[i] * b[i];
+    return s;
+}
+
+int main(void) {
+    int a[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+    int b[8] = {8, 7, 6, 5, 4, 3, 2, 1};
+    return dot(a, b, 8);
+}
+"""
+
+print("\nC compilation at four optimization levels:")
+for level in range(4):
+    result = compile_c(C_SOURCE, level)
+    run = Simulation.from_source(result.assembly, entry="main")
+    run.run()
+    print(f"  O{level}: result={run.register_value('a0'):>4}  "
+          f"cycles={run.stats.cycles:>6}  IPC={run.stats.ipc:.3f}")
+
+# ---------------------------------------------------------------------------
+# 4. customize the architecture (Fig. 9 settings window)
+# ---------------------------------------------------------------------------
+wide = CpuConfig.preset("wide")
+sim = Simulation.from_source(SOURCE, config=wide)
+sim.run()
+print(f"\non the 4-wide preset: cycles={sim.stats.cycles}, "
+      f"IPC={sim.stats.ipc:.3f}")
+
+# ---------------------------------------------------------------------------
+# 5. the GUI views as text (Figs. 10 and 12)
+# ---------------------------------------------------------------------------
+sim = Simulation.from_source(SOURCE)
+sim.step(8)
+print("\n--- main window (Fig. 12), cycle 8 ---")
+print(render_processor(sim.cpu))
+sim.run()
+print("\n--- statistics page (Fig. 10) ---")
+print(render_statistics(sim.stats))

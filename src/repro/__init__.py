@@ -1,0 +1,72 @@
+"""repro — a superscalar out-of-order RISC-V (RV32IMF) processor simulator.
+
+Python reproduction of *"Web-Based Simulator of Superscalar RISC-V
+Processors"* (Jaros, Majer, Horky, Vavra; SC 2024, arXiv:2411.07721).
+
+Quickstart::
+
+    from repro import Simulation, CpuConfig
+
+    sim = Simulation.from_source('''
+        li  a0, 6
+        li  a1, 7
+        mul a2, a0, a1
+        ebreak
+    ''')
+    sim.run()
+    assert sim.register_value("a2") == 42
+    print(sim.stats.panel(expanded=True))
+
+Main entry points:
+
+* :class:`repro.sim.simulation.Simulation` — assemble + simulate, forward
+  and backward stepping, statistics;
+* :class:`repro.core.config.CpuConfig` — the full architecture description
+  (JSON import/export, presets);
+* :func:`repro.compiler.driver.compile_c` — C to RISC-V assembly with
+  optimization levels O0-O3;
+* :mod:`repro.server` / :mod:`repro.cli` — the JSON/HTTP server and the
+  batch CLI;
+* :mod:`repro.viz` — text renderings of every GUI view in the paper.
+"""
+
+from repro.core.config import BufferConfig, CpuConfig, FuSpec, MemoryConfig
+from repro.memory.cache import CacheConfig
+from repro.memory.layout import MemoryLocation
+from repro.predictor.unit import PredictorConfig
+from repro.sim.simulation import Simulation, SimulationResult, run_program
+from repro.asm.parser import Assembler, assemble
+from repro.errors import (
+    AsmSyntaxError,
+    ConfigError,
+    CSyntaxError,
+    CTypeError,
+    MemoryAccessError,
+    ReproError,
+    SimulationException,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Simulation",
+    "SimulationResult",
+    "run_program",
+    "CpuConfig",
+    "BufferConfig",
+    "MemoryConfig",
+    "FuSpec",
+    "CacheConfig",
+    "PredictorConfig",
+    "MemoryLocation",
+    "Assembler",
+    "assemble",
+    "ReproError",
+    "ConfigError",
+    "AsmSyntaxError",
+    "CSyntaxError",
+    "CTypeError",
+    "SimulationException",
+    "MemoryAccessError",
+    "__version__",
+]

@@ -1,0 +1,28 @@
+"""Two-pass RISC-V assembler (Sec. III-C of the paper).
+
+Pass 1 tokenizes the program, expands pseudo-instructions, records
+instructions and memory directives and assigns addresses.  Memory allocation
+happens between the passes; pass 2 resolves label references, evaluates
+arithmetic expressions in operands (``lla x4, arr+64``) and converts branch
+targets to PC-relative offsets.
+"""
+
+from repro.asm.lexer import tokenize_line, Token, TokenKind
+from repro.asm.parser import Assembler, assemble
+from repro.asm.program import Program, ParsedInstruction, DataSymbol
+from repro.asm.filter import filter_assembly
+from repro.asm.pseudo import expand_pseudo, PSEUDO_MNEMONICS
+
+__all__ = [
+    "Assembler",
+    "assemble",
+    "Program",
+    "ParsedInstruction",
+    "DataSymbol",
+    "filter_assembly",
+    "expand_pseudo",
+    "PSEUDO_MNEMONICS",
+    "tokenize_line",
+    "Token",
+    "TokenKind",
+]

@@ -1,0 +1,110 @@
+"""Assembler-output cleanup filter.
+
+Sec. III-C: *"the assembler output may contain a large amount of information
+that is redundant for the simulator and also reduces the readability of the
+code.  Therefore, the compiler output is passed through a filter that
+removes unnecessary directives, labels, and data."*
+
+The filter keeps instructions, data-defining directives and any label that
+is actually referenced; purely administrative directives (``.globl``,
+``.type``, ``.size``, ``.file`` ...) and unreferenced local labels are
+dropped.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Set
+
+from repro.asm.lexer import TokenKind, strip_block_comments, tokenize_line
+from repro.errors import AsmSyntaxError
+
+_DROP_DIRECTIVES = {
+    ".globl", ".global", ".local", ".type", ".size", ".file", ".ident",
+    ".option", ".attribute", ".weak", ".extern", ".section", ".sdata",
+}
+_KEEP_DIRECTIVES = {
+    ".byte", ".hword", ".half", ".2byte", ".word", ".4byte", ".long",
+    ".align", ".p2align", ".balign", ".skip", ".zero", ".space",
+    ".ascii", ".asciiz", ".string", ".float", ".double", ".equ", ".set",
+    ".text", ".data", ".rodata", ".loc",
+}
+
+
+def _referenced_symbols(lines: List[str]) -> Set[str]:
+    refs: Set[str] = set()
+    for line_no, text in enumerate(lines, start=1):
+        try:
+            tokens = tokenize_line(text, line_no)
+        except AsmSyntaxError:
+            continue
+        started = False
+        for tok in tokens:
+            if tok.kind is TokenKind.LABEL_DEF:
+                continue
+            if not started:
+                started = True  # the mnemonic / directive itself
+                continue
+            if tok.kind in (TokenKind.SYMBOL, TokenKind.DIRECTIVE):
+                # DIRECTIVE in operand position is a dot-prefixed label ref
+                refs.add(tok.value)
+    return refs
+
+
+def filter_assembly(source: str) -> str:
+    """Return a cleaned-up version of compiler-emitted assembly."""
+    text = strip_block_comments(source)
+    lines = text.split("\n")
+    refs = _referenced_symbols(lines)
+    out: List[str] = []
+    for line_no, raw in enumerate(lines, start=1):
+        try:
+            tokens = tokenize_line(raw, line_no)
+        except AsmSyntaxError:
+            # untokenizable operands (e.g. `.size main, .-main`): drop the
+            # line when it is an administrative directive, else keep it
+            first = raw.strip().split(None, 1)[0] if raw.strip() else ""
+            if first not in _DROP_DIRECTIVES:
+                out.append(raw)
+            continue
+        if not tokens:
+            continue
+        kept_parts: List[str] = []
+        pos = 0
+        while pos < len(tokens) and tokens[pos].kind is TokenKind.LABEL_DEF:
+            name = tokens[pos].value
+            # Keep referenced labels and conventional function labels.
+            if name in refs or not re.match(r"^\.L", name):
+                kept_parts.append(f"{name}:")
+            pos += 1
+        if pos >= len(tokens):
+            if kept_parts:
+                out.append(" ".join(kept_parts))
+            continue
+        head = tokens[pos]
+        if head.kind is TokenKind.DIRECTIVE:
+            if head.value in _DROP_DIRECTIVES:
+                if kept_parts:
+                    out.append(" ".join(kept_parts))
+                continue
+            if head.value not in _KEEP_DIRECTIVES:
+                # Unknown administrative directive: drop it but keep labels.
+                if kept_parts:
+                    out.append(" ".join(kept_parts))
+                continue
+        body = raw[head.column - 1:].rstrip()
+        if kept_parts:
+            out.append(" ".join(kept_parts) + "\n    " + body
+                       if head.kind is not TokenKind.DIRECTIVE
+                       else " ".join(kept_parts) + " " + body)
+        else:
+            indent = "" if head.kind is TokenKind.DIRECTIVE and head.value in (
+                ".text", ".data", ".rodata") else "    "
+            out.append(indent + body)
+    # Collapse repeated blank lines
+    cleaned: List[str] = []
+    for line in out:
+        if line.strip() == "" and cleaned and cleaned[-1].strip() == "":
+            continue
+        cleaned.append(line)
+    return "\n".join(cleaned).strip() + "\n"

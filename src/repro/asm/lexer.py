@@ -1,0 +1,162 @@
+"""Tokenizer for RISC-V assembly source.
+
+The paper (Sec. III-C): *"The program text is divided into language units
+(tokens such as symbols, comments, or new lines)."*  We tokenize line by
+line, preserving 1-based line/column positions so syntax errors can be
+highlighted in the editor (Fig. 7).
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import AsmSyntaxError
+
+
+class TokenKind(str, enum.Enum):
+    LABEL_DEF = "label"        # ``name:``
+    DIRECTIVE = "directive"    # ``.word``
+    SYMBOL = "symbol"          # mnemonic / register / label reference
+    INTEGER = "integer"
+    FLOAT = "float"
+    STRING = "string"
+    COMMA = "comma"
+    LPAREN = "lparen"
+    RPAREN = "rparen"
+    OPERATOR = "operator"      # + - * / %
+    PERCENT_FUNC = "percent"   # %hi / %lo
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+    value: object = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.kind.value}({self.text!r})"
+
+
+# Order matters: longest / most specific first.
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>(\#|//).*)
+  | (?P<string>"(\\.|[^"\\])*")
+  | (?P<char>'(\\.|[^'\\])')
+  | (?P<percent>%(hi|lo)\b)
+  | (?P<labeldef>[A-Za-z_.$][\w.$]*:)
+  | (?P<directive>\.[A-Za-z][\w.]*)
+  | (?P<float>\d+\.\d+([eE][-+]?\d+)?)
+  | (?P<integer>0[xX][0-9a-fA-F]+|0[bB][01]+|\d+)
+  | (?P<symbol>@?[A-Za-z_$][\w.$]*)
+  | (?P<comma>,)
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<operator>[-+*/%])
+    """,
+    re.VERBOSE,
+)
+
+_ESCAPES = {
+    "n": "\n", "t": "\t", "r": "\r", "0": "\0", "\\": "\\",
+    '"': '"', "'": "'", "a": "\a", "b": "\b", "f": "\f", "v": "\v",
+}
+
+
+def unescape_string(literal: str, line: int = 0, column: int = 0) -> str:
+    """Decode an assembly string literal (without surrounding quotes)."""
+    out = []
+    i = 0
+    while i < len(literal):
+        ch = literal[i]
+        if ch == "\\":
+            if i + 1 >= len(literal):
+                raise AsmSyntaxError("dangling escape in string", line, column)
+            nxt = literal[i + 1]
+            if nxt == "x":
+                match = re.match(r"[0-9a-fA-F]{1,2}", literal[i + 2:])
+                if not match:
+                    raise AsmSyntaxError("invalid \\x escape", line, column)
+                out.append(chr(int(match.group(0), 16)))
+                i += 2 + len(match.group(0))
+                continue
+            out.append(_ESCAPES.get(nxt, nxt))
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def tokenize_line(text: str, line_no: int) -> List[Token]:
+    """Tokenize one source line; comments and whitespace are discarded."""
+    tokens: List[Token] = []
+    pos = 0
+    # Strip block comments the simple way (they rarely span lines in
+    # assembler output; multi-line /* */ is handled by the caller).
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise AsmSyntaxError(
+                f"unexpected character {text[pos]!r}", line_no, pos + 1)
+        kind = match.lastgroup
+        raw = match.group(0)
+        col = pos + 1
+        pos = match.end()
+        if kind in ("ws", "comment"):
+            continue
+        if kind == "string":
+            tokens.append(Token(TokenKind.STRING, raw, line_no, col,
+                                unescape_string(raw[1:-1], line_no, col)))
+        elif kind == "char":
+            decoded = unescape_string(raw[1:-1], line_no, col)
+            tokens.append(Token(TokenKind.INTEGER, raw, line_no, col, ord(decoded)))
+        elif kind == "percent":
+            tokens.append(Token(TokenKind.PERCENT_FUNC, raw, line_no, col, raw[1:]))
+        elif kind == "labeldef":
+            tokens.append(Token(TokenKind.LABEL_DEF, raw, line_no, col, raw[:-1]))
+        elif kind == "directive":
+            tokens.append(Token(TokenKind.DIRECTIVE, raw, line_no, col, raw))
+        elif kind == "float":
+            tokens.append(Token(TokenKind.FLOAT, raw, line_no, col, float(raw)))
+        elif kind == "integer":
+            tokens.append(Token(TokenKind.INTEGER, raw, line_no, col, int(raw, 0)))
+        elif kind == "symbol":
+            tokens.append(Token(TokenKind.SYMBOL, raw, line_no, col, raw))
+        elif kind == "comma":
+            tokens.append(Token(TokenKind.COMMA, raw, line_no, col))
+        elif kind == "lparen":
+            tokens.append(Token(TokenKind.LPAREN, raw, line_no, col))
+        elif kind == "rparen":
+            tokens.append(Token(TokenKind.RPAREN, raw, line_no, col))
+        elif kind == "operator":
+            tokens.append(Token(TokenKind.OPERATOR, raw, line_no, col))
+    return tokens
+
+
+def strip_block_comments(source: str) -> str:
+    """Remove ``/* ... */`` comments, preserving line numbers."""
+    out = []
+    i = 0
+    in_comment = False
+    while i < len(source):
+        if not in_comment and source.startswith("/*", i):
+            in_comment = True
+            i += 2
+        elif in_comment and source.startswith("*/", i):
+            in_comment = False
+            i += 2
+        else:
+            ch = source[i]
+            if in_comment:
+                out.append("\n" if ch == "\n" else " ")
+            else:
+                out.append(ch)
+            i += 1
+    return "".join(out)

@@ -1,0 +1,153 @@
+"""Assembled program representation.
+
+A :class:`Program` is the output of the assembler: the instruction list
+(with all operand values resolved), the label table, the initialized data
+segment, the memory-symbol table shown in the memory pop-up (Fig. 2) and the
+entry point.  Memory layout follows Sec. III-C: the call stack is allocated
+at the beginning of memory (its top pointer seeds ``x2``/``sp``), user data
+follows after it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.isa.instruction import InstructionDef, InstructionType
+
+
+@dataclass
+class DataSymbol:
+    """A named, statically allocated memory object (array / scalar / string)."""
+
+    name: str
+    address: int
+    size: int
+    element_size: int = 1
+    dtype: str = "byte"
+
+    def to_json(self) -> dict:
+        return {
+            "name": self.name,
+            "address": self.address,
+            "size": self.size,
+            "elementSize": self.element_size,
+            "dtype": self.dtype,
+        }
+
+
+@dataclass
+class ParsedInstruction:
+    """One static instruction of the program.
+
+    ``operands`` maps argument names of the definition to resolved values:
+    canonical register names (``x5`` / ``f3``) for register arguments and
+    integers for immediates (branch targets already PC-relative).
+    """
+
+    index: int
+    definition: InstructionDef
+    operands: Dict[str, object]
+    source_line: int = 0
+    source_text: str = ""
+    #: 1-based C source line this instruction was compiled from (C<->asm link)
+    c_line: int = 0
+
+    @property
+    def pc(self) -> int:
+        """Byte address of the instruction (4 bytes per instruction)."""
+        return self.index * 4
+
+    @property
+    def mnemonic(self) -> str:
+        return self.definition.name
+
+    def render(self) -> str:
+        """Canonical textual form, e.g. ``add x5, x6, x7``."""
+        d = self.definition
+        parts: List[str] = []
+        if d.mem_operand:
+            reg = self.operands[d.arguments[0].name]
+            imm = self.operands["imm"]
+            base = self.operands["rs1"]
+            return f"{d.name} {reg}, {imm}({base})"
+        for arg in d.arguments:
+            value = self.operands[arg.name]
+            parts.append(str(value))
+        return d.name + (" " + ", ".join(parts) if parts else "")
+
+    def to_json(self) -> dict:
+        return {
+            "index": self.index,
+            "pc": self.pc,
+            "mnemonic": self.mnemonic,
+            "operands": dict(self.operands),
+            "sourceLine": self.source_line,
+            "cLine": self.c_line,
+            "text": self.render(),
+        }
+
+
+@dataclass
+class Program:
+    """A fully assembled program plus its initial memory image."""
+
+    instructions: List[ParsedInstruction] = field(default_factory=list)
+    labels: Dict[str, int] = field(default_factory=dict)
+    #: initialized data segment, placed at ``data_base`` in memory
+    data: bytearray = field(default_factory=bytearray)
+    data_base: int = 0
+    symbols: List[DataSymbol] = field(default_factory=list)
+    entry_pc: int = 0
+    #: initial stack pointer (top of the call-stack region)
+    stack_pointer: int = 0
+    source: str = ""
+
+    def instruction_at(self, pc: int) -> Optional[ParsedInstruction]:
+        """Instruction at byte address *pc* (None when out of range)."""
+        index = pc >> 2
+        if pc & 3 or index < 0 or index >= len(self.instructions):
+            return None
+        return self.instructions[index]
+
+    @property
+    def code_size_bytes(self) -> int:
+        return len(self.instructions) * 4
+
+    def static_mix(self) -> Dict[str, int]:
+        """Static instruction mix by coarse type (Fig. 10 table)."""
+        mix = {t.value: 0 for t in InstructionType}
+        for instr in self.instructions:
+            mix[instr.definition.instruction_type.value] += 1
+        return mix
+
+    def symbol_table(self) -> List[dict]:
+        """Memory pop-up payload: arrays, start addresses (Fig. 2)."""
+        return [s.to_json() for s in self.symbols]
+
+    def find_symbol(self, name: str) -> Optional[DataSymbol]:
+        for sym in self.symbols:
+            if sym.name == name:
+                return sym
+        return None
+
+    def initial_memory_image(self, capacity: int) -> bytearray:
+        """Flat memory of *capacity* bytes with the data segment installed."""
+        image = bytearray(capacity)
+        end = self.data_base + len(self.data)
+        if end > capacity:
+            raise ValueError(
+                f"program data ({end} bytes) exceeds memory capacity {capacity}")
+        image[self.data_base:end] = self.data
+        return image
+
+    def to_json(self) -> dict:
+        return {
+            "instructions": [i.to_json() for i in self.instructions],
+            "labels": dict(self.labels),
+            "dataBase": self.data_base,
+            "dataSize": len(self.data),
+            "symbols": self.symbol_table(),
+            "entryPc": self.entry_pc,
+            "stackPointer": self.stack_pointer,
+        }

@@ -1,0 +1,177 @@
+"""Pseudo-instruction expansion.
+
+The simulator "fully supports the RV32I instruction set with the M and F
+extensions, including pseudo-instructions" (Sec. III-B).  Expansion happens
+during pass 1 so instruction addresses are final before label resolution;
+every expansion therefore has a size that does not depend on values known
+only in pass 2 (``li`` with a non-literal operand always takes the two
+instruction ``lui``+``addi`` form).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import AsmSyntaxError
+
+#: (mnemonic, operand-strings) pairs
+Expansion = List[Tuple[str, List[str]]]
+
+
+def _fits_imm12(value: int) -> bool:
+    return -2048 <= value <= 2047
+
+
+def hi_lo(value: int) -> Tuple[int, int]:
+    """Split a 32-bit constant into ``lui``/``addi`` halves.
+
+    ``lo`` is sign-extended by ``addi``, so ``hi`` must absorb the carry:
+    ``value == (hi << 12) + sign_extend(lo, 12)`` (mod 2^32).
+    """
+    value &= 0xFFFFFFFF
+    lo = value & 0xFFF
+    if lo >= 0x800:
+        lo -= 0x1000
+    hi = ((value - lo) >> 12) & 0xFFFFF
+    return hi, lo
+
+
+def expand_pseudo(mnemonic: str, operands: List[str],
+                  line: int = 0, column: int = 0) -> Expansion:
+    """Expand *mnemonic* into base instructions; identity for real ones.
+
+    Operands are raw source strings (registers, immediates or label
+    expressions) — expansion only rearranges them.
+    """
+    ops = operands
+    n = len(ops)
+
+    def need(count: int) -> None:
+        if n != count:
+            raise AsmSyntaxError(
+                f"'{mnemonic}' expects {count} operand(s), got {n}", line, column)
+
+    if mnemonic == "nop":
+        need(0)
+        return [("addi", ["x0", "x0", "0"])]
+
+    if mnemonic == "li":
+        need(2)
+        text = ops[1].strip()
+        try:
+            value = int(text, 0)
+        except ValueError:
+            value = None
+        if value is not None and _fits_imm12(value):
+            return [("addi", [ops[0], "x0", str(value)])]
+        if value is not None:
+            hi, lo = hi_lo(value)
+            out: Expansion = [("lui", [ops[0], str(hi)])]
+            if lo:
+                out.append(("addi", [ops[0], ops[0], str(lo)]))
+            else:  # keep a fixed 2-instruction size for simplicity
+                out.append(("addi", [ops[0], ops[0], "0"]))
+            return out
+        # non-literal: resolve via %hi/%lo in pass 2
+        return [("lui", [ops[0], f"%hi({ops[1]})"]),
+                ("addi", [ops[0], ops[0], f"%lo({ops[1]})"])]
+
+    if mnemonic in ("la", "lla"):
+        need(2)
+        return [("lui", [ops[0], f"%hi({ops[1]})"]),
+                ("addi", [ops[0], ops[0], f"%lo({ops[1]})"])]
+
+    if mnemonic == "mv":
+        need(2)
+        return [("addi", [ops[0], ops[1], "0"])]
+    if mnemonic == "not":
+        need(2)
+        return [("xori", [ops[0], ops[1], "-1"])]
+    if mnemonic == "neg":
+        need(2)
+        return [("sub", [ops[0], "x0", ops[1]])]
+    if mnemonic == "seqz":
+        need(2)
+        return [("sltiu", [ops[0], ops[1], "1"])]
+    if mnemonic == "snez":
+        need(2)
+        return [("sltu", [ops[0], "x0", ops[1]])]
+    if mnemonic == "sltz":
+        need(2)
+        return [("slt", [ops[0], ops[1], "x0"])]
+    if mnemonic == "sgtz":
+        need(2)
+        return [("slt", [ops[0], "x0", ops[1]])]
+
+    if mnemonic == "beqz":
+        need(2)
+        return [("beq", [ops[0], "x0", ops[1]])]
+    if mnemonic == "bnez":
+        need(2)
+        return [("bne", [ops[0], "x0", ops[1]])]
+    if mnemonic == "blez":
+        need(2)
+        return [("bge", ["x0", ops[0], ops[1]])]
+    if mnemonic == "bgez":
+        need(2)
+        return [("bge", [ops[0], "x0", ops[1]])]
+    if mnemonic == "bltz":
+        need(2)
+        return [("blt", [ops[0], "x0", ops[1]])]
+    if mnemonic == "bgtz":
+        need(2)
+        return [("blt", ["x0", ops[0], ops[1]])]
+    if mnemonic == "bgt":
+        need(3)
+        return [("blt", [ops[1], ops[0], ops[2]])]
+    if mnemonic == "ble":
+        need(3)
+        return [("bge", [ops[1], ops[0], ops[2]])]
+    if mnemonic == "bgtu":
+        need(3)
+        return [("bltu", [ops[1], ops[0], ops[2]])]
+    if mnemonic == "bleu":
+        need(3)
+        return [("bgeu", [ops[1], ops[0], ops[2]])]
+
+    if mnemonic == "j":
+        need(1)
+        return [("jal", ["x0", ops[0]])]
+    if mnemonic == "jal" and n == 1:
+        return [("jal", ["x1", ops[0]])]
+    if mnemonic == "jr":
+        need(1)
+        return [("jalr", ["x0", ops[0], "0"])]
+    if mnemonic == "jalr" and n == 1:
+        return [("jalr", ["x1", ops[0], "0"])]
+    if mnemonic == "ret":
+        need(0)
+        return [("jalr", ["x0", "x1", "0"])]
+    if mnemonic == "call":
+        need(1)
+        # Near call: all simulator code fits in a jal's reach.
+        return [("jal", ["x1", ops[0]])]
+    if mnemonic == "tail":
+        need(1)
+        return [("jal", ["x0", ops[0]])]
+
+    if mnemonic == "fmv.s":
+        need(2)
+        return [("fsgnj.s", [ops[0], ops[1], ops[1]])]
+    if mnemonic == "fabs.s":
+        need(2)
+        return [("fsgnjx.s", [ops[0], ops[1], ops[1]])]
+    if mnemonic == "fneg.s":
+        need(2)
+        return [("fsgnjn.s", [ops[0], ops[1], ops[1]])]
+
+    return [(mnemonic, ops)]
+
+
+#: Mnemonics recognised as pseudo-instructions (for syntax checks / docs).
+PSEUDO_MNEMONICS = frozenset({
+    "nop", "li", "la", "lla", "mv", "not", "neg", "seqz", "snez", "sltz",
+    "sgtz", "beqz", "bnez", "blez", "bgez", "bltz", "bgtz", "bgt", "ble",
+    "bgtu", "bleu", "j", "jr", "ret", "call", "tail",
+    "fmv.s", "fabs.s", "fneg.s",
+})

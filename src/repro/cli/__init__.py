@@ -1,0 +1,5 @@
+"""Batch command-line interface (Sec. II-E)."""
+
+from repro.cli.main import main
+
+__all__ = ["main"]

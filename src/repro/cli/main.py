@@ -1,0 +1,222 @@
+"""``repro-sim`` — batch simulation CLI.
+
+Sec. II-E of the paper: *"The CLI requires two mandatory arguments: the
+assembly language source code in a text file and the architecture
+description in JSON format.  Additional parameters allow to specify the
+program's entry point, memory configuration, data dump, and various levels
+of output verbosity and format (either text or JSON).  The CLI must be
+connected to the server using host and port parameters, with an optional
+connection to the GCC compiler."*
+
+This CLI supports both modes: ``--host/--port`` talk to a running
+``repro-server``; without them the simulation runs in-process (convenient
+for batch benchmarking on one machine).  ``--compile`` accepts a C file
+instead of assembly and runs the integrated compiler first.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.compiler.driver import compile_c
+from repro.core.config import CpuConfig
+from repro.errors import ReproError, SourceError
+from repro.memory.layout import MemoryLocation
+from repro.sim.simulation import Simulation
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sim",
+        description="Batch simulator for superscalar RISC-V programs")
+    parser.add_argument("program",
+                        help="assembly source file (or C file with --compile)")
+    parser.add_argument("architecture",
+                        help="architecture description JSON file, or a "
+                             "preset name (default/scalar/wide)")
+    parser.add_argument("--entry", default=None,
+                        help="entry point label or byte address")
+    parser.add_argument("--memory", default=None,
+                        help="memory configuration JSON file "
+                             "(list of MemoryLocation objects)")
+    parser.add_argument("--dump", default=None, metavar="ADDR:LEN",
+                        help="hex-dump a memory range after the run")
+    parser.add_argument("--format", choices=("text", "json"), default="text")
+    parser.add_argument("--verbosity", type=int, choices=(0, 1, 2), default=1,
+                        help="0: headline metrics, 1: summary, 2: full stats")
+    parser.add_argument("--max-cycles", type=int, default=None)
+    parser.add_argument("--compile", action="store_true",
+                        help="treat the program as C and compile it first")
+    parser.add_argument("-O", "--optimize", type=int, default=1,
+                        choices=(0, 1, 2, 3), help="C optimization level")
+    parser.add_argument("--emit-asm", default=None, metavar="FILE",
+                        help="with --compile: also write the generated assembly")
+    parser.add_argument("--host", default=None,
+                        help="simulation server host (remote mode)")
+    parser.add_argument("--port", type=int, default=8045,
+                        help="simulation server port (remote mode)")
+    parser.add_argument("--power", action="store_true",
+                        help="append the area / power estimate report")
+    parser.add_argument("--disassemble", action="store_true",
+                        help="print the machine-code disassembly and exit")
+    return parser
+
+
+def _load_architecture(spec: str) -> CpuConfig:
+    if spec in ("default", "scalar", "wide"):
+        return CpuConfig.preset(spec)
+    with open(spec, "r", encoding="utf-8") as handle:
+        return CpuConfig.from_json_str(handle.read())
+
+
+def _load_memory(path: Optional[str]) -> List[MemoryLocation]:
+    if path is None:
+        return []
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if isinstance(data, dict):
+        data = data.get("memory", [])
+    return [MemoryLocation.from_json(d) for d in data]
+
+
+def _parse_dump(spec: Optional[str]):
+    if spec is None:
+        return None
+    addr_text, _, len_text = spec.partition(":")
+    return int(addr_text, 0), int(len_text or "64", 0)
+
+
+def _print_text(stats: dict, verbosity: int, out) -> None:
+    print(f"halt reason       : {stats['haltReason']}", file=out)
+    print(f"cycles            : {stats['cycles']}", file=out)
+    print(f"committed instrs  : {stats['committedInstructions']}", file=out)
+    print(f"IPC               : {stats['ipc']:.3f}", file=out)
+    if verbosity == 0:
+        return
+    bp = stats["branchPredictor"]
+    print(f"branch accuracy   : {bp['accuracy']:.3f} "
+          f"({bp['correct']}/{bp['predictions']})", file=out)
+    print(f"ROB flushes       : {stats['robFlushes']}", file=out)
+    print(f"FLOPs             : {stats['flopsTotal']}", file=out)
+    print(f"wall time         : {stats['wallTimeS'] * 1e6:.2f} us "
+          f"@ simulated clock", file=out)
+    if "cache" in stats:
+        cache = stats["cache"]
+        print(f"cache hit ratio   : {cache['hitRatio']:.3f} "
+              f"({cache['hits']}/{cache['accesses']}), "
+              f"{cache['bytesWritten']} B written", file=out)
+    if verbosity < 2:
+        return
+    print("dynamic mix       :", file=out)
+    for key, value in sorted(stats["dynamicMix"].items()):
+        pct = stats["dynamicMixPercent"][key]
+        print(f"    {key:<20} {value:>8} ({pct:5.1f} %)", file=out)
+    print("unit utilization  :", file=out)
+    for name, info in sorted(stats["functionalUnits"].items()):
+        print(f"    {name:<8} {info['kind']:<7} busy {info['busyCycles']:>8} "
+              f"cycles ({info['busyPercent']:5.1f} %)", file=out)
+    print("dispatch stalls   :", file=out)
+    for key, value in sorted(stats["dispatchStalls"].items()):
+        print(f"    {key:<16} {value}", file=out)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    out = sys.stdout
+
+    try:
+        with open(args.program, "r", encoding="utf-8") as handle:
+            source = handle.read()
+    except OSError as exc:
+        print(f"error: cannot read program: {exc}", file=sys.stderr)
+        return 2
+
+    if args.compile:
+        result = compile_c(source, args.optimize)
+        if not result.success:
+            for err in result.errors:
+                print(f"error: {err['line']}:{err['column']}: "
+                      f"{err['message']}", file=sys.stderr)
+            return 1
+        source = result.assembly
+        if args.emit_asm:
+            with open(args.emit_asm, "w", encoding="utf-8") as handle:
+                handle.write(source)
+
+    try:
+        config = _load_architecture(args.architecture)
+        memory = _load_memory(args.memory)
+    except (OSError, json.JSONDecodeError, ReproError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    entry: Optional[object] = args.entry
+    if entry is not None and entry.isdigit():
+        entry = int(entry)
+
+    if args.disassemble:
+        from repro.asm.parser import Assembler
+        from repro.isa.encoding import disassemble, encode_program
+        try:
+            program = Assembler().assemble(
+                source, entry=entry, memory_locations=memory,
+                stack_size=config.memory.call_stack_size)
+        except SourceError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        for line in disassemble(encode_program(program)):
+            print(line, file=out)
+        return 0
+
+    if args.host is not None:
+        # remote mode: send the job to a running repro-server
+        from repro.server.client import SimClient
+        client = SimClient(args.host, args.port)
+        response = client.simulate(
+            source, config=config.to_json(), entry=entry,
+            memory=[m.to_json() for m in memory],
+            maxCycles=args.max_cycles)
+        if not response.get("success"):
+            print(f"error: {response.get('errors')}", file=sys.stderr)
+            return 1
+        stats = response["result"]["statistics"]
+        if args.format == "json":
+            json.dump(response["result"], out, indent=2)
+            print(file=out)
+        else:
+            _print_text(stats, args.verbosity, out)
+        return 0
+
+    try:
+        simulation = Simulation.from_source(
+            source, config=config, entry=entry, memory_locations=memory)
+        result = simulation.run(args.max_cycles)
+    except SourceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    if args.format == "json":
+        payload = result.to_json()
+        dump = _parse_dump(args.dump)
+        if dump is not None:
+            payload["memoryDump"] = simulation.cpu.memory.dump(*dump)
+        json.dump(payload, out, indent=2)
+        print(file=out)
+    else:
+        _print_text(result.statistics, args.verbosity, out)
+        dump = _parse_dump(args.dump)
+        if dump is not None:
+            print("memory dump:", file=out)
+            print(simulation.cpu.memory.dump(*dump), file=out)
+        if args.power:
+            from repro.sim.energy import render_power_report
+            print(file=out)
+            print(render_power_report(simulation.cpu), file=out)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

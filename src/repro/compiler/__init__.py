@@ -1,0 +1,25 @@
+"""C compiler: a from-scratch C-subset -> RV32IMF cross-compiler.
+
+This substitutes for the paper's GCC integration (Sec. III-C) in offline
+environments.  It supports the constructs the paper's teaching examples
+need — ``int`` / ``unsigned`` / ``char`` / ``float``, pointers, arrays,
+globals (incl. ``extern`` arrays filled from the Memory-settings window),
+functions with recursion, the full statement and expression repertoire —
+and four optimization levels whose codegen quality differences are visible
+in the simulator's runtime statistics:
+
+* **O0** — naive stack-machine code: every value round-trips through the
+  stack frame;
+* **O1** — register allocation, constant folding, algebraic simplification
+  and dead-code elimination;
+* **O2** — O1 plus copy/constant propagation, local common-subexpression
+  elimination and strength reduction;
+* **O3** — O2 plus inlining of small leaf functions.
+
+The emitted assembly carries ``.loc`` directives, the machine-readable form
+of the paper's C <-> assembly line links (Fig. 5).
+"""
+
+from repro.compiler.driver import CompileResult, compile_c
+
+__all__ = ["compile_c", "CompileResult"]

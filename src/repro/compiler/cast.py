@@ -1,0 +1,264 @@
+"""Abstract syntax tree and the C-subset type model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+# ---------------------------------------------------------------------------
+# types
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class CType:
+    """A type in the C subset: int / unsigned / char / float / void,
+    pointers to them, and fixed-size arrays."""
+
+    base: str                      # 'int' | 'unsigned' | 'char' | 'float' | 'void'
+    pointer: int = 0               # levels of indirection
+    array: Optional[int] = None    # element count for array types
+
+    @property
+    def is_pointer(self) -> bool:
+        return self.pointer > 0 and self.array is None
+
+    @property
+    def is_array(self) -> bool:
+        return self.array is not None
+
+    @property
+    def is_float(self) -> bool:
+        return self.base == "float" and self.pointer == 0 and not self.is_array
+
+    @property
+    def is_integral(self) -> bool:
+        return not self.is_float and not self.is_array and self.base != "void"
+
+    @property
+    def is_unsigned(self) -> bool:
+        return (self.base in ("unsigned", "char") and self.pointer == 0) \
+            or self.pointer > 0
+
+    def element(self) -> "CType":
+        """Type of an element (array) or pointee (pointer)."""
+        if self.is_array:
+            return CType(self.base, self.pointer)
+        if self.pointer:
+            return CType(self.base, self.pointer - 1)
+        raise ValueError(f"{self} has no element type")
+
+    def decay(self) -> "CType":
+        """Array-to-pointer decay."""
+        if self.is_array:
+            return CType(self.base, self.pointer + 1)
+        return self
+
+    @property
+    def size(self) -> int:
+        """Size in bytes."""
+        if self.is_array:
+            return self.array * self.element().size
+        if self.pointer:
+            return 4
+        return {"int": 4, "unsigned": 4, "float": 4, "char": 1, "void": 0}[self.base]
+
+    @property
+    def load_signed(self) -> bool:
+        return self.base == "int" and self.pointer == 0
+
+    def __str__(self) -> str:
+        out = self.base + "*" * self.pointer
+        if self.is_array:
+            out += f"[{self.array}]"
+        return out
+
+
+INT = CType("int")
+UNSIGNED = CType("unsigned")
+CHAR = CType("char")
+FLOAT = CType("float")
+VOID = CType("void")
+
+
+# ---------------------------------------------------------------------------
+# expressions
+# ---------------------------------------------------------------------------
+@dataclass
+class Expr:
+    line: int = 0
+    ctype: Optional[CType] = None  # filled by the type checker
+
+
+@dataclass
+class IntLit(Expr):
+    value: int = 0
+
+
+@dataclass
+class FloatLit(Expr):
+    value: float = 0.0
+
+
+@dataclass
+class StrLit(Expr):
+    value: str = ""
+    label: str = ""  # assigned during codegen (rodata)
+
+
+@dataclass
+class Ident(Expr):
+    name: str = ""
+
+
+@dataclass
+class Unary(Expr):
+    op: str = ""          # - ! ~ * & ++ -- (pre), p++ p-- (post)
+    operand: Optional[Expr] = None
+    postfix: bool = False
+
+
+@dataclass
+class Binary(Expr):
+    op: str = ""
+    left: Optional[Expr] = None
+    right: Optional[Expr] = None
+
+
+@dataclass
+class Assign(Expr):
+    op: str = "="         # = += -= *= /= %= <<= >>= &= |= ^=
+    target: Optional[Expr] = None
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Conditional(Expr):
+    cond: Optional[Expr] = None
+    then: Optional[Expr] = None
+    otherwise: Optional[Expr] = None
+
+
+@dataclass
+class Call(Expr):
+    name: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Index(Expr):
+    base: Optional[Expr] = None
+    index: Optional[Expr] = None
+
+
+@dataclass
+class Cast(Expr):
+    target: Optional[CType] = None
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class SizeOf(Expr):
+    target: Optional[CType] = None
+
+
+# ---------------------------------------------------------------------------
+# statements
+# ---------------------------------------------------------------------------
+@dataclass
+class Stmt:
+    line: int = 0
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Optional[Expr] = None
+
+
+@dataclass
+class Block(Stmt):
+    body: List[Stmt] = field(default_factory=list)
+    #: True for synthetic groups (multi-declarator statements) that must NOT
+    #: open a new lexical scope
+    transparent: bool = False
+
+
+@dataclass
+class VarDecl(Stmt):
+    name: str = ""
+    ctype: CType = INT
+    init: Optional[Expr] = None
+    #: array initializer list for local/global arrays
+    init_list: Optional[List[Expr]] = None
+
+
+@dataclass
+class If(Stmt):
+    cond: Optional[Expr] = None
+    then: Optional[Stmt] = None
+    otherwise: Optional[Stmt] = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Optional[Expr] = None
+    body: Optional[Stmt] = None
+    #: True for do-while (body runs before first test)
+    do_while: bool = False
+
+
+@dataclass
+class For(Stmt):
+    init: Optional[Stmt] = None
+    cond: Optional[Expr] = None
+    post: Optional[Expr] = None
+    body: Optional[Stmt] = None
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+# ---------------------------------------------------------------------------
+# top level
+# ---------------------------------------------------------------------------
+@dataclass
+class Param:
+    name: str
+    ctype: CType
+    line: int = 0
+
+
+@dataclass
+class Function:
+    name: str
+    return_type: CType
+    params: List[Param]
+    body: Optional[Block]      # None for a declaration/prototype
+    line: int = 0
+
+
+@dataclass
+class GlobalVar:
+    name: str
+    ctype: CType
+    init: Optional[Expr] = None
+    init_list: Optional[List[Expr]] = None
+    extern: bool = False
+    line: int = 0
+
+
+@dataclass
+class TranslationUnit:
+    functions: List[Function] = field(default_factory=list)
+    globals: List[GlobalVar] = field(default_factory=list)

@@ -1,0 +1,121 @@
+"""C lexer with precise source positions (for Fig. 6 error highlighting)."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import CSyntaxError
+
+KEYWORDS = {
+    "int", "unsigned", "char", "float", "void", "if", "else", "while",
+    "for", "do", "return", "break", "continue", "extern", "sizeof",
+    "const", "static",
+}
+
+# longest-match-first operator list
+OPERATORS = [
+    "<<=", ">>=", "...",
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "++", "--",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "->",
+    "+", "-", "*", "/", "%", "=", "<", ">", "!", "~", "&", "|", "^",
+    "?", ":", ";", ",", "(", ")", "[", "]", "{", "}", ".",
+]
+
+_OP_RE = "|".join(re.escape(op) for op in OPERATORS)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>//[^\n]*|/\*.*?\*/)
+  | (?P<float>(\d+\.\d*|\.\d+)([eE][-+]?\d+)?[fF]?|\d+[eE][-+]?\d+[fF]?|\d+[fF])
+  | (?P<int>0[xX][0-9a-fA-F]+|0[bB][01]+|\d+)
+  | (?P<char>'(\\.|[^'\\])')
+  | (?P<string>"(\\.|[^"\\])*")
+  | (?P<ident>[A-Za-z_]\w*)
+  | (?P<op>%s)
+    """ % _OP_RE,
+    re.VERBOSE | re.DOTALL,
+)
+
+_ESCAPES = {"n": "\n", "t": "\t", "r": "\r", "0": "\0", "\\": "\\",
+            "'": "'", '"': '"', "a": "\a", "b": "\b", "f": "\f", "v": "\v"}
+
+
+@dataclass(frozen=True)
+class CToken:
+    kind: str           # 'int' | 'float' | 'char' | 'string' | 'ident' | 'kw' | 'op' | 'eof'
+    text: str
+    line: int
+    column: int
+    value: object = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.kind}({self.text!r})"
+
+
+def _unescape(body: str, line: int, col: int) -> str:
+    out, i = [], 0
+    while i < len(body):
+        if body[i] == "\\":
+            if i + 1 >= len(body):
+                raise CSyntaxError("dangling escape", line, col)
+            nxt = body[i + 1]
+            if nxt == "x":
+                match = re.match(r"[0-9a-fA-F]{1,2}", body[i + 2:])
+                if not match:
+                    raise CSyntaxError("invalid \\x escape", line, col)
+                out.append(chr(int(match.group(0), 16)))
+                i += 2 + len(match.group(0))
+                continue
+            out.append(_ESCAPES.get(nxt, nxt))
+            i += 2
+        else:
+            out.append(body[i])
+            i += 1
+    return "".join(out)
+
+
+def tokenize_c(source: str) -> List[CToken]:
+    """Tokenize C source; raises :class:`CSyntaxError` with position."""
+    tokens: List[CToken] = []
+    line = 1
+    line_start = 0
+    pos = 0
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            col = pos - line_start + 1
+            raise CSyntaxError(
+                f"unexpected character {source[pos]!r}", line, col)
+        kind = match.lastgroup
+        raw = match.group(0)
+        col = pos - line_start + 1
+        pos = match.end()
+        if kind in ("ws", "comment"):
+            newlines = raw.count("\n")
+            if newlines:
+                line += newlines
+                line_start = match.start() + raw.rfind("\n") + 1
+            continue
+        if kind == "int":
+            tokens.append(CToken("int", raw, line, col, int(raw, 0)))
+        elif kind == "float":
+            tokens.append(CToken("float", raw, line, col,
+                                 float(raw.rstrip("fF"))))
+        elif kind == "char":
+            decoded = _unescape(raw[1:-1], line, col)
+            tokens.append(CToken("char", raw, line, col, ord(decoded)))
+        elif kind == "string":
+            tokens.append(CToken("string", raw, line, col,
+                                 _unescape(raw[1:-1], line, col)))
+        elif kind == "ident":
+            if raw in KEYWORDS:
+                tokens.append(CToken("kw", raw, line, col, raw))
+            else:
+                tokens.append(CToken("ident", raw, line, col, raw))
+        else:
+            tokens.append(CToken("op", raw, line, col, raw))
+    tokens.append(CToken("eof", "", line, pos - line_start + 1))
+    return tokens

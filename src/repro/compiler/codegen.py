@@ -1,0 +1,488 @@
+"""IR -> RV32IMF assembly code generation.
+
+Calling convention (standard RISC-V ILP32): integer arguments in a0-a7,
+float arguments in fa0-fa7, return value in a0/fa0, ra holds the return
+address, sp is the stack pointer.  Scratch registers t0-t2 / ft0-ft2 are
+reserved for spill traffic and constant materialization; the allocator hands
+out the remaining t/s/ft/fs registers.
+
+``.loc <line>`` directives are emitted whenever the source line changes —
+the machine-readable version of the paper's C <-> assembly highlighting
+(Fig. 5), consumed by the assembler into per-instruction ``c_line`` links.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Optional, Tuple
+
+from repro.compiler.ir import GlobalData, IRFunction, IRInstr, IRUnit, Operand, Temp
+from repro.compiler.opt import count_uses
+from repro.compiler.regalloc import Allocation, allocate
+from repro.errors import CTypeError
+
+_INT_SCRATCH = ("t0", "t1")
+_ADDR_SCRATCH = "t2"
+_FP_SCRATCH = ("ft0", "ft1", "ft2")
+
+_BIN_INSTR = {
+    "add": "add", "sub": "sub", "mul": "mul", "div": "div", "divu": "divu",
+    "rem": "rem", "remu": "remu", "and": "and", "or": "or", "xor": "xor",
+    "sll": "sll", "srl": "srl", "sra": "sra",
+    "fadd": "fadd.s", "fsub": "fsub.s", "fmul": "fmul.s", "fdiv": "fdiv.s",
+}
+_IMM_FORM = {"add": "addi", "and": "andi", "or": "ori", "xor": "xori",
+             "sll": "slli", "srl": "srli", "sra": "srai"}
+
+#: branch mnemonic when the comparison is TRUE
+_CMP_BRANCH_TRUE = {
+    "eq": "beq", "ne": "bne", "lt": "blt", "le": "ble", "gt": "bgt",
+    "ge": "bge", "ltu": "bltu", "leu": "bleu", "gtu": "bgtu", "geu": "bgeu",
+}
+#: branch mnemonic when the comparison is FALSE
+_CMP_BRANCH_FALSE = {
+    "eq": "bne", "ne": "beq", "lt": "bge", "le": "bgt", "gt": "ble",
+    "ge": "blt", "ltu": "bgeu", "leu": "bgtu", "gtu": "bleu", "geu": "bltu",
+}
+
+_LOAD_INSTR = {(1, True): "lb", (1, False): "lbu", (2, True): "lh",
+               (2, False): "lhu", (4, True): "lw", (4, False): "lw"}
+_STORE_INSTR = {1: "sb", 2: "sh", 4: "sw"}
+
+
+def _float_bits(value: float) -> int:
+    return struct.unpack("<I", struct.pack("<f", value))[0]
+
+
+class CodeGen:
+    def __init__(self, unit: IRUnit, opt_level: int = 1):
+        self.unit = unit
+        self.opt_level = opt_level
+        self.lines: List[str] = []
+        self._last_loc = -1
+
+    # ------------------------------------------------------------------
+    def emit(self, text: str, indent: bool = True) -> None:
+        self.lines.append(("    " + text) if indent else text)
+
+    def loc(self, line: int) -> None:
+        if line > 0 and line != self._last_loc:
+            self.emit(f".loc 1 {line}")
+            self._last_loc = line
+
+    # ------------------------------------------------------------------
+    def generate(self) -> str:
+        self.emit(".text", indent=False)
+        for func in self.unit.functions:
+            self._function(func)
+        if self.unit.globals or self.unit.strings:
+            self.emit("", indent=False)
+            self.emit(".data", indent=False)
+            for g in self.unit.globals:
+                self._global(g)
+            for label, text in self.unit.strings.items():
+                self.emit(f"{label}:", indent=False)
+                escaped = text.replace("\\", "\\\\").replace('"', '\\"') \
+                    .replace("\n", "\\n").replace("\t", "\\t")
+                self.emit(f'.asciiz "{escaped}"')
+        return "\n".join(self.lines) + "\n"
+
+    def _global(self, g: GlobalData) -> None:
+        if g.extern:
+            return  # storage supplied by the Memory-settings window
+        if g.align > 1:
+            self.emit(f".align {max(2, g.align.bit_length() - 1)}")
+        self.emit(f"{g.name}:", indent=False)
+        if g.values is None:
+            self.emit(f".zero {g.size}")
+            return
+        for size, value, is_float in g.values:
+            if is_float:
+                self.emit(f".float {float(value)}")
+            elif size == 1:
+                self.emit(f".byte {int(value)}")
+            elif size == 2:
+                self.emit(f".hword {int(value)}")
+            else:
+                self.emit(f".word {int(value)}")
+
+    # ==================================================================
+    def _function(self, func: IRFunction) -> None:
+        self._last_loc = -1
+        alloc = allocate(func, enable_registers=self.opt_level >= 1)
+        self.alloc = alloc
+        self.func = func
+        self.uses = count_uses(func.body)
+
+        # ---------- frame layout ---------------------------------------
+        offset = 0
+        self.spill_offsets: Dict[int, int] = {}
+        for slot_index in sorted(set(alloc.spills.values())):
+            self.spill_offsets[slot_index] = offset
+            offset += 4
+        self.slot_offsets: Dict[str, int] = {}
+        for name, slot in func.slots.items():
+            align = max(4, slot.align)
+            offset = (offset + align - 1) // align * align
+            self.slot_offsets[name] = offset
+            offset += max(4, slot.size)
+        self.saved_regs: List[str] = list(alloc.used_callee_saved)
+        has_call = any(i.op == "call" for i in func.body)
+        save_list = self.saved_regs + (["ra"] if has_call else [])
+        self.reg_save_offsets: Dict[str, int] = {}
+        for reg in save_list:
+            self.reg_save_offsets[reg] = offset
+            offset += 4
+        frame = (offset + 15) // 16 * 16
+        self.frame = frame
+        self.epilogue_label = f".Lret_{func.name}"
+
+        # ---------- prologue --------------------------------------------
+        self.emit("", indent=False)
+        self.emit(f"{func.name}:", indent=False)
+        self.loc(func.line)
+        if frame:
+            self.emit(f"addi sp, sp, -{frame}")
+        for reg, off in self.reg_save_offsets.items():
+            op = "fsw" if reg.startswith("f") else "sw"
+            self.emit(f"{op} {reg}, {off}(sp)")
+        # move incoming arguments into their allocated homes
+        int_idx = fp_idx = 0
+        for ptemp in func.params:
+            if ptemp.is_float:
+                src = f"fa{fp_idx}"
+                fp_idx += 1
+            else:
+                src = f"a{int_idx}"
+                int_idx += 1
+            self._write_from_reg(ptemp, src)
+
+        # ---------- body --------------------------------------------------
+        body = func.body
+        skip_next = False
+        for idx, instr in enumerate(body):
+            if skip_next:
+                skip_next = False
+                continue
+            nxt = body[idx + 1] if idx + 1 < len(body) else None
+            if self._fuse_cmp_branch(instr, nxt):
+                skip_next = True
+                continue
+            self._instr(instr)
+
+        # ---------- epilogue ----------------------------------------------
+        self.emit(f"{self.epilogue_label}:", indent=False)
+        for reg, off in self.reg_save_offsets.items():
+            op = "flw" if reg.startswith("f") else "lw"
+            self.emit(f"{op} {reg}, {off}(sp)")
+        if frame:
+            self.emit(f"addi sp, sp, {frame}")
+        self.emit("ret")
+
+    # ==================================================================
+    # operand access helpers
+    # ==================================================================
+    def _read(self, x: Operand, scratch: str) -> str:
+        """Return a register holding the value of *x* (may use *scratch*)."""
+        if isinstance(x, bool):
+            x = int(x)
+        if isinstance(x, int):
+            if x == 0:
+                return "x0"
+            self.emit(f"li {scratch}, {x}")
+            return scratch
+        if isinstance(x, float):
+            bits = _float_bits(x)
+            int_scratch = "t0" if scratch.startswith("f") else scratch
+            if bits == 0:
+                self.emit(f"fmv.w.x {scratch}, x0")
+            else:
+                self.emit(f"li {int_scratch}, {bits}")
+                self.emit(f"fmv.w.x {scratch}, {int_scratch}")
+            return scratch
+        kind, where = self.alloc.location(x)
+        if kind == "reg":
+            return where
+        off = self.spill_offsets[where]
+        op = "flw" if x.is_float else "lw"
+        self.emit(f"{op} {scratch}, {off}(sp)")
+        return scratch
+
+    def _dst(self, dst: Temp) -> Tuple[str, bool]:
+        """(register to compute into, needs-store-to-spill-slot?)."""
+        kind, where = self.alloc.location(dst)
+        if kind == "reg":
+            return where, False
+        return ("ft2" if dst.is_float else "t1"), True
+
+    def _finish_dst(self, dst: Temp, reg: str, pending: bool) -> None:
+        if pending:
+            off = self.spill_offsets[self.alloc.spills[dst]]
+            op = "fsw" if dst.is_float else "sw"
+            self.emit(f"{op} {reg}, {off}(sp)")
+
+    def _write_from_reg(self, dst: Temp, src_reg: str) -> None:
+        kind, where = self.alloc.location(dst)
+        if kind == "reg":
+            if where != src_reg:
+                op = "fmv.s" if dst.is_float else "mv"
+                self.emit(f"{op} {where}, {src_reg}")
+        else:
+            off = self.spill_offsets[where]
+            op = "fsw" if dst.is_float else "sw"
+            self.emit(f"{op} {src_reg}, {off}(sp)")
+
+    # ==================================================================
+    # instruction lowering
+    # ==================================================================
+    def _fuse_cmp_branch(self, instr: IRInstr, nxt: Optional[IRInstr]) -> bool:
+        """Fuse ``cmp`` + ``bz/bnz`` into a single conditional branch."""
+        if self.opt_level < 1 or nxt is None:
+            return False
+        if instr.op != "cmp" or instr.sub_op.startswith("f"):
+            return False
+        if nxt.op not in ("bz", "bnz") or nxt.a != instr.dst:
+            return False
+        if self.uses.get(instr.dst, 0) != 1:
+            return False
+        self.loc(instr.line)
+        a = self._read(instr.a, _INT_SCRATCH[0])
+        b = self._read(instr.b, _INT_SCRATCH[1])
+        table = _CMP_BRANCH_TRUE if nxt.op == "bnz" else _CMP_BRANCH_FALSE
+        self.emit(f"{table[instr.sub_op]} {a}, {b}, {nxt.label}")
+        return True
+
+    def _instr(self, instr: IRInstr) -> None:
+        self.loc(instr.line)
+        op = instr.op
+        if op == "label":
+            self.emit(f"{instr.label}:", indent=False)
+            return
+        if op == "jmp":
+            self.emit(f"j {instr.label}")
+            return
+        if op in ("bz", "bnz"):
+            reg = self._read(instr.a, _INT_SCRATCH[0])
+            self.emit(f"{'beqz' if op == 'bz' else 'bnez'} {reg}, {instr.label}")
+            return
+        if op == "li":
+            dst, pending = self._dst(instr.dst)
+            if instr.dst.is_float:
+                bits = _float_bits(float(instr.a))
+                if bits == 0:
+                    self.emit(f"fmv.w.x {dst}, x0")
+                else:
+                    self.emit(f"li t0, {bits}")
+                    self.emit(f"fmv.w.x {dst}, t0")
+            else:
+                self.emit(f"li {dst}, {int(instr.a)}")
+            self._finish_dst(instr.dst, dst, pending)
+            return
+        if op == "mov":
+            src = self._read(instr.a, _FP_SCRATCH[0] if instr.dst.is_float
+                             else _INT_SCRATCH[0])
+            self._write_from_reg(instr.dst, src)
+            return
+        if op == "bin":
+            self._bin(instr)
+            return
+        if op == "cmp":
+            self._cmp(instr)
+            return
+        if op == "neg":
+            a = self._read(instr.a, _INT_SCRATCH[0])
+            dst, pending = self._dst(instr.dst)
+            self.emit(f"sub {dst}, x0, {a}")
+            self._finish_dst(instr.dst, dst, pending)
+            return
+        if op == "bnot":
+            a = self._read(instr.a, _INT_SCRATCH[0])
+            dst, pending = self._dst(instr.dst)
+            self.emit(f"xori {dst}, {a}, -1")
+            self._finish_dst(instr.dst, dst, pending)
+            return
+        if op == "fneg":
+            a = self._read(instr.a, _FP_SCRATCH[0])
+            dst, pending = self._dst(instr.dst)
+            self.emit(f"fneg.s {dst}, {a}")
+            self._finish_dst(instr.dst, dst, pending)
+            return
+        if op == "cvt":
+            self._cvt(instr)
+            return
+        if op == "la":
+            dst, pending = self._dst(instr.dst)
+            self.emit(f"la {dst}, {instr.symbol}")
+            self._finish_dst(instr.dst, dst, pending)
+            return
+        if op == "laddr":
+            dst, pending = self._dst(instr.dst)
+            self.emit(f"addi {dst}, sp, {self.slot_offsets[instr.symbol]}")
+            self._finish_dst(instr.dst, dst, pending)
+            return
+        if op == "load":
+            self._load(instr)
+            return
+        if op == "store":
+            self._store(instr)
+            return
+        if op == "call":
+            self._call(instr)
+            return
+        if op == "ret":
+            if instr.a is not None:
+                if self.func.returns_float:
+                    reg = self._read(instr.a, _FP_SCRATCH[0])
+                    if reg != "fa0":
+                        self.emit(f"fmv.s fa0, {reg}")
+                else:
+                    reg = self._read(instr.a, _INT_SCRATCH[0])
+                    if reg != "a0":
+                        self.emit(f"mv a0, {reg}")
+            self.emit(f"j {self.epilogue_label}")
+            return
+        raise CTypeError(f"codegen: unhandled IR op '{op}'", instr.line)
+
+    # ------------------------------------------------------------------
+    def _bin(self, instr: IRInstr) -> None:
+        sub = instr.sub_op
+        is_float = sub.startswith("f")
+        if is_float:
+            a = self._read(instr.a, _FP_SCRATCH[0])
+            b = self._read(instr.b, _FP_SCRATCH[1])
+            dst, pending = self._dst(instr.dst)
+            self.emit(f"{_BIN_INSTR[sub]} {dst}, {a}, {b}")
+            self._finish_dst(instr.dst, dst, pending)
+            return
+        # immediate forms where the ISA has them
+        if isinstance(instr.b, int) and sub in _IMM_FORM:
+            imm = instr.b
+            in_range = (0 <= imm <= 31) if sub in ("sll", "srl", "sra") \
+                else (-2048 <= imm <= 2047)
+            if in_range:
+                a = self._read(instr.a, _INT_SCRATCH[0])
+                dst, pending = self._dst(instr.dst)
+                self.emit(f"{_IMM_FORM[sub]} {dst}, {a}, {imm}")
+                self._finish_dst(instr.dst, dst, pending)
+                return
+        if isinstance(instr.a, int) and sub == "sub" \
+                and -2048 <= -instr.a <= 2047 and instr.a == 0:
+            pass  # handled by generic path (sub from x0)
+        a = self._read(instr.a, _INT_SCRATCH[0])
+        b = self._read(instr.b, _INT_SCRATCH[1])
+        dst, pending = self._dst(instr.dst)
+        self.emit(f"{_BIN_INSTR[sub]} {dst}, {a}, {b}")
+        self._finish_dst(instr.dst, dst, pending)
+
+    def _cmp(self, instr: IRInstr) -> None:
+        sub = instr.sub_op
+        if sub.startswith("f"):
+            a = self._read(instr.a, _FP_SCRATCH[0])
+            b = self._read(instr.b, _FP_SCRATCH[1])
+            dst, pending = self._dst(instr.dst)
+            mnem = {"feq": "feq.s", "flt": "flt.s", "fle": "fle.s"}[sub]
+            self.emit(f"{mnem} {dst}, {a}, {b}")
+            self._finish_dst(instr.dst, dst, pending)
+            return
+        a = self._read(instr.a, _INT_SCRATCH[0])
+        dst, pending = self._dst(instr.dst)
+        # special-case comparison against zero (seqz/snez idioms)
+        if isinstance(instr.b, int) and instr.b == 0 and sub in ("eq", "ne"):
+            self.emit(f"{'seqz' if sub == 'eq' else 'snez'} {dst}, {a}")
+            self._finish_dst(instr.dst, dst, pending)
+            return
+        b = self._read(instr.b, _INT_SCRATCH[1])
+        slt = "sltu" if sub in ("ltu", "leu", "gtu", "geu") else "slt"
+        if sub in ("lt", "ltu"):
+            self.emit(f"{slt} {dst}, {a}, {b}")
+        elif sub in ("gt", "gtu"):
+            self.emit(f"{slt} {dst}, {b}, {a}")
+        elif sub in ("ge", "geu"):
+            self.emit(f"{slt} {dst}, {a}, {b}")
+            self.emit(f"xori {dst}, {dst}, 1")
+        elif sub in ("le", "leu"):
+            self.emit(f"{slt} {dst}, {b}, {a}")
+            self.emit(f"xori {dst}, {dst}, 1")
+        elif sub == "eq":
+            self.emit(f"xor {dst}, {a}, {b}")
+            self.emit(f"seqz {dst}, {dst}")
+        else:  # ne
+            self.emit(f"xor {dst}, {a}, {b}")
+            self.emit(f"snez {dst}, {dst}")
+        self._finish_dst(instr.dst, dst, pending)
+
+    def _cvt(self, instr: IRInstr) -> None:
+        sub = instr.sub_op
+        if sub in ("i2f", "u2f"):
+            a = self._read(instr.a, _INT_SCRATCH[0])
+            dst, pending = self._dst(instr.dst)
+            mnem = "fcvt.s.w" if sub == "i2f" else "fcvt.s.wu"
+            self.emit(f"{mnem} {dst}, {a}")
+        else:
+            a = self._read(instr.a, _FP_SCRATCH[0])
+            dst, pending = self._dst(instr.dst)
+            mnem = "fcvt.w.s" if sub == "f2i" else "fcvt.wu.s"
+            self.emit(f"{mnem} {dst}, {a}")
+        self._finish_dst(instr.dst, dst, pending)
+
+    def _load(self, instr: IRInstr) -> None:
+        addr = self._read(instr.a, _ADDR_SCRATCH)
+        offset = int(instr.b or 0)
+        if not -2048 <= offset <= 2047:
+            self.emit(f"li t0, {offset}")
+            self.emit(f"add {_ADDR_SCRATCH}, {addr}, t0")
+            addr, offset = _ADDR_SCRATCH, 0
+        dst, pending = self._dst(instr.dst)
+        if instr.dst.is_float:
+            self.emit(f"flw {dst}, {offset}({addr})")
+        else:
+            mnem = _LOAD_INSTR[(instr.size, instr.signed)]
+            self.emit(f"{mnem} {dst}, {offset}({addr})")
+        self._finish_dst(instr.dst, dst, pending)
+
+    def _store(self, instr: IRInstr) -> None:
+        is_float = isinstance(instr.a, Temp) and instr.a.is_float \
+            or isinstance(instr.a, float)
+        value = self._read(instr.a,
+                           _FP_SCRATCH[0] if is_float else _INT_SCRATCH[0])
+        if instr.b is None:  # store into a named slot (parameter homing)
+            offset = self.slot_offsets[instr.symbol]
+            addr = "sp"
+        else:
+            addr = self._read(instr.b, _ADDR_SCRATCH)
+            offset = int(instr.c or 0)
+            if not -2048 <= offset <= 2047:
+                self.emit(f"li t1, {offset}")
+                self.emit(f"add {_ADDR_SCRATCH}, {addr}, t1")
+                addr, offset = _ADDR_SCRATCH, 0
+        if is_float:
+            self.emit(f"fsw {value}, {offset}({addr})")
+        else:
+            self.emit(f"{_STORE_INSTR[instr.size]} {value}, {offset}({addr})")
+
+    def _call(self, instr: IRInstr) -> None:
+        int_idx = fp_idx = 0
+        for arg in instr.args:
+            is_float = isinstance(arg, Temp) and arg.is_float \
+                or isinstance(arg, float)
+            if is_float:
+                target = f"fa{fp_idx}"
+                fp_idx += 1
+                reg = self._read(arg, target)
+                if reg != target:
+                    self.emit(f"fmv.s {target}, {reg}")
+            else:
+                target = f"a{int_idx}"
+                int_idx += 1
+                reg = self._read(arg, target)
+                if reg != target:
+                    self.emit(f"mv {target}, {reg}")
+        self.emit(f"call {instr.symbol}")
+        if instr.dst is not None:
+            self._write_from_reg(instr.dst,
+                                 "fa0" if instr.dst.is_float else "a0")
+
+
+def generate(unit: IRUnit, opt_level: int = 1) -> str:
+    """Emit assembly for an (optimized) IR unit."""
+    return CodeGen(unit, opt_level).generate()

@@ -1,0 +1,93 @@
+"""Compiler driver: C source -> RV32IMF assembly.
+
+The web client packages C source and POSTs it to the server; the server
+runs the compiler and returns the assembly together with any errors and the
+C <-> assembly line map (Sec. III-C).  This module is that pipeline:
+parse -> type-check -> lower -> optimize -> codegen (-> filter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.asm.filter import filter_assembly
+from repro.compiler.codegen import generate
+from repro.compiler.cparser import parse_c
+from repro.compiler.irgen import lower
+from repro.compiler.opt import optimize
+from repro.compiler.sema import check
+from repro.errors import CSyntaxError, CTypeError, SourceError
+
+
+@dataclass
+class CompileResult:
+    """Outcome of one compilation."""
+
+    success: bool
+    assembly: str = ""
+    #: structured editor diagnostics (Fig. 6): message / line / column
+    errors: List[dict] = field(default_factory=list)
+    #: asm line number (1-based) -> C line number, from .loc directives
+    line_map: Dict[int, int] = field(default_factory=dict)
+    opt_level: int = 0
+
+    def to_json(self) -> dict:
+        return {
+            "success": self.success,
+            "assembly": self.assembly,
+            "errors": self.errors,
+            "lineMap": {str(k): v for k, v in self.line_map.items()},
+            "optLevel": self.opt_level,
+        }
+
+
+def _build_line_map(assembly: str) -> Dict[int, int]:
+    """Associate each assembly line with the most recent ``.loc`` C line."""
+    mapping: Dict[int, int] = {}
+    current = 0
+    for number, line in enumerate(assembly.split("\n"), start=1):
+        stripped = line.strip()
+        if stripped.startswith(".loc"):
+            parts = stripped.split()
+            if len(parts) >= 3 and parts[2].isdigit():
+                current = int(parts[2])
+            continue
+        if current and stripped and not stripped.endswith(":") \
+                and not stripped.startswith("."):
+            mapping[number] = current
+    return mapping
+
+
+def compile_c(source: str, opt_level: int = 1,
+              run_filter: bool = False) -> CompileResult:
+    """Compile a C translation unit to RISC-V assembly.
+
+    Parameters
+    ----------
+    opt_level:
+        0-3, matching the GUI's four optimization levels.
+    run_filter:
+        Apply the assembler-output cleanup filter (Sec. III-C) to the
+        emitted code.  Off by default so ``.loc`` links are preserved
+        unmodified for the editor; the filter keeps ``.loc`` anyway.
+    """
+    if not 0 <= opt_level <= 3:
+        raise ValueError(f"optimization level must be 0..3, got {opt_level}")
+    try:
+        unit = parse_c(source)
+        check(unit)
+        ir = lower(unit, opt_level)
+        ir = optimize(ir, opt_level)
+        assembly = generate(ir, opt_level)
+    except (CSyntaxError, CTypeError) as exc:
+        return CompileResult(success=False, errors=[exc.to_json()],
+                             opt_level=opt_level)
+    if run_filter:
+        assembly = filter_assembly(assembly)
+    return CompileResult(
+        success=True,
+        assembly=assembly,
+        line_map=_build_line_map(assembly),
+        opt_level=opt_level,
+    )

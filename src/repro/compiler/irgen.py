@@ -1,0 +1,823 @@
+"""AST -> IR lowering.
+
+Locals whose address is never taken (and that are not arrays) live in
+temporaries; arrays and address-taken locals get stack slots.  At O0 *all*
+named variables are stack-resident, reproducing the naive code shape users
+expect from an unoptimized compile.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.compiler import cast
+from repro.compiler.cast import (
+    Assign, Binary, Block, Break, CType, Call, Cast, Conditional, Continue,
+    Expr, ExprStmt, FloatLit, For, Function, GlobalVar, Ident, If, Index,
+    IntLit, Return, SizeOf, Stmt, StrLit, TranslationUnit, Unary, VarDecl,
+    While, INT, FLOAT, UNSIGNED,
+)
+from repro.compiler.ir import (
+    GlobalData, IRFunction, IRInstr, IRUnit, Operand, StackSlot, Temp,
+    fresh_label,
+)
+from repro.errors import CTypeError
+
+_ASSIGN_BINOP = {
+    "+=": "+", "-=": "-", "*=": "*", "/=": "/", "%=": "%",
+    "<<=": "<<", ">>=": ">>", "&=": "&", "|=": "|", "^=": "^",
+}
+
+_CMP_MAP = {"==": "eq", "!=": "ne", "<": "lt", "<=": "le",
+            ">": "gt", ">=": "ge"}
+_CMP_UNSIGNED = {"lt": "ltu", "le": "leu", "gt": "gtu", "ge": "geu",
+                 "eq": "eq", "ne": "ne"}
+_CMP_FLOAT = {"eq": "feq", "lt": "flt", "le": "fle"}
+
+
+def _const_value(expr: Expr) -> Optional[Union[int, float]]:
+    """Evaluate a constant initializer expression (globals)."""
+    if isinstance(expr, IntLit):
+        return expr.value
+    if isinstance(expr, FloatLit):
+        return expr.value
+    if isinstance(expr, Unary) and expr.op == "-":
+        inner = _const_value(expr.operand)
+        return None if inner is None else -inner
+    if isinstance(expr, Cast):
+        inner = _const_value(expr.operand)
+        if inner is None:
+            return None
+        return float(inner) if expr.target.is_float else int(inner)
+    return None
+
+
+class _LValue:
+    """Either a register-resident local (temp) or a memory location."""
+
+    __slots__ = ("kind", "temp", "addr", "offset", "size", "signed", "is_float")
+
+    def __init__(self, kind: str, temp: Optional[Temp] = None,
+                 addr: Optional[Temp] = None, offset: int = 0,
+                 size: int = 4, signed: bool = True, is_float: bool = False):
+        self.kind = kind          # 'temp' | 'mem'
+        self.temp = temp
+        self.addr = addr
+        self.offset = offset
+        self.size = size
+        self.signed = signed
+        self.is_float = is_float
+
+
+class IRGen:
+    def __init__(self, unit: TranslationUnit, opt_level: int = 1):
+        self.unit = unit
+        self.opt_level = opt_level
+        self.ir = IRUnit()
+        self._string_labels: Dict[str, str] = {}
+
+    # ==================================================================
+    def generate(self) -> IRUnit:
+        for g in self.unit.globals:
+            self.ir.globals.append(self._global(g))
+        for f in self.unit.functions:
+            if f.body is not None:
+                self.ir.functions.append(self._function(f))
+        return self.ir
+
+    # ------------------------------------------------------------------
+    def _global(self, g: GlobalVar) -> GlobalData:
+        ctype = g.ctype
+        if g.extern:
+            return GlobalData(g.name, ctype.size, max(4, ctype.element().size
+                              if ctype.is_array else ctype.size),
+                              values=None, extern=True)
+        align = 4 if not ctype.is_array else max(4, ctype.element().size)
+        if ctype.is_array:
+            elem = ctype.element()
+            values: Optional[List] = None
+            if g.init_list is not None:
+                values = []
+                for item in g.init_list:
+                    value = _const_value(item)
+                    if value is None:
+                        raise CTypeError(
+                            f"initializer of '{g.name}' is not constant",
+                            g.line)
+                    values.append((elem.size, value, elem.is_float))
+                # zero-fill the tail
+                for _ in range(ctype.array - len(g.init_list)):
+                    values.append((elem.size, 0.0 if elem.is_float else 0,
+                                   elem.is_float))
+            return GlobalData(g.name, ctype.size, align, values,
+                              elem.is_float)
+        value = 0
+        if g.init is not None:
+            const = _const_value(g.init)
+            if const is None:
+                raise CTypeError(
+                    f"initializer of '{g.name}' is not constant", g.line)
+            value = const
+        if ctype.is_float:
+            return GlobalData(g.name, 4, 4, [(4, float(value), True)], True)
+        return GlobalData(g.name, ctype.size, align,
+                          [(ctype.size, int(value), False)])
+
+    # ==================================================================
+    def _function(self, func: Function) -> IRFunction:
+        self.func = func
+        self.out = IRFunction(name=func.name, line=func.line,
+                              returns_float=func.return_type.is_float,
+                              returns_void=(func.return_type.base == "void"
+                                            and func.return_type.pointer == 0))
+        self.env: Dict[str, Union[Temp, str]] = {}  # unique name -> temp | slot
+        self.types: Dict[str, CType] = {}
+        self.line = func.line
+        self._loop_stack: List[Tuple[str, str]] = []  # (break, continue)
+
+        stack_resident = self._stack_resident_names(func)
+
+        # parameters arrive in argument registers; copy into temps/slots
+        for p in func.params:
+            self.types[p.name] = p.ctype
+            ptemp = self.out.new_temp(p.ctype.decay().is_float)
+            self.out.params.append(ptemp)
+            self.out.param_names.append(p.name)
+            if p.name in stack_resident:
+                slot = StackSlot(p.name, max(4, p.ctype.decay().size), 4,
+                                 p.ctype.decay().is_float)
+                self.out.slots[p.name] = slot
+                self.env[p.name] = p.name
+                self._emit("store", a=ptemp, b=None, symbol=p.name,
+                           size=p.ctype.decay().size)
+            else:
+                self.env[p.name] = ptemp
+
+        self._stack_resident = stack_resident
+        self._stmt(func.body)
+        # implicit return (for void functions falling off the end)
+        self._emit("ret", a=None)
+        return self.out
+
+    # ------------------------------------------------------------------
+    def _stack_resident_names(self, func: Function) -> set:
+        """Locals that must live in memory: arrays, address-taken, or all at O0."""
+        names = set()
+        taken = set()
+
+        def walk_expr(expr: Optional[Expr]) -> None:
+            if expr is None:
+                return
+            if isinstance(expr, Unary):
+                if expr.op == "&" and isinstance(expr.operand, Ident):
+                    kind, unique = getattr(expr.operand, "binding",
+                                           ("", expr.operand.name))
+                    if kind in ("local", "param"):
+                        taken.add(unique)
+                walk_expr(expr.operand)
+            elif isinstance(expr, Binary):
+                walk_expr(expr.left)
+                walk_expr(expr.right)
+            elif isinstance(expr, Assign):
+                walk_expr(expr.target)
+                walk_expr(expr.value)
+            elif isinstance(expr, Conditional):
+                walk_expr(expr.cond)
+                walk_expr(expr.then)
+                walk_expr(expr.otherwise)
+            elif isinstance(expr, Call):
+                for arg in expr.args:
+                    walk_expr(arg)
+            elif isinstance(expr, Index):
+                walk_expr(expr.base)
+                walk_expr(expr.index)
+            elif isinstance(expr, Cast):
+                walk_expr(expr.operand)
+            elif isinstance(expr, SizeOf):
+                walk_expr(getattr(expr, "operand_expr", None))
+
+        def walk_stmt(stmt: Optional[Stmt]) -> None:
+            if stmt is None:
+                return
+            if isinstance(stmt, Block):
+                for s in stmt.body:
+                    walk_stmt(s)
+            elif isinstance(stmt, VarDecl):
+                unique = getattr(stmt, "unique_name", stmt.name)
+                if stmt.ctype.is_array or self.opt_level == 0:
+                    names.add(unique)
+                walk_expr(stmt.init)
+                for item in stmt.init_list or []:
+                    walk_expr(item)
+            elif isinstance(stmt, ExprStmt):
+                walk_expr(stmt.expr)
+            elif isinstance(stmt, If):
+                walk_expr(stmt.cond)
+                walk_stmt(stmt.then)
+                walk_stmt(stmt.otherwise)
+            elif isinstance(stmt, While):
+                walk_expr(stmt.cond)
+                walk_stmt(stmt.body)
+            elif isinstance(stmt, For):
+                walk_stmt(stmt.init)
+                walk_expr(stmt.cond)
+                walk_expr(stmt.post)
+                walk_stmt(stmt.body)
+            elif isinstance(stmt, Return):
+                walk_expr(stmt.value)
+
+        walk_stmt(func.body)
+        if self.opt_level == 0:
+            for p in func.params:
+                names.add(p.name)
+        names |= taken
+        return names
+
+    # ------------------------------------------------------------------
+    def _emit(self, op: str, **kw) -> IRInstr:
+        instr = IRInstr(op=op, line=self.line, **kw)
+        self.out.body.append(instr)
+        return instr
+
+    def _label(self, name: str) -> None:
+        self.out.body.append(IRInstr(op="label", label=name, line=self.line))
+
+    # ==================================================================
+    # statements
+    # ==================================================================
+    def _stmt(self, stmt: Stmt) -> None:
+        self.line = stmt.line or self.line
+        if isinstance(stmt, Block):
+            for s in stmt.body:
+                self._stmt(s)
+        elif isinstance(stmt, VarDecl):
+            self._var_decl(stmt)
+        elif isinstance(stmt, ExprStmt):
+            if stmt.expr is not None:
+                self._value(stmt.expr)
+        elif isinstance(stmt, If):
+            self._if(stmt)
+        elif isinstance(stmt, While):
+            self._while(stmt)
+        elif isinstance(stmt, For):
+            self._for(stmt)
+        elif isinstance(stmt, Return):
+            if stmt.value is None:
+                self._emit("ret", a=None)
+            else:
+                value = self._value(stmt.value)
+                value = self._coerce(value, stmt.value.ctype,
+                                     self.func.return_type)
+                self._emit("ret", a=value)
+        elif isinstance(stmt, Break):
+            self._emit("jmp", label=self._loop_stack[-1][0])
+        elif isinstance(stmt, Continue):
+            self._emit("jmp", label=self._loop_stack[-1][1])
+
+    def _var_decl(self, stmt: VarDecl) -> None:
+        unique = getattr(stmt, "unique_name", stmt.name)
+        self.types[unique] = stmt.ctype
+        if unique in self._stack_resident:
+            size = stmt.ctype.size if stmt.ctype.size else 4
+            align = max(4, stmt.ctype.element().size) if stmt.ctype.is_array else 4
+            self.out.slots[unique] = StackSlot(unique, max(4, size), align,
+                                               stmt.ctype.decay().is_float)
+            self.env[unique] = unique
+            if stmt.init is not None:
+                value = self._value(stmt.init)
+                value = self._coerce(value, stmt.init.ctype, stmt.ctype)
+                addr = self.out.new_temp()
+                self._emit("laddr", dst=addr, symbol=unique)
+                self._emit("store", a=value, b=addr, c=0,
+                           size=stmt.ctype.size)
+            elif stmt.init_list is not None:
+                elem = stmt.ctype.element()
+                addr = self.out.new_temp()
+                self._emit("laddr", dst=addr, symbol=unique)
+                for i, item in enumerate(stmt.init_list):
+                    value = self._value(item)
+                    value = self._coerce(value, item.ctype, elem)
+                    self._emit("store", a=value, b=addr, c=i * elem.size,
+                               size=elem.size)
+        else:
+            temp = self.out.new_temp(stmt.ctype.decay().is_float)
+            self.env[unique] = temp
+            if stmt.init is not None:
+                value = self._value(stmt.init)
+                value = self._coerce(value, stmt.init.ctype, stmt.ctype)
+                self._emit("mov", dst=temp, a=value)
+            else:
+                self._emit("li", dst=temp,
+                           a=0.0 if temp.is_float else 0)
+
+    def _if(self, stmt: If) -> None:
+        else_label = fresh_label("else")
+        end_label = fresh_label("endif")
+        self._cond_jump(stmt.cond, invert=True,
+                        target=else_label if stmt.otherwise else end_label)
+        self._stmt(stmt.then)
+        if stmt.otherwise is not None:
+            self._emit("jmp", label=end_label)
+            self._label(else_label)
+            self._stmt(stmt.otherwise)
+        self._label(end_label)
+
+    def _while(self, stmt: While) -> None:
+        head = fresh_label("while")
+        end = fresh_label("endwhile")
+        body = fresh_label("whilebody")
+        self._loop_stack.append((end, head))
+        if stmt.do_while:
+            self._label(body)
+            self._stmt(stmt.body)
+            self._label(head)
+            self._cond_jump(stmt.cond, invert=False, target=body)
+        else:
+            self._label(head)
+            self._cond_jump(stmt.cond, invert=True, target=end)
+            self._stmt(stmt.body)
+            self._emit("jmp", label=head)
+        self._label(end)
+        self._loop_stack.pop()
+
+    def _for(self, stmt: For) -> None:
+        head = fresh_label("for")
+        cont = fresh_label("forpost")
+        end = fresh_label("endfor")
+        if stmt.init is not None:
+            self._stmt(stmt.init)
+        self._loop_stack.append((end, cont))
+        self._label(head)
+        if stmt.cond is not None:
+            self._cond_jump(stmt.cond, invert=True, target=end)
+        self._stmt(stmt.body)
+        self._label(cont)
+        if stmt.post is not None:
+            self._value(stmt.post)
+        self._emit("jmp", label=head)
+        self._label(end)
+        self._loop_stack.pop()
+
+    # ------------------------------------------------------------------
+    def _cond_jump(self, expr: Expr, invert: bool, target: str) -> None:
+        """Branch to *target* when expr is false (invert) / true."""
+        self.line = expr.line or self.line
+        if isinstance(expr, Unary) and expr.op == "!":
+            self._cond_jump(expr.operand, not invert, target)
+            return
+        if isinstance(expr, Binary) and expr.op == "&&":
+            if invert:
+                self._cond_jump(expr.left, True, target)
+                self._cond_jump(expr.right, True, target)
+            else:
+                skip = fresh_label("and")
+                self._cond_jump(expr.left, True, skip)
+                self._cond_jump(expr.right, False, target)
+                self._label(skip)
+            return
+        if isinstance(expr, Binary) and expr.op == "||":
+            if invert:
+                skip = fresh_label("or")
+                self._cond_jump(expr.left, False, skip)
+                self._cond_jump(expr.right, True, target)
+                self._label(skip)
+            else:
+                self._cond_jump(expr.left, False, target)
+                self._cond_jump(expr.right, False, target)
+            return
+        value = self._value(expr)
+        value = self._to_int_cond(value, expr.ctype)
+        self._emit("bz" if invert else "bnz", a=value, label=target)
+
+    def _to_int_cond(self, value: Operand, ctype: Optional[CType]) -> Operand:
+        """Floats compare against 0.0 to form an int condition."""
+        if ctype is not None and ctype.decay().is_float:
+            zero = self.out.new_temp(True)
+            self._emit("li", dst=zero, a=0.0)
+            cond = self.out.new_temp()
+            self._emit("cmp", sub_op="feq", dst=cond, a=value, b=zero)
+            inv = self.out.new_temp()
+            self._emit("cmp", sub_op="eq", dst=inv, a=cond, b=0)
+            return inv
+        return value
+
+    # ==================================================================
+    # expressions
+    # ==================================================================
+    def _value(self, expr: Expr) -> Operand:
+        self.line = expr.line or self.line
+        if isinstance(expr, IntLit):
+            return expr.value
+        if isinstance(expr, FloatLit):
+            return expr.value
+        if isinstance(expr, StrLit):
+            label = self._string_labels.get(expr.value)
+            if label is None:
+                label = fresh_label("LC")
+                self._string_labels[expr.value] = label
+                self.ir.strings[label] = expr.value
+            dst = self.out.new_temp()
+            self._emit("la", dst=dst, symbol=label)
+            return dst
+        if isinstance(expr, Ident):
+            return self._ident_value(expr)
+        if isinstance(expr, Call):
+            return self._call(expr)
+        if isinstance(expr, Assign):
+            return self._assign(expr)
+        if isinstance(expr, Binary):
+            return self._binary(expr)
+        if isinstance(expr, Unary):
+            return self._unary(expr)
+        if isinstance(expr, Conditional):
+            return self._conditional(expr)
+        if isinstance(expr, Index):
+            lv = self._index_lvalue(expr)
+            return self._load_lvalue(lv)
+        if isinstance(expr, Cast):
+            value = self._value(expr.operand)
+            return self._coerce(value, expr.operand.ctype, expr.target)
+        if isinstance(expr, SizeOf):
+            return expr.target.size
+        raise CTypeError(f"cannot lower {type(expr).__name__}", expr.line)
+
+    def _ident_value(self, expr: Ident) -> Operand:
+        kind, unique = expr.binding
+        if kind == "global":
+            gtype = expr.ctype
+            addr = self.out.new_temp()
+            self._emit("la", dst=addr, symbol=unique)
+            if gtype.is_array:
+                return addr  # decays to a pointer
+            dst = self.out.new_temp(gtype.is_float)
+            self._emit("load", dst=dst, a=addr, b=0, size=gtype.size,
+                       signed=gtype.load_signed)
+            return dst
+        binding = self.env[unique]
+        if isinstance(binding, Temp):
+            return binding
+        # stack-resident local / param
+        ltype = self.types[unique]
+        addr = self.out.new_temp()
+        self._emit("laddr", dst=addr, symbol=binding)
+        if ltype.is_array:
+            return addr
+        dst = self.out.new_temp(ltype.decay().is_float)
+        self._emit("load", dst=dst, a=addr, b=0, size=ltype.decay().size,
+                   signed=ltype.load_signed)
+        return dst
+
+    # ------------------------------------------------------------------
+    def _lvalue(self, expr: Expr) -> _LValue:
+        if isinstance(expr, Ident):
+            kind, unique = expr.binding
+            ctype = expr.ctype
+            if kind == "global":
+                addr = self.out.new_temp()
+                self._emit("la", dst=addr, symbol=unique)
+                return _LValue("mem", addr=addr, size=ctype.size,
+                               signed=ctype.load_signed,
+                               is_float=ctype.is_float)
+            binding = self.env[unique]
+            if isinstance(binding, Temp):
+                return _LValue("temp", temp=binding,
+                               is_float=binding.is_float)
+            addr = self.out.new_temp()
+            self._emit("laddr", dst=addr, symbol=binding)
+            dtype = ctype.decay()
+            return _LValue("mem", addr=addr, size=dtype.size,
+                           signed=ctype.load_signed, is_float=dtype.is_float)
+        if isinstance(expr, Index):
+            return self._index_lvalue(expr)
+        if isinstance(expr, Unary) and expr.op == "*":
+            addr = self._value(expr.operand)
+            addr = self._materialize(addr, False)
+            elem = expr.ctype
+            return _LValue("mem", addr=addr, size=elem.size,
+                           signed=elem.load_signed, is_float=elem.is_float)
+        raise CTypeError("expression is not an lvalue", expr.line)
+
+    def _index_lvalue(self, expr: Index) -> _LValue:
+        base = self._value(expr.base)
+        base = self._materialize(base, False)
+        elem = expr.ctype
+        index = self._value(expr.index)
+        if isinstance(index, int):
+            addr = base
+            offset = index * elem.size
+            return _LValue("mem", addr=addr, offset=offset, size=elem.size,
+                           signed=elem.load_signed, is_float=elem.is_float)
+        scaled = self.out.new_temp()
+        self._emit("bin", sub_op="mul", dst=scaled, a=index, b=elem.size)
+        addr = self.out.new_temp()
+        self._emit("bin", sub_op="add", dst=addr, a=base, b=scaled)
+        return _LValue("mem", addr=addr, size=elem.size,
+                       signed=elem.load_signed, is_float=elem.is_float)
+
+    def _load_lvalue(self, lv: _LValue) -> Operand:
+        if lv.kind == "temp":
+            return lv.temp
+        dst = self.out.new_temp(lv.is_float)
+        self._emit("load", dst=dst, a=lv.addr, b=lv.offset, size=lv.size,
+                   signed=lv.signed)
+        return dst
+
+    def _store_lvalue(self, lv: _LValue, value: Operand) -> None:
+        if lv.kind == "temp":
+            self._emit("mov", dst=lv.temp, a=value)
+        else:
+            value = self._materialize(value, lv.is_float)
+            self._emit("store", a=value, b=lv.addr, c=lv.offset, size=lv.size)
+
+    # ------------------------------------------------------------------
+    def _assign(self, expr: Assign) -> Operand:
+        lv = self._lvalue(expr.target)
+        if expr.op == "=":
+            value = self._value(expr.value)
+            value = self._coerce(value, expr.value.ctype, expr.target.ctype)
+            self._store_lvalue(lv, value)
+            return value if lv.kind == "mem" else lv.temp
+        # compound assignment: load, combine, store
+        binop = _ASSIGN_BINOP[expr.op]
+        current = self._load_lvalue(lv)
+        synthetic = Binary(line=expr.line, op=binop, left=expr.target,
+                           right=expr.value)
+        synthetic.ctype = expr.target.ctype
+        result = self._binary_values(
+            binop, current, expr.target.ctype,
+            self._value(expr.value), expr.value.ctype, expr.line)
+        result = self._coerce(result, self._binary_type(
+            binop, expr.target.ctype, expr.value.ctype), expr.target.ctype)
+        self._store_lvalue(lv, result)
+        return result
+
+    # ------------------------------------------------------------------
+    def _binary_type(self, op: str, lt: CType, rt: CType) -> CType:
+        lt, rt = lt.decay(), rt.decay()
+        if op in ("==", "!=", "<", "<=", ">", ">=", "&&", "||"):
+            return INT
+        if lt.is_float or rt.is_float:
+            return FLOAT
+        if lt.is_pointer:
+            return lt
+        if rt.is_pointer:
+            return rt
+        if lt.is_unsigned or rt.is_unsigned:
+            return UNSIGNED
+        return INT
+
+    def _binary(self, expr: Binary) -> Operand:
+        if expr.op == ",":
+            self._value(expr.left)
+            return self._value(expr.right)
+        if expr.op in ("&&", "||"):
+            # value context: produce 0/1 via control flow
+            result = self.out.new_temp()
+            false_l = fresh_label("sc0")
+            end_l = fresh_label("scend")
+            self._cond_jump(expr, invert=True, target=false_l)
+            self._emit("li", dst=result, a=1)
+            self._emit("jmp", label=end_l)
+            self._label(false_l)
+            self._emit("li", dst=result, a=0)
+            self._label(end_l)
+            return result
+        left = self._value(expr.left)
+        right = self._value(expr.right)
+        return self._binary_values(expr.op, left, expr.left.ctype,
+                                   right, expr.right.ctype, expr.line)
+
+    def _binary_values(self, op: str, left: Operand, lt: CType,
+                       right: Operand, rt: CType, line: int) -> Operand:
+        ltd, rtd = lt.decay(), rt.decay()
+        # pointer arithmetic: scale the integer side by the element size
+        if op in ("+", "-") and (ltd.is_pointer or rtd.is_pointer):
+            if ltd.is_pointer and rtd.is_pointer:  # pointer difference
+                diff = self.out.new_temp()
+                self._emit("bin", sub_op="sub", dst=diff, a=left, b=right)
+                out = self.out.new_temp()
+                self._emit("bin", sub_op="div", dst=out, a=diff,
+                           b=ltd.element().size)
+                return out
+            if rtd.is_pointer:  # int + ptr
+                left, right = right, left
+                ltd, rtd = rtd, ltd
+            elem_size = ltd.element().size
+            if elem_size != 1:
+                if isinstance(right, int):
+                    right = right * elem_size
+                else:
+                    scaled = self.out.new_temp()
+                    self._emit("bin", sub_op="mul", dst=scaled, a=right,
+                               b=elem_size)
+                    right = scaled
+            out = self.out.new_temp()
+            self._emit("bin", sub_op="add" if op == "+" else "sub",
+                       dst=out, a=left, b=right)
+            return out
+
+        common = self._binary_type(op, lt, rt)
+        if op in _CMP_MAP:
+            cmp_common = FLOAT if (ltd.is_float or rtd.is_float) else (
+                UNSIGNED if (ltd.is_unsigned or rtd.is_unsigned) else INT)
+            left = self._coerce(left, lt, cmp_common)
+            right = self._coerce(right, rt, cmp_common)
+            sub = _CMP_MAP[op]
+            if cmp_common.is_float:
+                dst = self.out.new_temp()
+                if sub in ("eq", "lt", "le"):
+                    self._emit("cmp", sub_op=_CMP_FLOAT[sub], dst=dst,
+                               a=left, b=right)
+                elif sub == "ne":
+                    tmp = self.out.new_temp()
+                    self._emit("cmp", sub_op="feq", dst=tmp, a=left, b=right)
+                    self._emit("cmp", sub_op="eq", dst=dst, a=tmp, b=0)
+                elif sub == "gt":
+                    self._emit("cmp", sub_op="flt", dst=dst, a=right, b=left)
+                else:  # ge
+                    self._emit("cmp", sub_op="fle", dst=dst, a=right, b=left)
+                return dst
+            if cmp_common.is_unsigned:
+                sub = _CMP_UNSIGNED[sub]
+            dst = self.out.new_temp()
+            self._emit("cmp", sub_op=sub, dst=dst, a=left, b=right)
+            return dst
+
+        left = self._coerce(left, lt, common)
+        right = self._coerce(right, rt, common)
+        if common.is_float:
+            sub = {"+": "fadd", "-": "fsub", "*": "fmul", "/": "fdiv"}.get(op)
+            if sub is None:
+                raise CTypeError(f"invalid float operator '{op}'", line)
+            dst = self.out.new_temp(True)
+            self._emit("bin", sub_op=sub, dst=dst, a=left, b=right)
+            return dst
+        unsigned = common.is_unsigned
+        sub = {
+            "+": "add", "-": "sub", "*": "mul",
+            "/": "divu" if unsigned else "div",
+            "%": "remu" if unsigned else "rem",
+            "&": "and", "|": "or", "^": "xor",
+            "<<": "sll", ">>": "srl" if unsigned else "sra",
+        }[op]
+        dst = self.out.new_temp()
+        self._emit("bin", sub_op=sub, dst=dst, a=left, b=right)
+        return dst
+
+    # ------------------------------------------------------------------
+    def _unary(self, expr: Unary) -> Operand:
+        if expr.op == "&":
+            operand = expr.operand
+            if isinstance(operand, Ident):
+                kind, unique = operand.binding
+                if kind == "global":
+                    dst = self.out.new_temp()
+                    self._emit("la", dst=dst, symbol=unique)
+                    return dst
+                binding = self.env[unique]
+                dst = self.out.new_temp()
+                self._emit("laddr", dst=dst, symbol=binding)
+                return dst
+            lv = self._lvalue(operand)
+            if lv.offset:
+                dst = self.out.new_temp()
+                self._emit("bin", sub_op="add", dst=dst, a=lv.addr,
+                           b=lv.offset)
+                return dst
+            return lv.addr
+        if expr.op == "*":
+            lv = self._lvalue(expr)
+            return self._load_lvalue(lv)
+        if expr.op in ("++", "--"):
+            lv = self._lvalue(expr.operand)
+            old = self._load_lvalue(lv)
+            otype = expr.operand.ctype.decay()
+            step: Operand = otype.element().size if otype.is_pointer else 1
+            if otype.is_float:
+                one = self.out.new_temp(True)
+                self._emit("li", dst=one, a=1.0)
+                new = self.out.new_temp(True)
+                self._emit("bin", sub_op="fadd" if expr.op == "++" else "fsub",
+                           dst=new, a=old, b=one)
+            else:
+                new = self.out.new_temp()
+                self._emit("bin",
+                           sub_op="add" if expr.op == "++" else "sub",
+                           dst=new, a=old, b=step)
+            if expr.postfix:
+                # preserve the old value before the store overwrites the temp
+                if lv.kind == "temp":
+                    saved = self.out.new_temp(lv.temp.is_float)
+                    self._emit("mov", dst=saved, a=old)
+                    self._store_lvalue(lv, new)
+                    return saved
+                self._store_lvalue(lv, new)
+                return old
+            self._store_lvalue(lv, new)
+            return new
+        operand = self._value(expr.operand)
+        otype = expr.operand.ctype.decay()
+        if expr.op == "-":
+            if otype.is_float:
+                dst = self.out.new_temp(True)
+                self._emit("fneg", dst=dst, a=operand)
+                return dst
+            dst = self.out.new_temp()
+            self._emit("neg", dst=dst, a=operand)
+            return dst
+        if expr.op == "~":
+            dst = self.out.new_temp()
+            self._emit("bnot", dst=dst, a=operand)
+            return dst
+        if expr.op == "!":
+            operand = self._to_int_cond(operand, expr.operand.ctype)
+            dst = self.out.new_temp()
+            self._emit("cmp", sub_op="eq", dst=dst, a=operand, b=0)
+            return dst
+        raise CTypeError(f"unsupported unary '{expr.op}'", expr.line)
+
+    # ------------------------------------------------------------------
+    def _conditional(self, expr: Conditional) -> Operand:
+        is_float = expr.ctype.decay().is_float
+        result = self.out.new_temp(is_float)
+        else_l = fresh_label("celse")
+        end_l = fresh_label("cend")
+        self._cond_jump(expr.cond, invert=True, target=else_l)
+        then = self._coerce(self._value(expr.then), expr.then.ctype,
+                            expr.ctype)
+        self._emit("mov", dst=result, a=then)
+        self._emit("jmp", label=end_l)
+        self._label(else_l)
+        otherwise = self._coerce(self._value(expr.otherwise),
+                                 expr.otherwise.ctype, expr.ctype)
+        self._emit("mov", dst=result, a=otherwise)
+        self._label(end_l)
+        return result
+
+    # ------------------------------------------------------------------
+    def _call(self, expr: Call) -> Operand:
+        func = None
+        for f in self.unit.functions:
+            if f.name == expr.name:
+                func = f
+                break
+        args: List[Operand] = []
+        for arg, param in zip(expr.args, func.params):
+            value = self._value(arg)
+            value = self._coerce(value, arg.ctype, param.ctype)
+            args.append(self._materialize(value,
+                                          param.ctype.decay().is_float))
+        rtype = func.return_type
+        if rtype.base == "void" and rtype.pointer == 0:
+            self._emit("call", dst=None, symbol=expr.name, args=args)
+            return 0
+        dst = self.out.new_temp(rtype.is_float)
+        self._emit("call", dst=dst, symbol=expr.name, args=args)
+        return dst
+
+    # ------------------------------------------------------------------
+    def _materialize(self, value: Operand, is_float: bool) -> Temp:
+        if isinstance(value, Temp):
+            return value
+        dst = self.out.new_temp(is_float)
+        self._emit("li", dst=dst,
+                   a=float(value) if is_float else int(value))
+        return dst
+
+    def _coerce(self, value: Operand, from_type: Optional[CType],
+                to_type: CType) -> Operand:
+        if from_type is None:
+            return value
+        src, dst_t = from_type.decay(), to_type.decay()
+        if src.is_float == dst_t.is_float:
+            if not dst_t.is_float and dst_t.base == "char" \
+                    and dst_t.pointer == 0 and not isinstance(value, int):
+                # narrowing to char: mask to 8 bits
+                out = self.out.new_temp()
+                self._emit("bin", sub_op="and", dst=out, a=value, b=0xFF)
+                return out
+            if isinstance(value, float) and not dst_t.is_float:
+                return int(value)
+            if isinstance(value, int) and dst_t.is_float:
+                return float(value)
+            return value
+        if dst_t.is_float:
+            if isinstance(value, (int, float)):
+                return float(value)
+            out = self.out.new_temp(True)
+            self._emit("cvt", sub_op="u2f" if src.is_unsigned else "i2f",
+                       dst=out, a=value)
+            return out
+        # float -> integral
+        if isinstance(value, (int, float)):
+            return int(value)
+        out = self.out.new_temp()
+        self._emit("cvt", sub_op="f2u" if dst_t.is_unsigned else "f2i",
+                   dst=out, a=value)
+        return out
+
+
+def lower(unit: TranslationUnit, opt_level: int = 1) -> IRUnit:
+    """Lower a type-checked translation unit to IR."""
+    return IRGen(unit, opt_level).generate()

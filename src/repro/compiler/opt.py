@@ -1,0 +1,479 @@
+"""IR optimization passes.
+
+The four optimization levels mirror the paper's GCC integration ("various
+optimization levels", Sec. II-B): each level adds passes whose effect is
+directly observable in the simulator's runtime statistics:
+
+* O0 — no optimization (and stack-resident locals, see irgen);
+* O1 — constant folding, algebraic simplification, dead-code elimination,
+  control-flow cleanup;
+* O2 — O1 + copy/constant propagation, local common-subexpression
+  elimination, strength reduction (mul/div/rem by powers of two);
+* O3 — O2 + inlining of small leaf functions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple, Union
+
+from repro.compiler.ir import (
+    IRFunction, IRInstr, IRUnit, Operand, StackSlot, Temp, fresh_label,
+)
+from repro.isa.bits import to_int32, to_uint32, float32_round
+
+_SIDE_EFFECT_OPS = {"store", "call", "ret", "jmp", "bz", "bnz", "label"}
+
+_FOLD_INT = {
+    "add": lambda a, b: to_int32(a + b),
+    "sub": lambda a, b: to_int32(a - b),
+    "mul": lambda a, b: to_int32(a * b),
+    "and": lambda a, b: to_int32(a & b),
+    "or": lambda a, b: to_int32(a | b),
+    "xor": lambda a, b: to_int32(a ^ b),
+    "sll": lambda a, b: to_int32(to_uint32(a) << (b & 31)),
+    "srl": lambda a, b: to_int32(to_uint32(a) >> (b & 31)),
+    "sra": lambda a, b: to_int32(to_int32(a) >> (b & 31)),
+}
+_FOLD_FLOAT = {
+    "fadd": lambda a, b: float32_round(a + b),
+    "fsub": lambda a, b: float32_round(a - b),
+    "fmul": lambda a, b: float32_round(a * b),
+}
+_FOLD_CMP = {
+    "eq": lambda a, b: int(to_int32(a) == to_int32(b)),
+    "ne": lambda a, b: int(to_int32(a) != to_int32(b)),
+    "lt": lambda a, b: int(to_int32(a) < to_int32(b)),
+    "le": lambda a, b: int(to_int32(a) <= to_int32(b)),
+    "gt": lambda a, b: int(to_int32(a) > to_int32(b)),
+    "ge": lambda a, b: int(to_int32(a) >= to_int32(b)),
+    "ltu": lambda a, b: int(to_uint32(a) < to_uint32(b)),
+    "leu": lambda a, b: int(to_uint32(a) <= to_uint32(b)),
+    "gtu": lambda a, b: int(to_uint32(a) > to_uint32(b)),
+    "geu": lambda a, b: int(to_uint32(a) >= to_uint32(b)),
+    "feq": lambda a, b: int(a == b),
+    "flt": lambda a, b: int(a < b),
+    "fle": lambda a, b: int(a <= b),
+}
+
+
+def count_uses(body: List[IRInstr]) -> Dict[Temp, int]:
+    """Number of reads of every temp (shared with the code generator)."""
+    uses: Dict[Temp, int] = {}
+    for instr in body:
+        for src in instr.sources():
+            uses[src] = uses.get(src, 0) + 1
+    return uses
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and value & (value - 1) == 0
+
+
+# ---------------------------------------------------------------------------
+# constant folding + algebraic simplification (+ strength reduction at O2)
+# ---------------------------------------------------------------------------
+def constant_fold(func: IRFunction, strength_reduce: bool = False) -> bool:
+    """Block-local constant propagation and folding; returns True on change."""
+    changed = False
+    consts: Dict[Temp, Union[int, float]] = {}
+
+    def resolve(x: Operand) -> Operand:
+        if isinstance(x, Temp) and x in consts:
+            return consts[x]
+        return x
+
+    new_body: List[IRInstr] = []
+    for instr in func.body:
+        if instr.op == "label":
+            consts.clear()  # block boundary: control may join here
+            new_body.append(instr)
+            continue
+        # propagate known constants into operand slots
+        a, b = resolve(instr.a), resolve(instr.b)
+        if a is not instr.a or b is not instr.b:
+            # mul/div/rem have no immediate machine forms; do not inflate
+            # them with constants both sides handle below anyway
+            instr.a, instr.b = a, b
+            changed = True
+        if instr.args:
+            new_args = [resolve(x) for x in instr.args]
+            if new_args != instr.args:
+                instr.args = new_args
+                changed = True
+
+        if instr.op == "li":
+            consts[instr.dst] = instr.a
+            new_body.append(instr)
+            continue
+        if instr.op == "mov":
+            if isinstance(instr.a, (int, float)):
+                instr = IRInstr(op="li", dst=instr.dst, a=instr.a,
+                                line=instr.line)
+                changed = True
+                consts[instr.dst] = instr.a
+            else:
+                consts.pop(instr.dst, None)
+            new_body.append(instr)
+            continue
+
+        folded: Optional[IRInstr] = None
+        if instr.op == "bin" and isinstance(instr.a, (int, float)) \
+                and isinstance(instr.b, (int, float)):
+            folded = _fold_bin(instr)
+        elif instr.op == "cmp" and isinstance(instr.a, (int, float)) \
+                and isinstance(instr.b, (int, float)):
+            fn = _FOLD_CMP.get(instr.sub_op)
+            if fn is not None:
+                folded = IRInstr(op="li", dst=instr.dst,
+                                 a=fn(instr.a, instr.b), line=instr.line)
+        elif instr.op == "cvt" and isinstance(instr.a, (int, float)):
+            value = {"i2f": lambda v: float32_round(float(to_int32(int(v)))),
+                     "u2f": lambda v: float32_round(float(to_uint32(int(v)))),
+                     "f2i": lambda v: int(v),
+                     "f2u": lambda v: int(v) & 0xFFFFFFFF,
+                     }[instr.sub_op](instr.a)
+            folded = IRInstr(op="li", dst=instr.dst, a=value, line=instr.line)
+        elif instr.op == "neg" and isinstance(instr.a, int):
+            folded = IRInstr(op="li", dst=instr.dst, a=to_int32(-instr.a),
+                             line=instr.line)
+        elif instr.op == "bnot" and isinstance(instr.a, int):
+            folded = IRInstr(op="li", dst=instr.dst, a=to_int32(~instr.a),
+                             line=instr.line)
+        elif instr.op == "fneg" and isinstance(instr.a, float):
+            folded = IRInstr(op="li", dst=instr.dst, a=-instr.a,
+                             line=instr.line)
+        elif instr.op == "bz" and isinstance(instr.a, (int, float)):
+            folded = IRInstr(op="jmp", label=instr.label, line=instr.line) \
+                if not instr.a else IRInstr(op="nopmark", line=instr.line)
+        elif instr.op == "bnz" and isinstance(instr.a, (int, float)):
+            folded = IRInstr(op="jmp", label=instr.label, line=instr.line) \
+                if instr.a else IRInstr(op="nopmark", line=instr.line)
+
+        if folded is None and instr.op == "bin":
+            folded = _simplify_bin(instr, strength_reduce)
+
+        if folded is not None:
+            changed = True
+            if folded.op == "nopmark":
+                continue
+            instr = folded
+        if instr.op == "li":
+            consts[instr.dst] = instr.a
+        elif instr.dst is not None:
+            consts.pop(instr.dst, None)
+        new_body.append(instr)
+    func.body = new_body
+    return changed
+
+
+def _fold_bin(instr: IRInstr) -> Optional[IRInstr]:
+    sub, a, b = instr.sub_op, instr.a, instr.b
+    if sub in _FOLD_INT:
+        return IRInstr(op="li", dst=instr.dst,
+                       a=_FOLD_INT[sub](int(a), int(b)), line=instr.line)
+    if sub in _FOLD_FLOAT:
+        return IRInstr(op="li", dst=instr.dst,
+                       a=_FOLD_FLOAT[sub](float(a), float(b)),
+                       line=instr.line)
+    if sub in ("div", "rem", "divu", "remu") and int(b) != 0:
+        a, b = int(a), int(b)
+        if sub == "div":
+            value = to_int32(int(a / b)) if b else 0
+        elif sub == "rem":
+            value = to_int32(a - int(a / b) * b)
+        elif sub == "divu":
+            value = to_int32(to_uint32(a) // to_uint32(b))
+        else:
+            value = to_int32(to_uint32(a) % to_uint32(b))
+        return IRInstr(op="li", dst=instr.dst, a=value, line=instr.line)
+    if sub == "fdiv" and float(b) != 0.0:
+        return IRInstr(op="li", dst=instr.dst,
+                       a=float32_round(float(a) / float(b)), line=instr.line)
+    return None
+
+
+def _simplify_bin(instr: IRInstr, strength_reduce: bool) -> Optional[IRInstr]:
+    """Algebraic identities and (optionally) strength reduction."""
+    sub, a, b = instr.sub_op, instr.a, instr.b
+    # put the constant on the right for commutative ops
+    if sub in ("add", "mul", "and", "or", "xor") \
+            and isinstance(a, int) and isinstance(b, Temp):
+        a, b = b, a
+        instr.a, instr.b = a, b
+    if not isinstance(b, int):
+        return None
+    if sub == "add" and b == 0:
+        return IRInstr(op="mov", dst=instr.dst, a=a, line=instr.line)
+    if sub == "sub" and b == 0:
+        return IRInstr(op="mov", dst=instr.dst, a=a, line=instr.line)
+    if sub in ("sll", "srl", "sra") and b == 0:
+        return IRInstr(op="mov", dst=instr.dst, a=a, line=instr.line)
+    if sub == "mul":
+        if b == 0:
+            return IRInstr(op="li", dst=instr.dst, a=0, line=instr.line)
+        if b == 1:
+            return IRInstr(op="mov", dst=instr.dst, a=a, line=instr.line)
+        if strength_reduce and _is_power_of_two(b):
+            return IRInstr(op="bin", sub_op="sll", dst=instr.dst, a=a,
+                           b=b.bit_length() - 1, line=instr.line)
+    if sub in ("div", "divu") and b == 1:
+        return IRInstr(op="mov", dst=instr.dst, a=a, line=instr.line)
+    if strength_reduce and sub == "divu" and _is_power_of_two(b):
+        return IRInstr(op="bin", sub_op="srl", dst=instr.dst, a=a,
+                       b=b.bit_length() - 1, line=instr.line)
+    if strength_reduce and sub == "remu" and _is_power_of_two(b):
+        return IRInstr(op="bin", sub_op="and", dst=instr.dst, a=a,
+                       b=b - 1, line=instr.line)
+    if sub in ("and",) and b == 0:
+        return IRInstr(op="li", dst=instr.dst, a=0, line=instr.line)
+    if sub in ("or", "xor") and b == 0:
+        return IRInstr(op="mov", dst=instr.dst, a=a, line=instr.line)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# copy propagation (block local)
+# ---------------------------------------------------------------------------
+def copy_propagate(func: IRFunction) -> bool:
+    changed = False
+    copies: Dict[Temp, Temp] = {}
+
+    def resolve(x: Operand) -> Operand:
+        while isinstance(x, Temp) and x in copies:
+            x = copies[x]
+        return x
+
+    for instr in func.body:
+        if instr.op == "label":
+            copies.clear()
+            continue
+        for attr in ("a", "b", "c"):
+            value = getattr(instr, attr)
+            resolved = resolve(value)
+            if resolved is not value:
+                setattr(instr, attr, resolved)
+                changed = True
+        if instr.args:
+            new_args = [resolve(x) for x in instr.args]
+            if new_args != instr.args:
+                instr.args = new_args
+                changed = True
+        if instr.dst is not None:
+            # the destination is redefined: kill copies through it
+            copies.pop(instr.dst, None)
+            stale = [k for k, v in copies.items() if v == instr.dst]
+            for k in stale:
+                del copies[k]
+        if instr.op == "mov" and isinstance(instr.a, Temp) \
+                and instr.dst != instr.a:
+            copies[instr.dst] = instr.a
+    return changed
+
+
+# ---------------------------------------------------------------------------
+# local common subexpression elimination
+# ---------------------------------------------------------------------------
+def local_cse(func: IRFunction) -> bool:
+    changed = False
+    available: Dict[Tuple, Temp] = {}
+    for instr in func.body:
+        if instr.op in ("label", "call"):
+            available.clear()  # calls may change globals reachable via loads
+            continue
+        if instr.op == "store":
+            # a store may alias any prior load: drop load-derived entries
+            stale = [k for k in available if k[0] == "load"]
+            for k in stale:
+                del available[k]
+            continue
+        if instr.op in ("bin", "cmp", "cvt", "la", "laddr", "load",
+                        "neg", "bnot", "fneg"):
+            key = (instr.op, instr.sub_op, instr.symbol, instr.a, instr.b,
+                   instr.size, instr.signed)
+            prev = available.get(key)
+            if prev is not None and prev != instr.dst:
+                func.body[func.body.index(instr)] = IRInstr(
+                    op="mov", dst=instr.dst, a=prev, line=instr.line)
+                changed = True
+                continue
+            if instr.dst is not None:
+                # invalidate expressions that read the overwritten temp
+                stale = [k for k in available
+                         if instr.dst in (k[3], k[4]) or
+                         available[k] == instr.dst]
+                for k in stale:
+                    del available[k]
+                available[key] = instr.dst
+        elif instr.dst is not None:
+            stale = [k for k in available
+                     if instr.dst in (k[3], k[4]) or available[k] == instr.dst]
+            for k in stale:
+                del available[k]
+    return changed
+
+
+# ---------------------------------------------------------------------------
+# dead code elimination
+# ---------------------------------------------------------------------------
+def dead_code_elim(func: IRFunction) -> bool:
+    changed = False
+    while True:
+        uses = count_uses(func.body)
+        new_body = []
+        removed = False
+        for instr in func.body:
+            if instr.op in ("li", "mov", "bin", "cmp", "cvt", "la", "laddr",
+                            "neg", "bnot", "fneg", "load") \
+                    and instr.dst is not None \
+                    and uses.get(instr.dst, 0) == 0:
+                removed = True
+                continue
+            if instr.op == "mov" and instr.dst == instr.a:
+                removed = True
+                continue
+            new_body.append(instr)
+        func.body = new_body
+        changed |= removed
+        if not removed:
+            return changed
+
+
+# ---------------------------------------------------------------------------
+# control-flow cleanup
+# ---------------------------------------------------------------------------
+def cleanup_cfg(func: IRFunction) -> bool:
+    changed = False
+    # remove unreachable instructions after an unconditional jump / ret
+    new_body: List[IRInstr] = []
+    skipping = False
+    for instr in func.body:
+        if instr.op == "label":
+            skipping = False
+        if skipping:
+            changed = True
+            continue
+        new_body.append(instr)
+        if instr.op in ("jmp", "ret"):
+            skipping = True
+    func.body = new_body
+    # remove jumps to the immediately following label
+    new_body = []
+    for i, instr in enumerate(func.body):
+        if instr.op == "jmp":
+            j = i + 1
+            while j < len(func.body) and func.body[j].op == "label":
+                if func.body[j].label == instr.label:
+                    break
+                j += 1
+            if j < len(func.body) and func.body[j].op == "label" \
+                    and func.body[j].label == instr.label:
+                changed = True
+                continue
+        new_body.append(instr)
+    func.body = new_body
+    # drop labels that are never referenced
+    referenced: Set[str] = {i.label for i in func.body
+                            if i.op in ("jmp", "bz", "bnz")}
+    new_body = [i for i in func.body
+                if i.op != "label" or i.label in referenced]
+    if len(new_body) != len(func.body):
+        changed = True
+    func.body = new_body
+    return changed
+
+
+# ---------------------------------------------------------------------------
+# inlining (O3)
+# ---------------------------------------------------------------------------
+_INLINE_MAX_INSTRS = 24
+
+
+def _inlinable(func: IRFunction) -> bool:
+    if len(func.body) > _INLINE_MAX_INSTRS:
+        return False
+    for instr in func.body:
+        if instr.op == "call":
+            return False  # leaf functions only
+    return not func.slots  # no stack objects (keeps frames simple)
+
+
+def inline_calls(unit: IRUnit, func: IRFunction) -> bool:
+    """Inline qualifying callees into *func*; returns True on change."""
+    changed = False
+    new_body: List[IRInstr] = []
+    for instr in func.body:
+        if instr.op != "call":
+            new_body.append(instr)
+            continue
+        callee = unit.function(instr.symbol)
+        if callee is None or callee.name == func.name \
+                or not _inlinable(callee):
+            new_body.append(instr)
+            continue
+        changed = True
+        end_label = fresh_label(f"inl_{callee.name}")
+        # fresh temps for the callee's temp space
+        mapping: Dict[Temp, Temp] = {}
+
+        def remap(x: Operand) -> Operand:
+            if isinstance(x, Temp):
+                if x not in mapping:
+                    mapping[x] = func.new_temp(x.is_float)
+                return mapping[x]
+            return x
+
+        # bind arguments
+        for param, arg in zip(callee.params, instr.args):
+            new_body.append(IRInstr(op="mov", dst=remap(param), a=arg,
+                                    line=instr.line))
+        label_map: Dict[str, str] = {}
+
+        def remap_label(name: str) -> str:
+            if name not in label_map:
+                label_map[name] = fresh_label("inl")
+            return label_map[name]
+
+        for cinstr in callee.body:
+            if cinstr.op == "ret":
+                if cinstr.a is not None and instr.dst is not None:
+                    new_body.append(IRInstr(op="mov", dst=instr.dst,
+                                            a=remap(cinstr.a),
+                                            line=instr.line))
+                new_body.append(IRInstr(op="jmp", label=end_label,
+                                        line=instr.line))
+                continue
+            clone = IRInstr(
+                op=cinstr.op, dst=remap(cinstr.dst) if cinstr.dst else None,
+                a=remap(cinstr.a) if cinstr.a is not None else None,
+                b=remap(cinstr.b) if cinstr.b is not None else None,
+                c=remap(cinstr.c) if cinstr.c is not None else None,
+                sub_op=cinstr.sub_op, symbol=cinstr.symbol,
+                label=remap_label(cinstr.label) if cinstr.label else "",
+                args=[remap(x) for x in cinstr.args],
+                size=cinstr.size, signed=cinstr.signed, line=instr.line)
+            new_body.append(clone)
+        new_body.append(IRInstr(op="label", label=end_label, line=instr.line))
+    func.body = new_body
+    return changed
+
+
+# ---------------------------------------------------------------------------
+# pass driver
+# ---------------------------------------------------------------------------
+def optimize(unit: IRUnit, level: int) -> IRUnit:
+    """Run the pass pipeline for the given optimization level."""
+    if level <= 0:
+        return unit
+    for func in unit.functions:
+        if level >= 3:
+            inline_calls(unit, func)
+        for _ in range(8):  # iterate to (practical) fixpoint
+            changed = constant_fold(func, strength_reduce=level >= 2)
+            if level >= 2:
+                changed |= copy_propagate(func)
+                changed |= local_cse(func)
+            changed |= dead_code_elim(func)
+            changed |= cleanup_cfg(func)
+            if not changed:
+                break
+    return unit

@@ -1,0 +1,175 @@
+"""Linear-scan register allocation.
+
+Live intervals are computed over the flat instruction list ([first
+occurrence, last occurrence] per temp) and conservatively widened across
+backward branches so loop-carried values stay live for the whole loop.
+Temporaries that are live across a call are restricted to callee-saved
+registers; everything else may also use caller-saved (t/ft) registers.
+Temps that do not receive a register are spilled to stack slots (at O0 the
+allocator is invoked with empty register pools, producing the classic
+spill-everything code).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.compiler.ir import IRFunction, IRInstr, Temp
+
+#: integer registers handed out by the allocator
+INT_CALLEE_SAVED = ["s1", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9",
+                    "s10", "s11"]
+INT_CALLER_SAVED = ["t3", "t4", "t5", "t6"]
+#: floating point registers handed out by the allocator
+FP_CALLEE_SAVED = ["fs0", "fs1", "fs2", "fs3", "fs4", "fs5", "fs6", "fs7",
+                   "fs8", "fs9", "fs10", "fs11"]
+FP_CALLER_SAVED = ["ft3", "ft4", "ft5", "ft6", "ft7"]
+
+
+@dataclass
+class Interval:
+    temp: Temp
+    start: int
+    end: int
+    crosses_call: bool = False
+    register: Optional[str] = None
+    spilled: bool = False
+
+
+@dataclass
+class Allocation:
+    """Result of register allocation for one function."""
+
+    #: temp -> physical register name
+    registers: Dict[Temp, str] = field(default_factory=dict)
+    #: temp -> spill slot index (slot offsets assigned by the code generator)
+    spills: Dict[Temp, int] = field(default_factory=dict)
+    #: callee-saved registers actually used (must be saved in the prologue)
+    used_callee_saved: List[str] = field(default_factory=list)
+
+    def location(self, temp: Temp):
+        if temp in self.registers:
+            return ("reg", self.registers[temp])
+        return ("spill", self.spills[temp])
+
+
+def compute_intervals(func: IRFunction) -> List[Interval]:
+    """Conservative live intervals with loop widening."""
+    first: Dict[Temp, int] = {}
+    last: Dict[Temp, int] = {}
+    label_pos: Dict[str, int] = {}
+    for pos, instr in enumerate(func.body):
+        if instr.op == "label":
+            label_pos[instr.label] = pos
+    # parameters are defined at position -1 (function entry)
+    for p in func.params:
+        first[p] = -1
+        last[p] = -1
+    for pos, instr in enumerate(func.body):
+        for t in instr.sources():
+            first.setdefault(t, pos)
+            last[t] = pos
+        if instr.dst is not None:
+            first.setdefault(instr.dst, pos)
+            last[instr.dst] = max(last.get(instr.dst, pos), pos)
+    # widen across backward branches
+    changed = True
+    while changed:
+        changed = False
+        for pos, instr in enumerate(func.body):
+            if instr.op in ("jmp", "bz", "bnz"):
+                target = label_pos.get(instr.label, pos)
+                if target < pos:  # backward edge spanning [target, pos]
+                    for t in list(first):
+                        if first[t] <= pos and last[t] >= target:
+                            new_start = min(first[t], target)
+                            new_end = max(last[t], pos)
+                            if new_start != first[t] or new_end != last[t]:
+                                first[t], last[t] = new_start, new_end
+                                changed = True
+    call_positions = [pos for pos, i in enumerate(func.body)
+                      if i.op == "call"]
+    intervals = []
+    for t in first:
+        crosses = any(first[t] < cp < last[t] for cp in call_positions)
+        intervals.append(Interval(t, first[t], last[t], crosses))
+    intervals.sort(key=lambda iv: (iv.start, iv.end))
+    return intervals
+
+
+def allocate(func: IRFunction, enable_registers: bool = True) -> Allocation:
+    """Run linear scan; with ``enable_registers=False`` everything spills."""
+    intervals = compute_intervals(func)
+    alloc = Allocation()
+    if not enable_registers:
+        for iv in intervals:
+            alloc.spills[iv.temp] = len(alloc.spills)
+        return alloc
+
+    pools = {
+        (False, True): list(INT_CALLEE_SAVED),    # int, callee-saved
+        (False, False): list(INT_CALLER_SAVED),   # int, caller-saved
+        (True, True): list(FP_CALLEE_SAVED),
+        (True, False): list(FP_CALLER_SAVED),
+    }
+    active: List[Interval] = []
+    used_callee: Set[str] = set()
+
+    def expire(current_start: int) -> None:
+        for iv in list(active):
+            if iv.end < current_start:
+                active.remove(iv)
+                key = (iv.temp.is_float,
+                       iv.register in INT_CALLEE_SAVED
+                       or iv.register in FP_CALLEE_SAVED)
+                pools[key].append(iv.register)
+
+    for iv in intervals:
+        expire(iv.start)
+        is_float = iv.temp.is_float
+        # prefer caller-saved for short-lived temps, callee-saved when the
+        # value lives across a call (caller-saved would be clobbered)
+        candidates = []
+        if not iv.crosses_call:
+            candidates.append((is_float, False))
+        candidates.append((is_float, True))
+        register = None
+        for key in candidates:
+            if pools[key]:
+                register = pools[key].pop(0)
+                if key[1]:
+                    used_callee.add(register)
+                break
+        if register is None:
+            # spill the interval with the furthest end among candidates
+            competitor = None
+            for act in active:
+                if act.temp.is_float != is_float:
+                    continue
+                if iv.crosses_call:
+                    in_callee = (act.register in INT_CALLEE_SAVED
+                                 or act.register in FP_CALLEE_SAVED)
+                    if not in_callee:
+                        continue
+                if competitor is None or act.end > competitor.end:
+                    competitor = act
+            if competitor is not None and competitor.end > iv.end:
+                iv.register = competitor.register
+                alloc.registers[iv.temp] = competitor.register
+                active.remove(competitor)
+                competitor.register = None
+                competitor.spilled = True
+                del alloc.registers[competitor.temp]
+                alloc.spills[competitor.temp] = len(alloc.spills)
+                active.append(iv)
+            else:
+                iv.spilled = True
+                alloc.spills[iv.temp] = len(alloc.spills)
+            continue
+        iv.register = register
+        alloc.registers[iv.temp] = register
+        active.append(iv)
+
+    alloc.used_callee_saved = sorted(used_callee)
+    return alloc

@@ -1,0 +1,341 @@
+"""Semantic analysis: name resolution, type checking, implicit conversions.
+
+Besides validating the program, the checker *annotates* the AST:
+
+* every expression node gets its ``ctype``;
+* identifier uses get a ``binding`` attribute (``local`` / ``param`` /
+  ``global`` / ``func``) with the resolved unique name — block-scoped
+  variables that shadow outer ones are alpha-renamed (``name$2``) so later
+  stages work with one flat namespace per function;
+* each function gets a ``locals_map`` (unique name -> CType).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.compiler import cast
+from repro.compiler.cast import (
+    Assign, Binary, Block, Break, CType, Call, Cast, Conditional, Continue,
+    Expr, ExprStmt, FloatLit, For, Function, GlobalVar, Ident, If, Index,
+    IntLit, Return, SizeOf, Stmt, StrLit, TranslationUnit, Unary, VarDecl,
+    While, INT, UNSIGNED, CHAR, FLOAT, VOID,
+)
+from repro.errors import CTypeError
+
+_BUILTINS: Dict[str, Tuple[CType, List[CType]]] = {}
+
+
+class _Scope:
+    def __init__(self, parent: Optional["_Scope"] = None):
+        self.parent = parent
+        self.names: Dict[str, Tuple[str, str, CType]] = {}  # name -> (kind, unique, ctype)
+
+    def define(self, name: str, kind: str, unique: str, ctype: CType,
+               line: int) -> None:
+        if name in self.names:
+            raise CTypeError(f"redefinition of '{name}'", line)
+        self.names[name] = (kind, unique, ctype)
+
+    def lookup(self, name: str):
+        scope: Optional[_Scope] = self
+        while scope is not None:
+            if name in scope.names:
+                return scope.names[name]
+            scope = scope.parent
+        return None
+
+
+def _promote(t: CType) -> CType:
+    """Integer promotion: char -> int."""
+    if t.base == "char" and t.pointer == 0 and not t.is_array:
+        return INT
+    return t
+
+
+def _common_type(a: CType, b: CType, line: int) -> CType:
+    """Usual arithmetic conversions."""
+    a, b = _promote(a.decay()), _promote(b.decay())
+    if a.is_float or b.is_float:
+        return FLOAT
+    if a.is_pointer:
+        return a
+    if b.is_pointer:
+        return b
+    if a.is_unsigned or b.is_unsigned:
+        return UNSIGNED
+    return INT
+
+
+def _is_lvalue(expr: Expr) -> bool:
+    if isinstance(expr, Ident):
+        return getattr(expr, "binding", ("", ""))[0] != "func"
+    if isinstance(expr, Index):
+        return True
+    if isinstance(expr, Unary) and expr.op == "*":
+        return True
+    return False
+
+
+class TypeChecker:
+    def __init__(self, unit: TranslationUnit):
+        self.unit = unit
+        self.globals = _Scope()
+        self.functions: Dict[str, Function] = {}
+        self._counter = 0
+
+    # ------------------------------------------------------------------
+    def check(self) -> TranslationUnit:
+        for g in self.unit.globals:
+            if g.ctype.base == "void" and g.ctype.pointer == 0:
+                raise CTypeError(f"variable '{g.name}' declared void", g.line)
+            self.globals.define(g.name, "global", g.name, g.ctype, g.line)
+            if g.init is not None:
+                self._expr(g.init, self.globals)
+            if g.init_list is not None:
+                for item in g.init_list:
+                    self._expr(item, self.globals)
+        for f in self.unit.functions:
+            if f.name in self.functions and \
+                    self.functions[f.name].body is not None and f.body is not None:
+                raise CTypeError(f"redefinition of function '{f.name}'", f.line)
+            if f.name not in self.functions or f.body is not None:
+                self.functions[f.name] = f
+        for f in self.unit.functions:
+            if f.body is not None:
+                self._function(f)
+        return self.unit
+
+    # ------------------------------------------------------------------
+    def _unique(self, name: str) -> str:
+        self._counter += 1
+        return f"{name}${self._counter}"
+
+    def _function(self, func: Function) -> None:
+        scope = _Scope(self.globals)
+        func.locals_map = {}  # type: ignore[attr-defined]
+        for p in func.params:
+            if p.ctype.base == "void" and p.ctype.pointer == 0:
+                raise CTypeError(f"parameter '{p.name}' declared void", p.line)
+            scope.define(p.name, "param", p.name, p.ctype, p.line)
+        self._loop_depth = 0
+        self._current = func
+        self._stmt(func.body, scope)
+
+    # ------------------------------------------------------------------
+    def _stmt(self, stmt: Stmt, scope: _Scope) -> None:
+        if isinstance(stmt, Block):
+            inner = scope if stmt.transparent else _Scope(scope)
+            for s in stmt.body:
+                self._stmt(s, inner)
+        elif isinstance(stmt, VarDecl):
+            if stmt.ctype.base == "void" and stmt.ctype.pointer == 0 \
+                    and not stmt.ctype.is_array:
+                raise CTypeError(f"variable '{stmt.name}' declared void",
+                                 stmt.line)
+            unique = stmt.name if scope.lookup(stmt.name) is None \
+                else self._unique(stmt.name)
+            scope.define(stmt.name, "local", unique, stmt.ctype, stmt.line)
+            stmt.unique_name = unique  # type: ignore[attr-defined]
+            self._current.locals_map[unique] = stmt.ctype
+            if stmt.init is not None:
+                itype = self._expr(stmt.init, scope)
+                self._check_assignable(stmt.ctype, itype, stmt.line)
+            if stmt.init_list is not None:
+                if not stmt.ctype.is_array:
+                    raise CTypeError(
+                        f"initializer list for non-array '{stmt.name}'",
+                        stmt.line)
+                if len(stmt.init_list) > stmt.ctype.array:
+                    raise CTypeError(
+                        f"too many initializers for '{stmt.name}'", stmt.line)
+                for item in stmt.init_list:
+                    self._expr(item, scope)
+        elif isinstance(stmt, ExprStmt):
+            if stmt.expr is not None:
+                self._expr(stmt.expr, scope)
+        elif isinstance(stmt, If):
+            self._scalar(self._expr(stmt.cond, scope), stmt.line)
+            self._stmt(stmt.then, scope)
+            if stmt.otherwise is not None:
+                self._stmt(stmt.otherwise, scope)
+        elif isinstance(stmt, While):
+            self._scalar(self._expr(stmt.cond, scope), stmt.line)
+            self._loop_depth += 1
+            self._stmt(stmt.body, scope)
+            self._loop_depth -= 1
+        elif isinstance(stmt, For):
+            inner = _Scope(scope)
+            if stmt.init is not None:
+                self._stmt(stmt.init, inner)
+            if stmt.cond is not None:
+                self._scalar(self._expr(stmt.cond, inner), stmt.line)
+            if stmt.post is not None:
+                self._expr(stmt.post, inner)
+            self._loop_depth += 1
+            self._stmt(stmt.body, inner)
+            self._loop_depth -= 1
+        elif isinstance(stmt, Return):
+            ret = self._current.return_type
+            if stmt.value is None:
+                if ret.base != "void" or ret.pointer:
+                    raise CTypeError(
+                        f"'{self._current.name}' must return a value", stmt.line)
+            else:
+                vtype = self._expr(stmt.value, scope)
+                if ret.base == "void" and ret.pointer == 0:
+                    raise CTypeError(
+                        f"void function '{self._current.name}' returns a value",
+                        stmt.line)
+                self._check_assignable(ret, vtype, stmt.line)
+        elif isinstance(stmt, (Break, Continue)):
+            if self._loop_depth == 0:
+                kw = "break" if isinstance(stmt, Break) else "continue"
+                raise CTypeError(f"'{kw}' outside of a loop", stmt.line)
+        else:  # pragma: no cover - parser produces no other nodes
+            raise CTypeError(f"unsupported statement {type(stmt).__name__}",
+                             stmt.line)
+
+    # ------------------------------------------------------------------
+    def _scalar(self, ctype: CType, line: int) -> None:
+        t = ctype.decay()
+        if t.base == "void" and t.pointer == 0:
+            raise CTypeError("condition must be scalar", line)
+
+    def _check_assignable(self, target: CType, value: CType, line: int) -> None:
+        t, v = target.decay(), value.decay()
+        if t.is_pointer and v.is_pointer:
+            return  # permissive pointer compatibility
+        if t.is_pointer and v.is_integral:
+            return  # e.g. p = 0
+        if t.is_integral and v.is_pointer:
+            return
+        if (t.is_integral or t.is_float) and (v.is_integral or v.is_float):
+            return
+        raise CTypeError(f"cannot assign '{v}' to '{t}'", line)
+
+    # ------------------------------------------------------------------
+    def _expr(self, expr: Expr, scope: _Scope) -> CType:
+        ctype = self._expr_inner(expr, scope)
+        expr.ctype = ctype
+        return ctype
+
+    def _expr_inner(self, expr: Expr, scope: _Scope) -> CType:
+        if isinstance(expr, IntLit):
+            return INT
+        if isinstance(expr, FloatLit):
+            return FLOAT
+        if isinstance(expr, StrLit):
+            return CType("char", 1)
+        if isinstance(expr, Ident):
+            entry = scope.lookup(expr.name)
+            if entry is None:
+                if expr.name in self.functions:
+                    expr.binding = ("func", expr.name)
+                    return self.functions[expr.name].return_type
+                raise CTypeError(f"undeclared identifier '{expr.name}'",
+                                 expr.line)
+            kind, unique, ctype = entry
+            expr.binding = (kind, unique)
+            return ctype
+        if isinstance(expr, Call):
+            func = self.functions.get(expr.name)
+            if func is None:
+                raise CTypeError(f"call to undeclared function '{expr.name}'",
+                                 expr.line)
+            if len(expr.args) != len(func.params):
+                raise CTypeError(
+                    f"'{expr.name}' expects {len(func.params)} argument(s), "
+                    f"got {len(expr.args)}", expr.line)
+            for arg, param in zip(expr.args, func.params):
+                atype = self._expr(arg, scope)
+                self._check_assignable(param.ctype, atype, expr.line)
+            return func.return_type
+        if isinstance(expr, Assign):
+            ttype = self._expr(expr.target, scope)
+            if not _is_lvalue(expr.target):
+                raise CTypeError("assignment target is not an lvalue",
+                                 expr.line)
+            if ttype.is_array:
+                raise CTypeError("cannot assign to an array", expr.line)
+            vtype = self._expr(expr.value, scope)
+            self._check_assignable(ttype, vtype, expr.line)
+            return ttype
+        if isinstance(expr, Binary):
+            if expr.op == ",":
+                self._expr(expr.left, scope)
+                return self._expr(expr.right, scope)
+            ltype = self._expr(expr.left, scope).decay()
+            rtype = self._expr(expr.right, scope).decay()
+            if expr.op in ("&&", "||"):
+                self._scalar(ltype, expr.line)
+                self._scalar(rtype, expr.line)
+                return INT
+            if expr.op in ("==", "!=", "<", "<=", ">", ">="):
+                return INT
+            if expr.op in ("%", "&", "|", "^", "<<", ">>"):
+                if ltype.is_float or rtype.is_float:
+                    raise CTypeError(
+                        f"invalid float operand to '{expr.op}'", expr.line)
+            if expr.op in ("+", "-") and (ltype.is_pointer or rtype.is_pointer):
+                if ltype.is_pointer and rtype.is_pointer:
+                    if expr.op == "-":
+                        return INT  # pointer difference
+                    raise CTypeError("cannot add two pointers", expr.line)
+                return ltype if ltype.is_pointer else rtype
+            return _common_type(ltype, rtype, expr.line)
+        if isinstance(expr, Unary):
+            otype = self._expr(expr.operand, scope)
+            if expr.op == "&":
+                if not _is_lvalue(expr.operand) and not otype.is_array:
+                    raise CTypeError("cannot take address of rvalue",
+                                     expr.line)
+                base = otype.element() if otype.is_array else otype
+                return CType(base.base, base.pointer + 1)
+            if expr.op == "*":
+                dtype = otype.decay()
+                if not dtype.is_pointer:
+                    raise CTypeError(f"cannot dereference '{otype}'",
+                                     expr.line)
+                return dtype.element()
+            if expr.op == "!":
+                self._scalar(otype, expr.line)
+                return INT
+            if expr.op == "~":
+                if otype.decay().is_float:
+                    raise CTypeError("invalid float operand to '~'", expr.line)
+                return _promote(otype)
+            if expr.op in ("++", "--"):
+                if not _is_lvalue(expr.operand):
+                    raise CTypeError(f"'{expr.op}' needs an lvalue", expr.line)
+                return otype.decay()
+            # unary minus
+            return _promote(otype.decay())
+        if isinstance(expr, Conditional):
+            self._scalar(self._expr(expr.cond, scope), expr.line)
+            ttype = self._expr(expr.then, scope)
+            otype = self._expr(expr.otherwise, scope)
+            return _common_type(ttype, otype, expr.line)
+        if isinstance(expr, Index):
+            btype = self._expr(expr.base, scope).decay()
+            itype = self._expr(expr.index, scope).decay()
+            if not btype.is_pointer:
+                raise CTypeError(f"cannot index '{btype}'", expr.line)
+            if not itype.is_integral:
+                raise CTypeError("array index must be integral", expr.line)
+            return btype.element()
+        if isinstance(expr, Cast):
+            self._expr(expr.operand, scope)
+            return expr.target
+        if isinstance(expr, SizeOf):
+            operand = getattr(expr, "operand_expr", None)
+            if operand is not None:
+                expr.target = self._expr(operand, scope)
+            return UNSIGNED
+        raise CTypeError(f"unsupported expression {type(expr).__name__}",
+                         expr.line)  # pragma: no cover
+
+
+def check(unit: TranslationUnit) -> TranslationUnit:
+    """Run semantic analysis over a parsed translation unit."""
+    return TypeChecker(unit).check()

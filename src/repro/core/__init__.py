@@ -1,0 +1,21 @@
+"""Superscalar out-of-order core: fetch, decode/rename, issue, execute,
+reorder buffer and commit (Sec. II and III of the paper)."""
+
+from repro.core.config import (
+    BufferConfig,
+    CpuConfig,
+    FuSpec,
+    MemoryConfig,
+    preset_names,
+)
+from repro.core.simcode import SimCode, Phase
+
+__all__ = [
+    "CpuConfig",
+    "BufferConfig",
+    "MemoryConfig",
+    "FuSpec",
+    "preset_names",
+    "SimCode",
+    "Phase",
+]

@@ -1,0 +1,776 @@
+"""The superscalar out-of-order pipeline.
+
+Block layout follows the main simulator window (Fig. 12): fetch and decode
+blocks, reorder (retire) buffer, issue windows for the FX and FP ALUs,
+branch unit and load/store components, a variable number of FX / FP / LS
+units, load and store buffers, and a memory unit connected to the cache.
+
+Each simulation clock cycle executes the blocks in reverse pipeline order
+(commit -> memory -> execute -> issue -> dispatch -> fetch), which realizes
+the paper's "two sub-steps" rule: a functional unit completes its current
+instruction and can accept the next one within a single clock cycle
+(Sec. III-A).  Mispredicted branches are detected at execute and recovered
+at commit with a configurable flush penalty; exceptions are checked when
+the instruction is committed (Sec. III-B).
+"""
+
+from __future__ import annotations
+
+import struct
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.asm.program import Program
+from repro.core.config import CpuConfig, FuSpec
+from repro.core.rename import RenameFile
+from repro.core.simcode import Phase, SimCode
+from repro.errors import MemoryAccessError, SimulationException
+from repro.isa.expression import EvalContext, Expression
+from repro.isa.instruction import ArgType, FuClass
+from repro.isa.registers import RegisterFile
+from repro.memory.cache import Cache
+from repro.memory.hierarchy import MemoryModel
+from repro.memory.main_memory import MainMemory
+from repro.predictor.unit import BranchPredictor
+
+
+class FuRuntime:
+    """Execution state of one functional unit.
+
+    Non-pipelined units (the paper's default, Sec. III-A) hold at most one
+    instruction; pipelined units (the future-work extension, enabled via
+    ``FuSpec.pipelined``) accept a new instruction every cycle while earlier
+    ones are still in flight."""
+
+    __slots__ = ("spec", "simcode", "busy_until", "busy_cycles",
+                 "inflight", "last_issue_cycle")
+
+    def __init__(self, spec: FuSpec):
+        self.spec = spec
+        self.simcode: Optional[SimCode] = None
+        self.busy_until = -1
+        self.busy_cycles = 0
+        #: pipelined mode: [(simcode, finish_cycle), ...]
+        self.inflight: List[Tuple[SimCode, int]] = []
+        self.last_issue_cycle = -1
+
+    @property
+    def busy(self) -> bool:
+        if self.spec.pipelined:
+            return bool(self.inflight)
+        return self.simcode is not None
+
+    def can_accept(self, cycle: int) -> bool:
+        if self.spec.pipelined:
+            return self.last_issue_cycle != cycle  # one issue per cycle
+        return self.simcode is None
+
+    def start(self, simcode: SimCode, cycle: int, finish: int) -> None:
+        self.last_issue_cycle = cycle
+        if self.spec.pipelined:
+            self.inflight.append((simcode, finish))
+        else:
+            self.simcode = simcode
+            self.busy_until = finish
+
+    def take_finished(self, cycle: int) -> List[SimCode]:
+        """Remove and return instructions whose execution completed."""
+        done: List[SimCode] = []
+        if self.spec.pipelined:
+            still = []
+            for simcode, finish in self.inflight:
+                if cycle >= finish:
+                    done.append(simcode)
+                else:
+                    still.append((simcode, finish))
+            self.inflight = still
+        elif self.simcode is not None and cycle >= self.busy_until:
+            done.append(self.simcode)
+            self.simcode = None
+        return done
+
+    def squash(self) -> None:
+        if self.simcode is not None:
+            self.simcode.squashed = True
+        for simcode, _finish in self.inflight:
+            simcode.squashed = True
+        self.simcode = None
+        self.busy_until = -1
+        self.inflight = []
+
+    def snapshot(self) -> dict:
+        if self.spec.pipelined:
+            current = [s.instruction.render() for s, _ in self.inflight]
+            return {
+                "name": self.spec.name, "kind": self.spec.kind,
+                "busy": self.busy, "pipelined": True,
+                "instruction": current[0] if current else None,
+                "inflight": current,
+                "busyUntil": max((f for _, f in self.inflight), default=None),
+                "busyCycles": self.busy_cycles,
+            }
+        return {
+            "name": self.spec.name,
+            "kind": self.spec.kind,
+            "busy": self.busy,
+            "instruction": self.simcode.instruction.render() if self.simcode else None,
+            "busyUntil": self.busy_until if self.busy else None,
+            "busyCycles": self.busy_cycles,
+        }
+
+
+class StoreBufferEntry:
+    """One store tracked from dispatch until its post-commit drain."""
+
+    __slots__ = ("simcode", "address", "data", "committed", "drain_until")
+
+    def __init__(self, simcode: SimCode):
+        self.simcode = simcode
+        self.address: Optional[int] = None
+        self.data: Optional[bytes] = None
+        self.committed = False
+        self.drain_until = -1
+
+
+class Cpu:
+    """Complete processor state plus the per-cycle block schedule."""
+
+    def __init__(self, program: Program, config: CpuConfig):
+        config.validate()
+        self.program = program
+        self.config = config
+
+        # -- substrates -------------------------------------------------
+        self.arch_regs = RegisterFile()
+        self.rename = RenameFile(config.memory.rename_file_size, self.arch_regs)
+        self.memory = MainMemory(config.memory.capacity,
+                                 config.memory.load_latency,
+                                 config.memory.store_latency)
+        self.l2_cache: Optional[Cache] = None
+        if config.l2_cache is not None and config.l2_cache.enabled \
+                and config.cache.enabled:
+            self.l2_cache = Cache(config.l2_cache, self.memory)
+        self.cache: Optional[Cache] = (
+            Cache(config.cache, self.memory,
+                  next_level=self.l2_cache or self.memory)
+            if config.cache.enabled else None)
+        self.memmodel = MemoryModel(self.memory, self.cache)
+        self.predictor = BranchPredictor(config.predictor)
+
+        # -- pipeline structures -----------------------------------------
+        self.fetch_buffer: Deque[SimCode] = deque()
+        self.rob: Deque[SimCode] = deque()
+        self.windows: Dict[str, List[SimCode]] = {
+            FuClass.FX.value: [], FuClass.FP.value: [],
+            FuClass.LS.value: [], FuClass.BRANCH.value: [],
+        }
+        self.fus: List[FuRuntime] = [
+            FuRuntime(spec) for spec in config.fus if spec.kind != "Memory"]
+        self.memory_units: List[FuRuntime] = [
+            FuRuntime(spec) for spec in config.fus if spec.kind == "Memory"]
+        #: op classes executable at all, per FU class (deadlock guard)
+        self._supported_ops: Dict[str, set] = {}
+        for fu in self.fus:
+            bucket = self._supported_ops.setdefault(fu.spec.kind, set())
+            if fu.spec.kind in ("FX", "FP"):
+                bucket.update(fu.spec.operations)
+                if fu.spec.kind == "FX":
+                    bucket.add("special")
+            else:
+                bucket.add("*")
+        #: loads whose address is known, waiting for / in a memory unit
+        self.load_queue: List[SimCode] = []
+        self.load_buffer: List[SimCode] = []
+        self.store_buffer: List[StoreBufferEntry] = []
+
+        # -- front-end state ---------------------------------------------
+        self.pc = program.entry_pc
+        self.fetch_stall_until = -1
+        self.fetch_past_end = False
+
+        # -- bookkeeping ---------------------------------------------------
+        self.cycle = 0
+        self.next_id = 0
+        self.halted: Optional[str] = None
+        self.committed_exception: Optional[SimulationException] = None
+        self.log: List[Tuple[int, str]] = []
+
+        # -- counters consumed by the statistics collector -----------------
+        self.committed = 0
+        self.committed_by_type: Dict[str, int] = {}
+        self.committed_by_mnemonic: Dict[str, int] = {}
+        self.flops = 0
+        self.rob_flushes = 0
+        self.decode_redirects = 0
+        self.fetch_stall_cycles = 0
+        self.dispatch_stalls: Dict[str, int] = {
+            "robFull": 0, "renameFull": 0, "windowFull": 0,
+            "loadBufferFull": 0, "storeBufferFull": 0,
+        }
+
+        self._initialize()
+
+    # ------------------------------------------------------------------
+    def _initialize(self) -> None:
+        """Simulation init sequence (Sec. III-A): memory image, register
+        seeding (sp, ra), entry PC."""
+        image = self.program.initial_memory_image(self.config.memory.capacity)
+        self.memory.data = image
+        # Stack pointer at the top of the call-stack region (Sec. III-C);
+        # prefer the architecture's own call-stack size when the program was
+        # assembled with the same default.
+        sp = self.program.stack_pointer or self.config.memory.call_stack_size
+        self.arch_regs.write("x2", sp)
+        self.initial_sp = sp
+        # Return address sentinel: one instruction past the program, so the
+        # final `ret` of the entry routine leaves the program (pipeline
+        # drains and the simulation ends).
+        self.arch_regs.write("x1", self.program.code_size_bytes)
+        self.log_msg(f"simulation initialized: entry pc={self.pc:#x}, sp={sp:#x}")
+
+    def log_msg(self, message: str) -> None:
+        """Debug log; every message is stamped with its cycle (Sec. II-A)."""
+        self.log.append((self.cycle, message))
+
+    # ==================================================================
+    # one clock cycle
+    # ==================================================================
+    def step(self) -> None:
+        """Execute one clock cycle (all blocks, reverse pipeline order)."""
+        if self.halted:
+            return
+        self._commit()
+        if self.halted:
+            self.cycle += 1
+            return
+        self._memory_step()
+        self._execute_fus()
+        self._issue()
+        self._dispatch()
+        self._fetch()
+        for fu in self.fus + self.memory_units:
+            if fu.busy:
+                fu.busy_cycles += 1
+        self._check_end()
+        self.cycle += 1
+
+    # ==================================================================
+    # commit
+    # ==================================================================
+    def _commit(self) -> None:
+        for _ in range(self.config.buffers.commit_width):
+            if not self.rob:
+                return
+            head = self.rob[0]
+            if head.stamped(Phase.WRITEBACK) is None:
+                return  # not yet executed: in-order commit stalls here
+            self.rob.popleft()
+            head.stamp(Phase.COMMIT, self.cycle)
+            d = head.definition
+            self.committed += 1
+            self._count_commit(head)
+
+            # exceptions are checked when the instruction is committed
+            if head.exception is not None:
+                self.log_msg(
+                    f"exception at pc={head.pc:#x} ({head.mnemonic}): "
+                    f"{head.exception}")
+                if self.config.halt_on_exception:
+                    self.committed_exception = head.exception
+                    self.halted = f"exception: {head.exception}"
+                    return
+            if d.is_store:
+                entry = self._store_entry(head)
+                if entry is not None:
+                    self._drain_store(entry)
+                if self.halted:
+                    return
+            if d.is_load:
+                try:
+                    self.load_buffer.remove(head)
+                except ValueError:
+                    pass
+            if head.dest_tag is not None:
+                self.rename.commit(head.dest_tag)
+
+            if d.name in ("ecall", "ebreak"):
+                self.halted = f"halt instruction '{d.name}' committed"
+                self.log_msg(self.halted)
+                return
+
+            if d.is_branch:
+                correct = self.predictor.train(
+                    head.pc, bool(head.actual_taken), head.actual_target or 0,
+                    head.predicted_taken, head.predicted_target,
+                    pht_index=head.pht_index)
+                if not correct:
+                    self._flush_after_mispredict(head)
+                    return
+
+    def _count_commit(self, simcode: SimCode) -> None:
+        t = simcode.definition.instruction_type.value
+        self.committed_by_type[t] = self.committed_by_type.get(t, 0) + 1
+        m = simcode.mnemonic
+        self.committed_by_mnemonic[m] = self.committed_by_mnemonic.get(m, 0) + 1
+        self.flops += simcode.definition.flops
+
+    def _flush_after_mispredict(self, branch: SimCode) -> None:
+        """Commit-time branch recovery: flush everything younger."""
+        branch.mispredicted = True
+        self.rob_flushes += 1
+        target = branch.actual_target if branch.actual_taken else branch.pc + 4
+        self.log_msg(
+            f"mispredicted {branch.mnemonic} at pc={branch.pc:#x}: "
+            f"flush, redirect to {target:#x}")
+        self._squash_pipeline()
+        self.pc = target if target is not None else branch.pc + 4
+        self.fetch_past_end = False
+        self.fetch_stall_until = self.cycle + self.config.buffers.flush_penalty
+
+    def _squash_pipeline(self) -> None:
+        for simcode in list(self.fetch_buffer) + list(self.rob):
+            simcode.squashed = True
+        for window in self.windows.values():
+            window.clear()
+        self.fetch_buffer.clear()
+        self.rob.clear()
+        for fu in self.fus + self.memory_units:
+            fu.squash()
+        self.load_queue.clear()
+        self.load_buffer.clear()
+        self.store_buffer = [e for e in self.store_buffer if e.committed]
+        self.rename.flush()
+        self.predictor.on_flush()
+
+    # ==================================================================
+    # memory unit: loads access the cache / main memory
+    # ==================================================================
+    def _memory_step(self) -> None:
+        # free drained stores
+        self.store_buffer = [
+            e for e in self.store_buffer
+            if not (e.committed and e.drain_until >= 0
+                    and self.cycle >= e.drain_until)]
+        # complete finished loads
+        for unit in self.memory_units:
+            if unit.busy and self.cycle >= unit.busy_until:
+                load = unit.simcode
+                unit.simcode = None
+                self._writeback_load(load)
+        # start new accesses
+        for unit in self.memory_units:
+            if unit.busy or not self.load_queue:
+                continue
+            load = self.load_queue[0]
+            status, value, delay = self._try_load(load)
+            if status == "wait":
+                continue  # head-of-queue blocking until older stores resolve
+            self.load_queue.pop(0)
+            unit.simcode = load
+            unit.busy_until = self.cycle + max(1, delay + unit.spec.latency - 1)
+            load.mem_delay = delay
+            load.result = value
+
+    def _try_load(self, load: SimCode) -> Tuple[str, object, int]:
+        """Resolve a load against older stores; returns (status, value, delay).
+
+        status is 'wait' when an older store's address is unknown or
+        partially overlaps, 'forward' on a store-buffer hit, 'memory' when
+        the access goes to the cache / main memory.
+        """
+        addr = load.address
+        size = load.definition.memory_size
+        forward_src: Optional[StoreBufferEntry] = None
+        for entry in self.store_buffer:
+            if entry.simcode.id >= load.id:
+                continue
+            if entry.committed and entry.drain_until >= 0:
+                continue  # already written to memory
+            if entry.address is None:
+                return "wait", None, 0
+            e_lo, e_hi = entry.address, entry.address + len(entry.data or b"")
+            lo, hi = addr, addr + size
+            if e_hi <= lo or hi <= e_lo:
+                continue  # disjoint
+            if e_lo <= lo and hi <= e_hi and entry.data is not None:
+                forward_src = entry  # youngest covering store wins
+            else:
+                return "wait", None, 0  # partial overlap: wait for drain
+        if forward_src is not None:
+            off = addr - forward_src.address
+            raw = forward_src.data[off:off + size]
+            value = self._decode_load_value(load, raw)
+            return "forward", value, 1
+        try:
+            value, delay, tx = self.memmodel.load(
+                addr, size, load.definition.memory_signed,
+                load.definition.destination.type is ArgType.FLOAT,
+                self.cycle, load.id)
+            load.transaction = tx
+        except MemoryAccessError as exc:
+            load.exception = exc
+            return "memory", 0, 1
+        return "memory", value, delay
+
+    @staticmethod
+    def _decode_load_value(load: SimCode, raw: bytes):
+        if load.definition.destination.type is ArgType.FLOAT:
+            return struct.unpack("<f", raw)[0] if len(raw) == 4 \
+                else struct.unpack("<d", raw)[0]
+        return int.from_bytes(raw, "little",
+                              signed=load.definition.memory_signed)
+
+    def _writeback_load(self, load: SimCode) -> None:
+        if load.dest_tag is not None:
+            self.rename.write(load.dest_tag, load.result)
+        load.stamp(Phase.WRITEBACK, self.cycle)
+
+    def _drain_store(self, entry: StoreBufferEntry) -> None:
+        """Perform the architectural store at commit; model drain timing."""
+        simcode = entry.simcode
+        try:
+            delay, tx = self.memmodel.store(
+                entry.address, entry.data, self.cycle, simcode.id)
+            simcode.transaction = tx
+            simcode.mem_delay = delay
+        except MemoryAccessError as exc:
+            # surfaced at commit (we are at commit): record + optional halt
+            simcode.exception = exc
+            delay = 1
+            if self.config.halt_on_exception:
+                self.committed_exception = exc
+                self.halted = f"exception: {exc}"
+        entry.committed = True
+        entry.drain_until = self.cycle + max(1, delay)
+
+    def _store_entry(self, simcode: SimCode) -> Optional[StoreBufferEntry]:
+        for entry in self.store_buffer:
+            if entry.simcode is simcode:
+                return entry
+        return None
+
+    # ==================================================================
+    # execute: functional units (sub-step 1 of Sec. III-A)
+    # ==================================================================
+    def _execute_fus(self) -> None:
+        for fu in self.fus:
+            for simcode in fu.take_finished(self.cycle):
+                self._complete(simcode)
+
+    def _complete(self, simcode: SimCode) -> None:
+        d = simcode.definition
+        simcode.stamp(Phase.EXECUTE, self.cycle)
+        if d.fu_class is FuClass.LS:
+            if d.is_store:
+                entry = self._store_entry(simcode)
+                if entry is not None:
+                    entry.address = simcode.address
+                    entry.data = simcode.store_data
+                simcode.stamp(Phase.WRITEBACK, self.cycle)
+            else:
+                self.load_queue.append(simcode)
+                self.load_queue.sort(key=lambda s: s.id)  # oldest first
+            return
+        # FX / FP / Branch: apply the pre-computed register result
+        if simcode.dest_tag is not None:
+            self.rename.write(simcode.dest_tag, simcode.result)
+        simcode.stamp(Phase.WRITEBACK, self.cycle)
+
+    # ==================================================================
+    # issue: windows poll operands, dispatch to free units (sub-step 2)
+    # ==================================================================
+    def _issue(self) -> None:
+        # wake-up: capture values of speculative registers that became valid
+        for window in self.windows.values():
+            for simcode in window:
+                self._poll_operands(simcode)
+
+        for class_name, window in self.windows.items():
+            if not window:
+                continue
+            free_units = [fu for fu in self.fus
+                          if fu.spec.kind == class_name
+                          and fu.can_accept(self.cycle)]
+            if not free_units:
+                continue
+            for simcode in sorted(window, key=lambda s: s.id):
+                if not free_units:
+                    break
+                if not simcode.operands_ready:
+                    continue
+                unit = self._pick_unit(free_units, simcode.definition.op_class)
+                if unit is None:
+                    continue
+                free_units.remove(unit)
+                window.remove(simcode)
+                self._start_execution(unit, simcode)
+
+    def _poll_operands(self, simcode: SimCode) -> None:
+        for name, (kind, value) in list(simcode.operands.items()):
+            if kind == "tag" and self.rename.is_valid(value):
+                simcode.operands[name] = ("val", self.rename.value_of(value))
+
+    @staticmethod
+    def _pick_unit(units: List[FuRuntime], op_class: str) -> Optional[FuRuntime]:
+        for fu in units:
+            if fu.spec.supports(op_class):
+                return fu
+        return None
+
+    def _start_execution(self, unit: FuRuntime, simcode: SimCode) -> None:
+        d = simcode.definition
+        latency = unit.spec.latency_of(d.op_class)
+        simcode.fu_name = unit.spec.name
+        simcode.stamp(Phase.ISSUE, self.cycle)
+        finish = self.cycle + latency
+        unit.start(simcode, self.cycle, finish)
+        simcode.finish_cycle = finish
+        # Compute the architectural result now, deterministically, from the
+        # captured operand values; it becomes visible at finish time.
+        try:
+            self._evaluate(simcode)
+        except SimulationException as exc:  # pragma: no cover - defensive
+            simcode.exception = exc
+
+    def _evaluate(self, simcode: SimCode) -> None:
+        d = simcode.definition
+        values = {name: value for name, (kind, value) in simcode.operands.items()}
+        ctx = EvalContext(values, pc=simcode.pc)
+        expr = Expression.compile(d.interpretable_as) if d.interpretable_as else None
+        result = expr.evaluate(ctx) if expr is not None else None
+        if ctx.exception is not None:
+            simcode.exception = ctx.exception
+        simcode.assignments = list(ctx.assignments)
+
+        if d.fu_class is FuClass.LS:
+            simcode.address = int(result) & 0xFFFFFFFF if result is not None else 0
+            if d.is_store:
+                simcode.store_data = self._encode_store_data(simcode)
+            return
+
+        if d.is_branch:
+            target_expr = Expression.compile(d.target)
+            tctx = EvalContext(values, pc=simcode.pc)
+            target = int(target_expr.evaluate(tctx)) & 0xFFFFFFFF
+            if d.is_unconditional:
+                simcode.actual_taken = True
+            else:
+                simcode.actual_taken = bool(result)
+            simcode.actual_target = target if simcode.actual_taken else None
+            # jal/jalr write the link register via the '=' side effect
+            if simcode.dest_arch is not None and ctx.assignments:
+                simcode.result = ctx.assignments[-1][1]
+            return
+
+        # FX / FP result: the value assigned to the destination argument
+        dest = d.destination
+        if dest is not None:
+            for name, value in reversed(ctx.assignments):
+                if name == dest.name:
+                    simcode.result = value
+                    break
+            else:
+                simcode.result = result
+        else:
+            simcode.result = result
+
+    def _encode_store_data(self, simcode: SimCode) -> bytes:
+        d = simcode.definition
+        value = simcode.operand_value(d.arguments[0].name)
+        size = d.memory_size
+        if d.arguments[0].type is ArgType.FLOAT:
+            return struct.pack("<f", float(value)) if size == 4 \
+                else struct.pack("<d", float(value))
+        return (int(value) & ((1 << (8 * size)) - 1)).to_bytes(size, "little")
+
+    # ==================================================================
+    # dispatch: decode + rename + ROB/window allocation
+    # ==================================================================
+    def _dispatch(self) -> None:
+        buffers = self.config.buffers
+        for _ in range(buffers.fetch_width):
+            if not self.fetch_buffer:
+                return
+            simcode = self.fetch_buffer[0]
+            d = simcode.definition
+            supported = self._supported_ops.get(d.fu_class.value, set())
+            if "*" not in supported and d.op_class not in supported:
+                self.halted = (
+                    f"configuration error: no {d.fu_class.value} unit "
+                    f"supports '{d.op_class}' (instruction '{d.name}' at "
+                    f"pc={simcode.pc:#x})")
+                self.log_msg(self.halted)
+                return
+            if len(self.rob) >= buffers.rob_size:
+                self.dispatch_stalls["robFull"] += 1
+                return
+            window = self.windows[d.fu_class.value]
+            if len(window) >= buffers.issue_window_size:
+                self.dispatch_stalls["windowFull"] += 1
+                return
+            if d.is_load and len(self.load_buffer) >= self.config.memory.load_buffer_size:
+                self.dispatch_stalls["loadBufferFull"] += 1
+                return
+            if d.is_store and len(self.store_buffer) >= self.config.memory.store_buffer_size:
+                self.dispatch_stalls["storeBufferFull"] += 1
+                return
+            dest = d.destination
+            needs_tag = dest is not None and \
+                simcode.instruction.operands[dest.name] != "x0"
+            if needs_tag and self.rename.free_count == 0:
+                self.dispatch_stalls["renameFull"] += 1
+                return
+
+            self.fetch_buffer.popleft()
+            # rename sources
+            for arg in d.arguments:
+                operand = simcode.instruction.operands[arg.name]
+                if arg.is_register and not arg.write_back:
+                    if operand == "x0":
+                        simcode.operands[arg.name] = ("val", 0)
+                    else:
+                        resolved = self.rename.read_source(operand)
+                        simcode.operands[arg.name] = resolved
+                        if resolved[0] == "tag":
+                            simcode.renamed_sources[arg.name] = f"t{resolved[1]}"
+                elif not arg.is_register:
+                    simcode.operands[arg.name] = ("val", operand)
+            if dest is not None:
+                simcode.dest_arch = simcode.instruction.operands[dest.name]
+                if needs_tag:
+                    simcode.dest_tag = self.rename.allocate(simcode.dest_arch)
+            if d.is_load:
+                self.load_buffer.append(simcode)
+            if d.is_store:
+                self.store_buffer.append(StoreBufferEntry(simcode))
+
+            simcode.stamp(Phase.DECODE, self.cycle)
+            simcode.stamp(Phase.DISPATCH, self.cycle)
+            self.rob.append(simcode)
+            window.append(simcode)
+
+            if d.is_branch:
+                if self._decode_redirect(simcode):
+                    return  # younger fetched instructions were squashed
+
+    def _decode_redirect(self, simcode: SimCode) -> bool:
+        """Early (decode-time) redirect for statically-computable targets."""
+        d = simcode.definition
+        if d.name == "jalr":
+            return False  # target known only at execute
+        computed = (simcode.pc + simcode.instruction.operands["imm"]) & 0xFFFFFFFF
+        should_take = d.is_unconditional or simcode.predicted_taken
+        if not should_take:
+            return False
+        if simcode.predicted_taken and simcode.predicted_target == computed:
+            return False  # fetch already went the right way
+        # redirect: squash everything younger still in the fetch buffer
+        for younger in self.fetch_buffer:
+            younger.squashed = True
+        self.fetch_buffer.clear()
+        simcode.predicted_taken = True
+        simcode.predicted_target = computed
+        self.pc = computed
+        self.fetch_past_end = False
+        self.fetch_stall_until = max(self.fetch_stall_until, self.cycle + 1)
+        self.decode_redirects += 1
+        self.log_msg(
+            f"decode redirect for {d.name} at pc={simcode.pc:#x} "
+            f"-> {computed:#x}")
+        return True
+
+    # ==================================================================
+    # fetch
+    # ==================================================================
+    def _fetch(self) -> None:
+        buffers = self.config.buffers
+        if self.cycle < self.fetch_stall_until:
+            self.fetch_stall_cycles += 1
+            return
+        if self.fetch_past_end:
+            return
+        jumps = 0
+        capacity = 2 * buffers.fetch_width
+        for _ in range(buffers.fetch_width):
+            if len(self.fetch_buffer) >= capacity:
+                return
+            instr = self.program.instruction_at(self.pc)
+            if instr is None:
+                self.fetch_past_end = True
+                return
+            simcode = SimCode(self.next_id, instr)
+            self.next_id += 1
+            simcode.stamp(Phase.FETCH, self.cycle)
+            self.fetch_buffer.append(simcode)
+            d = instr.definition
+            if d.is_branch:
+                taken, target, index = self.predictor.predict_indexed(
+                    self.pc, d.is_unconditional)
+                simcode.pht_index = index
+                if taken and target is not None:
+                    simcode.predicted_taken = True
+                    simcode.predicted_target = target
+                    self.pc = target
+                    jumps += 1
+                    if jumps >= buffers.fetch_branch_limit:
+                        return
+                    continue
+                # predicted taken without a known target behaves as a
+                # fall-through fetch (resolved at decode or execute)
+                simcode.predicted_taken = False
+                simcode.predicted_target = None
+            self.pc += 4
+
+    # ==================================================================
+    # end-of-program detection
+    # ==================================================================
+    @property
+    def pipeline_empty(self) -> bool:
+        return (not self.fetch_buffer and not self.rob
+                and not self.load_queue
+                and all(not fu.busy for fu in self.fus + self.memory_units))
+
+    def _check_end(self) -> None:
+        if self.halted:
+            return
+        if self.fetch_past_end and self.pipeline_empty:
+            self.halted = "program finished (pipeline empty)"
+            self.log_msg(self.halted)
+        elif self.cycle + 1 >= self.config.max_cycles:
+            self.halted = f"cycle limit reached ({self.config.max_cycles})"
+            self.log_msg(self.halted)
+
+    # ==================================================================
+    # GUI snapshots
+    # ==================================================================
+    def snapshot(self) -> dict:
+        """Complete processor-view payload (Fig. 12)."""
+        return {
+            "cycle": self.cycle,
+            "pc": self.pc,
+            "halted": self.halted,
+            "fetch": {
+                "pc": self.pc,
+                "stalledUntil": self.fetch_stall_until,
+                "buffer": [s.to_json() for s in self.fetch_buffer],
+            },
+            "rob": [s.to_json() for s in self.rob],
+            "issueWindows": {
+                name: [s.to_json() for s in window]
+                for name, window in self.windows.items()
+            },
+            "functionalUnits": [fu.snapshot() for fu in self.fus],
+            "memoryUnits": [fu.snapshot() for fu in self.memory_units],
+            "loadQueue": [s.to_json() for s in self.load_queue],
+            "storeBuffer": [
+                {"instruction": e.simcode.instruction.render(),
+                 "address": e.address, "committed": e.committed,
+                 "drainUntil": e.drain_until}
+                for e in self.store_buffer
+            ],
+            "registers": self.arch_regs.snapshot(),
+            "rename": self.rename.snapshot(),
+            "cache": self.cache.lines_snapshot() if self.cache else None,
+            "l2Cache": (self.l2_cache.lines_snapshot()
+                        if self.l2_cache else None),
+        }

@@ -1,0 +1,145 @@
+"""Dynamic (in-flight) instruction record.
+
+One :class:`SimCode` exists per *executed* instance of a static instruction.
+It carries everything the instruction pop-up window displays (Fig. 3):
+parameter values, renaming details, validity, flags, and the timestamps of
+phase completions (fetch, decode, issue, execute, write-back, commit).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional, Tuple
+
+from repro.asm.program import ParsedInstruction
+from repro.errors import SimulationException
+
+
+class Phase(str, enum.Enum):
+    """Pipeline phases an instruction passes through."""
+
+    FETCH = "fetch"
+    DECODE = "decode"
+    DISPATCH = "dispatch"   # entered ROB + issue window
+    ISSUE = "issue"         # sent to a functional unit
+    EXECUTE = "execute"     # finished executing (result computed)
+    WRITEBACK = "writeback"
+    COMMIT = "commit"
+
+
+class SimCode:
+    """A dynamic instruction instance travelling through the pipeline."""
+
+    __slots__ = (
+        "id", "instruction", "pc",
+        "timestamps", "squashed", "exception",
+        # renaming
+        "renamed_sources", "dest_arch", "dest_tag",
+        # operand capture: arg name -> ('val', value) | ('tag', tag)
+        "operands",
+        # results
+        "result", "assignments",
+        # branch bookkeeping
+        "predicted_taken", "predicted_target", "actual_taken",
+        "actual_target", "mispredicted", "pht_index",
+        # memory bookkeeping
+        "address", "mem_delay", "store_data", "transaction",
+        # execution bookkeeping
+        "fu_name", "finish_cycle",
+    )
+
+    def __init__(self, uid: int, instruction: ParsedInstruction):
+        self.id = uid
+        self.instruction = instruction
+        self.pc = instruction.pc
+        self.timestamps: Dict[str, int] = {}
+        self.squashed = False
+        self.exception: Optional[SimulationException] = None
+
+        self.renamed_sources: Dict[str, str] = {}   # arg -> "t3" / "arch"
+        self.dest_arch: Optional[str] = None
+        self.dest_tag: Optional[int] = None
+        self.operands: Dict[str, Tuple[str, object]] = {}
+
+        self.result = None
+        self.assignments: List[Tuple[str, object]] = []
+
+        self.predicted_taken = False
+        self.predicted_target: Optional[int] = None
+        self.actual_taken: Optional[bool] = None
+        self.actual_target: Optional[int] = None
+        self.mispredicted = False
+        self.pht_index: Optional[int] = None
+
+        self.address: Optional[int] = None
+        self.mem_delay: Optional[int] = None
+        self.store_data: Optional[bytes] = None
+        self.transaction = None
+
+        self.fu_name: Optional[str] = None
+        self.finish_cycle: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def definition(self):
+        return self.instruction.definition
+
+    @property
+    def mnemonic(self) -> str:
+        return self.instruction.mnemonic
+
+    def stamp(self, phase: Phase, cycle: int) -> None:
+        self.timestamps[phase.value] = cycle
+
+    def stamped(self, phase: Phase) -> Optional[int]:
+        return self.timestamps.get(phase.value)
+
+    # ------------------------------------------------------------------
+    @property
+    def operands_ready(self) -> bool:
+        """All source operands have captured values."""
+        return all(kind == "val" for kind, _ in self.operands.values())
+
+    def operand_value(self, name: str):
+        kind, value = self.operands[name]
+        if kind != "val":
+            raise RuntimeError(
+                f"operand '{name}' of {self.mnemonic} #{self.id} not ready")
+        return value
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> dict:
+        """Instruction pop-up payload (Fig. 3)."""
+        return {
+            "id": self.id,
+            "pc": self.pc,
+            "mnemonic": self.mnemonic,
+            "text": self.instruction.render(),
+            "timestamps": dict(self.timestamps),
+            "squashed": self.squashed,
+            "exception": None if self.exception is None else str(self.exception),
+            "renamedSources": dict(self.renamed_sources),
+            "destArch": self.dest_arch,
+            "destTag": self.dest_tag,
+            "operands": {
+                name: {"ready": kind == "val",
+                       "value": value if kind == "val" else f"t{value}"}
+                for name, (kind, value) in self.operands.items()
+            },
+            "result": self.result,
+            "branch": {
+                "predictedTaken": self.predicted_taken,
+                "predictedTarget": self.predicted_target,
+                "actualTaken": self.actual_taken,
+                "actualTarget": self.actual_target,
+                "mispredicted": self.mispredicted,
+            } if self.definition.is_branch else None,
+            "memory": {
+                "address": self.address,
+                "delay": self.mem_delay,
+            } if self.definition.memory_size else None,
+            "fu": self.fu_name,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimCode#{self.id}({self.instruction.render()} @ {self.pc:#x})"

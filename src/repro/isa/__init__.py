@@ -1,0 +1,76 @@
+"""Instruction-set layer: RV32IMF definitions, registers, semantics.
+
+The instruction set is defined declaratively (Sec. III-B of the paper): each
+instruction is a record with typed arguments and an ``interpretableAs``
+postfix expression executed by a small stack interpreter.  The set can be
+extended at runtime (:func:`repro.isa.isa.register_instruction`) or loaded
+from JSON, mirroring the paper's configuration file.
+"""
+
+from repro.isa.bits import (
+    to_int32,
+    to_uint32,
+    to_int64,
+    to_uint64,
+    float_to_bits,
+    bits_to_float,
+    float32_round,
+    sign_extend,
+)
+from repro.isa.instruction import (
+    Argument,
+    ArgType,
+    InstructionDef,
+    InstructionType,
+    FuClass,
+)
+from repro.isa.expression import Expression, EvalContext
+from repro.isa.registers import (
+    RegisterFile,
+    RegisterDataType,
+    INT_REG_ALIASES,
+    FP_REG_ALIASES,
+    canonical_int_reg,
+    canonical_fp_reg,
+)
+from repro.isa.encoding import decode, disassemble, encode, encode_program
+from repro.isa.isa import (
+    InstructionSet,
+    default_instruction_set,
+    register_instruction,
+    instruction_set_to_json,
+    instruction_set_from_json,
+)
+
+__all__ = [
+    "Argument",
+    "ArgType",
+    "InstructionDef",
+    "InstructionType",
+    "FuClass",
+    "Expression",
+    "EvalContext",
+    "RegisterFile",
+    "RegisterDataType",
+    "InstructionSet",
+    "default_instruction_set",
+    "register_instruction",
+    "instruction_set_to_json",
+    "instruction_set_from_json",
+    "INT_REG_ALIASES",
+    "FP_REG_ALIASES",
+    "canonical_int_reg",
+    "canonical_fp_reg",
+    "encode",
+    "decode",
+    "encode_program",
+    "disassemble",
+    "to_int32",
+    "to_uint32",
+    "to_int64",
+    "to_uint64",
+    "float_to_bits",
+    "bits_to_float",
+    "float32_round",
+    "sign_extend",
+]

@@ -1,0 +1,345 @@
+"""RV32IMF binary instruction encoding and decoding.
+
+The simulator executes from parsed instruction objects (Sec. III-B), but
+real machine words are needed for the memory editor's binary code dumps and
+for the disassembler view.  This module converts between
+:class:`repro.asm.program.ParsedInstruction` operand dictionaries and
+32-bit RISC-V machine words, both directions, for the complete RV32IMF set.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.isa.bits import sign_extend
+
+OPC_LOAD = 0x03
+OPC_LOAD_FP = 0x07
+OPC_MISC_MEM = 0x0F
+OPC_OP_IMM = 0x13
+OPC_AUIPC = 0x17
+OPC_STORE = 0x23
+OPC_STORE_FP = 0x27
+OPC_OP = 0x33
+OPC_LUI = 0x37
+OPC_MADD = 0x43
+OPC_MSUB = 0x47
+OPC_NMSUB = 0x4B
+OPC_NMADD = 0x4F
+OPC_OP_FP = 0x53
+OPC_BRANCH = 0x63
+OPC_JALR = 0x67
+OPC_JAL = 0x6F
+OPC_SYSTEM = 0x73
+
+
+class EncodingError(ReproError):
+    """Instruction cannot be encoded / word cannot be decoded."""
+
+
+# mnemonic -> (funct3, funct7) for OP (R-type) instructions
+_R_TYPE: Dict[str, Tuple[int, int]] = {
+    "add": (0b000, 0b0000000), "sub": (0b000, 0b0100000),
+    "sll": (0b001, 0b0000000), "slt": (0b010, 0b0000000),
+    "sltu": (0b011, 0b0000000), "xor": (0b100, 0b0000000),
+    "srl": (0b101, 0b0000000), "sra": (0b101, 0b0100000),
+    "or": (0b110, 0b0000000), "and": (0b111, 0b0000000),
+    "mul": (0b000, 0b0000001), "mulh": (0b001, 0b0000001),
+    "mulhsu": (0b010, 0b0000001), "mulhu": (0b011, 0b0000001),
+    "div": (0b100, 0b0000001), "divu": (0b101, 0b0000001),
+    "rem": (0b110, 0b0000001), "remu": (0b111, 0b0000001),
+}
+
+_I_TYPE: Dict[str, int] = {
+    "addi": 0b000, "slti": 0b010, "sltiu": 0b011, "xori": 0b100,
+    "ori": 0b110, "andi": 0b111,
+}
+_SHIFT_IMM: Dict[str, Tuple[int, int]] = {
+    "slli": (0b001, 0b0000000), "srli": (0b101, 0b0000000),
+    "srai": (0b101, 0b0100000),
+}
+_LOADS: Dict[str, int] = {"lb": 0b000, "lh": 0b001, "lw": 0b010,
+                          "lbu": 0b100, "lhu": 0b101}
+_STORES: Dict[str, int] = {"sb": 0b000, "sh": 0b001, "sw": 0b010}
+_BRANCHES: Dict[str, int] = {"beq": 0b000, "bne": 0b001, "blt": 0b100,
+                             "bge": 0b101, "bltu": 0b110, "bgeu": 0b111}
+
+#: OP-FP instructions: mnemonic -> (funct7, rm-or-None, rs2-or-None)
+_FP_OPS: Dict[str, Tuple[int, Optional[int], Optional[int]]] = {
+    "fadd.s": (0b0000000, None, None),
+    "fsub.s": (0b0000100, None, None),
+    "fmul.s": (0b0001000, None, None),
+    "fdiv.s": (0b0001100, None, None),
+    "fsqrt.s": (0b0101100, None, 0),
+    "fsgnj.s": (0b0010000, 0b000, None),
+    "fsgnjn.s": (0b0010000, 0b001, None),
+    "fsgnjx.s": (0b0010000, 0b010, None),
+    "fmin.s": (0b0010100, 0b000, None),
+    "fmax.s": (0b0010100, 0b001, None),
+    "fcvt.w.s": (0b1100000, None, 0),
+    "fcvt.wu.s": (0b1100000, None, 1),
+    "fmv.x.w": (0b1110000, 0b000, 0),
+    "feq.s": (0b1010000, 0b010, None),
+    "flt.s": (0b1010000, 0b001, None),
+    "fle.s": (0b1010000, 0b000, None),
+    "fclass.s": (0b1110000, 0b001, 0),
+    "fcvt.s.w": (0b1101000, None, 0),
+    "fcvt.s.wu": (0b1101000, None, 1),
+    "fmv.w.x": (0b1111000, 0b000, 0),
+}
+_FMA: Dict[str, int] = {"fmadd.s": OPC_MADD, "fmsub.s": OPC_MSUB,
+                        "fnmsub.s": OPC_NMSUB, "fnmadd.s": OPC_NMADD}
+
+_DYNAMIC_RM = 0b111  # dynamic rounding mode
+
+
+def _reg_num(name: str) -> int:
+    return int(name[1:])
+
+
+def _check_range(value: int, bits: int, name: str, mnemonic: str) -> None:
+    low, high = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    if not low <= value <= high:
+        raise EncodingError(
+            f"{mnemonic}: immediate {value} out of {bits}-bit range")
+
+
+def _i_format(opcode: int, rd: int, funct3: int, rs1: int, imm: int) -> int:
+    return ((imm & 0xFFF) << 20) | (rs1 << 15) | (funct3 << 12) \
+        | (rd << 7) | opcode
+
+
+def _r_format(opcode: int, rd: int, funct3: int, rs1: int, rs2: int,
+              funct7: int) -> int:
+    return (funct7 << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) \
+        | (rd << 7) | opcode
+
+
+def _s_format(opcode: int, funct3: int, rs1: int, rs2: int, imm: int) -> int:
+    return (((imm >> 5) & 0x7F) << 25) | (rs2 << 20) | (rs1 << 15) \
+        | (funct3 << 12) | ((imm & 0x1F) << 7) | opcode
+
+
+def _b_format(funct3: int, rs1: int, rs2: int, imm: int) -> int:
+    return (((imm >> 12) & 1) << 31) | (((imm >> 5) & 0x3F) << 25) \
+        | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) \
+        | (((imm >> 1) & 0xF) << 8) | (((imm >> 11) & 1) << 7) | OPC_BRANCH
+
+
+def _u_format(opcode: int, rd: int, imm20: int) -> int:
+    return ((imm20 & 0xFFFFF) << 12) | (rd << 7) | opcode
+
+
+def _j_format(rd: int, imm: int) -> int:
+    return (((imm >> 20) & 1) << 31) | (((imm >> 1) & 0x3FF) << 21) \
+        | (((imm >> 11) & 1) << 20) | (((imm >> 12) & 0xFF) << 12) \
+        | (rd << 7) | OPC_JAL
+
+
+def encode(mnemonic: str, operands: Dict[str, object]) -> int:
+    """Encode one instruction into a 32-bit machine word.
+
+    *operands* uses the assembler's canonical form: register operands as
+    ``x5`` / ``f3`` strings, immediates as ints (branch offsets already
+    PC-relative).
+    """
+    ops = operands
+
+    def rd() -> int:
+        return _reg_num(str(ops["rd"]))
+
+    def rs1() -> int:
+        return _reg_num(str(ops["rs1"]))
+
+    def rs2() -> int:
+        return _reg_num(str(ops["rs2"]))
+
+    def imm() -> int:
+        return int(ops["imm"])
+
+    if mnemonic in _R_TYPE:
+        funct3, funct7 = _R_TYPE[mnemonic]
+        return _r_format(OPC_OP, rd(), funct3, rs1(), rs2(), funct7)
+    if mnemonic in _I_TYPE:
+        _check_range(imm(), 12, "imm", mnemonic)
+        return _i_format(OPC_OP_IMM, rd(), _I_TYPE[mnemonic], rs1(), imm())
+    if mnemonic in _SHIFT_IMM:
+        funct3, funct7 = _SHIFT_IMM[mnemonic]
+        if not 0 <= imm() <= 31:
+            raise EncodingError(f"{mnemonic}: shift amount out of range")
+        return _r_format(OPC_OP_IMM, rd(), funct3, rs1(), imm(), funct7)
+    if mnemonic in _LOADS:
+        _check_range(imm(), 12, "imm", mnemonic)
+        return _i_format(OPC_LOAD, rd(), _LOADS[mnemonic], rs1(), imm())
+    if mnemonic == "flw":
+        _check_range(imm(), 12, "imm", mnemonic)
+        return _i_format(OPC_LOAD_FP, rd(), 0b010, rs1(), imm())
+    if mnemonic in _STORES:
+        _check_range(imm(), 12, "imm", mnemonic)
+        return _s_format(OPC_STORE, _STORES[mnemonic], rs1(), rs2(), imm())
+    if mnemonic == "fsw":
+        _check_range(imm(), 12, "imm", mnemonic)
+        return _s_format(OPC_STORE_FP, 0b010, rs1(), rs2(), imm())
+    if mnemonic in _BRANCHES:
+        _check_range(imm(), 13, "imm", mnemonic)
+        return _b_format(_BRANCHES[mnemonic], rs1(), rs2(), imm())
+    if mnemonic == "lui":
+        return _u_format(OPC_LUI, rd(), imm())
+    if mnemonic == "auipc":
+        return _u_format(OPC_AUIPC, rd(), imm())
+    if mnemonic == "jal":
+        _check_range(imm(), 21, "imm", mnemonic)
+        return _j_format(rd(), imm())
+    if mnemonic == "jalr":
+        _check_range(imm(), 12, "imm", mnemonic)
+        return _i_format(OPC_JALR, rd(), 0b000, rs1(), imm())
+    if mnemonic == "fence":
+        return _i_format(OPC_MISC_MEM, 0, 0, 0, 0x0FF)
+    if mnemonic == "ecall":
+        return _i_format(OPC_SYSTEM, 0, 0, 0, 0)
+    if mnemonic == "ebreak":
+        return _i_format(OPC_SYSTEM, 0, 0, 0, 1)
+    if mnemonic in _FP_OPS:
+        funct7, rm, fixed_rs2 = _FP_OPS[mnemonic]
+        rm_field = _DYNAMIC_RM if rm is None else rm
+        rs2_field = _reg_num(str(ops["rs2"])) if fixed_rs2 is None \
+            else fixed_rs2
+        return _r_format(OPC_OP_FP, rd(), rm_field, rs1(), rs2_field, funct7)
+    if mnemonic in _FMA:
+        rs3 = _reg_num(str(ops["rs3"]))
+        return (rs3 << 27) | (0b00 << 25) | (rs2() << 20) | (rs1() << 15) \
+            | (_DYNAMIC_RM << 12) | (rd() << 7) | _FMA[mnemonic]
+    raise EncodingError(f"cannot encode '{mnemonic}'")
+
+
+# ---------------------------------------------------------------------------
+# decoding
+# ---------------------------------------------------------------------------
+def _x(n: int) -> str:
+    return f"x{n}"
+
+
+def _f(n: int) -> str:
+    return f"f{n}"
+
+
+def decode(word: int) -> Tuple[str, Dict[str, object]]:
+    """Decode a 32-bit machine word back into (mnemonic, operands)."""
+    word &= 0xFFFFFFFF
+    opcode = word & 0x7F
+    rd = (word >> 7) & 0x1F
+    funct3 = (word >> 12) & 0x7
+    rs1 = (word >> 15) & 0x1F
+    rs2 = (word >> 20) & 0x1F
+    funct7 = (word >> 25) & 0x7F
+    imm_i = sign_extend(word >> 20, 12)
+    imm_s = sign_extend(((word >> 25) << 5) | ((word >> 7) & 0x1F), 12)
+    imm_b = sign_extend(
+        (((word >> 31) & 1) << 12) | (((word >> 7) & 1) << 11)
+        | (((word >> 25) & 0x3F) << 5) | (((word >> 8) & 0xF) << 1), 13)
+    imm_u = (word >> 12) & 0xFFFFF
+    imm_j = sign_extend(
+        (((word >> 31) & 1) << 20) | (((word >> 12) & 0xFF) << 12)
+        | (((word >> 20) & 1) << 11) | (((word >> 21) & 0x3FF) << 1), 21)
+
+    if opcode == OPC_OP:
+        for name, (f3, f7) in _R_TYPE.items():
+            if f3 == funct3 and f7 == funct7:
+                return name, {"rd": _x(rd), "rs1": _x(rs1), "rs2": _x(rs2)}
+    if opcode == OPC_OP_IMM:
+        for name, f3 in _I_TYPE.items():
+            if f3 == funct3:
+                return name, {"rd": _x(rd), "rs1": _x(rs1), "imm": imm_i}
+        for name, (f3, f7) in _SHIFT_IMM.items():
+            if f3 == funct3 and f7 == funct7:
+                return name, {"rd": _x(rd), "rs1": _x(rs1), "imm": rs2}
+    if opcode == OPC_LOAD:
+        for name, f3 in _LOADS.items():
+            if f3 == funct3:
+                return name, {"rd": _x(rd), "imm": imm_i, "rs1": _x(rs1)}
+    if opcode == OPC_LOAD_FP and funct3 == 0b010:
+        return "flw", {"rd": _f(rd), "imm": imm_i, "rs1": _x(rs1)}
+    if opcode == OPC_STORE:
+        for name, f3 in _STORES.items():
+            if f3 == funct3:
+                return name, {"rs2": _x(rs2), "imm": imm_s, "rs1": _x(rs1)}
+    if opcode == OPC_STORE_FP and funct3 == 0b010:
+        return "fsw", {"rs2": _f(rs2), "imm": imm_s, "rs1": _x(rs1)}
+    if opcode == OPC_BRANCH:
+        for name, f3 in _BRANCHES.items():
+            if f3 == funct3:
+                return name, {"rs1": _x(rs1), "rs2": _x(rs2), "imm": imm_b}
+    if opcode == OPC_LUI:
+        return "lui", {"rd": _x(rd), "imm": imm_u}
+    if opcode == OPC_AUIPC:
+        return "auipc", {"rd": _x(rd), "imm": imm_u}
+    if opcode == OPC_JAL:
+        return "jal", {"rd": _x(rd), "imm": imm_j}
+    if opcode == OPC_JALR and funct3 == 0:
+        return "jalr", {"rd": _x(rd), "rs1": _x(rs1), "imm": imm_i}
+    if opcode == OPC_MISC_MEM:
+        return "fence", {}
+    if opcode == OPC_SYSTEM and funct3 == 0:
+        return ("ebreak" if (word >> 20) & 0xFFF == 1 else "ecall"), {}
+    if opcode == OPC_OP_FP:
+        for name, (f7, rm, fixed_rs2) in _FP_OPS.items():
+            if f7 != funct7:
+                continue
+            if rm is not None and rm != funct3:
+                continue
+            if fixed_rs2 is not None and fixed_rs2 != rs2:
+                continue
+            ops: Dict[str, object] = {}
+            int_dest = name in ("fcvt.w.s", "fcvt.wu.s", "fmv.x.w",
+                                "feq.s", "flt.s", "fle.s", "fclass.s")
+            int_src = name in ("fcvt.s.w", "fcvt.s.wu", "fmv.w.x")
+            ops["rd"] = _x(rd) if int_dest else _f(rd)
+            ops["rs1"] = _x(rs1) if int_src else _f(rs1)
+            if fixed_rs2 is None:
+                ops["rs2"] = _f(rs2)
+            return name, ops
+    for name, opc in _FMA.items():
+        if opcode == opc:
+            return name, {"rd": _f(rd), "rs1": _f(rs1), "rs2": _f(rs2),
+                          "rs3": _f((word >> 27) & 0x1F)}
+    raise EncodingError(f"cannot decode word {word:#010x}")
+
+
+def encode_program(program) -> bytes:
+    """Machine code image of an assembled :class:`Program` (little-endian)."""
+    out = bytearray()
+    for instr in program.instructions:
+        out.extend(encode(instr.mnemonic, instr.operands)
+                   .to_bytes(4, "little"))
+    return bytes(out)
+
+
+def disassemble(words: bytes, base_pc: int = 0) -> List[str]:
+    """Disassemble little-endian machine code into assembly lines."""
+    lines = []
+    for offset in range(0, len(words) - 3, 4):
+        word = int.from_bytes(words[offset:offset + 4], "little")
+        pc = base_pc + offset
+        try:
+            mnemonic, ops = decode(word)
+        except EncodingError:
+            lines.append(f"{pc:#06x}: .word {word:#010x}")
+            continue
+        if "imm" in ops and "rs1" in ops and mnemonic in (
+                list(_LOADS) + ["flw"] + list(_STORES) + ["fsw"]):
+            reg = ops.get("rd", ops.get("rs2"))
+            text = f"{mnemonic} {reg}, {ops['imm']}({ops['rs1']})"
+        elif mnemonic in _BRANCHES or mnemonic == "jal":
+            # print the absolute target: the assembler reads branch operands
+            # as label values and converts back to PC-relative offsets
+            target = pc + int(ops["imm"])
+            parts = [str(ops[k]) for k in ("rd", "rs1", "rs2") if k in ops]
+            parts.append(str(target))
+            text = mnemonic + " " + ", ".join(parts)
+        else:
+            parts = [str(ops[k]) for k in ("rd", "rs1", "rs2", "rs3", "imm")
+                     if k in ops]
+            text = mnemonic + (" " + ", ".join(parts) if parts else "")
+        lines.append(f"{pc:#06x}: {text}")
+    return lines

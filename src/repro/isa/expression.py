@@ -1,0 +1,329 @@
+"""Stack-based postfix interpreter for ``interpretableAs`` expressions.
+
+Sec. III-B of the paper: *"The execution of an instruction is managed by the
+Expression class, which implements a simple stack-based interpreter using
+postfix notation ... The output of an expression may be twofold: the first
+possible output is the value that remains on the stack after the
+interpretation is executed, a mechanism used by expressions to calculate jump
+addresses or conditions.  The second possible output is the assignment to a
+variable within the expression.  The binary operator ``=`` in the expression
+has a side effect, writing the value into the register."*
+
+Tokens are space separated.  ``\\name`` refers to an instruction argument
+(register value or immediate), ``\\pc`` to the program counter of the
+executing instruction.  Integer operators work on 32-bit two's-complement
+values; operators prefixed with ``u`` are unsigned variants; operators
+prefixed with ``f`` operate on binary32 floats.  Exceptions raised by the
+semantics (division by zero) are *recorded* on the evaluation context and
+only surface when the instruction commits.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.errors import DivisionByZeroError, ExpressionError
+from repro.isa import bits
+from repro.isa.bits import (
+    MASK32,
+    to_int32,
+    to_uint32,
+    float32_round,
+)
+
+Number = Union[int, float]
+
+
+class EvalContext:
+    """Binding of argument names to values for one instruction execution.
+
+    Parameters
+    ----------
+    values:
+        Mapping of argument name to its current (source) value.
+    pc:
+        Byte address of the executing instruction.
+    """
+
+    __slots__ = ("values", "pc", "assignments", "exception")
+
+    def __init__(self, values: Optional[Dict[str, Number]] = None, pc: int = 0):
+        self.values: Dict[str, Number] = dict(values or {})
+        self.pc = pc
+        #: name -> value pairs produced by ``=`` operators, in order.
+        self.assignments: List[tuple] = []
+        #: recorded architectural exception (checked at commit time)
+        self.exception = None
+
+    def get(self, name: str) -> Number:
+        if name == "pc":
+            return self.pc
+        try:
+            return self.values[name]
+        except KeyError:
+            raise ExpressionError(f"unbound expression argument '\\{name}'") from None
+
+    def set(self, name: str, value: Number) -> None:
+        self.values[name] = value
+        self.assignments.append((name, value))
+
+
+class _Ref:
+    """A reference to a context variable, as pushed by ``\\name`` tokens."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"\\{self.name}"
+
+
+def _div(ctx: EvalContext, a: int, b: int) -> int:
+    if b == 0:
+        ctx.exception = DivisionByZeroError("integer division by zero", pc=ctx.pc)
+        return -1  # RISC-V defined result: all ones
+    if a == bits.INT32_MIN and b == -1:
+        return bits.INT32_MIN  # overflow case
+    return to_int32(int(math.trunc(a / b)))
+
+
+def _rem(ctx: EvalContext, a: int, b: int) -> int:
+    if b == 0:
+        ctx.exception = DivisionByZeroError("integer remainder by zero", pc=ctx.pc)
+        return to_int32(a)
+    if a == bits.INT32_MIN and b == -1:
+        return 0
+    return to_int32(a - int(math.trunc(a / b)) * b)
+
+
+def _divu(ctx: EvalContext, a: int, b: int) -> int:
+    ua, ub = to_uint32(a), to_uint32(b)
+    if ub == 0:
+        ctx.exception = DivisionByZeroError("unsigned division by zero", pc=ctx.pc)
+        return to_int32(MASK32)
+    return to_int32(ua // ub)
+
+
+def _remu(ctx: EvalContext, a: int, b: int) -> int:
+    ua, ub = to_uint32(a), to_uint32(b)
+    if ub == 0:
+        ctx.exception = DivisionByZeroError("unsigned remainder by zero", pc=ctx.pc)
+        return to_int32(ua)
+    return to_int32(ua % ub)
+
+
+# Binary integer operators: (ctx, a, b) -> int  (a below b on the stack)
+_INT_BINARY: Dict[str, Callable] = {
+    "+": lambda c, a, b: to_int32(a + b),
+    "-": lambda c, a, b: to_int32(a - b),
+    "*": lambda c, a, b: to_int32(a * b),
+    "&": lambda c, a, b: to_int32(a & b),
+    "|": lambda c, a, b: to_int32(a | b),
+    "^": lambda c, a, b: to_int32(a ^ b),
+    "<<": lambda c, a, b: to_int32(to_uint32(a) << (b & 31)),
+    ">>": lambda c, a, b: to_int32(to_int32(a) >> (b & 31)),
+    ">>u": lambda c, a, b: to_int32(to_uint32(a) >> (b & 31)),
+    "==": lambda c, a, b: int(to_int32(a) == to_int32(b)),
+    "!=": lambda c, a, b: int(to_int32(a) != to_int32(b)),
+    "<": lambda c, a, b: int(to_int32(a) < to_int32(b)),
+    "<=": lambda c, a, b: int(to_int32(a) <= to_int32(b)),
+    ">": lambda c, a, b: int(to_int32(a) > to_int32(b)),
+    ">=": lambda c, a, b: int(to_int32(a) >= to_int32(b)),
+    "u<": lambda c, a, b: int(to_uint32(a) < to_uint32(b)),
+    "u<=": lambda c, a, b: int(to_uint32(a) <= to_uint32(b)),
+    "u>": lambda c, a, b: int(to_uint32(a) > to_uint32(b)),
+    "u>=": lambda c, a, b: int(to_uint32(a) >= to_uint32(b)),
+    "/": _div,
+    "%": _rem,
+    "u/": _divu,
+    "u%": _remu,
+    "mulh": lambda c, a, b: to_int32((to_int32(a) * to_int32(b)) >> 32),
+    "mulhu": lambda c, a, b: to_int32((to_uint32(a) * to_uint32(b)) >> 32),
+    "mulhsu": lambda c, a, b: to_int32((to_int32(a) * to_uint32(b)) >> 32),
+}
+
+# Unary integer operators
+_INT_UNARY: Dict[str, Callable] = {
+    "~": lambda c, a: to_int32(~a),
+    "neg": lambda c, a: to_int32(-a),
+}
+
+
+def _fmin(c, a: float, b: float) -> float:
+    if math.isnan(a):
+        return b
+    if math.isnan(b):
+        return a
+    if a == 0.0 and b == 0.0:  # -0.0 < +0.0 for fmin
+        return a if math.copysign(1.0, a) < 0 else b
+    return min(a, b)
+
+
+def _fmax(c, a: float, b: float) -> float:
+    if math.isnan(a):
+        return b
+    if math.isnan(b):
+        return a
+    if a == 0.0 and b == 0.0:
+        return a if math.copysign(1.0, a) > 0 else b
+    return max(a, b)
+
+
+def _fdiv(c, a: float, b: float) -> float:
+    if b == 0.0:
+        if a == 0.0 or math.isnan(a):
+            return float("nan")
+        return math.copysign(float("inf"), a) * math.copysign(1.0, b)
+    return float32_round(a / b)
+
+
+def _fsqrt(c, a: float) -> float:
+    if a < 0.0:
+        return float("nan")
+    return float32_round(math.sqrt(a))
+
+
+# Binary float operators (operate on binary32-rounded Python floats)
+_FLOAT_BINARY: Dict[str, Callable] = {
+    "f+": lambda c, a, b: float32_round(a + b),
+    "f-": lambda c, a, b: float32_round(a - b),
+    "f*": lambda c, a, b: float32_round(a * b),
+    "f/": _fdiv,
+    "fmin": _fmin,
+    "fmax": _fmax,
+    "f==": lambda c, a, b: int(a == b),
+    "f<": lambda c, a, b: int(a < b),
+    "f<=": lambda c, a, b: int(a <= b),
+    "fsgnj": lambda c, a, b: bits.copy_sign_bits(a, b),
+    "fsgnjn": lambda c, a, b: bits.copy_sign_bits(a, b, flip=True),
+    "fsgnjx": lambda c, a, b: bits.copy_sign_bits(a, b, xor=True),
+}
+
+_FLOAT_UNARY: Dict[str, Callable] = {
+    "fsqrt": _fsqrt,
+    "fabs": lambda c, a: abs(a),
+    "fneg": lambda c, a: -a,
+    "fclass": lambda c, a: bits.fclass(a),
+    # conversions
+    "f2i": lambda c, a: bits.fcvt_w_s(a),
+    "f2u": lambda c, a: to_int32(bits.fcvt_wu_s(a)),
+    "i2f": lambda c, a: float32_round(float(to_int32(int(a)))),
+    "u2f": lambda c, a: float32_round(float(to_uint32(int(a)))),
+    # raw bit moves (fmv.x.w / fmv.w.x)
+    "fbits": lambda c, a: to_int32(bits.float_to_bits(a)),
+    "bitsf": lambda c, a: bits.bits_to_float(to_uint32(int(a))),
+}
+
+
+class Expression:
+    """A compiled postfix expression.
+
+    Instances are immutable and cheap to evaluate repeatedly; the simulator
+    compiles each instruction definition's expression once and reuses it for
+    every dynamic instance.
+    """
+
+    __slots__ = ("source", "_tokens")
+
+    _cache: Dict[str, "Expression"] = {}
+
+    def __init__(self, source: str):
+        self.source = source
+        self._tokens = self._compile(source)
+
+    @classmethod
+    def compile(cls, source: str) -> "Expression":
+        """Memoized constructor (expressions repeat across instructions)."""
+        expr = cls._cache.get(source)
+        if expr is None:
+            expr = cls(source)
+            cls._cache[source] = expr
+        return expr
+
+    @staticmethod
+    def _compile(source: str) -> list:
+        tokens = []
+        for raw in source.split():
+            if raw.startswith("\\"):
+                name = raw[1:]
+                if not name:
+                    raise ExpressionError(f"empty reference in expression {source!r}")
+                tokens.append(("ref", name))
+            elif raw == "=":
+                tokens.append(("assign", None))
+            elif raw in _INT_BINARY:
+                tokens.append(("ib", _INT_BINARY[raw]))
+            elif raw in _INT_UNARY:
+                tokens.append(("iu", _INT_UNARY[raw]))
+            elif raw in _FLOAT_BINARY:
+                tokens.append(("fb", _FLOAT_BINARY[raw]))
+            elif raw in _FLOAT_UNARY:
+                tokens.append(("fu", _FLOAT_UNARY[raw]))
+            else:
+                try:
+                    tokens.append(("lit", int(raw, 0)))
+                except ValueError:
+                    try:
+                        tokens.append(("lit", float(raw)))
+                    except ValueError:
+                        raise ExpressionError(
+                            f"unknown token {raw!r} in expression {source!r}"
+                        ) from None
+        return tokens
+
+    def evaluate(self, ctx: EvalContext) -> Optional[Number]:
+        """Run the expression; returns the value left on the stack (if any).
+
+        Assignments performed by ``=`` are recorded in ``ctx.assignments``
+        and stored into ``ctx.values``.
+        """
+        stack: List[object] = []
+
+        def value_of(item):
+            if type(item) is _Ref:
+                return ctx.get(item.name)
+            return item
+
+        for kind, payload in self._tokens:
+            if kind == "ref":
+                stack.append(_Ref(payload))
+            elif kind == "lit":
+                stack.append(payload)
+            elif kind == "assign":
+                if len(stack) < 2:
+                    raise ExpressionError(f"'=' needs value and target in {self.source!r}")
+                target = stack.pop()
+                if type(target) is not _Ref:
+                    raise ExpressionError(f"'=' target must be a \\reference in {self.source!r}")
+                value = value_of(stack.pop())
+                ctx.set(target.name, value)
+            elif kind == "ib":
+                if len(stack) < 2:
+                    raise ExpressionError(f"operator needs 2 operands in {self.source!r}")
+                b = value_of(stack.pop())
+                a = value_of(stack.pop())
+                stack.append(payload(ctx, int(a), int(b)))
+            elif kind == "iu":
+                a = value_of(stack.pop())
+                stack.append(payload(ctx, int(a)))
+            elif kind == "fb":
+                b = value_of(stack.pop())
+                a = value_of(stack.pop())
+                stack.append(payload(ctx, float(a), float(b)))
+            else:  # "fu"
+                a = value_of(stack.pop())
+                stack.append(payload(ctx, float(a)))
+
+        if stack:
+            return value_of(stack[-1])
+        return None
+
+    def references(self) -> List[str]:
+        """Names of all ``\\`` arguments used (excluding ``pc``)."""
+        return [p for k, p in self._tokens if k == "ref" and p != "pc"]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Expression({self.source!r})"

@@ -1,0 +1,215 @@
+"""Declarative instruction definitions (the paper's JSON instruction file).
+
+Each instruction is an :class:`InstructionDef` carrying typed arguments and
+a postfix ``interpretableAs`` expression (Listing 1 in the paper)::
+
+    {
+      "name": "add",
+      "instructionType": "kIntArithmetic",
+      "arguments": [
+        {"name": "rd",  "type": "kInt", "writeBack": true},
+        {"name": "rs1", "type": "kInt"},
+        {"name": "rs2", "type": "kInt"}
+      ],
+      "interpretableAs": "\\rs1 \\rs2 + \\rd ="
+    }
+
+Definitions additionally carry the micro-architectural metadata the pipeline
+needs: functional-unit class, operation class (to match against the
+per-functional-unit capability lists in the architecture configuration),
+memory access width/signedness for loads and stores, and branch behaviour.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+class InstructionType(str, enum.Enum):
+    """Coarse classification used for the static/dynamic instruction mix."""
+
+    INT_ARITHMETIC = "kIntArithmetic"
+    FLOAT_ARITHMETIC = "kFloatArithmetic"
+    LOADSTORE = "kLoadstore"
+    JUMPBRANCH = "kJumpbranch"
+
+
+class FuClass(str, enum.Enum):
+    """Functional-unit class an instruction dispatches to (Sec. II-A)."""
+
+    FX = "FX"
+    FP = "FP"
+    LS = "LS"
+    BRANCH = "Branch"
+
+
+class ArgType(str, enum.Enum):
+    """Type of an instruction argument."""
+
+    INT = "kInt"        # integer register (x0..x31)
+    FLOAT = "kFloat"    # floating point register (f0..f31)
+    IMM = "kImm"        # immediate constant
+    LABEL = "kLabel"    # label resolving to an immediate (branch offset / address)
+
+
+@dataclass(frozen=True)
+class Argument:
+    """One operand of an instruction.
+
+    ``write_back`` marks destination registers; everything else is a source.
+    """
+
+    name: str
+    type: ArgType
+    write_back: bool = False
+
+    @property
+    def is_register(self) -> bool:
+        return self.type in (ArgType.INT, ArgType.FLOAT)
+
+    def to_json(self) -> dict:
+        data = {"name": self.name, "type": self.type.value}
+        if self.write_back:
+            data["writeBack"] = True
+        return data
+
+    @staticmethod
+    def from_json(data: dict) -> "Argument":
+        return Argument(
+            name=data["name"],
+            type=ArgType(data["type"]),
+            write_back=bool(data.get("writeBack", False)),
+        )
+
+
+@dataclass(frozen=True)
+class InstructionDef:
+    """Full definition of one machine instruction.
+
+    Parameters
+    ----------
+    name:
+        Mnemonic (e.g. ``add``).
+    instruction_type:
+        Coarse class for statistics.
+    arguments:
+        Operands in *assembly source order* (``add rd, rs1, rs2``).
+    interpretable_as:
+        Postfix semantics expression.  For loads/stores it computes the
+        effective address; for conditional branches the branch condition.
+    fu_class:
+        Which functional-unit family executes the instruction.
+    op_class:
+        Capability keyword matched against the per-FU ``operations`` list of
+        the architecture configuration (e.g. ``addition``).
+    memory_size / memory_signed / is_store:
+        Memory access description for ``kLoadstore`` instructions.
+    is_branch / is_unconditional / target:
+        Branch metadata; ``target`` is a postfix expression computing the
+        branch target from ``\\pc`` and operands.
+    flops:
+        Floating point operations contributed per execution (FLOPS metric).
+    mem_operand:
+        ``True`` when the last source pair is written ``imm(rs1)`` style.
+    """
+
+    name: str
+    instruction_type: InstructionType
+    arguments: Tuple[Argument, ...]
+    interpretable_as: str
+    fu_class: FuClass
+    op_class: str
+    memory_size: int = 0
+    memory_signed: bool = False
+    is_store: bool = False
+    is_branch: bool = False
+    is_unconditional: bool = False
+    target: str = ""
+    flops: int = 0
+    mem_operand: bool = False
+
+    def __post_init__(self) -> None:
+        names = [a.name for a in self.arguments]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate argument names in {self.name}: {names}")
+
+    @property
+    def is_load(self) -> bool:
+        return self.memory_size > 0 and not self.is_store
+
+    @property
+    def destination(self) -> Optional[Argument]:
+        """The (single) write-back register argument, if any."""
+        for arg in self.arguments:
+            if arg.write_back and arg.is_register:
+                return arg
+        return None
+
+    @property
+    def sources(self) -> List[Argument]:
+        """Register arguments read by the instruction."""
+        return [a for a in self.arguments if a.is_register and not a.write_back]
+
+    def to_json(self) -> dict:
+        data = {
+            "name": self.name,
+            "instructionType": self.instruction_type.value,
+            "arguments": [a.to_json() for a in self.arguments],
+            "interpretableAs": self.interpretable_as,
+            "fuClass": self.fu_class.value,
+            "opClass": self.op_class,
+        }
+        if self.memory_size:
+            data["memorySize"] = self.memory_size
+            data["memorySigned"] = self.memory_signed
+            data["isStore"] = self.is_store
+        if self.is_branch:
+            data["isBranch"] = True
+            data["isUnconditional"] = self.is_unconditional
+            data["target"] = self.target
+        if self.flops:
+            data["flops"] = self.flops
+        if self.mem_operand:
+            data["memOperand"] = True
+        return data
+
+    @staticmethod
+    def from_json(data: dict) -> "InstructionDef":
+        return InstructionDef(
+            name=data["name"],
+            instruction_type=InstructionType(data["instructionType"]),
+            arguments=tuple(Argument.from_json(a) for a in data["arguments"]),
+            interpretable_as=data["interpretableAs"],
+            fu_class=FuClass(data["fuClass"]),
+            op_class=data["opClass"],
+            memory_size=int(data.get("memorySize", 0)),
+            memory_signed=bool(data.get("memorySigned", False)),
+            is_store=bool(data.get("isStore", False)),
+            is_branch=bool(data.get("isBranch", False)),
+            is_unconditional=bool(data.get("isUnconditional", False)),
+            target=data.get("target", ""),
+            flops=int(data.get("flops", 0)),
+            mem_operand=bool(data.get("memOperand", False)),
+        )
+
+
+def int_reg(name: str, write_back: bool = False) -> Argument:
+    """Shorthand for an integer-register argument."""
+    return Argument(name, ArgType.INT, write_back)
+
+
+def fp_reg(name: str, write_back: bool = False) -> Argument:
+    """Shorthand for a floating-point-register argument."""
+    return Argument(name, ArgType.FLOAT, write_back)
+
+
+def imm(name: str = "imm") -> Argument:
+    """Shorthand for an immediate argument."""
+    return Argument(name, ArgType.IMM)
+
+
+def label(name: str = "imm") -> Argument:
+    """Shorthand for a label argument (resolved to an immediate)."""
+    return Argument(name, ArgType.LABEL)

@@ -1,0 +1,99 @@
+"""Instruction-set registry with JSON import/export.
+
+Mirrors the paper's "instruction set is defined in a configuration JSON file
+and can be easily extended" (Sec. III-B, Listing 1).  A default RV32IMF set
+is built from :mod:`repro.isa.rv32`; user-supplied JSON can add or override
+instructions.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional
+
+from repro.errors import ConfigError
+from repro.isa.expression import Expression
+from repro.isa.instruction import InstructionDef
+from repro.isa.rv32 import rv32f, rv32i, rv32m
+
+
+class InstructionSet:
+    """A named collection of :class:`InstructionDef` looked up by mnemonic."""
+
+    def __init__(self, defs: Iterable[InstructionDef] = (), name: str = "custom"):
+        self.name = name
+        self._defs: Dict[str, InstructionDef] = {}
+        for d in defs:
+            self.add(d)
+
+    def add(self, definition: InstructionDef) -> None:
+        """Add or override one instruction; validates its expressions."""
+        # Compile eagerly so malformed expressions fail at definition time,
+        # not in the middle of a simulation.
+        if definition.interpretable_as:
+            expr = Expression.compile(definition.interpretable_as)
+            arg_names = {a.name for a in definition.arguments}
+            for ref in expr.references():
+                if ref not in arg_names:
+                    raise ConfigError(
+                        f"instruction '{definition.name}': expression references "
+                        f"'\\{ref}' which is not an argument"
+                    )
+        if definition.target:
+            Expression.compile(definition.target)
+        self._defs[definition.name] = definition
+
+    def get(self, name: str) -> Optional[InstructionDef]:
+        return self._defs.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._defs
+
+    def __len__(self) -> int:
+        return len(self._defs)
+
+    def names(self) -> List[str]:
+        return sorted(self._defs)
+
+    def all(self) -> List[InstructionDef]:
+        return list(self._defs.values())
+
+
+_DEFAULT: Optional[InstructionSet] = None
+
+
+def default_instruction_set() -> InstructionSet:
+    """The built-in RV32IMF instruction set (cached singleton)."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = InstructionSet(rv32i() + rv32m() + rv32f(), name="RV32IMF")
+    return _DEFAULT
+
+
+def register_instruction(definition: InstructionDef,
+                         iset: Optional[InstructionSet] = None) -> InstructionSet:
+    """Extend an instruction set (defaults to a copy of the built-in one)."""
+    base = iset if iset is not None else InstructionSet(
+        default_instruction_set().all(), name="RV32IMF+custom")
+    base.add(definition)
+    return base
+
+
+def instruction_set_to_json(iset: InstructionSet) -> str:
+    """Serialize to the paper's JSON configuration format."""
+    return json.dumps(
+        {"name": iset.name, "instructions": [d.to_json() for d in iset.all()]},
+        indent=2,
+    )
+
+
+def instruction_set_from_json(text: str) -> InstructionSet:
+    """Load an instruction set from the JSON configuration format."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"invalid instruction set JSON: {exc}") from exc
+    if isinstance(data, list):  # bare list of definitions is accepted too
+        data = {"name": "custom", "instructions": data}
+    defs = [InstructionDef.from_json(d) for d in data.get("instructions", [])]
+    return InstructionSet(defs, name=data.get("name", "custom"))

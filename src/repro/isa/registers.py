@@ -1,0 +1,177 @@
+"""Architectural register model.
+
+Sec. III-B: registers are 64-bit arrays interpreted per-instruction, carry a
+data-type tag for friendly GUI display, and hold the metadata needed for
+renaming (reference counts; architectural registers know their renamed
+copies, speculative registers point back at their architectural register —
+that part lives in :mod:`repro.core.rename`).
+
+This module provides the *architectural* register file (32 integer + 32
+floating point registers), the ABI alias tables and value coercion helpers.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional, Union
+
+from repro.errors import AsmSyntaxError
+from repro.isa.bits import to_int32, float32_round
+
+Number = Union[int, float]
+
+
+class RegisterDataType(str, enum.Enum):
+    """Display/data-type tag attached to a register value."""
+
+    INT = "kInt"
+    UINT = "kUInt"
+    FLOAT = "kFloat"
+    BOOL = "kBool"
+    CHAR = "kChar"
+
+
+#: ABI aliases for the 32 integer registers.
+INT_REG_ALIASES: Dict[str, str] = {
+    "zero": "x0", "ra": "x1", "sp": "x2", "gp": "x3", "tp": "x4",
+    "t0": "x5", "t1": "x6", "t2": "x7",
+    "s0": "x8", "fp": "x8", "s1": "x9",
+    "a0": "x10", "a1": "x11", "a2": "x12", "a3": "x13",
+    "a4": "x14", "a5": "x15", "a6": "x16", "a7": "x17",
+    "s2": "x18", "s3": "x19", "s4": "x20", "s5": "x21",
+    "s6": "x22", "s7": "x23", "s8": "x24", "s9": "x25",
+    "s10": "x26", "s11": "x27",
+    "t3": "x28", "t4": "x29", "t5": "x30", "t6": "x31",
+}
+
+#: ABI aliases for the 32 floating point registers.
+FP_REG_ALIASES: Dict[str, str] = {
+    "ft0": "f0", "ft1": "f1", "ft2": "f2", "ft3": "f3",
+    "ft4": "f4", "ft5": "f5", "ft6": "f6", "ft7": "f7",
+    "fs0": "f8", "fs1": "f9",
+    "fa0": "f10", "fa1": "f11", "fa2": "f12", "fa3": "f13",
+    "fa4": "f14", "fa5": "f15", "fa6": "f16", "fa7": "f17",
+    "fs2": "f18", "fs3": "f19", "fs4": "f20", "fs5": "f21",
+    "fs6": "f22", "fs7": "f23", "fs8": "f24", "fs9": "f25",
+    "fs10": "f26", "fs11": "f27",
+    "ft8": "f28", "ft9": "f29", "ft10": "f30", "ft11": "f31",
+}
+
+_INT_NAMES = {f"x{i}" for i in range(32)}
+_FP_NAMES = {f"f{i}" for i in range(32)}
+
+
+def canonical_int_reg(name: str) -> Optional[str]:
+    """Canonical ``xN`` name for an integer register or alias, else None."""
+    name = name.lower()
+    if name in _INT_NAMES:
+        return name
+    return INT_REG_ALIASES.get(name)
+
+
+def canonical_fp_reg(name: str) -> Optional[str]:
+    """Canonical ``fN`` name for a floating register or alias, else None."""
+    name = name.lower()
+    if name in _FP_NAMES:
+        return name
+    return FP_REG_ALIASES.get(name)
+
+
+def parse_register(name: str) -> str:
+    """Resolve *name* to a canonical register or raise :class:`AsmSyntaxError`."""
+    reg = canonical_int_reg(name) or canonical_fp_reg(name)
+    if reg is None:
+        raise AsmSyntaxError(f"unknown register '{name}'")
+    return reg
+
+
+def is_fp_register(name: str) -> bool:
+    """True when the canonical register name belongs to the FP file."""
+    return name.startswith("f") and name != "fp"
+
+
+class RegisterFile:
+    """The committed (architectural) register state.
+
+    Integer registers hold signed 32-bit Python ints (stored sign-extended,
+    matching the paper's 64-bit backing store), floating point registers hold
+    binary32-rounded Python floats.  ``x0`` is hard-wired to zero.
+    """
+
+    def __init__(self) -> None:
+        self._int: List[int] = [0] * 32
+        self._fp: List[float] = [0.0] * 32
+        self._dtype: Dict[str, RegisterDataType] = {}
+
+    # -- reads ---------------------------------------------------------
+    def read(self, reg: str) -> Number:
+        """Read register by canonical name (``x7`` / ``f3``)."""
+        if reg[0] == "x":
+            return self._int[int(reg[1:])]
+        return self._fp[int(reg[1:])]
+
+    def read_int(self, index: int) -> int:
+        return self._int[index]
+
+    def read_fp(self, index: int) -> float:
+        return self._fp[index]
+
+    # -- writes --------------------------------------------------------
+    def write(self, reg: str, value: Number,
+              dtype: Optional[RegisterDataType] = None) -> None:
+        """Write register by canonical name; ``x0`` writes are discarded."""
+        if reg[0] == "x":
+            idx = int(reg[1:])
+            if idx == 0:
+                return
+            self._int[idx] = to_int32(int(value))
+        else:
+            self._fp[int(reg[1:])] = float32_round(float(value))
+        if dtype is not None:
+            self._dtype[reg] = dtype
+
+    def data_type(self, reg: str) -> RegisterDataType:
+        """Display type tag of the register (defaults to kInt / kFloat)."""
+        if reg in self._dtype:
+            return self._dtype[reg]
+        return RegisterDataType.FLOAT if reg[0] == "f" else RegisterDataType.INT
+
+    def display_value(self, reg: str) -> str:
+        """GUI-friendly rendering honouring the data-type tag (Sec. III-B)."""
+        value = self.read(reg)
+        dtype = self.data_type(reg)
+        if dtype is RegisterDataType.CHAR and isinstance(value, int):
+            code = value & 0xFF
+            return repr(chr(code)) if 32 <= code < 127 else f"\\x{code:02x}"
+        if dtype is RegisterDataType.BOOL and isinstance(value, int):
+            return "true" if value else "false"
+        if dtype is RegisterDataType.UINT and isinstance(value, int):
+            return str(value & 0xFFFFFFFF)
+        return str(value)
+
+    # -- bulk ----------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-serializable copy of the whole file (server API payload)."""
+        return {
+            "int": list(self._int),
+            "fp": list(self._fp),
+        }
+
+    def restore(self, snap: dict) -> None:
+        self._int = list(snap["int"])
+        self._fp = list(snap["fp"])
+
+    def reset(self) -> None:
+        self._int = [0] * 32
+        self._fp = [0.0] * 32
+        self._dtype.clear()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RegisterFile):
+            return NotImplemented
+        return self._int == other._int and self._fp == other._fp
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        nz = {f"x{i}": v for i, v in enumerate(self._int) if v}
+        nzf = {f"f{i}": v for i, v in enumerate(self._fp) if v}
+        return f"RegisterFile({nz}, {nzf})"

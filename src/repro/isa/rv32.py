@@ -1,0 +1,289 @@
+"""RV32I + M + F instruction definitions.
+
+Every instruction the simulator supports is defined here in the declarative
+style of the paper's JSON instruction file (Listing 1).  Privileged and
+context-switching instructions are deliberately absent — the simulator does
+not run an operating system (Sec. III-B).  ``ecall``/``ebreak`` are accepted
+and act as a program halt request when committed.
+
+Argument tuples are in *assembly source order*.  Loads and stores use the
+``rd, imm(rs1)`` / ``rs2, imm(rs1)`` syntax, signalled by ``mem_operand``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.isa.instruction import (
+    ArgType,
+    Argument,
+    FuClass,
+    InstructionDef,
+    InstructionType,
+    fp_reg,
+    imm,
+    int_reg,
+    label,
+)
+
+_I = InstructionType.INT_ARITHMETIC
+_F = InstructionType.FLOAT_ARITHMETIC
+_LS = InstructionType.LOADSTORE
+_JB = InstructionType.JUMPBRANCH
+
+
+def _r_type(name: str, expr: str, op_class: str) -> InstructionDef:
+    """Integer register-register instruction ``name rd, rs1, rs2``."""
+    return InstructionDef(
+        name=name, instruction_type=_I,
+        arguments=(int_reg("rd", True), int_reg("rs1"), int_reg("rs2")),
+        interpretable_as=expr, fu_class=FuClass.FX, op_class=op_class,
+    )
+
+
+def _i_type(name: str, expr: str, op_class: str) -> InstructionDef:
+    """Integer register-immediate instruction ``name rd, rs1, imm``."""
+    return InstructionDef(
+        name=name, instruction_type=_I,
+        arguments=(int_reg("rd", True), int_reg("rs1"), imm()),
+        interpretable_as=expr, fu_class=FuClass.FX, op_class=op_class,
+    )
+
+
+def _load(name: str, size: int, signed: bool, fp: bool = False) -> InstructionDef:
+    dest = fp_reg("rd", True) if fp else int_reg("rd", True)
+    return InstructionDef(
+        name=name, instruction_type=_LS,
+        arguments=(dest, imm(), int_reg("rs1")),
+        interpretable_as="\\rs1 \\imm +",
+        fu_class=FuClass.LS, op_class="load",
+        memory_size=size, memory_signed=signed, mem_operand=True,
+    )
+
+
+def _store(name: str, size: int, fp: bool = False) -> InstructionDef:
+    src = fp_reg("rs2") if fp else int_reg("rs2")
+    return InstructionDef(
+        name=name, instruction_type=_LS,
+        arguments=(src, imm(), int_reg("rs1")),
+        interpretable_as="\\rs1 \\imm +",
+        fu_class=FuClass.LS, op_class="store",
+        memory_size=size, is_store=True, mem_operand=True,
+    )
+
+
+def _branch(name: str, cond: str) -> InstructionDef:
+    """Conditional branch ``name rs1, rs2, label`` (PC-relative)."""
+    return InstructionDef(
+        name=name, instruction_type=_JB,
+        arguments=(int_reg("rs1"), int_reg("rs2"), label()),
+        interpretable_as=cond, fu_class=FuClass.BRANCH, op_class="branch",
+        is_branch=True, target="\\pc \\imm +",
+    )
+
+
+def _fp_rr(name: str, expr: str, op_class: str, flops: int = 1,
+           int_dest: bool = False) -> InstructionDef:
+    """FP instruction ``name rd, rs1, rs2`` (rd may be an integer register)."""
+    dest = int_reg("rd", True) if int_dest else fp_reg("rd", True)
+    return InstructionDef(
+        name=name, instruction_type=_F,
+        arguments=(dest, fp_reg("rs1"), fp_reg("rs2")),
+        interpretable_as=expr, fu_class=FuClass.FP, op_class=op_class,
+        flops=flops,
+    )
+
+
+def rv32i() -> List[InstructionDef]:
+    """The base integer instruction set."""
+    defs = [
+        # -- upper immediates -------------------------------------------
+        InstructionDef(
+            name="lui", instruction_type=_I,
+            arguments=(int_reg("rd", True), imm()),
+            interpretable_as="\\imm 12 << \\rd =",
+            fu_class=FuClass.FX, op_class="addition",
+        ),
+        InstructionDef(
+            name="auipc", instruction_type=_I,
+            arguments=(int_reg("rd", True), imm()),
+            interpretable_as="\\pc \\imm 12 << + \\rd =",
+            fu_class=FuClass.FX, op_class="addition",
+        ),
+        # -- jumps ------------------------------------------------------
+        InstructionDef(
+            name="jal", instruction_type=_JB,
+            arguments=(int_reg("rd", True), label()),
+            interpretable_as="\\pc 4 + \\rd =",
+            fu_class=FuClass.BRANCH, op_class="branch",
+            is_branch=True, is_unconditional=True, target="\\pc \\imm +",
+        ),
+        InstructionDef(
+            name="jalr", instruction_type=_JB,
+            arguments=(int_reg("rd", True), int_reg("rs1"), imm()),
+            interpretable_as="\\pc 4 + \\rd =",
+            fu_class=FuClass.BRANCH, op_class="branch",
+            is_branch=True, is_unconditional=True, target="\\rs1 \\imm + -2 &",
+        ),
+        # -- conditional branches ---------------------------------------
+        _branch("beq", "\\rs1 \\rs2 =="),
+        _branch("bne", "\\rs1 \\rs2 !="),
+        _branch("blt", "\\rs1 \\rs2 <"),
+        _branch("bge", "\\rs1 \\rs2 >="),
+        _branch("bltu", "\\rs1 \\rs2 u<"),
+        _branch("bgeu", "\\rs1 \\rs2 u>="),
+        # -- loads / stores ---------------------------------------------
+        _load("lb", 1, True),
+        _load("lh", 2, True),
+        _load("lw", 4, True),
+        _load("lbu", 1, False),
+        _load("lhu", 2, False),
+        _store("sb", 1),
+        _store("sh", 2),
+        _store("sw", 4),
+        # -- register-immediate -----------------------------------------
+        _i_type("addi", "\\rs1 \\imm + \\rd =", "addition"),
+        _i_type("slti", "\\rs1 \\imm < \\rd =", "comparison"),
+        _i_type("sltiu", "\\rs1 \\imm u< \\rd =", "comparison"),
+        _i_type("xori", "\\rs1 \\imm ^ \\rd =", "bitwise"),
+        _i_type("ori", "\\rs1 \\imm | \\rd =", "bitwise"),
+        _i_type("andi", "\\rs1 \\imm & \\rd =", "bitwise"),
+        _i_type("slli", "\\rs1 \\imm << \\rd =", "shift"),
+        _i_type("srli", "\\rs1 \\imm >>u \\rd =", "shift"),
+        _i_type("srai", "\\rs1 \\imm >> \\rd =", "shift"),
+        # -- register-register ------------------------------------------
+        _r_type("add", "\\rs1 \\rs2 + \\rd =", "addition"),
+        _r_type("sub", "\\rs1 \\rs2 - \\rd =", "addition"),
+        _r_type("sll", "\\rs1 \\rs2 << \\rd =", "shift"),
+        _r_type("slt", "\\rs1 \\rs2 < \\rd =", "comparison"),
+        _r_type("sltu", "\\rs1 \\rs2 u< \\rd =", "comparison"),
+        _r_type("xor", "\\rs1 \\rs2 ^ \\rd =", "bitwise"),
+        _r_type("srl", "\\rs1 \\rs2 >>u \\rd =", "shift"),
+        _r_type("sra", "\\rs1 \\rs2 >> \\rd =", "shift"),
+        _r_type("or", "\\rs1 \\rs2 | \\rd =", "bitwise"),
+        _r_type("and", "\\rs1 \\rs2 & \\rd =", "bitwise"),
+        # -- system ------------------------------------------------------
+        InstructionDef(
+            name="fence", instruction_type=_I, arguments=(),
+            interpretable_as="", fu_class=FuClass.FX, op_class="special",
+        ),
+        InstructionDef(
+            name="ecall", instruction_type=_I, arguments=(),
+            interpretable_as="", fu_class=FuClass.FX, op_class="special",
+        ),
+        InstructionDef(
+            name="ebreak", instruction_type=_I, arguments=(),
+            interpretable_as="", fu_class=FuClass.FX, op_class="special",
+        ),
+    ]
+    return defs
+
+
+def rv32m() -> List[InstructionDef]:
+    """The M (integer multiply/divide) extension."""
+    return [
+        _r_type("mul", "\\rs1 \\rs2 * \\rd =", "multiplication"),
+        _r_type("mulh", "\\rs1 \\rs2 mulh \\rd =", "multiplication"),
+        _r_type("mulhsu", "\\rs1 \\rs2 mulhsu \\rd =", "multiplication"),
+        _r_type("mulhu", "\\rs1 \\rs2 mulhu \\rd =", "multiplication"),
+        _r_type("div", "\\rs1 \\rs2 / \\rd =", "division"),
+        _r_type("divu", "\\rs1 \\rs2 u/ \\rd =", "division"),
+        _r_type("rem", "\\rs1 \\rs2 % \\rd =", "division"),
+        _r_type("remu", "\\rs1 \\rs2 u% \\rd =", "division"),
+    ]
+
+
+def rv32f() -> List[InstructionDef]:
+    """The F (single-precision floating point) extension."""
+    defs = [
+        _load("flw", 4, False, fp=True),
+        _store("fsw", 4, fp=True),
+        # fused multiply-add family: rd, rs1, rs2, rs3
+        InstructionDef(
+            name="fmadd.s", instruction_type=_F,
+            arguments=(fp_reg("rd", True), fp_reg("rs1"), fp_reg("rs2"), fp_reg("rs3")),
+            interpretable_as="\\rs1 \\rs2 f* \\rs3 f+ \\rd =",
+            fu_class=FuClass.FP, op_class="fma", flops=2,
+        ),
+        InstructionDef(
+            name="fmsub.s", instruction_type=_F,
+            arguments=(fp_reg("rd", True), fp_reg("rs1"), fp_reg("rs2"), fp_reg("rs3")),
+            interpretable_as="\\rs1 \\rs2 f* \\rs3 f- \\rd =",
+            fu_class=FuClass.FP, op_class="fma", flops=2,
+        ),
+        InstructionDef(
+            name="fnmsub.s", instruction_type=_F,
+            arguments=(fp_reg("rd", True), fp_reg("rs1"), fp_reg("rs2"), fp_reg("rs3")),
+            interpretable_as="\\rs1 \\rs2 f* fneg \\rs3 f+ \\rd =",
+            fu_class=FuClass.FP, op_class="fma", flops=2,
+        ),
+        InstructionDef(
+            name="fnmadd.s", instruction_type=_F,
+            arguments=(fp_reg("rd", True), fp_reg("rs1"), fp_reg("rs2"), fp_reg("rs3")),
+            interpretable_as="\\rs1 \\rs2 f* fneg \\rs3 f- \\rd =",
+            fu_class=FuClass.FP, op_class="fma", flops=2,
+        ),
+        _fp_rr("fadd.s", "\\rs1 \\rs2 f+ \\rd =", "fadd"),
+        _fp_rr("fsub.s", "\\rs1 \\rs2 f- \\rd =", "fadd"),
+        _fp_rr("fmul.s", "\\rs1 \\rs2 f* \\rd =", "fmul"),
+        _fp_rr("fdiv.s", "\\rs1 \\rs2 f/ \\rd =", "fdiv"),
+        InstructionDef(
+            name="fsqrt.s", instruction_type=_F,
+            arguments=(fp_reg("rd", True), fp_reg("rs1")),
+            interpretable_as="\\rs1 fsqrt \\rd =",
+            fu_class=FuClass.FP, op_class="fsqrt", flops=1,
+        ),
+        _fp_rr("fsgnj.s", "\\rs1 \\rs2 fsgnj \\rd =", "fcmp", flops=0),
+        _fp_rr("fsgnjn.s", "\\rs1 \\rs2 fsgnjn \\rd =", "fcmp", flops=0),
+        _fp_rr("fsgnjx.s", "\\rs1 \\rs2 fsgnjx \\rd =", "fcmp", flops=0),
+        _fp_rr("fmin.s", "\\rs1 \\rs2 fmin \\rd =", "fcmp"),
+        _fp_rr("fmax.s", "\\rs1 \\rs2 fmax \\rd =", "fcmp"),
+        # comparisons write an integer register
+        _fp_rr("feq.s", "\\rs1 \\rs2 f== \\rd =", "fcmp", flops=0, int_dest=True),
+        _fp_rr("flt.s", "\\rs1 \\rs2 f< \\rd =", "fcmp", flops=0, int_dest=True),
+        _fp_rr("fle.s", "\\rs1 \\rs2 f<= \\rd =", "fcmp", flops=0, int_dest=True),
+        # conversions and moves
+        InstructionDef(
+            name="fcvt.w.s", instruction_type=_F,
+            arguments=(int_reg("rd", True), fp_reg("rs1")),
+            interpretable_as="\\rs1 f2i \\rd =",
+            fu_class=FuClass.FP, op_class="fcvt",
+        ),
+        InstructionDef(
+            name="fcvt.wu.s", instruction_type=_F,
+            arguments=(int_reg("rd", True), fp_reg("rs1")),
+            interpretable_as="\\rs1 f2u \\rd =",
+            fu_class=FuClass.FP, op_class="fcvt",
+        ),
+        InstructionDef(
+            name="fcvt.s.w", instruction_type=_F,
+            arguments=(fp_reg("rd", True), int_reg("rs1")),
+            interpretable_as="\\rs1 i2f \\rd =",
+            fu_class=FuClass.FP, op_class="fcvt",
+        ),
+        InstructionDef(
+            name="fcvt.s.wu", instruction_type=_F,
+            arguments=(fp_reg("rd", True), int_reg("rs1")),
+            interpretable_as="\\rs1 u2f \\rd =",
+            fu_class=FuClass.FP, op_class="fcvt",
+        ),
+        InstructionDef(
+            name="fmv.x.w", instruction_type=_F,
+            arguments=(int_reg("rd", True), fp_reg("rs1")),
+            interpretable_as="\\rs1 fbits \\rd =",
+            fu_class=FuClass.FP, op_class="fcvt",
+        ),
+        InstructionDef(
+            name="fmv.w.x", instruction_type=_F,
+            arguments=(fp_reg("rd", True), int_reg("rs1")),
+            interpretable_as="\\rs1 bitsf \\rd =",
+            fu_class=FuClass.FP, op_class="fcvt",
+        ),
+        InstructionDef(
+            name="fclass.s", instruction_type=_F,
+            arguments=(int_reg("rd", True), fp_reg("rs1")),
+            interpretable_as="\\rs1 fclass \\rd =",
+            fu_class=FuClass.FP, op_class="fcmp",
+        ),
+    ]
+    return defs

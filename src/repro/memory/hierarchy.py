@@ -1,0 +1,86 @@
+"""Memory hierarchy facade used by the load/store pipeline.
+
+Combines :class:`MainMemory` and the optional L1 :class:`Cache` behind one
+timing interface.  Data always moves through main memory (see cache module
+docstring); this class decides *when* it becomes available.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Optional, Tuple, Union
+
+from repro.memory.cache import Cache, CacheConfig
+from repro.memory.main_memory import MainMemory
+from repro.memory.transaction import MemoryTransaction
+
+Number = Union[int, float]
+
+
+class MemoryModel:
+    """Timing + data front-end for loads and stores."""
+
+    def __init__(self, memory: MainMemory, cache: Optional[Cache] = None):
+        self.memory = memory
+        self.cache = cache
+
+    # -- timing -----------------------------------------------------------
+    def access_delay(self, address: int, size: int, is_store: bool,
+                     cycle: int, instruction_id: int = -1) -> int:
+        """Cycles the access takes from issue to completion."""
+        if self.cache is not None and self.cache.config.enabled:
+            delay, _hit, _txs = self.cache.access(
+                address, size, is_store, cycle, instruction_id)
+            return delay
+        return self.memory.store_latency if is_store else self.memory.load_latency
+
+    # -- data + timing in one step ----------------------------------------
+    @property
+    def _cache_active(self) -> bool:
+        return self.cache is not None and self.cache.config.enabled
+
+    def load(self, address: int, size: int, signed: bool, is_float: bool,
+             cycle: int, instruction_id: int = -1) -> Tuple[Number, int, MemoryTransaction]:
+        """Perform a load; returns (value, delay, transaction).
+
+        Main-memory traffic counters are charged by the cache's fill path
+        when a cache is active; without one, every access is DRAM traffic.
+        """
+        delay = self.access_delay(address, size, False, cycle, instruction_id)
+        tx = MemoryTransaction(address=address, size=size, is_store=False,
+                               instruction_id=instruction_id)
+        tx.issued_cycle = cycle
+        tx.finished_cycle = cycle + delay
+        tx.data = self.memory.read_bytes(address, size)
+        if self._cache_active:
+            tx.cache_hit = delay <= self.cache.config.access_delay
+        else:
+            self.memory.load_count += 1
+            self.memory.bytes_read += size
+        if is_float:
+            value: Number = struct.unpack("<f", tx.data)[0] if size == 4 \
+                else struct.unpack("<d", tx.data)[0]
+        else:
+            value = int.from_bytes(tx.data, "little", signed=signed)
+        return value, delay, tx
+
+    def store(self, address: int, payload: bytes, cycle: int,
+              instruction_id: int = -1) -> Tuple[int, MemoryTransaction]:
+        """Perform a store; returns (delay, transaction)."""
+        delay = self.access_delay(address, len(payload), True, cycle,
+                                  instruction_id)
+        tx = MemoryTransaction(address=address, size=len(payload),
+                               is_store=True, data=payload,
+                               instruction_id=instruction_id)
+        tx.issued_cycle = cycle
+        tx.finished_cycle = cycle + delay
+        self.memory.write_bytes(address, payload)
+        if not self._cache_active:
+            self.memory.store_count += 1
+            self.memory.bytes_written += len(payload)
+        return delay, tx
+
+    def reset(self) -> None:
+        self.memory.reset()
+        if self.cache is not None:
+            self.cache.reset()

@@ -1,0 +1,168 @@
+"""Memory-editor data model (Fig. 8).
+
+Users "define static global arrays of various basic data types and specify
+their alignment.  Arrays can be populated with user-specified values
+separated by commas, repeated constants (e.g., zeros), or random values.
+Additionally, memory dumps can be imported and exported in binary or CSV
+format."  Arrays declared here are referenced from C via ``extern`` and
+from assembly by label.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import random
+import struct
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
+
+from repro.errors import ConfigError
+
+Number = Union[int, float]
+
+_DTYPES = {
+    "byte": (1, "<b"), "ubyte": (1, "<B"), "char": (1, "<B"),
+    "half": (2, "<h"), "uhalf": (2, "<H"), "hword": (2, "<h"),
+    "word": (4, "<i"), "uword": (4, "<I"), "int": (4, "<i"),
+    "float": (4, "<f"), "double": (8, "<d"),
+}
+
+
+@dataclass
+class MemoryLocation:
+    """One named static array defined in the Memory-settings window."""
+
+    name: str
+    dtype: str = "word"
+    alignment: int = 4
+    #: explicit element values ("user-specified values separated by commas")
+    values: Optional[Sequence[Number]] = None
+    #: or a repeated constant over *count* elements
+    repeat_value: Optional[Number] = None
+    #: or random values over *count* elements (seeded -> deterministic)
+    random_count: Optional[int] = None
+    random_seed: int = 7
+    random_low: float = 0.0
+    random_high: float = 100.0
+    count: int = 0
+
+    def __post_init__(self) -> None:
+        if self.dtype not in _DTYPES:
+            raise ConfigError(
+                f"unknown data type '{self.dtype}' for array '{self.name}' "
+                f"(expected one of {sorted(_DTYPES)})")
+        if self.alignment <= 0 or self.alignment & (self.alignment - 1):
+            raise ConfigError(
+                f"alignment of '{self.name}' must be a positive power of two")
+        modes = sum(x is not None for x in
+                    (self.values, self.repeat_value, self.random_count))
+        if modes != 1:
+            raise ConfigError(
+                f"array '{self.name}': specify exactly one of values / "
+                f"repeat_value / random_count")
+
+    @property
+    def element_size(self) -> int:
+        return _DTYPES[self.dtype][0]
+
+    @property
+    def is_float(self) -> bool:
+        return self.dtype in ("float", "double")
+
+    def elements(self) -> List[Number]:
+        """Materialize the element list for this array."""
+        if self.values is not None:
+            return list(self.values)
+        if self.repeat_value is not None:
+            n = self.count if self.count > 0 else 1
+            return [self.repeat_value] * n
+        rng = random.Random(self.random_seed)
+        n = self.random_count or 0
+        if self.is_float:
+            return [rng.uniform(self.random_low, self.random_high)
+                    for _ in range(n)]
+        low, high = int(self.random_low), int(self.random_high)
+        return [rng.randint(low, max(low, high)) for _ in range(n)]
+
+    def to_bytes(self) -> bytes:
+        size, fmt = _DTYPES[self.dtype]
+        out = bytearray()
+        for value in self.elements():
+            if self.is_float:
+                out.extend(struct.pack(fmt, float(value)))
+            else:
+                mask = (1 << (8 * size)) - 1
+                out.extend(struct.pack(fmt[0] + fmt[1].upper(), int(value) & mask))
+        return bytes(out)
+
+    def to_json(self) -> dict:
+        data = {"name": self.name, "dtype": self.dtype,
+                "alignment": self.alignment}
+        if self.values is not None:
+            data["values"] = list(self.values)
+        elif self.repeat_value is not None:
+            data["repeatValue"] = self.repeat_value
+            data["count"] = self.count
+        else:
+            data["randomCount"] = self.random_count
+            data["randomSeed"] = self.random_seed
+            data["randomLow"] = self.random_low
+            data["randomHigh"] = self.random_high
+        return data
+
+    @staticmethod
+    def from_json(data: dict) -> "MemoryLocation":
+        return MemoryLocation(
+            name=data["name"],
+            dtype=data.get("dtype", "word"),
+            alignment=int(data.get("alignment", 4)),
+            values=data.get("values"),
+            repeat_value=data.get("repeatValue"),
+            random_count=data.get("randomCount"),
+            random_seed=int(data.get("randomSeed", 7)),
+            random_low=float(data.get("randomLow", 0.0)),
+            random_high=float(data.get("randomHigh", 100.0)),
+            count=int(data.get("count", 0)),
+        )
+
+
+# ---------------------------------------------------------------------------
+def export_csv(memory_bytes: bytes, width: int = 16) -> str:
+    """Export a memory dump as CSV (address, byte values...)."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(["address"] + [f"b{i}" for i in range(width)])
+    for base in range(0, len(memory_bytes), width):
+        chunk = memory_bytes[base:base + width]
+        writer.writerow([base] + [int(b) for b in chunk])
+    return buf.getvalue()
+
+
+def import_csv(text: str) -> bytearray:
+    """Import a CSV memory dump produced by :func:`export_csv`."""
+    reader = csv.reader(io.StringIO(text))
+    rows = [row for row in reader if row]
+    if not rows:
+        return bytearray()
+    body = rows[1:] if rows[0] and rows[0][0] == "address" else rows
+    chunks = {}
+    for row in body:
+        address = int(row[0])
+        chunks[address] = bytes(int(v) for v in row[1:] if v != "")
+    if not chunks:
+        return bytearray()
+    end = max(addr + len(data) for addr, data in chunks.items())
+    out = bytearray(end)
+    for addr, data in chunks.items():
+        out[addr:addr + len(data)] = data
+    return out
+
+
+def export_binary(memory_bytes: bytes) -> bytes:
+    """Binary memory dump (identity; symmetric with :func:`import_binary`)."""
+    return bytes(memory_bytes)
+
+
+def import_binary(blob: bytes) -> bytearray:
+    return bytearray(blob)

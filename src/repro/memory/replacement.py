@@ -1,0 +1,112 @@
+"""Cache line replacement policies: LRU, FIFO, Random (Sec. II-C).
+
+Each policy manages one cache *set*; the cache instantiates one policy
+object per set.  The Random policy draws from a seeded generator so runs
+are reproducible (a hard requirement for backward simulation, Sec. III-B).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.errors import ConfigError
+
+
+class ReplacementPolicy:
+    """Tracks way usage within one set and picks eviction victims."""
+
+    def __init__(self, ways: int):
+        self.ways = ways
+
+    def touch(self, way: int) -> None:
+        """Record an access (hit or fill) to *way*."""
+
+    def insert(self, way: int) -> None:
+        """Record that *way* was (re)filled with a new line."""
+        self.touch(way)
+
+    def victim(self, valid: List[bool]) -> int:
+        """Pick the way to evict; invalid ways are always preferred."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Forget all usage history."""
+
+
+class LruPolicy(ReplacementPolicy):
+    """Least recently used."""
+
+    def __init__(self, ways: int):
+        super().__init__(ways)
+        self._order: List[int] = list(range(ways))  # front = LRU
+
+    def touch(self, way: int) -> None:
+        self._order.remove(way)
+        self._order.append(way)
+
+    def victim(self, valid: List[bool]) -> int:
+        for way in range(self.ways):
+            if not valid[way]:
+                return way
+        return self._order[0]
+
+    def reset(self) -> None:
+        self._order = list(range(self.ways))
+
+
+class FifoPolicy(ReplacementPolicy):
+    """First in, first out (insertion order; hits do not refresh)."""
+
+    def __init__(self, ways: int):
+        super().__init__(ways)
+        self._queue: List[int] = []
+
+    def touch(self, way: int) -> None:
+        pass  # hits do not change FIFO order
+
+    def insert(self, way: int) -> None:
+        if way in self._queue:
+            self._queue.remove(way)
+        self._queue.append(way)
+
+    def victim(self, valid: List[bool]) -> int:
+        for way in range(self.ways):
+            if not valid[way]:
+                return way
+        return self._queue[0] if self._queue else 0
+
+    def reset(self) -> None:
+        self._queue = []
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Uniformly random victim from a deterministic seeded stream."""
+
+    def __init__(self, ways: int, seed: int = 0):
+        super().__init__(ways)
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def victim(self, valid: List[bool]) -> int:
+        for way in range(self.ways):
+            if not valid[way]:
+                return way
+        return self._rng.randrange(self.ways)
+
+    def reset(self) -> None:
+        self._rng = random.Random(self.seed)
+
+
+_POLICIES = {"LRU": LruPolicy, "FIFO": FifoPolicy, "Random": RandomPolicy}
+
+
+def make_policy(name: str, ways: int, seed: int = 0) -> ReplacementPolicy:
+    """Instantiate a policy by configuration name (case-insensitive)."""
+    for key, cls in _POLICIES.items():
+        if key.lower() == name.lower():
+            if cls is RandomPolicy:
+                return cls(ways, seed)
+            return cls(ways)
+    raise ConfigError(
+        f"unknown replacement policy '{name}' (expected LRU, FIFO or Random)")

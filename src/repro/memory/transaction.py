@@ -1,0 +1,61 @@
+"""Memory transactions.
+
+Every memory request is represented by a :class:`MemoryTransaction` object;
+the memory system stamps it with its completion time on registration.
+Transactions "enable easy configuration of memory access times, support
+cache line flushing, and include metadata useful for interactive simulation"
+(Sec. III-A).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+_ids = itertools.count(1)
+
+
+@dataclass
+class MemoryTransaction:
+    """One load or store request travelling through the memory hierarchy."""
+
+    address: int
+    size: int
+    is_store: bool
+    #: payload for stores / filled result for loads (little-endian bytes)
+    data: bytes = b""
+    #: cycle the transaction was registered
+    issued_cycle: int = -1
+    #: cycle the data is available / the store is durable
+    finished_cycle: int = -1
+    #: whether the access hit in the L1 cache (None = cache disabled)
+    cache_hit: Optional[bool] = None
+    #: True when this transaction flushes (writes back) a dirty cache line
+    is_line_flush: bool = False
+    #: owning dynamic instruction id (interactive-simulation metadata)
+    instruction_id: int = -1
+    transaction_id: int = field(default_factory=lambda: next(_ids))
+
+    @property
+    def latency(self) -> int:
+        """Cycles between registration and completion."""
+        if self.issued_cycle < 0 or self.finished_cycle < 0:
+            return -1
+        return self.finished_cycle - self.issued_cycle
+
+    def is_finished(self, cycle: int) -> bool:
+        return self.finished_cycle >= 0 and cycle >= self.finished_cycle
+
+    def to_json(self) -> dict:
+        return {
+            "id": self.transaction_id,
+            "address": self.address,
+            "size": self.size,
+            "isStore": self.is_store,
+            "issuedCycle": self.issued_cycle,
+            "finishedCycle": self.finished_cycle,
+            "cacheHit": self.cache_hit,
+            "isLineFlush": self.is_line_flush,
+            "instructionId": self.instruction_id,
+        }

@@ -1,0 +1,27 @@
+"""Branch prediction: zero/one/two-bit predictors, BTB, PHT, history.
+
+The Branch-prediction tab (Fig. 9) exposes: branch target buffer size,
+pattern history table size, predictor type (zero, one, or two-bit),
+predictor default state, and local vs. global history shift registers.
+"""
+
+from repro.predictor.bits import (
+    BitPredictor,
+    ZeroBitPredictor,
+    OneBitPredictor,
+    TwoBitPredictor,
+    make_bit_predictor,
+)
+from repro.predictor.btb import BranchTargetBuffer
+from repro.predictor.unit import BranchPredictor, PredictorConfig
+
+__all__ = [
+    "BitPredictor",
+    "ZeroBitPredictor",
+    "OneBitPredictor",
+    "TwoBitPredictor",
+    "make_bit_predictor",
+    "BranchTargetBuffer",
+    "BranchPredictor",
+    "PredictorConfig",
+]

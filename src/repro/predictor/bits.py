@@ -1,0 +1,107 @@
+"""Saturating-counter branch predictors (zero-, one- and two-bit).
+
+Each PHT entry is one of these small state machines.  The "default state"
+from the configuration seeds new entries (e.g. a two-bit predictor starting
+at *weakly taken*).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+
+class BitPredictor:
+    """Base class: predicts taken/not-taken, learns from outcomes."""
+
+    states = 1
+
+    def __init__(self, initial_state: int = 0):
+        if not 0 <= initial_state < self.states:
+            raise ConfigError(
+                f"{type(self).__name__}: initial state {initial_state} out of "
+                f"range 0..{self.states - 1}")
+        self.state = initial_state
+        self.initial_state = initial_state
+
+    def predict(self) -> bool:
+        raise NotImplementedError
+
+    def update(self, taken: bool) -> None:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        self.state = self.initial_state
+
+    def state_name(self) -> str:
+        raise NotImplementedError
+
+    def clone(self) -> "BitPredictor":
+        copy = type(self)(self.initial_state)
+        copy.state = self.state
+        return copy
+
+
+class ZeroBitPredictor(BitPredictor):
+    """Static predictor: always predicts its configured direction."""
+
+    states = 2  # 0 = always not taken, 1 = always taken
+
+    def predict(self) -> bool:
+        return self.state == 1
+
+    def update(self, taken: bool) -> None:
+        pass  # static: never learns
+
+    def state_name(self) -> str:
+        return "always-taken" if self.state else "always-not-taken"
+
+
+class OneBitPredictor(BitPredictor):
+    """Remembers the last outcome."""
+
+    states = 2  # 0 = not taken, 1 = taken
+
+    def predict(self) -> bool:
+        return self.state == 1
+
+    def update(self, taken: bool) -> None:
+        self.state = 1 if taken else 0
+
+    def state_name(self) -> str:
+        return "taken" if self.state else "not-taken"
+
+
+class TwoBitPredictor(BitPredictor):
+    """Classic 2-bit saturating counter."""
+
+    states = 4  # 0 strongly-NT, 1 weakly-NT, 2 weakly-T, 3 strongly-T
+    _NAMES = ("strongly-not-taken", "weakly-not-taken",
+              "weakly-taken", "strongly-taken")
+
+    def predict(self) -> bool:
+        return self.state >= 2
+
+    def update(self, taken: bool) -> None:
+        if taken:
+            self.state = min(3, self.state + 1)
+        else:
+            self.state = max(0, self.state - 1)
+
+    def state_name(self) -> str:
+        return self._NAMES[self.state]
+
+
+_KINDS = {
+    "zero": ZeroBitPredictor, "0bit": ZeroBitPredictor,
+    "one": OneBitPredictor, "1bit": OneBitPredictor,
+    "two": TwoBitPredictor, "2bit": TwoBitPredictor,
+}
+
+
+def make_bit_predictor(kind: str, initial_state: int = 0) -> BitPredictor:
+    """Instantiate a predictor by configuration name."""
+    cls = _KINDS.get(kind.lower())
+    if cls is None:
+        raise ConfigError(
+            f"unknown predictor type '{kind}' (expected zero, one or two)")
+    return cls(initial_state)

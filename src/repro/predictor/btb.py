@@ -1,0 +1,62 @@
+"""Branch target buffer.
+
+Direct-mapped, indexed by PC; stores the last computed target of a branch
+so the fetch unit can redirect without decoding.  A taken prediction whose
+target is unknown falls through (and pays the mispredict penalty when the
+branch resolves), which mirrors the behaviour users observe in the GUI.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ConfigError
+
+
+class BranchTargetBuffer:
+    """PC -> predicted target mapping with a fixed number of entries."""
+
+    def __init__(self, size: int = 64):
+        if size <= 0:
+            raise ConfigError("BTB size must be positive")
+        self.size = size
+        self._tags = [-1] * size
+        self._targets = [0] * size
+        self.lookups = 0
+        self.hits = 0
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) % self.size
+
+    def lookup(self, pc: int) -> Optional[int]:
+        """Predicted target of the branch at *pc* (None on miss)."""
+        self.lookups += 1
+        idx = self._index(pc)
+        if self._tags[idx] == pc:
+            self.hits += 1
+            return self._targets[idx]
+        return None
+
+    def update(self, pc: int, target: int) -> None:
+        """Record the resolved target of the branch at *pc*."""
+        idx = self._index(pc)
+        self._tags[idx] = pc
+        self._targets[idx] = target
+
+    def invalidate(self, pc: int) -> None:
+        idx = self._index(pc)
+        if self._tags[idx] == pc:
+            self._tags[idx] = -1
+
+    def reset(self) -> None:
+        self._tags = [-1] * self.size
+        self._targets = [0] * self.size
+        self.lookups = 0
+        self.hits = 0
+
+    def snapshot(self) -> list:
+        """Occupied entries, for the branch-unit pop-up view."""
+        return [
+            {"pc": tag, "target": target}
+            for tag, target in zip(self._tags, self._targets) if tag >= 0
+        ]

@@ -1,0 +1,189 @@
+"""Complete branch-prediction unit: PHT + history + BTB.
+
+Configuration mirrors the Branch-prediction tab (Fig. 9): BTB size, PHT
+size, predictor type (zero/one/two-bit), predictor default state, and the
+choice between *local* history (per-branch shift registers) and a *global*
+history shift register.  The PHT is indexed by ``(pc ^ history) % size``
+(gshare-style) in global mode and by ``(pc + local_history)`` in local mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.predictor.bits import BitPredictor, make_bit_predictor
+from repro.predictor.btb import BranchTargetBuffer
+
+
+@dataclass
+class PredictorConfig:
+    """Branch-prediction tab of the architecture settings."""
+
+    btb_size: int = 64
+    pht_size: int = 64
+    predictor_type: str = "two"       # zero | one | two
+    default_state: int = 1            # seed state of fresh PHT entries
+    use_global_history: bool = False  # False = local history registers
+    history_bits: int = 4
+
+    def validate(self) -> None:
+        if self.btb_size <= 0 or self.pht_size <= 0:
+            raise ConfigError("BTB and PHT sizes must be positive")
+        if not 0 <= self.history_bits <= 16:
+            raise ConfigError("history bits must be in 0..16")
+        make_bit_predictor(self.predictor_type, self.default_state)
+
+    def to_json(self) -> dict:
+        return {
+            "btbSize": self.btb_size,
+            "phtSize": self.pht_size,
+            "predictorType": self.predictor_type,
+            "defaultState": self.default_state,
+            "historyKind": "global" if self.use_global_history else "local",
+            "historyBits": self.history_bits,
+        }
+
+    @staticmethod
+    def from_json(data: dict) -> "PredictorConfig":
+        return PredictorConfig(
+            btb_size=int(data.get("btbSize", 64)),
+            pht_size=int(data.get("phtSize", 64)),
+            predictor_type=data.get("predictorType", "two"),
+            default_state=int(data.get("defaultState", 1)),
+            use_global_history=data.get("historyKind", "local") == "global",
+            history_bits=int(data.get("historyBits", 4)),
+        )
+
+
+class BranchPredictor:
+    """Prediction + training front-end used by fetch and the branch unit."""
+
+    def __init__(self, config: PredictorConfig):
+        config.validate()
+        self.config = config
+        self.btb = BranchTargetBuffer(config.btb_size)
+        self._pht: List[Optional[BitPredictor]] = [None] * config.pht_size
+        # Histories come in two copies: the *speculative* one is updated at
+        # prediction time with the predicted direction (so back-to-back
+        # correlated branches see each other), the *committed* one is
+        # updated with actual outcomes at commit.  A pipeline flush repairs
+        # the speculative copy from the committed copy.
+        self._spec_global = 0
+        self._commit_global = 0
+        self._spec_local: Dict[int, int] = {}
+        self._commit_local: Dict[int, int] = {}
+        self._history_mask = (1 << config.history_bits) - 1
+        # statistics
+        self.predictions = 0
+        self.correct = 0
+        self.mispredictions = 0
+
+    # ------------------------------------------------------------------
+    def _index_for(self, pc: int, history: int) -> int:
+        return ((pc >> 2) ^ history) % self.config.pht_size
+
+    def _spec_index(self, pc: int) -> int:
+        history = self._spec_global if self.config.use_global_history \
+            else self._spec_local.get(pc, 0)
+        return self._index_for(pc, history)
+
+    def _entry_at(self, index: int) -> BitPredictor:
+        entry = self._pht[index]
+        if entry is None:
+            entry = make_bit_predictor(self.config.predictor_type,
+                                       self.config.default_state)
+            self._pht[index] = entry
+        return entry
+
+    # ------------------------------------------------------------------
+    def predict(self, pc: int, unconditional: bool = False) -> Tuple[bool, Optional[int]]:
+        """Predict the branch at *pc*: returns (taken?, target-or-None)."""
+        taken, target, _index = self.predict_indexed(pc, unconditional)
+        return taken, target
+
+    def predict_indexed(self, pc: int,
+                        unconditional: bool = False) -> Tuple[bool, Optional[int], int]:
+        """Predict and return the PHT index used, so commit-time training
+        updates the exact entry that produced the prediction."""
+        target = self.btb.lookup(pc)
+        index = self._spec_index(pc)
+        if unconditional:
+            taken = True
+        else:
+            taken = self._entry_at(index).predict()
+        # speculative history update with the predicted direction
+        if self.config.use_global_history:
+            self._spec_global = ((self._spec_global << 1) | int(taken)) \
+                & self._history_mask
+        else:
+            old = self._spec_local.get(pc, 0)
+            self._spec_local[pc] = ((old << 1) | int(taken)) \
+                & self._history_mask
+        return taken, target, index
+
+    def entry_state(self, pc: int) -> str:
+        """Human-readable PHT state for the GUI (e.g. 'weakly-taken')."""
+        return self._entry_at(self._spec_index(pc)).state_name()
+
+    # ------------------------------------------------------------------
+    def train(self, pc: int, taken: bool, target: int,
+              predicted_taken: bool, predicted_target: Optional[int],
+              pht_index: Optional[int] = None) -> bool:
+        """Record the resolved outcome; returns True if prediction correct.
+
+        A prediction counts as correct only if both direction and (for taken
+        branches) target were right — a taken guess without a BTB target is
+        a misfetch and counts as a misprediction.
+        """
+        self.predictions += 1
+        index = pht_index if pht_index is not None \
+            else self._index_for(pc, self._commit_global
+                                 if self.config.use_global_history
+                                 else self._commit_local.get(pc, 0))
+        self._entry_at(index).update(taken)
+        if self.config.use_global_history:
+            self._commit_global = ((self._commit_global << 1) | int(taken)) \
+                & self._history_mask
+        else:
+            old = self._commit_local.get(pc, 0)
+            self._commit_local[pc] = ((old << 1) | int(taken)) \
+                & self._history_mask
+        if taken:
+            self.btb.update(pc, target)
+        correct = (predicted_taken == taken) and \
+            (not taken or predicted_target == target)
+        if correct:
+            self.correct += 1
+        else:
+            self.mispredictions += 1
+        return correct
+
+    def on_flush(self) -> None:
+        """Pipeline flush: repair speculative histories from committed."""
+        self._spec_global = self._commit_global
+        self._spec_local = dict(self._commit_local)
+
+    # ------------------------------------------------------------------
+    @property
+    def accuracy(self) -> float:
+        return self.correct / self.predictions if self.predictions else 1.0
+
+    def reset(self) -> None:
+        self.btb.reset()
+        self._pht = [None] * self.config.pht_size
+        self._spec_global = self._commit_global = 0
+        self._spec_local.clear()
+        self._commit_local.clear()
+        self.predictions = self.correct = self.mispredictions = 0
+
+    def stats(self) -> dict:
+        return {
+            "predictions": self.predictions,
+            "correct": self.correct,
+            "mispredictions": self.mispredictions,
+            "accuracy": self.accuracy,
+            "btbLookups": self.btb.lookups,
+            "btbHits": self.btb.hits,
+        }

@@ -1,0 +1,102 @@
+"""HTTP client for the simulation server (used by the CLI and load tests)."""
+
+from __future__ import annotations
+
+import gzip
+import http.client
+import json
+from typing import Optional
+
+from repro.server.protocol import ApiError
+
+
+class SimClient:
+    """Thin JSON-over-HTTP client.
+
+    Each client owns one keep-alive connection (a simulated "user" in the
+    load test); it is not thread-safe — use one per thread.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8045,
+                 use_gzip: bool = True, timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self.use_gzip = use_gzip
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # ------------------------------------------------------------------
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout)
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def request(self, method: str, path: str,
+                payload: Optional[dict] = None) -> dict:
+        body = None
+        headers = {"Accept": "application/json"}
+        if self.use_gzip:
+            headers["Accept-Encoding"] = "gzip"
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        conn = self._connection()
+        try:
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+        except (http.client.HTTPException, OSError):
+            # stale keep-alive connection: retry once on a fresh one
+            self.close()
+            conn = self._connection()
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+        if response.getheader("Content-Encoding", "") == "gzip":
+            raw = gzip.decompress(raw)
+        data = json.loads(raw.decode("utf-8")) if raw else {}
+        if response.status >= 400:
+            raise ApiError(data.get("error", f"HTTP {response.status}"),
+                           status=response.status)
+        return data
+
+    # -- convenience wrappers ---------------------------------------------
+    def health(self) -> dict:
+        return self.request("GET", "/health")
+
+    def schema(self) -> dict:
+        return self.request("GET", "/schema")
+
+    def compile(self, code: str, optimize_level: int = 1) -> dict:
+        return self.request("POST", "/compile",
+                            {"code": code, "optimizeLevel": optimize_level})
+
+    def parse_asm(self, code: str, **kw) -> dict:
+        return self.request("POST", "/parseAsm", {"code": code, **kw})
+
+    def simulate(self, code: str, **kw) -> dict:
+        return self.request("POST", "/simulate", {"code": code, **kw})
+
+    def session_new(self, code: str, **kw) -> str:
+        out = self.request("POST", "/session/new", {"code": code, **kw})
+        if not out.get("success"):
+            raise ApiError(f"session creation failed: {out.get('errors')}")
+        return out["sessionId"]
+
+    def session_step(self, session_id: str, cycles: int = 1) -> dict:
+        return self.request("POST", "/session/step",
+                            {"sessionId": session_id, "cycles": cycles})
+
+    def session_state(self, session_id: str) -> dict:
+        return self.request("POST", "/session/state",
+                            {"sessionId": session_id})
+
+    def session_close(self, session_id: str) -> dict:
+        return self.request("POST", "/session/close",
+                            {"sessionId": session_id})

@@ -1,0 +1,143 @@
+"""Threaded HTTP JSON server.
+
+Equivalent of the paper's Undertow-based simulation server: JSON request
+bodies, JSON responses, optional gzip content-encoding (which the paper
+measured at +40 % throughput), and a configurable per-request overhead used
+to emulate the Docker deployment rows of Table I on machines without
+Docker.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gzip
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+from repro.server.protocol import Api, ApiError
+
+#: responses smaller than this are not worth compressing
+_GZIP_THRESHOLD = 256
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-sim/1.0"
+
+    # quiet by default; the load test would otherwise spam the console
+    def log_message(self, fmt, *args):  # pragma: no cover - logging
+        if getattr(self.server, "verbose", False):
+            super().log_message(fmt, *args)
+
+    # ------------------------------------------------------------------
+    def _read_body(self) -> Optional[dict]:
+        length = int(self.headers.get("Content-Length", 0))
+        if length == 0:
+            return None
+        raw = self.rfile.read(length)
+        if self.headers.get("Content-Encoding", "") == "gzip":
+            raw = gzip.decompress(raw)
+        if not raw:
+            return None
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except json.JSONDecodeError as exc:
+            raise ApiError(f"invalid JSON body: {exc}") from exc
+
+    def _send(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        accept = self.headers.get("Accept-Encoding", "")
+        use_gzip = (self.server.enable_gzip and "gzip" in accept
+                    and len(body) >= _GZIP_THRESHOLD)
+        if use_gzip:
+            body = gzip.compress(body, compresslevel=1)
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        if use_gzip:
+            self.send_header("Content-Encoding", "gzip")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _dispatch(self, method: str) -> None:
+        # simulated Docker virtualization overhead (Table I "Docker" rows)
+        if self.server.overhead_ms > 0:
+            time.sleep(self.server.overhead_ms / 1000.0)
+        try:
+            payload = self._read_body()
+            result = self.server.api.handle(method, self.path, payload)
+            self._send(200, result)
+        except ApiError as exc:
+            self._send(exc.status, exc.to_json())
+        except Exception as exc:  # noqa: BLE001 - server must not die
+            self._send(500, {"error": f"internal error: {exc}", "status": 500})
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        self._dispatch("POST")
+
+
+class SimServer(ThreadingHTTPServer):
+    """The simulation server (one thread per connection)."""
+
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int] = ("127.0.0.1", 0),
+                 api: Optional[Api] = None, enable_gzip: bool = True,
+                 overhead_ms: float = 0.0, verbose: bool = False):
+        super().__init__(address, _Handler)
+        self.api = api or Api()
+        self.enable_gzip = enable_gzip
+        self.overhead_ms = overhead_ms
+        self.verbose = verbose
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    def start_background(self) -> threading.Thread:
+        """Serve on a daemon thread; returns the thread."""
+        thread = threading.Thread(target=self.serve_forever, daemon=True)
+        thread.start()
+        return thread
+
+
+def serve(host: str = "127.0.0.1", port: int = 8045,
+          enable_gzip: bool = True, overhead_ms: float = 0.0,
+          verbose: bool = True) -> None:
+    """Run the server in the foreground (``repro-server`` entry point)."""
+    server = SimServer((host, port), enable_gzip=enable_gzip,
+                       overhead_ms=overhead_ms, verbose=verbose)
+    print(f"repro simulation server listening on http://{host}:{server.port}"
+          f" (gzip={'on' if enable_gzip else 'off'},"
+          f" overhead={overhead_ms}ms)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        print("shutting down")
+        server.shutdown()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="repro superscalar RISC-V simulation server")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8045)
+    parser.add_argument("--no-gzip", action="store_true",
+                        help="disable gzip content-encoding")
+    parser.add_argument("--overhead-ms", type=float, default=0.0,
+                        help="per-request overhead emulating Docker deployment")
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args(argv)
+    serve(args.host, args.port, enable_gzip=not args.no_gzip,
+          overhead_ms=args.overhead_ms, verbose=not args.quiet)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

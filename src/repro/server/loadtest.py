@@ -1,0 +1,184 @@
+"""Closed-loop load generator (the paper's JMeter experiment, Sec. IV-A).
+
+Test protocol exactly as described: N concurrent users, each interactively
+simulating 40 steps of one of two programs, a configurable ramp-up time, a
+think-time pause between each user's requests, and optional gzip.  Reported
+metrics match Table I: median latency, 90th-percentile latency, and
+throughput in transactions per second.
+"""
+
+from __future__ import annotations
+
+import statistics
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.server.client import SimClient
+
+
+@dataclass
+class LoadTestConfig:
+    """Parameters of one scenario (Table I row)."""
+
+    users: int = 30
+    steps_per_user: int = 40
+    ramp_up_s: float = 4.0
+    think_time_s: float = 1.0
+    use_gzip: bool = True
+    cycles_per_step: int = 1
+
+
+@dataclass
+class LoadTestResult:
+    """Measured data for one scenario."""
+
+    users: int
+    transactions: int = 0
+    errors: int = 0
+    latencies_ms: List[float] = field(default_factory=list)
+    duration_s: float = 0.0
+
+    @property
+    def median_ms(self) -> float:
+        return statistics.median(self.latencies_ms) if self.latencies_ms else 0.0
+
+    @property
+    def p90_ms(self) -> float:
+        if not self.latencies_ms:
+            return 0.0
+        ordered = sorted(self.latencies_ms)
+        index = max(0, int(round(0.9 * len(ordered))) - 1)
+        return ordered[index]
+
+    @property
+    def throughput_tps(self) -> float:
+        return self.transactions / self.duration_s if self.duration_s else 0.0
+
+    def row(self, mode: str) -> dict:
+        """One Table I row."""
+        return {
+            "mode": mode,
+            "users": self.users,
+            "medianLatencyMs": round(self.median_ms, 2),
+            "p90LatencyMs": round(self.p90_ms, 2),
+            "throughputTps": round(self.throughput_tps, 2),
+            "transactions": self.transactions,
+            "errors": self.errors,
+        }
+
+
+#: the two programs users step through (a loop kernel and a memory kernel)
+DEFAULT_PROGRAMS = (
+    """
+    li a0, 0
+    li t0, 1
+    li t1, 1000
+loop:
+    add a0, a0, t0
+    addi t0, t0, 1
+    ble t0, t1, loop
+    ebreak
+    """,
+    """
+    .data
+buf: .zero 256
+    .text
+    la t0, buf
+    li t1, 0
+    li t2, 64
+fill:
+    sw t1, 0(t0)
+    addi t0, t0, 4
+    addi t1, t1, 1
+    blt t1, t2, fill
+    ebreak
+    """,
+)
+
+
+def run_load_test(host: str, port: int, config: LoadTestConfig,
+                  programs: Sequence[str] = DEFAULT_PROGRAMS) -> LoadTestResult:
+    """Run one closed-loop scenario against a live server."""
+    result = LoadTestResult(users=config.users)
+    lock = threading.Lock()
+    start_barrier = time.monotonic()
+
+    def user(index: int) -> None:
+        # ramp-up: users start spread uniformly over ramp_up_s
+        delay = config.ramp_up_s * index / max(1, config.users)
+        wake = start_barrier + delay
+        pause = wake - time.monotonic()
+        if pause > 0:
+            time.sleep(pause)
+        client = SimClient(host, port, use_gzip=config.use_gzip)
+        local_lat: List[float] = []
+        local_tx = 0
+        local_err = 0
+        try:
+            program = programs[index % len(programs)]
+            t0 = time.monotonic()
+            session = client.session_new(program)
+            local_lat.append((time.monotonic() - t0) * 1000.0)
+            local_tx += 1
+            for _ in range(config.steps_per_user):
+                if config.think_time_s > 0:
+                    time.sleep(config.think_time_s)
+                t0 = time.monotonic()
+                try:
+                    client.session_step(session, config.cycles_per_step)
+                    local_tx += 1
+                except Exception:  # noqa: BLE001 - count as error, continue
+                    local_err += 1
+                    continue
+                local_lat.append((time.monotonic() - t0) * 1000.0)
+            client.session_close(session)
+        except Exception:  # noqa: BLE001 - user failed entirely
+            local_err += 1
+        finally:
+            client.close()
+        with lock:
+            result.latencies_ms.extend(local_lat)
+            result.transactions += local_tx
+            result.errors += local_err
+
+    threads = [threading.Thread(target=user, args=(i,), daemon=True)
+               for i in range(config.users)]
+    wall_start = time.monotonic()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    result.duration_s = time.monotonic() - wall_start
+    return result
+
+
+def run_table1(host: str, port_direct: int, port_docker: int,
+               users_list: Sequence[int] = (30, 100),
+               steps_per_user: int = 40, ramp_up_s: float = 4.0,
+               think_time_s: float = 1.0) -> List[dict]:
+    """Reproduce all four Table I rows against two live servers
+    (direct and simulated-Docker)."""
+    rows: List[dict] = []
+    for mode, port in (("Direct", port_direct), ("Docker", port_docker)):
+        for users in users_list:
+            config = LoadTestConfig(users=users, steps_per_user=steps_per_user,
+                                    ramp_up_s=ramp_up_s,
+                                    think_time_s=think_time_s, use_gzip=True)
+            rows.append(run_load_test(host, port, config).row(mode))
+    return rows
+
+
+def format_table1(rows: List[dict]) -> str:
+    """Render rows in the paper's Table I layout."""
+    lines = [
+        "THE MEASURED LATENCY VALUES FOR THE FOUR SPECIFIED SCENARIOS",
+        f"{'Mode':<8} {'#users':>6} {'Median[ms]':>12} {'90th pct[ms]':>13} "
+        f"{'Throughput[trans/s]':>20}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['mode']:<8} {row['users']:>6} {row['medianLatencyMs']:>12} "
+            f"{row['p90LatencyMs']:>13} {row['throughputTps']:>20}")
+    return "\n".join(lines)

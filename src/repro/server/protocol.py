@@ -1,0 +1,236 @@
+"""JSON API protocol layer (transport-independent request handlers).
+
+Endpoints mirror the paper's server API:
+
+========================  ===================================================
+``POST /compile``         C source -> assembly (+ errors, C<->asm line map)
+``POST /parseAsm``        syntax-check assembly (editor squiggles, Fig. 7)
+``POST /simulate``        batch run: code + architecture -> statistics (CLI)
+``POST /session/new``     create an interactive session
+``POST /session/step``    advance (or step back, negative cycles) a session
+``POST /session/state``   full processor snapshot of a session
+``POST /session/seek``    jump to an absolute cycle (log navigation)
+``POST /session/close``   drop a session
+``GET  /schema``          machine-readable endpoint list
+``GET  /health``          liveness probe
+========================  ===================================================
+
+Handlers receive/return plain dicts; the HTTP layer (or the in-process test
+harness) does (de)serialization, so the JSON cost the paper measures can be
+benchmarked separately from the simulation cost.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.asm.parser import Assembler
+from repro.compiler.driver import compile_c
+from repro.core.config import CpuConfig
+from repro.errors import AsmSyntaxError, ConfigError, ReproError, SourceError
+from repro.memory.layout import MemoryLocation
+from repro.server.session import SessionManager
+
+
+class ApiError(Exception):
+    """Protocol-level error with an HTTP-ish status code."""
+
+    def __init__(self, message: str, status: int = 400):
+        super().__init__(message)
+        self.message = message
+        self.status = status
+
+    def to_json(self) -> dict:
+        return {"error": self.message, "status": self.status}
+
+
+def _parse_memory_locations(payload: dict) -> List[MemoryLocation]:
+    locations = payload.get("memory", [])
+    try:
+        return [MemoryLocation.from_json(d) for d in locations]
+    except (ConfigError, KeyError, TypeError) as exc:
+        raise ApiError(f"invalid memory configuration: {exc}") from exc
+
+
+def _parse_config(payload: dict) -> Optional[CpuConfig]:
+    data = payload.get("config")
+    if data is None:
+        return None
+    try:
+        if isinstance(data, str):
+            return CpuConfig.preset(data)
+        return CpuConfig.from_json(data)
+    except ConfigError as exc:
+        raise ApiError(f"invalid architecture configuration: {exc}") from exc
+
+
+SCHEMA = {
+    "endpoints": [
+        {"method": "POST", "path": "/compile",
+         "body": {"code": "C source", "optimizeLevel": "0..3"}},
+        {"method": "POST", "path": "/parseAsm", "body": {"code": "assembly"}},
+        {"method": "POST", "path": "/simulate",
+         "body": {"code": "assembly", "config": "architecture JSON or preset",
+                  "entry": "label/address?", "memory": "[MemoryLocation]?",
+                  "maxCycles": "int?", "fullState": "bool?"}},
+        {"method": "POST", "path": "/session/new",
+         "body": {"code": "assembly", "config": "...", "entry": "...",
+                  "memory": "..."}},
+        {"method": "POST", "path": "/session/step",
+         "body": {"sessionId": "id", "cycles": "int (negative = backward)"}},
+        {"method": "POST", "path": "/session/state",
+         "body": {"sessionId": "id"}},
+        {"method": "POST", "path": "/session/seek",
+         "body": {"sessionId": "id", "cycle": "int"}},
+        {"method": "POST", "path": "/session/close",
+         "body": {"sessionId": "id"}},
+        {"method": "GET", "path": "/schema"},
+        {"method": "GET", "path": "/health"},
+    ],
+}
+
+
+class Api:
+    """All protocol handlers bound to one session manager."""
+
+    def __init__(self, sessions: Optional[SessionManager] = None):
+        self.sessions = sessions or SessionManager()
+
+    # ------------------------------------------------------------------
+    def handle(self, method: str, path: str, payload: Optional[dict]) -> dict:
+        payload = payload or {}
+        route = (method.upper(), path.rstrip("/") or "/")
+        if route == ("GET", "/schema"):
+            return SCHEMA
+        if route == ("GET", "/health"):
+            return {"status": "ok", "sessions": len(self.sessions)}
+        if route == ("POST", "/compile"):
+            return self.compile(payload)
+        if route == ("POST", "/parseAsm"):
+            return self.parse_asm(payload)
+        if route == ("POST", "/simulate"):
+            return self.simulate(payload)
+        if route == ("POST", "/session/new"):
+            return self.session_new(payload)
+        if route == ("POST", "/session/step"):
+            return self.session_step(payload)
+        if route == ("POST", "/session/state"):
+            return self.session_state(payload)
+        if route == ("POST", "/session/seek"):
+            return self.session_seek(payload)
+        if route == ("POST", "/session/close"):
+            return self.session_close(payload)
+        raise ApiError(f"no such endpoint: {method} {path}", status=404)
+
+    # ------------------------------------------------------------------
+    def compile(self, payload: dict) -> dict:
+        code = payload.get("code")
+        if not isinstance(code, str):
+            raise ApiError("'code' (C source string) is required")
+        level = int(payload.get("optimizeLevel", 1))
+        if not 0 <= level <= 3:
+            raise ApiError("optimizeLevel must be 0..3")
+        return compile_c(code, level,
+                         run_filter=bool(payload.get("filter", False))).to_json()
+
+    def parse_asm(self, payload: dict) -> dict:
+        code = payload.get("code")
+        if not isinstance(code, str):
+            raise ApiError("'code' (assembly string) is required")
+        config = _parse_config(payload) or CpuConfig()
+        try:
+            program = Assembler().assemble(
+                code, memory_locations=_parse_memory_locations(payload),
+                stack_size=config.memory.call_stack_size)
+        except AsmSyntaxError as exc:
+            return {"success": False, "errors": [exc.to_json()]}
+        return {
+            "success": True,
+            "errors": [],
+            "instructionCount": len(program.instructions),
+            "labels": program.labels,
+            "symbols": program.symbol_table(),
+        }
+
+    def simulate(self, payload: dict) -> dict:
+        code = payload.get("code")
+        if not isinstance(code, str):
+            raise ApiError("'code' (assembly string) is required")
+        config = _parse_config(payload)
+        from repro.sim.simulation import Simulation
+        try:
+            simulation = Simulation.from_source(
+                code, config=config, entry=payload.get("entry"),
+                memory_locations=_parse_memory_locations(payload))
+            result = simulation.run(payload.get("maxCycles"))
+        except SourceError as exc:
+            return {"success": False, "errors": [exc.to_json()]}
+        except ReproError as exc:
+            raise ApiError(str(exc)) from exc
+        out = {"success": True, "result": result.to_json()}
+        if payload.get("fullState"):
+            out["state"] = simulation.snapshot()
+        return out
+
+    # -- sessions -----------------------------------------------------------
+    def session_new(self, payload: dict) -> dict:
+        code = payload.get("code")
+        if not isinstance(code, str):
+            raise ApiError("'code' (assembly string) is required")
+        try:
+            session = self.sessions.create(
+                code, config=_parse_config(payload),
+                entry=payload.get("entry"),
+                memory_locations=_parse_memory_locations(payload))
+        except SourceError as exc:
+            return {"success": False, "errors": [exc.to_json()]}
+        return {"success": True, "sessionId": session.id}
+
+    def _session(self, payload: dict):
+        session_id = payload.get("sessionId")
+        session = self.sessions.get(session_id) if session_id else None
+        if session is None:
+            raise ApiError(f"unknown session '{session_id}'", status=404)
+        return session
+
+    def session_step(self, payload: dict) -> dict:
+        session = self._session(payload)
+        cycles = int(payload.get("cycles", 1))
+        with session.lock:
+            if cycles >= 0:
+                session.simulation.step(cycles)
+            else:
+                session.simulation.step_back(-cycles)
+            return {"success": True, "state": session.simulation.snapshot()}
+
+    def session_state(self, payload: dict) -> dict:
+        session = self._session(payload)
+        with session.lock:
+            return {"success": True, "state": session.simulation.snapshot()}
+
+    def session_seek(self, payload: dict) -> dict:
+        session = self._session(payload)
+        cycle = int(payload.get("cycle", 0))
+        if cycle < 0:
+            raise ApiError("cycle must be >= 0")
+        with session.lock:
+            session.simulation.seek(cycle)
+            return {"success": True, "state": session.simulation.snapshot()}
+
+    def session_close(self, payload: dict) -> dict:
+        session_id = payload.get("sessionId", "")
+        return {"success": self.sessions.close(session_id)}
+
+
+_default_api: Optional[Api] = None
+
+
+def handle_request(method: str, path: str, payload: Optional[dict],
+                   api: Optional[Api] = None) -> dict:
+    """Module-level convenience entry (shared default :class:`Api`)."""
+    global _default_api
+    if api is None:
+        if _default_api is None:
+            _default_api = Api()
+        api = _default_api
+    return api.handle(method, path, payload)

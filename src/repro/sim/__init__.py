@@ -1,0 +1,14 @@
+"""Simulation management: step manager, statistics, forward/backward stepping."""
+
+from repro.sim.simulation import Simulation, SimulationResult, run_program
+from repro.sim.statistics import RuntimeStatistics
+from repro.sim.debugger import DebugSession, DebugEvent
+from repro.sim.energy import (AreaReport, EnergyReport, estimate_area,
+                              estimate_energy, render_power_report)
+
+__all__ = [
+    "Simulation", "SimulationResult", "run_program", "RuntimeStatistics",
+    "DebugSession", "DebugEvent",
+    "AreaReport", "EnergyReport", "estimate_area", "estimate_energy",
+    "render_power_report",
+]

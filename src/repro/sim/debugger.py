@@ -1,0 +1,161 @@
+"""Breakpoints and watchpoints (the paper's future-work debugging features).
+
+Sec. V: *"improving the code development and simulation environment by
+adding breakpoints, watches"*.
+
+* A **breakpoint** fires when an instruction at a given PC (or label)
+  *commits* — architectural state is then exactly the program state before
+  any later instruction, which is what a source-level debugger shows.
+* A **register watch** fires when a committed architectural register
+  changes value; a **memory watch** fires when a watched byte range
+  changes.
+
+`DebugSession.run()` advances the underlying :class:`Simulation` until the
+next debug event (or program end), so stepping, backward stepping and state
+inspection keep working through the normal API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Union
+
+from repro.isa.registers import parse_register
+from repro.sim.simulation import Simulation
+
+
+@dataclass
+class DebugEvent:
+    """One debugger stop."""
+
+    kind: str          # 'breakpoint' | 'register' | 'memory' | 'halt'
+    cycle: int
+    pc: Optional[int] = None
+    register: Optional[str] = None
+    address: Optional[int] = None
+    old_value: object = None
+    new_value: object = None
+
+    def __str__(self) -> str:
+        if self.kind == "breakpoint":
+            return f"breakpoint at pc={self.pc:#x} (cycle {self.cycle})"
+        if self.kind == "register":
+            return (f"watch {self.register}: {self.old_value} -> "
+                    f"{self.new_value} (cycle {self.cycle})")
+        if self.kind == "memory":
+            return (f"watch [{self.address:#x}]: {self.old_value!r} -> "
+                    f"{self.new_value!r} (cycle {self.cycle})")
+        return f"halted (cycle {self.cycle})"
+
+
+class DebugSession:
+    """Breakpoint/watch layer over a :class:`Simulation`."""
+
+    def __init__(self, simulation: Simulation):
+        self.simulation = simulation
+        self._breakpoints: Set[int] = set()
+        self._reg_watches: Dict[str, object] = {}
+        self._mem_watches: Dict[int, bytes] = {}   # address -> last bytes
+        self._mem_sizes: Dict[int, int] = {}
+        self.events: List[DebugEvent] = []
+
+    # -- breakpoint management -------------------------------------------
+    def add_breakpoint(self, where: Union[int, str]) -> int:
+        """Break when the instruction at *where* (pc or label) commits."""
+        pc = where if isinstance(where, int) \
+            else self.simulation.symbol_address(str(where))
+        self._breakpoints.add(pc)
+        return pc
+
+    def remove_breakpoint(self, where: Union[int, str]) -> bool:
+        pc = where if isinstance(where, int) \
+            else self.simulation.symbol_address(str(where))
+        if pc in self._breakpoints:
+            self._breakpoints.remove(pc)
+            return True
+        return False
+
+    def breakpoints(self) -> List[int]:
+        return sorted(self._breakpoints)
+
+    # -- watches -----------------------------------------------------------
+    def watch_register(self, name: str) -> None:
+        reg = parse_register(name)
+        self._reg_watches[reg] = self.simulation.cpu.arch_regs.read(reg)
+
+    def watch_memory(self, address: int, size: int = 4) -> None:
+        self._mem_watches[address] = \
+            self.simulation.memory_bytes(address, size)
+        self._mem_sizes[address] = size
+
+    def unwatch_register(self, name: str) -> None:
+        self._reg_watches.pop(parse_register(name), None)
+
+    def unwatch_memory(self, address: int) -> None:
+        self._mem_watches.pop(address, None)
+        self._mem_sizes.pop(address, None)
+
+    # -- execution -----------------------------------------------------------
+    def run(self, max_cycles: int = 1_000_000) -> DebugEvent:
+        """Run until the next debug event (or halt); returns the event."""
+        sim = self.simulation
+        hit: List[DebugEvent] = []
+
+        def observer(cpu) -> None:
+            # breakpoint detection: an instruction at a watched PC committed
+            # in the step that just ran
+            for simcode in getattr(cpu, "_debug_committed", []):
+                if simcode.pc in self._breakpoints:
+                    hit.append(DebugEvent(kind="breakpoint", cycle=cpu.cycle,
+                                          pc=simcode.pc))
+
+        # lightweight commit hook: wrap _count_commit once per session
+        cpu = sim.cpu
+        if not hasattr(cpu, "_debug_committed"):
+            cpu._debug_committed = []
+            original = cpu._count_commit
+
+            def counting(simcode):
+                cpu._debug_committed.append(simcode)
+                original(simcode)
+            cpu._count_commit = counting
+
+        steps = 0
+        while steps < max_cycles:
+            if sim.cpu.halted:
+                event = DebugEvent(kind="halt", cycle=sim.cpu.cycle)
+                self.events.append(event)
+                return event
+            sim.cpu._debug_committed.clear()
+            sim.step(1)
+            steps += 1
+            observer(sim.cpu)
+            # register watches
+            for reg, old in list(self._reg_watches.items()):
+                new = sim.cpu.arch_regs.read(reg)
+                if new != old:
+                    self._reg_watches[reg] = new
+                    hit.append(DebugEvent(kind="register",
+                                          cycle=sim.cpu.cycle, register=reg,
+                                          old_value=old, new_value=new))
+            # memory watches
+            for address, old in list(self._mem_watches.items()):
+                size = self._mem_sizes[address]
+                new = sim.memory_bytes(address, size)
+                if new != old:
+                    self._mem_watches[address] = new
+                    hit.append(DebugEvent(kind="memory",
+                                          cycle=sim.cpu.cycle,
+                                          address=address, old_value=old,
+                                          new_value=new))
+            if hit:
+                event = hit[0]
+                self.events.append(event)
+                return event
+        event = DebugEvent(kind="halt", cycle=sim.cpu.cycle)
+        self.events.append(event)
+        return event
+
+    def continue_(self, max_cycles: int = 1_000_000) -> DebugEvent:
+        """Alias for :meth:`run` (gdb-style naming)."""
+        return self.run(max_cycles)

@@ -1,0 +1,202 @@
+"""Chip area and power estimation (the paper's future-work extension).
+
+Sec. V: *"runtime statistics could be expanded to measure the chip area
+consumed by specific blocks based on their complexity or estimate the
+processor's power consumption using realistic manufacturing technology."*
+
+The model is deliberately simple and transparent — a linear cost model in
+the style of early-course CACTI/McPAT usage:
+
+* **Area** is a static function of the configuration: each block contributes
+  `base + complexity * size` kilo-gate-equivalents (kGE), with coefficients
+  reflecting relative real-world magnitudes (an FP divider is much larger
+  than an adder; CAM-style structures pay per-entry-per-port).
+* **Dynamic energy** charges each microarchitectural *event* (instruction
+  executed by unit class, cache hit/miss, memory access, rename, flush
+  recovery) a per-event cost in pJ.
+* **Static (leakage) power** is proportional to total area and runs every
+  cycle.
+
+Absolute numbers are synthetic (no foundry data is public at this level),
+but *relative* comparisons — the whole educational point — behave
+correctly: wider machines cost area, mispredict-heavy runs burn energy in
+flush recovery, cache misses dominate the memory energy bill.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.core.config import CpuConfig
+from repro.core.pipeline import Cpu
+
+# ---------------------------------------------------------------------------
+# area model (kilo-gate-equivalents)
+# ---------------------------------------------------------------------------
+#: per-operation area of FX/FP execution hardware
+_FU_OP_AREA = {
+    "addition": 3.0, "bitwise": 1.0, "shift": 2.0, "comparison": 1.5,
+    "multiplication": 18.0, "division": 30.0, "special": 0.5,
+    "fadd": 20.0, "fmul": 35.0, "fdiv": 60.0, "fsqrt": 55.0,
+    "fma": 70.0, "fcmp": 6.0, "fcvt": 10.0,
+}
+_FU_BASE_AREA = {"FX": 2.0, "FP": 4.0, "LS": 6.0, "Branch": 3.0,
+                 "Memory": 8.0}
+
+#: per-entry area of buffering structures
+_ROB_ENTRY = 0.8
+_RENAME_ENTRY = 0.6
+_ISSUE_ENTRY = 1.2          # CAM-ish wakeup logic
+_LSQ_ENTRY = 1.0
+_BTB_ENTRY = 0.05
+_PHT_ENTRY = 0.002          # 2 bits + decode share
+_ARCH_REGFILE = 12.0
+_FETCH_DECODE_PER_WIDTH = 5.0
+_CACHE_KGE_PER_BYTE = 0.012
+_CACHE_WAY_OVERHEAD = 1.5   # comparators/muxes per way
+
+
+@dataclass
+class AreaReport:
+    """Per-block area breakdown in kGE."""
+
+    blocks: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total(self) -> float:
+        return sum(self.blocks.values())
+
+    def to_json(self) -> dict:
+        return {"blocks": {k: round(v, 3) for k, v in self.blocks.items()},
+                "totalKGE": round(self.total, 3)}
+
+
+def estimate_area(config: CpuConfig) -> AreaReport:
+    """Static area estimate for an architecture configuration."""
+    report = AreaReport()
+    blocks = report.blocks
+    buffers = config.buffers
+    blocks["fetch+decode"] = _FETCH_DECODE_PER_WIDTH * buffers.fetch_width
+    blocks["reorderBuffer"] = _ROB_ENTRY * buffers.rob_size
+    blocks["renameFile"] = _RENAME_ENTRY * config.memory.rename_file_size
+    blocks["issueWindows"] = _ISSUE_ENTRY * buffers.issue_window_size * 4
+    blocks["loadStoreBuffers"] = _LSQ_ENTRY * (
+        config.memory.load_buffer_size + config.memory.store_buffer_size)
+    blocks["registerFiles"] = 2 * _ARCH_REGFILE
+    for fu in config.fus:
+        area = _FU_BASE_AREA[fu.kind]
+        if fu.kind in ("FX", "FP"):
+            area += sum(_FU_OP_AREA.get(op, 1.0) for op in fu.operations)
+        blocks[f"unit:{fu.name}"] = area
+    predictor = config.predictor
+    blocks["branchPredictor"] = (_BTB_ENTRY * predictor.btb_size
+                                 + _PHT_ENTRY * predictor.pht_size)
+    if config.cache.enabled:
+        cache_bytes = config.cache.line_count * config.cache.line_size
+        blocks["l1Cache"] = (_CACHE_KGE_PER_BYTE * cache_bytes
+                             + _CACHE_WAY_OVERHEAD
+                             * config.cache.associativity)
+    return report
+
+
+# ---------------------------------------------------------------------------
+# energy model (picojoules per event)
+# ---------------------------------------------------------------------------
+_EVENT_PJ = {
+    "commit:kIntArithmetic": 6.0,
+    "commit:kFloatArithmetic": 25.0,
+    "commit:kLoadstore": 10.0,
+    "commit:kJumpbranch": 6.0,
+    "cacheHit": 12.0,
+    "cacheMiss": 40.0,          # tag probes + fill management
+    "memoryAccessPerByte": 6.0, # DRAM traffic
+    "rename": 1.5,
+    "robFlush": 90.0,           # recovery + refetch startup
+    "predictorLookup": 0.8,
+}
+#: leakage: pW per kGE at the (synthetic) reference node, per cycle at 1 GHz
+_LEAKAGE_PJ_PER_KGE_CYCLE = 0.02
+
+
+@dataclass
+class EnergyReport:
+    """Energy / power summary of a finished (or running) simulation."""
+
+    dynamic_pj: Dict[str, float] = field(default_factory=dict)
+    static_pj: float = 0.0
+    cycles: int = 0
+    wall_time_s: float = 0.0
+
+    @property
+    def dynamic_total_pj(self) -> float:
+        return sum(self.dynamic_pj.values())
+
+    @property
+    def total_pj(self) -> float:
+        return self.dynamic_total_pj + self.static_pj
+
+    @property
+    def average_power_w(self) -> float:
+        if self.wall_time_s <= 0:
+            return 0.0
+        return self.total_pj * 1e-12 / self.wall_time_s
+
+    def to_json(self) -> dict:
+        return {
+            "dynamicPj": {k: round(v, 2) for k, v in self.dynamic_pj.items()},
+            "dynamicTotalPj": round(self.dynamic_total_pj, 2),
+            "staticPj": round(self.static_pj, 2),
+            "totalPj": round(self.total_pj, 2),
+            "averagePowerW": self.average_power_w,
+            "cycles": self.cycles,
+        }
+
+
+def estimate_energy(cpu: Cpu) -> EnergyReport:
+    """Energy estimate from a CPU's activity counters."""
+    report = EnergyReport(cycles=cpu.cycle,
+                          wall_time_s=cpu.cycle / cpu.config.core_clock_hz)
+    dyn = report.dynamic_pj
+    for itype, count in cpu.committed_by_type.items():
+        key = f"commit:{itype}"
+        dyn[key] = dyn.get(key, 0.0) + _EVENT_PJ.get(key, 5.0) * count
+    if cpu.cache is not None:
+        stats = cpu.cache.stats
+        dyn["cacheHits"] = _EVENT_PJ["cacheHit"] * stats.hits
+        dyn["cacheMisses"] = _EVENT_PJ["cacheMiss"] * stats.misses
+    mem = cpu.memory.stats()
+    dyn["memoryTraffic"] = _EVENT_PJ["memoryAccessPerByte"] * (
+        mem["bytesRead"] + mem["bytesWritten"])
+    dyn["rename"] = _EVENT_PJ["rename"] * cpu.committed
+    dyn["flushRecovery"] = _EVENT_PJ["robFlush"] * cpu.rob_flushes
+    dyn["predictor"] = _EVENT_PJ["predictorLookup"] \
+        * cpu.predictor.predictions
+    area = estimate_area(cpu.config).total
+    report.static_pj = _LEAKAGE_PJ_PER_KGE_CYCLE * area * cpu.cycle
+    return report
+
+
+def render_power_report(cpu: Cpu) -> str:
+    """Statistics-page extension: area + energy breakdown as text."""
+    area = estimate_area(cpu.config)
+    energy = estimate_energy(cpu)
+    lines = ["Area / power estimate (synthetic cost model)",
+             "=" * 60,
+             f"total area: {area.total:.1f} kGE"]
+    for name, value in sorted(area.blocks.items(),
+                              key=lambda item: -item[1]):
+        lines.append(f"  {name:<22} {value:>9.2f} kGE "
+                     f"({100 * value / area.total:4.1f} %)")
+    lines.append("")
+    lines.append(f"dynamic energy: {energy.dynamic_total_pj / 1000:.2f} nJ, "
+                 f"static: {energy.static_pj / 1000:.2f} nJ")
+    for name, value in sorted(energy.dynamic_pj.items(),
+                              key=lambda item: -item[1]):
+        lines.append(f"  {name:<22} {value / 1000:>9.3f} nJ")
+    committed = max(1, cpu.committed)
+    lines.append("")
+    lines.append(f"energy/instruction: {energy.total_pj / committed:.1f} pJ")
+    lines.append(f"average power: {energy.average_power_w * 1000:.3f} mW "
+                 f"@ {cpu.config.core_clock_hz / 1e6:.0f} MHz")
+    return "\n".join(lines)

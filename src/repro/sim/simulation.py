@@ -1,0 +1,172 @@
+"""Simulation step manager (the paper's ``BlockScheduleTask``).
+
+Drives the :class:`repro.core.pipeline.Cpu` clock cycle by clock cycle
+(step-by-step) or continuously to completion, collects runtime statistics,
+and implements **backward simulation** exactly as the paper does
+(Sec. III-B): *"implemented as a forward simulation with t-1 clock cycles.
+While this approach significantly simplifies the implementation, it
+requires the simulation to be deterministic."*  All sources of randomness
+(Random cache replacement, random array fills) are seeded, so re-running is
+bit-exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.asm.parser import Assembler
+from repro.asm.program import Program
+from repro.core.config import CpuConfig
+from repro.core.pipeline import Cpu
+from repro.isa.isa import InstructionSet
+from repro.sim.statistics import RuntimeStatistics
+
+
+@dataclass
+class SimulationResult:
+    """Summary of a finished run (CLI / server payload)."""
+
+    halt_reason: str
+    cycles: int
+    committed: int
+    statistics: dict
+
+    def to_json(self) -> dict:
+        return {
+            "haltReason": self.halt_reason,
+            "cycles": self.cycles,
+            "committedInstructions": self.committed,
+            "statistics": self.statistics,
+        }
+
+
+class Simulation:
+    """Forward/backward-steppable simulation of one program on one config.
+
+    Parameters
+    ----------
+    program:
+        An assembled :class:`Program`.
+    config:
+        The processor architecture.  The assembler must have used the same
+        call-stack size (use :meth:`from_source` to guarantee this).
+    """
+
+    def __init__(self, program: Program, config: Optional[CpuConfig] = None):
+        self.program = program
+        self.config = config or CpuConfig()
+        self.cpu = Cpu(program, self.config)
+        self.stats = RuntimeStatistics(self.cpu)
+        #: observers notified after every step (the paper's observer pattern)
+        self.observers: List[Callable[[Cpu], None]] = []
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_source(source: str, config: Optional[CpuConfig] = None,
+                    entry: Optional[object] = None,
+                    memory_locations: Sequence[object] = (),
+                    instruction_set: Optional[InstructionSet] = None) -> "Simulation":
+        """Assemble *source* and build a simulation with a consistent layout."""
+        config = config or CpuConfig()
+        assembler = Assembler(instruction_set)
+        program = assembler.assemble(
+            source, entry=entry, memory_locations=memory_locations,
+            stack_size=config.memory.call_stack_size)
+        return Simulation(program, config)
+
+    # ------------------------------------------------------------------
+    @property
+    def cycle(self) -> int:
+        return self.cpu.cycle
+
+    @property
+    def halted(self) -> Optional[str]:
+        return self.cpu.halted
+
+    def subscribe(self, observer: Callable[[Cpu], None]) -> None:
+        """Register a state-change observer (GUI blocks in the paper)."""
+        self.observers.append(observer)
+
+    # ------------------------------------------------------------------
+    def step(self, cycles: int = 1) -> None:
+        """Advance the simulation by *cycles* clock cycles."""
+        for _ in range(cycles):
+            if self.cpu.halted:
+                return
+            self.cpu.step()
+            for observer in self.observers:
+                observer(self.cpu)
+
+    def step_back(self, cycles: int = 1) -> None:
+        """Backward simulation: deterministic re-run of ``t - cycles``.
+
+        Intended for interactive use with small programs running over a few
+        thousand clock cycles (Sec. III-B).
+        """
+        target = max(0, self.cpu.cycle - cycles)
+        self.reset()
+        self.step(target)
+
+    def seek(self, cycle: int) -> None:
+        """Jump to an absolute cycle (log-message navigation, Sec. II-A)."""
+        if cycle < self.cpu.cycle:
+            self.reset()
+        self.step(cycle - self.cpu.cycle)
+
+    def reset(self) -> None:
+        """Rebuild all processor state at cycle 0."""
+        self.cpu = Cpu(self.program, self.config)
+        self.stats = RuntimeStatistics(self.cpu)
+
+    # ------------------------------------------------------------------
+    def run(self, max_cycles: Optional[int] = None) -> SimulationResult:
+        """Run continuously until the program ends (or a cycle budget)."""
+        budget = max_cycles if max_cycles is not None else self.config.max_cycles
+        while not self.cpu.halted and self.cpu.cycle < budget:
+            self.cpu.step()
+            if self.observers:
+                for observer in self.observers:
+                    observer(self.cpu)
+        if not self.cpu.halted:
+            self.cpu.halted = f"cycle budget reached ({budget})"
+        return SimulationResult(
+            halt_reason=self.cpu.halted,
+            cycles=self.cpu.cycle,
+            committed=self.cpu.committed,
+            statistics=self.stats.to_json(),
+        )
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Full processor-state payload for the web client."""
+        data = self.cpu.snapshot()
+        data["statistics"] = self.stats.panel(expanded=True)
+        data["log"] = [{"cycle": c, "message": m} for c, m in self.cpu.log]
+        return data
+
+    def register_value(self, name: str):
+        """Committed architectural value of a register (tests, CLI)."""
+        from repro.isa.registers import parse_register
+        return self.cpu.arch_regs.read(parse_register(name))
+
+    def memory_bytes(self, address: int, size: int) -> bytes:
+        return self.cpu.memory.read_bytes(address, size)
+
+    def memory_word(self, address: int, signed: bool = True) -> int:
+        return self.cpu.memory.read_int(address, 4, signed)
+
+    def symbol_address(self, name: str) -> int:
+        if name not in self.program.labels:
+            raise KeyError(f"no such label/symbol: {name}")
+        return self.program.labels[name]
+
+
+def run_program(source: str, config: Optional[CpuConfig] = None,
+                entry: Optional[object] = None,
+                memory_locations: Sequence[object] = ()) -> Tuple[Simulation, SimulationResult]:
+    """One-call convenience: assemble, run to completion, return both the
+    simulation (for state inspection) and the result summary."""
+    sim = Simulation.from_source(source, config, entry, memory_locations)
+    result = sim.run()
+    return sim, result

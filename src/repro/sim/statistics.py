@@ -1,0 +1,138 @@
+"""Runtime statistics (the Runtime-statistics window, Fig. 10).
+
+Collected by the simulation step manager: static and dynamic instruction
+mix, busy cycles per functional unit, cache statistics, predictor accuracy,
+total cycles, committed instructions, reorder-buffer flushes, FLOPS, IPC,
+wall time and more.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.pipeline import Cpu
+from repro.isa.instruction import InstructionType
+
+
+class RuntimeStatistics:
+    """Aggregated view over a :class:`Cpu`'s counters."""
+
+    def __init__(self, cpu: Cpu):
+        self.cpu = cpu
+
+    # -- headline metrics (right-hand panel, default view) ---------------
+    @property
+    def cycles(self) -> int:
+        return self.cpu.cycle
+
+    @property
+    def committed_instructions(self) -> int:
+        return self.cpu.committed
+
+    @property
+    def ipc(self) -> float:
+        return self.cpu.committed / self.cpu.cycle if self.cpu.cycle else 0.0
+
+    @property
+    def branch_prediction_accuracy(self) -> float:
+        return self.cpu.predictor.accuracy
+
+    # -- expanded view ----------------------------------------------------
+    @property
+    def flops_total(self) -> int:
+        """Committed floating point operations."""
+        return self.cpu.flops
+
+    @property
+    def wall_time_s(self) -> float:
+        """Simulated wall time = cycles / core clock."""
+        return self.cpu.cycle / self.cpu.config.core_clock_hz
+
+    @property
+    def flops_rate(self) -> float:
+        """FLOPS (operations per simulated second)."""
+        wall = self.wall_time_s
+        return self.cpu.flops / wall if wall else 0.0
+
+    @property
+    def cache_hit_rate(self) -> Optional[float]:
+        if self.cpu.cache is None:
+            return None
+        return self.cpu.cache.stats.hit_ratio
+
+    @property
+    def rob_flushes(self) -> int:
+        return self.cpu.rob_flushes
+
+    # -- mixes --------------------------------------------------------------
+    def dynamic_mix(self) -> Dict[str, int]:
+        mix = {t.value: 0 for t in InstructionType}
+        mix.update(self.cpu.committed_by_type)
+        return mix
+
+    def dynamic_mix_percent(self) -> Dict[str, float]:
+        total = max(1, self.cpu.committed)
+        return {k: 100.0 * v / total for k, v in self.dynamic_mix().items()}
+
+    def static_mix(self) -> Dict[str, int]:
+        return self.cpu.program.static_mix()
+
+    def mnemonic_counts(self) -> Dict[str, int]:
+        return dict(self.cpu.committed_by_mnemonic)
+
+    # -- per-unit utilization -------------------------------------------
+    def fu_utilization(self) -> Dict[str, dict]:
+        """Busy cycles and busy percentage per functional unit."""
+        cycles = max(1, self.cpu.cycle)
+        out = {}
+        for fu in self.cpu.fus + self.cpu.memory_units:
+            out[fu.spec.name] = {
+                "kind": fu.spec.kind,
+                "busyCycles": fu.busy_cycles,
+                "busyPercent": 100.0 * fu.busy_cycles / cycles,
+            }
+        return out
+
+    # -- full payload -------------------------------------------------------
+    def to_json(self) -> dict:
+        """The complete statistics page (Fig. 10)."""
+        cpu = self.cpu
+        data = {
+            "cycles": self.cycles,
+            "committedInstructions": self.committed_instructions,
+            "ipc": self.ipc,
+            "wallTimeS": self.wall_time_s,
+            "flopsTotal": self.flops_total,
+            "flopsRate": self.flops_rate,
+            "robFlushes": self.rob_flushes,
+            "decodeRedirects": cpu.decode_redirects,
+            "fetchStallCycles": cpu.fetch_stall_cycles,
+            "dispatchStalls": dict(cpu.dispatch_stalls),
+            "branchPredictor": cpu.predictor.stats(),
+            "staticMix": self.static_mix(),
+            "dynamicMix": self.dynamic_mix(),
+            "dynamicMixPercent": self.dynamic_mix_percent(),
+            "mnemonicCounts": self.mnemonic_counts(),
+            "functionalUnits": self.fu_utilization(),
+            "memory": cpu.memory.stats(),
+            "haltReason": cpu.halted,
+        }
+        if cpu.cache is not None:
+            data["cache"] = cpu.cache.stats.to_json()
+        if cpu.l2_cache is not None:
+            data["l2Cache"] = cpu.l2_cache.stats.to_json()
+        return data
+
+    # -- compact panel (right-hand status bar, default state) --------------
+    def panel(self, expanded: bool = False) -> dict:
+        data = {
+            "cycles": self.cycles,
+            "committedInstructions": self.committed_instructions,
+            "ipc": round(self.ipc, 3),
+            "branchAccuracy": round(self.branch_prediction_accuracy, 3),
+        }
+        if expanded:
+            data["flops"] = self.flops_total
+            hit = self.cache_hit_rate
+            data["cacheHitRate"] = None if hit is None else round(hit, 3)
+        return data

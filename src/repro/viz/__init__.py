@@ -1,0 +1,26 @@
+"""Text renderers for every view the paper's web GUI shows.
+
+The browser GUI is presentation only; all information it displays is
+available from the simulator state.  These renderers regenerate the
+*content* of each figure as monospace text, so the information channel is
+reproducible, testable, and usable from the CLI:
+
+* :func:`render_block` — a pipeline block panel (Fig. 1);
+* :func:`render_memory_popup` — arrays + memory dump pop-up (Fig. 2);
+* :func:`render_instruction_popup` — instruction detail pop-up (Fig. 3);
+* :func:`render_statistics` — the runtime-statistics page (Fig. 10);
+* :func:`render_processor` — the full main window (Fig. 12).
+"""
+
+from repro.viz.blocks import render_block, render_processor
+from repro.viz.memory import render_memory_popup
+from repro.viz.instruction import render_instruction_popup
+from repro.viz.stats import render_statistics
+
+__all__ = [
+    "render_block",
+    "render_processor",
+    "render_memory_popup",
+    "render_instruction_popup",
+    "render_statistics",
+]

@@ -1,0 +1,148 @@
+"""Pipeline block panels and the full processor view (Figs. 1 and 12).
+
+Each block is rendered with the control elements of Fig. 1: (1) the block
+name in the top-left corner, (2) a line of crucial real-time information,
+and (3) the block-specific list of active instructions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.pipeline import Cpu
+from repro.core.simcode import Phase
+
+_WIDTH = 46
+
+
+def _frame(title: str, info: str, rows: List[str],
+           width: int = _WIDTH) -> str:
+    """The shared block chrome of Fig. 1."""
+    inner = width - 2
+    top = f"+-[{title}]" + "-" * max(0, inner - len(title) - 3) + "+"
+    lines = [top, "|" + info[:inner].ljust(inner) + "|",
+             "|" + "-" * inner + "|"]
+    if not rows:
+        lines.append("|" + " (empty)".ljust(inner) + "|")
+    for row in rows:
+        lines.append("|" + (" " + row)[:inner].ljust(inner) + "|")
+    lines.append("+" + "-" * inner + "+")
+    return "\n".join(lines)
+
+
+def render_block(cpu: Cpu, block: str) -> str:
+    """Render one named block: fetch, decode, rob, issue.<CLASS>, fu.<NAME>,
+    loadbuffer, storebuffer, registers, cache."""
+    if block == "fetch":
+        info = f"pc={cpu.pc:#06x}"
+        if cpu.cycle < cpu.fetch_stall_until:
+            info += f" STALLED until cycle {cpu.fetch_stall_until}"
+        if cpu.fetch_past_end:
+            info += " (past program end)"
+        rows = [f"#{s.id:<4} {s.instruction.render()}"
+                for s in cpu.fetch_buffer]
+        return _frame("Fetch", info, rows)
+    if block == "rob":
+        info = (f"{len(cpu.rob)}/{cpu.config.buffers.rob_size} entries, "
+                f"committed={cpu.committed}")
+        rows = []
+        for s in cpu.rob:
+            state = "done" if s.stamped(Phase.WRITEBACK) is not None else "exec"
+            rows.append(f"#{s.id:<4} {s.instruction.render():<28} {state}")
+        return _frame("Reorder buffer", info, rows)
+    if block.startswith("issue."):
+        name = block.split(".", 1)[1]
+        window = cpu.windows.get(name, [])
+        info = f"{len(window)}/{cpu.config.buffers.issue_window_size} waiting"
+        rows = []
+        for s in sorted(window, key=lambda x: x.id):
+            ready = "ready" if s.operands_ready else "waits"
+            rows.append(f"#{s.id:<4} {s.instruction.render():<28} {ready}")
+        return _frame(f"{name} issue window", info, rows)
+    if block.startswith("fu."):
+        name = block.split(".", 1)[1]
+        for fu in cpu.fus + cpu.memory_units:
+            if fu.spec.name == name:
+                info = f"kind={fu.spec.kind} busy_cycles={fu.busy_cycles}"
+                rows = []
+                if fu.busy:
+                    rows.append(f"#{fu.simcode.id:<4} "
+                                f"{fu.simcode.instruction.render():<24} "
+                                f"until cycle {fu.busy_until}")
+                return _frame(f"Unit {name}", info, rows)
+        raise KeyError(f"no functional unit named '{name}'")
+    if block == "loadbuffer":
+        info = (f"{len(cpu.load_buffer)}/"
+                f"{cpu.config.memory.load_buffer_size} loads in flight")
+        rows = [f"#{s.id:<4} {s.instruction.render():<24} "
+                f"addr={'?' if s.address is None else hex(s.address)}"
+                for s in cpu.load_buffer]
+        return _frame("Load buffer", info, rows)
+    if block == "storebuffer":
+        info = (f"{len(cpu.store_buffer)}/"
+                f"{cpu.config.memory.store_buffer_size} stores tracked")
+        rows = []
+        for e in cpu.store_buffer:
+            state = "drain" if e.committed else (
+                "ready" if e.address is not None else "addr?")
+            addr = "?" if e.address is None else hex(e.address)
+            rows.append(f"#{e.simcode.id:<4} "
+                        f"{e.simcode.instruction.render():<22} "
+                        f"{addr:<8} {state}")
+        return _frame("Store buffer", info, rows)
+    if block == "registers":
+        snap = cpu.rename.snapshot()
+        info = f"free rename tags: {snap['freeTags']}/{cpu.rename.size}"
+        rows = []
+        for i in range(32):
+            value = cpu.arch_regs.read_int(i)
+            tag = snap["rat"].get(f"x{i}")
+            if value or tag is not None:
+                renamed = f" -> t{tag}" if tag is not None else ""
+                rows.append(f"x{i:<3} = {value}{renamed}")
+        for i in range(32):
+            value = cpu.arch_regs.read_fp(i)
+            tag = snap["rat"].get(f"f{i}")
+            if value or tag is not None:
+                renamed = f" -> t{tag}" if tag is not None else ""
+                rows.append(f"f{i:<3} = {value}{renamed}")
+        return _frame("Registers", info, rows)
+    if block == "cache":
+        if cpu.cache is None:
+            return _frame("L1 cache", "disabled", [])
+        stats = cpu.cache.stats
+        info = (f"{cpu.cache.config.line_count}x{cpu.cache.config.line_size}B "
+                f"{cpu.cache.config.associativity}-way, "
+                f"hit {stats.hit_ratio * 100:.1f}%")
+        rows = []
+        for line in cpu.cache.lines_snapshot():
+            if line["valid"]:
+                dirty = "D" if line["dirty"] else " "
+                rows.append(f"set {line['set']:>2} way {line['way']} {dirty} "
+                            f"base={line['baseAddress']:#06x}")
+        return _frame("L1 cache", info, rows)
+    raise KeyError(f"unknown block '{block}'")
+
+
+def render_processor(cpu: Cpu) -> str:
+    """The main simulator window (Fig. 12): top control bar, all processor
+    components, and the right-hand status panel."""
+    from repro.sim.statistics import RuntimeStatistics
+    stats = RuntimeStatistics(cpu)
+    header = (f"=== cycle {cpu.cycle} | pc={cpu.pc:#06x} | "
+              f"IPC={stats.ipc:.2f} | committed={cpu.committed} | "
+              f"branch acc={stats.branch_prediction_accuracy * 100:.1f}% | "
+              f"{'HALTED: ' + cpu.halted if cpu.halted else 'running'} ===")
+    sections = [header, render_block(cpu, "fetch"), render_block(cpu, "rob")]
+    for name in ("FX", "FP", "LS", "Branch"):
+        sections.append(render_block(cpu, f"issue.{name}"))
+    for fu in cpu.fus + cpu.memory_units:
+        sections.append(render_block(cpu, f"fu.{fu.spec.name}"))
+    sections.append(render_block(cpu, "loadbuffer"))
+    sections.append(render_block(cpu, "storebuffer"))
+    sections.append(render_block(cpu, "registers"))
+    sections.append(render_block(cpu, "cache"))
+    panel = stats.panel(expanded=True)
+    footer = "status: " + ", ".join(f"{k}={v}" for k, v in panel.items())
+    sections.append(footer)
+    return "\n".join(sections)

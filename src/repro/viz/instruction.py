@@ -1,0 +1,65 @@
+"""Instruction pop-up window (Fig. 3): current state, parameters, renaming
+details, values and validity, flags, and phase-completion timestamps."""
+
+from __future__ import annotations
+
+from repro.core.simcode import Phase, SimCode
+
+
+def render_instruction_popup(simcode: SimCode) -> str:
+    d = simcode.definition
+    lines = [
+        f"Instruction #{simcode.id}: {simcode.instruction.render()}",
+        "=" * 60,
+        f"pc          : {simcode.pc:#06x}",
+        f"type        : {d.instruction_type.value}   unit class: "
+        f"{d.fu_class.value}   op: {d.op_class}",
+        "flags       : " + (" ".join(filter(None, [
+            "SQUASHED" if simcode.squashed else "",
+            "branch" if d.is_branch else "",
+            "unconditional" if d.is_unconditional else "",
+            "load" if d.is_load else "",
+            "store" if d.is_store else "",
+            f"exception({simcode.exception})" if simcode.exception else "",
+        ])) or "-"),
+        "",
+        "parameters:",
+    ]
+    for arg in d.arguments:
+        static = simcode.instruction.operands.get(arg.name)
+        line = f"  {arg.name:<6} = {static}"
+        if arg.name in simcode.renamed_sources:
+            line += f"  (renamed: {simcode.renamed_sources[arg.name]})"
+        if arg.name in simcode.operands:
+            kind, value = simcode.operands[arg.name]
+            if kind == "val":
+                line += f"  value={value} [valid]"
+            else:
+                line += f"  waiting on t{value} [invalid]"
+        lines.append(line)
+    if simcode.dest_tag is not None:
+        lines.append(f"  destination {simcode.dest_arch} renamed to "
+                     f"t{simcode.dest_tag}")
+    if simcode.result is not None:
+        lines.append(f"  result = {simcode.result}")
+    if d.is_branch:
+        lines.append("")
+        lines.append(
+            f"branch      : predicted "
+            f"{'taken->' + hex(simcode.predicted_target) if simcode.predicted_taken and simcode.predicted_target is not None else 'not taken'}"
+            f", actual "
+            f"{'taken->' + hex(simcode.actual_target) if simcode.actual_taken else ('not taken' if simcode.actual_taken is not None else '?')}")
+    if d.memory_size:
+        lines.append("")
+        address = "?" if simcode.address is None else hex(simcode.address)
+        lines.append(f"memory      : address={address} size={d.memory_size} "
+                     f"delay={simcode.mem_delay}")
+    lines.append("")
+    lines.append("phase timestamps:")
+    for phase in Phase:
+        cycle = simcode.stamped(phase)
+        lines.append(f"  {phase.value:<10} : "
+                     f"{cycle if cycle is not None else '-'}")
+    if simcode.fu_name:
+        lines.append(f"executed on : {simcode.fu_name}")
+    return "\n".join(lines)

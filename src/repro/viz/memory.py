@@ -1,0 +1,32 @@
+"""Memory pop-up window (Fig. 2): allocated arrays, their starting
+addresses, and a memory dump."""
+
+from __future__ import annotations
+
+from repro.core.pipeline import Cpu
+
+
+def render_memory_popup(cpu: Cpu, dump_start: int = 0,
+                        dump_length: int = 128) -> str:
+    """Render the main-memory pop-up: program pointers + expanded dump."""
+    program = cpu.program
+    lines = ["Main memory", "=" * 60,
+             f"capacity: {cpu.memory.capacity} B, "
+             f"stack top (initial sp): {program.stack_pointer:#x}",
+             "",
+             "allocated objects:",
+             f"  {'name':<16} {'address':>10} {'size':>8} {'type':<8}"]
+    for sym in program.symbols:
+        lines.append(f"  {sym.name:<16} {sym.address:>#10x} "
+                     f"{sym.size:>8} {sym.dtype:<8}")
+    if not program.symbols:
+        lines.append("  (none)")
+    lines.append("")
+    lines.append(f"labels: " + ", ".join(
+        f"{name}={value:#x}" for name, value in sorted(program.labels.items())
+        if not name.startswith(".")) if program.labels else "labels: (none)")
+    lines.append("")
+    lines.append(f"memory dump [{dump_start:#x} .. "
+                 f"{dump_start + dump_length:#x}):")
+    lines.append(cpu.memory.dump(dump_start, dump_length))
+    return "\n".join(lines)

@@ -1,0 +1,69 @@
+"""Runtime-statistics page (Fig. 10): instruction mixes, unit busy cycles,
+cache statistics, predictor accuracy, FLOPS, IPC, wall time and more."""
+
+from __future__ import annotations
+
+from repro.sim.statistics import RuntimeStatistics
+
+
+def render_statistics(stats: RuntimeStatistics) -> str:
+    data = stats.to_json()
+    lines = ["Runtime statistics", "=" * 60]
+
+    lines.append(f"{'total cycles':<28}: {data['cycles']}")
+    lines.append(f"{'committed instructions':<28}: "
+                 f"{data['committedInstructions']}")
+    lines.append(f"{'IPC':<28}: {data['ipc']:.4f}")
+    lines.append(f"{'wall time':<28}: {data['wallTimeS'] * 1e6:.3f} us")
+    lines.append(f"{'FLOPs (total)':<28}: {data['flopsTotal']}")
+    lines.append(f"{'FLOPS (rate)':<28}: {data['flopsRate']:.3e} op/s")
+    lines.append(f"{'reorder buffer flushes':<28}: {data['robFlushes']}")
+    lines.append(f"{'decode redirects':<28}: {data['decodeRedirects']}")
+    lines.append(f"{'fetch stall cycles':<28}: {data['fetchStallCycles']}")
+    bp = data["branchPredictor"]
+    lines.append(f"{'branch predictions':<28}: {bp['predictions']} "
+                 f"(accuracy {bp['accuracy'] * 100:.2f} %)")
+    lines.append(f"{'BTB hit rate':<28}: "
+                 f"{bp['btbHits']}/{bp['btbLookups']}")
+    lines.append("")
+
+    lines.append("static / dynamic instruction mix:")
+    lines.append(f"  {'type':<22} {'static':>8} {'dynamic':>9} {'dyn %':>7}")
+    for key in sorted(data["staticMix"]):
+        static = data["staticMix"][key]
+        dynamic = data["dynamicMix"].get(key, 0)
+        pct = data["dynamicMixPercent"].get(key, 0.0)
+        lines.append(f"  {key:<22} {static:>8} {dynamic:>9} {pct:>6.1f}%")
+    lines.append("")
+
+    lines.append("functional unit busy cycles:")
+    for name, info in sorted(data["functionalUnits"].items()):
+        lines.append(f"  {name:<10} {info['kind']:<8} "
+                     f"{info['busyCycles']:>8} ({info['busyPercent']:5.1f} %)")
+    lines.append("")
+
+    if "cache" in data:
+        cache = data["cache"]
+        lines.append("cache statistics:")
+        lines.append(f"  accesses {cache['accesses']}, hits {cache['hits']} "
+                     f"({cache['hitRatio'] * 100:.2f} %), misses "
+                     f"{cache['misses']} ({cache['missRatio'] * 100:.2f} %)")
+        lines.append(f"  loads {cache['loadAccesses']} "
+                     f"(hits {cache['loadHits']}), stores "
+                     f"{cache['storeAccesses']} (hits {cache['storeHits']})")
+        lines.append(f"  evictions {cache['evictions']}, writebacks "
+                     f"{cache['writebacks']}, bytes written "
+                     f"{cache['bytesWritten']}")
+        lines.append("")
+
+    mem = data["memory"]
+    lines.append(f"main memory: {mem['loads']} loads / {mem['stores']} "
+                 f"stores, {mem['bytesRead']} B read, "
+                 f"{mem['bytesWritten']} B written")
+    lines.append("")
+    lines.append("dispatch stalls: " + ", ".join(
+        f"{key}={value}" for key, value in sorted(
+            data["dispatchStalls"].items())))
+    if data["haltReason"]:
+        lines.append(f"halt reason: {data['haltReason']}")
+    return "\n".join(lines)

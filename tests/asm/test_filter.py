@@ -1,0 +1,70 @@
+"""Assembler-output filter tests (Sec. III-C cleanup filter)."""
+
+from repro.asm.filter import filter_assembly
+from repro.asm.parser import assemble
+
+
+GCC_LIKE_OUTPUT = """\
+    .file   "test.c"
+    .option nopic
+    .attribute arch, "rv32imf"
+    .text
+    .align  1
+    .globl  main
+    .type   main, @function
+main:
+    addi    sp, sp, -16
+    li      a0, 42
+    addi    sp, sp, 16
+    ret
+    .size   main, .-main
+    .ident  "GCC: 12.2.0"
+"""
+
+
+class TestFilter:
+    def test_drops_administrative_directives(self):
+        out = filter_assembly(GCC_LIKE_OUTPUT)
+        for junk in (".file", ".option", ".attribute", ".globl", ".type",
+                     ".size", ".ident"):
+            assert junk not in out
+
+    def test_keeps_instructions_and_labels(self):
+        out = filter_assembly(GCC_LIKE_OUTPUT)
+        assert "main:" in out
+        assert "li a0, 42" in out or "li      a0, 42" in out
+        assert "ret" in out
+
+    def test_filtered_output_still_assembles(self):
+        out = filter_assembly(GCC_LIKE_OUTPUT)
+        program = assemble(out, entry="main")
+        assert len(program.instructions) == 4
+
+    def test_drops_unreferenced_local_labels(self):
+        source = ".L1:\n    nop\n.L2:\n    j .L1\n"
+        out = filter_assembly(source)
+        assert ".L1:" in out        # referenced by the jump
+        assert ".L2:" not in out    # never referenced
+
+    def test_keeps_data_directives(self):
+        source = '    .data\nmsg:\n    .asciiz "hi"\narr:\n    .word 1, 2\n'
+        out = filter_assembly(source)
+        assert ".asciiz" in out
+        assert ".word" in out
+
+    def test_keeps_loc_links(self):
+        source = "main:\n    .loc 1 5\n    li a0, 1\n    ret\n"
+        out = filter_assembly(source)
+        assert ".loc 1 5" in out
+
+    def test_collapses_blank_lines(self):
+        out = filter_assembly("nop\n\n\n\nnop\n")
+        assert "\n\n\n" not in out
+
+    def test_compiler_output_survives_filter(self):
+        from repro.compiler import compile_c
+        result = compile_c(
+            "int main(void){int s=0;for(int i=0;i<4;i++)s+=i;return s;}", 2)
+        filtered = filter_assembly(result.assembly)
+        program = assemble(filtered, entry="main")
+        assert len(program.instructions) > 0

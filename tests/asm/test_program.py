@@ -1,0 +1,100 @@
+"""Program representation tests: rendering, lookup, payloads."""
+
+import pytest
+
+from repro.asm.parser import assemble
+
+
+SOURCE = """
+    .data
+greeting: .asciiz "hi"
+numbers:  .word 1, 2, 3
+    .text
+main:
+    la   t0, numbers
+    lw   a0, 0(t0)
+    beqz a0, out
+    addi a0, a0, 1
+out:
+    ebreak
+"""
+
+
+@pytest.fixture
+def program():
+    return assemble(SOURCE, entry="main")
+
+
+class TestInstructionAccess:
+    def test_instruction_at_valid_pcs(self, program):
+        for instr in program.instructions:
+            assert program.instruction_at(instr.pc) is instr
+
+    def test_instruction_at_invalid(self, program):
+        assert program.instruction_at(-4) is None
+        assert program.instruction_at(2) is None          # misaligned
+        assert program.instruction_at(10_000) is None
+
+    def test_code_size(self, program):
+        assert program.code_size_bytes == 4 * len(program.instructions)
+
+
+class TestRendering:
+    def test_render_regular(self, program):
+        add = next(i for i in program.instructions if i.mnemonic == "addi"
+                   and i.operands.get("imm") == 1)
+        assert add.render() == "addi x10, x10, 1"
+
+    def test_render_memory_operand(self, program):
+        lw = next(i for i in program.instructions if i.mnemonic == "lw")
+        assert lw.render() == "lw x10, 0(x5)"
+
+    def test_render_no_operands(self, program):
+        eb = next(i for i in program.instructions if i.mnemonic == "ebreak")
+        assert eb.render() == "ebreak"
+
+    def test_to_json_shape(self, program):
+        data = program.instructions[0].to_json()
+        for key in ("index", "pc", "mnemonic", "operands", "text"):
+            assert key in data
+
+
+class TestSymbols:
+    def test_symbol_table_lists_data_objects(self, program):
+        names = {s["name"] for s in program.symbol_table()}
+        assert {"greeting", "numbers"} <= names
+
+    def test_find_symbol(self, program):
+        sym = program.find_symbol("numbers")
+        assert sym is not None
+        assert sym.size == 12
+        assert program.find_symbol("missing") is None
+
+    def test_symbol_sizes_bounded_by_next_label(self, program):
+        greeting = program.find_symbol("greeting")
+        assert greeting.size == 3   # "hi" + NUL (before alignment pad)
+
+    def test_program_to_json(self, program):
+        data = program.to_json()
+        assert data["entryPc"] == program.entry_pc
+        assert data["stackPointer"] == program.stack_pointer
+        assert len(data["instructions"]) == len(program.instructions)
+
+
+class TestSourceLinks:
+    def test_source_lines_recorded(self, program):
+        lines = [i.source_line for i in program.instructions]
+        assert all(line > 0 for line in lines)
+        assert lines == sorted(lines)
+
+    def test_c_line_links_via_loc(self):
+        program = assemble("""
+    .loc 1 10
+    li a0, 1
+    .loc 1 12
+    li a1, 2
+    ebreak
+""")
+        c_lines = [i.c_line for i in program.instructions]
+        # li expands to one addi each; ebreak inherits the last .loc
+        assert c_lines == [10, 12, 12]

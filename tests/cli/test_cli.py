@@ -1,0 +1,170 @@
+"""Batch CLI tests (Sec. II-E)."""
+
+import json
+
+import pytest
+
+from repro.cli.main import main
+from repro.core.config import CpuConfig
+from repro.server.httpd import SimServer
+
+PROGRAM = """
+    li a0, 0
+    li t0, 1
+    li t1, 10
+loop:
+    add a0, a0, t0
+    addi t0, t0, 1
+    ble t0, t1, loop
+    ebreak
+"""
+
+C_PROGRAM = """
+int main(void) {
+    int s = 0;
+    for (int i = 1; i <= 10; i++) s += i;
+    return s;
+}
+"""
+
+
+@pytest.fixture
+def asm_file(tmp_path):
+    path = tmp_path / "prog.s"
+    path.write_text(PROGRAM)
+    return str(path)
+
+
+@pytest.fixture
+def arch_file(tmp_path):
+    path = tmp_path / "arch.json"
+    path.write_text(CpuConfig().to_json_str())
+    return str(path)
+
+
+class TestLocalMode:
+    def test_text_output(self, asm_file, arch_file, capsys):
+        assert main([asm_file, arch_file]) == 0
+        out = capsys.readouterr().out
+        assert "IPC" in out
+        assert "halt reason" in out
+
+    def test_preset_architecture_name(self, asm_file, capsys):
+        assert main([asm_file, "scalar"]) == 0
+        assert "cycles" in capsys.readouterr().out
+
+    def test_json_output(self, asm_file, arch_file, capsys):
+        assert main([asm_file, arch_file, "--format", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["statistics"]["committedInstructions"] > 0
+
+    def test_verbosity_levels(self, asm_file, arch_file, capsys):
+        main([asm_file, arch_file, "--verbosity", "0"])
+        brief = capsys.readouterr().out
+        main([asm_file, arch_file, "--verbosity", "2"])
+        full = capsys.readouterr().out
+        assert len(full) > len(brief)
+        assert "unit utilization" in full
+
+    def test_entry_point(self, tmp_path, arch_file, capsys):
+        path = tmp_path / "entry.s"
+        path.write_text("a:\n    li a0, 1\n    ebreak\nstart:\n"
+                        "    li a0, 2\n    ebreak\n")
+        main([str(path), arch_file, "--format", "json", "--entry", "start"])
+        data = json.loads(capsys.readouterr().out)
+        assert data["statistics"]["committedInstructions"] == 2
+
+    def test_memory_dump(self, tmp_path, arch_file, capsys):
+        path = tmp_path / "store.s"
+        path.write_text("    li t0, 0x55\n    sb t0, 0(sp)\n    ebreak\n")
+        main([str(path), arch_file, "--dump", "512:16"])
+        assert "55" in capsys.readouterr().out
+
+    def test_memory_config_file(self, tmp_path, arch_file, capsys):
+        prog = tmp_path / "mem.s"
+        prog.write_text("    la t0, user_data\n    lw a0, 0(t0)\n    ebreak\n")
+        mem = tmp_path / "mem.json"
+        mem.write_text(json.dumps(
+            [{"name": "user_data", "dtype": "word", "values": [777]}]))
+        assert main([str(prog), arch_file, "--memory", str(mem),
+                     "--format", "json"]) == 0
+
+    def test_missing_program_file(self, arch_file, capsys):
+        assert main(["/does/not/exist.s", arch_file]) == 2
+
+    def test_bad_architecture_file(self, asm_file, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{nope")
+        assert main([asm_file, str(bad)]) == 2
+
+    def test_asm_error_exit_code(self, tmp_path, arch_file, capsys):
+        path = tmp_path / "bad.s"
+        path.write_text("frobnicate x1\n")
+        assert main([str(path), arch_file]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestCompileMode:
+    def test_compile_and_run(self, tmp_path, arch_file, capsys):
+        path = tmp_path / "prog.c"
+        path.write_text(C_PROGRAM)
+        assert main([str(path), arch_file, "--compile", "-O", "2",
+                     "--entry", "main", "--format", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["haltReason"].startswith("program finished")
+
+    def test_emit_asm(self, tmp_path, arch_file):
+        src = tmp_path / "prog.c"
+        src.write_text(C_PROGRAM)
+        asm = tmp_path / "out.s"
+        main([str(src), arch_file, "--compile", "--entry", "main",
+              "--emit-asm", str(asm)])
+        assert "main:" in asm.read_text()
+
+    def test_c_error_exit_code(self, tmp_path, arch_file, capsys):
+        path = tmp_path / "bad.c"
+        path.write_text("int main( {")
+        assert main([str(path), arch_file, "--compile"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestRemoteMode:
+    def test_cli_against_live_server(self, asm_file, arch_file, capsys):
+        server = SimServer(("127.0.0.1", 0))
+        server.start_background()
+        try:
+            code = main([asm_file, arch_file, "--host", "127.0.0.1",
+                         "--port", str(server.port), "--format", "json"])
+            assert code == 0
+            data = json.loads(capsys.readouterr().out)
+            assert data["statistics"]["committedInstructions"] > 0
+        finally:
+            server.shutdown()
+
+    def test_remote_text_output(self, asm_file, arch_file, capsys):
+        server = SimServer(("127.0.0.1", 0))
+        server.start_background()
+        try:
+            main([asm_file, arch_file, "--host", "127.0.0.1",
+                  "--port", str(server.port)])
+            assert "IPC" in capsys.readouterr().out
+        finally:
+            server.shutdown()
+
+
+class TestExtensionFlags:
+    def test_power_report(self, asm_file, arch_file, capsys):
+        assert main([asm_file, arch_file, "--power"]) == 0
+        out = capsys.readouterr().out
+        assert "total area" in out and "average power" in out
+
+    def test_disassemble(self, asm_file, arch_file, capsys):
+        assert main([asm_file, arch_file, "--disassemble"]) == 0
+        out = capsys.readouterr().out
+        assert "0x0000:" in out
+        assert "addi" in out
+
+    def test_disassemble_error_handling(self, tmp_path, arch_file, capsys):
+        path = tmp_path / "bad.s"
+        path.write_text("frob x1\n")
+        assert main([str(path), arch_file, "--disassemble"]) == 1

@@ -1,0 +1,197 @@
+"""Code-generation specifics: register allocation, calling convention,
+branch fusion, spill behaviour, frames."""
+
+import re
+
+import pytest
+
+from repro.compiler import compile_c
+from repro.compiler.regalloc import (INT_CALLEE_SAVED, INT_CALLER_SAVED,
+                                     allocate, compute_intervals)
+from repro.compiler.cparser import parse_c
+from repro.compiler.irgen import lower
+from repro.compiler.sema import check
+from tests.conftest import run_c
+
+
+def asm_for(source: str, level: int = 1) -> str:
+    result = compile_c(source, level)
+    assert result.success, result.errors
+    return result.assembly
+
+
+class TestRegisterAllocation:
+    def ir_func(self, source, level=1):
+        return lower(check(parse_c(source)), level).functions[0]
+
+    def test_intervals_cover_loop_backedges(self):
+        func = self.ir_func("""
+int f(int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++) s += i;
+    return s;
+}
+""")
+        intervals = {iv.temp: iv for iv in compute_intervals(func)}
+        # the accumulator's interval must span the whole loop
+        label_positions = [i for i, instr in enumerate(func.body)
+                           if instr.op == "label"]
+        assert label_positions
+        spans = [iv for iv in intervals.values()
+                 if iv.start <= label_positions[0] <= iv.end]
+        assert spans  # at least the loop-carried values
+
+    def test_call_crossing_temps_get_callee_saved(self):
+        func = lower(check(parse_c("""
+int g(int x) { return x; }
+int f(int a) {
+    int keep = a * 3;
+    int r = g(a);
+    return keep + r;
+}
+""")), 1).function("f")
+        alloc = allocate(func)
+        intervals = compute_intervals(func)
+        call_pos = next(i for i, instr in enumerate(func.body)
+                        if instr.op == "call")
+        for iv in intervals:
+            if iv.start < call_pos < iv.end \
+                    and iv.temp in alloc.registers:
+                assert alloc.registers[iv.temp] in INT_CALLEE_SAVED, \
+                    f"{iv.temp} lives across the call in a caller-saved reg"
+
+    def test_spill_everything_mode(self):
+        func = self.ir_func("int f(int a, int b){ return a + b; }", 0)
+        alloc = allocate(func, enable_registers=False)
+        assert not alloc.registers
+        assert len(alloc.spills) > 0
+
+    def test_register_pressure_spills_not_crash(self):
+        # 20 simultaneously-live values exceed the register pool
+        decls = "\n".join(f"    int v{i} = n + {i};" for i in range(20))
+        uses = " + ".join(f"v{i}" for i in range(20))
+        sim = run_c(f"int main_f(int n) {{\n{decls}\n    return {uses};\n}}\n"
+                    f"int main(void) {{ return main_f(10); }}", 1)
+        assert sim.register_value("a0") == sum(10 + i for i in range(20))
+
+
+class TestEmittedCode:
+    def test_o0_uses_only_scratch_registers(self):
+        """Spill-everything code must not allocate s/t3+ registers."""
+        asm = asm_for("int f(int a, int b){ return a * b + 7; }", 0)
+        body = [line for line in asm.splitlines() if line.strip()
+                and not line.strip().startswith(".")]
+        for line in body:
+            assert not re.search(r"\bs[1-9]\b|\bs1[01]\b|\bt[3-6]\b", line), \
+                f"O0 should not use allocatable registers: {line}"
+
+    def test_o1_uses_allocated_registers(self):
+        asm = asm_for("""
+int f(int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++) s += i * i;
+    return s;
+}
+""", 1)
+        assert re.search(r"\bs[0-9]+\b|\bt[3-6]\b", asm)
+
+    def test_cmp_branch_fusion(self):
+        """`if (a < b)` compiles to a single blt/bge, no slt+beqz."""
+        asm = asm_for("""
+int f(int a, int b) {
+    if (a < b) return 1;
+    return 0;
+}
+""", 1)
+        assert re.search(r"\b(bge|blt)\b", asm)
+        assert "slt" not in asm
+
+    def test_no_fusion_at_o0(self):
+        asm = asm_for("""
+int f(int a, int b) {
+    if (a < b) return 1;
+    return 0;
+}
+""", 0)
+        assert "slt" in asm   # separate compare + branch on the flag value
+
+    def test_immediate_forms_used(self):
+        asm = asm_for("int f(int a){ return (a + 5) & 12; }", 1)
+        assert "addi" in asm and "andi" in asm
+
+    def test_loc_directives_emitted(self):
+        asm = asm_for("int f(void)\n{\n    return 1;\n}", 1)
+        assert ".loc 1" in asm
+
+    def test_frame_is_16_byte_aligned(self):
+        asm = asm_for("""
+int g(int x) { return x; }
+int f(void) { int arr[3]; arr[0] = 1; return g(arr[0]); }
+""", 1)
+        for match in re.finditer(r"addi sp, sp, (-?\d+)", asm):
+            assert int(match.group(1)) % 16 == 0
+
+    def test_ra_saved_iff_calls(self):
+        leaf = asm_for("int f(int a){ return a + 1; }", 1)
+        caller = asm_for("""
+int g(int a){ return a; }
+int f(int a){ return g(a); }
+""", 1)
+        leaf_f = leaf.split("f:")[1]
+        assert "sw ra" not in leaf_f
+        caller_f = caller.split("\nf:")[1]
+        assert "sw ra" in caller_f and "lw ra" in caller_f
+
+
+class TestCallingConvention:
+    def test_mixed_int_float_args(self):
+        sim = run_c("""
+float mix(int a, float x, int b, float y) {
+    return (float)(a + b) * x + y;
+}
+int main(void) { return (int)mix(2, 1.5f, 4, 0.25f); }
+""", 2)
+        assert sim.register_value("a0") == int((2 + 4) * 1.5 + 0.25)
+
+    def test_eight_int_args(self):
+        args = ", ".join(f"int a{i}" for i in range(8))
+        body = " + ".join(f"a{i} * {i + 1}" for i in range(8))
+        call = ", ".join(str(i + 1) for i in range(8))
+        sim = run_c(f"int f({args}) {{ return {body}; }}\n"
+                    f"int main(void) {{ return f({call}); }}", 2)
+        assert sim.register_value("a0") == sum((i + 1) * (i + 1)
+                                               for i in range(8))
+
+    def test_float_return_in_fa0(self):
+        asm = asm_for("float f(void){ return 2.5f; }", 1)
+        assert "fa0" in asm
+
+    def test_nested_calls_preserve_values(self):
+        sim = run_c("""
+int add1(int x) { return x + 1; }
+int twice(int x) { return add1(x) + add1(x + 10); }
+int main(void) { return twice(5); }
+""", 2)
+        assert sim.register_value("a0") == 6 + 16
+
+
+class TestStackDiscipline:
+    def test_deep_recursion_restores_sp(self):
+        sim = run_c("""
+int down(int n) { if (n == 0) return 0; return 1 + down(n - 1); }
+int main(void) { return down(40); }
+""", 1)
+        assert sim.register_value("a0") == 40
+        # sp restored to its initial value after main returns
+        assert sim.register_value("sp") == sim.cpu.initial_sp
+
+    def test_local_array_on_stack_isolated_per_frame(self):
+        sim = run_c("""
+int sum3(int base) {
+    int a[3];
+    for (int i = 0; i < 3; i++) a[i] = base + i;
+    return a[0] + a[1] + a[2];
+}
+int main(void) { return sum3(10) + sum3(100); }
+""", 2)
+        assert sim.register_value("a0") == (10 + 11 + 12) + (100 + 101 + 102)

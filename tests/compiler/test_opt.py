@@ -1,0 +1,193 @@
+"""Optimizer pass tests on the IR level."""
+
+from repro.compiler.cparser import parse_c
+from repro.compiler.irgen import lower
+from repro.compiler.opt import (cleanup_cfg, constant_fold, copy_propagate,
+                                dead_code_elim, local_cse, optimize)
+from repro.compiler.sema import check
+
+
+def ir_for(source: str, opt_level: int = 1):
+    unit = check(parse_c(source))
+    return lower(unit, opt_level)
+
+
+def ops_of(func):
+    return [(i.op, i.sub_op) for i in func.body]
+
+
+class TestConstantFolding:
+    def test_folds_arith(self):
+        ir = ir_for("int f(void){ return 2 + 3 * 4; }")
+        func = ir.functions[0]
+        constant_fold(func)
+        dead_code_elim(func)
+        cleanup_cfg(func)
+        # the constant propagates all the way into the return
+        assert [i.op for i in func.body if i.op != "label"] == ["ret"]
+        assert func.body[-1].a == 14
+
+    def test_folds_through_variables(self):
+        ir = ir_for("int f(void){ int a = 5; int b = a * 2; return b + 1; }")
+        func = ir.functions[0]
+        optimize(ir, 2)
+        rets = [i for i in func.body if i.op == "ret"]
+        assert any(i.a == 11 for i in rets)
+
+    def test_algebraic_identities(self):
+        ir = ir_for("int f(int x){ return (x + 0) * 1; }")
+        func = ir.functions[0]
+        optimize(ir, 1)
+        assert not any(i.op == "bin" for i in func.body)
+
+    def test_mul_by_zero(self):
+        ir = ir_for("int f(int x){ return x * 0; }")
+        func = ir.functions[0]
+        optimize(ir, 1)
+        rets = [i for i in func.body if i.op == "ret"]
+        assert any(i.a == 0 for i in rets)
+
+    def test_branch_folding_dead_arm(self):
+        ir = ir_for("int f(void){ if (0) return 1; return 2; }")
+        func = ir.functions[0]
+        optimize(ir, 1)
+        li = [i for i in func.body if i.op == "li"]
+        assert all(i.a != 1 for i in li)   # the dead arm is gone
+
+
+class TestStrengthReduction:
+    def test_mul_pow2_to_shift_at_o2(self):
+        ir = ir_for("int f(int x){ return x * 8; }")
+        func = ir.functions[0]
+        optimize(ir, 2)
+        subs = [i.sub_op for i in func.body if i.op == "bin"]
+        assert "sll" in subs and "mul" not in subs
+
+    def test_mul_pow2_kept_at_o1(self):
+        ir = ir_for("int f(int x){ return x * 8; }")
+        func = ir.functions[0]
+        optimize(ir, 1)
+        subs = [i.sub_op for i in func.body if i.op == "bin"]
+        assert "mul" in subs
+
+    def test_unsigned_div_and_rem_pow2(self):
+        ir = ir_for("unsigned f(unsigned x){ return x / 16 + x % 16; }")
+        func = ir.functions[0]
+        optimize(ir, 2)
+        subs = [i.sub_op for i in func.body if i.op == "bin"]
+        assert "srl" in subs and "and" in subs
+        assert "divu" not in subs and "remu" not in subs
+
+    def test_signed_div_pow2_not_reduced(self):
+        """sra is wrong for negative dividends; signed div must survive."""
+        ir = ir_for("int f(int x){ return x / 4; }")
+        func = ir.functions[0]
+        optimize(ir, 3)
+        subs = [i.sub_op for i in func.body if i.op == "bin"]
+        assert "div" in subs
+
+
+class TestCopyPropAndCse:
+    def test_copy_propagation_removes_movs(self):
+        ir = ir_for("int f(int x){ int a = x; int b = a; return b + b; }")
+        func = ir.functions[0]
+        optimize(ir, 2)
+        movs = [i for i in func.body if i.op == "mov"]
+        assert len(movs) == 0
+
+    def test_cse_deduplicates(self):
+        ir = ir_for("int f(int x, int y){ return (x*y) + (x*y); }")
+        func = ir.functions[0]
+        optimize(ir, 2)
+        muls = [i for i in func.body if i.op == "bin" and i.sub_op == "mul"]
+        assert len(muls) == 1
+
+    def test_cse_respects_store_aliasing(self):
+        """A store between two identical loads must kill the CSE entry."""
+        ir = ir_for("""
+int f(int *p, int *q) {
+    int a = *p;
+    *q = 9;
+    int b = *p;
+    return a + b;
+}
+""")
+        func = ir.functions[0]
+        optimize(ir, 2)
+        loads = [i for i in func.body if i.op == "load"]
+        assert len(loads) == 2
+
+
+class TestDeadCode:
+    def test_unused_computation_removed(self):
+        ir = ir_for("int f(int x){ int unused = x * 37; return x; }")
+        func = ir.functions[0]
+        optimize(ir, 1)
+        assert not any(i.op == "bin" and i.sub_op == "mul"
+                       for i in func.body)
+
+    def test_stores_never_removed(self):
+        ir = ir_for("void f(int *p){ *p = 1; }")
+        func = ir.functions[0]
+        optimize(ir, 3)
+        assert any(i.op == "store" for i in func.body)
+
+    def test_calls_never_removed(self):
+        ir = ir_for("""
+int g(int x){ return x; }
+int f(void){ g(1); return 0; }
+""")
+        func = ir.function("f")
+        optimize(ir, 1)   # O1: no inlining, call must survive
+        assert any(i.op == "call" for i in func.body)
+
+
+class TestInlining:
+    SRC = """
+int square(int x) { return x * x; }
+int f(int a) { return square(a) + square(a + 1); }
+"""
+
+    def test_o3_inlines_small_leaf(self):
+        ir = ir_for(self.SRC, 3)
+        func = ir.function("f")
+        optimize(ir, 3)
+        assert not any(i.op == "call" for i in func.body)
+
+    def test_o2_does_not_inline(self):
+        ir = ir_for(self.SRC, 2)
+        func = ir.function("f")
+        optimize(ir, 2)
+        assert any(i.op == "call" for i in func.body)
+
+    def test_recursive_function_not_inlined(self):
+        ir = ir_for("""
+int fib(int n){ if (n < 2) return n; return fib(n-1) + fib(n-2); }
+int f(void){ return fib(5); }
+""", 3)
+        optimize(ir, 3)
+        assert any(i.op == "call" for i in ir.function("fib").body)
+
+    def test_inlined_result_still_correct(self):
+        from tests.conftest import run_c
+        sim = run_c(self.SRC + "\nint main(void){ return f(4); }", 3)
+        assert sim.register_value("a0") == 4 * 4 + 5 * 5
+
+
+class TestCleanup:
+    def test_unreachable_code_removed(self):
+        ir = ir_for("int f(void){ return 1; }")
+        func = ir.functions[0]
+        # irgen appends an implicit 'ret' after the explicit one
+        cleanup_cfg(func)
+        rets = [i for i in func.body if i.op == "ret"]
+        assert len(rets) == 1
+
+    def test_jump_to_next_removed(self):
+        ir = ir_for("int f(int x){ if (x) { x = 1; } return x; }")
+        func = ir.functions[0]
+        optimize(ir, 1)
+        for idx, instr in enumerate(func.body[:-1]):
+            if instr.op == "jmp":
+                nxt = func.body[idx + 1]
+                assert not (nxt.op == "label" and nxt.label == instr.label)

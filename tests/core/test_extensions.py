@@ -1,0 +1,202 @@
+"""Tests for the future-work microarchitecture extensions: pipelined
+functional units and the L2 cache level."""
+
+import pytest
+
+from repro import CacheConfig, CpuConfig, FuSpec, Simulation
+from tests.conftest import run_asm
+
+# a chain-free burst of long-latency multiplications
+MUL_BURST = "\n".join(
+    f"    mul x{5 + i}, x{5 + (i % 4)}, x{5 + ((i + 1) % 4)}"
+    for i in range(8)
+)
+INIT = "\n".join(f"    li x{5 + i}, {i + 2}" for i in range(4))
+
+
+def config_with_mul_unit(pipelined: bool) -> CpuConfig:
+    config = CpuConfig()
+    config.fus = [
+        FuSpec("FX", "ALU", operations={"addition": 1, "bitwise": 1,
+                                        "shift": 1, "comparison": 1}),
+        FuSpec("FX", "MUL", operations={"multiplication": 6},
+               pipelined=pipelined),
+        FuSpec("LS", "LS1"), FuSpec("Branch", "BR1"), FuSpec("Memory", "MEM"),
+    ]
+    return config
+
+
+class TestPipelinedUnits:
+    def test_pipelined_unit_overlaps_long_ops(self):
+        source = INIT + "\n" + MUL_BURST + "\n    ebreak"
+        plain = Simulation.from_source(source,
+                                       config=config_with_mul_unit(False))
+        plain.run()
+        piped = Simulation.from_source(source,
+                                       config=config_with_mul_unit(True))
+        piped.run()
+        # 8 muls x 6 cycles serialized vs overlapped
+        assert piped.cpu.cycle < plain.cpu.cycle - 10
+
+    def test_pipelined_results_identical(self):
+        source = INIT + "\n" + MUL_BURST + "\n    ebreak"
+        plain = Simulation.from_source(source,
+                                       config=config_with_mul_unit(False))
+        plain.run()
+        piped = Simulation.from_source(source,
+                                       config=config_with_mul_unit(True))
+        piped.run()
+        assert plain.cpu.arch_regs.snapshot() == piped.cpu.arch_regs.snapshot()
+
+    def test_pipelined_unit_one_issue_per_cycle(self):
+        """Initiation interval is 1: at most one instruction enters the
+        pipelined unit per cycle."""
+        config = config_with_mul_unit(True)
+        sim = Simulation.from_source(INIT + "\n" + MUL_BURST + "\n    ebreak",
+                                     config=config)
+        max_inflight_growth = 0
+        previous = 0
+
+        def spy(cpu):
+            nonlocal max_inflight_growth, previous
+            mul = next(fu for fu in cpu.fus if fu.spec.name == "MUL")
+            count = len(mul.inflight)
+            max_inflight_growth = max(max_inflight_growth, count - previous)
+            previous = count
+        sim.subscribe(spy)
+        sim.run()
+        assert max_inflight_growth <= 1
+
+    def test_pipelined_dependent_chain_gains_nothing(self):
+        """A serial dependence chain cannot exploit pipelining."""
+        chain = "    li x5, 3\n" + "\n".join(
+            ["    mul x5, x5, x5"] * 6) + "\n    ebreak"
+        plain = Simulation.from_source(chain,
+                                       config=config_with_mul_unit(False))
+        plain.run()
+        piped = Simulation.from_source(chain,
+                                       config=config_with_mul_unit(True))
+        piped.run()
+        assert abs(piped.cpu.cycle - plain.cpu.cycle) <= 2
+
+    def test_pipelined_flag_in_json_roundtrip(self):
+        config = config_with_mul_unit(True)
+        clone = CpuConfig.from_json_str(config.to_json_str())
+        mul = next(fu for fu in clone.fus if fu.name == "MUL")
+        assert mul.pipelined
+
+    def test_flush_squashes_pipelined_inflight(self):
+        config = config_with_mul_unit(True)
+        sim = Simulation.from_source("""
+    li  t0, 1
+    li  x5, 3
+    bnez t0, out        # mispredicts on cold BTB -> flush
+    mul x6, x5, x5
+    mul x7, x5, x5
+out:
+    li  a0, 7
+    ebreak
+""", config=config)
+        sim.run()
+        assert sim.register_value("a0") == 7
+        assert sim.register_value("x6") == 0  # squashed, never committed
+
+
+L2_WALK = """
+    la   t0, buf
+    li   t1, 0
+    li   t2, 128
+walk:
+    slli t3, t1, 2
+    add  t3, t3, t0
+    lw   t4, 0(t3)
+    addi t1, t1, 1
+    blt  t1, t2, walk
+    # second pass: L1-too-big working set, should hit in L2
+    li   t1, 0
+walk2:
+    slli t3, t1, 2
+    add  t3, t3, t0
+    lw   t4, 0(t3)
+    addi t1, t1, 1
+    blt  t1, t2, walk2
+    ebreak
+"""
+
+
+class TestL2Cache:
+    def make_config(self, with_l2: bool) -> CpuConfig:
+        config = CpuConfig()
+        # tiny L1 (128 B) so a 512 B working set always misses on re-walk
+        config.cache = CacheConfig(line_count=8, line_size=16,
+                                   associativity=2, access_delay=1,
+                                   line_replacement_delay=2)
+        if with_l2:
+            # L2 holds the full working set
+            config.l2_cache = CacheConfig(line_count=64, line_size=16,
+                                          associativity=4, access_delay=4,
+                                          line_replacement_delay=4)
+        config.memory.load_latency = 30
+        config.memory.store_latency = 30
+        return config
+
+    def run_walk(self, with_l2: bool):
+        from repro.memory.layout import MemoryLocation
+        buf = MemoryLocation(name="buf", dtype="word",
+                             values=list(range(128)))
+        sim = Simulation.from_source(L2_WALK, config=self.make_config(with_l2),
+                                     memory_locations=[buf])
+        sim.run()
+        return sim
+
+    def test_l2_reduces_cycles(self):
+        without = self.run_walk(False)
+        with_l2 = self.run_walk(True)
+        assert with_l2.cpu.cycle < without.cpu.cycle
+
+    def test_l2_absorbs_l1_misses(self):
+        sim = self.run_walk(True)
+        l1 = sim.cpu.cache.stats
+        l2 = sim.cpu.l2_cache.stats
+        assert l1.misses > 0
+        assert l2.accesses >= l1.misses  # every L1 miss probes L2
+        # the second walk hits in L2
+        assert l2.hits > 0
+
+    def test_l2_stats_in_statistics_payload(self):
+        sim = self.run_walk(True)
+        data = sim.stats.to_json()
+        assert "l2Cache" in data
+        assert data["l2Cache"]["accesses"] > 0
+
+    def test_results_identical_with_and_without_l2(self):
+        a = self.run_walk(False)
+        b = self.run_walk(True)
+        assert a.cpu.arch_regs.snapshot() == b.cpu.arch_regs.snapshot()
+
+    def test_l2_config_json_roundtrip(self):
+        config = self.make_config(True)
+        clone = CpuConfig.from_json_str(config.to_json_str())
+        assert clone.l2_cache == config.l2_cache
+        none_config = self.make_config(False)
+        clone2 = CpuConfig.from_json_str(none_config.to_json_str())
+        assert clone2.l2_cache is None
+
+    def test_l2_requires_l1(self):
+        from repro.errors import ConfigError
+        config = self.make_config(True)
+        config.cache.enabled = False
+        with pytest.raises(ConfigError):
+            config.validate()
+
+    def test_backward_sim_deterministic_with_l2(self):
+        from repro.memory.layout import MemoryLocation
+        buf = MemoryLocation(name="buf", dtype="word",
+                             values=list(range(128)))
+        sim = Simulation.from_source(L2_WALK, config=self.make_config(True),
+                                     memory_locations=[buf])
+        sim.step(150)
+        reference = sim.snapshot()
+        sim.step(60)
+        sim.step_back(60)
+        assert sim.snapshot() == reference

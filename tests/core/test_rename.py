@@ -1,0 +1,117 @@
+"""Register renaming tests (rename file + RAT)."""
+
+from repro.core.rename import RenameFile
+from repro.isa.registers import RegisterFile
+
+
+def make():
+    arch = RegisterFile()
+    return arch, RenameFile(8, arch)
+
+
+class TestAllocation:
+    def test_allocate_maps_rat(self):
+        _, rf = make()
+        tag = rf.allocate("x5")
+        assert rf.rat["x5"] == tag
+        assert not rf.is_valid(tag)
+
+    def test_exhaustion_returns_none(self):
+        _, rf = make()
+        for i in range(8):
+            assert rf.allocate(f"x{i + 1}") is not None
+        assert rf.allocate("x9") is None
+        assert rf.free_count == 0
+
+    def test_newest_copy_wins(self):
+        _, rf = make()
+        t1 = rf.allocate("x5")
+        t2 = rf.allocate("x5")
+        assert rf.rat["x5"] == t2
+        assert t1 != t2
+
+    def test_renamed_copies_listed(self):
+        """Architectural registers track all renamed copies (Sec. III-B)."""
+        _, rf = make()
+        t1 = rf.allocate("x5")
+        t2 = rf.allocate("x5")
+        assert set(rf.renamed_copies("x5")) == {t1, t2}
+
+
+class TestReadSource:
+    def test_unrenamed_reads_architectural(self):
+        arch, rf = make()
+        arch.write("x3", 42)
+        assert rf.read_source("x3") == ("val", 42)
+
+    def test_renamed_not_ready_returns_tag(self):
+        _, rf = make()
+        tag = rf.allocate("x3")
+        assert rf.read_source("x3") == ("tag", tag)
+
+    def test_renamed_ready_returns_value(self):
+        _, rf = make()
+        tag = rf.allocate("x3")
+        rf.write(tag, 77)
+        assert rf.read_source("x3") == ("val", 77)
+
+
+class TestCommit:
+    def test_commit_updates_architectural_and_frees(self):
+        arch, rf = make()
+        tag = rf.allocate("x4")
+        rf.write(tag, 123)
+        rf.commit(tag)
+        assert arch.read("x4") == 123
+        assert "x4" not in rf.rat
+        assert rf.free_count == 8
+
+    def test_commit_of_superseded_writer_keeps_rat(self):
+        arch, rf = make()
+        t1 = rf.allocate("x4")
+        t2 = rf.allocate("x4")      # newer writer in flight
+        rf.write(t1, 1)
+        rf.commit(t1)
+        assert arch.read("x4") == 1
+        assert rf.rat["x4"] == t2   # newest mapping survives
+
+    def test_in_order_commits_leave_newest_value(self):
+        arch, rf = make()
+        t1 = rf.allocate("x4")
+        t2 = rf.allocate("x4")
+        rf.write(t1, 1)
+        rf.write(t2, 2)
+        rf.commit(t1)
+        rf.commit(t2)
+        assert arch.read("x4") == 2
+
+
+class TestFlushAndRelease:
+    def test_flush_clears_everything(self):
+        arch, rf = make()
+        arch.write("x7", 9)
+        tag = rf.allocate("x7")
+        rf.write(tag, 555)
+        rf.flush()
+        assert rf.free_count == 8
+        assert rf.rat == {}
+        assert arch.read("x7") == 9          # committed state untouched
+        assert rf.read_source("x7") == ("val", 9)
+
+    def test_release_without_commit(self):
+        arch, rf = make()
+        tag = rf.allocate("x6")
+        rf.release(tag)
+        assert arch.read("x6") == 0
+        assert rf.free_count == 8
+        assert "x6" not in rf.rat
+
+    def test_snapshot_shape(self):
+        _, rf = make()
+        tag = rf.allocate("x5")
+        rf.write(tag, 3)
+        snap = rf.snapshot()
+        assert snap["freeTags"] == 7
+        assert snap["rat"] == {"x5": tag}
+        assert snap["entries"][0]["valid"] is True
+        assert snap["entries"][0]["value"] == 3

@@ -1,0 +1,242 @@
+"""Differential testing: the out-of-order pipeline vs a sequential
+reference interpreter.
+
+The reference executes the same assembled :class:`Program` one instruction
+at a time, directly from the declarative instruction semantics — no
+pipeline, no speculation, no caches.  Any architectural divergence
+(registers or memory) between the two is a pipeline bug: renaming,
+forwarding, squashing and ordering must never change results.
+"""
+
+import struct
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import CpuConfig, Simulation
+from repro.asm.parser import assemble
+from repro.isa.expression import EvalContext, Expression
+from repro.isa.instruction import ArgType, FuClass
+from repro.isa.registers import RegisterFile
+
+
+class ReferenceInterpreter:
+    """Sequential, architecturally-exact RV32IMF interpreter."""
+
+    def __init__(self, program, memory_size=64 * 1024, stack_size=512):
+        self.program = program
+        self.regs = RegisterFile()
+        self.memory = program.initial_memory_image(memory_size)
+        self.regs.write("x2", program.stack_pointer or stack_size)
+        self.regs.write("x1", program.code_size_bytes)
+        self.pc = program.entry_pc
+        self.halted = None
+        self.steps = 0
+
+    def run(self, max_steps=100_000):
+        while self.halted is None and self.steps < max_steps:
+            self.step()
+        return self
+
+    def step(self):
+        instr = self.program.instruction_at(self.pc)
+        if instr is None:
+            self.halted = "end"
+            return
+        self.steps += 1
+        d = instr.definition
+        if d.name in ("ecall", "ebreak"):
+            self.halted = d.name
+            return
+        values = {}
+        for arg in d.arguments:
+            operand = instr.operands[arg.name]
+            if arg.is_register and not arg.write_back:
+                values[arg.name] = self.regs.read(operand)
+            elif not arg.is_register:
+                values[arg.name] = operand
+        ctx = EvalContext(values, pc=self.pc)
+        expr = Expression.compile(d.interpretable_as) \
+            if d.interpretable_as else None
+        result = expr.evaluate(ctx) if expr else None
+
+        next_pc = self.pc + 4
+        if d.is_branch:
+            target = Expression.compile(d.target).evaluate(
+                EvalContext(values, pc=self.pc))
+            taken = True if d.is_unconditional else bool(result)
+            for name, value in ctx.assignments:   # link register
+                self.regs.write(instr.operands[name], value)
+            if taken:
+                next_pc = int(target) & 0xFFFFFFFF
+        elif d.memory_size:
+            address = int(result) & 0xFFFFFFFF
+            size = d.memory_size
+            if d.is_store:
+                src_arg = d.arguments[0]
+                value = self.regs.read(instr.operands[src_arg.name])
+                if src_arg.type is ArgType.FLOAT:
+                    raw = struct.pack("<f", float(value))
+                else:
+                    raw = (int(value) & ((1 << (8 * size)) - 1)) \
+                        .to_bytes(size, "little")
+                self.memory[address:address + size] = raw
+            else:
+                raw = bytes(self.memory[address:address + size])
+                dest = d.destination
+                if dest.type is ArgType.FLOAT:
+                    value = struct.unpack("<f", raw)[0]
+                else:
+                    value = int.from_bytes(raw, "little",
+                                           signed=d.memory_signed)
+                self.regs.write(instr.operands[dest.name], value)
+        else:
+            for name, value in ctx.assignments:
+                self.regs.write(instr.operands[name], value)
+        self.pc = next_pc
+
+
+def compare(source: str, entry=None, config=None):
+    program = assemble(source, entry=entry,
+                       stack_size=(config or CpuConfig()).memory.call_stack_size)
+    reference = ReferenceInterpreter(program).run()
+    sim = Simulation(program, config or CpuConfig())
+    sim.run()
+    assert sim.cpu.arch_regs == reference.regs, "register state diverged"
+    assert bytes(sim.cpu.memory.data) == bytes(reference.memory), \
+        "memory state diverged"
+    return sim, reference
+
+
+FIXED_PROGRAMS = [
+    # arithmetic chains with hazards
+    """
+    li t0, 17
+    li t1, 5
+    add t2, t0, t1
+    sub t3, t2, t0
+    mul t4, t2, t3
+    div t5, t4, t1
+    rem t6, t4, t1
+    ebreak
+""",
+    # loop with memory traffic
+    """
+    addi sp, sp, -64
+    li t0, 0
+l:  slli t1, t0, 2
+    add t1, t1, sp
+    sw t0, 0(t1)
+    lw t2, 0(t1)
+    add s0, s0, t2
+    addi t0, t0, 1
+    li t3, 12
+    blt t0, t3, l
+    ebreak
+""",
+    # calls + stack discipline
+    """
+main:
+    li a0, 9
+    call f
+    mv s0, a0
+    li a0, 4
+    call f
+    add a0, a0, s0
+    ebreak
+f:
+    addi sp, sp, -16
+    sw ra, 12(sp)
+    slli a0, a0, 1
+    addi a0, a0, 3
+    lw ra, 12(sp)
+    addi sp, sp, 16
+    ret
+""",
+    # floats
+    """
+    .data
+v: .float 3.5, -1.25, 0.5
+    .text
+    la t0, v
+    flw fa0, 0(t0)
+    flw fa1, 4(t0)
+    flw fa2, 8(t0)
+    fmadd.s fa3, fa0, fa1, fa2
+    fdiv.s fa4, fa0, fa2
+    fcvt.w.s a0, fa4
+    fsw fa3, 0(t0)
+    ebreak
+""",
+    # data-dependent branching
+    """
+    li t0, 0
+    li s0, 0
+l:  andi t1, t0, 3
+    beqz t1, skip
+    add s0, s0, t0
+skip:
+    addi t0, t0, 1
+    li t2, 25
+    blt t0, t2, l
+    ebreak
+""",
+]
+
+
+class TestFixedPrograms:
+    @pytest.mark.parametrize("idx", range(len(FIXED_PROGRAMS)))
+    def test_matches_reference(self, idx):
+        entry = "main" if "main:" in FIXED_PROGRAMS[idx] else None
+        compare(FIXED_PROGRAMS[idx], entry=entry)
+
+    @pytest.mark.parametrize("preset", ["scalar", "default", "wide"])
+    def test_matches_reference_on_every_preset(self, preset):
+        compare(FIXED_PROGRAMS[1], config=CpuConfig.preset(preset))
+
+
+# random straight-line + simple-loop program generator
+_REGS = [f"x{i}" for i in range(5, 13)]
+
+
+@st.composite
+def random_program(draw):
+    lines = []
+    n = draw(st.integers(3, 25))
+    for _ in range(n):
+        kind = draw(st.integers(0, 5))
+        rd = draw(st.sampled_from(_REGS))
+        rs1 = draw(st.sampled_from(_REGS))
+        rs2 = draw(st.sampled_from(_REGS))
+        if kind == 0:
+            lines.append(f"    li {rd}, {draw(st.integers(-2048, 2047))}")
+        elif kind == 1:
+            op = draw(st.sampled_from(
+                ["add", "sub", "xor", "or", "and", "mul", "sltu"]))
+            lines.append(f"    {op} {rd}, {rs1}, {rs2}")
+        elif kind == 2:
+            op = draw(st.sampled_from(["addi", "xori", "andi", "ori"]))
+            lines.append(f"    {op} {rd}, {rs1}, "
+                         f"{draw(st.integers(-512, 511))}")
+        elif kind == 3:
+            lines.append(f"    slli {rd}, {rs1}, {draw(st.integers(0, 7))}")
+        elif kind == 4:
+            offset = draw(st.integers(0, 15)) * 4
+            lines.append(f"    sw {rs1}, {offset}(sp)")
+        else:
+            offset = draw(st.integers(0, 15)) * 4
+            lines.append(f"    lw {rd}, {offset}(sp)")
+    lines.append("    ebreak")
+    return "    addi sp, sp, -64\n" + "\n".join(lines)
+
+
+class TestRandomPrograms:
+    @settings(max_examples=30, deadline=None)
+    @given(random_program())
+    def test_ooo_matches_sequential_reference(self, source):
+        compare(source)
+
+    @settings(max_examples=10, deadline=None)
+    @given(random_program())
+    def test_wide_preset_matches_reference(self, source):
+        compare(source, config=CpuConfig.preset("wide"))

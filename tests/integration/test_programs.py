@@ -1,0 +1,257 @@
+"""Whole-system integration tests.
+
+Sec. IV of the paper names the complex programs its test suite runs: array
+sorting with quicksort, working with a linked list, and polymorphism
+(dynamic dispatch).  All three are here, plus additional end-to-end
+programs, each executed on several architectures.
+"""
+
+import pytest
+
+from repro import CpuConfig, MemoryLocation, Simulation
+from tests.conftest import run_asm, run_c
+
+ARCHES = ["default", "scalar", "wide"]
+
+
+def config_for(name: str) -> CpuConfig:
+    config = CpuConfig.preset(name)
+    config.memory.call_stack_size = 4096
+    return config
+
+
+class TestQuicksort:
+    C_SRC = """
+extern int data[16];
+void quicksort(int *a, int lo, int hi) {
+    if (lo >= hi) return;
+    int pivot = a[(lo + hi) / 2];
+    int i = lo;
+    int j = hi;
+    while (i <= j) {
+        while (a[i] < pivot) i++;
+        while (a[j] > pivot) j--;
+        if (i <= j) {
+            int t = a[i]; a[i] = a[j]; a[j] = t;
+            i++; j--;
+        }
+    }
+    quicksort(a, lo, j);
+    quicksort(a, i, hi);
+}
+int main(void) { quicksort(data, 0, 15); return 0; }
+"""
+    VALUES = [42, 7, 93, 15, 61, 2, 88, 34, 70, 11, 55, 29, 96, 4, 83, 48]
+
+    @pytest.mark.parametrize("arch", ARCHES)
+    @pytest.mark.parametrize("level", [0, 2])
+    def test_sorts_on_every_architecture(self, arch, level):
+        data = MemoryLocation(name="data", dtype="word", values=self.VALUES)
+        sim = run_c(self.C_SRC, level, config=config_for(arch),
+                    memory_locations=[data])
+        base = sim.symbol_address("data")
+        result = [sim.memory_word(base + 4 * i) for i in range(16)]
+        assert result == sorted(self.VALUES)
+
+    def test_results_identical_across_architectures(self):
+        """Microarchitecture must never change architectural results."""
+        outputs = []
+        for arch in ARCHES:
+            data = MemoryLocation(name="data", dtype="word",
+                                  values=self.VALUES)
+            sim = run_c(self.C_SRC, 2, config=config_for(arch),
+                        memory_locations=[data])
+            base = sim.symbol_address("data")
+            outputs.append(tuple(sim.memory_word(base + 4 * i)
+                                 for i in range(16)))
+        assert len(set(outputs)) == 1
+
+
+class TestLinkedList:
+    C_SRC = """
+int values[8];
+int next_idx[8];
+int head;
+int main(void) {
+    head = -1;
+    for (int i = 0; i < 8; i++) {
+        values[i] = i + 1;
+        next_idx[i] = head;
+        head = i;
+    }
+    int sum = 0;
+    int node = head;
+    while (node >= 0) {
+        sum += values[node];
+        node = next_idx[node];
+    }
+    return sum;
+}
+"""
+
+    @pytest.mark.parametrize("level", [0, 1, 2, 3])
+    def test_walks_correctly(self, level):
+        sim = run_c(self.C_SRC, level)
+        assert sim.register_value("a0") == 36
+
+
+class TestPolymorphism:
+    """Dynamic dispatch through a vtable of .word function pointers."""
+
+    ASM = """
+    .data
+    .align 2
+vt_a:
+    .word impl_a
+vt_b:
+    .word impl_b
+objs:
+    .word vt_a, 10
+    .word vt_b, 10
+    .text
+main:
+    li   s0, 0
+    la   s1, objs
+    li   s2, 2
+loop:
+    lw   t0, 0(s1)
+    lw   a0, 4(s1)
+    lw   t1, 0(t0)
+    jalr ra, t1, 0
+    add  s0, s0, a0
+    addi s1, s1, 8
+    addi s2, s2, -1
+    bnez s2, loop
+    mv   a0, s0
+    ebreak
+impl_a:
+    slli a0, a0, 1      # a: doubles
+    ret
+impl_b:
+    addi a0, a0, 3      # b: adds 3
+    ret
+"""
+
+    def test_dispatches_both_implementations(self):
+        sim = run_asm(self.ASM, entry="main")
+        assert sim.register_value("a0") == 20 + 13
+
+    def test_indirect_jumps_train_btb(self):
+        sim = run_asm(self.ASM, entry="main")
+        assert sim.cpu.predictor.btb.hits > 0
+
+
+class TestStringPrograms:
+    def test_strlen_and_reverse(self):
+        sim = run_asm("""
+    .data
+str: .asciiz "simulator"
+    .text
+main:
+    la   t0, str
+    li   a0, 0
+strlen:
+    add  t1, t0, a0
+    lbu  t2, 0(t1)
+    beqz t2, done
+    addi a0, a0, 1
+    j    strlen
+done:
+    ebreak
+""", entry="main")
+        assert sim.register_value("a0") == 9
+
+    def test_string_copy_in_c(self):
+        sim = run_c("""
+char src[8] = {104, 105, 33, 0};   /* "hi!" */
+char dst[8];
+int main(void) {
+    int i = 0;
+    while (src[i]) { dst[i] = src[i]; i++; }
+    dst[i] = 0;
+    return i;
+}
+""", 2)
+        assert sim.register_value("a0") == 3
+        addr = sim.symbol_address("dst")
+        assert sim.memory_bytes(addr, 4) == b"hi!\x00"
+
+
+class TestNumericKernels:
+    def test_float_dot_product(self):
+        values_a = [1.5, 2.0, -3.25, 4.0]
+        values_b = [2.0, 0.5, 1.0, -1.5]
+        expected = sum(a * b for a, b in zip(values_a, values_b))
+        a = MemoryLocation(name="va", dtype="float", values=values_a)
+        b = MemoryLocation(name="vb", dtype="float", values=values_b)
+        sim = run_c("""
+extern float va[4];
+extern float vb[4];
+float dot(void) {
+    float s = 0.0f;
+    for (int i = 0; i < 4; i++) s += va[i] * vb[i];
+    return s;
+}
+int main(void) { return (int)(dot() * 100.0f); }
+""", 2, memory_locations=[a, b])
+        assert sim.register_value("a0") == int(expected * 100)
+        assert sim.stats.flops_total >= 8   # 4 mul + 4 add
+
+    def test_gcd_euclid(self):
+        sim = run_c("""
+int gcd(int a, int b) { while (b) { int t = a % b; a = b; b = t; } return a; }
+int main(void) { return gcd(1071, 462); }
+""", 2)
+        assert sim.register_value("a0") == 21
+
+    def test_sieve_of_eratosthenes(self):
+        sim = run_c("""
+int is_composite[50];
+int main(void) {
+    int count = 0;
+    for (int i = 2; i < 50; i++) {
+        if (!is_composite[i]) {
+            count++;
+            for (int j = i + i; j < 50; j += i) is_composite[j] = 1;
+        }
+    }
+    return count;
+}
+""", 2)
+        assert sim.register_value("a0") == 15  # primes below 50
+
+    def test_integer_sqrt_by_search(self):
+        sim = run_asm("""
+main:
+    li   a1, 1024       # n
+    li   t0, 0          # candidate root
+search:
+    addi t1, t0, 1
+    mul  t2, t1, t1
+    bgtu t2, a1, done   # (t0+1)^2 > n -> t0 is floor(sqrt(n))
+    mv   t0, t1
+    j    search
+done:
+    mv   a0, t0
+    ebreak
+""", entry="main")
+        assert sim.register_value("a0") == 32
+
+
+class TestCrossArchitectureInvariance:
+    PROGRAMS = [
+        "int main(void){ int s=0; for(int i=0;i<30;i++) s+=i*i; return s; }",
+        """
+int fib(int n){ if (n<2) return n; return fib(n-1)+fib(n-2); }
+int main(void){ return fib(9); }
+""",
+    ]
+
+    @pytest.mark.parametrize("src", PROGRAMS)
+    def test_same_result_everywhere(self, src):
+        results = set()
+        for arch in ARCHES:
+            for level in (0, 3):
+                sim = run_c(src, level, config=config_for(arch))
+                results.add(sim.register_value("a0"))
+        assert len(results) == 1

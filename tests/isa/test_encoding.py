@@ -1,0 +1,183 @@
+"""Binary encoding/decoding tests, including a full round-trip property
+over every instruction the assembler can produce."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.asm.parser import assemble
+from repro.isa.encoding import (EncodingError, decode, disassemble, encode,
+                                encode_program)
+
+
+def enc_line(line: str) -> int:
+    """Assemble one instruction line and encode it."""
+    program = assemble(line)
+    instr = program.instructions[0]
+    return encode(instr.mnemonic, instr.operands)
+
+
+class TestKnownEncodings:
+    """Golden words cross-checked against the RISC-V spec examples."""
+
+    @pytest.mark.parametrize("line,word", [
+        ("addi x0, x0, 0", 0x00000013),          # canonical NOP
+        ("add x1, x2, x3", 0x003100B3),
+        ("sub x5, x6, x7", 0x407302B3),
+        ("lui x5, 0x12345", 0x123452B7),
+        ("lw x10, 8(x2)", 0x00812503),
+        ("sw x10, 12(x2)", 0x00A12623),
+        ("jalr x0, x1, 0", 0x00008067),          # RET
+        ("ecall", 0x00000073),
+        ("ebreak", 0x00100073),
+        ("mul x5, x6, x7", 0x027302B3),
+    ])
+    def test_golden_words(self, line, word):
+        assert enc_line(line) == word
+
+    def test_branch_offset_encoding(self):
+        program = assemble("beq x1, x2, target\ntarget:\n    nop")
+        instr = program.instructions[0]
+        word = encode(instr.mnemonic, instr.operands)
+        name, ops = decode(word)
+        assert name == "beq" and ops["imm"] == 4
+
+    def test_negative_jal_offset(self):
+        program = assemble("start:\n    nop\n    jal x0, start")
+        instr = program.instructions[1]
+        word = encode(instr.mnemonic, instr.operands)
+        name, ops = decode(word)
+        assert name == "jal" and ops["imm"] == -4
+
+
+class TestRoundTrip:
+    SAMPLES = [
+        "add x1, x2, x3", "sub x31, x30, x29", "sll x4, x5, x6",
+        "slt x7, x8, x9", "sltu x1, x1, x1", "xor x2, x3, x4",
+        "srl x5, x6, x7", "sra x8, x9, x10", "or x11, x12, x13",
+        "and x14, x15, x16",
+        "addi x1, x2, -2048", "slti x3, x4, 2047", "sltiu x5, x6, 1",
+        "xori x7, x8, -1", "ori x9, x10, 255", "andi x11, x12, 15",
+        "slli x1, x2, 31", "srli x3, x4, 1", "srai x5, x6, 16",
+        "lb x1, -4(x2)", "lh x3, 2(x4)", "lw x5, 0(x6)",
+        "lbu x7, 9(x8)", "lhu x9, 1(x10)",
+        "sb x1, -1(x2)", "sh x3, 6(x4)", "sw x5, 2047(x6)",
+        "lui x1, 0xFFFFF", "auipc x2, 1",
+        "jalr x1, x5, 100", "fence", "ecall", "ebreak",
+        "mul x1, x2, x3", "mulh x4, x5, x6", "mulhsu x7, x8, x9",
+        "mulhu x10, x11, x12", "div x13, x14, x15", "divu x16, x17, x18",
+        "rem x19, x20, x21", "remu x22, x23, x24",
+        "flw f1, 4(x2)", "fsw f3, -8(x4)",
+        "fadd.s f1, f2, f3", "fsub.s f4, f5, f6", "fmul.s f7, f8, f9",
+        "fdiv.s f10, f11, f12", "fsqrt.s f13, f14",
+        "fsgnj.s f1, f2, f3", "fsgnjn.s f4, f5, f6", "fsgnjx.s f7, f8, f9",
+        "fmin.s f10, f11, f12", "fmax.s f13, f14, f15",
+        "feq.s x1, f2, f3", "flt.s x4, f5, f6", "fle.s x7, f8, f9",
+        "fclass.s x10, f11",
+        "fcvt.w.s x1, f2", "fcvt.wu.s x3, f4",
+        "fcvt.s.w f5, x6", "fcvt.s.wu f7, x8",
+        "fmv.x.w x9, f10", "fmv.w.x f11, x12",
+        "fmadd.s f1, f2, f3, f4", "fmsub.s f5, f6, f7, f8",
+        "fnmsub.s f9, f10, f11, f12", "fnmadd.s f13, f14, f15, f16",
+    ]
+
+    @pytest.mark.parametrize("line", SAMPLES)
+    def test_encode_decode_roundtrip(self, line):
+        program = assemble(line)
+        instr = program.instructions[0]
+        word = encode(instr.mnemonic, instr.operands)
+        name, ops = decode(word)
+        assert name == instr.mnemonic
+        for key, value in instr.operands.items():
+            assert ops.get(key) == value, f"{line}: operand {key}"
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(0, 31), st.integers(0, 31), st.integers(0, 31),
+           st.integers(-2048, 2047))
+    def test_random_i_type_roundtrip(self, rd, rs1, rs2, imm):
+        word = encode("addi", {"rd": f"x{rd}", "rs1": f"x{rs1}", "imm": imm})
+        name, ops = decode(word)
+        assert (name, ops["rd"], ops["rs1"], ops["imm"]) == \
+            ("addi", f"x{rd}", f"x{rs1}", imm)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(-4096, 4094).map(lambda v: v & ~1))
+    def test_branch_imm_roundtrip(self, imm):
+        word = encode("bne", {"rs1": "x1", "rs2": "x2", "imm": imm})
+        _, ops = decode(word)
+        assert ops["imm"] == imm
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(-(1 << 20), (1 << 20) - 2).map(lambda v: v & ~1))
+    def test_jal_imm_roundtrip(self, imm):
+        word = encode("jal", {"rd": "x1", "imm": imm})
+        _, ops = decode(word)
+        assert ops["imm"] == imm
+
+
+class TestErrors:
+    def test_out_of_range_immediate(self):
+        with pytest.raises(EncodingError):
+            encode("addi", {"rd": "x1", "rs1": "x2", "imm": 5000})
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(EncodingError):
+            encode("vadd.vv", {})
+
+    def test_undecodable_word(self):
+        with pytest.raises(EncodingError):
+            decode(0xFFFFFFFF)
+
+
+class TestProgramLevel:
+    SOURCE = """
+main:
+    li   t0, 5
+    li   t1, 0
+loop:
+    add  t1, t1, t0
+    addi t0, t0, -1
+    bnez t0, loop
+    ebreak
+"""
+
+    def test_encode_program(self):
+        program = assemble(self.SOURCE)
+        code = encode_program(program)
+        assert len(code) == len(program.instructions) * 4
+
+    def test_disassemble_round_trip_reassembles(self):
+        """encode -> disassemble -> assemble -> encode is a fixpoint."""
+        program = assemble(self.SOURCE)
+        code = encode_program(program)
+        listing = disassemble(code)
+        # strip the address prefix and re-assemble
+        source = "\n".join(line.split(": ", 1)[1] for line in listing)
+        program2 = assemble(source)
+        assert encode_program(program2) == code
+
+    def test_disassembly_is_readable(self):
+        program = assemble(self.SOURCE)
+        listing = disassemble(encode_program(program))
+        assert any("add x6, x6, x5" in line for line in listing)
+        assert any("bne" in line for line in listing)
+
+    def test_unknown_word_rendered_as_data(self):
+        lines = disassemble(b"\xff\xff\xff\xff")
+        assert ".word" in lines[0]
+
+    def test_every_default_instruction_either_encodes_or_is_pseudo(self):
+        """All 74 RV32IMF definitions must be encodable."""
+        from repro.isa.isa import default_instruction_set
+        from repro.isa.instruction import ArgType
+        for d in default_instruction_set().all():
+            operands = {}
+            for arg in d.arguments:
+                if arg.type is ArgType.FLOAT:
+                    operands[arg.name] = "f1"
+                elif arg.type is ArgType.INT:
+                    operands[arg.name] = "x1"
+                else:
+                    operands[arg.name] = 4
+            word = encode(d.name, operands)
+            name, _ = decode(word)
+            assert name == d.name

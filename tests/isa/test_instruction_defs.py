@@ -1,0 +1,174 @@
+"""Instruction definition / registry tests (the paper's JSON config)."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.isa.expression import Expression
+from repro.isa.instruction import (
+    ArgType, Argument, FuClass, InstructionDef, InstructionType,
+)
+from repro.isa.isa import (
+    InstructionSet, default_instruction_set, instruction_set_from_json,
+    instruction_set_to_json, register_instruction,
+)
+
+
+class TestDefaultSet:
+    def test_extension_counts(self):
+        iset = default_instruction_set()
+        # RV32I (40 incl. fence/ecall/ebreak) + M (8) + F (26)
+        assert len(iset) == 74
+
+    @pytest.mark.parametrize("name", [
+        "add", "sub", "addi", "lui", "auipc", "jal", "jalr", "beq", "bne",
+        "blt", "bge", "bltu", "bgeu", "lb", "lh", "lw", "lbu", "lhu",
+        "sb", "sh", "sw", "slti", "sltiu", "xori", "ori", "andi", "slli",
+        "srli", "srai", "sll", "slt", "sltu", "xor", "srl", "sra", "or",
+        "and", "fence", "ecall", "ebreak",
+        "mul", "mulh", "mulhsu", "mulhu", "div", "divu", "rem", "remu",
+        "flw", "fsw", "fadd.s", "fsub.s", "fmul.s", "fdiv.s", "fsqrt.s",
+        "fmadd.s", "fmsub.s", "fnmadd.s", "fnmsub.s",
+        "fsgnj.s", "fsgnjn.s", "fsgnjx.s", "fmin.s", "fmax.s",
+        "feq.s", "flt.s", "fle.s", "fclass.s",
+        "fcvt.w.s", "fcvt.wu.s", "fcvt.s.w", "fcvt.s.wu",
+        "fmv.x.w", "fmv.w.x",
+    ])
+    def test_all_rv32imf_present(self, name):
+        assert name in default_instruction_set()
+
+    def test_no_privileged_instructions(self):
+        iset = default_instruction_set()
+        for name in ("csrrw", "csrrs", "mret", "sret", "wfi", "sfence.vma"):
+            assert name not in iset
+
+    def test_expressions_reference_declared_args_only(self):
+        for d in default_instruction_set().all():
+            if not d.interpretable_as:
+                continue
+            names = {a.name for a in d.arguments}
+            expr = Expression.compile(d.interpretable_as)
+            for ref in expr.references():
+                assert ref in names, f"{d.name} references unknown \\{ref}"
+
+    def test_branches_have_targets(self):
+        for d in default_instruction_set().all():
+            if d.is_branch:
+                assert d.target, f"{d.name} lacks a target expression"
+                Expression.compile(d.target)
+
+    def test_loads_and_stores_have_sizes(self):
+        iset = default_instruction_set()
+        for name, size in (("lb", 1), ("lh", 2), ("lw", 4), ("flw", 4)):
+            assert iset.get(name).memory_size == size
+            assert iset.get(name).is_load
+        for name in ("sb", "sh", "sw", "fsw"):
+            assert iset.get(name).is_store
+
+    def test_signedness(self):
+        iset = default_instruction_set()
+        assert iset.get("lb").memory_signed
+        assert not iset.get("lbu").memory_signed
+        assert iset.get("lh").memory_signed
+        assert not iset.get("lhu").memory_signed
+
+    def test_flop_counts(self):
+        iset = default_instruction_set()
+        assert iset.get("fadd.s").flops == 1
+        assert iset.get("fmadd.s").flops == 2
+        assert iset.get("fsgnj.s").flops == 0
+        assert iset.get("add").flops == 0
+
+    def test_fu_classes(self):
+        iset = default_instruction_set()
+        assert iset.get("add").fu_class is FuClass.FX
+        assert iset.get("fadd.s").fu_class is FuClass.FP
+        assert iset.get("lw").fu_class is FuClass.LS
+        assert iset.get("beq").fu_class is FuClass.BRANCH
+
+    def test_instruction_types_for_mix(self):
+        iset = default_instruction_set()
+        assert iset.get("add").instruction_type is InstructionType.INT_ARITHMETIC
+        assert iset.get("fmul.s").instruction_type is InstructionType.FLOAT_ARITHMETIC
+        assert iset.get("lw").instruction_type is InstructionType.LOADSTORE
+        assert iset.get("jal").instruction_type is InstructionType.JUMPBRANCH
+
+
+class TestJsonRoundTrip:
+    def test_full_set_round_trips(self):
+        iset = default_instruction_set()
+        text = instruction_set_to_json(iset)
+        clone = instruction_set_from_json(text)
+        assert clone.names() == iset.names()
+        for name in iset.names():
+            assert clone.get(name) == iset.get(name)
+
+    def test_paper_listing1_shape(self):
+        """The serialized 'add' matches Listing 1's structure."""
+        data = json.loads(instruction_set_to_json(default_instruction_set()))
+        add = next(d for d in data["instructions"] if d["name"] == "add")
+        assert add["arguments"][0] == {"name": "rd", "type": "kInt",
+                                       "writeBack": True}
+        assert add["arguments"][1] == {"name": "rs1", "type": "kInt"}
+        assert add["interpretableAs"] == "\\rs1 \\rs2 + \\rd ="
+
+    def test_bad_json_raises(self):
+        with pytest.raises(ConfigError):
+            instruction_set_from_json("{not json")
+
+
+class TestExtensibility:
+    def test_register_custom_instruction(self):
+        """The instruction set 'can be easily extended' (Sec. III-B)."""
+        custom = InstructionDef(
+            name="madd3",
+            instruction_type=InstructionType.INT_ARITHMETIC,
+            arguments=(Argument("rd", ArgType.INT, True),
+                       Argument("rs1", ArgType.INT),
+                       Argument("rs2", ArgType.INT)),
+            interpretable_as="\\rs1 \\rs2 * 3 + \\rd =",
+            fu_class=FuClass.FX, op_class="multiplication")
+        iset = register_instruction(custom)
+        assert "madd3" in iset
+        assert "add" in iset  # base set preserved
+        assert "madd3" not in default_instruction_set()  # copy, not mutation
+
+    def test_custom_instruction_executes(self):
+        from repro import Simulation
+        custom = InstructionDef(
+            name="madd3",
+            instruction_type=InstructionType.INT_ARITHMETIC,
+            arguments=(Argument("rd", ArgType.INT, True),
+                       Argument("rs1", ArgType.INT),
+                       Argument("rs2", ArgType.INT)),
+            interpretable_as="\\rs1 \\rs2 * 3 + \\rd =",
+            fu_class=FuClass.FX, op_class="multiplication")
+        iset = register_instruction(custom)
+        sim = Simulation.from_source(
+            "li a0, 5\nli a1, 6\nmadd3 a2, a0, a1\nebreak",
+            instruction_set=iset)
+        sim.run()
+        assert sim.register_value("a2") == 33
+
+    def test_bad_expression_rejected_at_definition(self):
+        bad = InstructionDef(
+            name="bogus", instruction_type=InstructionType.INT_ARITHMETIC,
+            arguments=(Argument("rd", ArgType.INT, True),),
+            interpretable_as="\\nonexistent \\rd =",
+            fu_class=FuClass.FX, op_class="addition")
+        with pytest.raises(ConfigError):
+            InstructionSet([bad])
+
+    def test_duplicate_argument_names_rejected(self):
+        with pytest.raises(ValueError):
+            InstructionDef(
+                name="dup", instruction_type=InstructionType.INT_ARITHMETIC,
+                arguments=(Argument("rs1", ArgType.INT),
+                           Argument("rs1", ArgType.INT)),
+                interpretable_as="", fu_class=FuClass.FX, op_class="addition")
+
+    def test_destination_and_sources(self):
+        add = default_instruction_set().get("add")
+        assert add.destination.name == "rd"
+        assert [a.name for a in add.sources] == ["rs1", "rs2"]

@@ -1,0 +1,435 @@
+"""Per-instruction behaviour tests.
+
+Sec. IV of the paper: *"Each instruction has its own test to verify its
+correct behavior.  This type of test typically checks the state at the end
+of the simulation."*  Every RV32IMF instruction is executed in a minimal
+program and the architectural end state is checked.
+"""
+
+import math
+import struct
+
+import pytest
+
+from repro.isa.bits import float32_round, to_int32
+from tests.conftest import run_asm
+
+
+def end_state(body: str, reg: str = "a2"):
+    sim = run_asm(body + "\n    ebreak\n")
+    return sim.register_value(reg)
+
+
+# ---------------------------------------------------------------------------
+# RV32I: register-register arithmetic
+# ---------------------------------------------------------------------------
+R_CASES = [
+    ("add", 7, 5, 12),
+    ("add", 0x7FFFFFFF, 1, -0x80000000),
+    ("sub", 7, 5, 2),
+    ("sub", 0, 1, -1),
+    ("sll", 1, 5, 32),
+    ("slt", -1, 1, 1),
+    ("slt", 1, -1, 0),
+    ("sltu", -1, 1, 0),          # 0xFFFFFFFF > 1 unsigned
+    ("sltu", 1, -1, 1),
+    ("xor", 0b1100, 0b1010, 0b0110),
+    ("srl", -4, 1, 0x7FFFFFFE),
+    ("sra", -4, 1, -2),
+    ("or", 0b1100, 0b1010, 0b1110),
+    ("and", 0b1100, 0b1010, 0b1000),
+]
+
+
+@pytest.mark.parametrize("mnem,a,b,expected", R_CASES,
+                         ids=[f"{c[0]}_{i}" for i, c in enumerate(R_CASES)])
+def test_r_type(mnem, a, b, expected):
+    assert end_state(f"""
+    li a0, {a}
+    li a1, {b}
+    {mnem} a2, a0, a1
+""") == expected
+
+
+# ---------------------------------------------------------------------------
+# RV32I: register-immediate arithmetic
+# ---------------------------------------------------------------------------
+I_CASES = [
+    ("addi", 10, 5, 15),
+    ("addi", 10, -5, 5),
+    ("slti", 3, 10, 1),
+    ("slti", 10, 3, 0),
+    ("sltiu", -1, 10, 0),
+    ("xori", 0b0110, 0b0011, 0b0101),
+    ("xori", 5, -1, ~5),          # the canonical NOT idiom
+    ("ori", 0b0100, 0b0011, 0b0111),
+    ("andi", 0b0110, 0b0011, 0b0010),
+    ("slli", 3, 4, 48),
+    ("srli", -1, 28, 0xF),
+    ("srai", -16, 2, -4),
+]
+
+
+@pytest.mark.parametrize("mnem,a,imm,expected", I_CASES,
+                         ids=[f"{c[0]}_{i}" for i, c in enumerate(I_CASES)])
+def test_i_type(mnem, a, imm, expected):
+    assert end_state(f"""
+    li a0, {a}
+    {mnem} a2, a0, {imm}
+""") == expected
+
+
+# ---------------------------------------------------------------------------
+# RV32I: upper immediates
+# ---------------------------------------------------------------------------
+def test_lui():
+    assert end_state("    lui a2, 0x12345") == to_int32(0x12345000)
+
+
+def test_lui_sign_extends():
+    assert end_state("    lui a2, 0xFFFFF") == to_int32(0xFFFFF000)
+
+
+def test_auipc():
+    # auipc at pc=8 with imm 1 -> 8 + 0x1000
+    assert end_state("""
+    nop
+    nop
+    auipc a2, 1
+""") == 8 + 0x1000
+
+
+# ---------------------------------------------------------------------------
+# RV32I: jumps
+# ---------------------------------------------------------------------------
+def test_jal_writes_link_and_jumps():
+    sim = run_asm("""
+    jal  x1, target
+    li   a0, 111      # skipped
+    ebreak
+target:
+    li   a0, 222
+    ebreak
+""")
+    assert sim.register_value("a0") == 222
+    assert sim.register_value("x1") == 4   # return address = pc+4
+
+
+def test_jalr_indirect_jump():
+    sim = run_asm("""
+    la   t0, target
+    jalr x1, t0, 0
+    li   a0, 111
+    ebreak
+target:
+    li   a0, 222
+    ebreak
+""")
+    assert sim.register_value("a0") == 222
+
+
+def test_jalr_clears_bit_zero():
+    sim = run_asm("""
+    la   t0, target
+    addi t0, t0, 1       # misaligned on purpose
+    jalr x0, t0, 0
+    li   a0, 111
+    ebreak
+target:
+    li   a0, 222
+    ebreak
+""")
+    assert sim.register_value("a0") == 222
+
+
+# ---------------------------------------------------------------------------
+# RV32I: conditional branches (taken and not-taken for each)
+# ---------------------------------------------------------------------------
+B_CASES = [
+    ("beq", 5, 5, True), ("beq", 5, 6, False),
+    ("bne", 5, 6, True), ("bne", 5, 5, False),
+    ("blt", -1, 0, True), ("blt", 0, -1, False),
+    ("bge", 0, -1, True), ("bge", -1, 0, False),
+    ("bge", 3, 3, True),
+    ("bltu", 1, -1, True), ("bltu", -1, 1, False),
+    ("bgeu", -1, 1, True), ("bgeu", 1, -1, False),
+]
+
+
+@pytest.mark.parametrize("mnem,a,b,taken", B_CASES,
+                         ids=[f"{c[0]}_{'t' if c[3] else 'nt'}_{i}"
+                              for i, c in enumerate(B_CASES)])
+def test_branch(mnem, a, b, taken):
+    sim = run_asm(f"""
+    li a0, {a}
+    li a1, {b}
+    {mnem} a0, a1, yes
+    li a2, 100
+    ebreak
+yes:
+    li a2, 200
+    ebreak
+""")
+    assert sim.register_value("a2") == (200 if taken else 100)
+
+
+# ---------------------------------------------------------------------------
+# RV32I: loads and stores (each width, each signedness)
+# ---------------------------------------------------------------------------
+def test_sw_lw():
+    sim = run_asm("""
+    .data
+buf: .zero 16
+    .text
+    la t0, buf
+    li t1, -123456
+    sw t1, 4(t0)
+    lw a2, 4(t0)
+    ebreak
+""")
+    assert sim.register_value("a2") == -123456
+
+
+def test_sb_lb_lbu():
+    sim = run_asm("""
+    .data
+buf: .zero 4
+    .text
+    la t0, buf
+    li t1, 0xFF
+    sb t1, 0(t0)
+    lb a2, 0(t0)
+    lbu a3, 0(t0)
+    ebreak
+""")
+    assert sim.register_value("a2") == -1
+    assert sim.register_value("a3") == 255
+
+
+def test_sh_lh_lhu():
+    sim = run_asm("""
+    .data
+buf: .zero 4
+    .text
+    la t0, buf
+    li t1, 0x8000
+    sh t1, 0(t0)
+    lh a2, 0(t0)
+    lhu a3, 0(t0)
+    ebreak
+""")
+    assert sim.register_value("a2") == -32768
+    assert sim.register_value("a3") == 32768
+
+
+def test_store_byte_does_not_clobber_neighbours():
+    sim = run_asm("""
+    .data
+buf: .word 0x11223344
+    .text
+    la t0, buf
+    li t1, 0xAA
+    sb t1, 1(t0)
+    lw a2, 0(t0)
+    ebreak
+""")
+    assert sim.register_value("a2") == to_int32(0x1122AA44)
+
+
+def test_negative_offset_addressing():
+    sim = run_asm("""
+    .data
+buf: .word 7, 8
+    .text
+    la t0, buf
+    addi t0, t0, 8
+    lw a2, -8(t0)
+    lw a3, -4(t0)
+    ebreak
+""")
+    assert sim.register_value("a2") == 7
+    assert sim.register_value("a3") == 8
+
+
+# ---------------------------------------------------------------------------
+# RV32I: system
+# ---------------------------------------------------------------------------
+def test_fence_is_noop():
+    assert end_state("    li a2, 5\n    fence") == 5
+
+
+def test_ecall_halts():
+    sim = run_asm("    li a0, 1\n    ecall\n    li a0, 2\n    ebreak")
+    assert "ecall" in sim.halted
+    assert sim.register_value("a0") == 1
+
+
+def test_ebreak_halts():
+    sim = run_asm("    ebreak\n    li a0, 9\n    ebreak")
+    assert sim.register_value("a0") == 0
+
+
+# ---------------------------------------------------------------------------
+# M extension
+# ---------------------------------------------------------------------------
+M_CASES = [
+    ("mul", 6, 7, 42),
+    ("mul", 100000, 100000, to_int32(10_000_000_000)),
+    ("mulh", 0x40000000, 4, 1),
+    ("mulh", -1, -1, 0),
+    ("mulhu", -1, -1, to_int32(0xFFFFFFFE)),
+    ("mulhsu", -1, 2, -1),
+    ("div", 7, 2, 3),
+    ("div", -7, 2, -3),
+    ("div", 7, 0, -1),                     # RISC-V defined div-by-zero
+    ("div", -2**31, -1, -2**31),           # overflow case
+    ("divu", -2, 3, to_int32((2**32 - 2) // 3)),
+    ("rem", 7, 2, 1),
+    ("rem", -7, 2, -1),
+    ("rem", 7, 0, 7),
+    ("remu", -1, 10, to_int32((2**32 - 1) % 10)),
+]
+
+
+@pytest.mark.parametrize("mnem,a,b,expected", M_CASES,
+                         ids=[f"{c[0]}_{i}" for i, c in enumerate(M_CASES)])
+def test_m_extension(mnem, a, b, expected):
+    from repro import CpuConfig
+    from repro import Simulation
+    config = CpuConfig()
+    config.halt_on_exception = False  # div-by-zero cases run to completion
+    sim = Simulation.from_source(f"""
+    li a0, {a}
+    li a1, {b}
+    {mnem} a2, a0, a1
+    ebreak
+""", config=config)
+    sim.run()
+    assert sim.register_value("a2") == expected
+
+
+def test_div_by_zero_reports_exception():
+    sim = run_asm("""
+    li a0, 5
+    li a1, 0
+    div a2, a0, a1
+    ebreak
+""")
+    assert sim.halted.startswith("exception")
+
+
+# ---------------------------------------------------------------------------
+# F extension
+# ---------------------------------------------------------------------------
+def fp_program(body: str) -> str:
+    return """
+    .data
+fdata: .float 1.5, -2.25, 0.0, 100.0
+    .text
+    la   t0, fdata
+    flw  fa0, 0(t0)
+    flw  fa1, 4(t0)
+""" + body + "\n    ebreak\n"
+
+
+F_REG_CASES = [
+    ("fadd.s fa2, fa0, fa1", -0.75),
+    ("fsub.s fa2, fa0, fa1", 3.75),
+    ("fmul.s fa2, fa0, fa1", -3.375),
+    ("fdiv.s fa2, fa0, fa1", float32_round(1.5 / -2.25)),
+    ("fmin.s fa2, fa0, fa1", -2.25),
+    ("fmax.s fa2, fa0, fa1", 1.5),
+    ("fsgnj.s fa2, fa0, fa1", -1.5),
+    ("fsgnjn.s fa2, fa0, fa1", 1.5),
+    ("fsgnjx.s fa2, fa0, fa1", -1.5),
+    ("fmadd.s fa2, fa0, fa0, fa1", 0.0),       # 1.5*1.5 - 2.25
+    ("fmsub.s fa2, fa0, fa0, fa1", 4.5),       # 1.5*1.5 + 2.25
+    ("fnmsub.s fa2, fa0, fa0, fa1", -4.5),     # -(1.5*1.5) - 2.25
+    ("fnmadd.s fa2, fa0, fa0, fa1", 0.0),      # -(1.5*1.5) + 2.25
+]
+
+
+@pytest.mark.parametrize("line,expected", F_REG_CASES,
+                         ids=[c[0].split()[0] + f"_{i}"
+                              for i, c in enumerate(F_REG_CASES)])
+def test_f_arith(line, expected):
+    sim = run_asm(fp_program("    " + line))
+    assert sim.register_value("fa2") == pytest.approx(expected, abs=1e-6)
+
+
+def test_fsqrt():
+    sim = run_asm(fp_program("""
+    flw fa3, 12(t0)
+    fsqrt.s fa2, fa3
+"""))
+    assert sim.register_value("fa2") == 10.0
+
+
+F_CMP_CASES = [
+    ("feq.s a2, fa0, fa0", 1),
+    ("feq.s a2, fa0, fa1", 0),
+    ("flt.s a2, fa1, fa0", 1),
+    ("flt.s a2, fa0, fa1", 0),
+    ("fle.s a2, fa0, fa0", 1),
+    ("fle.s a2, fa0, fa1", 0),
+]
+
+
+@pytest.mark.parametrize("line,expected", F_CMP_CASES,
+                         ids=[f"fcmp_{i}" for i in range(len(F_CMP_CASES))])
+def test_f_compare(line, expected):
+    sim = run_asm(fp_program("    " + line))
+    assert sim.register_value("a2") == expected
+
+
+def test_fclass():
+    sim = run_asm(fp_program("    fclass.s a2, fa1"))
+    assert sim.register_value("a2") == (1 << 1)   # negative normal
+
+
+def test_fcvt_w_s():
+    sim = run_asm(fp_program("    fcvt.w.s a2, fa1"))
+    assert sim.register_value("a2") == -2         # trunc toward zero
+
+
+def test_fcvt_wu_s():
+    sim = run_asm(fp_program("    fcvt.wu.s a2, fa0"))
+    assert sim.register_value("a2") == 1
+
+
+def test_fcvt_s_w():
+    sim = run_asm("    li a0, -7\n    fcvt.s.w fa2, a0\n    ebreak")
+    assert sim.register_value("fa2") == -7.0
+
+
+def test_fcvt_s_wu():
+    sim = run_asm("    li a0, -1\n    fcvt.s.wu fa2, a0\n    ebreak")
+    assert sim.register_value("fa2") == float32_round(float(2**32 - 1))
+
+
+def test_fmv_x_w_and_back():
+    sim = run_asm("""
+    li   a0, 0x40490FDB
+    fmv.w.x fa2, a0
+    fmv.x.w a2, fa2
+    ebreak
+""")
+    assert sim.register_value("a2") == 0x40490FDB
+    assert sim.register_value("fa2") == pytest.approx(math.pi, abs=1e-6)
+
+
+def test_flw_fsw_roundtrip():
+    sim = run_asm("""
+    .data
+src: .float 2.75
+dst: .zero 4
+    .text
+    la  t0, src
+    flw fa0, 0(t0)
+    fsw fa0, 4(t0)
+    flw fa2, 4(t0)
+    ebreak
+""")
+    assert sim.register_value("fa2") == 2.75
+    raw = sim.memory_bytes(sim.symbol_address("dst"), 4)
+    assert struct.unpack("<f", raw)[0] == 2.75

@@ -1,0 +1,105 @@
+"""Register file and alias tests."""
+
+import pytest
+
+from repro.errors import AsmSyntaxError
+from repro.isa.registers import (
+    RegisterDataType, RegisterFile, canonical_fp_reg, canonical_int_reg,
+    is_fp_register, parse_register,
+)
+
+
+class TestAliases:
+    @pytest.mark.parametrize("alias,canonical", [
+        ("zero", "x0"), ("ra", "x1"), ("sp", "x2"), ("gp", "x3"),
+        ("t0", "x5"), ("s0", "x8"), ("fp", "x8"), ("a0", "x10"),
+        ("a7", "x17"), ("s11", "x27"), ("t6", "x31"),
+    ])
+    def test_int_aliases(self, alias, canonical):
+        assert canonical_int_reg(alias) == canonical
+
+    @pytest.mark.parametrize("alias,canonical", [
+        ("ft0", "f0"), ("fs0", "f8"), ("fa0", "f10"), ("ft11", "f31"),
+    ])
+    def test_fp_aliases(self, alias, canonical):
+        assert canonical_fp_reg(alias) == canonical
+
+    def test_canonical_names_pass_through(self):
+        assert canonical_int_reg("x17") == "x17"
+        assert canonical_fp_reg("f9") == "f9"
+
+    def test_case_insensitive(self):
+        assert canonical_int_reg("A0") == "x10"
+
+    def test_unknowns(self):
+        assert canonical_int_reg("x32") is None
+        assert canonical_int_reg("f1") is None
+        assert canonical_fp_reg("a0") is None
+
+    def test_parse_register_raises(self):
+        with pytest.raises(AsmSyntaxError):
+            parse_register("q7")
+
+    def test_is_fp_register(self):
+        assert is_fp_register("f3")
+        assert not is_fp_register("x3")
+        assert not is_fp_register("fp")  # alias of x8!
+
+
+class TestRegisterFile:
+    def test_x0_hardwired_zero(self):
+        rf = RegisterFile()
+        rf.write("x0", 42)
+        assert rf.read("x0") == 0
+
+    def test_int_write_wraps_to_32_bits(self):
+        rf = RegisterFile()
+        rf.write("x5", 2**31)
+        assert rf.read("x5") == -2**31
+
+    def test_fp_write_rounds_to_binary32(self):
+        rf = RegisterFile()
+        rf.write("f1", 1.0 + 1e-12)
+        assert rf.read("f1") == 1.0
+
+    def test_separate_files(self):
+        rf = RegisterFile()
+        rf.write("x3", 7)
+        rf.write("f3", 2.5)
+        assert rf.read("x3") == 7
+        assert rf.read("f3") == 2.5
+
+    def test_snapshot_restore(self):
+        rf = RegisterFile()
+        rf.write("x7", 123)
+        rf.write("f2", 4.5)
+        snap = rf.snapshot()
+        other = RegisterFile()
+        other.restore(snap)
+        assert other == rf
+
+    def test_reset(self):
+        rf = RegisterFile()
+        rf.write("x7", 9)
+        rf.reset()
+        assert rf.read("x7") == 0
+
+    def test_display_value_char(self):
+        rf = RegisterFile()
+        rf.write("x5", ord("A"), dtype=RegisterDataType.CHAR)
+        assert rf.display_value("x5") == "'A'"
+
+    def test_display_value_bool(self):
+        rf = RegisterFile()
+        rf.write("x5", 1, dtype=RegisterDataType.BOOL)
+        assert rf.display_value("x5") == "true"
+
+    def test_display_value_uint(self):
+        rf = RegisterFile()
+        rf.write("x5", -1, dtype=RegisterDataType.UINT)
+        assert rf.display_value("x5") == str(2**32 - 1)
+
+    def test_default_dtype_by_file(self):
+        rf = RegisterFile()
+        assert rf.data_type("x1") is RegisterDataType.INT
+        assert rf.data_type("f1") is RegisterDataType.FLOAT

@@ -1,0 +1,129 @@
+"""Main memory (1-D byte array + transactions) tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import MemoryAccessError
+from repro.memory.main_memory import MainMemory
+from repro.memory.transaction import MemoryTransaction
+
+
+class TestDataAccess:
+    def test_int_roundtrip_signed(self):
+        mem = MainMemory(1024)
+        mem.write_int(100, -5, 4)
+        assert mem.read_int(100, 4, signed=True) == -5
+        assert mem.read_int(100, 4, signed=False) == 2**32 - 5
+
+    def test_byte_and_half(self):
+        mem = MainMemory(1024)
+        mem.write_int(0, 0xAB, 1)
+        mem.write_int(2, 0x1234, 2)
+        assert mem.read_int(0, 1, signed=False) == 0xAB
+        assert mem.read_int(2, 2, signed=False) == 0x1234
+
+    def test_little_endian(self):
+        mem = MainMemory(64)
+        mem.write_int(0, 0x11223344, 4)
+        assert mem.read_bytes(0, 4) == b"\x44\x33\x22\x11"
+
+    def test_float_roundtrip(self):
+        mem = MainMemory(64)
+        mem.write_float(8, 2.5)
+        assert mem.read_float(8) == 2.5
+
+    def test_double_roundtrip(self):
+        mem = MainMemory(64)
+        mem.write_double(8, 3.141592653589793)
+        assert mem.read_double(8) == 3.141592653589793
+
+    def test_bounds_checking(self):
+        mem = MainMemory(64)
+        with pytest.raises(MemoryAccessError):
+            mem.read_bytes(62, 4)
+        with pytest.raises(MemoryAccessError):
+            mem.read_bytes(-1, 1)
+        with pytest.raises(MemoryAccessError):
+            mem.write_int(64, 0, 1)
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            MainMemory(0)
+
+    @given(st.integers(0, 60), st.binary(min_size=1, max_size=4))
+    def test_write_read_roundtrip_property(self, addr, payload):
+        mem = MainMemory(64)
+        mem.write_bytes(addr, payload)
+        assert mem.read_bytes(addr, len(payload)) == payload
+
+
+class TestTransactions:
+    def test_load_transaction_stamped(self):
+        mem = MainMemory(128, load_latency=7)
+        mem.write_int(16, 99, 4)
+        tx = MemoryTransaction(address=16, size=4, is_store=False)
+        mem.register(tx, cycle=10)
+        assert tx.issued_cycle == 10
+        assert tx.finished_cycle == 17
+        assert tx.latency == 7
+        assert int.from_bytes(tx.data, "little") == 99
+        assert not tx.is_finished(16)
+        assert tx.is_finished(17)
+
+    def test_store_transaction_writes_data(self):
+        mem = MainMemory(128, store_latency=3)
+        tx = MemoryTransaction(address=8, size=4, is_store=True,
+                               data=b"\x01\x02\x03\x04")
+        mem.register(tx, cycle=0)
+        assert tx.finished_cycle == 3
+        assert mem.read_bytes(8, 4) == b"\x01\x02\x03\x04"
+
+    def test_out_of_range_transaction_raises(self):
+        mem = MainMemory(32)
+        with pytest.raises(MemoryAccessError):
+            mem.register(MemoryTransaction(address=30, size=4,
+                                           is_store=False), 0)
+
+    def test_statistics_counters(self):
+        mem = MainMemory(128)
+        mem.register(MemoryTransaction(address=0, size=4, is_store=False), 0)
+        mem.register(MemoryTransaction(address=0, size=2, is_store=True,
+                                       data=b"ab"), 1)
+        stats = mem.stats()
+        assert stats["loads"] == 1
+        assert stats["stores"] == 1
+        assert stats["bytesRead"] == 4
+        assert stats["bytesWritten"] == 2
+
+    def test_transaction_ids_unique(self):
+        a = MemoryTransaction(address=0, size=1, is_store=False)
+        b = MemoryTransaction(address=0, size=1, is_store=False)
+        assert a.transaction_id != b.transaction_id
+
+    def test_to_json(self):
+        tx = MemoryTransaction(address=4, size=4, is_store=False,
+                               instruction_id=9)
+        data = tx.to_json()
+        assert data["address"] == 4 and data["instructionId"] == 9
+
+
+class TestLifecycle:
+    def test_load_image(self):
+        mem = MainMemory(64)
+        mem.load_image(b"\xAA\xBB", base=10)
+        assert mem.read_bytes(10, 2) == b"\xaa\xbb"
+
+    def test_reset(self):
+        mem = MainMemory(64)
+        mem.write_int(0, 5, 4)
+        mem.register(MemoryTransaction(address=0, size=4, is_store=False), 0)
+        mem.reset()
+        assert mem.read_int(0, 4) == 0
+        assert mem.stats()["loads"] == 0
+
+    def test_dump_format(self):
+        mem = MainMemory(64)
+        mem.write_bytes(0, b"Hi!\x00")
+        dump = mem.dump(0, 16)
+        assert "Hi!" in dump
+        assert "48 69 21 00" in dump

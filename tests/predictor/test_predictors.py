@@ -1,0 +1,254 @@
+"""Branch predictor tests: bit predictors, BTB, full unit."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.predictor.bits import (OneBitPredictor, TwoBitPredictor,
+                                  ZeroBitPredictor, make_bit_predictor)
+from repro.predictor.btb import BranchTargetBuffer
+from repro.predictor.unit import BranchPredictor, PredictorConfig
+
+
+class TestZeroBit:
+    def test_static_never_learns(self):
+        p = ZeroBitPredictor(0)
+        assert p.predict() is False
+        p.update(True)
+        p.update(True)
+        assert p.predict() is False
+
+    def test_always_taken_variant(self):
+        p = ZeroBitPredictor(1)
+        assert p.predict() is True
+        assert p.state_name() == "always-taken"
+
+
+class TestOneBit:
+    def test_tracks_last_outcome(self):
+        p = OneBitPredictor(0)
+        assert p.predict() is False
+        p.update(True)
+        assert p.predict() is True
+        p.update(False)
+        assert p.predict() is False
+
+    def test_alternating_pattern_always_wrong(self):
+        """The classic 1-bit pathology on T,N,T,N..."""
+        p = OneBitPredictor(0)
+        wrong = 0
+        outcome = True
+        for _ in range(20):
+            if p.predict() != outcome:
+                wrong += 1
+            p.update(outcome)
+            outcome = not outcome
+        assert wrong == 20
+
+
+class TestTwoBit:
+    def test_hysteresis(self):
+        p = TwoBitPredictor(3)  # strongly taken
+        p.update(False)         # one not-taken
+        assert p.predict() is True   # still predicts taken
+        p.update(False)
+        assert p.predict() is False  # two in a row flips it
+
+    def test_saturation(self):
+        p = TwoBitPredictor(0)
+        for _ in range(10):
+            p.update(False)
+        assert p.state == 0
+        for _ in range(10):
+            p.update(True)
+        assert p.state == 3
+
+    def test_state_names(self):
+        assert TwoBitPredictor(0).state_name() == "strongly-not-taken"
+        assert TwoBitPredictor(2).state_name() == "weakly-taken"
+
+    def test_loop_pattern_mostly_right(self):
+        """9 taken + 1 not-taken loop branch: 2-bit stays >= 80 % right."""
+        p = TwoBitPredictor(2)
+        correct = 0
+        total = 0
+        for _ in range(10):          # 10 loop executions
+            for i in range(10):
+                outcome = i != 9     # taken except the exit iteration
+                correct += p.predict() == outcome
+                total += 1
+                p.update(outcome)
+        assert correct / total >= 0.8
+
+
+class TestFactory:
+    @pytest.mark.parametrize("kind,cls", [
+        ("zero", ZeroBitPredictor), ("one", OneBitPredictor),
+        ("two", TwoBitPredictor), ("0bit", ZeroBitPredictor),
+        ("2bit", TwoBitPredictor),
+    ])
+    def test_kinds(self, kind, cls):
+        assert isinstance(make_bit_predictor(kind), cls)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigError):
+            make_bit_predictor("three")
+
+    def test_initial_state_validated(self):
+        with pytest.raises(ConfigError):
+            make_bit_predictor("one", 2)
+        with pytest.raises(ConfigError):
+            make_bit_predictor("two", 4)
+
+
+class TestBtb:
+    def test_lookup_miss_then_hit(self):
+        btb = BranchTargetBuffer(16)
+        assert btb.lookup(0x40) is None
+        btb.update(0x40, 0x100)
+        assert btb.lookup(0x40) == 0x100
+
+    def test_aliasing_eviction(self):
+        btb = BranchTargetBuffer(4)
+        btb.update(0x00, 0x10)
+        btb.update(0x00 + 4 * 4, 0x20)   # same index, different pc
+        assert btb.lookup(0x00) is None
+        assert btb.lookup(0x10) == 0x20
+
+    def test_invalidate(self):
+        btb = BranchTargetBuffer(8)
+        btb.update(0x8, 0x80)
+        btb.invalidate(0x8)
+        assert btb.lookup(0x8) is None
+
+    def test_stats(self):
+        btb = BranchTargetBuffer(8)
+        btb.lookup(0)
+        btb.update(0, 4)
+        btb.lookup(0)
+        assert btb.lookups == 2 and btb.hits == 1
+
+    def test_size_validated(self):
+        with pytest.raises(ConfigError):
+            BranchTargetBuffer(0)
+
+    def test_snapshot(self):
+        btb = BranchTargetBuffer(8)
+        btb.update(12, 40)
+        assert btb.snapshot() == [{"pc": 12, "target": 40}]
+
+
+class TestBranchPredictorUnit:
+    def test_unconditional_predicts_taken(self):
+        bp = BranchPredictor(PredictorConfig())
+        taken, target = bp.predict(0, unconditional=True)
+        assert taken and target is None          # BTB cold
+        bp.train(0, True, 0x40, True, None)
+        taken, target = bp.predict(0, unconditional=True)
+        assert taken and target == 0x40
+
+    def test_training_improves_accuracy(self):
+        bp = BranchPredictor(PredictorConfig(predictor_type="two",
+                                             default_state=1))
+        # always-taken branch at pc 8
+        for _ in range(5):
+            taken, target = bp.predict(8)
+            bp.train(8, True, 0x80, taken, target)
+        taken, target = bp.predict(8)
+        assert taken and target == 0x80
+
+    def test_taken_without_target_counts_as_mispredict(self):
+        bp = BranchPredictor(PredictorConfig(predictor_type="zero",
+                                             default_state=1))
+        correct = bp.train(0, True, 0x40, predicted_taken=True,
+                           predicted_target=None)
+        assert not correct
+        assert bp.mispredictions == 1
+
+    def test_not_taken_correct_regardless_of_target(self):
+        bp = BranchPredictor(PredictorConfig())
+        assert bp.train(0, False, 0, predicted_taken=False,
+                        predicted_target=None)
+
+    def test_accuracy_metric(self):
+        bp = BranchPredictor(PredictorConfig(predictor_type="zero",
+                                             default_state=0))
+        bp.train(0, False, 0, False, None)   # correct
+        bp.train(0, True, 8, False, None)    # wrong
+        assert bp.accuracy == 0.5
+
+    def test_local_vs_global_history_differ(self):
+        """Branch B mirrors a *pseudorandom* branch A.  B's own history is
+        uninformative (local prediction ~50 %), but A's outcome sits in the
+        global history right before B is predicted, so gshare learns B
+        almost perfectly."""
+        import random
+
+        def run(use_global):
+            rng = random.Random(17)
+            bp = BranchPredictor(PredictorConfig(
+                predictor_type="two", default_state=1,
+                use_global_history=use_global, history_bits=4, pht_size=256))
+            correct_b = 0
+            for _ in range(400):
+                outcome_a = rng.random() < 0.5
+                taken, target, idx = bp.predict_indexed(0x10)
+                ok = bp.train(0x10, outcome_a, 0x40, taken, target, idx)
+                if not ok:
+                    # the pipeline flushes on a mispredict, repairing the
+                    # speculative history to actual outcomes before B is
+                    # (re)fetched — reproduce that here
+                    bp.on_flush()
+                taken, target, idx = bp.predict_indexed(0x20)
+                correct_b += bp.train(0x20, outcome_a, 0x80, taken, target,
+                                      idx)
+            return correct_b
+        global_correct = run(True)
+        local_correct = run(False)
+        assert global_correct > local_correct + 50
+
+    def test_predict_indexed_trains_same_entry(self):
+        """The index captured at prediction must address the entry that
+        training updates (coherent speculative gshare)."""
+        bp = BranchPredictor(PredictorConfig(
+            predictor_type="two", default_state=1,
+            use_global_history=True, history_bits=4))
+        taken, target, idx = bp.predict_indexed(0x30)
+        bp.train(0x30, True, 0x60, taken, target, idx)
+        assert bp._pht[idx] is not None
+
+    def test_on_flush_repairs_speculative_history(self):
+        bp = BranchPredictor(PredictorConfig(
+            predictor_type="two", default_state=3,  # predicts taken
+            use_global_history=True, history_bits=4))
+        bp.predict_indexed(0x10)   # speculative history shifts in a 1
+        bp.predict_indexed(0x14)
+        assert bp._spec_global != bp._commit_global
+        bp.on_flush()
+        assert bp._spec_global == bp._commit_global
+
+    def test_entry_state_string(self):
+        bp = BranchPredictor(PredictorConfig(predictor_type="two",
+                                             default_state=2))
+        assert bp.entry_state(0) == "weakly-taken"
+
+    def test_reset(self):
+        bp = BranchPredictor(PredictorConfig())
+        bp.train(0, True, 4, False, None)
+        bp.reset()
+        assert bp.predictions == 0
+        assert bp.btb.lookup(0) is None
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            PredictorConfig(btb_size=0).validate()
+        with pytest.raises(ConfigError):
+            PredictorConfig(history_bits=30).validate()
+        with pytest.raises(ConfigError):
+            PredictorConfig(predictor_type="five").validate()
+
+    def test_config_json_roundtrip(self):
+        config = PredictorConfig(btb_size=128, pht_size=256,
+                                 predictor_type="one", default_state=1,
+                                 use_global_history=True, history_bits=8)
+        clone = PredictorConfig.from_json(config.to_json())
+        assert clone == config

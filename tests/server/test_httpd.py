@@ -1,0 +1,158 @@
+"""HTTP server tests: real sockets, gzip, overhead mode, load test."""
+
+import gzip
+import http.client
+import json
+import time
+
+import pytest
+
+from repro.server.client import SimClient
+from repro.server.httpd import SimServer
+from repro.server.loadtest import (DEFAULT_PROGRAMS, LoadTestConfig,
+                                   format_table1, run_load_test)
+from repro.server.protocol import ApiError
+
+
+@pytest.fixture(scope="module")
+def server():
+    srv = SimServer(("127.0.0.1", 0))
+    srv.start_background()
+    yield srv
+    srv.shutdown()
+
+
+@pytest.fixture
+def client(server):
+    c = SimClient("127.0.0.1", server.port)
+    yield c
+    c.close()
+
+
+class TestHttpBasics:
+    def test_health_roundtrip(self, client):
+        assert client.health()["status"] == "ok"
+
+    def test_compile_over_http(self, client):
+        out = client.compile("int main(void){return 1;}", 1)
+        assert out["success"]
+
+    def test_simulate_over_http(self, client):
+        out = client.simulate("li a0, 9\nebreak")
+        assert out["result"]["statistics"]["committedInstructions"] == 2
+
+    def test_error_status_propagates(self, client):
+        with pytest.raises(ApiError) as info:
+            client.request("POST", "/definitely/not/there", {})
+        assert info.value.status == 404
+
+    def test_bad_json_body_is_400(self, server):
+        conn = http.client.HTTPConnection("127.0.0.1", server.port)
+        conn.request("POST", "/compile", body=b"{nope",
+                     headers={"Content-Type": "application/json"})
+        response = conn.getresponse()
+        assert response.status == 400
+        response.read()
+        conn.close()
+
+    def test_internal_errors_do_not_kill_server(self, client, server):
+        # a request that trips a 500 path must leave the server serving
+        try:
+            client.request("POST", "/simulate", {"code": 123})
+        except ApiError:
+            pass
+        assert client.health()["status"] == "ok"
+
+
+class TestGzip:
+    def _raw_request(self, server, accept_gzip):
+        conn = http.client.HTTPConnection("127.0.0.1", server.port)
+        headers = {"Content-Type": "application/json"}
+        if accept_gzip:
+            headers["Accept-Encoding"] = "gzip"
+        body = json.dumps({"code": DEFAULT_PROGRAMS[0]}).encode()
+        conn.request("POST", "/simulate", body=body, headers=headers)
+        response = conn.getresponse()
+        raw = response.read()
+        encoding = response.getheader("Content-Encoding", "")
+        conn.close()
+        return raw, encoding
+
+    def test_gzip_when_requested(self, server):
+        raw, encoding = self._raw_request(server, accept_gzip=True)
+        assert encoding == "gzip"
+        data = json.loads(gzip.decompress(raw))
+        assert data["success"]
+
+    def test_identity_when_not_requested(self, server):
+        raw, encoding = self._raw_request(server, accept_gzip=False)
+        assert encoding == ""
+        assert json.loads(raw)["success"]
+
+    def test_gzip_actually_smaller(self, server):
+        compressed, _ = self._raw_request(server, True)
+        plain, _ = self._raw_request(server, False)
+        assert len(compressed) < len(plain)
+
+    def test_gzip_request_body_accepted(self, server):
+        conn = http.client.HTTPConnection("127.0.0.1", server.port)
+        body = gzip.compress(json.dumps({"code": "nop\nebreak"}).encode())
+        conn.request("POST", "/parseAsm", body=body,
+                     headers={"Content-Type": "application/json",
+                              "Content-Encoding": "gzip"})
+        response = conn.getresponse()
+        data = json.loads(response.read())
+        conn.close()
+        assert data["success"]
+
+
+class TestOverheadMode:
+    def test_docker_overhead_slows_requests(self):
+        fast = SimServer(("127.0.0.1", 0))
+        slow = SimServer(("127.0.0.1", 0), overhead_ms=30.0)
+        fast.start_background()
+        slow.start_background()
+        try:
+            def latency(port):
+                client = SimClient("127.0.0.1", port)
+                client.health()  # warm up the connection
+                t0 = time.monotonic()
+                for _ in range(3):
+                    client.health()
+                client.close()
+                return time.monotonic() - t0
+            assert latency(slow.port) > latency(fast.port) + 0.05
+        finally:
+            fast.shutdown()
+            slow.shutdown()
+
+
+class TestSessionsOverHttp:
+    def test_interactive_session(self, client):
+        sid = client.session_new(DEFAULT_PROGRAMS[0])
+        state = client.session_step(sid, 4)["state"]
+        assert state["cycle"] == 4
+        state = client.session_step(sid, -2)["state"]
+        assert state["cycle"] == 2
+        assert client.session_close(sid)["success"]
+
+
+class TestLoadTestHarness:
+    def test_small_closed_loop_run(self, server):
+        config = LoadTestConfig(users=4, steps_per_user=3, ramp_up_s=0.1,
+                                think_time_s=0.0, use_gzip=True)
+        result = run_load_test("127.0.0.1", server.port, config)
+        assert result.errors == 0
+        # 4 users x (1 session_new + 3 steps)
+        assert result.transactions == 16
+        assert result.median_ms > 0
+        assert result.p90_ms >= result.median_ms
+        assert result.throughput_tps > 0
+
+    def test_row_format(self, server):
+        config = LoadTestConfig(users=2, steps_per_user=2, ramp_up_s=0.0,
+                                think_time_s=0.0)
+        row = run_load_test("127.0.0.1", server.port, config).row("Direct")
+        assert row["mode"] == "Direct" and row["users"] == 2
+        table = format_table1([row])
+        assert "Direct" in table and "Throughput" in table

@@ -1,0 +1,170 @@
+"""Protocol-layer tests (no HTTP transport)."""
+
+import pytest
+
+from repro.core.config import CpuConfig
+from repro.server.protocol import Api, ApiError
+
+
+@pytest.fixture
+def api():
+    return Api()
+
+
+PROGRAM = """
+    li a0, 0
+    li t0, 1
+    li t1, 5
+loop:
+    add a0, a0, t0
+    addi t0, t0, 1
+    ble t0, t1, loop
+    ebreak
+"""
+
+
+class TestMetaEndpoints:
+    def test_health(self, api):
+        out = api.handle("GET", "/health", None)
+        assert out["status"] == "ok"
+
+    def test_schema_lists_endpoints(self, api):
+        out = api.handle("GET", "/schema", None)
+        paths = {e["path"] for e in out["endpoints"]}
+        assert {"/compile", "/parseAsm", "/simulate", "/session/new",
+                "/session/step"} <= paths
+
+    def test_unknown_endpoint_404(self, api):
+        with pytest.raises(ApiError) as info:
+            api.handle("POST", "/nope", {})
+        assert info.value.status == 404
+
+
+class TestCompile:
+    def test_success(self, api):
+        out = api.handle("POST", "/compile",
+                         {"code": "int main(void){return 3;}",
+                          "optimizeLevel": 2})
+        assert out["success"]
+        assert "main:" in out["assembly"]
+        assert out["lineMap"]
+
+    def test_error_reported_with_position(self, api):
+        out = api.handle("POST", "/compile", {"code": "int main( {"})
+        assert not out["success"]
+        assert out["errors"][0]["line"] >= 1
+
+    def test_missing_code(self, api):
+        with pytest.raises(ApiError):
+            api.handle("POST", "/compile", {})
+
+    def test_bad_level(self, api):
+        with pytest.raises(ApiError):
+            api.handle("POST", "/compile", {"code": "int main(void){return 0;}",
+                                            "optimizeLevel": 9})
+
+
+class TestParseAsm:
+    def test_valid(self, api):
+        out = api.handle("POST", "/parseAsm", {"code": PROGRAM})
+        assert out["success"]
+        assert out["instructionCount"] == 7
+        assert "loop" in out["labels"]
+
+    def test_invalid_reports_line(self, api):
+        out = api.handle("POST", "/parseAsm", {"code": "nop\nfrob x1"})
+        assert not out["success"]
+        assert out["errors"][0]["line"] == 2
+
+
+class TestSimulate:
+    def test_batch_run(self, api):
+        out = api.handle("POST", "/simulate", {"code": PROGRAM})
+        assert out["success"]
+        assert out["result"]["statistics"]["committedInstructions"] > 0
+
+    def test_with_config_preset(self, api):
+        out = api.handle("POST", "/simulate",
+                         {"code": PROGRAM, "config": "wide"})
+        assert out["success"]
+
+    def test_with_config_json(self, api):
+        out = api.handle("POST", "/simulate",
+                         {"code": PROGRAM,
+                          "config": CpuConfig.preset("scalar").to_json()})
+        assert out["success"]
+
+    def test_with_memory_locations(self, api):
+        out = api.handle("POST", "/simulate", {
+            "code": "la t0, arr\nlw a0, 0(t0)\nebreak",
+            "memory": [{"name": "arr", "dtype": "word", "values": [321]}],
+            "fullState": True,
+        })
+        assert out["success"]
+        assert out["state"]["registers"]["int"][10] == 321
+
+    def test_bad_memory_config(self, api):
+        with pytest.raises(ApiError):
+            api.handle("POST", "/simulate",
+                       {"code": "nop", "memory": [{"name": "x"}]})
+
+    def test_asm_error_payload(self, api):
+        out = api.handle("POST", "/simulate", {"code": "frob"})
+        assert not out["success"]
+
+
+class TestSessions:
+    def test_lifecycle(self, api):
+        out = api.handle("POST", "/session/new", {"code": PROGRAM})
+        sid = out["sessionId"]
+        state = api.handle("POST", "/session/step",
+                           {"sessionId": sid, "cycles": 5})["state"]
+        assert state["cycle"] == 5
+        state = api.handle("POST", "/session/step",
+                           {"sessionId": sid, "cycles": -3})["state"]
+        assert state["cycle"] == 2      # backward simulation over the API
+        state = api.handle("POST", "/session/seek",
+                           {"sessionId": sid, "cycle": 10})["state"]
+        assert state["cycle"] == 10
+        assert api.handle("POST", "/session/close",
+                          {"sessionId": sid})["success"]
+
+    def test_state_endpoint(self, api):
+        sid = api.handle("POST", "/session/new", {"code": PROGRAM})["sessionId"]
+        state = api.handle("POST", "/session/state",
+                           {"sessionId": sid})["state"]
+        assert state["cycle"] == 0
+
+    def test_unknown_session_404(self, api):
+        with pytest.raises(ApiError) as info:
+            api.handle("POST", "/session/step",
+                       {"sessionId": "nope", "cycles": 1})
+        assert info.value.status == 404
+
+    def test_negative_seek_rejected(self, api):
+        sid = api.handle("POST", "/session/new", {"code": PROGRAM})["sessionId"]
+        with pytest.raises(ApiError):
+            api.handle("POST", "/session/seek",
+                       {"sessionId": sid, "cycle": -1})
+
+    def test_session_error_on_bad_code(self, api):
+        out = api.handle("POST", "/session/new", {"code": "frob"})
+        assert not out["success"]
+
+
+class TestSessionManager:
+    def test_ttl_eviction(self):
+        from repro.server.session import SessionManager
+        mgr = SessionManager(ttl_s=0.0)
+        first = mgr.create("nop")
+        mgr.create("nop")     # creation evicts the stale first session
+        assert mgr.get(first.id) is None
+
+    def test_max_sessions(self):
+        from repro.server.session import SessionManager
+        mgr = SessionManager(max_sessions=2)
+        a = mgr.create("nop")
+        mgr.create("nop")
+        mgr.create("nop")
+        assert len(mgr) == 2
+        assert mgr.get(a.id) is None   # oldest evicted

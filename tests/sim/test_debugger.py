@@ -1,0 +1,141 @@
+"""Breakpoint / watchpoint tests (paper future-work extension)."""
+
+import pytest
+
+from repro import Simulation
+from repro.sim.debugger import DebugSession
+
+PROGRAM = """
+main:
+    li   s0, 0
+    li   s1, 3
+loop:
+    addi s0, s0, 1
+    sw   s0, 0(sp)
+    blt  s0, s1, loop
+after:
+    li   a0, 99
+    ebreak
+"""
+
+
+def session():
+    sim = Simulation.from_source(PROGRAM, entry="main")
+    return DebugSession(sim)
+
+
+class TestBreakpoints:
+    def test_break_at_label(self):
+        dbg = session()
+        dbg.add_breakpoint("after")
+        event = dbg.run()
+        assert event.kind == "breakpoint"
+        assert event.pc == dbg.simulation.symbol_address("after")
+        # state at the stop: the loop is done, a0 not yet written
+        assert dbg.simulation.register_value("s0") == 3
+
+    def test_break_at_pc(self):
+        dbg = session()
+        pc = dbg.add_breakpoint(8)   # first loop instruction
+        event = dbg.run()
+        assert event.kind == "breakpoint" and event.pc == pc
+        assert dbg.simulation.register_value("s0") == 1
+
+    def test_breakpoint_in_loop_fires_each_iteration(self):
+        dbg = session()
+        dbg.add_breakpoint("loop")
+        values = []
+        for _ in range(3):
+            event = dbg.run()
+            assert event.kind == "breakpoint"
+            values.append(dbg.simulation.register_value("s0"))
+        assert values == [1, 2, 3]
+
+    def test_continue_to_halt(self):
+        dbg = session()
+        dbg.add_breakpoint("after")
+        dbg.run()
+        event = dbg.continue_()
+        assert event.kind == "halt"
+        assert dbg.simulation.register_value("a0") == 99
+
+    def test_remove_breakpoint(self):
+        dbg = session()
+        dbg.add_breakpoint("after")
+        assert dbg.remove_breakpoint("after")
+        assert not dbg.remove_breakpoint("after")
+        event = dbg.run()
+        assert event.kind == "halt"
+
+    def test_breakpoints_listing(self):
+        dbg = session()
+        dbg.add_breakpoint("loop")
+        dbg.add_breakpoint("after")
+        assert len(dbg.breakpoints()) == 2
+
+    def test_unknown_label_raises(self):
+        dbg = session()
+        with pytest.raises(KeyError):
+            dbg.add_breakpoint("nowhere")
+
+
+class TestWatches:
+    def test_register_watch_fires_on_change(self):
+        dbg = session()
+        dbg.watch_register("s0")
+        event = dbg.run()
+        assert event.kind == "register"
+        assert event.register == "x8"   # canonical name of s0
+        assert event.old_value == 0 and event.new_value == 1
+
+    def test_register_watch_alias_resolution(self):
+        dbg = session()
+        dbg.watch_register("a0")
+        event = dbg.run()
+        assert event.kind == "register" and event.new_value == 99
+
+    def test_memory_watch(self):
+        dbg = session()
+        sp = dbg.simulation.cpu.initial_sp
+        dbg.watch_memory(sp, 4)
+        event = dbg.run()
+        assert event.kind == "memory"
+        assert event.address == sp
+        assert int.from_bytes(event.new_value, "little") == 1
+
+    def test_unwatch(self):
+        dbg = session()
+        dbg.watch_register("s0")
+        dbg.unwatch_register("s0")
+        event = dbg.run()
+        assert event.kind == "halt"
+
+    def test_event_str_forms(self):
+        dbg = session()
+        dbg.add_breakpoint("after")
+        event = dbg.run()
+        assert "breakpoint" in str(event)
+
+    def test_events_recorded(self):
+        dbg = session()
+        dbg.watch_register("s0")
+        dbg.run()
+        dbg.run()
+        assert len(dbg.events) == 2
+
+
+class TestInteropWithSimulationApi:
+    def test_stepping_still_works_between_stops(self):
+        # stop mid-loop (the program has not halted there)
+        dbg = session()
+        dbg.add_breakpoint("loop")
+        dbg.run()
+        cycle = dbg.simulation.cycle
+        dbg.simulation.step(2)
+        assert dbg.simulation.cycle == cycle + 2
+
+    def test_statistics_available_at_stop(self):
+        dbg = session()
+        dbg.add_breakpoint("after")
+        dbg.run()
+        assert dbg.simulation.stats.committed_instructions > 0

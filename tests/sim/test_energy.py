@@ -1,0 +1,146 @@
+"""Area / power estimation tests (paper future-work extension)."""
+
+import pytest
+
+from repro import CacheConfig, CpuConfig, Simulation
+from repro.sim.energy import (AreaReport, estimate_area, estimate_energy,
+                              render_power_report)
+from tests.conftest import run_asm
+
+
+class TestAreaModel:
+    def test_wider_machine_costs_more_area(self):
+        scalar = estimate_area(CpuConfig.preset("scalar")).total
+        default = estimate_area(CpuConfig()).total
+        wide = estimate_area(CpuConfig.preset("wide")).total
+        assert scalar < default < wide
+
+    def test_area_blocks_cover_all_units(self):
+        config = CpuConfig()
+        report = estimate_area(config)
+        for fu in config.fus:
+            assert f"unit:{fu.name}" in report.blocks
+
+    def test_fp_unit_larger_than_fx(self):
+        report = estimate_area(CpuConfig())
+        assert report.blocks["unit:FP1"] > report.blocks["unit:FX1"]
+
+    def test_cache_area_scales_with_size(self):
+        small = CpuConfig()
+        small.cache = CacheConfig(line_count=8, line_size=16, associativity=2)
+        big = CpuConfig()
+        big.cache = CacheConfig(line_count=64, line_size=64, associativity=2)
+        assert estimate_area(big).blocks["l1Cache"] \
+            > estimate_area(small).blocks["l1Cache"]
+
+    def test_disabled_cache_contributes_nothing(self):
+        config = CpuConfig()
+        config.cache.enabled = False
+        assert "l1Cache" not in estimate_area(config).blocks
+
+    def test_rob_and_rename_scale(self):
+        a = CpuConfig()
+        b = CpuConfig()
+        b.buffers.rob_size = a.buffers.rob_size * 4
+        b.memory.rename_file_size = a.memory.rename_file_size * 4
+        ra, rb = estimate_area(a), estimate_area(b)
+        assert rb.blocks["reorderBuffer"] == 4 * ra.blocks["reorderBuffer"]
+        assert rb.blocks["renameFile"] == 4 * ra.blocks["renameFile"]
+
+    def test_json_payload(self):
+        data = estimate_area(CpuConfig()).to_json()
+        assert data["totalKGE"] > 0
+        assert isinstance(data["blocks"], dict)
+
+
+class TestEnergyModel:
+    def test_energy_grows_with_work(self):
+        short = run_asm("    li a0, 1\n    ebreak")
+        long = run_asm("""
+    li t0, 0
+    li t1, 100
+loop:
+    addi t0, t0, 1
+    blt t0, t1, loop
+    ebreak
+""")
+        assert estimate_energy(long.cpu).total_pj \
+            > estimate_energy(short.cpu).total_pj
+
+    def test_fp_work_costs_more_than_int(self):
+        int_sim = run_asm("\n".join(["    add a0, a0, a0"] * 20) + "\n    ebreak")
+        fp_sim = run_asm("\n".join(["    fadd.s fa0, fa0, fa0"] * 20)
+                         + "\n    ebreak")
+        int_commit = estimate_energy(int_sim.cpu) \
+            .dynamic_pj["commit:kIntArithmetic"]
+        fp_commit = estimate_energy(fp_sim.cpu) \
+            .dynamic_pj["commit:kFloatArithmetic"]
+        assert fp_commit > int_commit
+
+    def test_flushes_charged(self):
+        sim = run_asm("""
+    li t0, 0
+    li t1, 20
+loop:
+    addi t0, t0, 1
+    blt t0, t1, loop
+    ebreak
+""")
+        report = estimate_energy(sim.cpu)
+        assert report.dynamic_pj["flushRecovery"] \
+            == pytest.approx(90.0 * sim.cpu.rob_flushes)
+
+    def test_static_power_proportional_to_area_and_cycles(self):
+        sim = run_asm("    li a0, 1\n    ebreak")
+        report = estimate_energy(sim.cpu)
+        area = estimate_area(sim.cpu.config).total
+        assert report.static_pj == pytest.approx(0.02 * area * sim.cpu.cycle)
+
+    def test_average_power_positive(self):
+        sim = run_asm("    li a0, 1\n    ebreak")
+        report = estimate_energy(sim.cpu)
+        assert report.average_power_w > 0
+        assert report.to_json()["averagePowerW"] == report.average_power_w
+
+    def test_mispredict_heavy_run_burns_more_flush_energy(self):
+        """Data-dependent branches vs a predictable loop of equal length."""
+        predictable = run_asm("""
+    li t0, 0
+    li t1, 64
+p:  addi t0, t0, 1
+    blt t0, t1, p
+    ebreak
+""")
+        # alternating branch: the 1-bit pathology (history disabled, else
+        # the two-level PHT indexing learns the alternation)
+        from repro import CpuConfig as CC
+        config = CC()
+        config.predictor.predictor_type = "one"
+        config.predictor.history_bits = 0
+        alternating = Simulation.from_source("""
+    li t0, 0
+    li t1, 64
+    li t2, 0
+a:  xori t2, t2, 1
+    beqz t2, skip
+    nop
+skip:
+    addi t0, t0, 1
+    blt t0, t1, a
+    ebreak
+""", config=config)
+        alternating.run()
+        e_pred = estimate_energy(predictable.cpu).dynamic_pj["flushRecovery"]
+        e_alt = estimate_energy(alternating.cpu).dynamic_pj["flushRecovery"]
+        assert e_alt > e_pred
+
+
+class TestReport:
+    def test_render_power_report(self):
+        sim = run_asm("    li a0, 1\n    lw a1, 0(sp)\n    ebreak")
+        text = render_power_report(sim.cpu)
+        assert "total area" in text
+        assert "dynamic energy" in text
+        assert "energy/instruction" in text
+        assert "average power" in text
+        assert "unit:FX1" in text

@@ -1,0 +1,188 @@
+"""Simulation manager tests: stepping, backward simulation, determinism."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import CpuConfig, Simulation
+from repro.errors import AsmSyntaxError
+
+LOOP = """
+    li a0, 0
+    li t0, 1
+    li t1, 30
+loop:
+    add a0, a0, t0
+    addi t0, t0, 1
+    ble t0, t1, loop
+    ebreak
+"""
+
+
+class TestStepping:
+    def test_step_advances_one_cycle(self):
+        sim = Simulation.from_source(LOOP)
+        sim.step()
+        assert sim.cycle == 1
+        sim.step(5)
+        assert sim.cycle == 6
+
+    def test_step_past_halt_is_noop(self):
+        sim = Simulation.from_source("    ebreak")
+        sim.run()
+        cycle = sim.cycle
+        sim.step(10)
+        assert sim.cycle == cycle
+
+    def test_run_returns_result(self):
+        sim = Simulation.from_source(LOOP)
+        result = sim.run()
+        assert result.cycles == sim.cycle
+        assert result.committed == sim.cpu.committed
+        assert result.halt_reason == sim.halted
+        assert result.statistics["ipc"] == pytest.approx(
+            result.committed / result.cycles)
+
+    def test_observer_called_every_step(self):
+        sim = Simulation.from_source(LOOP)
+        calls = []
+        sim.subscribe(lambda cpu: calls.append(cpu.cycle))
+        sim.step(7)
+        assert len(calls) == 7
+
+
+class TestBackwardSimulation:
+    def test_step_back_matches_forward_state(self):
+        """Sec. III-B: backward simulation = forward re-run of t-1 cycles."""
+        sim = Simulation.from_source(LOOP)
+        sim.step(40)
+        reference = sim.snapshot()
+        sim.step(25)
+        sim.step_back(25)
+        assert sim.cycle == 40
+        assert sim.snapshot() == reference
+
+    def test_step_back_single_cycles_repeatedly(self):
+        sim = Simulation.from_source(LOOP)
+        sim.step(10)
+        states = {10: sim.snapshot()}
+        for back in range(1, 5):
+            sim.step_back(1)
+            states[10 - back] = sim.snapshot()
+        # stepping forward again reproduces every state
+        sim.reset()
+        for cycle in range(6, 11):
+            sim.seek(cycle)
+            assert sim.snapshot() == states[cycle]
+
+    def test_step_back_clamps_at_zero(self):
+        sim = Simulation.from_source(LOOP)
+        sim.step(3)
+        sim.step_back(100)
+        assert sim.cycle == 0
+
+    def test_seek_forward_and_back(self):
+        sim = Simulation.from_source(LOOP)
+        sim.seek(20)
+        assert sim.cycle == 20
+        sim.seek(5)
+        assert sim.cycle == 5
+        sim.seek(5)
+        assert sim.cycle == 5
+
+    def test_backward_with_random_cache_policy(self):
+        """Random replacement must be reproducible (seeded) so backward
+        simulation stays exact."""
+        config = CpuConfig()
+        config.cache.replacement_policy = "Random"
+        config.cache.line_count = 4
+        source = """
+    addi sp, sp, -64
+    li t0, 0
+loop:
+    slli t1, t0, 2
+    add  t1, t1, sp
+    sw   t0, 0(t1)
+    lw   t2, 0(t1)
+    addi t0, t0, 1
+    li   t3, 12
+    blt  t0, t3, loop
+    ebreak
+"""
+        sim = Simulation.from_source(source, config=config)
+        sim.step(60)
+        reference = sim.snapshot()
+        sim.step(20)
+        sim.step_back(20)
+        assert sim.snapshot() == reference
+
+    def test_full_run_deterministic(self):
+        results = []
+        for _ in range(2):
+            sim = Simulation.from_source(LOOP)
+            result = sim.run()
+            results.append((result.cycles, result.committed,
+                            sim.register_value("a0")))
+        assert results[0] == results[1]
+
+
+class TestStateInspection:
+    def test_register_and_memory_access(self):
+        sim = Simulation.from_source("""
+    .data
+v: .word 77
+    .text
+    la a0, v
+    lw a1, 0(a0)
+    ebreak
+""")
+        sim.run()
+        assert sim.register_value("a1") == 77
+        addr = sim.symbol_address("v")
+        assert sim.memory_word(addr) == 77
+        assert sim.memory_bytes(addr, 4) == b"\x4d\x00\x00\x00"
+
+    def test_unknown_symbol_raises(self):
+        sim = Simulation.from_source("    nop")
+        with pytest.raises(KeyError):
+            sim.symbol_address("ghost")
+
+    def test_snapshot_contains_gui_sections(self):
+        sim = Simulation.from_source(LOOP)
+        sim.step(5)
+        snap = sim.snapshot()
+        for key in ("cycle", "fetch", "rob", "issueWindows",
+                    "functionalUnits", "registers", "rename", "statistics",
+                    "log"):
+            assert key in snap
+
+    def test_log_messages_cycle_stamped(self):
+        sim = Simulation.from_source(LOOP)
+        sim.run()
+        log = sim.snapshot()["log"]
+        assert log[0]["cycle"] == 0
+        assert all(isinstance(m["cycle"], int) for m in log)
+
+    def test_syntax_error_propagates(self):
+        with pytest.raises(AsmSyntaxError):
+            Simulation.from_source("bogus x1, x2")
+
+
+class TestDeterminismProperty:
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(st.sampled_from([
+        "addi t0, t0, 1", "add t1, t0, t1", "slli t2, t0, 2",
+        "sub t3, t1, t0", "sltu t4, t0, t1", "xor t5, t1, t2",
+        "mul t6, t0, t0",
+    ]), min_size=1, max_size=30), st.integers(1, 40))
+    def test_random_programs_replay_exactly(self, lines, checkpoint):
+        source = "\n".join("    " + line for line in lines) + "\n    ebreak"
+        sim = Simulation.from_source(source)
+        sim.step(checkpoint)
+        state_a = sim.snapshot()
+        sim.run()
+        final_a = sim.snapshot()
+        sim2 = Simulation.from_source(source)
+        sim2.seek(checkpoint)
+        assert sim2.snapshot() == state_a
+        sim2.run()
+        assert sim2.snapshot() == final_a

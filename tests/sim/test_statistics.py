@@ -1,0 +1,131 @@
+"""Runtime statistics tests (Fig. 10 metrics)."""
+
+import pytest
+
+from repro import CpuConfig, Simulation
+from tests.conftest import run_asm
+
+
+class TestHeadlineMetrics:
+    def test_ipc_definition(self):
+        sim = run_asm("    li a0, 1\n    li a1, 2\n    ebreak")
+        assert sim.stats.ipc == pytest.approx(
+            sim.cpu.committed / sim.cpu.cycle)
+
+    def test_wall_time_uses_core_clock(self):
+        config = CpuConfig()
+        config.core_clock_hz = 1e6
+        sim = Simulation.from_source("    li a0, 1\n    ebreak",
+                                     config=config)
+        sim.run()
+        assert sim.stats.wall_time_s == pytest.approx(sim.cpu.cycle / 1e6)
+
+    def test_flops_counted_per_committed_fp_op(self):
+        sim = run_asm("""
+    fcvt.s.w fa0, x0
+    fadd.s fa1, fa0, fa0
+    fmul.s fa2, fa0, fa1
+    fmadd.s fa3, fa0, fa1, fa2
+    ebreak
+""")
+        # fadd (1) + fmul (1) + fmadd (2); fcvt counts 0
+        assert sim.stats.flops_total == 4
+        assert sim.stats.flops_rate > 0
+
+    def test_squashed_fp_ops_do_not_count_flops(self):
+        sim = run_asm("""
+    li  t0, 1
+    fcvt.s.w fa0, x0
+    bnez t0, out          # taken; cold BTB mispredict squashes below
+    fadd.s fa1, fa0, fa0
+    fadd.s fa1, fa0, fa0
+out:
+    ebreak
+""")
+        assert sim.stats.flops_total == 0
+
+    def test_cache_hit_rate_none_when_disabled(self):
+        config = CpuConfig()
+        config.cache.enabled = False
+        sim = Simulation.from_source("    lw a0, 0(sp)\n    ebreak",
+                                     config=config)
+        sim.run()
+        assert sim.stats.cache_hit_rate is None
+
+
+class TestMixes:
+    def test_dynamic_mix_counts_committed_by_type(self):
+        sim = run_asm("""
+    li  a0, 4
+    lw  a1, 0(sp)
+    fcvt.s.w fa0, a0
+    beqz x0, next
+next:
+    ebreak
+""")
+        mix = sim.stats.dynamic_mix()
+        assert mix["kIntArithmetic"] == 2   # li + ebreak
+        assert mix["kLoadstore"] == 1
+        assert mix["kFloatArithmetic"] == 1
+        assert mix["kJumpbranch"] == 1
+
+    def test_dynamic_mix_percent_sums_to_100(self):
+        sim = run_asm("    li a0, 1\n    lw a1, 0(sp)\n    ebreak")
+        assert sum(sim.stats.dynamic_mix_percent().values()) \
+            == pytest.approx(100.0)
+
+    def test_loop_multiplies_dynamic_counts(self):
+        sim = run_asm("""
+    li t0, 0
+    li t1, 10
+loop:
+    addi t0, t0, 1
+    blt t0, t1, loop
+    ebreak
+""")
+        mix = sim.stats.dynamic_mix()
+        static = sim.stats.static_mix()
+        assert mix["kIntArithmetic"] > static["kIntArithmetic"]
+        assert mix["kJumpbranch"] == 10
+
+    def test_mnemonic_counts(self):
+        sim = run_asm("    li a0, 1\n    li a1, 2\n    add a2, a0, a1\n    ebreak")
+        counts = sim.stats.mnemonic_counts()
+        assert counts["addi"] == 2    # li expands to addi
+        assert counts["add"] == 1
+
+
+class TestUtilization:
+    def test_fu_busy_percent(self):
+        sim = run_asm("""
+    li a0, 97
+    li a1, 13
+    div a2, a0, a1
+    ebreak
+""")
+        util = sim.stats.fu_utilization()
+        total_fx = sum(u["busyCycles"] for u in util.values()
+                       if u["kind"] == "FX")
+        assert total_fx >= 10  # the division alone is 10 cycles
+        for info in util.values():
+            assert 0.0 <= info["busyPercent"] <= 100.0
+
+
+class TestPayloads:
+    def test_full_json_has_every_figure10_block(self):
+        sim = run_asm("    lw a0, 0(sp)\n    ebreak")
+        data = sim.stats.to_json()
+        for key in ("cycles", "committedInstructions", "ipc", "wallTimeS",
+                    "flopsTotal", "flopsRate", "robFlushes",
+                    "branchPredictor", "staticMix", "dynamicMix",
+                    "functionalUnits", "memory", "cache", "haltReason",
+                    "dispatchStalls"):
+            assert key in data, key
+
+    def test_panel_default_and_expanded(self):
+        sim = run_asm("    li a0, 1\n    ebreak")
+        default = sim.stats.panel()
+        assert set(default) == {"cycles", "committedInstructions", "ipc",
+                                "branchAccuracy"}
+        expanded = sim.stats.panel(expanded=True)
+        assert "flops" in expanded and "cacheHitRate" in expanded

@@ -1,0 +1,187 @@
+"""Text-renderer tests: every figure's content must be present."""
+
+import pytest
+
+from repro import MemoryLocation, Simulation
+from repro.core.simcode import Phase
+from repro.viz import (render_block, render_instruction_popup,
+                       render_memory_popup, render_processor,
+                       render_statistics)
+
+PROGRAM = """
+    .data
+numbers: .word 3, 1, 4, 1, 5
+    .text
+main:
+    la t0, numbers
+    lw a0, 0(t0)
+    lw a1, 4(t0)
+    add a2, a0, a1
+    sw a2, 8(t0)
+    fcvt.s.w fa0, a2
+    beqz x0, out
+out:
+    ebreak
+"""
+
+
+@pytest.fixture
+def midflight():
+    sim = Simulation.from_source(PROGRAM, entry="main")
+    sim.step(4)
+    return sim
+
+
+@pytest.fixture
+def finished():
+    sim = Simulation.from_source(PROGRAM, entry="main")
+    sim.run()
+    return sim
+
+
+class TestBlockPanels:
+    def test_fetch_block_fig1_elements(self, midflight):
+        text = render_block(midflight.cpu, "fetch")
+        assert "[Fetch]" in text           # (1) block name
+        assert "pc=" in text               # (2) real-time info line
+
+    def test_rob_block(self, midflight):
+        text = render_block(midflight.cpu, "rob")
+        assert "Reorder buffer" in text
+        assert "/32 entries" in text
+
+    def test_issue_windows(self, midflight):
+        for name in ("FX", "FP", "LS", "Branch"):
+            text = render_block(midflight.cpu, f"issue.{name}")
+            assert "issue window" in text
+
+    def test_fu_block(self, midflight):
+        text = render_block(midflight.cpu, "fu.FX1")
+        assert "Unit FX1" in text
+
+    def test_unknown_block_raises(self, midflight):
+        with pytest.raises(KeyError):
+            render_block(midflight.cpu, "quantum")
+        with pytest.raises(KeyError):
+            render_block(midflight.cpu, "fu.QQ")
+
+    def test_register_block_shows_renames(self, midflight):
+        text = render_block(midflight.cpu, "registers")
+        assert "free rename tags" in text
+
+    def test_cache_block(self, finished):
+        text = render_block(finished.cpu, "cache")
+        assert "hit" in text
+
+    def test_store_and_load_buffers(self, midflight):
+        assert "Store buffer" in render_block(midflight.cpu, "storebuffer")
+        assert "Load buffer" in render_block(midflight.cpu, "loadbuffer")
+
+
+class TestMainWindow:
+    def test_fig12_sections_present(self, midflight):
+        text = render_processor(midflight.cpu)
+        for section in ("[Fetch]", "Reorder buffer", "FX issue window",
+                        "FP issue window", "LS issue window",
+                        "Branch issue window", "Unit FX1", "Unit MEM",
+                        "Load buffer", "Store buffer", "Registers",
+                        "L1 cache", "status:"):
+            assert section in text, section
+
+    def test_header_has_control_bar_metrics(self, midflight):
+        header = render_processor(midflight.cpu).splitlines()[0]
+        assert "cycle" in header and "IPC" in header and "pc=" in header
+
+    def test_halted_state_shown(self, finished):
+        assert "HALTED" in render_processor(finished.cpu)
+
+
+class TestMemoryPopup:
+    def test_fig2_content(self, finished):
+        text = render_memory_popup(finished.cpu)
+        assert "allocated objects:" in text
+        assert "numbers" in text           # the array name
+        assert "memory dump" in text
+
+    def test_shows_memory_location_symbols(self):
+        loc = MemoryLocation(name="user_array", dtype="word", values=[9])
+        sim = Simulation.from_source("nop\nebreak", memory_locations=[loc])
+        assert "user_array" in render_memory_popup(sim.cpu)
+
+    def test_dump_window_configurable(self, finished):
+        addr = finished.symbol_address("numbers")
+        text = render_memory_popup(finished.cpu, dump_start=addr,
+                                   dump_length=16)
+        assert "03 00 00 00" in text
+
+
+class TestInstructionPopup:
+    def test_fig3_fields(self, finished):
+        sim = Simulation.from_source(PROGRAM, entry="main")
+        seen = {}
+
+        def spy(cpu):
+            for s in list(cpu.rob):
+                seen[s.id] = s
+        sim.subscribe(spy)
+        sim.run()
+        add = next(s for s in seen.values() if s.mnemonic == "add")
+        text = render_instruction_popup(add)
+        assert "add x12" in text
+        assert "phase timestamps:" in text
+        assert "fetch" in text and "commit" in text
+        assert "parameters:" in text
+
+    def test_branch_popup_shows_prediction(self):
+        sim = Simulation.from_source(PROGRAM, entry="main")
+        seen = {}
+
+        def spy(cpu):
+            for s in list(cpu.rob):
+                if s.definition.is_branch:
+                    seen[s.id] = s
+        sim.subscribe(spy)
+        sim.run()
+        branch = next(iter(seen.values()))
+        text = render_instruction_popup(branch)
+        assert "branch" in text
+        assert "predicted" in text
+
+    def test_load_popup_shows_memory(self, finished):
+        sim = Simulation.from_source(PROGRAM, entry="main")
+        seen = {}
+
+        def spy(cpu):
+            for s in list(cpu.rob):
+                if s.definition.is_load:
+                    seen[s.id] = s
+        sim.subscribe(spy)
+        sim.run()
+        load = next(iter(seen.values()))
+        text = render_instruction_popup(load)
+        assert "memory" in text and "address=" in text
+
+
+class TestStatisticsPage:
+    def test_fig10_sections(self, finished):
+        text = render_statistics(finished.stats)
+        for needle in ("Runtime statistics", "total cycles", "IPC",
+                       "FLOPs", "FLOPS", "instruction mix",
+                       "functional unit busy cycles", "cache statistics",
+                       "branch predictions", "wall time", "main memory",
+                       "dispatch stalls", "halt reason"):
+            assert needle in text, needle
+
+    def test_mix_table_rows(self, finished):
+        text = render_statistics(finished.stats)
+        for row in ("kIntArithmetic", "kLoadstore", "kFloatArithmetic",
+                    "kJumpbranch"):
+            assert row in text
+
+    def test_no_cache_section_when_disabled(self):
+        from repro import CpuConfig
+        config = CpuConfig()
+        config.cache.enabled = False
+        sim = Simulation.from_source("nop\nebreak", config=config)
+        sim.run()
+        assert "cache statistics" not in render_statistics(sim.stats)
