@@ -102,6 +102,28 @@ class Program:
     #: initial stack pointer (top of the call-stack region)
     stack_pointer: int = 0
     source: str = ""
+    #: lazily built static decode cache (see repro.core.decoded)
+    _decoded: Optional[list] = field(default=None, init=False, repr=False,
+                                     compare=False)
+
+    def decoded_ops(self) -> list:
+        """Per-static-instruction decode cache, built once and shared by
+        every Cpu (and every backward-simulation re-run) over this program.
+
+        The cache is validated by identity against the current instruction
+        list, so *replacing* instructions (or the whole list, even at the
+        same length) transparently rebuilds the decoded records.  Mutating
+        an existing ``ParsedInstruction``'s operands in place is not
+        detected — treat instructions as immutable once assembled."""
+        decoded = self._decoded
+        instructions = self.instructions
+        if (decoded is None or len(decoded) != len(instructions)
+                or any(d.instruction is not i
+                       for d, i in zip(decoded, instructions))):
+            from repro.core.decoded import decode_program
+            decoded = decode_program(self)
+            self._decoded = decoded
+        return decoded
 
     def instruction_at(self, pc: int) -> Optional[ParsedInstruction]:
         """Instruction at byte address *pc* (None when out of range)."""

@@ -8,6 +8,7 @@ from repro.core.config import (
     MemoryConfig,
     preset_names,
 )
+from repro.core.decoded import DecodedOp, decode_program
 from repro.core.simcode import SimCode, Phase
 
 __all__ = [
@@ -18,4 +19,6 @@ __all__ = [
     "preset_names",
     "SimCode",
     "Phase",
+    "DecodedOp",
+    "decode_program",
 ]

@@ -74,12 +74,23 @@ class FuSpec:
         if self.latency < 1:
             raise ConfigError(f"unit '{self.name}': latency must be >= 1")
 
-    def supports(self, op_class: str) -> bool:
-        if self.kind == "FX" and op_class == "special":
-            return True  # fence/ecall/ebreak run on any FX unit
+    def supported_set(self):
+        """Exact op-class capability set, or ``None`` for supports-all.
+
+        Single source of truth for unit capabilities: FX units additionally
+        accept ``special`` (fence/ecall/ebreak run on any FX unit); LS,
+        Branch and Memory units execute everything routed to them.
+        """
         if self.kind in ("FX", "FP"):
-            return op_class in self.operations
-        return True
+            ops = set(self.operations)
+            if self.kind == "FX":
+                ops.add("special")
+            return frozenset(ops)
+        return None
+
+    def supports(self, op_class: str) -> bool:
+        ops = self.supported_set()
+        return ops is None or op_class in ops
 
     def latency_of(self, op_class: str) -> int:
         if self.kind in ("FX", "FP"):

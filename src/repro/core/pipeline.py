@@ -17,21 +17,37 @@ the instruction is committed (Sec. III-B).
 from __future__ import annotations
 
 import struct
+from bisect import insort
 from collections import deque
 from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.asm.program import Program
 from repro.core.config import CpuConfig, FuSpec
+from repro.core.decoded import SRC_REG, DecodedOp
 from repro.core.rename import RenameFile
 from repro.core.simcode import Phase, SimCode
 from repro.errors import MemoryAccessError, SimulationException
-from repro.isa.expression import EvalContext, Expression
-from repro.isa.instruction import ArgType, FuClass
+from repro.isa.expression import EvalContext
+from repro.isa.instruction import FuClass
 from repro.isa.registers import RegisterFile
 from repro.memory.cache import Cache
 from repro.memory.hierarchy import MemoryModel
 from repro.memory.main_memory import MainMemory
 from repro.predictor.unit import BranchPredictor
+
+# Phase-name keys hoisted out of the hot loops (``Phase.X.value`` is a
+# DynamicClassAttribute lookup — measurably slow at millions of stamps).
+_FETCH = Phase.FETCH.value
+_DECODE = Phase.DECODE.value
+_DISPATCH = Phase.DISPATCH.value
+_ISSUE = Phase.ISSUE.value
+_EXECUTE = Phase.EXECUTE.value
+_WRITEBACK = Phase.WRITEBACK.value
+_COMMIT = Phase.COMMIT.value
+
+
+def _simcode_id(simcode: SimCode) -> int:
+    return simcode.id
 
 
 class FuRuntime:
@@ -43,7 +59,7 @@ class FuRuntime:
     ones are still in flight."""
 
     __slots__ = ("spec", "simcode", "busy_until", "busy_cycles",
-                 "inflight", "last_issue_cycle")
+                 "inflight", "last_issue_cycle", "pipelined", "ops_set")
 
     def __init__(self, spec: FuSpec):
         self.spec = spec
@@ -53,17 +69,16 @@ class FuRuntime:
         #: pipelined mode: [(simcode, finish_cycle), ...]
         self.inflight: List[Tuple[SimCode, int]] = []
         self.last_issue_cycle = -1
+        #: hot-path mirrors of the spec (attribute-chain-free)
+        self.pipelined = spec.pipelined
+        #: None = supports every op class (see FuSpec.supported_set)
+        self.ops_set: Optional[frozenset] = spec.supported_set()
 
     @property
     def busy(self) -> bool:
-        if self.spec.pipelined:
+        if self.pipelined:
             return bool(self.inflight)
         return self.simcode is not None
-
-    def can_accept(self, cycle: int) -> bool:
-        if self.spec.pipelined:
-            return self.last_issue_cycle != cycle  # one issue per cycle
-        return self.simcode is None
 
     def start(self, simcode: SimCode, cycle: int, finish: int) -> None:
         self.last_issue_cycle = cycle
@@ -172,16 +187,50 @@ class Cpu:
         self._supported_ops: Dict[str, set] = {}
         for fu in self.fus:
             bucket = self._supported_ops.setdefault(fu.spec.kind, set())
-            if fu.spec.kind in ("FX", "FP"):
-                bucket.update(fu.spec.operations)
-                if fu.spec.kind == "FX":
-                    bucket.add("special")
-            else:
+            if fu.ops_set is None:
                 bucket.add("*")
+            else:
+                bucket.update(fu.ops_set)
         #: loads whose address is known, waiting for / in a memory unit
         self.load_queue: List[SimCode] = []
         self.load_buffer: List[SimCode] = []
         self.store_buffer: List[StoreBufferEntry] = []
+        #: store-buffer index: simcode id -> entry (commit/execute lookups)
+        self._store_by_id: Dict[int, StoreBufferEntry] = {}
+        #: event-driven wake-up: tag -> [(waiting simcode, operand name)]
+        self._tag_waiters: Dict[int, List[Tuple[SimCode, str]]] = {}
+
+        # -- static decode cache -------------------------------------------
+        self.decoded: List[DecodedOp] = program.decoded_ops()
+        self._instr_count = len(program.instructions)
+        self._fus_by_kind: Dict[str, List[FuRuntime]] = {
+            kind: [fu for fu in self.fus if fu.spec.kind == kind]
+            for kind in self.windows}
+        self._all_fus: List[FuRuntime] = self.fus + self.memory_units
+        self._window_items: List[Tuple[str, List[SimCode]]] = \
+            list(self.windows.items())
+        # config scalars hoisted out of the per-cycle attribute chains
+        buffers = config.buffers
+        self._fetch_width = buffers.fetch_width
+        self._fetch_capacity = 2 * buffers.fetch_width
+        self._fetch_branch_limit = buffers.fetch_branch_limit
+        self._commit_width = buffers.commit_width
+        self._rob_size = buffers.rob_size
+        self._issue_window_size = buffers.issue_window_size
+        self._load_buffer_size = config.memory.load_buffer_size
+        self._store_buffer_size = config.memory.store_buffer_size
+        self._max_cycles = config.max_cycles
+        #: per-static-instruction dispatch legality (None = dispatchable)
+        self._dispatch_error: List[Optional[str]] = []
+        for dop in self.decoded:
+            supported = self._supported_ops.get(dop.fu_kind, set())
+            if "*" in supported or dop.op_class in supported:
+                self._dispatch_error.append(None)
+            else:
+                self._dispatch_error.append(
+                    f"configuration error: no {dop.fu_kind} unit "
+                    f"supports '{dop.op_class}' (instruction '{dop.mnemonic}' "
+                    f"at pc={dop.pc:#x})")
 
         # -- front-end state ---------------------------------------------
         self.pc = program.entry_pc
@@ -194,6 +243,8 @@ class Cpu:
         self.halted: Optional[str] = None
         self.committed_exception: Optional[SimulationException] = None
         self.log: List[Tuple[int, str]] = []
+        #: optional per-commit observer (the debugger's breakpoint probe)
+        self.commit_hook = None
 
         # -- counters consumed by the statistics collector -----------------
         self.committed = 0
@@ -248,27 +299,49 @@ class Cpu:
         self._issue()
         self._dispatch()
         self._fetch()
-        for fu in self.fus + self.memory_units:
-            if fu.busy:
+        for fu in self._all_fus:
+            # inlined FuRuntime.busy (covers both pipelined modes)
+            if fu.simcode is not None or fu.inflight:
                 fu.busy_cycles += 1
         self._check_end()
         self.cycle += 1
+
+    def run(self, budget: int) -> None:
+        """Uninstrumented hot loop: step until halted or *budget* cycles.
+
+        Equivalent to calling :meth:`step` in a loop; exists so that
+        run-to-completion simulations (no observers, no snapshots) avoid
+        per-cycle bookkeeping in callers."""
+        step = self.step
+        while self.halted is None and self.cycle < budget:
+            step()
 
     # ==================================================================
     # commit
     # ==================================================================
     def _commit(self) -> None:
-        for _ in range(self.config.buffers.commit_width):
-            if not self.rob:
+        rob = self.rob
+        cycle = self.cycle
+        by_type = self.committed_by_type
+        by_mnemonic = self.committed_by_mnemonic
+        for _ in range(self._commit_width):
+            if not rob:
                 return
-            head = self.rob[0]
-            if head.stamped(Phase.WRITEBACK) is None:
+            head = rob[0]
+            if _WRITEBACK not in head.timestamps:
                 return  # not yet executed: in-order commit stalls here
-            self.rob.popleft()
-            head.stamp(Phase.COMMIT, self.cycle)
-            d = head.definition
+            rob.popleft()
+            head.timestamps[_COMMIT] = cycle
+            dop = head.dop
             self.committed += 1
-            self._count_commit(head)
+            if self.commit_hook is not None:
+                self.commit_hook(head)
+            t = dop.type_key
+            by_type[t] = by_type.get(t, 0) + 1
+            m = dop.mnemonic
+            by_mnemonic[m] = by_mnemonic.get(m, 0) + 1
+            if dop.flops:
+                self.flops += dop.flops
 
             # exceptions are checked when the instruction is committed
             if head.exception is not None:
@@ -279,40 +352,38 @@ class Cpu:
                     self.committed_exception = head.exception
                     self.halted = f"exception: {head.exception}"
                     return
-            if d.is_store:
-                entry = self._store_entry(head)
+            if dop.is_store:
+                entry = self._store_by_id.get(head.id)
                 if entry is not None:
                     self._drain_store(entry)
                 if self.halted:
                     return
-            if d.is_load:
-                try:
-                    self.load_buffer.remove(head)
-                except ValueError:
-                    pass
+            if dop.is_load:
+                load_buffer = self.load_buffer
+                if load_buffer and load_buffer[0] is head:
+                    load_buffer.pop(0)  # loads commit oldest-first
+                else:
+                    try:
+                        load_buffer.remove(head)
+                    except ValueError:
+                        pass
             if head.dest_tag is not None:
                 self.rename.commit(head.dest_tag)
 
-            if d.name in ("ecall", "ebreak"):
-                self.halted = f"halt instruction '{d.name}' committed"
+            if dop.is_halt:
+                self.halted = f"halt instruction '{dop.mnemonic}' committed"
                 self.log_msg(self.halted)
                 return
 
-            if d.is_branch:
+            if dop.is_branch:
                 correct = self.predictor.train(
                     head.pc, bool(head.actual_taken), head.actual_target or 0,
                     head.predicted_taken, head.predicted_target,
-                    pht_index=head.pht_index)
+                    pht_index=head.pht_index,
+                    unconditional=dop.is_unconditional)
                 if not correct:
                     self._flush_after_mispredict(head)
                     return
-
-    def _count_commit(self, simcode: SimCode) -> None:
-        t = simcode.definition.instruction_type.value
-        self.committed_by_type[t] = self.committed_by_type.get(t, 0) + 1
-        m = simcode.mnemonic
-        self.committed_by_mnemonic[m] = self.committed_by_mnemonic.get(m, 0) + 1
-        self.flops += simcode.definition.flops
 
     def _flush_after_mispredict(self, branch: SimCode) -> None:
         """Commit-time branch recovery: flush everything younger."""
@@ -339,6 +410,8 @@ class Cpu:
         self.load_queue.clear()
         self.load_buffer.clear()
         self.store_buffer = [e for e in self.store_buffer if e.committed]
+        self._store_by_id = {e.simcode.id: e for e in self.store_buffer}
+        self._tag_waiters.clear()
         self.rename.flush()
         self.predictor.on_flush()
 
@@ -346,20 +419,35 @@ class Cpu:
     # memory unit: loads access the cache / main memory
     # ==================================================================
     def _memory_step(self) -> None:
-        # free drained stores
-        self.store_buffer = [
-            e for e in self.store_buffer
-            if not (e.committed and e.drain_until >= 0
-                    and self.cycle >= e.drain_until)]
+        cycle = self.cycle
+        # free drained stores (rebuild only when something actually drained)
+        store_buffer = self.store_buffer
+        if store_buffer:
+            drained = False
+            for e in store_buffer:
+                if e.committed and 0 <= e.drain_until <= cycle:
+                    drained = True
+                    break
+            if drained:
+                kept: List[StoreBufferEntry] = []
+                store_by_id = self._store_by_id
+                for e in store_buffer:
+                    if e.committed and 0 <= e.drain_until <= cycle:
+                        store_by_id.pop(e.simcode.id, None)
+                    else:
+                        kept.append(e)
+                self.store_buffer = kept
         # complete finished loads
         for unit in self.memory_units:
-            if unit.busy and self.cycle >= unit.busy_until:
+            if unit.simcode is not None and cycle >= unit.busy_until:
                 load = unit.simcode
                 unit.simcode = None
                 self._writeback_load(load)
         # start new accesses
+        if not self.load_queue:
+            return
         for unit in self.memory_units:
-            if unit.busy or not self.load_queue:
+            if unit.simcode is not None or not self.load_queue:
                 continue
             load = self.load_queue[0]
             status, value, delay = self._try_load(load)
@@ -367,7 +455,7 @@ class Cpu:
                 continue  # head-of-queue blocking until older stores resolve
             self.load_queue.pop(0)
             unit.simcode = load
-            unit.busy_until = self.cycle + max(1, delay + unit.spec.latency - 1)
+            unit.busy_until = cycle + max(1, delay + unit.spec.latency - 1)
             load.mem_delay = delay
             load.result = value
 
@@ -378,18 +466,22 @@ class Cpu:
         partially overlaps, 'forward' on a store-buffer hit, 'memory' when
         the access goes to the cache / main memory.
         """
+        dop = load.dop
         addr = load.address
-        size = load.definition.memory_size
+        size = dop.memory_size
+        load_id = load.id
         forward_src: Optional[StoreBufferEntry] = None
+        lo, hi = addr, addr + size
+        # the store buffer is id-ordered (appended at dispatch, committed
+        # prefix survives squashes), so stop at the first younger store
         for entry in self.store_buffer:
-            if entry.simcode.id >= load.id:
-                continue
+            if entry.simcode.id >= load_id:
+                break
             if entry.committed and entry.drain_until >= 0:
                 continue  # already written to memory
             if entry.address is None:
                 return "wait", None, 0
             e_lo, e_hi = entry.address, entry.address + len(entry.data or b"")
-            lo, hi = addr, addr + size
             if e_hi <= lo or hi <= e_lo:
                 continue  # disjoint
             if e_lo <= lo and hi <= e_hi and entry.data is not None:
@@ -403,9 +495,8 @@ class Cpu:
             return "forward", value, 1
         try:
             value, delay, tx = self.memmodel.load(
-                addr, size, load.definition.memory_signed,
-                load.definition.destination.type is ArgType.FLOAT,
-                self.cycle, load.id)
+                addr, size, dop.memory_signed, dop.load_is_float,
+                self.cycle, load_id)
             load.transaction = tx
         except MemoryAccessError as exc:
             load.exception = exc
@@ -414,16 +505,18 @@ class Cpu:
 
     @staticmethod
     def _decode_load_value(load: SimCode, raw: bytes):
-        if load.definition.destination.type is ArgType.FLOAT:
+        dop = load.dop
+        if dop.load_is_float:
             return struct.unpack("<f", raw)[0] if len(raw) == 4 \
                 else struct.unpack("<d", raw)[0]
-        return int.from_bytes(raw, "little",
-                              signed=load.definition.memory_signed)
+        return int.from_bytes(raw, "little", signed=dop.memory_signed)
 
     def _writeback_load(self, load: SimCode) -> None:
-        if load.dest_tag is not None:
-            self.rename.write(load.dest_tag, load.result)
-        load.stamp(Phase.WRITEBACK, self.cycle)
+        tag = load.dest_tag
+        if tag is not None:
+            self.rename.write(tag, load.result)
+            self._wakeup_waiters(tag, load.result)
+        load.timestamps[_WRITEBACK] = self.cycle
 
     def _drain_store(self, entry: StoreBufferEntry) -> None:
         """Perform the architectural store at commit; model drain timing."""
@@ -443,87 +536,103 @@ class Cpu:
         entry.committed = True
         entry.drain_until = self.cycle + max(1, delay)
 
-    def _store_entry(self, simcode: SimCode) -> Optional[StoreBufferEntry]:
-        for entry in self.store_buffer:
-            if entry.simcode is simcode:
-                return entry
-        return None
-
     # ==================================================================
     # execute: functional units (sub-step 1 of Sec. III-A)
     # ==================================================================
     def _execute_fus(self) -> None:
+        cycle = self.cycle
         for fu in self.fus:
-            for simcode in fu.take_finished(self.cycle):
+            if fu.pipelined:
+                if fu.inflight:
+                    for simcode in fu.take_finished(cycle):
+                        self._complete(simcode)
+            elif fu.simcode is not None and cycle >= fu.busy_until:
+                simcode = fu.simcode
+                fu.simcode = None
                 self._complete(simcode)
 
     def _complete(self, simcode: SimCode) -> None:
-        d = simcode.definition
-        simcode.stamp(Phase.EXECUTE, self.cycle)
-        if d.fu_class is FuClass.LS:
-            if d.is_store:
-                entry = self._store_entry(simcode)
+        dop = simcode.dop
+        cycle = self.cycle
+        simcode.timestamps[_EXECUTE] = cycle
+        if dop.fu_kind == "LS":
+            if dop.is_store:
+                entry = self._store_by_id.get(simcode.id)
                 if entry is not None:
                     entry.address = simcode.address
                     entry.data = simcode.store_data
-                simcode.stamp(Phase.WRITEBACK, self.cycle)
+                simcode.timestamps[_WRITEBACK] = cycle
             else:
-                self.load_queue.append(simcode)
-                self.load_queue.sort(key=lambda s: s.id)  # oldest first
+                insort(self.load_queue, simcode, key=_simcode_id)
             return
         # FX / FP / Branch: apply the pre-computed register result
-        if simcode.dest_tag is not None:
-            self.rename.write(simcode.dest_tag, simcode.result)
-        simcode.stamp(Phase.WRITEBACK, self.cycle)
+        tag = simcode.dest_tag
+        if tag is not None:
+            self.rename.write(tag, simcode.result)
+            self._wakeup_waiters(tag, simcode.result)
+        simcode.timestamps[_WRITEBACK] = cycle
 
     # ==================================================================
     # issue: windows poll operands, dispatch to free units (sub-step 2)
     # ==================================================================
     def _issue(self) -> None:
-        # wake-up: capture values of speculative registers that became valid
-        for window in self.windows.values():
-            for simcode in window:
-                self._poll_operands(simcode)
-
-        for class_name, window in self.windows.items():
+        # (operand wake-up is event-driven: see _wakeup_waiters, called the
+        # moment a speculative register value is produced)
+        cycle = self.cycle
+        # windows stay id-ordered (append-only at dispatch, cleared whole on
+        # flush), so insertion order *is* oldest-first issue order
+        for class_name, window in self._window_items:
             if not window:
                 continue
-            free_units = [fu for fu in self.fus
-                          if fu.spec.kind == class_name
-                          and fu.can_accept(self.cycle)]
+            free_units = [
+                fu for fu in self._fus_by_kind[class_name]
+                if (fu.simcode is None if not fu.pipelined
+                    else fu.last_issue_cycle != cycle)]
             if not free_units:
                 continue
-            for simcode in sorted(window, key=lambda s: s.id):
-                if not free_units:
-                    break
-                if not simcode.operands_ready:
+            issued: List[SimCode] = []
+            for simcode in window:
+                if simcode.pending_tags:
                     continue
-                unit = self._pick_unit(free_units, simcode.definition.op_class)
+                unit = self._pick_unit(free_units, simcode.dop.op_class)
                 if unit is None:
                     continue
                 free_units.remove(unit)
-                window.remove(simcode)
+                issued.append(simcode)
                 self._start_execution(unit, simcode)
+                if not free_units:
+                    break
+            for simcode in issued:
+                window.remove(simcode)
 
-    def _poll_operands(self, simcode: SimCode) -> None:
-        for name, (kind, value) in list(simcode.operands.items()):
-            if kind == "tag" and self.rename.is_valid(value):
-                simcode.operands[name] = ("val", self.rename.value_of(value))
+    def _wakeup_waiters(self, tag: int, value) -> None:
+        """Broadcast a freshly produced speculative register value to every
+        windowed instruction waiting on *tag* (the issue-window wake-up of
+        Sec. III-A, made event-driven: a value is captured the moment it is
+        produced instead of by per-cycle window polling)."""
+        waiters = self._tag_waiters.pop(tag, None)
+        if waiters:
+            for simcode, name in waiters:
+                simcode.operands[name] = ("val", value)
+                simcode.op_values[name] = value
+                simcode.pending_tags.pop(name, None)
 
     @staticmethod
     def _pick_unit(units: List[FuRuntime], op_class: str) -> Optional[FuRuntime]:
         for fu in units:
-            if fu.spec.supports(op_class):
+            ops = fu.ops_set
+            if ops is None or op_class in ops:
                 return fu
         return None
 
     def _start_execution(self, unit: FuRuntime, simcode: SimCode) -> None:
-        d = simcode.definition
-        latency = unit.spec.latency_of(d.op_class)
-        simcode.fu_name = unit.spec.name
-        simcode.stamp(Phase.ISSUE, self.cycle)
-        finish = self.cycle + latency
-        unit.start(simcode, self.cycle, finish)
+        cycle = self.cycle
+        spec = unit.spec
+        latency = spec.latency_of(simcode.dop.op_class)
+        simcode.fu_name = spec.name
+        simcode.timestamps[_ISSUE] = cycle
+        finish = cycle + latency
+        unit.start(simcode, cycle, finish)
         simcode.finish_cycle = finish
         # Compute the architectural result now, deterministically, from the
         # captured operand values; it becomes visible at finish time.
@@ -533,40 +642,47 @@ class Cpu:
             simcode.exception = exc
 
     def _evaluate(self, simcode: SimCode) -> None:
-        d = simcode.definition
-        values = {name: value for name, (kind, value) in simcode.operands.items()}
-        ctx = EvalContext(values, pc=simcode.pc)
-        expr = Expression.compile(d.interpretable_as) if d.interpretable_as else None
-        result = expr.evaluate(ctx) if expr is not None else None
-        if ctx.exception is not None:
-            simcode.exception = ctx.exception
-        simcode.assignments = list(ctx.assignments)
+        dop = simcode.dop
+        values = simcode.op_values
+        expr = dop.expr
+        if expr is not None:
+            ctx = EvalContext(values, pc=simcode.pc)
+            result = expr.evaluate(ctx)
+            if ctx.exception is not None:
+                simcode.exception = ctx.exception
+            assignments = ctx.assignments
+        else:
+            result = None
+            assignments = []
+        simcode.assignments = assignments
 
-        if d.fu_class is FuClass.LS:
+        if dop.fu_kind == "LS":
             simcode.address = int(result) & 0xFFFFFFFF if result is not None else 0
-            if d.is_store:
-                simcode.store_data = self._encode_store_data(simcode)
+            if dop.is_store:
+                simcode.store_data = dop.store_encode(
+                    values[dop.store_value_name])
             return
 
-        if d.is_branch:
-            target_expr = Expression.compile(d.target)
-            tctx = EvalContext(values, pc=simcode.pc)
-            target = int(target_expr.evaluate(tctx)) & 0xFFFFFFFF
-            if d.is_unconditional:
+        if dop.is_branch:
+            target = dop.static_target
+            if target is None:  # jalr-style: depends on a source register
+                tctx = EvalContext(values, pc=simcode.pc)
+                target = int(dop.target_expr.evaluate(tctx)) & 0xFFFFFFFF
+            if dop.is_unconditional:
                 simcode.actual_taken = True
             else:
                 simcode.actual_taken = bool(result)
             simcode.actual_target = target if simcode.actual_taken else None
             # jal/jalr write the link register via the '=' side effect
-            if simcode.dest_arch is not None and ctx.assignments:
-                simcode.result = ctx.assignments[-1][1]
+            if simcode.dest_arch is not None and assignments:
+                simcode.result = assignments[-1][1]
             return
 
         # FX / FP result: the value assigned to the destination argument
-        dest = d.destination
-        if dest is not None:
-            for name, value in reversed(ctx.assignments):
-                if name == dest.name:
+        dest_name = dop.dest_name
+        if dest_name is not None:
+            for name, value in reversed(assignments):
+                if name == dest_name:
                     simcode.result = value
                     break
             else:
@@ -574,92 +690,93 @@ class Cpu:
         else:
             simcode.result = result
 
-    def _encode_store_data(self, simcode: SimCode) -> bytes:
-        d = simcode.definition
-        value = simcode.operand_value(d.arguments[0].name)
-        size = d.memory_size
-        if d.arguments[0].type is ArgType.FLOAT:
-            return struct.pack("<f", float(value)) if size == 4 \
-                else struct.pack("<d", float(value))
-        return (int(value) & ((1 << (8 * size)) - 1)).to_bytes(size, "little")
-
     # ==================================================================
     # dispatch: decode + rename + ROB/window allocation
     # ==================================================================
     def _dispatch(self) -> None:
-        buffers = self.config.buffers
-        for _ in range(buffers.fetch_width):
-            if not self.fetch_buffer:
+        fetch_buffer = self.fetch_buffer
+        rob = self.rob
+        rename = self.rename
+        cycle = self.cycle
+        stalls = self.dispatch_stalls
+        for _ in range(self._fetch_width):
+            if not fetch_buffer:
                 return
-            simcode = self.fetch_buffer[0]
-            d = simcode.definition
-            supported = self._supported_ops.get(d.fu_class.value, set())
-            if "*" not in supported and d.op_class not in supported:
-                self.halted = (
-                    f"configuration error: no {d.fu_class.value} unit "
-                    f"supports '{d.op_class}' (instruction '{d.name}' at "
-                    f"pc={simcode.pc:#x})")
-                self.log_msg(self.halted)
+            simcode = fetch_buffer[0]
+            dop = simcode.dop
+            error = self._dispatch_error[dop.index]
+            if error is not None:
+                self.halted = error
+                self.log_msg(error)
                 return
-            if len(self.rob) >= buffers.rob_size:
-                self.dispatch_stalls["robFull"] += 1
+            if len(rob) >= self._rob_size:
+                stalls["robFull"] += 1
                 return
-            window = self.windows[d.fu_class.value]
-            if len(window) >= buffers.issue_window_size:
-                self.dispatch_stalls["windowFull"] += 1
+            window = self.windows[dop.fu_kind]
+            if len(window) >= self._issue_window_size:
+                stalls["windowFull"] += 1
                 return
-            if d.is_load and len(self.load_buffer) >= self.config.memory.load_buffer_size:
-                self.dispatch_stalls["loadBufferFull"] += 1
+            if dop.is_load and len(self.load_buffer) >= self._load_buffer_size:
+                stalls["loadBufferFull"] += 1
                 return
-            if d.is_store and len(self.store_buffer) >= self.config.memory.store_buffer_size:
-                self.dispatch_stalls["storeBufferFull"] += 1
+            if dop.is_store and len(self.store_buffer) >= self._store_buffer_size:
+                stalls["storeBufferFull"] += 1
                 return
-            dest = d.destination
-            needs_tag = dest is not None and \
-                simcode.instruction.operands[dest.name] != "x0"
-            if needs_tag and self.rename.free_count == 0:
-                self.dispatch_stalls["renameFull"] += 1
+            needs_tag = dop.needs_tag
+            if needs_tag and rename.free_count == 0:
+                stalls["renameFull"] += 1
                 return
 
-            self.fetch_buffer.popleft()
-            # rename sources
-            for arg in d.arguments:
-                operand = simcode.instruction.operands[arg.name]
-                if arg.is_register and not arg.write_back:
-                    if operand == "x0":
-                        simcode.operands[arg.name] = ("val", 0)
+            fetch_buffer.popleft()
+            # rename sources (plumbing template pre-computed at decode)
+            operands = simcode.operands
+            op_values = simcode.op_values
+            for name, kind, payload in dop.sources:
+                if kind == SRC_REG:
+                    resolved = rename.read_source(payload)
+                    operands[name] = resolved
+                    if resolved[0] == "tag":
+                        tag = resolved[1]
+                        simcode.renamed_sources[name] = f"t{tag}"
+                        simcode.pending_tags[name] = tag
+                        waiters = self._tag_waiters.get(tag)
+                        if waiters is None:
+                            self._tag_waiters[tag] = [(simcode, name)]
+                        else:
+                            waiters.append((simcode, name))
                     else:
-                        resolved = self.rename.read_source(operand)
-                        simcode.operands[arg.name] = resolved
-                        if resolved[0] == "tag":
-                            simcode.renamed_sources[arg.name] = f"t{resolved[1]}"
-                elif not arg.is_register:
-                    simcode.operands[arg.name] = ("val", operand)
-            if dest is not None:
-                simcode.dest_arch = simcode.instruction.operands[dest.name]
+                        op_values[name] = resolved[1]
+                else:  # immediate or hardwired x0
+                    operands[name] = ("val", payload)
+                    op_values[name] = payload
+            if dop.has_dest:
+                simcode.dest_arch = dop.dest_arch
                 if needs_tag:
-                    simcode.dest_tag = self.rename.allocate(simcode.dest_arch)
-            if d.is_load:
+                    simcode.dest_tag = rename.allocate(dop.dest_arch)
+            if dop.is_load:
                 self.load_buffer.append(simcode)
-            if d.is_store:
-                self.store_buffer.append(StoreBufferEntry(simcode))
+            if dop.is_store:
+                entry = StoreBufferEntry(simcode)
+                self.store_buffer.append(entry)
+                self._store_by_id[simcode.id] = entry
 
-            simcode.stamp(Phase.DECODE, self.cycle)
-            simcode.stamp(Phase.DISPATCH, self.cycle)
-            self.rob.append(simcode)
+            timestamps = simcode.timestamps
+            timestamps[_DECODE] = cycle
+            timestamps[_DISPATCH] = cycle
+            rob.append(simcode)
             window.append(simcode)
 
-            if d.is_branch:
+            if dop.is_branch:
                 if self._decode_redirect(simcode):
                     return  # younger fetched instructions were squashed
 
     def _decode_redirect(self, simcode: SimCode) -> bool:
         """Early (decode-time) redirect for statically-computable targets."""
-        d = simcode.definition
-        if d.name == "jalr":
-            return False  # target known only at execute
-        computed = (simcode.pc + simcode.instruction.operands["imm"]) & 0xFFFFFFFF
-        should_take = d.is_unconditional or simcode.predicted_taken
+        dop = simcode.dop
+        computed = dop.static_target
+        if computed is None:
+            return False  # jalr-style: target known only at execute
+        should_take = dop.is_unconditional or simcode.predicted_taken
         if not should_take:
             return False
         if simcode.predicted_taken and simcode.predicted_target == computed:
@@ -675,7 +792,7 @@ class Cpu:
         self.fetch_stall_until = max(self.fetch_stall_until, self.cycle + 1)
         self.decode_redirects += 1
         self.log_msg(
-            f"decode redirect for {d.name} at pc={simcode.pc:#x} "
+            f"decode redirect for {dop.mnemonic} at pc={simcode.pc:#x} "
             f"-> {computed:#x}")
         return True
 
@@ -683,43 +800,47 @@ class Cpu:
     # fetch
     # ==================================================================
     def _fetch(self) -> None:
-        buffers = self.config.buffers
-        if self.cycle < self.fetch_stall_until:
+        cycle = self.cycle
+        if cycle < self.fetch_stall_until:
             self.fetch_stall_cycles += 1
             return
         if self.fetch_past_end:
             return
         jumps = 0
-        capacity = 2 * buffers.fetch_width
-        for _ in range(buffers.fetch_width):
-            if len(self.fetch_buffer) >= capacity:
+        capacity = self._fetch_capacity
+        fetch_buffer = self.fetch_buffer
+        decoded = self.decoded
+        instr_count = self._instr_count
+        for _ in range(self._fetch_width):
+            if len(fetch_buffer) >= capacity:
                 return
-            instr = self.program.instruction_at(self.pc)
-            if instr is None:
+            pc = self.pc
+            index = pc >> 2
+            if pc & 3 or index < 0 or index >= instr_count:
                 self.fetch_past_end = True
                 return
-            simcode = SimCode(self.next_id, instr)
+            dop = decoded[index]
+            simcode = SimCode(self.next_id, dop.instruction, dop)
             self.next_id += 1
-            simcode.stamp(Phase.FETCH, self.cycle)
-            self.fetch_buffer.append(simcode)
-            d = instr.definition
-            if d.is_branch:
-                taken, target, index = self.predictor.predict_indexed(
-                    self.pc, d.is_unconditional)
-                simcode.pht_index = index
+            simcode.timestamps[_FETCH] = cycle
+            fetch_buffer.append(simcode)
+            if dop.is_branch:
+                taken, target, pht_index = self.predictor.predict_indexed(
+                    pc, dop.is_unconditional)
+                simcode.pht_index = pht_index
                 if taken and target is not None:
                     simcode.predicted_taken = True
                     simcode.predicted_target = target
                     self.pc = target
                     jumps += 1
-                    if jumps >= buffers.fetch_branch_limit:
+                    if jumps >= self._fetch_branch_limit:
                         return
                     continue
                 # predicted taken without a known target behaves as a
                 # fall-through fetch (resolved at decode or execute)
                 simcode.predicted_taken = False
                 simcode.predicted_target = None
-            self.pc += 4
+            self.pc = pc + 4
 
     # ==================================================================
     # end-of-program detection
@@ -736,8 +857,8 @@ class Cpu:
         if self.fetch_past_end and self.pipeline_empty:
             self.halted = "program finished (pipeline empty)"
             self.log_msg(self.halted)
-        elif self.cycle + 1 >= self.config.max_cycles:
-            self.halted = f"cycle limit reached ({self.config.max_cycles})"
+        elif self.cycle + 1 >= self._max_cycles:
+            self.halted = f"cycle limit reached ({self._max_cycles})"
             self.log_msg(self.halted)
 
     # ==================================================================

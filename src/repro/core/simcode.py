@@ -31,12 +31,14 @@ class SimCode:
     """A dynamic instruction instance travelling through the pipeline."""
 
     __slots__ = (
-        "id", "instruction", "pc",
+        "id", "instruction", "dop", "pc",
         "timestamps", "squashed", "exception",
         # renaming
         "renamed_sources", "dest_arch", "dest_tag",
         # operand capture: arg name -> ('val', value) | ('tag', tag)
         "operands",
+        # fast-path mirrors of `operands`: captured values / unresolved tags
+        "op_values", "pending_tags",
         # results
         "result", "assignments",
         # branch bookkeeping
@@ -48,9 +50,14 @@ class SimCode:
         "fu_name", "finish_cycle",
     )
 
-    def __init__(self, uid: int, instruction: ParsedInstruction):
+    def __init__(self, uid: int, instruction: ParsedInstruction,
+                 dop=None):
         self.id = uid
         self.instruction = instruction
+        if dop is None:
+            from repro.core.decoded import DecodedOp
+            dop = DecodedOp(instruction)
+        self.dop = dop
         self.pc = instruction.pc
         self.timestamps: Dict[str, int] = {}
         self.squashed = False
@@ -60,6 +67,8 @@ class SimCode:
         self.dest_arch: Optional[str] = None
         self.dest_tag: Optional[int] = None
         self.operands: Dict[str, Tuple[str, object]] = {}
+        self.op_values: Dict[str, object] = {}
+        self.pending_tags: Dict[str, int] = {}
 
         self.result = None
         self.assignments: List[Tuple[str, object]] = []

@@ -226,13 +226,14 @@ class Expression:
     every dynamic instance.
     """
 
-    __slots__ = ("source", "_tokens")
+    __slots__ = ("source", "_tokens", "_fn")
 
     _cache: Dict[str, "Expression"] = {}
 
     def __init__(self, source: str):
         self.source = source
         self._tokens = self._compile(source)
+        self._fn = self._codegen(source, self._tokens)
 
     @classmethod
     def compile(cls, source: str) -> "Expression":
@@ -251,7 +252,9 @@ class Expression:
                 name = raw[1:]
                 if not name:
                     raise ExpressionError(f"empty reference in expression {source!r}")
-                tokens.append(("ref", name))
+                # _Ref instances are immutable: pre-create one per token so
+                # evaluation pushes a shared object instead of allocating
+                tokens.append(("ref", _Ref(name)))
             elif raw == "=":
                 tokens.append(("assign", None))
             elif raw in _INT_BINARY:
@@ -274,56 +277,147 @@ class Expression:
                         ) from None
         return tokens
 
+    @staticmethod
+    def _codegen(source: str, tokens: list) -> Optional[Callable]:
+        """Compile the postfix program to a straight-line Python function.
+
+        Postfix expressions have a statically known stack shape, so the
+        stack machine unrolls into plain assignments: operator callables are
+        bound into the generated function's globals, references resolve
+        lazily (at consumption time, like the interpreter) via ``ctx.get``.
+        Returns ``None`` for malformed shapes (stack underflow, non-reference
+        assignment target); those fall back to :meth:`_interpret`, which
+        raises the matching :class:`ExpressionError` at evaluation time.
+        """
+        env: Dict[str, object] = {}
+        lines: List[str] = []
+        #: symbolic stack: ("ref", name) | ("val", python expression)
+        stack: List[Tuple[str, str]] = []
+        temp = 0
+
+        def resolve(slot: Tuple[str, str]) -> str:
+            kind, payload = slot
+            return f"_get({payload!r})" if kind == "ref" else payload
+
+        for kind, payload in tokens:
+            if kind == "ref":
+                stack.append(("ref", payload.name))
+            elif kind == "lit":
+                const = f"_c{len(env)}"
+                env[const] = payload
+                stack.append(("val", const))
+            elif kind == "assign":
+                if len(stack) < 2 or stack[-1][0] != "ref":
+                    return None
+                target = stack.pop()[1]
+                value = resolve(stack.pop())
+                lines.append(f"_set({target!r}, {value})")
+            else:
+                op = f"_op{len(env)}"
+                env[op] = payload
+                cast = "int" if kind in ("ib", "iu") else "float"
+                if kind in ("ib", "fb"):
+                    if len(stack) < 2:
+                        return None
+                    b = resolve(stack.pop())
+                    a = resolve(stack.pop())
+                    call = f"{op}(_ctx, {cast}({a}), {cast}({b}))"
+                else:
+                    if not stack:
+                        return None
+                    a = resolve(stack.pop())
+                    call = f"{op}(_ctx, {cast}({a}))"
+                name = f"_t{temp}"
+                temp += 1
+                lines.append(f"{name} = {call}")
+                stack.append(("val", name))
+
+        lines.append(f"return {resolve(stack[-1])}" if stack else "return None")
+        body = "".join(f"    {line}\n" for line in lines)
+        code = ("def _compiled(_ctx):\n"
+                "    _get = _ctx.get\n"
+                "    _set = _ctx.set\n" + body)
+        exec(compile(code, f"<expression {source!r}>", "exec"), env)
+        return env["_compiled"]
+
     def evaluate(self, ctx: EvalContext) -> Optional[Number]:
         """Run the expression; returns the value left on the stack (if any).
 
         Assignments performed by ``=`` are recorded in ``ctx.assignments``
         and stored into ``ctx.values``.
         """
-        stack: List[object] = []
+        fn = self._fn
+        if fn is not None:
+            return fn(ctx)
+        return self._interpret(ctx)
 
-        def value_of(item):
-            if type(item) is _Ref:
-                return ctx.get(item.name)
-            return item
+    def _interpret(self, ctx: EvalContext) -> Optional[Number]:
+        """Stack-machine fallback (also the reference semantics)."""
+        stack: List[object] = []
+        append = stack.append
+        pop = stack.pop
+        get = ctx.get
 
         for kind, payload in self._tokens:
             if kind == "ref":
-                stack.append(_Ref(payload))
+                append(payload)  # shared, immutable _Ref
             elif kind == "lit":
-                stack.append(payload)
+                append(payload)
             elif kind == "assign":
                 if len(stack) < 2:
                     raise ExpressionError(f"'=' needs value and target in {self.source!r}")
-                target = stack.pop()
+                target = pop()
                 if type(target) is not _Ref:
                     raise ExpressionError(f"'=' target must be a \\reference in {self.source!r}")
-                value = value_of(stack.pop())
+                value = pop()
+                if type(value) is _Ref:
+                    value = get(value.name)
                 ctx.set(target.name, value)
             elif kind == "ib":
                 if len(stack) < 2:
                     raise ExpressionError(f"operator needs 2 operands in {self.source!r}")
-                b = value_of(stack.pop())
-                a = value_of(stack.pop())
-                stack.append(payload(ctx, int(a), int(b)))
+                b = pop()
+                if type(b) is _Ref:
+                    b = get(b.name)
+                a = pop()
+                if type(a) is _Ref:
+                    a = get(a.name)
+                append(payload(ctx, int(a), int(b)))
             elif kind == "iu":
-                a = value_of(stack.pop())
-                stack.append(payload(ctx, int(a)))
+                if not stack:
+                    raise ExpressionError(f"operator needs 1 operand in {self.source!r}")
+                a = pop()
+                if type(a) is _Ref:
+                    a = get(a.name)
+                append(payload(ctx, int(a)))
             elif kind == "fb":
-                b = value_of(stack.pop())
-                a = value_of(stack.pop())
-                stack.append(payload(ctx, float(a), float(b)))
+                if len(stack) < 2:
+                    raise ExpressionError(f"operator needs 2 operands in {self.source!r}")
+                b = pop()
+                if type(b) is _Ref:
+                    b = get(b.name)
+                a = pop()
+                if type(a) is _Ref:
+                    a = get(a.name)
+                append(payload(ctx, float(a), float(b)))
             else:  # "fu"
-                a = value_of(stack.pop())
-                stack.append(payload(ctx, float(a)))
+                if not stack:
+                    raise ExpressionError(f"operator needs 1 operand in {self.source!r}")
+                a = pop()
+                if type(a) is _Ref:
+                    a = get(a.name)
+                append(payload(ctx, float(a)))
 
         if stack:
-            return value_of(stack[-1])
+            top = stack[-1]
+            if type(top) is _Ref:
+                return get(top.name)
+            return top
         return None
 
     def references(self) -> List[str]:
         """Names of all ``\\`` arguments used (excluding ``pc``)."""
-        return [p for k, p in self._tokens if k == "ref" and p != "pc"]
+        return [p.name for k, p in self._tokens if k == "ref" and p.name != "pc"]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Expression({self.source!r})"

@@ -182,10 +182,11 @@ class Cache:
         delay = cfg.access_delay
         all_hit = True
         transactions: List[MemoryTransaction] = []
+        index_bits = self._index_mask.bit_length()
 
         for line_addr in range(first_line, last_line + 1):
             set_index = line_addr & self._index_mask
-            tag = line_addr >> (self._index_mask.bit_length())
+            tag = line_addr >> index_bits
             way = self._lookup(set_index, tag)
             if way is not None:
                 self._policies[set_index].touch(way)
@@ -216,13 +217,13 @@ class Cache:
                     min(line_addr << self._offset_bits,
                         self.memory.capacity - cfg.line_size),
                     cfg.line_size, cycle, instruction_id)
-            if is_store:
-                if cfg.write_back:
-                    line.dirty = True
-                else:
-                    self.stats.bytes_written += size
+            if is_store and cfg.write_back:
+                line.dirty = True
 
         if is_store and not cfg.write_back:
+            # Bytes are counted once per *access*, not once per touched
+            # line: a line-crossing store still pushes `size` bytes.
+            self.stats.bytes_written += size
             delay += self.next_level.writeback_cost(
                 min(address, self.memory.capacity - size), size, cycle,
                 instruction_id)

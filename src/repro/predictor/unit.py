@@ -75,6 +75,10 @@ class BranchPredictor:
         self._spec_local: Dict[int, int] = {}
         self._commit_local: Dict[int, int] = {}
         self._history_mask = (1 << config.history_bits) - 1
+        #: state name reported for never-trained PHT entries (GUI queries
+        #: must not allocate, so the default is rendered once up front)
+        self._default_state_name = make_bit_predictor(
+            config.predictor_type, config.default_state).state_name()
         # statistics
         self.predictions = 0
         self.correct = 0
@@ -124,25 +128,39 @@ class BranchPredictor:
         return taken, target, index
 
     def entry_state(self, pc: int) -> str:
-        """Human-readable PHT state for the GUI (e.g. 'weakly-taken')."""
-        return self._entry_at(self._spec_index(pc)).state_name()
+        """Human-readable PHT state for the GUI (e.g. 'weakly-taken').
+
+        Read-only: a query for a PC whose entry was never trained reports
+        the configured default state without allocating a PHT entry."""
+        entry = self._pht[self._spec_index(pc)]
+        if entry is None:
+            return self._default_state_name
+        return entry.state_name()
 
     # ------------------------------------------------------------------
     def train(self, pc: int, taken: bool, target: int,
               predicted_taken: bool, predicted_target: Optional[int],
-              pht_index: Optional[int] = None) -> bool:
+              pht_index: Optional[int] = None,
+              unconditional: bool = False) -> bool:
         """Record the resolved outcome; returns True if prediction correct.
 
         A prediction counts as correct only if both direction and (for taken
         branches) target were right — a taken guess without a BTB target is
         a misfetch and counts as a misprediction.
+
+        Unconditional branches (``jal``/``ret``/``jalr``) never consult the
+        direction counters at predict time, so training them would only
+        pollute aliased conditional entries (gshare indexing makes PHT
+        collisions routine); they still update the BTB, the histories and
+        the statistics.
         """
         self.predictions += 1
         index = pht_index if pht_index is not None \
             else self._index_for(pc, self._commit_global
                                  if self.config.use_global_history
                                  else self._commit_local.get(pc, 0))
-        self._entry_at(index).update(taken)
+        if not unconditional:
+            self._entry_at(index).update(taken)
         if self.config.use_global_history:
             self._commit_global = ((self._commit_global << 1) | int(taken)) \
                 & self._history_mask

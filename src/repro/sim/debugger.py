@@ -109,16 +109,11 @@ class DebugSession:
                     hit.append(DebugEvent(kind="breakpoint", cycle=cpu.cycle,
                                           pc=simcode.pc))
 
-        # lightweight commit hook: wrap _count_commit once per session
+        # lightweight commit hook: register the per-commit observer once
         cpu = sim.cpu
         if not hasattr(cpu, "_debug_committed"):
             cpu._debug_committed = []
-            original = cpu._count_commit
-
-            def counting(simcode):
-                cpu._debug_committed.append(simcode)
-                original(simcode)
-            cpu._count_commit = counting
+            cpu.commit_hook = cpu._debug_committed.append
 
         steps = 0
         while steps < max_cycles:

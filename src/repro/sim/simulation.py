@@ -121,11 +121,18 @@ class Simulation:
 
     # ------------------------------------------------------------------
     def run(self, max_cycles: Optional[int] = None) -> SimulationResult:
-        """Run continuously until the program ends (or a cycle budget)."""
+        """Run continuously until the program ends (or a cycle budget).
+
+        With no registered observers this takes the uninstrumented fast
+        path (:meth:`repro.core.pipeline.Cpu.run`): no per-cycle observer
+        dispatch, no snapshots — run-to-completion simulations only pay for
+        the pipeline blocks themselves."""
         budget = max_cycles if max_cycles is not None else self.config.max_cycles
-        while not self.cpu.halted and self.cpu.cycle < budget:
-            self.cpu.step()
-            if self.observers:
+        if not self.observers:
+            self.cpu.run(budget)
+        else:
+            while not self.cpu.halted and self.cpu.cycle < budget:
+                self.cpu.step()
                 for observer in self.observers:
                     observer(self.cpu)
         if not self.cpu.halted:

@@ -1,0 +1,144 @@
+"""Golden determinism suite.
+
+The paper's backward simulation (Sec. III-B) is a deterministic forward
+re-run, so the simulator must be *bit-exact*: the same program on the same
+configuration always produces the same cycle count, committed-instruction
+count, and final architectural state.  This suite pins those values for the
+example programs so that performance refactors of the pipeline hot loops
+are provably behavior-preserving.
+
+Goldens live in ``golden_determinism.json`` next to this file.  To
+regenerate after an *intentional* behavior change (e.g. a timing-model
+bugfix), run::
+
+    PYTHONPATH=src python tests/integration/test_golden_determinism.py --regen
+
+and commit the diff alongside an explanation of why the numbers moved.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib.util
+import json
+import pathlib
+import sys
+
+import pytest
+
+from repro import CpuConfig, MemoryLocation, Simulation
+from repro.compiler import compile_c
+
+HERE = pathlib.Path(__file__).resolve().parent
+GOLDEN_PATH = HERE / "golden_determinism.json"
+EXAMPLES = HERE.parents[1] / "examples"
+
+SUM_LOOP = """
+    li a0, 0
+    li t0, 1
+    li t1, 200
+loop:
+    add a0, a0, t0
+    addi t0, t0, 1
+    ble t0, t1, loop
+    ebreak
+"""
+
+
+def _example_attr(module_name: str, attr: str):
+    """Load a constant (C source / asm listing) from an example script."""
+    spec = importlib.util.spec_from_file_location(
+        f"golden_{module_name}", EXAMPLES / f"{module_name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return getattr(module, attr)
+
+
+def _sum_loop_sim() -> Simulation:
+    return Simulation.from_source(SUM_LOOP)
+
+
+def _polymorphism_sim() -> Simulation:
+    asm = _example_attr("polymorphism", "POLYMORPHISM_ASM")
+    return Simulation.from_source(asm, entry="main")
+
+
+def _quicksort_sim(level: int) -> Simulation:
+    source = _example_attr("quicksort", "QUICKSORT_C")
+    values = _example_attr("quicksort", "VALUES")
+    compiled = compile_c(source, level)
+    assert compiled.success, compiled.errors
+    config = CpuConfig()
+    config.memory.call_stack_size = 4096
+    data = MemoryLocation(name="data", dtype="word", alignment=4,
+                          values=values)
+    return Simulation.from_source(compiled.assembly, config=config,
+                                  entry="main", memory_locations=[data])
+
+
+def _linked_list_sim(level: int) -> Simulation:
+    source = _example_attr("linked_list", "LINKED_LIST_C")
+    compiled = compile_c(source, level)
+    assert compiled.success, compiled.errors
+    config = CpuConfig()
+    config.memory.call_stack_size = 2048
+    return Simulation.from_source(compiled.assembly, config=config,
+                                  entry="main")
+
+
+CASES = {
+    "sum_loop": _sum_loop_sim,
+    "polymorphism": _polymorphism_sim,
+    **{f"quicksort_O{level}": (lambda level=level: _quicksort_sim(level))
+       for level in range(4)},
+    **{f"linked_list_O{level}": (lambda level=level: _linked_list_sim(level))
+       for level in range(4)},
+}
+
+
+def fingerprint(sim: Simulation) -> dict:
+    """Cycle counts plus digests of the final architectural state."""
+    result = sim.run()
+    regs = sim.cpu.arch_regs.snapshot()
+    reg_blob = json.dumps(regs, sort_keys=True, default=repr)
+    mem_digest = hashlib.sha256(bytes(sim.cpu.memory.data)).hexdigest()
+    return {
+        "haltReason": result.halt_reason,
+        "cycles": result.cycles,
+        "committed": result.committed,
+        "a0": repr(sim.register_value("a0")),
+        "registersSha256": hashlib.sha256(reg_blob.encode()).hexdigest(),
+        "memorySha256": mem_digest,
+    }
+
+
+@pytest.fixture(scope="module")
+def goldens() -> dict:
+    assert GOLDEN_PATH.exists(), \
+        "golden_determinism.json missing - regenerate with --regen"
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_golden(name: str, goldens: dict):
+    assert name in goldens, f"no golden for {name} - regenerate with --regen"
+    assert fingerprint(CASES[name]()) == goldens[name]
+
+
+def test_rerun_is_bit_exact():
+    """Two independent runs of the same program agree exactly (the property
+    backward simulation relies on)."""
+    assert fingerprint(_sum_loop_sim()) == fingerprint(_sum_loop_sim())
+
+
+def _regenerate() -> None:
+    data = {name: fingerprint(build()) for name, build in sorted(CASES.items())}
+    GOLDEN_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {GOLDEN_PATH} ({len(data)} cases)")
+
+
+if __name__ == "__main__":
+    if "--regen" in sys.argv:
+        _regenerate()
+    else:
+        print(__doc__)

@@ -154,6 +154,19 @@ class TestErrors:
         with pytest.raises(ExpressionError):
             Expression.compile("\\rd =").evaluate(EvalContext({"rd": 0}))
 
+    @pytest.mark.parametrize("source", [
+        "+",        # int binary, empty stack
+        "1 +",      # int binary, one operand
+        "~",        # int unary, empty stack
+        "f+",       # float binary, empty stack
+        "1.0 f+",   # float binary, one operand
+        "fsqrt",    # float unary, empty stack
+    ])
+    def test_underfull_stack_raises_expression_error(self, source):
+        """Malformed postfix must fail with ExpressionError, not IndexError."""
+        with pytest.raises(ExpressionError):
+            Expression.compile(source).evaluate(EvalContext())
+
 
 class TestProperties:
     @given(st.integers(-2**31, 2**31 - 1), st.integers(-2**31, 2**31 - 1))

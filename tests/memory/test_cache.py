@@ -154,6 +154,14 @@ class TestWriteModes:
         assert cache.stats.bytes_written == 8
         assert cache.stats.writebacks == 0
 
+    def test_write_through_line_crossing_store_counts_bytes_once(self):
+        """A store spanning two lines pushes `size` bytes, not 2x size."""
+        cache = make_cache(write_back=False, line_size=16)
+        cache.access(0x10E, 4, True, 0)  # crosses 0x100 and 0x110 lines
+        assert cache.stats.bytes_written == 4
+        cache.access(0x10E, 4, True, 1)  # both lines now resident: still 4
+        assert cache.stats.bytes_written == 8
+
     def test_write_through_store_hit_costs_memory_latency(self):
         cache = make_cache(write_back=False, access_delay=1)
         cache.access(0x00, 4, False, 0)        # fill

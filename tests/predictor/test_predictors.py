@@ -252,3 +252,52 @@ class TestBranchPredictorUnit:
                                  use_global_history=True, history_bits=8)
         clone = PredictorConfig.from_json(config.to_json())
         assert clone == config
+
+
+class TestUnconditionalTraining:
+    """jal/ret must not pollute the direction counters (they never consult
+    them at predict time), and read-only GUI queries must not allocate."""
+
+    def test_unconditional_train_skips_pht_counter(self):
+        bp = BranchPredictor(PredictorConfig(predictor_type="two",
+                                             default_state=1))
+        for _ in range(4):
+            bp.train(0x10, True, 0x40, True, 0x40, pht_index=5,
+                     unconditional=True)
+        assert bp._pht[5] is None            # counter never touched
+        assert bp.predictions == 4           # stats still recorded
+        assert bp.btb.lookup(0x10) == 0x40   # BTB still updated
+
+    def test_unconditional_train_does_not_skew_aliased_conditional(self):
+        """An aliased conditional entry keeps its trained state even when an
+        unconditional branch hits the same gshare index over and over."""
+        bp = BranchPredictor(PredictorConfig(predictor_type="two",
+                                             default_state=1,
+                                             use_global_history=True))
+        idx = 7
+        bp._entry_at(idx).update(False)      # conditional: strongly not-taken
+        state_before = bp._pht[idx].state
+        for _ in range(8):
+            bp.train(0x30, True, 0x80, True, 0x80, pht_index=idx,
+                     unconditional=True)
+        assert bp._pht[idx].state == state_before
+
+    def test_conditional_train_still_updates_counter(self):
+        bp = BranchPredictor(PredictorConfig(predictor_type="two",
+                                             default_state=1))
+        bp.train(0x20, True, 0x44, False, None, pht_index=3)
+        assert bp._pht[3] is not None
+        assert bp._pht[3].state == 2         # 1 (weakly-NT) + taken -> 2
+
+    def test_unconditional_train_still_updates_history(self):
+        bp = BranchPredictor(PredictorConfig(use_global_history=True,
+                                             history_bits=4))
+        bp.train(0x10, True, 0x40, True, 0x40, pht_index=0,
+                 unconditional=True)
+        assert bp._commit_global == 1
+
+    def test_entry_state_is_non_mutating(self):
+        bp = BranchPredictor(PredictorConfig(predictor_type="two",
+                                             default_state=2))
+        assert bp.entry_state(0x123) == "weakly-taken"
+        assert all(entry is None for entry in bp._pht)
