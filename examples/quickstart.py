@@ -33,13 +33,25 @@ print(f"cycles = {sim.stats.cycles}, IPC = {sim.stats.ipc:.3f}, "
 
 # ---------------------------------------------------------------------------
 # 2. step-by-step simulation, forward and backward (Sec. II of the paper)
+#
+# Backward stepping is checkpointed: every `checkpoint_interval` cycles
+# (default 128) the complete processor state is saved into an LRU-bounded
+# ring (`sim.checkpoints`), so `step_back`/`seek` restore the nearest
+# checkpoint and deterministically replay at most one interval — O(K)
+# instead of the paper's O(t) re-run from cycle 0.  Replay is bit-exact
+# (pinned by the golden determinism suite), and `sim.last_replay_cycles`
+# tells you how much was actually re-run.
 # ---------------------------------------------------------------------------
-sim = Simulation.from_source(SOURCE)
+sim = Simulation.from_source(SOURCE, checkpoint_interval=16)
 sim.step(25)
 print(f"\nafter 25 cycles: committed={sim.cpu.committed}")
-sim.step_back(10)        # deterministic re-run of the first 15 cycles
+sim.step_back(10)        # restore the nearest checkpoint, replay the rest
 print(f"after stepping back 10: cycle={sim.cycle}, "
-      f"committed={sim.cpu.committed}")
+      f"committed={sim.cpu.committed} "
+      f"(replayed only {sim.last_replay_cycles} cycles)")
+sim.seek(24)             # absolute jumps use the same checkpoint ring
+print(f"after seek(24): cycle={sim.cycle} "
+      f"(replayed {sim.last_replay_cycles} from checkpoint @16)")
 
 # ---------------------------------------------------------------------------
 # 3. compile C and watch the optimizer work

@@ -16,6 +16,8 @@ the instruction is committed (Sec. III-B).
 
 from __future__ import annotations
 
+import copy
+import json
 import struct
 from bisect import insort
 from collections import deque
@@ -27,13 +29,13 @@ from repro.core.decoded import SRC_REG, DecodedOp
 from repro.core.rename import RenameFile
 from repro.core.simcode import Phase, SimCode
 from repro.errors import MemoryAccessError, SimulationException
-from repro.isa.expression import EvalContext
 from repro.isa.instruction import FuClass
 from repro.isa.registers import RegisterFile
 from repro.memory.cache import Cache
 from repro.memory.hierarchy import MemoryModel
 from repro.memory.main_memory import MainMemory
 from repro.predictor.unit import BranchPredictor
+from repro.sim.state import SNAPSHOT_SECTIONS, SnapshotCache
 
 # Phase-name keys hoisted out of the hot loops (``Phase.X.value`` is a
 # DynamicClassAttribute lookup — measurably slow at millions of stamps).
@@ -246,6 +248,37 @@ class Cpu:
         #: optional per-commit observer (the debugger's breakpoint probe)
         self.commit_hook = None
 
+        # -- incremental state engine (repro.sim.state) --------------------
+        # Dirty counters, one per snapshot section group; every mutation of
+        # the corresponding structure bumps its counter, so snapshot payloads
+        # can be cached and patched instead of rebuilt (the registers /
+        # rename / memory / cache substrates carry their own counters).
+        self.v_front = 0       # fetch buffer membership + squashes
+        self.v_rob = 0         # ROB membership + any in-flight SimCode state
+        self.v_windows = 0     # issue-window membership + operand wake-ups
+        self.v_fus = 0         # FX/FP/branch unit occupancy + busy cycles
+        self.v_mem_units = 0   # memory unit occupancy + busy cycles
+        self.v_loadq = 0       # load queue membership
+        self.v_storeb = 0      # store buffer membership + entry state
+        self._snap_cache = SnapshotCache()
+        self._section_builders = {
+            "fetch": self._snap_fetch, "rob": self._snap_rob,
+            "issueWindows": self._snap_windows,
+            "functionalUnits": self._snap_fus,
+            "memoryUnits": self._snap_mem_units,
+            "loadQueue": self._snap_loadq, "storeBuffer": self._snap_storeb,
+            "registers": self.arch_regs.snapshot, "rename": self.rename.snapshot,
+            "cache": self._snap_cache_lines, "l2Cache": self._snap_l2_lines,
+        }
+        #: sections serialized by splicing per-instruction fragments
+        self._json_builders = {
+            "fetch": self._json_fetch, "rob": self._json_rob,
+            "issueWindows": self._json_windows, "loadQueue": self._json_loadq,
+        }
+        #: deepcopy memo seed for save/restore: static objects shared by
+        #: every in-flight instruction (built lazily, see _checkpoint_memo)
+        self._static_memo: Optional[Dict[int, object]] = None
+
         # -- counters consumed by the statistics collector -----------------
         self.committed = 0
         self.committed_by_type: Dict[str, int] = {}
@@ -299,10 +332,15 @@ class Cpu:
         self._issue()
         self._dispatch()
         self._fetch()
-        for fu in self._all_fus:
+        for fu in self.fus:
             # inlined FuRuntime.busy (covers both pipelined modes)
             if fu.simcode is not None or fu.inflight:
                 fu.busy_cycles += 1
+                self.v_fus += 1
+        for fu in self.memory_units:
+            if fu.simcode is not None or fu.inflight:
+                fu.busy_cycles += 1
+                self.v_mem_units += 1
         self._check_end()
         self.cycle += 1
 
@@ -331,7 +369,9 @@ class Cpu:
             if _WRITEBACK not in head.timestamps:
                 return  # not yet executed: in-order commit stalls here
             rob.popleft()
+            self.v_rob += 1
             head.timestamps[_COMMIT] = cycle
+            head.sver += 1
             dop = head.dop
             self.committed += 1
             if self.commit_hook is not None:
@@ -401,6 +441,7 @@ class Cpu:
     def _squash_pipeline(self) -> None:
         for simcode in list(self.fetch_buffer) + list(self.rob):
             simcode.squashed = True
+            simcode.sver += 1
         for window in self.windows.values():
             window.clear()
         self.fetch_buffer.clear()
@@ -414,6 +455,18 @@ class Cpu:
         self._tag_waiters.clear()
         self.rename.flush()
         self.predictor.on_flush()
+        self._mark_all_sections_dirty()
+
+    def _mark_all_sections_dirty(self) -> None:
+        """Bump every pipeline section counter (mass-mutation events:
+        pipeline squash, checkpoint restore)."""
+        self.v_front += 1
+        self.v_rob += 1
+        self.v_windows += 1
+        self.v_fus += 1
+        self.v_mem_units += 1
+        self.v_loadq += 1
+        self.v_storeb += 1
 
     # ==================================================================
     # memory unit: loads access the cache / main memory
@@ -437,11 +490,13 @@ class Cpu:
                     else:
                         kept.append(e)
                 self.store_buffer = kept
+                self.v_storeb += 1
         # complete finished loads
         for unit in self.memory_units:
             if unit.simcode is not None and cycle >= unit.busy_until:
                 load = unit.simcode
                 unit.simcode = None
+                self.v_mem_units += 1
                 self._writeback_load(load)
         # start new accesses
         if not self.load_queue:
@@ -454,10 +509,14 @@ class Cpu:
             if status == "wait":
                 continue  # head-of-queue blocking until older stores resolve
             self.load_queue.pop(0)
+            self.v_loadq += 1
             unit.simcode = load
             unit.busy_until = cycle + max(1, delay + unit.spec.latency - 1)
+            self.v_mem_units += 1
             load.mem_delay = delay
             load.result = value
+            load.sver += 1
+            self.v_rob += 1
 
     def _try_load(self, load: SimCode) -> Tuple[str, object, int]:
         """Resolve a load against older stores; returns (status, value, delay).
@@ -517,6 +576,8 @@ class Cpu:
             self.rename.write(tag, load.result)
             self._wakeup_waiters(tag, load.result)
         load.timestamps[_WRITEBACK] = self.cycle
+        load.sver += 1
+        self.v_rob += 1
 
     def _drain_store(self, entry: StoreBufferEntry) -> None:
         """Perform the architectural store at commit; model drain timing."""
@@ -535,6 +596,8 @@ class Cpu:
                 self.halted = f"exception: {exc}"
         entry.committed = True
         entry.drain_until = self.cycle + max(1, delay)
+        simcode.sver += 1
+        self.v_storeb += 1
 
     # ==================================================================
     # execute: functional units (sub-step 1 of Sec. III-A)
@@ -545,25 +608,31 @@ class Cpu:
             if fu.pipelined:
                 if fu.inflight:
                     for simcode in fu.take_finished(cycle):
+                        self.v_fus += 1
                         self._complete(simcode)
             elif fu.simcode is not None and cycle >= fu.busy_until:
                 simcode = fu.simcode
                 fu.simcode = None
+                self.v_fus += 1
                 self._complete(simcode)
 
     def _complete(self, simcode: SimCode) -> None:
         dop = simcode.dop
         cycle = self.cycle
         simcode.timestamps[_EXECUTE] = cycle
+        simcode.sver += 1
+        self.v_rob += 1
         if dop.fu_kind == "LS":
             if dop.is_store:
                 entry = self._store_by_id.get(simcode.id)
                 if entry is not None:
                     entry.address = simcode.address
                     entry.data = simcode.store_data
+                self.v_storeb += 1
                 simcode.timestamps[_WRITEBACK] = cycle
             else:
                 insort(self.load_queue, simcode, key=_simcode_id)
+                self.v_loadq += 1
             return
         # FX / FP / Branch: apply the pre-computed register result
         tag = simcode.dest_tag
@@ -602,8 +671,10 @@ class Cpu:
                 self._start_execution(unit, simcode)
                 if not free_units:
                     break
-            for simcode in issued:
-                window.remove(simcode)
+            if issued:
+                self.v_windows += 1
+                for simcode in issued:
+                    window.remove(simcode)
 
     def _wakeup_waiters(self, tag: int, value) -> None:
         """Broadcast a freshly produced speculative register value to every
@@ -612,10 +683,13 @@ class Cpu:
         produced instead of by per-cycle window polling)."""
         waiters = self._tag_waiters.pop(tag, None)
         if waiters:
+            self.v_rob += 1
+            self.v_windows += 1
             for simcode, name in waiters:
                 simcode.operands[name] = ("val", value)
                 simcode.op_values[name] = value
                 simcode.pending_tags.pop(name, None)
+                simcode.sver += 1
 
     @staticmethod
     def _pick_unit(units: List[FuRuntime], op_class: str) -> Optional[FuRuntime]:
@@ -633,7 +707,10 @@ class Cpu:
         simcode.timestamps[_ISSUE] = cycle
         finish = cycle + latency
         unit.start(simcode, cycle, finish)
+        self.v_fus += 1
+        self.v_rob += 1
         simcode.finish_cycle = finish
+        simcode.sver += 1
         # Compute the architectural result now, deterministically, from the
         # captured operand values; it becomes visible at finish time.
         try:
@@ -646,11 +723,11 @@ class Cpu:
         values = simcode.op_values
         expr = dop.expr
         if expr is not None:
-            ctx = EvalContext(values, pc=simcode.pc)
-            result = expr.evaluate(ctx)
-            if ctx.exception is not None:
-                simcode.exception = ctx.exception
-            assignments = ctx.assignments
+            # fused fast path: no EvalContext (and no operand-dict copy)
+            # is allocated per executed instruction (see Expression)
+            result, assignments, exception = expr.eval_fast(values, simcode.pc)
+            if exception is not None:
+                simcode.exception = exception
         else:
             result = None
             assignments = []
@@ -666,8 +743,8 @@ class Cpu:
         if dop.is_branch:
             target = dop.static_target
             if target is None:  # jalr-style: depends on a source register
-                tctx = EvalContext(values, pc=simcode.pc)
-                target = int(dop.target_expr.evaluate(tctx)) & 0xFFFFFFFF
+                target = int(dop.target_expr.eval_fast(
+                    values, simcode.pc)[0]) & 0xFFFFFFFF
             if dop.is_unconditional:
                 simcode.actual_taken = True
             else:
@@ -728,6 +805,7 @@ class Cpu:
                 return
 
             fetch_buffer.popleft()
+            self.v_front += 1
             # rename sources (plumbing template pre-computed at decode)
             operands = simcode.operands
             op_values = simcode.op_values
@@ -759,12 +837,16 @@ class Cpu:
                 entry = StoreBufferEntry(simcode)
                 self.store_buffer.append(entry)
                 self._store_by_id[simcode.id] = entry
+                self.v_storeb += 1
 
             timestamps = simcode.timestamps
             timestamps[_DECODE] = cycle
             timestamps[_DISPATCH] = cycle
+            simcode.sver += 1
             rob.append(simcode)
             window.append(simcode)
+            self.v_rob += 1
+            self.v_windows += 1
 
             if dop.is_branch:
                 if self._decode_redirect(simcode):
@@ -784,7 +866,11 @@ class Cpu:
         # redirect: squash everything younger still in the fetch buffer
         for younger in self.fetch_buffer:
             younger.squashed = True
+            younger.sver += 1
         self.fetch_buffer.clear()
+        self.v_front += 1
+        self.v_rob += 1
+        simcode.sver += 1
         simcode.predicted_taken = True
         simcode.predicted_target = computed
         self.pc = computed
@@ -824,6 +910,7 @@ class Cpu:
             self.next_id += 1
             simcode.timestamps[_FETCH] = cycle
             fetch_buffer.append(simcode)
+            self.v_front += 1
             if dop.is_branch:
                 taken, target, pht_index = self.predictor.predict_indexed(
                     pc, dop.is_unconditional)
@@ -862,36 +949,251 @@ class Cpu:
             self.log_msg(self.halted)
 
     # ==================================================================
-    # GUI snapshots
+    # GUI snapshots (incremental: cached per section, patched when dirty)
     # ==================================================================
-    def snapshot(self) -> dict:
-        """Complete processor-view payload (Fig. 12)."""
+    def _snap_fetch(self) -> dict:
         return {
-            "cycle": self.cycle,
             "pc": self.pc,
-            "halted": self.halted,
-            "fetch": {
-                "pc": self.pc,
-                "stalledUntil": self.fetch_stall_until,
-                "buffer": [s.to_json() for s in self.fetch_buffer],
-            },
-            "rob": [s.to_json() for s in self.rob],
-            "issueWindows": {
-                name: [s.to_json() for s in window]
-                for name, window in self.windows.items()
-            },
-            "functionalUnits": [fu.snapshot() for fu in self.fus],
-            "memoryUnits": [fu.snapshot() for fu in self.memory_units],
-            "loadQueue": [s.to_json() for s in self.load_queue],
-            "storeBuffer": [
-                {"instruction": e.simcode.instruction.render(),
-                 "address": e.address, "committed": e.committed,
-                 "drainUntil": e.drain_until}
-                for e in self.store_buffer
-            ],
-            "registers": self.arch_regs.snapshot(),
-            "rename": self.rename.snapshot(),
-            "cache": self.cache.lines_snapshot() if self.cache else None,
-            "l2Cache": (self.l2_cache.lines_snapshot()
-                        if self.l2_cache else None),
+            "stalledUntil": self.fetch_stall_until,
+            "buffer": [s.to_json() for s in self.fetch_buffer],
         }
+
+    def _snap_rob(self) -> list:
+        return [s.to_json() for s in self.rob]
+
+    def _snap_windows(self) -> dict:
+        return {name: [s.to_json() for s in window]
+                for name, window in self.windows.items()}
+
+    def _snap_fus(self) -> list:
+        return [fu.snapshot() for fu in self.fus]
+
+    def _snap_mem_units(self) -> list:
+        return [fu.snapshot() for fu in self.memory_units]
+
+    def _snap_loadq(self) -> list:
+        return [s.to_json() for s in self.load_queue]
+
+    def _snap_storeb(self) -> list:
+        return [
+            {"instruction": e.simcode.instruction.render(),
+             "address": e.address, "committed": e.committed,
+             "drainUntil": e.drain_until}
+            for e in self.store_buffer
+        ]
+
+    def _snap_cache_lines(self):
+        return self.cache.lines_snapshot() if self.cache else None
+
+    def _snap_l2_lines(self):
+        return self.l2_cache.lines_snapshot() if self.l2_cache else None
+
+    def section_versions(self) -> Dict[str, object]:
+        """Current dirty-version token of every snapshot section.
+
+        Tokens are equality-comparable and move whenever the section's
+        payload could have changed; they never repeat with different
+        content (restores bump instead of rewinding)."""
+        return {
+            "fetch": (self.v_front, self.pc, self.fetch_stall_until),
+            "rob": self.v_rob,
+            "issueWindows": self.v_windows,
+            "functionalUnits": self.v_fus,
+            "memoryUnits": self.v_mem_units,
+            "loadQueue": self.v_loadq,
+            "storeBuffer": self.v_storeb,
+            "registers": self.arch_regs.version,
+            "rename": self.rename.version,
+            "cache": self.cache.version if self.cache else None,
+            "l2Cache": self.l2_cache.version if self.l2_cache else None,
+        }
+
+    def snapshot(self) -> dict:
+        """Complete processor-view payload (Fig. 12).
+
+        Sections are cached keyed by their dirty version (see
+        :mod:`repro.sim.state`): a stalled machine rebuilds almost nothing,
+        an active one rebuilds only the blocks that moved."""
+        versions = self.section_versions()
+        section = self._snap_cache.section
+        builders = self._section_builders
+        data = {"cycle": self.cycle, "pc": self.pc, "halted": self.halted}
+        for name in SNAPSHOT_SECTIONS:
+            data[name] = section(name, versions[name], builders[name])
+        return data
+
+    def snapshot_sections(self, since: Optional[Dict[str, object]] = None) -> dict:
+        """Payloads of the sections whose version moved past *since*.
+
+        *since* is a map previously returned by :meth:`section_versions`;
+        ``None`` returns every section.  Used by the delta-serving session
+        path, so the wire payload scales with what changed."""
+        versions = self.section_versions()
+        section = self._snap_cache.section
+        builders = self._section_builders
+        return {
+            name: section(name, versions[name], builders[name])
+            for name in SNAPSHOT_SECTIONS
+            if since is None or since.get(name) != versions[name]
+        }
+
+    # -- serialized fragments (repro.sim.state.RawJson) ------------------
+    def _json_fetch(self) -> str:
+        buffer = ",".join(s.to_json_str() for s in self.fetch_buffer)
+        return (f'{{"pc": {self.pc}, '
+                f'"stalledUntil": {self.fetch_stall_until}, '
+                f'"buffer": [{buffer}]}}')
+
+    def _json_rob(self) -> str:
+        return "[" + ",".join(s.to_json_str() for s in self.rob) + "]"
+
+    def _json_windows(self) -> str:
+        parts = []
+        for name, window in self.windows.items():
+            entries = ",".join(s.to_json_str() for s in window)
+            parts.append(f"{json.dumps(name)}: [{entries}]")
+        return "{" + ", ".join(parts) + "}"
+
+    def _json_loadq(self) -> str:
+        return "[" + ",".join(s.to_json_str() for s in self.load_queue) + "]"
+
+    def section_json(self, name: str,
+                     version: Optional[object] = None) -> str:
+        """Serialized payload of one snapshot section, cached per version.
+
+        Instruction-list sections (fetch, ROB, windows, load queue) are
+        assembled from per-instruction cached fragments, so re-serving a
+        mostly-quiet machine re-encodes only the instructions that moved;
+        the remaining sections serialize their (version-cached) payload in
+        one C-encoder call per content change."""
+        if version is None:
+            version = self.section_versions()[name]
+        fragment = self._json_builders.get(name)
+        if fragment is not None:
+            return self._snap_cache.section(name + "#json", version, fragment)
+        payload = self._snap_cache.section(name, version,
+                                           self._section_builders[name])
+        return self._snap_cache.section(name + "#json", version,
+                                        lambda: json.dumps(payload))
+
+    # ==================================================================
+    # state-engine protocol (repro.sim.state): checkpoint save / restore
+    # ==================================================================
+    def _checkpoint_memo(self) -> Dict[int, object]:
+        """Fresh deepcopy memo pre-seeded with the static objects every
+        in-flight instruction references (program, config, decode cache),
+        so checkpoints copy per-instance state only and keep the immutable
+        skeleton shared."""
+        memo = self._static_memo
+        if memo is None:
+            memo = {id(self.program): self.program,
+                    id(self.config): self.config}
+            for dop in self.decoded:
+                memo[id(dop)] = dop
+                memo[id(dop.instruction)] = dop.instruction
+            self._static_memo = memo
+        return dict(memo)
+
+    def save_counters(self) -> dict:
+        """Statistics-facing counters (see RuntimeStatistics.save_state)."""
+        return {
+            "committed": self.committed,
+            "byType": dict(self.committed_by_type),
+            "byMnemonic": dict(self.committed_by_mnemonic),
+            "flops": self.flops,
+            "robFlushes": self.rob_flushes,
+            "decodeRedirects": self.decode_redirects,
+            "fetchStallCycles": self.fetch_stall_cycles,
+            "dispatchStalls": dict(self.dispatch_stalls),
+        }
+
+    def restore_counters(self, counters: dict) -> None:
+        self.committed = counters["committed"]
+        self.committed_by_type = dict(counters["byType"])
+        self.committed_by_mnemonic = dict(counters["byMnemonic"])
+        self.flops = counters["flops"]
+        self.rob_flushes = counters["robFlushes"]
+        self.decode_redirects = counters["decodeRedirects"]
+        self.fetch_stall_cycles = counters["fetchStallCycles"]
+        self.dispatch_stalls = dict(counters["dispatchStalls"])
+
+    def save_state(self) -> dict:
+        """Complete, self-contained processor state at the current cycle.
+
+        The in-flight instruction graph (fetch buffer, ROB, windows, queues,
+        functional units, tag waiters — all sharing SimCode objects) is
+        deep-copied in one pass so cross-references stay consistent; the
+        substrates (registers, rename, memory, caches, predictor) save
+        through their own state-engine protocol."""
+        graph = {
+            "fetch_buffer": list(self.fetch_buffer),
+            "rob": list(self.rob),
+            "windows": {name: list(w) for name, w in self.windows.items()},
+            "load_queue": list(self.load_queue),
+            "load_buffer": list(self.load_buffer),
+            "store_buffer": list(self.store_buffer),
+            "tag_waiters": {tag: list(w)
+                            for tag, w in self._tag_waiters.items()},
+            "fus": [(fu.simcode, fu.busy_until, fu.busy_cycles,
+                     list(fu.inflight), fu.last_issue_cycle)
+                    for fu in self._all_fus],
+            "exception": self.committed_exception,
+        }
+        return {
+            "graph": copy.deepcopy(graph, self._checkpoint_memo()),
+            "regs": self.arch_regs.save_state(),
+            "rename": self.rename.save_state(),
+            "memory": self.memory.save_state(),
+            "cache": self.cache.save_state() if self.cache else None,
+            "l2Cache": (self.l2_cache.save_state()
+                        if self.l2_cache else None),
+            "predictor": self.predictor.save_state(),
+            "scalars": (self.cycle, self.pc, self.next_id, self.halted,
+                        self.fetch_stall_until, self.fetch_past_end),
+            "log": list(self.log),
+            "counters": self.save_counters(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Reinstall a :meth:`save_state` snapshot in place (bit-exact).
+
+        Object identity of the CPU and its substrates is preserved, so
+        observers, debugger hooks and cross-component references survive.
+        The stored state is deep-copied on the way in — a checkpoint can be
+        restored any number of times."""
+        graph = copy.deepcopy(state["graph"], self._checkpoint_memo())
+        self.fetch_buffer.clear()
+        self.fetch_buffer.extend(graph["fetch_buffer"])
+        self.rob.clear()
+        self.rob.extend(graph["rob"])
+        for name, window in self.windows.items():
+            window[:] = graph["windows"][name]
+        self.load_queue[:] = graph["load_queue"]
+        self.load_buffer[:] = graph["load_buffer"]
+        self.store_buffer = list(graph["store_buffer"])
+        self._store_by_id = {e.simcode.id: e for e in self.store_buffer}
+        self._tag_waiters = {tag: list(w)
+                             for tag, w in graph["tag_waiters"].items()}
+        for fu, (simcode, busy_until, busy_cycles, inflight, last_issue) \
+                in zip(self._all_fus, graph["fus"]):
+            fu.simcode = simcode
+            fu.busy_until = busy_until
+            fu.busy_cycles = busy_cycles
+            fu.inflight = list(inflight)
+            fu.last_issue_cycle = last_issue
+        self.committed_exception = graph["exception"]
+        self.arch_regs.restore_state(state["regs"])
+        self.rename.restore_state(state["rename"])
+        self.memory.restore_state(state["memory"])
+        if self.cache is not None:
+            self.cache.restore_state(state["cache"])
+        if self.l2_cache is not None:
+            self.l2_cache.restore_state(state["l2Cache"])
+        self.predictor.restore_state(state["predictor"])
+        (self.cycle, self.pc, self.next_id, self.halted,
+         self.fetch_stall_until, self.fetch_past_end) = state["scalars"]
+        self.log = list(state["log"])
+        self.restore_counters(state["counters"])
+        # versions are monotonic, never restored: bump everything so every
+        # cached payload (here and in delta-serving sessions) goes stale
+        self._mark_all_sections_dirty()

@@ -45,6 +45,8 @@ class RenameFile:
         self._free: List[int] = list(range(size))
         #: RAT: architectural register name -> newest speculative tag
         self.rat: Dict[str, int] = {}
+        #: dirty counter (see repro.sim.state): bumped on every mutation
+        self.version = 0
 
     # ------------------------------------------------------------------
     @property
@@ -66,6 +68,7 @@ class RenameFile:
         entry.valid = False
         entry.busy = True
         self.rat[arch_reg] = tag
+        self.version += 1
         return tag
 
     def write(self, tag: int, value: Number) -> None:
@@ -73,6 +76,7 @@ class RenameFile:
         entry = self.entries[tag]
         entry.value = value
         entry.valid = True
+        self.version += 1
 
     def is_valid(self, tag: int) -> bool:
         return self.entries[tag].valid
@@ -107,6 +111,7 @@ class RenameFile:
             if self.rat.get(entry.arch) == tag:
                 del self.rat[entry.arch]
         self._release(tag)
+        self.version += 1
 
     def flush(self) -> None:
         """Squash all speculative state (pipeline flush)."""
@@ -117,6 +122,7 @@ class RenameFile:
             entry.valid = False
             entry.arch = None
             self._free.append(entry.tag)
+        self.version += 1
 
     def release(self, tag: int) -> None:
         """Release a tag without committing (squashed instruction)."""
@@ -124,6 +130,7 @@ class RenameFile:
         if entry.arch is not None and self.rat.get(entry.arch) == tag:
             del self.rat[entry.arch]
         self._release(tag)
+        self.version += 1
 
     def _release(self, tag: int) -> None:
         entry = self.entries[tag]
@@ -149,3 +156,23 @@ class RenameFile:
                 for e in self.entries if e.busy
             ],
         }
+
+    # -- state-engine protocol (repro.sim.state) -------------------------
+    def save_state(self) -> dict:
+        return {
+            "entries": [(e.arch, e.value, e.valid, e.busy)
+                        for e in self.entries],
+            "free": list(self._free),
+            "rat": dict(self.rat),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        for entry, (arch, value, valid, busy) in zip(self.entries,
+                                                     state["entries"]):
+            entry.arch = arch
+            entry.value = value
+            entry.valid = valid
+            entry.busy = busy
+        self._free = list(state["free"])
+        self.rat = dict(state["rat"])
+        self.version += 1

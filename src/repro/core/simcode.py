@@ -9,6 +9,7 @@ phase completions (fetch, decode, issue, execute, write-back, commit).
 from __future__ import annotations
 
 import enum
+import json
 from typing import Dict, List, Optional, Tuple
 
 from repro.asm.program import ParsedInstruction
@@ -33,6 +34,13 @@ class SimCode:
     __slots__ = (
         "id", "instruction", "dop", "pc",
         "timestamps", "squashed", "exception",
+        # dirty-tracked payload caches (see repro.sim.state): the pipeline
+        # bumps `sver` at every mutation site; to_json / to_json_str
+        # rebuild lazily.  Mutation counts are deterministic, so `sver` is
+        # a pure function of (instruction id, cycle) along the trajectory
+        # and stays comparable across checkpoint restores and replays —
+        # which is what lets delta serving skip unchanged entries.
+        "sver", "_json", "_json_ver", "_json_str",
         # renaming
         "renamed_sources", "dest_arch", "dest_tag",
         # operand capture: arg name -> ('val', value) | ('tag', tag)
@@ -62,6 +70,10 @@ class SimCode:
         self.timestamps: Dict[str, int] = {}
         self.squashed = False
         self.exception: Optional[SimulationException] = None
+        self.sver = 0
+        self._json: Optional[dict] = None
+        self._json_ver = -1
+        self._json_str: Optional[str] = None
 
         self.renamed_sources: Dict[str, str] = {}   # arg -> "t3" / "arch"
         self.dest_arch: Optional[str] = None
@@ -118,7 +130,32 @@ class SimCode:
 
     # ------------------------------------------------------------------
     def to_json(self) -> dict:
-        """Instruction pop-up payload (Fig. 3)."""
+        """Instruction pop-up payload (Fig. 3).
+
+        Cached until the pipeline bumps ``sver`` again; a rebuild
+        allocates a fresh dict, so previously served payloads stay frozen
+        (snapshots never alias mutable state)."""
+        if self._json_ver == self.sver:
+            return self._json
+        self._json = data = self._build_json()
+        self._json_str = None
+        self._json_ver = self.sver
+        return data
+
+    def to_json_str(self) -> str:
+        """Serialized :meth:`to_json`, cached until the next mutation.
+
+        The building block of the state engine's fragment-cached wire path
+        (see ``repro.sim.state.RawJson``): an instruction sitting
+        unchanged in the ROB across many served cycles is JSON-encoded
+        once, not once per request."""
+        data = self.to_json()          # refreshes both caches when dirty
+        text = self._json_str
+        if text is None:
+            self._json_str = text = json.dumps(data)
+        return text
+
+    def _build_json(self) -> dict:
         return {
             "id": self.id,
             "pc": self.pc,

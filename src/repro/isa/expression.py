@@ -81,6 +81,32 @@ class _Ref:
         return f"\\{self.name}"
 
 
+class _ExcCell:
+    """Minimal operator context for the fused fast path.
+
+    Operators only ever touch ``ctx.pc`` (exception metadata) and
+    ``ctx.exception`` (deferred architectural exceptions); the fused
+    generated code allocates this two-slot cell — and only when the
+    expression contains an exception-capable operator — instead of a full
+    :class:`EvalContext` with its argument-dict copy.
+    """
+
+    __slots__ = ("pc", "exception")
+
+    def __init__(self, pc: int):
+        self.pc = pc
+        self.exception = None
+
+
+def _fast_get(values: Dict[str, Number], name: str) -> Number:
+    """Argument lookup for the fused fast path (same error contract as
+    :meth:`EvalContext.get`)."""
+    try:
+        return values[name]
+    except KeyError:
+        raise ExpressionError(f"unbound expression argument '\\{name}'") from None
+
+
 def _div(ctx: EvalContext, a: int, b: int) -> int:
     if b == 0:
         ctx.exception = DivisionByZeroError("integer division by zero", pc=ctx.pc)
@@ -144,6 +170,11 @@ _INT_BINARY: Dict[str, Callable] = {
     "mulhu": lambda c, a, b: to_int32((to_uint32(a) * to_uint32(b)) >> 32),
     "mulhsu": lambda c, a, b: to_int32((to_int32(a) * to_uint32(b)) >> 32),
 }
+
+#: operators that actually *use* their context (to record a deferred
+#: exception); every other operator ignores the first argument, so the
+#: fused fast path passes None and skips the context allocation entirely
+_CTX_USERS = frozenset((_div, _rem, _divu, _remu))
 
 # Unary integer operators
 _INT_UNARY: Dict[str, Callable] = {
@@ -226,7 +257,7 @@ class Expression:
     every dynamic instance.
     """
 
-    __slots__ = ("source", "_tokens", "_fn")
+    __slots__ = ("source", "_tokens", "_fn", "_fast")
 
     _cache: Dict[str, "Expression"] = {}
 
@@ -234,6 +265,7 @@ class Expression:
         self.source = source
         self._tokens = self._compile(source)
         self._fn = self._codegen(source, self._tokens)
+        self._fast = self._codegen_fast(source, self._tokens)
 
     @classmethod
     def compile(cls, source: str) -> "Expression":
@@ -340,6 +372,102 @@ class Expression:
         exec(compile(code, f"<expression {source!r}>", "exec"), env)
         return env["_compiled"]
 
+    @staticmethod
+    def _codegen_fast(source: str, tokens: list) -> Optional[Callable]:
+        """Fused variant of :meth:`_codegen`: no :class:`EvalContext`.
+
+        The generated function has signature ``(values, pc) -> (result,
+        assignments, exception)`` and reads *values* without copying it
+        (and never writes into it).  The per-evaluation context object the
+        interpreter and the plain codegen allocate is fused away:
+
+        * reads of ``\\pc`` compile to the ``pc`` parameter;
+        * reads of a name the expression previously assigned compile to the
+          local temporary holding the assigned value (the lazy
+          resolve-at-consumption semantics of the interpreter, preserved
+          without mutating the caller's dict);
+        * the operator context shrinks to a two-slot :class:`_ExcCell`,
+          allocated only when an exception-capable operator (division /
+          remainder) is present, else operators receive ``None``;
+        * the assignment list is allocated only when ``=`` occurs.
+
+        Returns ``None`` for malformed shapes; those keep falling back to
+        the interpreter, which raises the matching :class:`ExpressionError`.
+        """
+        env: Dict[str, object] = {"_getv": _fast_get, "_Exc": _ExcCell}
+        lines: List[str] = []
+        stack: List[Tuple[str, str]] = []
+        #: name -> local temp holding its most recent assigned value
+        assigned: Dict[str, str] = {}
+        temp = 0
+        needs_exc = any(kind in ("ib", "iu", "fb", "fu")
+                        and payload in _CTX_USERS
+                        for kind, payload in tokens)
+        has_assign = any(kind == "assign" for kind, _ in tokens)
+
+        def resolve(slot: Tuple[str, str]) -> str:
+            kind, payload = slot
+            if kind != "ref":
+                return payload
+            if payload == "pc":
+                return "_pc"
+            if payload in assigned:
+                return assigned[payload]
+            return f"_getv(_values, {payload!r})"
+
+        for kind, payload in tokens:
+            if kind == "ref":
+                stack.append(("ref", payload.name))
+            elif kind == "lit":
+                const = f"_c{len(env)}"
+                env[const] = payload
+                stack.append(("val", const))
+            elif kind == "assign":
+                if len(stack) < 2 or stack[-1][0] != "ref":
+                    return None
+                target = stack.pop()[1]
+                value = resolve(stack.pop())
+                var = f"_a{temp}"
+                temp += 1
+                lines.append(f"{var} = {value}")
+                lines.append(f"_asg.append(({target!r}, {var}))")
+                if target != "pc":   # \pc reads always resolve to the pc
+                    assigned[target] = var
+            else:
+                op = f"_op{len(env)}"
+                env[op] = payload
+                cast = "int" if kind in ("ib", "iu") else "float"
+                ctx_arg = "_exc" if needs_exc else "None"
+                if kind in ("ib", "fb"):
+                    if len(stack) < 2:
+                        return None
+                    b = resolve(stack.pop())
+                    a = resolve(stack.pop())
+                    call = f"{op}({ctx_arg}, {cast}({a}), {cast}({b}))"
+                else:
+                    if not stack:
+                        return None
+                    a = resolve(stack.pop())
+                    call = f"{op}({ctx_arg}, {cast}({a}))"
+                name = f"_t{temp}"
+                temp += 1
+                lines.append(f"{name} = {call}")
+                stack.append(("val", name))
+
+        result = resolve(stack[-1]) if stack else "None"
+        asg = "_asg" if has_assign else "()"
+        exc = "_exc.exception" if needs_exc else "None"
+        lines.append(f"return ({result}, {asg}, {exc})")
+        prologue = ""
+        if needs_exc:
+            prologue += "    _exc = _Exc(_pc)\n"
+        if has_assign:
+            prologue += "    _asg = []\n"
+        body = "".join(f"    {line}\n" for line in lines)
+        code = "def _fused(_values, _pc):\n" + prologue + body
+        exec(compile(code, f"<fused expression {source!r}>", "exec"), env)
+        return env["_fused"]
+
     def evaluate(self, ctx: EvalContext) -> Optional[Number]:
         """Run the expression; returns the value left on the stack (if any).
 
@@ -350,6 +478,21 @@ class Expression:
         if fn is not None:
             return fn(ctx)
         return self._interpret(ctx)
+
+    def eval_fast(self, values: Dict[str, Number], pc: int = 0):
+        """Context-free hot-loop entry: ``(result, assignments, exception)``.
+
+        Unlike :meth:`evaluate` this neither copies nor mutates *values* —
+        the per-instruction :class:`EvalContext` allocation is fused into
+        the generated code (see :meth:`_codegen_fast`).  Malformed shapes
+        fall back to the interpreter for its reference error behaviour.
+        """
+        fn = self._fast
+        if fn is not None:
+            return fn(values, pc)
+        ctx = EvalContext(values, pc=pc)
+        result = self._interpret(ctx)
+        return result, ctx.assignments, ctx.exception
 
     def _interpret(self, ctx: EvalContext) -> Optional[Number]:
         """Stack-machine fallback (also the reference semantics)."""

@@ -102,6 +102,8 @@ class RegisterFile:
         self._int: List[int] = [0] * 32
         self._fp: List[float] = [0.0] * 32
         self._dtype: Dict[str, RegisterDataType] = {}
+        #: dirty counter (see repro.sim.state): bumped on every write
+        self.version = 0
 
     # -- reads ---------------------------------------------------------
     def read(self, reg: str) -> Number:
@@ -127,6 +129,7 @@ class RegisterFile:
             self._int[idx] = to_int32(int(value))
         else:
             self._fp[int(reg[1:])] = float32_round(float(value))
+        self.version += 1
         if dtype is not None:
             self._dtype[reg] = dtype
 
@@ -160,11 +163,24 @@ class RegisterFile:
     def restore(self, snap: dict) -> None:
         self._int = list(snap["int"])
         self._fp = list(snap["fp"])
+        self.version += 1
+
+    # -- state-engine protocol (repro.sim.state) -------------------------
+    def save_state(self) -> dict:
+        return {"int": list(self._int), "fp": list(self._fp),
+                "dtype": dict(self._dtype)}
+
+    def restore_state(self, state: dict) -> None:
+        self._int = list(state["int"])
+        self._fp = list(state["fp"])
+        self._dtype = dict(state["dtype"])
+        self.version += 1
 
     def reset(self) -> None:
         self._int = [0] * 32
         self._fp = [0.0] * 32
         self._dtype.clear()
+        self.version += 1
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, RegisterFile):

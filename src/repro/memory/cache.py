@@ -12,6 +12,7 @@ cache contributes timing (and statistics) without risking incoherence.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
@@ -154,6 +155,9 @@ class Cache:
                         config.random_seed + i)
             for i in range(self.sets)]
         self.stats = CacheStats()
+        #: dirty counter (see repro.sim.state): bumped whenever any line's
+        #: valid/dirty/tag changes (the content of ``lines_snapshot``)
+        self.version = 0
 
     # ------------------------------------------------------------------
     def _split(self, address: int) -> Tuple[int, int]:
@@ -211,14 +215,16 @@ class Cache:
                 line.valid = True
                 line.dirty = False
                 line.tag = tag
+                self.version += 1
                 self._policies[set_index].insert(way)
                 # line fill from the next level (L2 or main memory)
                 delay += self.next_level.fill_cost(
                     min(line_addr << self._offset_bits,
                         self.memory.capacity - cfg.line_size),
                     cfg.line_size, cycle, instruction_id)
-            if is_store and cfg.write_back:
+            if is_store and cfg.write_back and not line.dirty:
                 line.dirty = True
+                self.version += 1
 
         if is_store and not cfg.write_back:
             # Bytes are counted once per *access*, not once per touched
@@ -274,6 +280,8 @@ class Cache:
                     flushed += 1
                     self.stats.writebacks += 1
                     self.stats.bytes_written += self.config.line_size
+        if flushed:
+            self.version += 1
         return flushed
 
     def reset(self) -> None:
@@ -285,6 +293,26 @@ class Cache:
         for policy in self._policies:
             policy.reset()
         self.stats = CacheStats()
+        self.version += 1
+
+    # -- state-engine protocol (repro.sim.state) --------------------------
+    def save_state(self) -> dict:
+        return {
+            "lines": [(line.valid, line.dirty, line.tag)
+                      for ways in self._lines for line in ways],
+            "policies": [policy.save_state() for policy in self._policies],
+            "stats": dataclasses.asdict(self.stats),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        flat = iter(state["lines"])
+        for ways in self._lines:
+            for line in ways:
+                line.valid, line.dirty, line.tag = next(flat)
+        for policy, saved in zip(self._policies, state["policies"]):
+            policy.restore_state(saved)
+        self.stats = CacheStats(**state["stats"])
+        self.version += 1
 
     # ------------------------------------------------------------------
     def lines_snapshot(self) -> List[dict]:

@@ -85,6 +85,16 @@ class MemoryLocation:
         low, high = int(self.random_low), int(self.random_high)
         return [rng.randint(low, max(low, high)) for _ in range(n)]
 
+    def byte_length(self) -> int:
+        """Size in bytes of the materialized array."""
+        return self.element_size * len(self.elements())
+
+    def decode(self, raw: bytes) -> List[Number]:
+        """Typed element values read back from *raw* bytes (the inverse of
+        :meth:`to_bytes`): what the memory editor shows for this array's
+        region of a live simulation."""
+        return decode_values(raw, self.dtype)
+
     def to_bytes(self) -> bytes:
         size, fmt = _DTYPES[self.dtype]
         out = bytearray()
@@ -128,6 +138,23 @@ class MemoryLocation:
 
 
 # ---------------------------------------------------------------------------
+def decode_values(raw: bytes, dtype: str) -> List[Number]:
+    """Decode *raw* little-endian bytes as a list of *dtype* elements.
+
+    The typed read-back used by the server's ``/session/memory`` view and
+    :meth:`MemoryLocation.decode`; trailing bytes that do not fill a whole
+    element are ignored.
+    """
+    if dtype not in _DTYPES:
+        raise ConfigError(
+            f"unknown data type '{dtype}' (expected one of {sorted(_DTYPES)})")
+    size, fmt = _DTYPES[dtype]
+    count = len(raw) // size
+    if count == 0:
+        return []
+    return list(struct.unpack("<" + fmt[1] * count, raw[:count * size]))
+
+
 def export_csv(memory_bytes: bytes, width: int = 16) -> str:
     """Export a memory dump as CSV (address, byte values...)."""
     buf = io.StringIO()

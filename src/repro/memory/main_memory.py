@@ -34,6 +34,8 @@ class MainMemory:
         self.store_count = 0
         self.bytes_read = 0
         self.bytes_written = 0
+        #: dirty counter (see repro.sim.state): bumped on every data write
+        self.version = 0
 
     # -- bounds ---------------------------------------------------------
     def check_range(self, address: int, size: int) -> None:
@@ -51,6 +53,7 @@ class MainMemory:
     def write_bytes(self, address: int, payload: bytes) -> None:
         self.check_range(address, len(payload))
         self.data[address:address + len(payload)] = payload
+        self.version += 1
 
     def read_int(self, address: int, size: int, signed: bool = True) -> int:
         raw = self.read_bytes(address, size)
@@ -119,6 +122,21 @@ class MainMemory:
         self.data = bytearray(self.capacity)
         self.load_count = self.store_count = 0
         self.bytes_read = self.bytes_written = 0
+        self.version += 1
+
+    # -- state-engine protocol (repro.sim.state) --------------------------
+    def save_state(self) -> dict:
+        return {
+            "data": bytes(self.data),
+            "counters": (self.load_count, self.store_count,
+                         self.bytes_read, self.bytes_written),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.data[:] = state["data"]
+        (self.load_count, self.store_count,
+         self.bytes_read, self.bytes_written) = state["counters"]
+        self.version += 1
 
     def dump(self, start: int = 0, length: int = 256, width: int = 16) -> str:
         """Hex dump used by the memory pop-up window (Fig. 2)."""

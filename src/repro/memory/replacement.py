@@ -33,6 +33,14 @@ class ReplacementPolicy:
     def reset(self) -> None:
         """Forget all usage history."""
 
+    # -- state-engine protocol (repro.sim.state) ------------------------
+    def save_state(self) -> object:
+        """Self-contained copy of the usage history (None = stateless)."""
+        return None
+
+    def restore_state(self, state: object) -> None:
+        """Reinstall a history saved by :meth:`save_state`."""
+
 
 class LruPolicy(ReplacementPolicy):
     """Least recently used."""
@@ -53,6 +61,12 @@ class LruPolicy(ReplacementPolicy):
 
     def reset(self) -> None:
         self._order = list(range(self.ways))
+
+    def save_state(self) -> object:
+        return list(self._order)
+
+    def restore_state(self, state: object) -> None:
+        self._order = list(state)
 
 
 class FifoPolicy(ReplacementPolicy):
@@ -79,6 +93,12 @@ class FifoPolicy(ReplacementPolicy):
     def reset(self) -> None:
         self._queue = []
 
+    def save_state(self) -> object:
+        return list(self._queue)
+
+    def restore_state(self, state: object) -> None:
+        self._queue = list(state)
+
 
 class RandomPolicy(ReplacementPolicy):
     """Uniformly random victim from a deterministic seeded stream."""
@@ -96,6 +116,12 @@ class RandomPolicy(ReplacementPolicy):
 
     def reset(self) -> None:
         self._rng = random.Random(self.seed)
+
+    def save_state(self) -> object:
+        return self._rng.getstate()
+
+    def restore_state(self, state: object) -> None:
+        self._rng.setstate(state)
 
 
 _POLICIES = {"LRU": LruPolicy, "FIFO": FifoPolicy, "Random": RandomPolicy}

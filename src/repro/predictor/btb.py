@@ -60,3 +60,18 @@ class BranchTargetBuffer:
             {"pc": tag, "target": target}
             for tag, target in zip(self._tags, self._targets) if tag >= 0
         ]
+
+    # -- state-engine protocol (repro.sim.state) -------------------------
+    def save_state(self) -> dict:
+        return {
+            "tags": list(self._tags),
+            "targets": list(self._targets),
+            "lookups": self.lookups,
+            "hits": self.hits,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._tags = list(state["tags"])
+        self._targets = list(state["targets"])
+        self.lookups = state["lookups"]
+        self.hits = state["hits"]

@@ -205,3 +205,31 @@ class BranchPredictor:
             "btbLookups": self.btb.lookups,
             "btbHits": self.btb.hits,
         }
+
+    # -- state-engine protocol (repro.sim.state) -------------------------
+    def save_state(self) -> dict:
+        return {
+            "btb": self.btb.save_state(),
+            #: PHT as sparse (index, counter state) pairs
+            "pht": [(i, e.state) for i, e in enumerate(self._pht)
+                    if e is not None],
+            "histories": (self._spec_global, self._commit_global,
+                          dict(self._spec_local), dict(self._commit_local)),
+            "counters": (self.predictions, self.correct,
+                         self.mispredictions),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.btb.restore_state(state["btb"])
+        self._pht = [None] * self.config.pht_size
+        for index, counter_state in state["pht"]:
+            entry = make_bit_predictor(self.config.predictor_type,
+                                       self.config.default_state)
+            entry.state = counter_state
+            self._pht[index] = entry
+        (self._spec_global, self._commit_global,
+         spec_local, commit_local) = state["histories"]
+        self._spec_local = dict(spec_local)
+        self._commit_local = dict(commit_local)
+        (self.predictions, self.correct,
+         self.mispredictions) = state["counters"]

@@ -89,13 +89,29 @@ class SimClient:
             raise ApiError(f"session creation failed: {out.get('errors')}")
         return out["sessionId"]
 
-    def session_step(self, session_id: str, cycles: int = 1) -> dict:
+    def session_step(self, session_id: str, cycles: int = 1,
+                     delta: bool = False) -> dict:
+        """Step a session.  With ``delta=True`` the server sends only what
+        changed since the last served view (protocol v2); patch it onto the
+        previous full state with
+        :func:`repro.sim.state.apply_snapshot_delta`."""
         return self.request("POST", "/session/step",
-                            {"sessionId": session_id, "cycles": cycles})
+                            {"sessionId": session_id, "cycles": cycles,
+                             "delta": "encoded" if delta else False})
 
     def session_state(self, session_id: str) -> dict:
         return self.request("POST", "/session/state",
                             {"sessionId": session_id})
+
+    def session_seek(self, session_id: str, cycle: int) -> dict:
+        return self.request("POST", "/session/seek",
+                            {"sessionId": session_id, "cycle": cycle})
+
+    def session_memory(self, session_id: str, **kw) -> dict:
+        """Memory view: pass ``symbol=`` or ``address=``/``size=``, plus an
+        optional ``dtype=`` and ``sinceVersion=`` (unchanged check)."""
+        return self.request("POST", "/session/memory",
+                            {"sessionId": session_id, **kw})
 
     def session_close(self, session_id: str) -> dict:
         return self.request("POST", "/session/close",

@@ -18,6 +18,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 
 from repro.server.protocol import Api, ApiError
+from repro.sim.state import dumps_raw
 
 #: responses smaller than this are not worth compressing
 _GZIP_THRESHOLD = 256
@@ -48,7 +49,9 @@ class _Handler(BaseHTTPRequestHandler):
             raise ApiError(f"invalid JSON body: {exc}") from exc
 
     def _send(self, status: int, payload: dict) -> None:
-        body = json.dumps(payload).encode("utf-8")
+        # dumps_raw splices pre-serialized state fragments (RawJson) the
+        # protocol layer embeds; plain payloads hit the C encoder directly
+        body = dumps_raw(payload).encode("utf-8")
         accept = self.headers.get("Accept-Encoding", "")
         use_gzip = (self.server.enable_gzip and "gzip" in accept
                     and len(body) >= _GZIP_THRESHOLD)

@@ -27,9 +27,27 @@ from typing import Dict, List, Optional, Sequence
 from repro.asm.parser import Assembler
 from repro.compiler.driver import compile_c
 from repro.core.config import CpuConfig
-from repro.errors import AsmSyntaxError, ConfigError, ReproError, SourceError
-from repro.memory.layout import MemoryLocation
+from repro.errors import (AsmSyntaxError, ConfigError, MemoryAccessError,
+                          ReproError, SourceError)
+from repro.memory.layout import MemoryLocation, decode_values
 from repro.server.session import SessionManager
+from repro.sim.state import SNAPSHOT_SCHEMA_VERSION, RawJson
+
+#: wire-protocol version served by this module.  v2 adds delta state
+#: payloads (``/session/step`` with ``"delta": true``), the
+#: ``/session/memory`` view, checkpointed seeking, and strict cycle-count
+#: validation; v1 clients keep working (full payloads remain the default).
+PROTOCOL_VERSION = 2
+
+#: upper bound for one step request; larger forward runs should be issued
+#: as repeated (batched) step requests so sessions stay responsive and a
+#: typo cannot pin a worker for minutes
+MAX_STEP_CYCLES = 100_000
+
+#: fallback upper bound for an absolute seek target; the effective bound
+#: is the session's own ``max_cycles`` budget (the simulation halts there,
+#: so any larger target would only pin a worker replaying a halted machine)
+MAX_SEEK_CYCLE = 10_000_000
 
 
 class ApiError(Exception):
@@ -65,6 +83,8 @@ def _parse_config(payload: dict) -> Optional[CpuConfig]:
 
 
 SCHEMA = {
+    "protocolVersion": PROTOCOL_VERSION,
+    "snapshotSchema": SNAPSHOT_SCHEMA_VERSION,
     "endpoints": [
         {"method": "POST", "path": "/compile",
          "body": {"code": "C source", "optimizeLevel": "0..3"}},
@@ -77,11 +97,20 @@ SCHEMA = {
          "body": {"code": "assembly", "config": "...", "entry": "...",
                   "memory": "..."}},
         {"method": "POST", "path": "/session/step",
-         "body": {"sessionId": "id", "cycles": "int (negative = backward)"}},
+         "body": {"sessionId": "id",
+                  "cycles": "non-zero int (negative = backward), "
+                            f"|cycles| <= {MAX_STEP_CYCLES}",
+                  "delta": "bool | 'encoded'? (serve a delta against the "
+                           "last view; 'encoded' = pre-serialized)"}},
         {"method": "POST", "path": "/session/state",
          "body": {"sessionId": "id"}},
         {"method": "POST", "path": "/session/seek",
-         "body": {"sessionId": "id", "cycle": "int"}},
+         "body": {"sessionId": "id", "cycle": "int >= 0"}},
+        {"method": "POST", "path": "/session/memory",
+         "body": {"sessionId": "id", "address": "int? (or 'symbol')",
+                  "symbol": "label/array name?", "size": "bytes?",
+                  "dtype": "word/float/... (typed values view)?",
+                  "sinceVersion": "int? (unchanged check)"}},
         {"method": "POST", "path": "/session/close",
          "body": {"sessionId": "id"}},
         {"method": "GET", "path": "/schema"},
@@ -118,6 +147,8 @@ class Api:
             return self.session_state(payload)
         if route == ("POST", "/session/seek"):
             return self.session_seek(payload)
+        if route == ("POST", "/session/memory"):
+            return self.session_memory(payload)
         if route == ("POST", "/session/close"):
             return self.session_close(payload)
         raise ApiError(f"no such endpoint: {method} {path}", status=404)
@@ -193,29 +224,110 @@ class Api:
             raise ApiError(f"unknown session '{session_id}'", status=404)
         return session
 
+    @staticmethod
+    def _parse_int(payload: dict, key: str, default: Optional[int] = None) -> int:
+        value = payload.get(key, default)
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ApiError(f"'{key}' must be an integer, got {value!r}")
+        return value
+
     def session_step(self, payload: dict) -> dict:
         session = self._session(payload)
-        cycles = int(payload.get("cycles", 1))
+        cycles = self._parse_int(payload, "cycles", default=1)
+        if cycles == 0:
+            raise ApiError("'cycles' must be a non-zero integer "
+                           "(negative = backward)")
+        if abs(cycles) > MAX_STEP_CYCLES:
+            raise ApiError(f"'cycles' out of range: |{cycles}| exceeds "
+                           f"{MAX_STEP_CYCLES} per request")
+        out = {"success": True, "protocolVersion": PROTOCOL_VERSION}
         with session.lock:
-            if cycles >= 0:
+            if cycles > 0:
                 session.simulation.step(cycles)
             else:
                 session.simulation.step_back(-cycles)
-            return {"success": True, "state": session.simulation.snapshot()}
+            delta = payload.get("delta")
+            if delta == "encoded":
+                # pre-serialized from the fragment caches; spliced verbatim
+                # into the response body by the HTTP layer (dumps_raw)
+                out["stateFormat"] = "delta"
+                out["stateDelta"] = RawJson(session.serve_delta_json())
+            elif delta:
+                out["stateFormat"] = "delta"
+                out["stateDelta"] = session.serve_delta()
+            else:
+                out["stateFormat"] = "full"
+                out["state"] = session.serve_state()
+        return out
 
     def session_state(self, payload: dict) -> dict:
         session = self._session(payload)
         with session.lock:
-            return {"success": True, "state": session.simulation.snapshot()}
+            return {"success": True, "protocolVersion": PROTOCOL_VERSION,
+                    "stateFormat": "full", "state": session.serve_state()}
 
     def session_seek(self, payload: dict) -> dict:
         session = self._session(payload)
-        cycle = int(payload.get("cycle", 0))
+        cycle = self._parse_int(payload, "cycle", default=0)
         if cycle < 0:
             raise ApiError("cycle must be >= 0")
+        budget = min(session.simulation.config.max_cycles, MAX_SEEK_CYCLE)
+        if cycle > budget:
+            raise ApiError(f"cycle out of range: {cycle} exceeds the "
+                           f"session's cycle budget ({budget})")
         with session.lock:
             session.simulation.seek(cycle)
-            return {"success": True, "state": session.simulation.snapshot()}
+            return {"success": True, "protocolVersion": PROTOCOL_VERSION,
+                    "stateFormat": "full", "state": session.serve_state()}
+
+    def session_memory(self, payload: dict) -> dict:
+        """Memory pop-up view (Fig. 2), delta-aware.
+
+        Resolves ``symbol`` (an array / label name) or a raw ``address``,
+        and serves the region's bytes plus — when ``dtype`` is given or
+        derivable from the symbol — the typed element values the memory
+        editor shows.  Passing the last seen ``sinceVersion`` back lets the
+        client skip unchanged payloads entirely."""
+        session = self._session(payload)
+        with session.lock:
+            simulation = session.simulation
+            memory = simulation.cpu.memory
+            dtype = payload.get("dtype")
+            symbol = payload.get("symbol")
+            if symbol is not None:
+                found = simulation.program.find_symbol(str(symbol))
+                if found is not None:
+                    address, size = found.address, found.size
+                    dtype = dtype or found.dtype
+                else:
+                    try:
+                        address = simulation.symbol_address(str(symbol))
+                    except KeyError:
+                        raise ApiError(f"unknown symbol '{symbol}'",
+                                       status=404) from None
+                    size = self._parse_int(payload, "size", default=4)
+            else:
+                address = self._parse_int(payload, "address", default=0)
+                size = self._parse_int(payload, "size", default=64)
+            if size <= 0 or size > memory.capacity:
+                raise ApiError(f"invalid size {size}")
+            version = memory.version
+            if payload.get("sinceVersion") == version:
+                return {"success": True, "unchanged": True,
+                        "version": version}
+            try:
+                raw = memory.read_bytes(address, size)
+            except MemoryAccessError as exc:
+                raise ApiError(str(exc)) from exc
+            out = {"success": True, "version": version, "address": address,
+                   "size": size, "bytes": raw.hex()}
+            if dtype is not None:
+                try:
+                    out["dtype"] = dtype
+                    out["values"] = decode_values(raw, dtype)
+                except ConfigError as exc:
+                    raise ApiError(str(exc)) from exc
+            return out
 
     def session_close(self, payload: dict) -> dict:
         session_id = payload.get("sessionId", "")

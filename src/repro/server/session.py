@@ -25,9 +25,35 @@ class Session:
         self.created = time.monotonic()
         self.last_used = self.created
         self.lock = threading.Lock()
+        #: cycle of the last state payload served to this session's client —
+        #: the base the next delta payload is computed against (None until a
+        #: first full state has been served)
+        self.view_cycle: Optional[int] = None
 
     def touch(self) -> None:
         self.last_used = time.monotonic()
+
+    # -- delta-serving state views (hold ``lock`` while calling) ---------
+    def serve_state(self) -> dict:
+        """Full snapshot; establishes the delta base for later requests."""
+        state = self.simulation.snapshot()
+        self.view_cycle = state["cycle"]
+        return state
+
+    def serve_delta(self) -> dict:
+        """Delta against the last served view (full when no base exists or
+        time moved backwards); see ``Simulation.snapshot_delta``."""
+        delta = self.simulation.snapshot_delta(since_cycle=self.view_cycle)
+        self.view_cycle = (delta["state"]["cycle"]
+                          if delta["format"] == "full" else delta["cycle"])
+        return delta
+
+    def serve_delta_json(self) -> str:
+        """Pre-serialized :meth:`serve_delta` assembled from the state
+        engine's fragment caches (``Simulation.snapshot_delta_json``)."""
+        text = self.simulation.snapshot_delta_json(since_cycle=self.view_cycle)
+        self.view_cycle = self.simulation.cycle
+        return text
 
 
 class SessionManager:

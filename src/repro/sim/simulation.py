@@ -12,6 +12,7 @@ bit-exact.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
@@ -20,6 +21,7 @@ from repro.asm.program import Program
 from repro.core.config import CpuConfig
 from repro.core.pipeline import Cpu
 from repro.isa.isa import InstructionSet
+from repro.sim.state import SNAPSHOT_SCHEMA_VERSION, CheckpointRing
 from repro.sim.statistics import RuntimeStatistics
 
 
@@ -53,27 +55,47 @@ class Simulation:
         call-stack size (use :meth:`from_source` to guarantee this).
     """
 
-    def __init__(self, program: Program, config: Optional[CpuConfig] = None):
+    def __init__(self, program: Program, config: Optional[CpuConfig] = None,
+                 checkpoint_interval: int = 128,
+                 checkpoint_capacity: int = 24):
         self.program = program
         self.config = config or CpuConfig()
         self.cpu = Cpu(program, self.config)
         self.stats = RuntimeStatistics(self.cpu)
         #: observers notified after every step (the paper's observer pattern)
         self.observers: List[Callable[[Cpu], None]] = []
+        #: every-K-cycles checkpoint store for O(K) time travel; the cycle-0
+        #: checkpoint is captured eagerly so any target has a restore base
+        self.checkpoints = CheckpointRing(checkpoint_interval,
+                                          checkpoint_capacity)
+        self.checkpoints.put(0, self.cpu.save_state())
+        #: cycles re-executed by the most recent backward step / seek
+        #: (0 = resolved without replay); pinned by the O(K) benchmarks
+        self.last_replay_cycles = 0
+        #: (cycle, section versions, log length, per-instruction versions)
+        #: of the last snapshot served — the base the next snapshot_delta()
+        #: is computed against
+        self._view_mark: Optional[Tuple[int, dict, int, dict]] = None
+        #: incremental rendering of the cycle-stamped log
+        self._log_render: Optional[Tuple[list, list]] = None
 
     # ------------------------------------------------------------------
     @staticmethod
     def from_source(source: str, config: Optional[CpuConfig] = None,
                     entry: Optional[object] = None,
                     memory_locations: Sequence[object] = (),
-                    instruction_set: Optional[InstructionSet] = None) -> "Simulation":
+                    instruction_set: Optional[InstructionSet] = None,
+                    checkpoint_interval: int = 128,
+                    checkpoint_capacity: int = 24) -> "Simulation":
         """Assemble *source* and build a simulation with a consistent layout."""
         config = config or CpuConfig()
         assembler = Assembler(instruction_set)
         program = assembler.assemble(
             source, entry=entry, memory_locations=memory_locations,
             stack_size=config.memory.call_stack_size)
-        return Simulation(program, config)
+        return Simulation(program, config,
+                          checkpoint_interval=checkpoint_interval,
+                          checkpoint_capacity=checkpoint_capacity)
 
     # ------------------------------------------------------------------
     @property
@@ -90,34 +112,74 @@ class Simulation:
 
     # ------------------------------------------------------------------
     def step(self, cycles: int = 1) -> None:
-        """Advance the simulation by *cycles* clock cycles."""
+        """Advance the simulation by *cycles* clock cycles.
+
+        Every ``checkpoint_interval`` cycles the complete processor state is
+        checkpointed (see :class:`repro.sim.state.CheckpointRing`), so later
+        backward steps and seeks restore the nearest checkpoint and replay
+        at most one interval instead of re-running from cycle 0."""
+        cpu = self.cpu
+        checkpoints = self.checkpoints
         for _ in range(cycles):
-            if self.cpu.halted:
+            if cpu.halted:
                 return
-            self.cpu.step()
+            cpu.step()
             for observer in self.observers:
-                observer(self.cpu)
+                observer(cpu)
+            if checkpoints.due(cpu.cycle):
+                checkpoints.put(cpu.cycle, cpu.save_state())
 
     def step_back(self, cycles: int = 1) -> None:
-        """Backward simulation: deterministic re-run of ``t - cycles``.
+        """Backward simulation: deterministic re-run to ``t - cycles``.
 
-        Intended for interactive use with small programs running over a few
-        thousand clock cycles (Sec. III-B).
+        Implemented as restore-nearest-checkpoint + forward replay of at
+        most ``checkpoint_interval`` cycles (the paper's from-zero re-run,
+        Sec. III-B, remains the degenerate case when no checkpoint covers
+        the target — e.g. the pinned cycle-0 checkpoint).
         """
-        target = max(0, self.cpu.cycle - cycles)
-        self.reset()
-        self.step(target)
+        self._travel_to(max(0, self.cpu.cycle - cycles))
 
     def seek(self, cycle: int) -> None:
-        """Jump to an absolute cycle (log-message navigation, Sec. II-A)."""
-        if cycle < self.cpu.cycle:
+        """Jump to an absolute cycle (log-message navigation, Sec. II-A).
+
+        Backward (and far-forward) jumps restore the nearest stored
+        checkpoint ``<= cycle`` — determinism makes checkpoints *ahead* of
+        the current position just as valid a base as ones behind it."""
+        self._travel_to(max(0, cycle))
+
+    def _travel_to(self, target: int) -> None:
+        current = self.cpu.cycle
+        if target == current:
+            self.last_replay_cycles = 0
+            return
+        checkpoint = self.checkpoints.nearest(target)
+        if target > current and (checkpoint is None
+                                 or checkpoint.cycle <= current):
+            # plain forward stepping from where we stand is the best base
+            self.last_replay_cycles = 0
+            self.step(target - current)
+            return
+        if checkpoint is None:
+            # the ring was cleared externally: degrade gracefully to the
+            # paper's from-zero re-run (and re-pin the cycle-0 base)
             self.reset()
-        self.step(cycle - self.cpu.cycle)
+            self.checkpoints.put(0, self.cpu.save_state())
+            self.last_replay_cycles = target
+            self.step(target)
+            return
+        self.cpu.restore_state(checkpoint.state)
+        self.last_replay_cycles = target - checkpoint.cycle
+        self.step(self.last_replay_cycles)
 
     def reset(self) -> None:
-        """Rebuild all processor state at cycle 0."""
+        """Rebuild all processor state at cycle 0.
+
+        Checkpoints survive a reset: they describe cycles of the unique
+        deterministic trajectory of (program, config), which a rebuilt CPU
+        follows identically."""
         self.cpu = Cpu(self.program, self.config)
         self.stats = RuntimeStatistics(self.cpu)
+        self._view_mark = None
 
     # ------------------------------------------------------------------
     def run(self, max_cycles: Optional[int] = None) -> SimulationResult:
@@ -145,12 +207,181 @@ class Simulation:
         )
 
     # ------------------------------------------------------------------
+    def _rendered_log(self) -> list:
+        """Cycle-stamped log entries, rendered incrementally.
+
+        The rendered list is extended with new entries while the CPU log is
+        append-only; a restore replaces the log object, which forces a full
+        re-render.  Callers receive a fresh list (entries are shared)."""
+        log = self.cpu.log
+        cached = self._log_render
+        if cached is not None and cached[0] is log                 and len(cached[1]) <= len(log):
+            rendered = cached[1]
+            for cycle, message in log[len(rendered):]:
+                rendered.append({"cycle": cycle, "message": message})
+        else:
+            rendered = [{"cycle": cycle, "message": message}
+                        for cycle, message in log]
+            self._log_render = (log, rendered)
+        return list(rendered)
+
+    def _entry_versions(self) -> dict:
+        """Per-instruction state versions of everything in flight (all
+        instruction-list payloads draw from the fetch buffer and the ROB).
+
+        ``SimCode.sver`` counts mutations, and mutation counts are
+        deterministic, so these tokens stay comparable across checkpoint
+        restores and replays."""
+        cpu = self.cpu
+        versions = {}
+        for simcode in cpu.fetch_buffer:
+            versions[simcode.id] = simcode.sver
+        for simcode in cpu.rob:
+            versions[simcode.id] = simcode.sver
+        return versions
+
+    def _mark_view(self) -> None:
+        self._view_mark = (self.cpu.cycle, self.cpu.section_versions(),
+                           len(self.cpu.log), self._entry_versions())
+
+    @staticmethod
+    def _entry_delta_list(simcodes, known: dict, plain: list):
+        """Entry-level delta of one instruction-list payload.
+
+        *known* maps instruction id -> ``sver`` the client's base snapshot
+        was served at; entries whose version is unchanged are referenced by
+        id only (``apply_snapshot_delta`` resolves them from the base).
+        Falls back to the *plain* full list when nothing would be saved."""
+        changed = {str(s.id): s.to_json()
+                   for s in simcodes if known.get(s.id) != s.sver}
+        if len(changed) >= len(simcodes):
+            return plain
+        return {"__entryDelta": True,
+                "ids": [s.id for s in simcodes],
+                "changed": changed}
+
+    def _entry_delta_windows(self, known: dict, plain: dict):
+        """Entry-level delta of the issue-windows payload (dict of lists)."""
+        cpu = self.cpu
+        total = 0
+        changed = {}
+        for window in cpu.windows.values():
+            for simcode in window:
+                total += 1
+                if known.get(simcode.id) != simcode.sver:
+                    changed[str(simcode.id)] = simcode.to_json()
+        if len(changed) >= total:
+            return plain
+        return {"__entryDelta": True,
+                "windows": {name: [s.id for s in window]
+                            for name, window in cpu.windows.items()},
+                "changed": changed}
+
+    def snapshot_cold(self) -> dict:
+        """Cache-bypassing full snapshot: ground truth for tests and the
+        pre-state-engine baseline in benchmarks.
+
+        Invalidates every payload cache (sections, per-instruction dicts
+        and fragments, rendered log) before rebuilding, so a missed
+        dirty-marking site cannot hide behind two warm caches agreeing."""
+        cpu = self.cpu
+        for simcode in list(cpu.fetch_buffer) + list(cpu.rob):
+            simcode.sver += 1
+        cpu._snap_cache.clear()
+        self._log_render = None
+        return self.snapshot()
+
     def snapshot(self) -> dict:
-        """Full processor-state payload for the web client."""
+        """Full processor-state payload for the web client.
+
+        Also records the view mark that :meth:`snapshot_delta` patches
+        against, so a full snapshot is always a valid delta base."""
         data = self.cpu.snapshot()
         data["statistics"] = self.stats.panel(expanded=True)
-        data["log"] = [{"cycle": c, "message": m} for c, m in self.cpu.log]
+        data["log"] = self._rendered_log()
+        self._mark_view()
         return data
+
+    def snapshot_delta(self, since_cycle: Optional[int] = None) -> dict:
+        """Delta payload against the snapshot served at *since_cycle*.
+
+        Returns ``{"format": "delta", ...}`` holding only the sections whose
+        dirty version moved, the new log entries, and the (always-fresh)
+        statistics panel — apply it with
+        :func:`repro.sim.state.apply_snapshot_delta`.  Falls back to
+        ``{"format": "full", "state": <snapshot>}`` when *since_cycle* does
+        not match the last served view or time moved backwards (a rewound
+        log cannot be expressed as an append)."""
+        mark = self._view_mark
+        cpu = self.cpu
+        if (mark is None or since_cycle is None or mark[0] != since_cycle
+                or cpu.cycle < mark[0] or len(cpu.log) < mark[2]):
+            return {"format": "full", "schema": SNAPSHOT_SCHEMA_VERSION,
+                    "state": self.snapshot()}
+        _, versions, log_len, known = mark
+        sections = cpu.snapshot_sections(versions)
+        # the instruction-list whales shrink further to entry-level deltas
+        if "rob" in sections:
+            sections["rob"] = self._entry_delta_list(
+                cpu.rob, known, sections["rob"])
+        if "loadQueue" in sections:
+            sections["loadQueue"] = self._entry_delta_list(
+                cpu.load_queue, known, sections["loadQueue"])
+        if "issueWindows" in sections:
+            sections["issueWindows"] = self._entry_delta_windows(
+                known, sections["issueWindows"])
+        delta = {
+            "format": "delta",
+            "schema": SNAPSHOT_SCHEMA_VERSION,
+            "baseCycle": since_cycle,
+            "cycle": cpu.cycle,
+            "pc": cpu.pc,
+            "halted": cpu.halted,
+            "sections": sections,
+            "logStart": log_len,
+            "log": [{"cycle": cycle, "message": message}
+                    for cycle, message in cpu.log[log_len:]],
+            "statistics": self.stats.panel(expanded=True),
+        }
+        self._mark_view()
+        return delta
+
+    def snapshot_json(self) -> str:
+        """Pre-serialized full snapshot, value-identical to
+        :meth:`snapshot`, assembled from the state engine's serialized
+        fragment caches (``Cpu.section_json`` / ``SimCode.to_json_str``):
+        unchanged instructions and sections are never re-encoded, which
+        removes the JSON share the paper measured at ~60 % of request
+        handling from full-state serves (session start, rewind resyncs).
+        Wrap the result in :class:`repro.sim.state.RawJson` to splice it
+        into a response."""
+        cpu = self.cpu
+        versions = cpu.section_versions()
+        parts = [f'"cycle": {cpu.cycle}', f'"pc": {cpu.pc}',
+                 f'"halted": {json.dumps(cpu.halted)}']
+        for name in versions:
+            parts.append(f'{json.dumps(name)}: '
+                         f'{cpu.section_json(name, versions[name])}')
+        parts.append(f'"statistics": '
+                     f'{json.dumps(self.stats.panel(expanded=True))}')
+        parts.append(f'"log": {json.dumps(self._rendered_log())}')
+        self._mark_view()
+        return "{" + ", ".join(parts) + "}"
+
+    def snapshot_delta_json(self, since_cycle: Optional[int] = None) -> str:
+        """Pre-serialized :meth:`snapshot_delta` (byte-equivalent payload).
+
+        Entry-level deltas keep this payload small enough that one C-encoder
+        pass serializes it; the full-state fallback goes through the
+        fragment-cached :meth:`snapshot_json` instead."""
+        mark = self._view_mark
+        cpu = self.cpu
+        if (mark is None or since_cycle is None or mark[0] != since_cycle
+                or cpu.cycle < mark[0] or len(cpu.log) < mark[2]):
+            return (f'{{"format": "full", '
+                    f'"schema": {SNAPSHOT_SCHEMA_VERSION}, '
+                    f'"state": {self.snapshot_json()}}}')
+        return json.dumps(self.snapshot_delta(since_cycle))
 
     def register_value(self, name: str):
         """Committed architectural value of a register (tests, CLI)."""

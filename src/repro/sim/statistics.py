@@ -123,6 +123,18 @@ class RuntimeStatistics:
             data["l2Cache"] = cpu.l2_cache.stats.to_json()
         return data
 
+    # -- state-engine protocol (repro.sim.state) -------------------------
+    #
+    # The statistics collector is a *view* over counters owned by the Cpu;
+    # its save/restore delegates to those counters so checkpoint time-travel
+    # (repro.sim.simulation) rewinds the statistics page along with the
+    # architectural state.
+    def save_state(self) -> dict:
+        return self.cpu.save_counters()
+
+    def restore_state(self, state: dict) -> None:
+        self.cpu.restore_counters(state)
+
     # -- compact panel (right-hand status bar, default state) --------------
     def panel(self, expanded: bool = False) -> dict:
         data = {

@@ -6,8 +6,9 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.errors import ConfigError
-from repro.memory.layout import (MemoryLocation, export_binary, export_csv,
-                                 import_binary, import_csv)
+from repro.memory.layout import (MemoryLocation, decode_values,
+                                 export_binary, export_csv, import_binary,
+                                 import_csv)
 
 
 class TestMemoryLocation:
@@ -80,6 +81,36 @@ class TestMemoryLocation:
                              random_seed=3)
         clone = MemoryLocation.from_json(loc.to_json())
         assert clone.to_bytes() == loc.to_bytes()
+
+
+class TestTypedDecode:
+    """decode_values / MemoryLocation.decode: the typed read-back the
+    server's /session/memory view serves (inverse of to_bytes)."""
+
+    @pytest.mark.parametrize("dtype,values", [
+        ("word", [1, -2, 2 ** 31 - 1, -(2 ** 31)]),
+        ("uword", [0, 1, 2 ** 32 - 1]),
+        ("byte", [-128, 0, 127]),
+        ("ubyte", [0, 255]),
+        ("half", [-32768, 32767]),
+        ("float", [0.5, -1.25, 1024.0]),
+        ("double", [0.1, -2.5e300]),
+    ])
+    def test_roundtrip_inverts_to_bytes(self, dtype, values):
+        location = MemoryLocation(name="a", dtype=dtype, values=values)
+        assert location.decode(location.to_bytes()) == values
+
+    def test_byte_length_matches_encoding(self):
+        location = MemoryLocation(name="a", dtype="half", values=[1, 2, 3])
+        assert location.byte_length() == len(location.to_bytes()) == 6
+
+    def test_trailing_partial_element_ignored(self):
+        assert decode_values(b"\x01\x00\x00\x00\xff", "word") == [1]
+
+    def test_empty_and_unknown(self):
+        assert decode_values(b"", "word") == []
+        with pytest.raises(ConfigError):
+            decode_values(b"\x00" * 4, "quad")
 
 
 class TestDumps:

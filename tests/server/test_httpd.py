@@ -136,6 +136,40 @@ class TestSessionsOverHttp:
         assert state["cycle"] == 2
         assert client.session_close(sid)["success"]
 
+    def test_delta_session_over_http(self, client):
+        """Protocol v2 end to end: the server splices the pre-serialized
+        delta into the response body; on the wire it is indistinguishable
+        from a plain JSON object, and patching it onto the previous view
+        reproduces the full state."""
+        from repro.sim.state import apply_snapshot_delta
+
+        sid = client.session_new(DEFAULT_PROGRAMS[0])
+        first = client.session_step(sid, 2, delta=True)
+        assert first["stateFormat"] == "delta"
+        assert first["stateDelta"]["format"] == "full"
+        view = first["stateDelta"]["state"]
+        for _ in range(4):
+            out = client.session_step(sid, 1, delta=True)
+            delta = out["stateDelta"]
+            assert delta["format"] == "delta"
+            view = apply_snapshot_delta(view, delta)
+        assert view == client.session_state(sid)["state"]
+        assert client.session_close(sid)["success"]
+
+    def test_memory_view_over_http(self, client):
+        sid = client.session_new("""
+    .data
+arr: .word 3, 1, 4
+    .text
+    nop
+    ebreak
+""")
+        out = client.session_memory(sid, symbol="arr")
+        assert out["values"] == [3, 1, 4]
+        again = client.session_memory(sid, symbol="arr",
+                                      sinceVersion=out["version"])
+        assert again["unchanged"]
+
 
 class TestLoadTestHarness:
     def test_small_closed_loop_run(self, server):

@@ -152,6 +152,130 @@ class TestSessions:
         assert not out["success"]
 
 
+class TestStepValidation:
+    """Cycle counts must be validated, not silently looped or passed
+    through to ``step_back`` (protocol v2)."""
+
+    @pytest.fixture
+    def sid(self, api):
+        return api.handle("POST", "/session/new", {"code": PROGRAM})["sessionId"]
+
+    @pytest.mark.parametrize("cycles", [0, "7", 2.5, None, True,
+                                        10 ** 6, -(10 ** 6)])
+    def test_invalid_cycles_rejected(self, api, sid, cycles):
+        with pytest.raises(ApiError):
+            api.handle("POST", "/session/step",
+                       {"sessionId": sid, "cycles": cycles})
+
+    def test_rejected_step_does_not_advance(self, api, sid):
+        with pytest.raises(ApiError):
+            api.handle("POST", "/session/step", {"sessionId": sid, "cycles": 0})
+        state = api.handle("POST", "/session/state", {"sessionId": sid})
+        assert state["state"]["cycle"] == 0
+
+    def test_absurd_seek_rejected(self, api, sid):
+        with pytest.raises(ApiError):
+            api.handle("POST", "/session/seek",
+                       {"sessionId": sid, "cycle": 10 ** 9})
+        with pytest.raises(ApiError):
+            api.handle("POST", "/session/seek",
+                       {"sessionId": sid, "cycle": "end"})
+
+
+class TestDeltaServing:
+    def test_step_serves_delta_after_full_base(self):
+        from repro.sim.state import apply_snapshot_delta
+        api = Api()
+        sid = api.handle("POST", "/session/new", {"code": PROGRAM})["sessionId"]
+        first = api.handle("POST", "/session/step",
+                           {"sessionId": sid, "cycles": 2, "delta": True})
+        assert first["stateFormat"] == "delta"
+        assert first["stateDelta"]["format"] == "full"   # no base yet
+        view = first["stateDelta"]["state"]
+        for _ in range(4):
+            out = api.handle("POST", "/session/step",
+                             {"sessionId": sid, "cycles": 1, "delta": True})
+            delta = out["stateDelta"]
+            assert delta["format"] == "delta"
+            view = apply_snapshot_delta(view, delta)
+        full = api.handle("POST", "/session/state", {"sessionId": sid})
+        assert view == full["state"]
+
+    def test_full_payload_remains_default(self, api):
+        sid = api.handle("POST", "/session/new", {"code": PROGRAM})["sessionId"]
+        out = api.handle("POST", "/session/step",
+                         {"sessionId": sid, "cycles": 3})
+        assert out["stateFormat"] == "full"
+        assert out["state"]["cycle"] == 3
+        assert out["protocolVersion"] >= 2
+
+    def test_backward_step_serves_full_resync(self, api):
+        sid = api.handle("POST", "/session/new", {"code": PROGRAM})["sessionId"]
+        api.handle("POST", "/session/step",
+                   {"sessionId": sid, "cycles": 10, "delta": True})
+        out = api.handle("POST", "/session/step",
+                         {"sessionId": sid, "cycles": -4, "delta": True})
+        assert out["stateDelta"]["format"] == "full"
+        assert out["stateDelta"]["state"]["cycle"] == 6
+
+
+class TestSessionMemory:
+    PROGRAM = """
+    .data
+arr: .word 11, 22, 33
+    .text
+    la t0, arr
+    li t1, 99
+    sw t1, 0(t0)
+    ebreak
+"""
+
+    def test_symbol_view_with_typed_values(self, api):
+        sid = api.handle("POST", "/session/new",
+                         {"code": self.PROGRAM})["sessionId"]
+        out = api.handle("POST", "/session/memory",
+                         {"sessionId": sid, "symbol": "arr"})
+        assert out["values"] == [11, 22, 33]
+        assert bytes.fromhex(out["bytes"])[:4] == (11).to_bytes(4, "little")
+
+    def test_since_version_short_circuits(self, api):
+        sid = api.handle("POST", "/session/new",
+                         {"code": self.PROGRAM})["sessionId"]
+        out = api.handle("POST", "/session/memory",
+                         {"sessionId": sid, "symbol": "arr"})
+        again = api.handle("POST", "/session/memory",
+                           {"sessionId": sid, "symbol": "arr",
+                            "sinceVersion": out["version"]})
+        assert again["unchanged"]
+
+    def test_version_moves_when_store_commits(self, api):
+        sid = api.handle("POST", "/session/new",
+                         {"code": self.PROGRAM})["sessionId"]
+        before = api.handle("POST", "/session/memory",
+                            {"sessionId": sid, "symbol": "arr"})
+        api.handle("POST", "/session/step", {"sessionId": sid, "cycles": 50})
+        after = api.handle("POST", "/session/memory",
+                           {"sessionId": sid, "symbol": "arr",
+                            "sinceVersion": before["version"]})
+        assert "unchanged" not in after
+        assert after["values"] == [99, 22, 33]
+
+    def test_unknown_symbol_404(self, api):
+        sid = api.handle("POST", "/session/new",
+                         {"code": self.PROGRAM})["sessionId"]
+        with pytest.raises(ApiError) as info:
+            api.handle("POST", "/session/memory",
+                       {"sessionId": sid, "symbol": "ghost"})
+        assert info.value.status == 404
+
+    def test_out_of_range_address_rejected(self, api):
+        sid = api.handle("POST", "/session/new",
+                         {"code": self.PROGRAM})["sessionId"]
+        with pytest.raises(ApiError):
+            api.handle("POST", "/session/memory",
+                       {"sessionId": sid, "address": 2 ** 31, "size": 16})
+
+
 class TestSessionManager:
     def test_ttl_eviction(self):
         from repro.server.session import SessionManager

@@ -1,0 +1,343 @@
+"""State-engine tests: versioned components, checkpoint time travel, and
+delta snapshots (see ``repro.sim.state``).
+
+The load-bearing property is bit-exactness: a checkpoint restore followed
+by replay must be indistinguishable from a from-zero re-run, and a chain of
+delta payloads applied client-side must reproduce every full snapshot.
+"""
+
+import json
+
+import pytest
+
+from repro import CpuConfig, Simulation
+from repro.sim.state import (
+    SNAPSHOT_SECTIONS,
+    CheckpointRing,
+    RawJson,
+    SnapshotCache,
+    apply_snapshot_delta,
+    dumps_raw,
+)
+
+
+# Ground truth for delta-vs-full comparisons: a missed dirty-marking site
+# would make two warm caches serve identically stale payloads, so the
+# reference side always rebuilds from scratch (Simulation.snapshot_cold).
+def cold_snapshot(sim: Simulation) -> dict:
+    return sim.snapshot_cold()
+
+LOOP = """
+    li a0, 0
+    li t0, 1
+    li t1, 40
+loop:
+    add a0, a0, t0
+    addi t0, t0, 1
+    ble t0, t1, loop
+    ebreak
+"""
+
+#: a memory-heavy kernel: stores, loads, line evictions, mispredictions
+MEM_LOOP = """
+    addi sp, sp, -256
+    li t0, 0
+loop:
+    slli t1, t0, 2
+    add  t1, t1, sp
+    sw   t0, 0(t1)
+    lw   t2, 0(t1)
+    mul  t3, t2, t2
+    addi t0, t0, 1
+    li   t4, 40
+    blt  t0, t4, loop
+    ebreak
+"""
+
+
+class TestCheckpointRing:
+    def test_due_every_interval_once(self):
+        ring = CheckpointRing(interval=10, capacity=4)
+        assert ring.due(10) and ring.due(20)
+        assert not ring.due(5)
+        ring.put(10, "s10")
+        assert not ring.due(10)
+
+    def test_nearest_picks_greatest_not_exceeding(self):
+        ring = CheckpointRing(interval=10, capacity=8)
+        for cycle in (0, 10, 20, 30):
+            ring.put(cycle, f"s{cycle}")
+        assert ring.nearest(25).cycle == 20
+        assert ring.nearest(30).cycle == 30
+        assert ring.nearest(9).cycle == 0
+        # future checkpoints are found too (deterministic trajectory)
+        assert ring.nearest(1000).cycle == 30
+
+    def test_lru_eviction_pins_cycle_zero(self):
+        ring = CheckpointRing(interval=10, capacity=3)
+        for cycle in (0, 10, 20, 30, 40):
+            ring.put(cycle, f"s{cycle}")
+        assert len(ring) == 3
+        assert 0 in ring.cycles()          # pinned
+        assert ring.cycles() == [0, 30, 40]
+
+    def test_restore_use_refreshes_lru_rank(self):
+        ring = CheckpointRing(interval=10, capacity=3)
+        for cycle in (0, 10, 20):
+            ring.put(cycle, f"s{cycle}")
+        ring.nearest(10)                   # 10 becomes most recently used
+        ring.put(30, "s30")                # evicts 20, not 10
+        assert ring.cycles() == [0, 10, 30]
+
+    def test_degenerate_capacity_rejected(self):
+        """capacity=1 could never retain a non-zero checkpoint (cycle 0 is
+        pinned, so every put would evict the entry it just added)."""
+        with pytest.raises(ValueError):
+            CheckpointRing(interval=10, capacity=1)
+
+    def test_cleared_ring_degrades_to_from_zero_rerun(self):
+        sim = Simulation.from_source(LOOP, checkpoint_interval=16)
+        sim.step(100)
+        sim.checkpoints.clear()
+        sim.step_back(1)                   # falls back to reset + replay
+        assert sim.cycle == 99
+        assert sim.last_replay_cycles == 99
+        fresh = Simulation.from_source(LOOP)
+        fresh.step(99)
+        assert sim.snapshot() == fresh.snapshot()
+
+
+class TestSnapshotCache:
+    def test_rebuilds_only_on_version_change(self):
+        cache = SnapshotCache()
+        calls = []
+        build = lambda: calls.append(1) or {"n": len(calls)}
+        first = cache.section("x", 1, build)
+        assert cache.section("x", 1, build) is first
+        assert len(calls) == 1
+        second = cache.section("x", 2, build)
+        assert second == {"n": 2} and len(calls) == 2
+
+
+class TestComponentProtocol:
+    """Every substrate honours save_state / restore_state / version."""
+
+    def _cpu(self, source=MEM_LOOP, config=None):
+        sim = Simulation.from_source(source, config=config)
+        sim.step(25)
+        return sim.cpu
+
+    @pytest.mark.parametrize("component", [
+        lambda cpu: cpu.arch_regs,
+        lambda cpu: cpu.rename,
+        lambda cpu: cpu.memory,
+        lambda cpu: cpu.cache,
+        lambda cpu: cpu.predictor,
+        lambda cpu: cpu.predictor.btb,
+    ])
+    def test_roundtrip_is_identity(self, component):
+        cpu = self._cpu()
+        target = component(cpu)
+        saved = target.save_state()
+        target.restore_state(saved)
+        assert target.save_state() == saved
+
+    def test_versions_move_on_mutation(self):
+        cpu = self._cpu()
+        before = (cpu.arch_regs.version, cpu.rename.version,
+                  cpu.memory.version, cpu.cache.version)
+        cpu.arch_regs.write("x5", 123)
+        cpu.memory.write_bytes(0, b"\x01")
+        assert cpu.arch_regs.version > before[0]
+        assert cpu.memory.version > before[2]
+
+    def test_restore_bumps_version(self):
+        """Versions are monotonic: a restore must not reuse old tokens."""
+        cpu = self._cpu()
+        saved = cpu.arch_regs.save_state()
+        v = cpu.arch_regs.version
+        cpu.arch_regs.restore_state(saved)
+        assert cpu.arch_regs.version > v
+
+
+class TestCheckpointTimeTravel:
+    def test_step_back_replays_at_most_one_interval(self):
+        sim = Simulation.from_source(LOOP, checkpoint_interval=16,
+                                     checkpoint_capacity=8)
+        sim.step(100)
+        sim.step_back(1)
+        assert sim.cycle == 99
+        assert 0 < sim.last_replay_cycles <= 16
+
+    def test_seek_forward_uses_future_checkpoint(self):
+        sim = Simulation.from_source(LOOP, checkpoint_interval=16,
+                                     checkpoint_capacity=8)
+        sim.step(100)
+        sim.seek(5)
+        assert sim.cycle == 5
+        sim.seek(90)                        # restore cp@80(+) and replay
+        assert sim.cycle == 90
+        assert sim.last_replay_cycles <= 16
+
+    def test_restore_matches_fresh_run_exactly(self):
+        sim = Simulation.from_source(MEM_LOOP, checkpoint_interval=16)
+        sim.step(120)
+        reference = sim.snapshot()
+        sim.step(80)
+        sim.step_back(80)
+        assert sim.snapshot() == reference
+        fresh = Simulation.from_source(MEM_LOOP)
+        fresh.step(120)
+        assert sim.snapshot() == fresh.snapshot()
+
+    def test_random_replacement_policy_replays_bit_exact(self):
+        config = CpuConfig()
+        config.cache.replacement_policy = "Random"
+        config.cache.line_count = 4
+        sim = Simulation.from_source(MEM_LOOP, config=config,
+                                     checkpoint_interval=16)
+        sim.step(150)
+        reference = sim.snapshot()
+        sim.step(60)
+        sim.step_back(60)
+        assert sim.snapshot() == reference
+
+    def test_checkpoints_survive_reset(self):
+        sim = Simulation.from_source(LOOP, checkpoint_interval=16)
+        sim.step(64)
+        stored = len(sim.checkpoints)
+        sim.reset()
+        assert len(sim.checkpoints) == stored
+        sim.seek(60)                        # restored via an old checkpoint
+        assert sim.cycle == 60
+        assert sim.last_replay_cycles <= 16
+
+    def test_debugger_commit_hook_survives_time_travel(self):
+        """restore_state is in-place: observers keep their CPU reference."""
+        sim = Simulation.from_source(LOOP, checkpoint_interval=16)
+        cpu = sim.cpu
+        sim.step(50)
+        sim.step_back(20)
+        assert sim.cpu is cpu
+
+
+class TestSnapshotDelta:
+    def test_delta_chain_reproduces_every_full_snapshot(self):
+        """Client-side patching tracks a cache-bypassing ground truth for a
+        whole run — every dirty-marking site (sections and per-instruction)
+        is exercised by the memory-heavy kernel."""
+        sim = Simulation.from_source(MEM_LOOP, checkpoint_interval=32)
+        reference = Simulation.from_source(MEM_LOOP)
+        view = sim.snapshot()
+        for _ in range(260):
+            sim.step(1)
+            reference.step(1)
+            delta = sim.snapshot_delta(since_cycle=view["cycle"])
+            view = apply_snapshot_delta(view, delta)
+            assert view == cold_snapshot(reference)
+            if sim.halted:
+                break
+        assert sim.halted  # the kernel finishes inside the budget
+
+    def test_encoded_delta_is_value_identical(self):
+        """snapshot_delta_json parses back to exactly snapshot_delta."""
+        a = Simulation.from_source(MEM_LOOP)
+        b = Simulation.from_source(MEM_LOOP)
+        a.snapshot()
+        b.snapshot()
+        for _ in range(60):
+            a.step(1)
+            b.step(1)
+            d = a.snapshot_delta(since_cycle=a.cycle - 1)
+            dj = json.loads(b.snapshot_delta_json(since_cycle=b.cycle - 1))
+            assert d == dj
+
+    def test_encoded_full_snapshot_is_value_identical(self):
+        a = Simulation.from_source(MEM_LOOP)
+        b = Simulation.from_source(MEM_LOOP)
+        a.step(70)
+        b.step(70)
+        a.snapshot()                     # warm the fragment caches
+        b.snapshot()
+        a.step(5)
+        b.step(5)
+        assert json.loads(a.snapshot_json()) == b.snapshot()
+
+    def test_entry_delta_skips_unchanged_instructions(self):
+        """A long-latency stall leaves most ROB entries untouched: the rob
+        section arrives as an entry-level delta referencing them by id."""
+        sim = Simulation.from_source(MEM_LOOP)
+        sim.step(40)
+        sim.snapshot()
+        sim.step(1)
+        delta = sim.snapshot_delta(since_cycle=sim.cycle - 1)
+        rob = delta["sections"].get("rob")
+        if rob is not None and isinstance(rob, dict):
+            assert rob["__entryDelta"]
+            assert len(rob["changed"]) < len(rob["ids"])
+            # every unchanged id must be resolvable from the base pool
+            base = sim.snapshot()
+            for uid in rob["ids"]:
+                assert str(uid) in rob["changed"] or any(
+                    e["id"] == uid for e in base["rob"])
+
+    def test_apply_rejects_mismatched_base(self):
+        """A delta computed against a view the client never received (e.g.
+        after a lost response) must fail loudly, not merge silently."""
+        sim = Simulation.from_source(LOOP)
+        stale = sim.snapshot()
+        sim.step(3)
+        sim.snapshot()                       # server view advances past us
+        sim.step(2)
+        delta = sim.snapshot_delta(since_cycle=3)
+        assert delta["format"] == "delta"
+        with pytest.raises(ValueError, match="base mismatch"):
+            apply_snapshot_delta(stale, delta)
+
+    def test_dumps_raw_splices_byte_identical(self):
+        fragment = json.dumps({"x": [1, 2], "y": None, "s": "t\"ext"})
+        payload = {"success": True, "n": 3, "state": RawJson(fragment)}
+        plain = {"success": True, "n": 3,
+                 "state": {"x": [1, 2], "y": None, "s": "t\"ext"}}
+        assert dumps_raw(payload) == json.dumps(plain)
+        assert dumps_raw(plain) == json.dumps(plain)
+        assert dumps_raw([1, "a"]) == json.dumps([1, "a"])
+
+    def test_delta_skips_clean_sections(self):
+        sim = Simulation.from_source(LOOP)
+        sim.snapshot()
+        sim.step(1)
+        delta = sim.snapshot_delta(since_cycle=sim.cycle - 1)
+        assert delta["format"] == "delta"
+        assert set(delta["sections"]) < set(SNAPSHOT_SECTIONS)
+        # an idle cache/l2 never reappears on the wire
+        assert "cache" not in delta["sections"]
+
+    def test_stale_base_falls_back_to_full(self):
+        sim = Simulation.from_source(LOOP)
+        sim.snapshot()
+        sim.step(5)
+        delta = sim.snapshot_delta(since_cycle=3)   # not the served base
+        assert delta["format"] == "full"
+        assert delta["state"]["cycle"] == 5
+
+    def test_backward_jump_falls_back_to_full(self):
+        sim = Simulation.from_source(LOOP)
+        sim.step(30)
+        base = sim.snapshot()
+        sim.step_back(10)
+        delta = sim.snapshot_delta(since_cycle=base["cycle"])
+        assert delta["format"] == "full"
+        assert delta["state"]["cycle"] == 20
+
+    def test_stale_snapshots_are_not_aliased(self):
+        """A served snapshot must stay frozen while the simulation moves."""
+        sim = Simulation.from_source(LOOP)
+        sim.step(10)
+        first = sim.snapshot()
+        log_len = len(first["log"])
+        cycle = first["cycle"]
+        sim.step(30)
+        sim.snapshot()
+        assert first["cycle"] == cycle
+        assert len(first["log"]) == log_len
