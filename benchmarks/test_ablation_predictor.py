@@ -3,11 +3,16 @@
 Regenerates the classic teaching result the Branch-prediction tab enables:
 2-bit beats 1-bit on loop-heavy code; correlated branches need global
 history; better prediction means fewer pipeline flushes and fewer cycles.
+
+Since PR 3 the predictor-type sweep runs on the experiment engine
+(:mod:`repro.explore`) as a declarative axis over
+``config.branchPredictor``; the correlated-branch study keeps its own
+two-point sweep over the history kind.
 """
 
 import pytest
 
-from repro import CpuConfig, Simulation
+from repro.explore import SweepSpec, run_sweep
 from repro.predictor.unit import PredictorConfig
 
 #: nested loops: inner branch taken 9 of 10 times
@@ -25,59 +30,80 @@ inner:
     ebreak
 """
 
+_VARIANTS = {
+    "zero-NT": PredictorConfig(predictor_type="zero", default_state=0),
+    "zero-T": PredictorConfig(predictor_type="zero", default_state=1),
+    "one": PredictorConfig(predictor_type="one", default_state=0),
+    "two": PredictorConfig(predictor_type="two", default_state=1),
+}
 
-def run_with(predictor: PredictorConfig):
-    config = CpuConfig()
-    config.predictor = predictor
-    sim = Simulation.from_source(LOOPY, config=config)
-    sim.run()
-    return sim
+SPEC = {
+    "name": "predictor-ablation",
+    "programs": [{"name": "loopy", "source": LOOPY}],
+    "axes": [{
+        "name": "pred",
+        "values": [{"config.branchPredictor": cfg.to_json()}
+                   for cfg in _VARIANTS.values()],
+        "labels": list(_VARIANTS),
+    }],
+}
 
 
 @pytest.fixture(scope="module")
-def predictor_sweep():
-    variants = {
-        "zero-NT": PredictorConfig(predictor_type="zero", default_state=0),
-        "zero-T": PredictorConfig(predictor_type="zero", default_state=1),
-        "one": PredictorConfig(predictor_type="one", default_state=0),
-        "two": PredictorConfig(predictor_type="two", default_state=1),
-    }
-    results = {name: run_with(cfg) for name, cfg in variants.items()}
-    print("\npredictor sweep (nested loops):")
-    for name, sim in results.items():
-        print(f"  {name:<8} accuracy={sim.stats.branch_prediction_accuracy:.3f} "
-              f"flushes={sim.cpu.rob_flushes:<4} cycles={sim.stats.cycles}")
+def predictor_run():
+    run = run_sweep(SweepSpec.from_json(SPEC), workers=0)
+    assert not run.failures, run.failures
+    return run
+
+
+@pytest.fixture(scope="module")
+def predictor_sweep(predictor_run):
+    results = {r["point"]["pred"]: r["stats"]
+               for r in predictor_run.records}
+    print("\npredictor sweep (nested loops, repro.explore engine):")
+    for name, stats in results.items():
+        print(f"  {name:<8} accuracy={stats['branchAccuracy']:.3f} "
+              f"flushes={stats['robFlushes']:<4} cycles={stats['cycles']}")
     return results
 
 
 class TestPredictorAblation:
     def test_two_bit_most_accurate(self, predictor_sweep):
-        accuracy = {k: v.stats.branch_prediction_accuracy
+        accuracy = {k: v["branchAccuracy"]
                     for k, v in predictor_sweep.items()}
         assert accuracy["two"] >= accuracy["one"]
         assert accuracy["two"] > accuracy["zero-NT"]
 
     def test_static_not_taken_is_terrible_on_loops(self, predictor_sweep):
-        assert predictor_sweep["zero-NT"].stats \
-            .branch_prediction_accuracy < 0.25
+        assert predictor_sweep["zero-NT"]["branchAccuracy"] < 0.25
 
     def test_accuracy_translates_to_cycles(self, predictor_sweep):
-        assert predictor_sweep["two"].stats.cycles \
-            < predictor_sweep["zero-NT"].stats.cycles
+        assert predictor_sweep["two"]["cycles"] \
+            < predictor_sweep["zero-NT"]["cycles"]
 
     def test_flushes_inverse_to_accuracy(self, predictor_sweep):
-        assert predictor_sweep["two"].cpu.rob_flushes \
-            < predictor_sweep["zero-NT"].cpu.rob_flushes
+        assert predictor_sweep["two"]["robFlushes"] \
+            < predictor_sweep["zero-NT"]["robFlushes"]
 
     def test_all_variants_compute_same_result(self, predictor_sweep):
-        finals = {sim.register_value("s0") for sim in
-                  predictor_sweep.values()}
+        # s0 == x8 == 20 outer iterations, regardless of the predictor
+        finals = {stats["intRegisters"][8]
+                  for stats in predictor_sweep.values()}
         assert finals == {20}
+
+    def test_ranking_by_branch_accuracy(self, predictor_run):
+        labels = [entry["label"] for entry
+                  in predictor_run.report(metric="branchAccuracy").ranking()]
+        # dynamic 2-bit outranks 1-bit; static not-taken is dead last
+        assert labels.index("program=loopy/pred=two") \
+            < labels.index("program=loopy/pred=one")
+        assert labels[-1] == "program=loopy/pred=zero-NT"
 
 
 def test_correlated_branches_need_global_history():
     """Two perfectly correlated alternating branches: gshare learns the
-    pattern via global history, per-branch local history cannot."""
+    pattern via global history, per-branch local history cannot.  Swept as
+    a two-point axis over the history kind."""
     source = """
     li s0, 0
     li s1, 0          # parity
@@ -94,24 +120,36 @@ odd:
     bnez s2, loop
     ebreak
 """
-    def accuracy(use_global):
-        config = CpuConfig()
-        config.predictor = PredictorConfig(
+    def predictor(use_global: bool) -> dict:
+        return {"config.branchPredictor": PredictorConfig(
             predictor_type="two", default_state=1,
-            use_global_history=use_global, history_bits=4, pht_size=256)
-        sim = Simulation.from_source(source, config=config)
-        sim.run()
-        return sim.stats.branch_prediction_accuracy
-    global_acc = accuracy(True)
-    local_acc = accuracy(False)
-    print(f"\ncorrelated branches: global={global_acc:.3f} "
-          f"local={local_acc:.3f}")
-    assert global_acc > local_acc
+            use_global_history=use_global, history_bits=4,
+            pht_size=256).to_json()}
+
+    spec = {
+        "name": "history-kind",
+        "programs": [{"name": "corr", "source": source}],
+        "axes": [{"name": "history",
+                  "values": [predictor(True), predictor(False)],
+                  "labels": ["global", "local"]}],
+    }
+    run = run_sweep(SweepSpec.from_json(spec), workers=0)
+    accuracy = {r["point"]["history"]: r["stats"]["branchAccuracy"]
+                for r in run.records}
+    print(f"\ncorrelated branches: global={accuracy['global']:.3f} "
+          f"local={accuracy['local']:.3f}")
+    assert accuracy["global"] > accuracy["local"]
 
 
 def test_predictor_sweep_benchmark(benchmark):
-    sim = benchmark.pedantic(
-        lambda: run_with(PredictorConfig(predictor_type="two",
-                                         default_state=1)),
-        rounds=1, iterations=1)
-    assert sim.halted
+    spec = dict(SPEC, axes=[{
+        "name": "pred",
+        "values": [{"config.branchPredictor":
+                    _VARIANTS["two"].to_json()}],
+        "labels": ["two"]}])
+
+    def run_once():
+        return run_sweep(SweepSpec.from_json(spec), workers=0)
+
+    run = benchmark.pedantic(run_once, rounds=1, iterations=1)
+    assert run.records[0]["stats"]["haltReason"]

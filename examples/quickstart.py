@@ -97,3 +97,24 @@ print(render_processor(sim.cpu))
 sim.run()
 print("\n--- statistics page (Fig. 10) ---")
 print(render_statistics(sim.stats))
+
+# ---------------------------------------------------------------------------
+# 6. design-space sweeps (the experiment engine, repro.explore)
+#
+# Ablations like the paper's evaluation — width, cache geometry, predictor,
+# optimization level — are declarative sweep specs run on a worker pool
+# (workers=0 is the plain serial loop; parallel runs are bit-identical).
+# See examples/design_sweep.py for the full tour, `repro-sim explore` for
+# the CLI mode, and /explore/* for the server endpoints.
+# ---------------------------------------------------------------------------
+from repro.explore import SweepSpec, run_sweep
+
+sweep = run_sweep(SweepSpec.from_json({
+    "name": "fetch-width",
+    "programs": [{"name": "sum", "source": SOURCE}],
+    "axes": [{"name": "width", "path": "config.buffers.fetchWidth",
+              "values": [1, 2, 4]}],
+}), workers=0)
+print("\n--- a 3-point sweep through the experiment engine ---")
+for entry in sweep.report(metric="cycles").ranking():
+    print(f"  #{entry['rank']} {entry['label']}: {entry['value']} cycles")

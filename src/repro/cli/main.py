@@ -12,6 +12,13 @@ This CLI supports both modes: ``--host/--port`` talk to a running
 ``repro-server``; without them the simulation runs in-process (convenient
 for batch benchmarking on one machine).  ``--compile`` accepts a C file
 instead of assembly and runs the integrated compiler first.
+
+``repro-sim explore SPEC.json`` enters the design-space experiment engine
+(:mod:`repro.explore`): the spec's grid (or random sample) of
+program x architecture points runs on a local worker pool — or is
+submitted to a running server with ``--host`` — and the comparison report
+(metric table, best-config ranking, pairwise speedups) prints as text or
+JSON.
 """
 
 from __future__ import annotations
@@ -31,7 +38,9 @@ from repro.sim.simulation import Simulation
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-sim",
-        description="Batch simulator for superscalar RISC-V programs")
+        description="Batch simulator for superscalar RISC-V programs",
+        epilog="Design-space sweeps: 'repro-sim explore SPEC.json --help' "
+               "runs grids/samples of configurations on a worker pool.")
     parser.add_argument("program",
                         help="assembly source file (or C file with --compile)")
     parser.add_argument("architecture",
@@ -123,7 +132,131 @@ def _print_text(stats: dict, verbosity: int, out) -> None:
         print(f"    {key:<16} {value}", file=out)
 
 
+def build_explore_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sim explore",
+        description="Run a design-space sweep (repro.explore) and report")
+    parser.add_argument("spec", help="sweep specification JSON file")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes (default: one per CPU; "
+                             "0 = serial in-process loop)")
+    parser.add_argument("--job-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-job wall-clock budget on the pool")
+    parser.add_argument("--out", default=None, metavar="FILE.jsonl",
+                        help="write per-run records as JSONL")
+    parser.add_argument("--metric", default="cycles",
+                        help="ranking metric (cycles/ipc/energy/...)")
+    parser.add_argument("--format", choices=("text", "json"), default="text")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-job progress lines")
+    parser.add_argument("--host", default=None,
+                        help="submit to a running repro-server instead of "
+                             "executing locally")
+    parser.add_argument("--port", type=int, default=8045)
+    parser.add_argument("--poll", type=float, default=0.5,
+                        help="status poll interval in remote mode")
+    return parser
+
+
+def _explore_remote(args, spec_data: dict, out) -> int:
+    import time
+
+    from repro.server.client import SimClient
+    client = SimClient(args.host, args.port)
+    submitted = client.explore_submit(spec_data, workers=args.workers,
+                                      metric=args.metric,
+                                      job_timeout_s=args.job_timeout)
+    sweep_id = submitted["sweepId"]
+    if not args.quiet:
+        print(f"submitted sweep {sweep_id} "
+              f"({submitted['jobs']} jobs)", file=sys.stderr)
+    while True:
+        status = client.explore_status(sweep_id)
+        if status["state"] in ("done", "failed"):
+            break
+        if not args.quiet:
+            print(f"  {status['completed']}/{status['jobs']} jobs done",
+                  file=sys.stderr)
+        time.sleep(max(0.05, args.poll))
+    result = client.explore_result(sweep_id, metric=args.metric)
+    if args.out:
+        from repro.explore import ResultStore
+        with ResultStore(args.out) as store:
+            store.extend(result["records"])
+    if args.format == "json":
+        json.dump(result["report"], out, indent=2)
+        print(file=out)
+    else:
+        print(result["reportText"], file=out, end="")
+    return 0 if status["state"] == "done" and not status["failed"] else 1
+
+
+def explore_main(argv: Optional[List[str]] = None) -> int:
+    """``repro-sim explore`` — the batch experiment-engine mode."""
+    args = build_explore_parser().parse_args(argv)
+    out = sys.stdout
+    from repro.explore import (METRICS, ResultStore, SweepSpec,
+                               default_worker_count, run_sweep)
+    if args.metric not in METRICS:
+        # fail before any simulation runs: a typo'd metric must not cost
+        # the whole sweep
+        print(f"error: unknown ranking metric {args.metric!r} "
+              f"(one of {', '.join(sorted(METRICS))})", file=sys.stderr)
+        return 2
+    if args.workers is not None and args.workers < 0:
+        print("error: --workers must be >= 0 (0 = serial)",
+              file=sys.stderr)
+        return 2
+    try:
+        spec = SweepSpec.load(args.spec)
+    except (OSError, ReproError) as exc:
+        print(f"error: cannot load sweep spec: {exc}", file=sys.stderr)
+        return 2
+
+    if args.host is not None:
+        return _explore_remote(args, spec.to_json(), out)
+
+    workers = args.workers if args.workers is not None \
+        else default_worker_count()
+    store = ResultStore(args.out) if args.out else None
+
+    def progress(record: dict) -> None:
+        if not args.quiet:
+            verdict = "ok" if record["ok"] else record.get("kind", "error")
+            print(f"  [{record['index'] + 1:>3}] {record['label']:<48} "
+                  f"{verdict}", file=sys.stderr)
+
+    try:
+        run = run_sweep(spec, workers=workers,
+                        job_timeout_s=args.job_timeout, store=store,
+                        on_record=progress)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        if store is not None:
+            store.close()
+    report = run.report(metric=args.metric)
+    if args.format == "json":
+        payload = report.to_json()
+        payload["elapsedS"] = round(run.elapsed_s, 4)
+        payload["workers"] = run.workers
+        json.dump(payload, out, indent=2)
+        print(file=out)
+    else:
+        print(f"{len(run.jobs)} jobs on "
+              f"{run.workers if run.workers else 'no'} workers in "
+              f"{run.elapsed_s:.2f}s", file=out)
+        print(report.render_text(), file=out, end="")
+    return 0 if not run.failures else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "explore":
+        return explore_main(argv[1:])
     args = build_parser().parse_args(argv)
     out = sys.stdout
 

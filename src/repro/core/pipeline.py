@@ -299,7 +299,7 @@ class Cpu:
         """Simulation init sequence (Sec. III-A): memory image, register
         seeding (sp, ra), entry PC."""
         image = self.program.initial_memory_image(self.config.memory.capacity)
-        self.memory.data = image
+        self.memory.set_image(image)
         # Stack pointer at the top of the call-stack region (Sec. III-C);
         # prefer the architecture's own call-stack size when the program was
         # assembled with the same default.
@@ -976,7 +976,8 @@ class Cpu:
 
     def _snap_storeb(self) -> list:
         return [
-            {"instruction": e.simcode.instruction.render(),
+            {"id": e.simcode.id,
+             "instruction": e.simcode.instruction.render(),
              "address": e.address, "committed": e.committed,
              "drainUntil": e.drain_until}
             for e in self.store_buffer

@@ -1,0 +1,80 @@
+"""repro.explore — the parallel experiment engine.
+
+The paper's evaluation is a design-space study (ablations over issue
+width, cache geometry, predictor type, optimization level); this package
+turns that pattern into a first-class batch subsystem:
+
+* :mod:`repro.explore.spec` — declarative, JSON-loadable sweep specs
+  (grid or seeded random sampling over programs x configuration axes);
+* :mod:`repro.explore.plan` — deterministic expansion into self-contained
+  jobs;
+* :mod:`repro.explore.pool` — the worker-pool layer: a multiprocessing
+  pool with per-job timeouts and crash isolation for sweeps, and a keyed
+  thread pool the simulation server reuses for per-session executors;
+* :mod:`repro.explore.runner` — worker-side job execution (pure function
+  of the payload: serial and pooled runs are bit-identical);
+* :mod:`repro.explore.store` — JSONL result store;
+* :mod:`repro.explore.report` — ranking, metric tables, pairwise
+  speedups (text rendering in :mod:`repro.viz.sweep`);
+* :mod:`repro.explore.engine` — ``run_sweep``, the one entry point;
+* :mod:`repro.explore.service` — the server-side sweep queue behind the
+  ``/explore/*`` endpoints.
+
+Quick tour::
+
+    from repro.explore import SweepSpec, run_sweep
+
+    spec = SweepSpec.from_json({
+        "name": "width-vs-cache",
+        "programs": [{"name": "kernel", "source": KERNEL_ASM}],
+        "axes": [
+            {"name": "width", "values": [
+                {"config.buffers.fetchWidth": 1,
+                 "config.buffers.commitWidth": 1},
+                {"config.buffers.fetchWidth": 4,
+                 "config.buffers.commitWidth": 4}],
+             "labels": ["w1", "w4"]},
+            {"name": "lines", "path": "config.cache.lineCount",
+             "values": [8, 32]},
+        ],
+    })
+    run = run_sweep(spec, workers=4)        # workers=0: the serial loop
+    print(run.report(metric="cycles").render_text())
+"""
+
+from repro.explore.engine import RUNNER_TASK, SweepRun, run_sweep
+from repro.explore.plan import Job, plan_jobs
+from repro.explore.pool import (Future, JobResult, KeyedThreadPool,
+                                ProcessWorkerPool, default_worker_count)
+from repro.explore.report import METRICS, MetricError, SweepReport
+from repro.explore.runner import JobError, execute_payload
+from repro.explore.service import ExploreManager
+from repro.explore.spec import (Axis, ProgramSpec, SweepPoint, SweepSpec,
+                                SweepSpecError)
+from repro.explore.store import ResultStore, load_records
+
+__all__ = [
+    "SweepSpec",
+    "SweepSpecError",
+    "ProgramSpec",
+    "Axis",
+    "SweepPoint",
+    "Job",
+    "plan_jobs",
+    "ProcessWorkerPool",
+    "KeyedThreadPool",
+    "Future",
+    "JobResult",
+    "default_worker_count",
+    "execute_payload",
+    "JobError",
+    "ResultStore",
+    "load_records",
+    "SweepReport",
+    "MetricError",
+    "METRICS",
+    "SweepRun",
+    "run_sweep",
+    "RUNNER_TASK",
+    "ExploreManager",
+]

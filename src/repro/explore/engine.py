@@ -1,0 +1,152 @@
+"""Sweep execution engine: plan -> run (serial or pooled) -> records.
+
+``run_sweep`` is the one entry point every layer shares (CLI mode, server
+endpoints, the ported ablation benches, the scaling benchmark).  With
+``workers=0`` it is literally the hand-rolled serial loop the ablation
+suites used to be; with ``workers=N`` the identical job payloads run on a
+:class:`repro.explore.pool.ProcessWorkerPool`.  Records carry no host-side
+timing, so the two modes produce **bit-identical per-run statistics** —
+the property the scaling benchmark pins — while wall-clock scales with the
+worker count.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Union
+
+from repro.explore.plan import Job, plan_jobs
+from repro.explore.pool import JobResult, ProcessWorkerPool
+from repro.explore.report import SweepReport
+from repro.explore.runner import execute_payload
+from repro.explore.spec import SweepSpec
+from repro.explore.store import ResultStore
+
+__all__ = ["SweepRun", "run_sweep", "RUNNER_TASK"]
+
+#: spawn-safe dotted reference of the worker task
+RUNNER_TASK = "repro.explore.runner:execute_payload"
+
+
+@dataclass
+class SweepRun:
+    """A finished sweep: ordered records plus execution metadata."""
+
+    spec: SweepSpec
+    jobs: List[Job]
+    records: List[dict] = field(default_factory=list)
+    workers: int = 0
+    elapsed_s: float = 0.0
+
+    @property
+    def ok_records(self) -> List[dict]:
+        return [r for r in self.records if r.get("ok")]
+
+    @property
+    def failures(self) -> List[dict]:
+        return [r for r in self.records if not r.get("ok")]
+
+    def report(self, metric: str = "cycles") -> SweepReport:
+        return SweepReport(self.records, name=self.spec.name, metric=metric)
+
+    def to_json(self) -> dict:
+        return {
+            "name": self.spec.name,
+            "jobs": len(self.jobs),
+            "workers": self.workers,
+            "elapsedS": round(self.elapsed_s, 4),
+            "ok": len(self.ok_records),
+            "failed": len(self.failures),
+            "records": self.records,
+        }
+
+
+def _record_of(job: Job, result: JobResult) -> dict:
+    """Merge a pool outcome with its planned job into one JSONL record."""
+    record = {"index": job.index, "label": job.label,
+              "point": dict(job.point), "ok": result.ok}
+    if result.ok:
+        record.update(result.value)       # {"stats": ..., ["statistics"]}
+    else:
+        record["kind"] = result.kind
+        record["error"] = result.error
+    return record
+
+
+def run_sweep(spec: Union[SweepSpec, dict], workers: int = 0,
+              job_timeout_s: Optional[float] = None,
+              store: Optional[ResultStore] = None,
+              on_record: Optional[Callable[[dict], None]] = None,
+              jobs: Optional[List[Job]] = None,
+              start_method: Optional[str] = None) -> SweepRun:
+    """Plan and execute a sweep.
+
+    Parameters
+    ----------
+    spec:
+        A :class:`SweepSpec` or its JSON dict form.
+    workers:
+        ``0`` — run every job in-process, in order (the serial baseline).
+        ``>= 1`` — run on a process pool of that size with crash isolation
+        and the given per-job timeout.
+    job_timeout_s:
+        Per-job wall-clock budget (pool mode only; the serial loop runs a
+        job to completion — its cycle budget already bounds it).
+    store:
+        Optional :class:`ResultStore`; records are appended in job-index
+        order after the run completes, so the JSONL mirror is deterministic.
+    on_record:
+        Progress callback, fired in completion order.
+    jobs:
+        A job list previously produced by :func:`plan_jobs` for this very
+        spec — callers that already planned (the server's submit path)
+        pass it through so a big grid is never expanded twice.  Planning
+        is deterministic, so this is purely an optimization.
+    start_method:
+        Multiprocessing start method for the pool.  Single-threaded
+        callers (CLI, benches) keep the platform default (``fork`` on
+        Linux: fastest); **multi-threaded hosts must pass a fork-free
+        method** (``forkserver``/``spawn``) — forking a threaded process
+        can deadlock the child before it reaches the job loop.  The task
+        is a dotted reference precisely so every method works.
+    """
+    if isinstance(spec, dict):
+        spec = SweepSpec.from_json(spec)
+    if workers < 0:
+        raise ValueError("workers must be >= 0 (0 = serial)")
+    if jobs is None:
+        jobs = plan_jobs(spec)
+    run = SweepRun(spec=spec, jobs=jobs, workers=workers)
+    started = time.monotonic()
+    if workers == 0:
+        for job in jobs:
+            t0 = time.monotonic()
+            try:
+                value = execute_payload(job.payload)
+                result = JobResult(index=job.index, kind="ok", value=value,
+                                   elapsed_s=time.monotonic() - t0)
+            except Exception as exc:  # noqa: BLE001 - per-job isolation
+                result = JobResult(index=job.index, kind="error",
+                                   error=f"{type(exc).__name__}: {exc}",
+                                   elapsed_s=time.monotonic() - t0)
+            record = _record_of(job, result)
+            run.records.append(record)
+            if on_record is not None:
+                on_record(record)
+    else:
+        def on_result(result: JobResult) -> None:
+            if on_record is not None:
+                on_record(_record_of(jobs[result.index], result))
+
+        with ProcessWorkerPool(RUNNER_TASK, workers=workers,
+                               job_timeout_s=job_timeout_s,
+                               start_method=start_method) as pool:
+            results = pool.map([job.payload for job in jobs],
+                               on_result=on_result)
+        run.records = [_record_of(job, result)
+                       for job, result in zip(jobs, results)]
+    run.elapsed_s = time.monotonic() - started
+    if store is not None:
+        store.extend(run.records)
+    return run

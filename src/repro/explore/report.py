@@ -1,0 +1,165 @@
+"""Comparison / report layer over sweep records.
+
+Turns the flat JSONL records of a finished sweep into the artifacts a
+design-space study actually reads: a metric table across all runs, a
+best-config ranking, and the pairwise speedup matrix (how much faster is
+row-config than column-config).  JSON output here; the text rendering
+lives with the other GUI-view renderers in :mod:`repro.viz.sweep`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["MetricError", "SweepReport", "METRICS"]
+
+#: metric name -> (dotted path into record["stats"], higher_is_better)
+METRICS: Dict[str, Tuple[str, bool]] = {
+    "cycles": ("cycles", False),
+    "ipc": ("ipc", True),
+    "committedInstructions": ("committedInstructions", False),
+    "branchAccuracy": ("branchAccuracy", True),
+    "cacheHitRate": ("cache.hitRatio", True),
+    "cacheMissRate": ("cache.missRatio", False),
+    "energy": ("energy.totalPj", False),
+    "area": ("areaKGE", False),
+    "flops": ("flopsTotal", True),
+}
+
+
+class MetricError(ValueError):
+    """Unknown metric or a record that does not carry it."""
+
+
+def _metric_path(metric: str) -> Tuple[str, bool]:
+    if metric in METRICS:
+        return METRICS[metric]
+    # raw dotted paths into stats are allowed ("memory.bytesRead");
+    # treated as lower-is-better unless suffixed with "+"
+    if metric.endswith("+"):
+        return metric[:-1], True
+    return metric, False
+
+
+def metric_value(record: dict, metric: str) -> Optional[float]:
+    """Resolve *metric* for one record (None when absent, e.g. no cache)."""
+    path, _better = _metric_path(metric)
+    node = record.get("stats", {})
+    for part in path.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node if isinstance(node, (int, float)) else None
+
+
+class SweepReport:
+    """Ranking, tables and pairwise comparisons over sweep records."""
+
+    #: table columns: (header, metric)
+    TABLE_METRICS = (
+        ("cycles", "cycles"),
+        ("instrs", "committedInstructions"),
+        ("IPC", "ipc"),
+        ("br.acc", "branchAccuracy"),
+        ("cache", "cacheHitRate"),
+        ("energy[nJ]", "energy"),
+    )
+
+    def __init__(self, records: List[dict], name: str = "sweep",
+                 metric: str = "cycles"):
+        if metric not in METRICS:
+            raise MetricError(f"unknown ranking metric {metric!r} "
+                              f"(one of {sorted(METRICS)})")
+        self.name = name
+        self.metric = metric
+        self.records = sorted(records, key=lambda r: r.get("index", 0))
+        self.ok = [r for r in self.records if r.get("ok")]
+        self.failed = [r for r in self.records if not r.get("ok")]
+
+    # ------------------------------------------------------------------
+    def ranking(self, metric: Optional[str] = None) -> List[dict]:
+        """Runs ordered best-first by *metric* (runs missing it excluded)."""
+        metric = metric or self.metric
+        _path, higher_better = _metric_path(metric)
+        scored = [(metric_value(record, metric), record)
+                  for record in self.ok]
+        scored = [(value, record) for value, record in scored
+                  if value is not None]
+        scored.sort(key=lambda pair: pair[0], reverse=higher_better)
+        return [{"rank": position + 1, "label": record["label"],
+                 "index": record["index"], "value": value}
+                for position, (value, record) in enumerate(scored)]
+
+    def best(self, metric: Optional[str] = None) -> Optional[dict]:
+        ranking = self.ranking(metric)
+        if not ranking:
+            return None
+        index = ranking[0]["index"]
+        return next(r for r in self.ok if r["index"] == index)
+
+    # ------------------------------------------------------------------
+    def pairwise_speedups(self, metric: Optional[str] = None) -> dict:
+        """``matrix[i][j]`` = how many times better run *i* is than *j*.
+
+        For lower-is-better metrics (cycles, energy) that is
+        ``value_j / value_i``; for higher-is-better it is
+        ``value_i / value_j`` — either way ``> 1`` means row beats column.
+        """
+        metric = metric or self.metric
+        _path, higher_better = _metric_path(metric)
+        labeled = [(record["label"], metric_value(record, metric))
+                   for record in self.ok]
+        labeled = [(label, value) for label, value in labeled
+                   if value is not None and value > 0]
+        labels = [label for label, _ in labeled]
+        matrix: List[List[Optional[float]]] = []
+        for _label_i, value_i in labeled:
+            row: List[Optional[float]] = []
+            for _label_j, value_j in labeled:
+                ratio = (value_i / value_j) if higher_better \
+                    else (value_j / value_i)
+                row.append(round(ratio, 4))
+            matrix.append(row)
+        return {"metric": metric, "labels": labels, "matrix": matrix}
+
+    # ------------------------------------------------------------------
+    def table(self) -> dict:
+        """All runs x headline metrics, JSON-table shaped."""
+        columns = ["label"] + [header for header, _ in self.TABLE_METRICS]
+        rows = []
+        for record in self.records:
+            if not record.get("ok"):
+                rows.append([record["label"], "FAILED: "
+                             + str(record.get("error", "?"))[:60]]
+                            + [None] * (len(columns) - 2))
+                continue
+            row: List[object] = [record["label"]]
+            for _header, metric in self.TABLE_METRICS:
+                value = metric_value(record, metric)
+                if metric == "energy" and value is not None:
+                    value = round(value / 1000.0, 2)      # pJ -> nJ
+                elif isinstance(value, float):
+                    value = round(value, 4)
+                row.append(value)
+            rows.append(row)
+        return {"columns": columns, "rows": rows}
+
+    def to_json(self) -> dict:
+        """The complete comparison payload (server / CLI ``--format json``)."""
+        best = self.best()
+        return {
+            "name": self.name,
+            "metric": self.metric,
+            "runs": len(self.records),
+            "failures": [{"label": r.get("label"),
+                          "error": r.get("error"),
+                          "kind": r.get("kind")} for r in self.failed],
+            "table": self.table(),
+            "ranking": self.ranking(),
+            "best": None if best is None else best["label"],
+            "pairwiseSpeedups": self.pairwise_speedups(),
+        }
+
+    def render_text(self) -> str:
+        from repro.viz.sweep import render_sweep_report
+        return render_sweep_report(self)

@@ -1,0 +1,103 @@
+"""Worker-side job execution: one payload in, one statistics record out.
+
+``execute_payload`` is the :class:`repro.explore.pool.ProcessWorkerPool`
+task (referenced as ``"repro.explore.runner:execute_payload"`` so spawned
+workers import it instead of unpickling a closure).  It is also called
+directly by the serial execution path, which is what makes serial and
+parallel sweeps bit-identical: the exact same function produces the record
+either way, and the record deliberately contains **no host-side timing** —
+only simulated quantities, which are deterministic for a (program, config)
+pair.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import CpuConfig
+from repro.errors import ReproError
+from repro.memory.layout import MemoryLocation
+from repro.sim.energy import estimate_area, estimate_energy
+from repro.sim.simulation import Simulation
+
+__all__ = ["execute_payload", "JobError"]
+
+
+class JobError(ReproError):
+    """A sweep job failed for a reportable, per-job reason."""
+
+
+def _build_simulation(payload: dict) -> Simulation:
+    program = payload.get("program") or {}
+    source: Optional[str] = program.get("source")
+    if source is None:
+        c_source = program.get("c")
+        if c_source is None:
+            raise JobError(f"program '{program.get('name', '?')}' carries "
+                           f"neither assembly nor C source")
+        from repro.compiler.driver import compile_c
+        level = int(payload.get("optimizeLevel",
+                                program.get("optimizeLevel", 1)))
+        result = compile_c(c_source, level)
+        if not result.success:
+            raise JobError(f"C compilation failed at O{level}: "
+                           f"{result.errors}")
+        source = result.assembly
+    config = CpuConfig.from_json(payload["config"])
+    if payload.get("maxCycles") is not None:
+        config.max_cycles = int(payload["maxCycles"])
+    memory = [MemoryLocation.from_json(d)
+              for d in program.get("memory", [])]
+    entry = payload.get("entry", program.get("entry"))
+    return Simulation.from_source(source, config=config, entry=entry,
+                                  memory_locations=memory)
+
+
+def execute_payload(payload: dict) -> dict:
+    """Run one planned job; return its per-run statistics record body.
+
+    The summary covers every metric the paper's evaluation compares —
+    cycles, IPC, branch-predictor accuracy, cache hit/miss rates, memory
+    traffic, energy — plus the committed integer register file, so
+    correctness-across-configs assertions (the ablation suites) can run
+    off the record alone.  ``collect: "full"`` additionally embeds the
+    complete statistics page.
+    """
+    simulation = _build_simulation(payload)
+    result = simulation.run()
+    cpu = simulation.cpu
+    stats = result.statistics
+    predictor = stats["branchPredictor"]
+    summary = {
+        "haltReason": result.halt_reason,
+        "cycles": result.cycles,
+        "committedInstructions": result.committed,
+        "ipc": stats["ipc"],
+        "branchAccuracy": predictor["accuracy"],
+        "branchPredictions": predictor["predictions"],
+        "robFlushes": stats["robFlushes"],
+        "flopsTotal": stats["flopsTotal"],
+        "dynamicMix": stats["dynamicMix"],
+        "memory": stats["memory"],
+        "intRegisters": cpu.arch_regs.snapshot()["int"],
+    }
+    for level in ("cache", "l2Cache"):
+        if level in stats:
+            cache = stats[level]
+            summary[level] = {
+                "hitRatio": cache["hitRatio"],
+                "missRatio": cache["missRatio"],
+                "accesses": cache["accesses"],
+                "bytesWritten": cache["bytesWritten"],
+            }
+    energy = estimate_energy(cpu)
+    summary["energy"] = {
+        "totalPj": round(energy.total_pj, 2),
+        "dynamicPj": round(energy.dynamic_total_pj, 2),
+        "staticPj": round(energy.static_pj, 2),
+    }
+    summary["areaKGE"] = round(estimate_area(cpu.config).total, 3)
+    record = {"stats": summary}
+    if payload.get("collect") == "full":
+        record["statistics"] = stats
+    return record

@@ -1,0 +1,221 @@
+"""Server-side sweep orchestration (the ``/explore/*`` endpoints' engine).
+
+Submitted sweeps queue up and execute **one at a time** on a background
+thread that drives the process pool — one sweep already saturates its
+workers, so running sweeps concurrently would only thrash the machine and
+blur every wall-clock number.  Status is cheap to poll; results are kept
+for a bounded number of finished sweeps (oldest evicted first).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+import uuid
+from collections import OrderedDict
+from typing import List, Optional
+
+from repro.explore.engine import run_sweep
+from repro.explore.plan import plan_jobs
+from repro.explore.pool import default_worker_count
+from repro.explore.report import METRICS, MetricError, SweepReport
+from repro.explore.spec import SweepSpec, SweepSpecError
+
+__all__ = ["ExploreManager", "SweepState"]
+
+
+class SweepState:
+    """Lifecycle record of one submitted sweep."""
+
+    __slots__ = ("id", "spec", "jobs", "workers", "job_timeout_s", "state",
+                 "total", "completed", "failed", "records", "error",
+                 "submitted", "started", "finished", "elapsed_s")
+
+    def __init__(self, spec: SweepSpec, jobs: list, workers: int,
+                 job_timeout_s: Optional[float] = None):
+        self.id = uuid.uuid4().hex[:16]
+        self.spec = spec
+        self.jobs = jobs                  #: planned once, at submit time
+        self.workers = workers
+        self.job_timeout_s = job_timeout_s
+        self.state = "queued"             #: queued/running/done/failed
+        self.total = len(jobs)
+        self.completed = 0
+        self.failed = 0
+        self.records: List[dict] = []
+        self.error: Optional[str] = None
+        self.submitted = time.monotonic()
+        self.started: Optional[float] = None
+        self.finished: Optional[float] = None
+        self.elapsed_s = 0.0
+
+    def status_json(self) -> dict:
+        data = {
+            "sweepId": self.id,
+            "name": self.spec.name,
+            "state": self.state,
+            "jobs": self.total,
+            "completed": self.completed,
+            "failed": self.failed,
+            "workers": self.workers,
+        }
+        if self.state in ("done", "failed"):
+            data["elapsedS"] = round(self.elapsed_s, 4)
+        if self.error is not None:
+            data["error"] = self.error
+        return data
+
+
+class ExploreManager:
+    """Bounded queue + registry of design-space sweeps."""
+
+    def __init__(self, workers: Optional[int] = None,
+                 job_timeout_s: Optional[float] = 300.0,
+                 max_pending: int = 8, max_finished: int = 32,
+                 max_jobs: int = 4096):
+        self.workers = workers if workers is not None \
+            else min(4, default_worker_count())
+        self.job_timeout_s = job_timeout_s
+        self.max_pending = max_pending
+        self.max_finished = max_finished
+        #: largest sweep a single submit may expand to — checked *before*
+        #: planning, so a pathological grid (64^5 points) cannot OOM the
+        #: submitting thread
+        self.max_jobs = max_jobs
+        #: hard cap on client-requested worker processes per sweep
+        self.max_workers = max(4, default_worker_count())
+        #: fork-free start method: the manager forks workers from inside a
+        #: threaded server process, where plain fork can deadlock the
+        #: child mid-import (the dotted RUNNER_TASK makes any method work)
+        methods = multiprocessing.get_all_start_methods()
+        self.start_method = "forkserver" if "forkserver" in methods \
+            else "spawn"
+        self._lock = threading.Lock()
+        self._sweeps: "OrderedDict[str, SweepState]" = OrderedDict()
+        self._queue: List[SweepState] = []
+        self._wake = threading.Condition(self._lock)
+        self._thread: Optional[threading.Thread] = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def submit(self, spec_data: dict, workers: Optional[int] = None,
+               metric: str = "cycles",
+               job_timeout_s: Optional[float] = None) -> SweepState:
+        """Validate, plan, and enqueue a sweep; returns its state handle.
+
+        Planning happens exactly once, here: the job list is carried on
+        the state and reused by the runner thread, so a bad spec fails the
+        submit (not the sweep) and a big grid is never expanded twice.
+        Raises :class:`repro.explore.spec.SweepSpecError` on a bad spec,
+        :class:`MetricError` on a bad metric and :class:`OverflowError`
+        when the queue is full — the protocol layer maps each to an HTTP
+        error without this module knowing about transports.
+        """
+        if metric not in METRICS:
+            raise MetricError(f"unknown ranking metric {metric!r} "
+                              f"(one of {sorted(METRICS)})")
+        spec = SweepSpec.from_json(spec_data)
+        planned = spec.samples if spec.sampling == "random" \
+            else spec.grid_size()
+        if planned > self.max_jobs:
+            raise SweepSpecError(
+                f"sweep expands to {planned} jobs, over this server's "
+                f"limit of {self.max_jobs}; shrink the grid or use "
+                f"random sampling")
+        jobs = plan_jobs(spec)            # deterministic; also validates
+        sweep_workers = self.workers if workers is None \
+            else min(max(0, int(workers)), self.max_workers)
+        state = SweepState(spec, jobs, sweep_workers,
+                           job_timeout_s=job_timeout_s
+                           if job_timeout_s is not None
+                           else self.job_timeout_s)
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("explore manager is closed")
+            pending = sum(1 for s in self._sweeps.values()
+                          if s.state in ("queued", "running"))
+            if pending >= self.max_pending:
+                raise OverflowError(
+                    f"too many pending sweeps ({pending}); retry later")
+            self._sweeps[state.id] = state
+            self._queue.append(state)
+            self._evict_finished_locked()
+            if self._thread is None or not self._thread.is_alive():
+                self._thread = threading.Thread(
+                    target=self._run_loop, daemon=True, name="explore-runner")
+                self._thread.start()
+            self._wake.notify()
+        return state
+
+    def get(self, sweep_id: str) -> Optional[SweepState]:
+        with self._lock:
+            return self._sweeps.get(sweep_id)
+
+    def result_json(self, state: SweepState, metric: str = "cycles") -> dict:
+        """Records + comparison report of a finished sweep."""
+        report = SweepReport(state.records, name=state.spec.name,
+                             metric=metric)
+        data = state.status_json()
+        data["records"] = list(state.records)
+        data["report"] = report.to_json()
+        data["reportText"] = report.render_text()
+        return data
+
+    # ------------------------------------------------------------------
+    def _evict_finished_locked(self) -> None:
+        finished = [sid for sid, s in self._sweeps.items()
+                    if s.state in ("done", "failed")]
+        while len(finished) > self.max_finished:
+            del self._sweeps[finished.pop(0)]
+
+    def _run_loop(self) -> None:
+        while True:
+            with self._lock:
+                while not self._queue and not self._closed:
+                    self._wake.wait()
+                if self._closed and not self._queue:
+                    return
+                state = self._queue.pop(0)
+                state.state = "running"
+                state.started = time.monotonic()
+
+            def on_record(record: dict, state: SweepState = state) -> None:
+                with self._lock:
+                    state.completed += 1
+                    if not record.get("ok"):
+                        state.failed += 1
+
+            try:
+                run = run_sweep(state.spec, workers=state.workers,
+                                job_timeout_s=state.job_timeout_s,
+                                jobs=state.jobs,
+                                on_record=on_record,
+                                start_method=self.start_method)
+                with self._lock:
+                    state.records = run.records
+                    state.completed = len(run.records)
+                    state.failed = len(run.failures)
+                    state.elapsed_s = run.elapsed_s
+                    state.state = "done"
+                    state.finished = time.monotonic()
+            except Exception as exc:  # noqa: BLE001 - keep serving
+                with self._lock:
+                    state.error = f"{type(exc).__name__}: {exc}"
+                    state.state = "failed"
+                    state.finished = time.monotonic()
+                    state.elapsed_s = state.finished - (state.started
+                                                        or state.finished)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            self._wake.notify_all()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=10.0)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sweeps)

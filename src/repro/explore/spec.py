@@ -1,0 +1,309 @@
+"""Declarative design-space sweep specifications.
+
+A :class:`SweepSpec` describes a whole experiment the way the paper's
+evaluation section does: *programs* (assembly or C at a chosen optimization
+level) crossed with *axes* over the architecture configuration — issue
+width, cache geometry, predictor type, optimization level, anything
+reachable through ``CpuConfig``'s JSON form.  Specs are plain JSON
+(loadable from a file, postable to the server) and expand deterministically
+into an ordered list of design points, either as the full grid or as a
+seeded random sample of it.
+
+Axis forms::
+
+    {"name": "lines", "path": "config.cache.lineCount", "values": [8, 32]}
+    {"name": "width", "values": [
+        {"config.buffers.fetchWidth": 1, "config.buffers.commitWidth": 1},
+        {"config.buffers.fetchWidth": 4, "config.buffers.commitWidth": 4}],
+     "labels": ["w1", "w4"]}
+
+A scalar-valued axis assigns each value at its dotted ``path``; a
+dict-valued axis assigns several paths at once (the only way to move
+coupled parameters — width plus functional-unit list — coherently).
+Paths starting with ``config.`` descend into the architecture JSON;
+``optimizeLevel`` retargets the C compiler; ``maxCycles`` and ``entry``
+adjust the run itself.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import CpuConfig, preset_names
+from repro.errors import ReproError
+
+__all__ = ["SweepSpecError", "ProgramSpec", "Axis", "SweepPoint", "SweepSpec"]
+
+
+class SweepSpecError(ReproError):
+    """Invalid sweep specification."""
+
+
+@dataclass
+class ProgramSpec:
+    """One workload of the sweep: assembly, or C compiled in the worker."""
+
+    name: str
+    source: Optional[str] = None          #: assembly source
+    c_source: Optional[str] = None        #: C source (compiled per job)
+    optimize_level: int = 1               #: C optimization level (O0..O3)
+    entry: Optional[object] = None
+    memory: List[dict] = field(default_factory=list)  #: MemoryLocation JSON
+
+    def validate(self) -> None:
+        if not self.name:
+            raise SweepSpecError("every program needs a non-empty 'name'")
+        if (self.source is None) == (self.c_source is None):
+            raise SweepSpecError(
+                f"program '{self.name}': exactly one of 'source' (assembly) "
+                f"or 'c' (C source) is required")
+        if not 0 <= int(self.optimize_level) <= 3:
+            raise SweepSpecError(
+                f"program '{self.name}': optimizeLevel must be 0..3")
+
+    def to_json(self) -> dict:
+        data: dict = {"name": self.name}
+        if self.source is not None:
+            data["source"] = self.source
+        if self.c_source is not None:
+            data["c"] = self.c_source
+            data["optimizeLevel"] = self.optimize_level
+        if self.entry is not None:
+            data["entry"] = self.entry
+        if self.memory:
+            data["memory"] = list(self.memory)
+        return data
+
+    @staticmethod
+    def from_json(data: dict) -> "ProgramSpec":
+        if not isinstance(data, dict):
+            raise SweepSpecError(f"program entries must be objects, "
+                                 f"got {type(data).__name__}")
+        return ProgramSpec(
+            name=str(data.get("name", "")),
+            source=data.get("source"),
+            c_source=data.get("c"),
+            optimize_level=int(data.get("optimizeLevel", 1)),
+            entry=data.get("entry"),
+            memory=list(data.get("memory", [])),
+        )
+
+
+@dataclass
+class Axis:
+    """One swept dimension: a label per value, a value per design point."""
+
+    name: str
+    values: List[object]
+    path: Optional[str] = None
+    labels: Optional[List[str]] = None
+
+    def validate(self) -> None:
+        if not self.name:
+            raise SweepSpecError("every axis needs a non-empty 'name'")
+        if not self.values:
+            raise SweepSpecError(f"axis '{self.name}': 'values' is empty")
+        if self.labels is not None and len(self.labels) != len(self.values):
+            raise SweepSpecError(
+                f"axis '{self.name}': {len(self.labels)} labels for "
+                f"{len(self.values)} values")
+        for value in self.values:
+            if self.path is None and not isinstance(value, dict):
+                raise SweepSpecError(
+                    f"axis '{self.name}': values must be "
+                    f"{{dotted.path: value}} objects when no 'path' is set")
+
+    # ------------------------------------------------------------------
+    def label_of(self, position: int) -> str:
+        if self.labels is not None:
+            return str(self.labels[position])
+        value = self.values[position]
+        if isinstance(value, dict):
+            return str(position)
+        return str(value)
+
+    def assignments_of(self, position: int) -> Dict[str, object]:
+        """Dotted-path assignments this axis applies at *position*."""
+        value = self.values[position]
+        if self.path is not None:
+            return {self.path: value}
+        return dict(value)
+
+    def to_json(self) -> dict:
+        data: dict = {"name": self.name, "values": list(self.values)}
+        if self.path is not None:
+            data["path"] = self.path
+        if self.labels is not None:
+            data["labels"] = list(self.labels)
+        return data
+
+    @staticmethod
+    def from_json(data: dict) -> "Axis":
+        if not isinstance(data, dict):
+            raise SweepSpecError(f"axis entries must be objects, "
+                                 f"got {type(data).__name__}")
+        values = data.get("values")
+        if not isinstance(values, list):
+            raise SweepSpecError(
+                f"axis '{data.get('name', '?')}': 'values' must be a list")
+        labels = data.get("labels")
+        return Axis(name=str(data.get("name", "")), values=list(values),
+                    path=data.get("path"),
+                    labels=None if labels is None else list(labels))
+
+
+@dataclass
+class SweepPoint:
+    """One expanded design point (program index + one value per axis)."""
+
+    program: int
+    choices: Tuple[int, ...]              #: value index per axis
+
+
+@dataclass
+class SweepSpec:
+    """A complete, JSON-round-trippable experiment description."""
+
+    name: str = "sweep"
+    programs: List[ProgramSpec] = field(default_factory=list)
+    axes: List[Axis] = field(default_factory=list)
+    #: architecture baseline: a preset name or CpuConfig JSON dict
+    base_config: object = "default"
+    max_cycles: Optional[int] = None
+    sampling: str = "grid"                #: "grid" | "random"
+    samples: int = 0                      #: sample count (random mode)
+    seed: int = 0                         #: RNG seed (random mode)
+    collect: str = "summary"              #: "summary" | "full" statistics
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        if not self.programs:
+            raise SweepSpecError("a sweep needs at least one program")
+        for program in self.programs:
+            program.validate()
+        names = [p.name for p in self.programs]
+        if len(set(names)) != len(names):
+            raise SweepSpecError(f"program names must be unique: {names}")
+        axis_names = [a.name for a in self.axes]
+        if len(set(axis_names)) != len(axis_names):
+            raise SweepSpecError(f"axis names must be unique: {axis_names}")
+        for axis in self.axes:
+            axis.validate()
+        if self.sampling not in ("grid", "random"):
+            raise SweepSpecError(
+                f"sampling must be 'grid' or 'random', got {self.sampling!r}")
+        if self.sampling == "random" and self.samples < 1:
+            raise SweepSpecError("random sampling needs 'samples' >= 1")
+        if self.collect not in ("summary", "full"):
+            raise SweepSpecError(
+                f"collect must be 'summary' or 'full', got {self.collect!r}")
+        if self.max_cycles is not None and self.max_cycles <= 0:
+            raise SweepSpecError("maxCycles must be positive")
+        self.resolve_base_config()        # raises on a bad architecture
+
+    def resolve_base_config(self) -> dict:
+        """Baseline architecture as a JSON dict (validated)."""
+        if isinstance(self.base_config, str):
+            if self.base_config not in preset_names():
+                raise SweepSpecError(
+                    f"unknown preset architecture {self.base_config!r}")
+            return CpuConfig.preset(self.base_config).to_json()
+        if isinstance(self.base_config, dict):
+            config = CpuConfig.from_json(self.base_config)
+            config.validate()
+            return config.to_json()
+        raise SweepSpecError("'config' must be a preset name or a "
+                             "CpuConfig JSON object")
+
+    # ------------------------------------------------------------------
+    def grid_size(self) -> int:
+        size = len(self.programs)
+        for axis in self.axes:
+            size *= len(axis.values)
+        return size
+
+    def points(self) -> List[SweepPoint]:
+        """Deterministic expansion: full grid, or a seeded random sample.
+
+        Grid order is programs-outermost, then axes in declaration order
+        (the last axis varies fastest) — the order a hand-rolled nested
+        loop would produce.  Random sampling draws ``samples`` points
+        uniformly (with replacement) from the same grid via
+        ``random.Random(seed)``, so re-expanding a spec always yields the
+        same plan.
+        """
+        if self.sampling == "random":
+            rng = random.Random(self.seed)
+            out = []
+            for _ in range(self.samples):
+                program = rng.randrange(len(self.programs))
+                choices = tuple(rng.randrange(len(axis.values))
+                                for axis in self.axes)
+                out.append(SweepPoint(program=program, choices=choices))
+            return out
+        ranges = [range(len(axis.values)) for axis in self.axes]
+        return [SweepPoint(program=p, choices=tuple(combo))
+                for p in range(len(self.programs))
+                for combo in itertools.product(*ranges)]
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> dict:
+        data: dict = {
+            "name": self.name,
+            "programs": [p.to_json() for p in self.programs],
+            "axes": [a.to_json() for a in self.axes],
+            "config": self.base_config,
+            "sampling": self.sampling,
+            "collect": self.collect,
+        }
+        if self.max_cycles is not None:
+            data["maxCycles"] = self.max_cycles
+        if self.sampling == "random":
+            data["samples"] = self.samples
+            data["seed"] = self.seed
+        return data
+
+    @staticmethod
+    def from_json(data: dict) -> "SweepSpec":
+        if not isinstance(data, dict):
+            raise SweepSpecError("a sweep spec must be a JSON object")
+        sampling = data.get("sampling", "grid")
+        if isinstance(sampling, dict):     # {"mode": "random", ...} form
+            mode = sampling
+            sampling = str(mode.get("mode", "grid"))
+            samples = int(mode.get("samples", 0))
+            seed = int(mode.get("seed", 0))
+        else:
+            samples = int(data.get("samples", 0))
+            seed = int(data.get("seed", 0))
+        spec = SweepSpec(
+            name=str(data.get("name", "sweep")),
+            programs=[ProgramSpec.from_json(p)
+                      for p in data.get("programs", [])],
+            axes=[Axis.from_json(a) for a in data.get("axes", [])],
+            base_config=data.get("config", "default"),
+            max_cycles=(int(data["maxCycles"])
+                        if data.get("maxCycles") is not None else None),
+            sampling=str(sampling),
+            samples=samples,
+            seed=seed,
+            collect=str(data.get("collect", "summary")),
+        )
+        spec.validate()
+        return spec
+
+    @staticmethod
+    def from_json_str(text: str) -> "SweepSpec":
+        try:
+            return SweepSpec.from_json(json.loads(text))
+        except json.JSONDecodeError as exc:
+            raise SweepSpecError(f"invalid sweep JSON: {exc}") from exc
+
+    @staticmethod
+    def load(path: str) -> "SweepSpec":
+        with open(path, "r", encoding="utf-8") as handle:
+            return SweepSpec.from_json_str(handle.read())

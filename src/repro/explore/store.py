@@ -1,0 +1,76 @@
+"""JSONL result store for sweep records.
+
+One line per run, append-only, human-greppable.  The engine writes records
+in job-index order once a sweep completes (so a stored sweep file is
+byte-deterministic for a deterministic spec), but ``append`` is public and
+flushes eagerly so long-running custom drivers can stream records and
+survive interruption with everything finished so far on disk.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import IO, Iterable, List, Optional
+
+__all__ = ["ResultStore", "load_records"]
+
+
+def load_records(path: str) -> List[dict]:
+    """Read every record of a JSONL result file (blank lines skipped)."""
+    records: List[dict] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{line_number}: bad JSONL record: "
+                                 f"{exc}") from exc
+    return records
+
+
+class ResultStore:
+    """Sweep records, in memory and optionally mirrored to a JSONL file."""
+
+    def __init__(self, path: Optional[str] = None, append: bool = False):
+        self.path = path
+        self._records: List[dict] = []
+        self._handle: Optional[IO[str]] = None
+        if path is not None:
+            mode = "a" if append else "w"
+            directory = os.path.dirname(path)
+            if directory:
+                os.makedirs(directory, exist_ok=True)
+            self._handle = open(path, mode, encoding="utf-8")
+
+    # ------------------------------------------------------------------
+    def append(self, record: dict) -> None:
+        self._records.append(record)
+        if self._handle is not None:
+            self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+            self._handle.flush()
+
+    def extend(self, records: Iterable[dict]) -> None:
+        for record in records:
+            self.append(record)
+
+    def records(self) -> List[dict]:
+        return list(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

@@ -18,8 +18,24 @@ from repro.memory.transaction import MemoryTransaction
 Number = Union[int, float]
 
 
+#: checkpoint page granularity (bytes, power of two): small enough that a
+#: store-heavy loop touches few pages, large enough that the per-page
+#: bookkeeping stays negligible (64 KiB -> 64 pages)
+PAGE_SIZE = 1024
+_PAGE_SHIFT = PAGE_SIZE.bit_length() - 1
+
+
 class MainMemory:
-    """Byte-addressable memory with configurable load/store latencies."""
+    """Byte-addressable memory with configurable load/store latencies.
+
+    Checkpoints are **page-compressed**: every write dirties its page's
+    version counter, and :meth:`save_state` freezes only pages written
+    since the last freeze, sharing every clean page's immutable blob with
+    earlier checkpoints.  A checkpoint therefore copies O(pages touched)
+    instead of the full image, which is what lets the checkpoint ring
+    (``repro.sim.state.CheckpointRing``) keep dozens of 64 KiB machines
+    around for O(K) time travel.
+    """
 
     def __init__(self, capacity: int = 64 * 1024,
                  load_latency: int = 1, store_latency: int = 1):
@@ -36,6 +52,23 @@ class MainMemory:
         self.bytes_written = 0
         #: dirty counter (see repro.sim.state): bumped on every data write
         self.version = 0
+        #: per-page dirty counters + frozen (version, blob) cache backing
+        #: O(pages-touched) checkpoints
+        self._page_count = (capacity + PAGE_SIZE - 1) >> _PAGE_SHIFT
+        self._page_versions = [0] * self._page_count
+        self._page_blobs: list = [None] * self._page_count
+
+    # -- page-level dirty tracking ---------------------------------------
+    def _dirty_range(self, address: int, size: int) -> None:
+        versions = self._page_versions
+        for page in range(address >> _PAGE_SHIFT,
+                          ((address + size - 1) >> _PAGE_SHIFT) + 1):
+            versions[page] += 1
+
+    def _dirty_all(self) -> None:
+        versions = self._page_versions
+        for page in range(self._page_count):
+            versions[page] += 1
 
     # -- bounds ---------------------------------------------------------
     def check_range(self, address: int, size: int) -> None:
@@ -54,6 +87,8 @@ class MainMemory:
         self.check_range(address, len(payload))
         self.data[address:address + len(payload)] = payload
         self.version += 1
+        if payload:
+            self._dirty_range(address, len(payload))
 
     def read_int(self, address: int, size: int, signed: bool = True) -> int:
         raw = self.read_bytes(address, size)
@@ -118,22 +153,76 @@ class MainMemory:
         """Install an initial memory image (program data segment)."""
         self.write_bytes(base, bytes(image))
 
+    def set_image(self, image: bytearray) -> None:
+        """Adopt *image* as the whole memory content (simulation init).
+
+        Replaces the backing array wholesale, so every page is dirtied and
+        every frozen checkpoint blob is dropped."""
+        if len(image) != self.capacity:
+            raise ValueError(f"image size {len(image)} != capacity "
+                             f"{self.capacity}")
+        self.data = image if isinstance(image, bytearray) \
+            else bytearray(image)
+        self.version += 1
+        self._dirty_all()
+        self._page_blobs = [None] * self._page_count
+
     def reset(self) -> None:
         self.data = bytearray(self.capacity)
         self.load_count = self.store_count = 0
         self.bytes_read = self.bytes_written = 0
         self.version += 1
+        self._dirty_all()
+        self._page_blobs = [None] * self._page_count
 
     # -- state-engine protocol (repro.sim.state) --------------------------
     def save_state(self) -> dict:
+        """Checkpoint the memory in O(pages touched since the last save).
+
+        Clean pages reuse the immutable blob frozen by an earlier save
+        (shared by reference across checkpoints); only pages whose dirty
+        counter moved are copied out of the live array."""
+        data = self.data
+        blobs = self._page_blobs
+        versions = self._page_versions
+        pages = []
+        for page in range(self._page_count):
+            cached = blobs[page]
+            version = versions[page]
+            if cached is None or cached[0] != version:
+                start = page << _PAGE_SHIFT
+                cached = (version,
+                          bytes(data[start:min(start + PAGE_SIZE,
+                                               self.capacity)]))
+                blobs[page] = cached
+            pages.append(cached[1])
         return {
-            "data": bytes(self.data),
+            "pages": tuple(pages),
             "counters": (self.load_count, self.store_count,
                          self.bytes_read, self.bytes_written),
         }
 
     def restore_state(self, state: dict) -> None:
-        self.data[:] = state["data"]
+        if "pages" in state:
+            data = self.data
+            blobs = self._page_blobs
+            versions = self._page_versions
+            for page, blob in enumerate(state["pages"]):
+                cached = blobs[page]
+                if cached is not None and cached[1] is blob \
+                        and cached[0] == versions[page]:
+                    # the live page is bit-identical to the checkpoint's
+                    # blob (common during replay): skip the copy and keep
+                    # the frozen blob valid for future saves
+                    continue
+                start = page << _PAGE_SHIFT
+                data[start:start + len(blob)] = blob
+                versions[page] += 1
+                blobs[page] = (versions[page], blob)
+        else:  # pre-paging snapshot shape (external callers)
+            self.data[:] = state["data"]
+            self._dirty_all()
+            self._page_blobs = [None] * self._page_count
         (self.load_count, self.store_count,
          self.bytes_read, self.bytes_written) = state["counters"]
         self.version += 1

@@ -116,3 +116,24 @@ class SimClient:
     def session_close(self, session_id: str) -> dict:
         return self.request("POST", "/session/close",
                             {"sessionId": session_id})
+
+    # -- design-space sweeps (repro.explore) ----------------------------
+    def explore_submit(self, spec: dict, workers: Optional[int] = None,
+                       metric: str = "cycles",
+                       job_timeout_s: Optional[float] = None) -> dict:
+        """Queue a sweep; returns ``{"sweepId", "jobs", "workers"}``."""
+        payload: dict = {"spec": spec, "metric": metric}
+        if workers is not None:
+            payload["workers"] = workers
+        if job_timeout_s is not None:
+            payload["jobTimeoutS"] = job_timeout_s
+        return self.request("POST", "/explore/submit", payload)
+
+    def explore_status(self, sweep_id: str) -> dict:
+        return self.request("POST", "/explore/status", {"sweepId": sweep_id})
+
+    def explore_result(self, sweep_id: str, metric: str = "cycles") -> dict:
+        """Records + comparison report of a finished sweep (409 while it
+        is still queued/running — poll :meth:`explore_status` first)."""
+        return self.request("POST", "/explore/result",
+                            {"sweepId": sweep_id, "metric": metric})

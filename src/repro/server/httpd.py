@@ -86,7 +86,12 @@ class _Handler(BaseHTTPRequestHandler):
 
 
 class SimServer(ThreadingHTTPServer):
-    """The simulation server (one thread per connection)."""
+    """The simulation server (one thread per connection).
+
+    Connection threads only parse/serialize; session simulation runs on the
+    Api's keyed worker pool and design-space sweeps on the explore
+    manager's process pool (see :mod:`repro.server.protocol`).
+    """
 
     daemon_threads = True
 
@@ -109,21 +114,37 @@ class SimServer(ThreadingHTTPServer):
         thread.start()
         return thread
 
+    def server_close(self) -> None:
+        super().server_close()
+        self.api.close()
+
 
 def serve(host: str = "127.0.0.1", port: int = 8045,
           enable_gzip: bool = True, overhead_ms: float = 0.0,
-          verbose: bool = True) -> None:
+          verbose: bool = True, session_workers: Optional[int] = None,
+          explore_workers: Optional[int] = None) -> None:
     """Run the server in the foreground (``repro-server`` entry point)."""
-    server = SimServer((host, port), enable_gzip=enable_gzip,
+    from repro.explore.service import ExploreManager
+    from repro.server.protocol import DEFAULT_SESSION_WORKERS
+    # explicit None check: --session-workers 0 must reach KeyedThreadPool
+    # and fail its validation loudly, not silently fall back to the default
+    api = Api(explore=ExploreManager(workers=explore_workers),
+              session_workers=DEFAULT_SESSION_WORKERS
+              if session_workers is None else session_workers)
+    server = SimServer((host, port), api=api, enable_gzip=enable_gzip,
                        overhead_ms=overhead_ms, verbose=verbose)
     print(f"repro simulation server listening on http://{host}:{server.port}"
           f" (gzip={'on' if enable_gzip else 'off'},"
-          f" overhead={overhead_ms}ms)")
+          f" overhead={overhead_ms}ms,"
+          f" session workers={api.session_pool.workers},"
+          f" explore workers={api.explore.workers})")
     try:
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive
         print("shutting down")
         server.shutdown()
+    finally:
+        server.server_close()
 
 
 def main(argv=None) -> int:
@@ -135,10 +156,16 @@ def main(argv=None) -> int:
                         help="disable gzip content-encoding")
     parser.add_argument("--overhead-ms", type=float, default=0.0,
                         help="per-request overhead emulating Docker deployment")
+    parser.add_argument("--session-workers", type=int, default=None,
+                        help="session executor threads (per-session queues)")
+    parser.add_argument("--explore-workers", type=int, default=None,
+                        help="worker processes for /explore sweeps")
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args(argv)
     serve(args.host, args.port, enable_gzip=not args.no_gzip,
-          overhead_ms=args.overhead_ms, verbose=not args.quiet)
+          overhead_ms=args.overhead_ms, verbose=not args.quiet,
+          session_workers=args.session_workers,
+          explore_workers=args.explore_workers)
     return 0
 
 

@@ -11,6 +11,9 @@ Endpoints mirror the paper's server API:
 ``POST /session/state``   full processor snapshot of a session
 ``POST /session/seek``    jump to an absolute cycle (log navigation)
 ``POST /session/close``   drop a session
+``POST /explore/submit``  queue a design-space sweep (repro.explore)
+``POST /explore/status``  sweep progress (state, jobs completed/failed)
+``POST /explore/result``  per-run records + comparison report
 ``GET  /schema``          machine-readable endpoint list
 ``GET  /health``          liveness probe
 ========================  ===================================================
@@ -18,6 +21,14 @@ Endpoints mirror the paper's server API:
 Handlers receive/return plain dicts; the HTTP layer (or the in-process test
 harness) does (de)serialization, so the JSON cost the paper measures can be
 benchmarked separately from the simulation cost.
+
+Session work (``session/step`` and friends) does **not** run on the
+calling (HTTP) thread: it is dispatched onto a
+:class:`repro.explore.pool.KeyedThreadPool` keyed by session id — the same
+pool abstraction the experiment engine uses for sweeps.  Per-key FIFO
+queues keep each session's requests strictly ordered while a heavy session
+occupies at most one executor, so concurrent sessions cannot block each
+other behind it.
 """
 
 from __future__ import annotations
@@ -29,15 +40,25 @@ from repro.compiler.driver import compile_c
 from repro.core.config import CpuConfig
 from repro.errors import (AsmSyntaxError, ConfigError, MemoryAccessError,
                           ReproError, SourceError)
+from repro.explore.pool import KeyedThreadPool
+from repro.explore.report import MetricError
+from repro.explore.service import ExploreManager
+from repro.explore.spec import SweepSpecError
 from repro.memory.layout import MemoryLocation, decode_values
 from repro.server.session import SessionManager
 from repro.sim.state import SNAPSHOT_SCHEMA_VERSION, RawJson
 
-#: wire-protocol version served by this module.  v2 adds delta state
+#: wire-protocol version served by this module.  v2 added delta state
 #: payloads (``/session/step`` with ``"delta": true``), the
 #: ``/session/memory`` view, checkpointed seeking, and strict cycle-count
-#: validation; v1 clients keep working (full payloads remain the default).
-PROTOCOL_VERSION = 2
+#: validation.  v3 adds the ``/explore/*`` design-space sweep endpoints
+#: and moves session simulation onto a worker pool (no wire change for
+#: session clients; v1/v2 clients keep working).
+PROTOCOL_VERSION = 3
+
+#: executors session work is dispatched onto (per-session FIFO queues keep
+#: request order; the count bounds how many sessions simulate at once)
+DEFAULT_SESSION_WORKERS = 8
 
 #: upper bound for one step request; larger forward runs should be issued
 #: as repeated (batched) step requests so sessions stay responsive and a
@@ -113,6 +134,15 @@ SCHEMA = {
                   "sinceVersion": "int? (unchanged check)"}},
         {"method": "POST", "path": "/session/close",
          "body": {"sessionId": "id"}},
+        {"method": "POST", "path": "/explore/submit",
+         "body": {"spec": "sweep spec JSON (see repro.explore.spec)",
+                  "workers": "int? (0 = serial)",
+                  "metric": "ranking metric? (default 'cycles')",
+                  "jobTimeoutS": "number? per-job wall-clock budget"}},
+        {"method": "POST", "path": "/explore/status",
+         "body": {"sweepId": "id"}},
+        {"method": "POST", "path": "/explore/result",
+         "body": {"sweepId": "id", "metric": "ranking metric?"}},
         {"method": "GET", "path": "/schema"},
         {"method": "GET", "path": "/health"},
     ],
@@ -120,10 +150,28 @@ SCHEMA = {
 
 
 class Api:
-    """All protocol handlers bound to one session manager."""
+    """All protocol handlers bound to one session manager.
 
-    def __init__(self, sessions: Optional[SessionManager] = None):
-        self.sessions = sessions or SessionManager()
+    ``session_workers`` sizes the :class:`KeyedThreadPool` session work
+    runs on (threads start lazily, so idle Apis cost nothing); ``explore``
+    may inject a pre-configured :class:`ExploreManager` (the HTTP entry
+    point passes worker counts through).
+    """
+
+    def __init__(self, sessions: Optional[SessionManager] = None,
+                 explore: Optional[ExploreManager] = None,
+                 session_workers: int = DEFAULT_SESSION_WORKERS):
+        # explicit None checks: both managers define __len__, so an empty
+        # (still perfectly valid) instance is falsy and `or` would drop it
+        self.sessions = sessions if sessions is not None else SessionManager()
+        self.explore = explore if explore is not None else ExploreManager()
+        self.session_pool = KeyedThreadPool(session_workers,
+                                            name="session-worker")
+
+    def close(self) -> None:
+        """Stop the worker pools (tests; server shutdown)."""
+        self.session_pool.close()
+        self.explore.close()
 
     # ------------------------------------------------------------------
     def handle(self, method: str, path: str, payload: Optional[dict]) -> dict:
@@ -151,6 +199,12 @@ class Api:
             return self.session_memory(payload)
         if route == ("POST", "/session/close"):
             return self.session_close(payload)
+        if route == ("POST", "/explore/submit"):
+            return self.explore_submit(payload)
+        if route == ("POST", "/explore/status"):
+            return self.explore_status(payload)
+        if route == ("POST", "/explore/result"):
+            return self.explore_result(payload)
         raise ApiError(f"no such endpoint: {method} {path}", status=404)
 
     # ------------------------------------------------------------------
@@ -240,31 +294,44 @@ class Api:
         if abs(cycles) > MAX_STEP_CYCLES:
             raise ApiError(f"'cycles' out of range: |{cycles}| exceeds "
                            f"{MAX_STEP_CYCLES} per request")
-        out = {"success": True, "protocolVersion": PROTOCOL_VERSION}
-        with session.lock:
-            if cycles > 0:
-                session.simulation.step(cycles)
-            else:
-                session.simulation.step_back(-cycles)
-            delta = payload.get("delta")
-            if delta == "encoded":
-                # pre-serialized from the fragment caches; spliced verbatim
-                # into the response body by the HTTP layer (dumps_raw)
-                out["stateFormat"] = "delta"
-                out["stateDelta"] = RawJson(session.serve_delta_json())
-            elif delta:
-                out["stateFormat"] = "delta"
-                out["stateDelta"] = session.serve_delta()
-            else:
-                out["stateFormat"] = "full"
-                out["state"] = session.serve_state()
-        return out
+
+        def work() -> dict:
+            out = {"success": True, "protocolVersion": PROTOCOL_VERSION}
+            with session.lock:
+                if cycles > 0:
+                    session.simulation.step(cycles)
+                else:
+                    session.simulation.step_back(-cycles)
+                delta = payload.get("delta")
+                if delta == "encoded":
+                    # pre-serialized from the fragment caches; spliced
+                    # verbatim into the response body (dumps_raw)
+                    out["stateFormat"] = "delta"
+                    out["stateDelta"] = RawJson(session.serve_delta_json())
+                elif delta:
+                    out["stateFormat"] = "delta"
+                    out["stateDelta"] = session.serve_delta()
+                else:
+                    out["stateFormat"] = "full"
+                    out["state"] = session.serve_state()
+            return out
+
+        # simulate on a session executor, not the HTTP thread: the pool's
+        # per-key FIFO keeps this session's requests ordered while other
+        # sessions proceed on the remaining workers
+        return self.session_pool.run(session.id, work)
 
     def session_state(self, payload: dict) -> dict:
         session = self._session(payload)
-        with session.lock:
-            return {"success": True, "protocolVersion": PROTOCOL_VERSION,
-                    "stateFormat": "full", "state": session.serve_state()}
+
+        def work() -> dict:
+            with session.lock:
+                return {"success": True,
+                        "protocolVersion": PROTOCOL_VERSION,
+                        "stateFormat": "full",
+                        "state": session.serve_state()}
+
+        return self.session_pool.run(session.id, work)
 
     def session_seek(self, payload: dict) -> dict:
         session = self._session(payload)
@@ -275,10 +342,16 @@ class Api:
         if cycle > budget:
             raise ApiError(f"cycle out of range: {cycle} exceeds the "
                            f"session's cycle budget ({budget})")
-        with session.lock:
-            session.simulation.seek(cycle)
-            return {"success": True, "protocolVersion": PROTOCOL_VERSION,
-                    "stateFormat": "full", "state": session.serve_state()}
+
+        def work() -> dict:
+            with session.lock:
+                session.simulation.seek(cycle)
+                return {"success": True,
+                        "protocolVersion": PROTOCOL_VERSION,
+                        "stateFormat": "full",
+                        "state": session.serve_state()}
+
+        return self.session_pool.run(session.id, work)
 
     def session_memory(self, payload: dict) -> dict:
         """Memory pop-up view (Fig. 2), delta-aware.
@@ -289,6 +362,10 @@ class Api:
         editor shows.  Passing the last seen ``sinceVersion`` back lets the
         client skip unchanged payloads entirely."""
         session = self._session(payload)
+        return self.session_pool.run(session.id, self._session_memory_work,
+                                     session, payload)
+
+    def _session_memory_work(self, session, payload: dict) -> dict:
         with session.lock:
             simulation = session.simulation
             memory = simulation.cpu.memory
@@ -332,6 +409,64 @@ class Api:
     def session_close(self, payload: dict) -> dict:
         session_id = payload.get("sessionId", "")
         return {"success": self.sessions.close(session_id)}
+
+    # -- design-space sweeps (repro.explore) ----------------------------
+    def explore_submit(self, payload: dict) -> dict:
+        spec = payload.get("spec")
+        if not isinstance(spec, dict):
+            raise ApiError("'spec' (sweep specification object) is required")
+        workers = payload.get("workers")
+        if workers is not None:
+            if isinstance(workers, bool) or not isinstance(workers, int) \
+                    or workers < 0:
+                raise ApiError("'workers' must be an integer >= 0")
+        job_timeout_s = payload.get("jobTimeoutS")
+        if job_timeout_s is not None:
+            if isinstance(job_timeout_s, bool) \
+                    or not isinstance(job_timeout_s, (int, float)) \
+                    or job_timeout_s <= 0:
+                raise ApiError("'jobTimeoutS' must be a positive number")
+        try:
+            state = self.explore.submit(
+                spec, workers=workers,
+                metric=str(payload.get("metric", "cycles")),
+                job_timeout_s=job_timeout_s)
+        except (SweepSpecError, MetricError, ConfigError,
+                ValueError, TypeError, KeyError) as exc:
+            # ValueError/TypeError/KeyError cover malformed field types the
+            # spec parser's bare int()/list() conversions trip over — still
+            # the client's bad request, never a 500
+            raise ApiError(f"invalid sweep: {exc}") from exc
+        except OverflowError as exc:
+            raise ApiError(str(exc), status=429) from exc
+        return {"success": True, "protocolVersion": PROTOCOL_VERSION,
+                "sweepId": state.id, "jobs": state.total,
+                "workers": state.workers}
+
+    def _sweep(self, payload: dict):
+        sweep_id = payload.get("sweepId")
+        state = self.explore.get(sweep_id) if sweep_id else None
+        if state is None:
+            raise ApiError(f"unknown sweep '{sweep_id}'", status=404)
+        return state
+
+    def explore_status(self, payload: dict) -> dict:
+        out = self._sweep(payload).status_json()
+        out["success"] = True
+        return out
+
+    def explore_result(self, payload: dict) -> dict:
+        state = self._sweep(payload)
+        if state.state not in ("done", "failed"):
+            raise ApiError(f"sweep '{state.id}' is {state.state}; poll "
+                           f"/explore/status until it is done", status=409)
+        try:
+            out = self.explore.result_json(
+                state, metric=str(payload.get("metric", "cycles")))
+        except MetricError as exc:
+            raise ApiError(str(exc)) from exc
+        out["success"] = state.state == "done"
+        return out
 
 
 _default_api: Optional[Api] = None

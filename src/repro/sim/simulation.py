@@ -72,10 +72,10 @@ class Simulation:
         #: cycles re-executed by the most recent backward step / seek
         #: (0 = resolved without replay); pinned by the O(K) benchmarks
         self.last_replay_cycles = 0
-        #: (cycle, section versions, log length, per-instruction versions)
-        #: of the last snapshot served — the base the next snapshot_delta()
-        #: is computed against
-        self._view_mark: Optional[Tuple[int, dict, int, dict]] = None
+        #: (cycle, section versions, log length, per-instruction versions,
+        #: per-store-buffer-entry versions) of the last snapshot served —
+        #: the base the next snapshot_delta() is computed against
+        self._view_mark: Optional[Tuple[int, dict, int, dict, dict]] = None
         #: incremental rendering of the cycle-stamped log
         self._log_render: Optional[Tuple[list, list]] = None
 
@@ -240,9 +240,20 @@ class Simulation:
             versions[simcode.id] = simcode.sver
         return versions
 
+    def _storeb_versions(self) -> dict:
+        """Per-entry version tokens of the store buffer.
+
+        Store-buffer payload entries are not instruction JSON (they render
+        address/committed/drain state), so their version token is that
+        visible state itself — equality-comparable, deterministic, and
+        exactly as fine-grained as the payload it guards."""
+        return {e.simcode.id: (e.address, e.committed, e.drain_until)
+                for e in self.cpu.store_buffer}
+
     def _mark_view(self) -> None:
         self._view_mark = (self.cpu.cycle, self.cpu.section_versions(),
-                           len(self.cpu.log), self._entry_versions())
+                           len(self.cpu.log), self._entry_versions(),
+                           self._storeb_versions())
 
     @staticmethod
     def _entry_delta_list(simcodes, known: dict, plain: list):
@@ -258,6 +269,41 @@ class Simulation:
             return plain
         return {"__entryDelta": True,
                 "ids": [s.id for s in simcodes],
+                "changed": changed}
+
+    def _entry_delta_fetch(self, known: dict, plain: dict):
+        """Entry-level delta of the fetch section (scalars + buffer list).
+
+        The pc / stalledUntil scalars always ride along (they are what
+        usually dirties the section); buffer instructions unchanged since
+        the client's base are referenced by id."""
+        buffer = self.cpu.fetch_buffer
+        changed = {str(s.id): s.to_json()
+                   for s in buffer if known.get(s.id) != s.sver}
+        if len(changed) >= len(buffer):
+            return plain
+        return {"__entryDelta": True,
+                "pc": plain["pc"],
+                "stalledUntil": plain["stalledUntil"],
+                "ids": [s.id for s in buffer],
+                "changed": changed}
+
+    def _entry_delta_storeb(self, known: dict, plain: list):
+        """Entry-level delta of the store buffer.
+
+        *plain* is the section payload (aligned with ``cpu.store_buffer``);
+        entries whose (address, committed, drainUntil) state matches the
+        client's base are referenced by id and resolved there."""
+        entries = self.cpu.store_buffer
+        changed = {}
+        for position, entry in enumerate(entries):
+            state = (entry.address, entry.committed, entry.drain_until)
+            if known.get(entry.simcode.id) != state:
+                changed[str(entry.simcode.id)] = plain[position]
+        if len(changed) >= len(entries):
+            return plain
+        return {"__entryDelta": True,
+                "ids": [e.simcode.id for e in entries],
                 "changed": changed}
 
     def _entry_delta_windows(self, known: dict, plain: dict):
@@ -318,7 +364,7 @@ class Simulation:
                 or cpu.cycle < mark[0] or len(cpu.log) < mark[2]):
             return {"format": "full", "schema": SNAPSHOT_SCHEMA_VERSION,
                     "state": self.snapshot()}
-        _, versions, log_len, known = mark
+        _, versions, log_len, known, known_storeb = mark
         sections = cpu.snapshot_sections(versions)
         # the instruction-list whales shrink further to entry-level deltas
         if "rob" in sections:
@@ -330,6 +376,12 @@ class Simulation:
         if "issueWindows" in sections:
             sections["issueWindows"] = self._entry_delta_windows(
                 known, sections["issueWindows"])
+        if "fetch" in sections:
+            sections["fetch"] = self._entry_delta_fetch(
+                known, sections["fetch"])
+        if "storeBuffer" in sections:
+            sections["storeBuffer"] = self._entry_delta_storeb(
+                known_storeb, sections["storeBuffer"])
         delta = {
             "format": "delta",
             "schema": SNAPSHOT_SCHEMA_VERSION,

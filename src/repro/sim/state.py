@@ -54,7 +54,10 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 #: Version of the snapshot/delta wire shape served by the session API.
 #: Bump when the section list or the delta envelope changes incompatibly.
-SNAPSHOT_SCHEMA_VERSION = 2
+#: v3: every instruction-list section delta-serves at entry level —
+#: ``fetch`` (scalars + buffer ids) and ``storeBuffer`` (entries carry an
+#: ``id``) joined rob/issueWindows/loadQueue.
+SNAPSHOT_SCHEMA_VERSION = 3
 
 #: Section names of the processor-view payload (``Cpu.snapshot()`` keys
 #: that are cached / delta-served; scalars cycle/pc/halted ride alongside).
@@ -247,6 +250,17 @@ def _resolve_entries(ids, changed: dict, pool: dict) -> list:
             for uid in ids]
 
 
+def _storeb_pool(base: dict) -> Dict[int, dict]:
+    """Store-buffer payloads of a full snapshot, keyed by id.
+
+    Kept separate from the instruction pool: store-buffer entries render
+    drain state, not instruction JSON, so ids must resolve against the
+    base's own storeBuffer section."""
+    return {entry["id"]: entry
+            for entry in base.get("storeBuffer") or []
+            if "id" in entry}
+
+
 def apply_snapshot_delta(base: dict, delta: dict) -> dict:
     """Patch full snapshot *base* with *delta* into the next full snapshot.
 
@@ -273,13 +287,23 @@ def apply_snapshot_delta(base: dict, delta: dict) -> dict:
     pool: Optional[Dict[int, dict]] = None
     for name, payload in delta.get("sections", {}).items():
         if isinstance(payload, dict) and payload.get("__entryDelta"):
+            changed = payload["changed"]
+            if name == "storeBuffer":
+                out[name] = _resolve_entries(payload["ids"], changed,
+                                             _storeb_pool(base))
+                continue
             if pool is None:
                 pool = _base_entry_pool(base)
-            changed = payload["changed"]
             if name == "issueWindows":
                 out[name] = {
                     window: _resolve_entries(ids, changed, pool)
                     for window, ids in payload["windows"].items()}
+            elif name == "fetch":
+                out[name] = {
+                    "pc": payload["pc"],
+                    "stalledUntil": payload["stalledUntil"],
+                    "buffer": _resolve_entries(payload["ids"], changed,
+                                               pool)}
             else:
                 out[name] = _resolve_entries(payload["ids"], changed, pool)
         else:

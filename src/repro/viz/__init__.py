@@ -9,13 +9,16 @@ reproducible, testable, and usable from the CLI:
 * :func:`render_memory_popup` — arrays + memory dump pop-up (Fig. 2);
 * :func:`render_instruction_popup` — instruction detail pop-up (Fig. 3);
 * :func:`render_statistics` — the runtime-statistics page (Fig. 10);
-* :func:`render_processor` — the full main window (Fig. 12).
+* :func:`render_processor` — the full main window (Fig. 12);
+* :func:`render_sweep_report` — the experiment engine's design-space
+  comparison table (``repro.explore``).
 """
 
 from repro.viz.blocks import render_block, render_processor
 from repro.viz.memory import render_memory_popup
 from repro.viz.instruction import render_instruction_popup
 from repro.viz.stats import render_statistics
+from repro.viz.sweep import render_sweep_report
 
 __all__ = [
     "render_block",
@@ -23,4 +26,5 @@ __all__ = [
     "render_memory_popup",
     "render_instruction_popup",
     "render_statistics",
+    "render_sweep_report",
 ]

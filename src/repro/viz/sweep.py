@@ -1,0 +1,79 @@
+"""Design-space sweep report as text (the experiment engine's table view).
+
+Same philosophy as the other renderers in :mod:`repro.viz`: everything the
+comparison layer knows — per-run metric table, best-config ranking,
+pairwise speedups — as monospace text, so a sweep is readable from the CLI
+and assertable in tests.
+"""
+
+from __future__ import annotations
+
+__all__ = ["render_sweep_report"]
+
+#: pairwise matrices beyond this many runs stop being readable as text
+_MATRIX_LIMIT = 12
+
+
+def _format_cell(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def render_sweep_report(report) -> str:
+    """Render a :class:`repro.explore.report.SweepReport` as text."""
+    lines = [f"Design-space sweep: {report.name}",
+             "=" * 64,
+             f"{len(report.records)} runs "
+             f"({len(report.ok)} ok, {len(report.failed)} failed), "
+             f"ranking metric: {report.metric}",
+             ""]
+
+    table = report.table()
+    widths = [len(str(column)) for column in table["columns"]]
+    str_rows = []
+    for row in table["rows"]:
+        cells = [_format_cell(cell) for cell in row]
+        widths = [max(w, len(c)) for w, c in zip(widths, cells)]
+        str_rows.append(cells)
+    header = "  ".join(f"{c:<{w}}" if i == 0 else f"{c:>{w}}"
+                       for i, (c, w) in enumerate(zip(table["columns"],
+                                                      widths)))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for cells in str_rows:
+        lines.append("  ".join(f"{c:<{w}}" if i == 0 else f"{c:>{w}}"
+                               for i, (c, w) in enumerate(zip(cells,
+                                                              widths))))
+    lines.append("")
+
+    ranking = report.ranking()
+    if ranking:
+        lines.append(f"ranking by {report.metric} (best first):")
+        for entry in ranking:
+            lines.append(f"  #{entry['rank']:<3} {entry['label']:<40} "
+                         f"{_format_cell(entry['value'])}")
+        lines.append("")
+
+    pairwise = report.pairwise_speedups()
+    labels = pairwise["labels"]
+    if 1 < len(labels) <= _MATRIX_LIMIT:
+        lines.append(f"pairwise speedups ({pairwise['metric']}; "
+                     f"row vs column, > 1 = row wins):")
+        tags = [f"[{i}]" for i in range(len(labels))]
+        for i, label in enumerate(labels):
+            lines.append(f"  {tags[i]} {label}")
+        width = max(6, max(len(t) for t in tags) + 1)
+        lines.append("  " + " " * width
+                     + "".join(f"{t:>{width}}" for t in tags))
+        for tag, row in zip(tags, pairwise["matrix"]):
+            lines.append(f"  {tag:<{width}}"
+                         + "".join(f"{value:>{width}.2f}" for value in row))
+        lines.append("")
+
+    for record in report.failed:
+        lines.append(f"FAILED {record.get('label')}: "
+                     f"{record.get('kind', 'error')}: {record.get('error')}")
+    return "\n".join(line.rstrip() for line in lines).rstrip() + "\n"

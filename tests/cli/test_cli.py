@@ -152,6 +152,88 @@ class TestRemoteMode:
             server.shutdown()
 
 
+class TestExploreMode:
+    """`repro-sim explore` — the design-space experiment engine mode."""
+
+    @pytest.fixture
+    def spec_file(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        path.write_text(json.dumps({
+            "name": "cli-sweep",
+            "programs": [{"name": "sum", "source": PROGRAM}],
+            "axes": [{"name": "width", "path": "config.buffers.fetchWidth",
+                      "values": [1, 2]}],
+        }))
+        return str(path)
+
+    def test_text_report(self, spec_file, capsys):
+        assert main(["explore", spec_file, "--workers", "0",
+                     "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "Design-space sweep: cli-sweep" in out
+        assert "ranking by cycles" in out
+        assert "width=2" in out
+
+    def test_json_report_and_jsonl_records(self, spec_file, tmp_path,
+                                           capsys):
+        records_path = tmp_path / "records.jsonl"
+        assert main(["explore", spec_file, "--workers", "0", "--quiet",
+                     "--format", "json", "--metric", "ipc",
+                     "--out", str(records_path)]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["metric"] == "ipc"
+        assert report["runs"] == 2
+        from repro.explore import load_records
+        records = load_records(str(records_path))
+        assert [r["index"] for r in records] == [0, 1]
+
+    def test_missing_spec_file(self, capsys):
+        assert main(["explore", "/definitely/not/here.json"]) == 2
+        assert "cannot load sweep spec" in capsys.readouterr().err
+
+    def test_negative_workers_is_a_clean_error(self, spec_file, capsys):
+        assert main(["explore", spec_file, "--workers", "-2"]) == 2
+        assert "--workers must be >= 0" in capsys.readouterr().err
+
+    def test_unknown_metric_fails_before_the_sweep_runs(self, spec_file,
+                                                        capsys):
+        assert main(["explore", spec_file, "--workers", "0",
+                     "--metric", "cacheMissRatio"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown ranking metric" in err
+        assert "cacheMissRate" in err      # the valid names are listed
+
+    def test_invalid_spec_file(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text("{\"programs\": []}")
+        assert main(["explore", str(path)]) == 2
+
+    def test_failed_jobs_set_exit_code(self, tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text(json.dumps({
+            "name": "broken",
+            "programs": [{"name": "bad", "source": "    frob x1\n"}],
+            "axes": [],
+        }))
+        assert main(["explore", str(path), "--workers", "0",
+                     "--quiet"]) == 1
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_remote_submission(self, spec_file, capsys):
+        server = SimServer(("127.0.0.1", 0))
+        server.start_background()
+        try:
+            code = main(["explore", spec_file, "--quiet", "--workers", "0",
+                         "--host", "127.0.0.1", "--port", str(server.port),
+                         "--poll", "0.05"])
+            assert code == 0
+            assert "Design-space sweep: cli-sweep" \
+                in capsys.readouterr().out
+        finally:
+            server.shutdown()
+            server.server_close()
+
+
 class TestExtensionFlags:
     def test_power_report(self, asm_file, arch_file, capsys):
         assert main([asm_file, arch_file, "--power"]) == 0

@@ -1,0 +1,205 @@
+"""Engine / store / report tests: serial-vs-pool bit-identical records,
+JSONL round trip, ranking, pairwise speedups, failure records."""
+
+import json
+
+import pytest
+
+from repro.explore import (ResultStore, SweepReport, SweepSpec,
+                           load_records, run_sweep)
+from repro.explore.report import MetricError, metric_value
+
+SUM_LOOP = """
+    li a0, 0
+    li t0, 1
+    li t1, 60
+loop:
+    add a0, a0, t0
+    addi t0, t0, 1
+    ble t0, t1, loop
+    ebreak
+"""
+
+SPEC = {
+    "name": "engine-test",
+    "programs": [{"name": "sum", "source": SUM_LOOP}],
+    "axes": [
+        {"name": "width", "values": [
+            {"config.buffers.fetchWidth": 1,
+             "config.buffers.commitWidth": 1},
+            {"config.buffers.fetchWidth": 2,
+             "config.buffers.commitWidth": 2}],
+         "labels": ["w1", "w2"]},
+        {"name": "pred", "values": [
+            {"config.branchPredictor.predictorType": "zero",
+             "config.branchPredictor.defaultState": 0},
+            {"config.branchPredictor.predictorType": "two",
+             "config.branchPredictor.defaultState": 1}],
+         "labels": ["zero", "two"]},
+    ],
+}
+
+
+@pytest.fixture(scope="module")
+def serial_run():
+    return run_sweep(SweepSpec.from_json(SPEC), workers=0)
+
+
+class TestEngine:
+    def test_serial_runs_every_grid_point(self, serial_run):
+        assert len(serial_run.records) == 4
+        assert all(r["ok"] for r in serial_run.records)
+        assert [r["index"] for r in serial_run.records] == [0, 1, 2, 3]
+
+    def test_pool_records_bit_identical_to_serial(self, serial_run):
+        pooled = run_sweep(SweepSpec.from_json(SPEC), workers=2)
+        assert pooled.records == serial_run.records
+        # byte-level too: the JSONL mirror would be identical
+        a = [json.dumps(r, sort_keys=True) for r in serial_run.records]
+        b = [json.dumps(r, sort_keys=True) for r in pooled.records]
+        assert a == b
+
+    def test_records_carry_the_evaluation_metrics(self, serial_run):
+        stats = serial_run.records[0]["stats"]
+        for key in ("cycles", "ipc", "branchAccuracy", "cache",
+                    "energy", "memory", "intRegisters", "dynamicMix"):
+            assert key in stats
+        assert stats["cache"]["hitRatio"] is not None
+        assert stats["energy"]["totalPj"] > 0
+
+    def test_architectural_result_independent_of_config(self, serial_run):
+        finals = {tuple(r["stats"]["intRegisters"])
+                  for r in serial_run.records}
+        assert len(finals) == 1            # a0 = 1830 everywhere
+
+    def test_sweep_teaches_the_expected_lessons(self, serial_run):
+        by_label = {r["label"]: r["stats"] for r in serial_run.records}
+        # wider machine, same predictor: fewer cycles
+        assert by_label["program=sum/width=w2/pred=two"]["cycles"] \
+            < by_label["program=sum/width=w1/pred=two"]["cycles"]
+        # better predictor, same width: fewer cycles
+        assert by_label["program=sum/width=w2/pred=two"]["cycles"] \
+            < by_label["program=sum/width=w2/pred=zero"]["cycles"]
+
+    def test_failed_job_is_recorded_not_raised(self):
+        bad = {
+            "name": "bad-program",
+            "programs": [{"name": "broken", "source": "    nosuchop x0\n"}],
+            "axes": [],
+        }
+        run = run_sweep(SweepSpec.from_json(bad), workers=0)
+        assert len(run.records) == 1
+        assert not run.records[0]["ok"]
+        assert run.records[0]["kind"] == "error"
+        assert run.failures == run.records
+
+    def test_full_collection_embeds_statistics_page(self):
+        spec = dict(SPEC, collect="full", axes=[])
+        run = run_sweep(SweepSpec.from_json(spec), workers=0)
+        assert "statistics" in run.records[0]
+        assert "dispatchStalls" in run.records[0]["statistics"]
+
+    def test_max_cycles_budget_applies(self):
+        spec = dict(SPEC, axes=[], maxCycles=10)
+        run = run_sweep(SweepSpec.from_json(spec), workers=0)
+        stats = run.records[0]["stats"]
+        assert stats["cycles"] == 10
+        assert "cycle limit" in stats["haltReason"]
+
+    def test_c_program_compiles_in_the_worker(self):
+        spec = {
+            "name": "c-sweep",
+            "programs": [{"name": "答", "c": "int main(void)"
+                          "{ int s = 0; for (int i = 1; i <= 10; i++)"
+                          " s += i; return s; }",
+                          "optimizeLevel": 1, "entry": "main"}],
+            "axes": [{"name": "O", "path": "optimizeLevel",
+                      "values": [0, 2]}],
+        }
+        run = run_sweep(SweepSpec.from_json(spec), workers=0)
+        assert all(r["ok"] for r in run.records)
+        assert all(r["stats"]["intRegisters"][10] == 55   # a0 == x10
+                   for r in run.records)
+        # O2 must beat O0
+        assert run.records[1]["stats"]["cycles"] \
+            < run.records[0]["stats"]["cycles"]
+
+
+class TestStore:
+    def test_jsonl_round_trip(self, serial_run, tmp_path):
+        path = str(tmp_path / "out" / "records.jsonl")
+        with ResultStore(path) as store:
+            store.extend(serial_run.records)
+        assert load_records(path) == serial_run.records
+
+    def test_engine_writes_store_in_index_order(self, tmp_path):
+        path = str(tmp_path / "records.jsonl")
+        with ResultStore(path) as store:
+            run_sweep(SweepSpec.from_json(SPEC), workers=2, store=store)
+        indices = [r["index"] for r in load_records(path)]
+        assert indices == [0, 1, 2, 3]
+
+    def test_append_mode_and_bad_lines(self, tmp_path):
+        path = str(tmp_path / "r.jsonl")
+        with ResultStore(path) as store:
+            store.append({"a": 1})
+        with ResultStore(path, append=True) as store:
+            store.append({"b": 2})
+        assert load_records(path) == [{"a": 1}, {"b": 2}]
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("{broken\n")
+        with pytest.raises(ValueError, match="bad JSONL record"):
+            load_records(path)
+
+
+class TestReport:
+    def test_ranking_and_best(self, serial_run):
+        report = serial_run.report(metric="cycles")
+        ranking = report.ranking()
+        assert len(ranking) == 4
+        values = [entry["value"] for entry in ranking]
+        assert values == sorted(values)                   # best first
+        assert report.best()["label"] == ranking[0]["label"]
+        # ipc ranks the same winner, reversed ordering semantics
+        assert report.ranking("ipc")[0]["label"] == ranking[0]["label"]
+
+    def test_pairwise_speedups_semantics(self, serial_run):
+        report = serial_run.report()
+        pairwise = report.pairwise_speedups("cycles")
+        labels, matrix = pairwise["labels"], pairwise["matrix"]
+        best = report.best()["label"]
+        row = matrix[labels.index(best)]
+        assert all(value >= 1.0 for value in row)          # best beats all
+        for i in range(len(labels)):
+            assert matrix[i][i] == 1.0
+
+    def test_table_and_text_rendering(self, serial_run):
+        report = serial_run.report()
+        table = report.table()
+        assert len(table["rows"]) == 4
+        text = report.render_text()
+        assert "ranking by cycles" in text
+        assert "pairwise speedups" in text
+        for record in serial_run.records:
+            assert record["label"] in text
+
+    def test_failed_runs_surface_in_table_and_text(self):
+        records = [
+            {"index": 0, "label": "ok-run", "ok": True,
+             "stats": {"cycles": 10, "ipc": 1.0}},
+            {"index": 1, "label": "bad-run", "ok": False,
+             "kind": "timeout", "error": "job exceeded 1s"},
+        ]
+        report = SweepReport(records, name="mixed")
+        assert [r["label"] for r in report.ranking()] == ["ok-run"]
+        text = report.render_text()
+        assert "FAILED bad-run" in text and "timeout" in text
+        json_payload = report.to_json()
+        assert json_payload["failures"][0]["label"] == "bad-run"
+
+    def test_unknown_metric_rejected(self, serial_run):
+        with pytest.raises(MetricError):
+            serial_run.report(metric="vibes")
+
+    def test_metric_value_missing_is_none(self):
+        assert metric_value({"stats": {}}, "cacheHitRate") is None

@@ -46,6 +46,14 @@ class TestExamples:
         assert "row-major" in out and "col-major" in out
         assert "WRONG" not in out
 
+    def test_design_sweep(self):
+        out = run_example("design_sweep.py")
+        assert "Design-space sweep: width-x-cache" in out
+        assert "best configuration: program=checksum/width=wide/cache=big" \
+            in out
+        assert "records round-tripped" in out
+        assert "0 failures" in out
+
     def test_extensions_tour(self):
         out = run_example("extensions_tour.py")
         assert "pipelined" in out

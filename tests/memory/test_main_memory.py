@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.errors import MemoryAccessError
-from repro.memory.main_memory import MainMemory
+from repro.memory.main_memory import PAGE_SIZE, MainMemory
 from repro.memory.transaction import MemoryTransaction
 
 
@@ -127,3 +127,97 @@ class TestLifecycle:
         dump = mem.dump(0, 16)
         assert "Hi!" in dump
         assert "48 69 21 00" in dump
+
+
+class TestPagedCheckpoints:
+    """Page-level dirty tracking: save_state copies O(pages touched)."""
+
+    def test_save_restore_roundtrip(self):
+        mem = MainMemory(4 * PAGE_SIZE)
+        mem.write_bytes(10, b"\x01\x02\x03")
+        mem.write_bytes(3 * PAGE_SIZE + 5, b"\xff")
+        saved = mem.save_state()
+        mem.write_bytes(10, b"\x99\x99\x99")
+        mem.write_bytes(2 * PAGE_SIZE, b"\x42")
+        mem.restore_state(saved)
+        assert mem.read_bytes(10, 3) == b"\x01\x02\x03"
+        assert mem.read_bytes(2 * PAGE_SIZE, 1) == b"\x00"
+        assert mem.read_bytes(3 * PAGE_SIZE + 5, 1) == b"\xff"
+
+    def test_clean_pages_share_blobs_across_checkpoints(self):
+        """Untouched pages are the same bytes object in consecutive
+        checkpoints — the O(pages-touched) property itself."""
+        mem = MainMemory(8 * PAGE_SIZE)
+        first = mem.save_state()
+        mem.write_bytes(2 * PAGE_SIZE + 7, b"\xaa")     # touch page 2 only
+        second = mem.save_state()
+        shared = [first["pages"][i] is second["pages"][i]
+                  for i in range(8)]
+        assert shared.count(False) == 1 and not shared[2]
+
+    def test_write_spanning_pages_dirties_both(self):
+        mem = MainMemory(4 * PAGE_SIZE)
+        base = mem.save_state()
+        mem.write_bytes(PAGE_SIZE - 1, b"\x01\x02")     # pages 0 and 1
+        after = mem.save_state()
+        assert after["pages"][0] is not base["pages"][0]
+        assert after["pages"][1] is not base["pages"][1]
+        assert after["pages"][2] is base["pages"][2]
+
+    def test_restore_keeps_blob_sharing_for_replay(self):
+        """restore + identical re-save must not recopy clean pages (the
+        checkpoint-replay hot path)."""
+        mem = MainMemory(4 * PAGE_SIZE)
+        mem.write_bytes(0, b"\x07")
+        saved = mem.save_state()
+        mem.restore_state(saved)
+        again = mem.save_state()
+        assert all(a is b for a, b in zip(saved["pages"], again["pages"]))
+
+    def test_restore_after_divergence_is_exact(self):
+        mem = MainMemory(2 * PAGE_SIZE)
+        for offset in range(0, 2 * PAGE_SIZE, 64):
+            mem.write_int(offset, offset, 4)
+        saved = mem.save_state()
+        image = bytes(mem.data)
+        for offset in range(0, 2 * PAGE_SIZE, 32):      # diverge everywhere
+            mem.write_int(offset, offset ^ 0x5A5A, 4)
+        mem.restore_state(saved)
+        assert bytes(mem.data) == image
+
+    def test_legacy_full_image_state_still_restores(self):
+        mem = MainMemory(2 * PAGE_SIZE)
+        mem.write_bytes(5, b"\x11")
+        legacy = {"data": bytes(mem.data), "counters": (0, 0, 0, 0)}
+        mem.write_bytes(5, b"\x22")
+        mem.restore_state(legacy)
+        assert mem.read_bytes(5, 1) == b"\x11"
+
+    def test_set_image_adopts_and_invalidates(self):
+        mem = MainMemory(2 * PAGE_SIZE)
+        saved = mem.save_state()
+        image = bytearray(2 * PAGE_SIZE)
+        image[100] = 0x77
+        mem.set_image(image)
+        assert mem.read_bytes(100, 1) == b"\x77"
+        after = mem.save_state()
+        assert all(a is not b for a, b in zip(saved["pages"],
+                                              after["pages"]))
+        with pytest.raises(ValueError):
+            mem.set_image(bytearray(3))
+
+    def test_odd_capacity_tail_page(self):
+        mem = MainMemory(PAGE_SIZE + 100)               # partial last page
+        mem.write_bytes(PAGE_SIZE + 50, b"\x3c")
+        saved = mem.save_state()
+        assert len(saved["pages"][1]) == 100
+        mem.write_bytes(PAGE_SIZE + 50, b"\x00")
+        mem.restore_state(saved)
+        assert mem.read_bytes(PAGE_SIZE + 50, 1) == b"\x3c"
+
+    def test_version_still_bumps_on_restore(self):
+        mem = MainMemory(PAGE_SIZE)
+        saved = mem.save_state()
+        before = mem.version
+        mem.restore_state(saved)
+        assert mem.version > before

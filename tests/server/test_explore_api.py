@@ -1,0 +1,208 @@
+"""/explore endpoints: submit -> status -> result, over the in-process Api
+and over real HTTP, plus validation and queue-limit errors."""
+
+import time
+
+import pytest
+
+from repro.explore.service import ExploreManager
+from repro.server.client import SimClient
+from repro.server.httpd import SimServer
+from repro.server.protocol import Api, ApiError
+
+SUM_LOOP = """
+    li a0, 0
+    li t0, 1
+    li t1, 30
+loop:
+    add a0, a0, t0
+    addi t0, t0, 1
+    ble t0, t1, loop
+    ebreak
+"""
+
+
+def tiny_spec(name="api-sweep"):
+    return {
+        "name": name,
+        "programs": [{"name": "sum", "source": SUM_LOOP}],
+        "axes": [{"name": "width", "path": "config.buffers.fetchWidth",
+                  "values": [1, 2]}],
+    }
+
+
+def wait_done(api: Api, sweep_id: str, timeout_s: float = 30.0) -> dict:
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        status = api.handle("POST", "/explore/status", {"sweepId": sweep_id})
+        if status["state"] in ("done", "failed"):
+            return status
+        time.sleep(0.02)
+    raise AssertionError("sweep did not finish in time")
+
+
+@pytest.fixture
+def api():
+    instance = Api()
+    yield instance
+    instance.close()
+
+
+class TestExploreEndpoints:
+    def test_submit_status_result_lifecycle(self, api):
+        out = api.handle("POST", "/explore/submit",
+                         {"spec": tiny_spec(), "workers": 0})
+        assert out["success"] and out["jobs"] == 2
+        status = wait_done(api, out["sweepId"])
+        assert status["state"] == "done"
+        assert status["completed"] == 2 and status["failed"] == 0
+        result = api.handle("POST", "/explore/result",
+                            {"sweepId": out["sweepId"]})
+        assert result["success"]
+        assert len(result["records"]) == 2
+        assert result["report"]["best"] == "program=sum/width=2"
+        assert "Design-space sweep" in result["reportText"]
+
+    def test_result_before_done_is_conflict(self, api):
+        # sweeps run one at a time: B stays queued while A runs, so B's
+        # result is deterministically unavailable when we ask for it
+        slow = tiny_spec("slow")
+        slow["programs"][0]["source"] = "spin:\n    j spin\n"
+        slow["maxCycles"] = 30000
+        api.handle("POST", "/explore/submit", {"spec": slow, "workers": 0})
+        queued = api.handle("POST", "/explore/submit",
+                            {"spec": tiny_spec("queued"), "workers": 0})
+        with pytest.raises(ApiError) as info:
+            api.handle("POST", "/explore/result",
+                       {"sweepId": queued["sweepId"]})
+        assert info.value.status == 409
+        wait_done(api, queued["sweepId"])
+
+    def test_unknown_sweep_is_404(self, api):
+        with pytest.raises(ApiError) as info:
+            api.handle("POST", "/explore/status", {"sweepId": "nope"})
+        assert info.value.status == 404
+
+    def test_invalid_spec_is_400(self, api):
+        with pytest.raises(ApiError) as info:
+            api.handle("POST", "/explore/submit",
+                       {"spec": {"programs": []}})
+        assert info.value.status == 400
+        with pytest.raises(ApiError):
+            api.handle("POST", "/explore/submit", {})
+        with pytest.raises(ApiError):
+            api.handle("POST", "/explore/submit",
+                       {"spec": tiny_spec(), "workers": -1})
+        with pytest.raises(ApiError, match="metric"):
+            api.handle("POST", "/explore/submit",
+                       {"spec": tiny_spec(), "metric": "vibes"})
+        with pytest.raises(ApiError, match="jobTimeoutS"):
+            api.handle("POST", "/explore/submit",
+                       {"spec": tiny_spec(), "jobTimeoutS": -3})
+
+    def test_oversized_grid_rejected_before_planning(self, api):
+        """A pathological grid must 400 at submit, not OOM the server:
+        the size check runs before any job expansion."""
+        spec = tiny_spec("bomb")
+        spec["axes"] = [{"name": f"a{i}", "path": "config.cache.lineCount",
+                         "values": list(range(2, 66))} for i in range(5)]
+        with pytest.raises(ApiError) as info:
+            api.handle("POST", "/explore/submit",
+                       {"spec": spec, "workers": 0})
+        assert info.value.status == 400
+        assert "limit" in info.value.message
+
+    def test_requested_workers_are_clamped(self, api):
+        out = api.handle("POST", "/explore/submit",
+                         {"spec": tiny_spec(), "workers": 512})
+        assert out["workers"] <= api.explore.max_workers
+        wait_done(api, out["sweepId"])
+
+    def test_malformed_field_types_are_400_not_500(self, api):
+        for bad in ({"maxCycles": "ten"}, {"samples": "x",
+                                           "sampling": "random"}):
+            spec = dict(tiny_spec(), **bad)
+            with pytest.raises(ApiError) as info:
+                api.handle("POST", "/explore/submit", {"spec": spec})
+            assert info.value.status == 400
+
+    def test_optlevel_axis_on_assembly_program_rejected(self, api):
+        spec = tiny_spec()
+        spec["axes"] = [{"name": "O", "path": "optimizeLevel",
+                         "values": [0, 2]}]
+        with pytest.raises(ApiError, match="assembly"):
+            api.handle("POST", "/explore/submit",
+                       {"spec": spec, "workers": 0})
+
+    def test_per_sweep_job_timeout_is_carried(self, api):
+        out = api.handle("POST", "/explore/submit",
+                         {"spec": tiny_spec(), "workers": 0,
+                          "jobTimeoutS": 42.5})
+        state = api.explore.get(out["sweepId"])
+        assert state.job_timeout_s == 42.5
+        wait_done(api, out["sweepId"])
+
+    def test_queue_overflow_is_429(self):
+        api = Api(explore=ExploreManager(max_pending=1))
+        # occupy the single pending slot with a slow sweep, then overflow
+        slow = tiny_spec("blocker")
+        slow["programs"][0]["source"] = "spin:\n    j spin\n"
+        slow["maxCycles"] = 30000
+        slow["axes"] = []
+        api.handle("POST", "/explore/submit", {"spec": slow, "workers": 0})
+        try:
+            with pytest.raises(ApiError) as info:
+                api.handle("POST", "/explore/submit",
+                           {"spec": tiny_spec(), "workers": 0})
+            assert info.value.status == 429
+        finally:
+            api.close()
+
+    def test_failed_job_reported_in_result(self, api):
+        spec = {
+            "name": "half-broken",
+            "programs": [{"name": "bad", "source": "    bogus x1\n"},
+                         {"name": "good", "source": SUM_LOOP}],
+            "axes": [],
+        }
+        out = api.handle("POST", "/explore/submit",
+                         {"spec": spec, "workers": 0})
+        status = wait_done(api, out["sweepId"])
+        assert status["state"] == "done"
+        assert status["failed"] == 1
+        result = api.handle("POST", "/explore/result",
+                            {"sweepId": out["sweepId"]})
+        failures = result["report"]["failures"]
+        assert len(failures) == 1 and failures[0]["label"] == "program=bad"
+
+
+class TestExploreOverHttp:
+    @pytest.fixture(scope="class")
+    def server(self):
+        srv = SimServer(("127.0.0.1", 0))
+        srv.start_background()
+        yield srv
+        srv.shutdown()
+        srv.server_close()
+
+    def test_full_round_trip_with_client(self, server):
+        client = SimClient("127.0.0.1", server.port)
+        try:
+            submitted = client.explore_submit(tiny_spec("http-sweep"),
+                                              workers=0, metric="ipc")
+            sweep_id = submitted["sweepId"]
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                status = client.explore_status(sweep_id)
+                if status["state"] in ("done", "failed"):
+                    break
+                time.sleep(0.05)
+            assert status["state"] == "done"
+            result = client.explore_result(sweep_id, metric="ipc")
+            assert result["report"]["metric"] == "ipc"
+            assert len(result["records"]) == 2
+            # schema advertises the new endpoints
+            paths = [e["path"] for e in client.schema()["endpoints"]]
+            assert "/explore/submit" in paths
+        finally:
+            client.close()

@@ -1,0 +1,183 @@
+"""Load-generator tests (server/loadtest.py) against a stub client.
+
+The closed-loop generator is itself measurement code, so its math must be
+trustworthy: percentile selection, ramp-up scheduling, error counting and
+the Table I row shape are pinned here without ever opening a socket.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.server import loadtest
+from repro.server.loadtest import (DEFAULT_PROGRAMS, LoadTestConfig,
+                                   LoadTestResult, format_table1,
+                                   run_load_test)
+
+
+class StubClient:
+    """SimClient stand-in: records call timing, optionally fails steps."""
+
+    instances = []
+    lock = threading.Lock()
+    step_fail_every = 0          #: every Nth session_step raises
+
+    def __init__(self, host, port, use_gzip=True, timeout=30.0):
+        self.host = host
+        self.port = port
+        self.use_gzip = use_gzip
+        self.created_at = time.monotonic()
+        self.steps = 0
+        self.closed = False
+        self.session_program = None
+        with StubClient.lock:
+            StubClient.instances.append(self)
+
+    def session_new(self, program, **kw):
+        self.session_program = program
+        return "stub-session"
+
+    def session_step(self, session_id, cycles=1, delta=False):
+        self.steps += 1
+        fail_every = StubClient.step_fail_every
+        if fail_every and self.steps % fail_every == 0:
+            raise RuntimeError("stub step failure")
+        return {"success": True}
+
+    def session_close(self, session_id):
+        return {"success": True}
+
+    def close(self):
+        self.closed = True
+
+
+@pytest.fixture
+def stub_client(monkeypatch):
+    StubClient.instances = []
+    StubClient.step_fail_every = 0
+    monkeypatch.setattr(loadtest, "SimClient", StubClient)
+    return StubClient
+
+
+class TestPercentileMath:
+    def test_median_and_p90_on_known_data(self):
+        result = LoadTestResult(users=1,
+                                latencies_ms=[float(i) for i in
+                                              range(1, 11)])
+        assert result.median_ms == 5.5
+        # p90 of 10 ordered samples: index round(0.9*10)-1 = 8 -> value 9
+        assert result.p90_ms == 9.0
+
+    def test_percentiles_are_order_independent(self):
+        ordered = LoadTestResult(users=1,
+                                 latencies_ms=[1.0, 2.0, 3.0, 4.0, 5.0])
+        shuffled = LoadTestResult(users=1,
+                                  latencies_ms=[4.0, 1.0, 5.0, 3.0, 2.0])
+        assert ordered.median_ms == shuffled.median_ms == 3.0
+        assert ordered.p90_ms == shuffled.p90_ms
+
+    def test_single_sample(self):
+        result = LoadTestResult(users=1, latencies_ms=[7.5])
+        assert result.median_ms == 7.5
+        assert result.p90_ms == 7.5
+
+    def test_empty_latencies_are_zero_not_crash(self):
+        result = LoadTestResult(users=0)
+        assert result.median_ms == 0.0
+        assert result.p90_ms == 0.0
+        assert result.throughput_tps == 0.0
+
+    def test_throughput(self):
+        result = LoadTestResult(users=2, transactions=50, duration_s=5.0)
+        assert result.throughput_tps == 10.0
+
+    def test_row_shape_matches_table1(self):
+        result = LoadTestResult(users=30, transactions=1230, errors=3,
+                                latencies_ms=[1.234, 5.678], duration_s=10.0)
+        row = result.row("Docker")
+        assert row == {
+            "mode": "Docker", "users": 30,
+            "medianLatencyMs": round(result.median_ms, 2),
+            "p90LatencyMs": round(result.p90_ms, 2),
+            "throughputTps": 123.0,
+            "transactions": 1230, "errors": 3,
+        }
+
+    def test_format_table1_layout(self):
+        rows = [LoadTestResult(users=30, transactions=10, duration_s=1.0,
+                               latencies_ms=[2.0]).row("Direct")]
+        text = format_table1(rows)
+        assert "Direct" in text and "30" in text
+        assert "Median[ms]" in text
+
+
+class TestRampUpScheduling:
+    def test_users_start_spread_over_ramp_up(self, stub_client):
+        config = LoadTestConfig(users=4, steps_per_user=1, ramp_up_s=0.8,
+                                think_time_s=0.0)
+        run_load_test("stub-host", 1, config)
+        starts = sorted(c.created_at for c in stub_client.instances)
+        assert len(starts) == 4
+        # spacing ramp_up_s/users = 0.2s; generous tolerance for CI noise
+        gaps = [b - a for a, b in zip(starts, starts[1:])]
+        for gap in gaps:
+            assert 0.05 < gap < 0.6, f"ramp-up gaps off: {gaps}"
+
+    def test_zero_ramp_up_starts_everyone_immediately(self, stub_client):
+        config = LoadTestConfig(users=3, steps_per_user=1, ramp_up_s=0.0,
+                                think_time_s=0.0)
+        started = time.monotonic()
+        run_load_test("stub-host", 1, config)
+        assert all(c.created_at - started < 0.3
+                   for c in stub_client.instances)
+
+    def test_each_user_gets_its_own_client_and_closes_it(self, stub_client):
+        config = LoadTestConfig(users=5, steps_per_user=2, ramp_up_s=0.0,
+                                think_time_s=0.0)
+        run_load_test("stub-host", 7, config)
+        assert len(stub_client.instances) == 5
+        assert all(c.closed for c in stub_client.instances)
+        assert all(c.port == 7 for c in stub_client.instances)
+
+    def test_programs_alternate_between_users(self, stub_client):
+        config = LoadTestConfig(users=4, steps_per_user=1, ramp_up_s=0.0,
+                                think_time_s=0.0)
+        run_load_test("stub-host", 1, config)
+        programs = {c.session_program for c in stub_client.instances}
+        assert programs == set(DEFAULT_PROGRAMS)
+
+
+class TestCounting:
+    def test_transactions_and_latencies(self, stub_client):
+        config = LoadTestConfig(users=3, steps_per_user=4, ramp_up_s=0.0,
+                                think_time_s=0.0)
+        result = run_load_test("stub-host", 1, config)
+        # each user: 1 session_new + 4 steps = 5 transactions
+        assert result.transactions == 3 * 5
+        assert result.errors == 0
+        assert len(result.latencies_ms) == 3 * 5
+        assert result.duration_s > 0
+        assert result.throughput_tps > 0
+
+    def test_step_errors_counted_and_run_continues(self, stub_client):
+        stub_client.step_fail_every = 2     # every 2nd step raises
+        config = LoadTestConfig(users=2, steps_per_user=6, ramp_up_s=0.0,
+                                think_time_s=0.0)
+        result = run_load_test("stub-host", 1, config)
+        # per user: 6 steps -> 3 fail; transactions = 1 new + 3 ok steps
+        assert result.errors == 2 * 3
+        assert result.transactions == 2 * 4
+        # failed steps contribute no latency samples
+        assert len(result.latencies_ms) == 2 * 4
+
+    def test_total_user_failure_is_one_error(self, stub_client, monkeypatch):
+        def broken_new(self, program, **kw):
+            raise ConnectionError("server down")
+        monkeypatch.setattr(stub_client, "session_new", broken_new)
+        config = LoadTestConfig(users=3, steps_per_user=5, ramp_up_s=0.0,
+                                think_time_s=0.0)
+        result = run_load_test("stub-host", 1, config)
+        assert result.errors == 3
+        assert result.transactions == 0
+        assert all(c.closed for c in stub_client.instances)

@@ -1,0 +1,165 @@
+"""Worker-pool session serving: simulation runs on per-session executors
+(the ROADMAP worker-pool item), not on the calling/HTTP thread.
+
+The acceptance property: two live sessions step through the pool without
+blocking each other — a heavy session occupies exactly one executor while
+a light session's requests keep completing on another.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.server.protocol import Api, ApiError
+
+#: spins until the cycle budget; every step request costs real simulation
+SPIN = "spin:\n    j spin\n"
+
+SUM_LOOP = """
+    li a0, 0
+    li t0, 1
+    li t1, 20
+loop:
+    add a0, a0, t0
+    addi t0, t0, 1
+    ble t0, t1, loop
+    ebreak
+"""
+
+
+@pytest.fixture
+def api():
+    instance = Api(session_workers=4)
+    yield instance
+    instance.close()
+
+
+def new_session(api, source=SPIN) -> str:
+    out = api.handle("POST", "/session/new", {"code": source})
+    assert out["success"]
+    return out["sessionId"]
+
+
+class TestSessionsOnThePool:
+    def test_step_results_unchanged_by_pool_dispatch(self, api):
+        """The pool is a scheduling change, not a semantic one."""
+        session = new_session(api, SUM_LOOP)
+        out = api.handle("POST", "/session/step",
+                         {"sessionId": session, "cycles": 5})
+        assert out["success"] and out["state"]["cycle"] == 5
+        out = api.handle("POST", "/session/step",
+                         {"sessionId": session, "cycles": -2})
+        assert out["state"]["cycle"] == 3
+        state = api.handle("POST", "/session/state", {"sessionId": session})
+        assert state["state"]["cycle"] == 3
+        seek = api.handle("POST", "/session/seek",
+                          {"sessionId": session, "cycle": 10})
+        assert seek["state"]["cycle"] == 10
+        memory = api.handle("POST", "/session/memory",
+                            {"sessionId": session, "address": 0, "size": 4})
+        assert memory["success"]
+
+    def test_errors_propagate_through_the_pool(self, api):
+        session = new_session(api)
+        with pytest.raises(ApiError, match="cycle must be >= 0"):
+            api.handle("POST", "/session/seek",
+                       {"sessionId": session, "cycle": -1})
+        with pytest.raises(ApiError, match="unknown symbol"):
+            api.handle("POST", "/session/memory",
+                       {"sessionId": session, "symbol": "ghost"})
+
+    def test_two_live_sessions_do_not_block_each_other(self, api):
+        """A heavy session streams big step requests; a light session's
+        small steps must keep completing with latencies far below the
+        heavy session's per-request cost."""
+        heavy = new_session(api)
+        light = new_session(api)
+        stop = threading.Event()
+        heavy_latencies = []
+
+        def heavy_user():
+            while not stop.is_set():
+                t0 = time.monotonic()
+                api.handle("POST", "/session/step",
+                           {"sessionId": heavy, "cycles": 20000})
+                heavy_latencies.append(time.monotonic() - t0)
+
+        thread = threading.Thread(target=heavy_user, daemon=True)
+        thread.start()
+        try:
+            time.sleep(0.05)               # heavy request in flight
+            light_latencies = []
+            for _ in range(10):
+                t0 = time.monotonic()
+                out = api.handle("POST", "/session/step",
+                                 {"sessionId": light, "cycles": 10})
+                light_latencies.append(time.monotonic() - t0)
+                assert out["success"]
+        finally:
+            stop.set()
+            thread.join(timeout=30)
+        assert heavy_latencies, "heavy session never completed a request"
+        heavy_cost = max(heavy_latencies)
+        light_worst = max(light_latencies)
+        # the light session must not queue behind the heavy one: its worst
+        # request is far cheaper than one heavy request (it would be
+        # >= heavy_cost if serialized on one queue)
+        assert light_worst < heavy_cost / 2, \
+            f"light={light_worst:.3f}s vs heavy={heavy_cost:.3f}s"
+
+    def test_one_session_requests_stay_ordered_under_concurrency(self, api):
+        """Concurrent steps to the same session serialize FIFO on its
+        queue: total progress is exactly the sum of all requests."""
+        session = new_session(api)
+        errors = []
+
+        def stepper():
+            try:
+                for _ in range(5):
+                    api.handle("POST", "/session/step",
+                               {"sessionId": session, "cycles": 7})
+            except Exception as exc:  # noqa: BLE001 - surface in main thread
+                errors.append(exc)
+
+        threads = [threading.Thread(target=stepper) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors
+        state = api.handle("POST", "/session/state", {"sessionId": session})
+        assert state["state"]["cycle"] == 4 * 5 * 7
+
+    def test_heavy_session_occupies_at_most_one_executor(self, api):
+        """Many queued requests for one session never run concurrently
+        (max one executor per key), so other sessions always find a free
+        worker."""
+        session = new_session(api)
+        active = []
+        peak = []
+        lock = threading.Lock()
+        original = api.session_pool.run
+
+        def tracking_run(key, fn, *args, **kwargs):
+            def wrapped():
+                with lock:
+                    active.append(key)
+                    peak.append(active.count(session))
+                try:
+                    return fn(*args, **kwargs)
+                finally:
+                    with lock:
+                        active.remove(key)
+            return original(key, wrapped)
+
+        api.session_pool.run = tracking_run
+        threads = [threading.Thread(
+            target=lambda: api.handle("POST", "/session/step",
+                                      {"sessionId": session, "cycles": 500}))
+            for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert peak and max(peak) == 1

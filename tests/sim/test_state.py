@@ -281,6 +281,70 @@ class TestSnapshotDelta:
                 assert str(uid) in rob["changed"] or any(
                     e["id"] == uid for e in base["rob"])
 
+    #: wide fetch into a tiny issue window: dispatch trickles, so the
+    #: fetch buffer turns over partially — the entry-delta sweet spot
+    FRONT_STALL_CONFIG = dict(fetch_width=4, commit_width=1,
+                              issue_window_size=2)
+
+    def _front_stall_config(self):
+        from repro import BufferConfig, CpuConfig
+        config = CpuConfig()
+        config.buffers = BufferConfig(**self.FRONT_STALL_CONFIG)
+        return config
+
+    def test_fetch_buffer_entry_delta(self):
+        """A fetch section dirtied by partial buffer turnover references
+        its unchanged buffered instructions by id (schema v3)."""
+        sim = Simulation.from_source(MEM_LOOP,
+                                     config=self._front_stall_config())
+        reference = Simulation.from_source(
+            MEM_LOOP, config=self._front_stall_config())
+        seen_entry_delta = False
+        view = sim.snapshot()
+        for _ in range(160):
+            sim.step(1)
+            reference.step(1)
+            delta = sim.snapshot_delta(since_cycle=view["cycle"])
+            fetch = delta.get("sections", {}).get("fetch") \
+                if delta["format"] == "delta" else None
+            if isinstance(fetch, dict) and fetch.get("__entryDelta"):
+                seen_entry_delta = True
+                assert set(fetch) == {"__entryDelta", "pc",
+                                      "stalledUntil", "ids", "changed"}
+                assert len(fetch["changed"]) < len(fetch["ids"])
+            view = apply_snapshot_delta(view, delta)
+            assert view == cold_snapshot(reference)
+            if sim.halted:
+                break
+        assert seen_entry_delta, \
+            "the kernel never produced a fetch entry-delta"
+
+    def test_store_buffer_entry_delta(self):
+        """Store-buffer entries carry ids; entries whose drain state is
+        unchanged are referenced by id and resolved from the base."""
+        sim = Simulation.from_source(MEM_LOOP)
+        reference = Simulation.from_source(MEM_LOOP)
+        seen_entry_delta = False
+        view = sim.snapshot()
+        for _ in range(260):
+            sim.step(1)
+            reference.step(1)
+            delta = sim.snapshot_delta(since_cycle=view["cycle"])
+            if delta["format"] == "delta":
+                storeb = delta["sections"].get("storeBuffer")
+                if isinstance(storeb, dict) and storeb.get("__entryDelta"):
+                    seen_entry_delta = True
+                    assert len(storeb["changed"]) < len(storeb["ids"])
+            view = apply_snapshot_delta(view, delta)
+            assert view == cold_snapshot(reference)
+            if sim.halted:
+                break
+        assert seen_entry_delta, \
+            "the kernel never produced a storeBuffer entry-delta"
+        # every served store-buffer entry carries its resolving id
+        for entry in view["storeBuffer"]:
+            assert "id" in entry
+
     def test_apply_rejects_mismatched_base(self):
         """A delta computed against a view the client never received (e.g.
         after a lost response) must fail loudly, not merge silently."""
