@@ -11,6 +11,7 @@ spec.json` and the server's /explore endpoints.
 
 import json
 import os
+import sys
 import tempfile
 
 from repro.explore import (SweepSpec, load_records, ResultStore, run_sweep)
@@ -100,3 +101,64 @@ print("one record's stats keys:",
 #   POST /explore/submit {"spec": {...}} -> /explore/status -> /explore/result
 print("\nspec JSON for the CLI/server (excerpt):")
 print(json.dumps(spec.to_json(), indent=2)[:400], "...")
+
+
+# ---------------------------------------------------------------------------
+# 5. distributed sweeps — run me with `--backend remote` to fan the same
+#    spec out over a locally spawned fleet of sweep workers (in production
+#    each worker is `repro-sim worker` on its own machine).  Records are
+#    byte-identical to the pool run above: the backend is invisible in
+#    the results, by design.
+# ---------------------------------------------------------------------------
+def run_remote_fleet() -> None:
+    import re
+    import subprocess
+    import sys as _sys
+
+    from repro.explore import RemoteBackend
+
+    def spawn_worker() -> tuple:
+        process = subprocess.Popen(
+            [_sys.executable, "-m", "repro.cli.main", "worker",
+             "--port", "0"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+        for _ in range(8):                 # interpreter warnings may lead
+            line = process.stdout.readline()
+            found = re.search(r"listening on http://127\.0\.0\.1:(\d+)",
+                              line)
+            if found:
+                return process, f"127.0.0.1:{found.group(1)}"
+        process.terminate()
+        process.wait(timeout=10)
+        raise RuntimeError("worker did not start")
+
+    fleet = []
+    try:
+        for _ in range(2):                 # incremental: a failed second
+            fleet.append(spawn_worker())   # spawn still cleans up the first
+        urls = [url for _process, url in fleet]
+        print(f"\nspawned worker fleet: {', '.join(urls)}")
+        remote_run = run_sweep(spec, backend=RemoteBackend(
+            urls, job_timeout_s=120.0))
+    finally:
+        for process, _url in fleet:
+            process.terminate()
+            process.wait(timeout=10)
+    assert remote_run.records == run.records, \
+        "remote records must be byte-identical to the pool run"
+    print(f"remote fleet ran {len(remote_run.records)} jobs in "
+          f"{remote_run.elapsed_s:.2f}s — records identical to the "
+          f"local pool run")
+    for worker_row in remote_run.execution["remoteWorkers"]:
+        print(f"  worker {worker_row['url']}: "
+              f"{worker_row['ok']} ok, {worker_row['failures']} failures")
+
+
+if "--backend" in sys.argv[1:]:
+    backend_name = sys.argv[sys.argv.index("--backend") + 1:][:1]
+    if backend_name == ["remote"]:
+        run_remote_fleet()
+    else:
+        raise SystemExit(f"unknown --backend {backend_name}; this demo "
+                         f"only adds 'remote' (the sections above are "
+                         f"the serial/process tour)")

@@ -118,3 +118,33 @@ sweep = run_sweep(SweepSpec.from_json({
 print("\n--- a 3-point sweep through the experiment engine ---")
 for entry in sweep.report(metric="cycles").ranking():
     print(f"  #{entry['rank']} {entry['label']}: {entry['value']} cycles")
+
+# ---------------------------------------------------------------------------
+# 7. distributed sweeps (remote execution backends)
+#
+# Sweep execution is pluggable: the same spec runs on the in-process
+# serial loop, the local process pool, or an HTTP fleet of sweep workers
+# — with byte-identical records on every backend.  Start workers (one
+# per machine/core you want to throw at the grid):
+#
+#     repro-sim worker --port 8046      # on each worker host
+#
+# then fan the sweep out over them:
+#
+#     repro-sim explore spec.json --backend remote \
+#         --worker-url hostA:8046 --worker-url hostB:8046
+#
+# or programmatically:
+#
+#     from repro.explore import RemoteBackend
+#     run = run_sweep(spec, backend=RemoteBackend(
+#         ["hostA:8046", "hostB:8046"], job_timeout_s=120))
+#
+# Jobs are dispatched over a bounded in-flight window with per-job
+# timeout and at-most-one re-dispatch; a dead worker is excluded while
+# the sweep completes on the rest (`run.execution` holds the per-worker
+# health rows).  Repeated-program grids are cheap everywhere: per-job
+# setup (C compile, assembly) hits a content-addressed artifact cache —
+# shared on disk across local pool workers, in memory per remote worker.
+# See examples/design_sweep.py --backend remote for a runnable demo.
+# ---------------------------------------------------------------------------

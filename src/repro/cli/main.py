@@ -15,10 +15,14 @@ instead of assembly and runs the integrated compiler first.
 
 ``repro-sim explore SPEC.json`` enters the design-space experiment engine
 (:mod:`repro.explore`): the spec's grid (or random sample) of
-program x architecture points runs on a local worker pool — or is
-submitted to a running server with ``--host`` — and the comparison report
-(metric table, best-config ranking, pairwise speedups) prints as text or
-JSON.
+program x architecture points runs on a pluggable execution backend —
+``--backend serial`` (in-process loop), ``--backend process`` (local
+worker pool, the default), or ``--backend remote`` fanning jobs out over
+HTTP to a fleet of sweep workers named by repeatable ``--worker-url``
+flags — or is submitted to a running server with ``--host``.  The
+comparison report (metric table, best-config ranking, pairwise speedups)
+prints as text or JSON.  ``repro-sim worker`` serves one such sweep
+worker (a repro-server whose expected traffic is ``/worker/execute``).
 """
 
 from __future__ import annotations
@@ -40,7 +44,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-sim",
         description="Batch simulator for superscalar RISC-V programs",
         epilog="Design-space sweeps: 'repro-sim explore SPEC.json --help' "
-               "runs grids/samples of configurations on a worker pool.")
+               "runs grids/samples of configurations on a worker pool or "
+               "a remote fleet; 'repro-sim worker --help' serves one "
+               "fleet worker.")
     parser.add_argument("program",
                         help="assembly source file (or C file with --compile)")
     parser.add_argument("architecture",
@@ -137,12 +143,23 @@ def build_explore_parser() -> argparse.ArgumentParser:
         prog="repro-sim explore",
         description="Run a design-space sweep (repro.explore) and report")
     parser.add_argument("spec", help="sweep specification JSON file")
+    parser.add_argument("--backend", choices=("serial", "process", "remote"),
+                        default=None,
+                        help="execution backend (default: inferred from "
+                             "--workers — 0 is serial, anything else the "
+                             "local process pool)")
+    parser.add_argument("--worker-url", action="append", default=None,
+                        metavar="HOST:PORT", dest="worker_urls",
+                        help="remote sweep worker (repeat once per worker; "
+                             "requires --backend remote; start workers "
+                             "with 'repro-sim worker')")
     parser.add_argument("--workers", type=int, default=None,
                         help="worker processes (default: one per CPU; "
                              "0 = serial in-process loop)")
     parser.add_argument("--job-timeout", type=float, default=None,
                         metavar="SECONDS",
-                        help="per-job wall-clock budget on the pool")
+                        help="per-job wall-clock budget "
+                             "(process/remote backends)")
     parser.add_argument("--out", default=None, metavar="FILE.jsonl",
                         help="write per-run records as JSONL")
     parser.add_argument("--metric", default="cycles",
@@ -197,7 +214,8 @@ def explore_main(argv: Optional[List[str]] = None) -> int:
     args = build_explore_parser().parse_args(argv)
     out = sys.stdout
     from repro.explore import (METRICS, ResultStore, SweepSpec,
-                               default_worker_count, run_sweep)
+                               default_worker_count, resolve_backend,
+                               run_sweep)
     if args.metric not in METRICS:
         # fail before any simulation runs: a typo'd metric must not cost
         # the whole sweep
@@ -208,6 +226,20 @@ def explore_main(argv: Optional[List[str]] = None) -> int:
         print("error: --workers must be >= 0 (0 = serial)",
               file=sys.stderr)
         return 2
+    if args.worker_urls and args.backend != "remote":
+        print("error: --worker-url requires --backend remote",
+              file=sys.stderr)
+        return 2
+    if args.backend == "remote":
+        if args.host is not None:
+            print("error: --backend remote drives the worker fleet "
+                  "directly; it cannot be combined with --host submission",
+                  file=sys.stderr)
+            return 2
+        if not args.worker_urls:
+            print("error: --backend remote needs at least one --worker-url "
+                  "(start workers with 'repro-sim worker')", file=sys.stderr)
+            return 2
     try:
         spec = SweepSpec.load(args.spec)
     except (OSError, ReproError) as exc:
@@ -219,6 +251,13 @@ def explore_main(argv: Optional[List[str]] = None) -> int:
 
     workers = args.workers if args.workers is not None \
         else default_worker_count()
+    try:
+        backend = resolve_backend(args.backend, workers=workers,
+                                  job_timeout_s=args.job_timeout,
+                                  worker_urls=args.worker_urls or ())
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     store = ResultStore(args.out) if args.out else None
 
     def progress(record: dict) -> None:
@@ -228,28 +267,70 @@ def explore_main(argv: Optional[List[str]] = None) -> int:
                   f"{verdict}", file=sys.stderr)
 
     try:
-        run = run_sweep(spec, workers=workers,
-                        job_timeout_s=args.job_timeout, store=store,
-                        on_record=progress)
+        run = run_sweep(spec, store=store, on_record=progress,
+                        backend=backend)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     finally:
+        backend.close()
         if store is not None:
             store.close()
     report = run.report(metric=args.metric)
     if args.format == "json":
         payload = report.to_json()
         payload["elapsedS"] = round(run.elapsed_s, 4)
+        payload["backend"] = run.backend
         payload["workers"] = run.workers
+        payload["execution"] = run.execution
         json.dump(payload, out, indent=2)
         print(file=out)
     else:
-        print(f"{len(run.jobs)} jobs on "
-              f"{run.workers if run.workers else 'no'} workers in "
+        print(f"{len(run.jobs)} jobs on the {run.backend} backend "
+              f"({run.workers if run.workers else 'no'} workers) in "
               f"{run.elapsed_s:.2f}s", file=out)
         print(report.render_text(), file=out, end="")
+        if not args.quiet:
+            from repro.viz.sweep import render_execution_summary
+            summary = render_execution_summary(run.to_json())
+            if summary:
+                print(summary, file=out, end="")
+    # failed grid points must be mappable back to their configs: repeat
+    # them on stderr with job id + axis values (the report's FAILED lines
+    # carry the same), independent of --format/--quiet
+    for record in run.failures:
+        point = ", ".join(f"{k}={v}"
+                          for k, v in record.get("point", {}).items())
+        print(f"FAILED job {record['index']} ({point}): "
+              f"{record.get('kind', 'error')}: {record.get('error')}",
+              file=sys.stderr)
     return 0 if not run.failures else 1
+
+
+def build_worker_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sim worker",
+        description="Serve one distributed-sweep worker (a repro-server "
+                    "whose expected traffic is POST /worker/execute; "
+                    "point 'repro-sim explore --backend remote "
+                    "--worker-url HOST:PORT' at it)")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8046,
+                        help="TCP port (0 picks a free one, printed in "
+                             "the startup banner)")
+    parser.add_argument("--no-gzip", action="store_true",
+                        help="disable gzip content-encoding")
+    parser.add_argument("--quiet", action="store_true")
+    return parser
+
+
+def worker_main(argv: Optional[List[str]] = None) -> int:
+    """``repro-sim worker`` — serve jobs for remote design-space sweeps."""
+    args = build_worker_parser().parse_args(argv)
+    from repro.server.httpd import serve
+    serve(args.host, args.port, enable_gzip=not args.no_gzip,
+          verbose=not args.quiet, role="sweep worker")
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -257,6 +338,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "explore":
         return explore_main(argv[1:])
+    if argv and argv[0] == "worker":
+        return worker_main(argv[1:])
     args = build_parser().parse_args(argv)
     out = sys.stdout
 
@@ -340,6 +423,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(file=out)
     else:
         _print_text(result.statistics, args.verbosity, out)
+        if args.verbosity >= 2:
+            ring = simulation.checkpoints
+            print(f"checkpoint ring   : {len(ring)} checkpoints, "
+                  f"{ring.bytes_retained() / 1024.0:.1f} KiB retained "
+                  f"(shared pages counted once)", file=out)
         dump = _parse_dump(args.dump)
         if dump is not None:
             print("memory dump:", file=out)

@@ -11,8 +11,15 @@ turns that pattern into a first-class batch subsystem:
 * :mod:`repro.explore.pool` — the worker-pool layer: a multiprocessing
   pool with per-job timeouts and crash isolation for sweeps, and a keyed
   thread pool the simulation server reuses for per-session executors;
+* :mod:`repro.explore.backend` — pluggable execution backends: serial
+  loop, local process pool, and HTTP fan-out over a remote worker fleet
+  (``repro-sim worker`` servers) — all record-for-record bit-identical;
 * :mod:`repro.explore.runner` — worker-side job execution (pure function
-  of the payload: serial and pooled runs are bit-identical);
+  of the payload: every backend runs this same function, which is what
+  makes their records bit-identical);
+* :mod:`repro.explore.artifacts` — content-addressed per-job setup cache
+  (C-compile and assembly artifacts), shared on-disk across the process
+  pool's workers and held in-memory per remote worker server;
 * :mod:`repro.explore.store` — JSONL result store;
 * :mod:`repro.explore.report` — ranking, metric tables, pairwise
   speedups (text rendering in :mod:`repro.viz.sweep`);
@@ -42,6 +49,10 @@ Quick tour::
     print(run.report(metric="cycles").render_text())
 """
 
+from repro.explore.artifacts import ArtifactCache, default_cache
+from repro.explore.backend import (BACKEND_NAMES, ExecutionBackend,
+                                   ProcessBackend, RemoteBackend,
+                                   SerialBackend, resolve_backend)
 from repro.explore.engine import RUNNER_TASK, SweepRun, run_sweep
 from repro.explore.plan import Job, plan_jobs
 from repro.explore.pool import (Future, JobResult, KeyedThreadPool,
@@ -54,6 +65,14 @@ from repro.explore.spec import (Axis, ProgramSpec, SweepPoint, SweepSpec,
 from repro.explore.store import ResultStore, load_records
 
 __all__ = [
+    "ArtifactCache",
+    "default_cache",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessBackend",
+    "RemoteBackend",
+    "BACKEND_NAMES",
+    "resolve_backend",
     "SweepSpec",
     "SweepSpecError",
     "ProgramSpec",

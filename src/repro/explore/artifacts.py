@@ -1,0 +1,303 @@
+"""Content-addressed artifact cache for per-job sweep setup.
+
+Design points that share a program pay the same setup bill per job —
+compile the C source, assemble the assembly — because crash isolation
+keeps jobs stateless.  The cache removes that waste without giving up
+statelessness: artifacts are addressed purely by the *content* of their
+inputs (SHA-256 of source + every layout-relevant parameter), so a hit
+is byte-for-byte the artifact a cold build would have produced and
+records stay bit-identical whether the cache was warm or cold.
+
+Two tiers:
+
+* **memory** — per-process LRU maps.  Holds compiled assembly *and*
+  assembled :class:`repro.asm.program.Program` objects (a ``Program`` is
+  immutable-once-assembled by the decode-cache contract, so sharing one
+  instance across jobs in a process is safe; every ``Cpu`` copies the
+  data segment before running).  This is the tier a remote sweep worker
+  keeps per server.
+* **disk** — an optional content-addressed directory holding the
+  JSON-safe artifacts only (compiled assembly).  Worker *processes* of
+  one host all point at the same directory, so a process-pool sweep
+  compiles each distinct (C source, opt level) exactly once per host,
+  not once per worker.  Writes are atomic (temp file + ``os.replace``)
+  and any I/O failure silently degrades to the memory tier — the cache
+  is an accelerator, never a correctness dependency.
+
+``repro.explore.runner`` consults the process-default cache (see
+:func:`default_cache`) for every job, on every execution backend.  The
+default disk directory is per-host/per-user under the system temp dir
+and can be redirected with ``REPRO_ARTIFACT_DIR=/path`` or disabled
+entirely with ``REPRO_ARTIFACT_DIR=off``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import threading
+from collections import OrderedDict
+from typing import List, Optional
+
+__all__ = ["ArtifactCache", "default_cache", "reset_default_cache",
+           "ARTIFACT_DIR_ENV"]
+
+#: environment override for the disk tier ("off"/"none"/"0" disables it)
+ARTIFACT_DIR_ENV = "REPRO_ARTIFACT_DIR"
+
+_DISABLED = ("off", "none", "0", "")
+
+
+def _default_directory() -> Optional[str]:
+    env = os.environ.get(ARTIFACT_DIR_ENV)
+    if env is not None:
+        return None if env.strip().lower() in _DISABLED else env
+    uid = getattr(os, "getuid", lambda: "any")()
+    return os.path.join(tempfile.gettempdir(), f"repro-artifacts-{uid}")
+
+
+_toolchain_tag: Optional[str] = None
+
+
+def _toolchain_fingerprint() -> str:
+    """Fingerprint of the code that *produces* artifacts.
+
+    The disk tier outlives the process — and the repo checkout — so a
+    content address must cover the toolchain, not just its inputs: an
+    artifact compiled by yesterday's code generator is not the artifact
+    today's would produce, and serving it would silently break the
+    byte-identity pin between backends with differently-warmed caches.
+    Hashing (path, size, mtime) of every ``repro.asm`` / ``repro.compiler``
+    source file is cheap (one stat per file, once per process) and
+    over-invalidates at worst (a touched file drops cache hits, never
+    correctness)."""
+    global _toolchain_tag
+    if _toolchain_tag is None:
+        import repro.asm
+        import repro.compiler
+        hasher = hashlib.sha256()
+        for package in (repro.asm, repro.compiler):
+            root = os.path.dirname(package.__file__)
+            for name in sorted(os.listdir(root)):
+                if not name.endswith(".py"):
+                    continue
+                try:
+                    info = os.stat(os.path.join(root, name))
+                    hasher.update(f"{name}:{info.st_size}:"
+                                  f"{info.st_mtime_ns}".encode())
+                except OSError:  # pragma: no cover - zip imports etc.
+                    hasher.update(name.encode())
+        _toolchain_tag = hasher.hexdigest()[:16]
+    return _toolchain_tag
+
+
+def _digest(*parts: object) -> str:
+    """Stable content address of the given parts (JSON-canonicalized),
+    qualified by the toolchain fingerprint."""
+    hasher = hashlib.sha256()
+    hasher.update(_toolchain_fingerprint().encode())
+    for part in parts:
+        hasher.update(json.dumps(part, sort_keys=True,
+                                 ensure_ascii=False).encode("utf-8"))
+        hasher.update(b"\x00")
+    return hasher.hexdigest()
+
+
+class _LruMap:
+    """Tiny bounded LRU dict (thread-unsafe; callers hold the cache lock)."""
+
+    __slots__ = ("max_entries", "_map")
+
+    def __init__(self, max_entries: int):
+        self.max_entries = max_entries
+        self._map: "OrderedDict[str, object]" = OrderedDict()
+
+    def get(self, key: str):
+        value = self._map.get(key)
+        if value is not None:
+            self._map.move_to_end(key)
+        return value
+
+    def put(self, key: str, value: object) -> None:
+        self._map[key] = value
+        self._map.move_to_end(key)
+        while len(self._map) > self.max_entries:
+            self._map.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+    def clear(self) -> None:
+        self._map.clear()
+
+
+class ArtifactCache:
+    """Content-addressed cache of compile / assemble artifacts.
+
+    Parameters
+    ----------
+    directory:
+        Disk-tier root for JSON-safe artifacts, shared across processes
+        of one host.  ``None`` keeps the cache memory-only (the remote
+        sweep worker's per-server mode).
+    max_entries:
+        Per-kind memory-tier capacity (LRU-evicted).
+    """
+
+    def __init__(self, directory: Optional[str] = None,
+                 max_entries: int = 64):
+        self.directory = directory
+        self._lock = threading.Lock()
+        self._compiled = _LruMap(max_entries)
+        self._programs = _LruMap(max_entries)
+        self._hits = {"compile": 0, "assemble": 0}
+        self._misses = {"compile": 0, "assemble": 0}
+        self._disk_hits = 0
+
+    @staticmethod
+    def from_env() -> "ArtifactCache":
+        """Cache with the per-host default (or env-configured) disk tier."""
+        return ArtifactCache(directory=_default_directory())
+
+    # -- disk tier -----------------------------------------------------
+    def _disk_read(self, key: str) -> Optional[dict]:
+        if self.directory is None:
+            return None
+        try:
+            path = os.path.join(self.directory, f"{key}.json")
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+            return data if isinstance(data, dict) else None
+        except (OSError, ValueError):
+            return None
+
+    def _disk_write(self, key: str, payload: dict) -> None:
+        if self.directory is None:
+            return
+        try:
+            os.makedirs(self.directory, exist_ok=True)
+            fd, temp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(payload, handle)
+                os.replace(temp, os.path.join(self.directory,
+                                              f"{key}.json"))
+            except BaseException:
+                try:
+                    os.unlink(temp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            # read-only tmp, disk full, ...: degrade to the memory tier
+            self.directory = None
+
+    # -- artifacts -----------------------------------------------------
+    def compiled_assembly(self, c_source: str, opt_level: int) -> str:
+        """C source -> assembly, keyed by (source hash, opt level).
+
+        Only successful compilations are cached; a failing translation
+        unit raises :class:`repro.explore.runner.JobError` with the same
+        message a cold compile produces, so failure records are
+        identical warm or cold.
+        """
+        key = _digest("compile", c_source, int(opt_level))
+        with self._lock:
+            cached = self._compiled.get(key)
+            if cached is not None:
+                self._hits["compile"] += 1
+                return cached
+            disk = self._disk_read(key)
+            if disk is not None and isinstance(disk.get("assembly"), str):
+                self._hits["compile"] += 1
+                self._disk_hits += 1
+                self._compiled.put(key, disk["assembly"])
+                return disk["assembly"]
+            self._misses["compile"] += 1
+        from repro.compiler.driver import compile_c
+        from repro.explore.runner import JobError
+        result = compile_c(c_source, int(opt_level))
+        if not result.success:
+            raise JobError(f"C compilation failed at O{int(opt_level)}: "
+                           f"{result.errors}")
+        with self._lock:
+            self._compiled.put(key, result.assembly)
+            self._disk_write(key, {"assembly": result.assembly})
+        return result.assembly
+
+    def assembled_program(self, source: str, stack_size: int,
+                          entry: Optional[object],
+                          memory_locations: List[dict]):
+        """Assembly source -> assembled ``Program``, keyed by everything
+        that shapes the memory layout (stack size, entry, data spec).
+
+        Memory tier only: ``Program`` carries compiled expression code,
+        which is not JSON-serializable — but it *is* safely shareable
+        across jobs of one process (assembled programs are immutable by
+        the decode-cache contract; the initial memory image is copied
+        per ``Cpu``)."""
+        key = _digest("assemble", source, int(stack_size), entry,
+                      list(memory_locations))
+        with self._lock:
+            cached = self._programs.get(key)
+            if cached is not None:
+                self._hits["assemble"] += 1
+                return cached
+            self._misses["assemble"] += 1
+        from repro.asm.parser import Assembler
+        from repro.memory.layout import MemoryLocation
+        program = Assembler().assemble(
+            source, entry=entry,
+            memory_locations=[MemoryLocation.from_json(d)
+                              for d in memory_locations],
+            stack_size=stack_size)
+        with self._lock:
+            self._programs.put(key, program)
+        return program
+
+    # -- introspection -------------------------------------------------
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "compile": {"hits": self._hits["compile"],
+                            "misses": self._misses["compile"],
+                            "entries": len(self._compiled)},
+                "assemble": {"hits": self._hits["assemble"],
+                             "misses": self._misses["assemble"],
+                             "entries": len(self._programs)},
+                "diskHits": self._disk_hits,
+                "directory": self.directory,
+            }
+
+    def clear(self) -> None:
+        """Drop the memory tier (the disk tier is content-addressed and
+        never needs invalidation)."""
+        with self._lock:
+            self._compiled.clear()
+            self._programs.clear()
+
+
+_default: Optional[ArtifactCache] = None
+_default_lock = threading.Lock()
+
+
+def default_cache() -> ArtifactCache:
+    """The process-wide cache sweep runners consult (lazily built from
+    the environment; worker processes each build their own on first job,
+    all pointing at the same per-host disk directory)."""
+    global _default
+    if _default is None:
+        with _default_lock:
+            if _default is None:
+                _default = ArtifactCache.from_env()
+    return _default
+
+
+def reset_default_cache() -> None:
+    """Forget the process-default cache (tests re-point the disk tier
+    via ``REPRO_ARTIFACT_DIR`` and need the lazy singleton rebuilt)."""
+    global _default
+    with _default_lock:
+        _default = None

@@ -1,0 +1,455 @@
+"""Pluggable sweep execution backends.
+
+One protocol, three ways to burn CPU on a design-space sweep:
+
+* :class:`SerialBackend` — every job in-process, in order.  The baseline
+  every other backend is pinned bit-identical against.
+* :class:`ProcessBackend` — the :class:`repro.explore.pool.ProcessWorkerPool`
+  (W local processes, per-job timeouts, crash isolation) behind the
+  backend interface.
+* :class:`RemoteBackend` — jobs fan out over HTTP to a fleet of
+  repro-server sweep workers (the protocol-v4 ``/worker/execute``
+  endpoint): a bounded in-flight window per worker, per-job
+  timeout/retry with **at most one re-dispatch**, and worker health
+  tracking that excludes a dead worker while the sweep completes on the
+  rest.
+
+The invariant that makes the plurality safe is inherited from the pool
+and extended: every backend runs the *same* worker function
+(:func:`repro.explore.runner.execute_payload`) on the *same* planned
+payloads, and results carry no host-side timing — so serial, process and
+remote sweeps produce **byte-identical JSONL records** for the same
+spec.  Failure records follow the same discipline: a job that raises is
+``kind="error"`` with the identical ``TypeName: message`` string on
+every backend; a worker that dies mid-job is ``kind="crash"`` and a job
+that overruns its budget is ``kind="timeout"``, with matching messages
+on the process and remote backends.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Sequence
+
+from repro.explore.pool import JobResult, ProcessWorkerPool
+
+__all__ = [
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessBackend",
+    "RemoteBackend",
+    "BACKEND_NAMES",
+    "resolve_backend",
+]
+
+#: names accepted by the CLI / ``resolve_backend``
+BACKEND_NAMES = ("serial", "process", "remote")
+
+#: spawn-safe dotted reference of the worker task (shared with the
+#: engine; re-declared here so the backend layer has no engine import)
+_RUNNER_TASK = "repro.explore.runner:execute_payload"
+
+#: message used for a worker lost mid-job, byte-identical across the
+#: process and remote backends so crash records compare equal
+_CRASH_MESSAGE = "worker process died mid-job"
+
+OnResult = Optional[Callable[[JobResult], None]]
+OnDispatch = Optional[Callable[[int, object], None]]
+
+
+class ExecutionBackend:
+    """How a planned job list turns into ordered :class:`JobResult`\\ s.
+
+    ``run`` executes every payload and returns results ordered by
+    submission index; ``on_result`` fires in completion order,
+    ``on_dispatch`` fires with ``(index, worker)`` when a job is handed
+    to a worker.  ``workers`` is the backend's parallelism (0 = serial),
+    ``describe()`` its JSON-shaped execution metadata (per-worker rows
+    for the sweep report's execution summary).
+    """
+
+    name = "?"
+    workers = 0
+
+    def run(self, payloads: Sequence[dict], on_result: OnResult = None,
+            on_dispatch: OnDispatch = None) -> List[JobResult]:
+        raise NotImplementedError
+
+    def describe(self) -> dict:
+        return {"backend": self.name, "workers": self.workers}
+
+    def close(self) -> None:
+        """Release workers (idempotent)."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+class SerialBackend(ExecutionBackend):
+    """The in-process, in-order baseline (the old ``workers=0`` loop)."""
+
+    name = "serial"
+    workers = 0
+
+    def run(self, payloads: Sequence[dict], on_result: OnResult = None,
+            on_dispatch: OnDispatch = None) -> List[JobResult]:
+        from repro.explore.runner import execute_payload
+        results: List[JobResult] = []
+        for index, payload in enumerate(payloads):
+            if on_dispatch is not None:
+                on_dispatch(index, 0)
+            t0 = time.monotonic()
+            try:
+                value = execute_payload(payload)
+                result = JobResult(index=index, kind="ok", value=value,
+                                   worker=0,
+                                   elapsed_s=time.monotonic() - t0)
+            except Exception as exc:  # noqa: BLE001 - per-job isolation
+                result = JobResult(index=index, kind="error",
+                                   error=f"{type(exc).__name__}: {exc}",
+                                   worker=0,
+                                   elapsed_s=time.monotonic() - t0)
+            results.append(result)
+            if on_result is not None:
+                on_result(result)
+        return results
+
+
+class ProcessBackend(ExecutionBackend):
+    """The local :class:`ProcessWorkerPool` behind the backend protocol."""
+
+    name = "process"
+
+    def __init__(self, workers: Optional[int] = None,
+                 job_timeout_s: Optional[float] = None,
+                 start_method: Optional[str] = None):
+        self._pool = ProcessWorkerPool(_RUNNER_TASK, workers=workers,
+                                       job_timeout_s=job_timeout_s,
+                                       start_method=start_method)
+        self.workers = self._pool.workers
+        self.job_timeout_s = job_timeout_s
+
+    def run(self, payloads: Sequence[dict], on_result: OnResult = None,
+            on_dispatch: OnDispatch = None) -> List[JobResult]:
+        return self._pool.map(payloads, on_result=on_result,
+                              on_dispatch=on_dispatch)
+
+    def close(self) -> None:
+        self._pool.close()
+
+
+class _RemoteWorker:
+    """Parent-side health record of one sweep-worker server."""
+
+    __slots__ = ("url", "host", "port", "dispatched", "ok", "failures",
+                 "consecutive_failures", "excluded")
+
+    def __init__(self, url: str):
+        self.url = url
+        self.host, self.port = _parse_worker_url(url)
+        self.dispatched = 0
+        self.ok = 0
+        self.failures = 0
+        self.consecutive_failures = 0
+        self.excluded = False
+
+    def to_json(self) -> dict:
+        return {"url": self.url, "dispatched": self.dispatched,
+                "ok": self.ok, "failures": self.failures,
+                "excluded": self.excluded}
+
+
+def _parse_worker_url(url: str) -> tuple:
+    """``host:port`` or ``http://host:port`` -> ``(host, port)``."""
+    text = url.strip()
+    if "//" in text:
+        text = text.split("//", 1)[1]
+    text = text.rstrip("/")
+    host, _, port_text = text.partition(":")
+    if not host or not port_text or not port_text.isdigit():
+        raise ValueError(f"worker URL must look like 'host:port' "
+                         f"(or 'http://host:port'), got {url!r}")
+    return host, int(port_text)
+
+
+class _PendingJob:
+    __slots__ = ("index", "attempts", "excluded_url")
+
+    def __init__(self, index: int):
+        self.index = index
+        self.attempts = 0          #: dispatches so far (0 or 1)
+        self.excluded_url: Optional[str] = None
+
+
+class RemoteBackend(ExecutionBackend):
+    """HTTP fan-out over a fleet of repro-server sweep workers.
+
+    Parameters
+    ----------
+    worker_urls:
+        ``host:port`` (or ``http://host:port``) per worker server (a
+        ``repro-sim worker`` / ``repro-server`` exposing the protocol-v4
+        ``/worker/execute`` endpoint).
+    job_timeout_s:
+        Per-job wall-clock budget, enforced client-side as the HTTP
+        request timeout.  On expiry the job reports ``kind="timeout"``
+        with the same message the process pool produces; it is *not*
+        re-dispatched (matching the pool's timeout semantics — a slow
+        job would only time out twice).
+    inflight_per_worker:
+        In-flight window per worker: each slot is one connection thread,
+        so at most ``workers x inflight_per_worker`` jobs are on the
+        wire at once.
+    fail_threshold:
+        Consecutive transport failures after which a worker is excluded
+        from the rest of the sweep.
+
+    A job lost to a transport failure (connection refused/reset — the
+    worker died) is re-dispatched **at most once**, preferably to a
+    different worker; a second loss reports ``kind="crash"`` with the
+    same message the process pool uses, so crash records compare equal
+    across backends.  Job-level errors returned by the worker
+    (``ok: false`` — the program is broken) are final on first answer:
+    they are deterministic, so retrying could only waste a machine.
+    """
+
+    name = "remote"
+
+    def __init__(self, worker_urls: Sequence[str],
+                 job_timeout_s: Optional[float] = None,
+                 inflight_per_worker: int = 2,
+                 fail_threshold: int = 2,
+                 client_factory: Optional[Callable] = None):
+        if not worker_urls:
+            raise ValueError("remote backend needs at least one worker URL")
+        if inflight_per_worker < 1:
+            raise ValueError("inflight_per_worker must be >= 1")
+        if fail_threshold < 1:
+            raise ValueError("fail_threshold must be >= 1")
+        if job_timeout_s is not None and job_timeout_s <= 0:
+            raise ValueError("job_timeout_s must be positive")
+        self._workers = [_RemoteWorker(url) for url in worker_urls]
+        addresses = [(w.host, w.port) for w in self._workers]
+        if len(set(addresses)) != len(addresses):
+            raise ValueError(f"duplicate worker URLs: "
+                             f"{[w.url for w in self._workers]}")
+        self.workers = len(self._workers)
+        self.job_timeout_s = job_timeout_s
+        self.inflight_per_worker = inflight_per_worker
+        self.fail_threshold = fail_threshold
+        self._client_factory = client_factory or self._default_client
+        self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)
+
+    #: socket timeout when no per-job budget is set: generous enough for
+    #: any sane job, small enough that a hung (open but dead) worker
+    #: socket cannot stall a sweep forever
+    DEFAULT_SOCKET_TIMEOUT_S = 600.0
+
+    def _default_client(self, worker: _RemoteWorker):
+        from repro.server.client import SimClient
+        timeout = self.job_timeout_s if self.job_timeout_s is not None \
+            else self.DEFAULT_SOCKET_TIMEOUT_S
+        return SimClient(worker.host, worker.port, timeout=timeout)
+
+    # ------------------------------------------------------------------
+    def run(self, payloads: Sequence[dict], on_result: OnResult = None,
+            on_dispatch: OnDispatch = None) -> List[JobResult]:
+        total = len(payloads)
+        if total == 0:
+            return []
+        state = _RemoteRun(self, payloads, on_result, on_dispatch)
+        threads = []
+        for worker in self._workers:
+            worker.excluded = False
+            worker.consecutive_failures = 0
+            for slot in range(self.inflight_per_worker):
+                thread = threading.Thread(
+                    target=state.serve, args=(worker,), daemon=True,
+                    name=f"remote-sweep-{worker.url}-{slot}")
+                threads.append(thread)
+                thread.start()
+        for thread in threads:
+            thread.join()
+        # jobs no healthy worker could take (every worker excluded)
+        for index in range(total):
+            if index not in state.results:
+                state.finish(JobResult(
+                    index=index, kind="crash",
+                    error="no healthy remote workers remain"))
+        return [state.results[index] for index in range(total)]
+
+    def describe(self) -> dict:
+        return {"backend": self.name, "workers": self.workers,
+                "inflightPerWorker": self.inflight_per_worker,
+                "remoteWorkers": [w.to_json() for w in self._workers]}
+
+
+class _RemoteRun:
+    """Shared state of one :meth:`RemoteBackend.run` invocation."""
+
+    def __init__(self, backend: RemoteBackend, payloads: Sequence[dict],
+                 on_result: OnResult, on_dispatch: OnDispatch):
+        self.backend = backend
+        self.payloads = payloads
+        self.on_result = on_result
+        self.on_dispatch = on_dispatch
+        self.pending: Deque[_PendingJob] = deque(
+            _PendingJob(index) for index in range(len(payloads)))
+        self.results: Dict[int, JobResult] = {}
+        self.outstanding = 0
+
+    # -- locked helpers ------------------------------------------------
+    def finish(self, result: JobResult) -> None:
+        with self.backend._lock:
+            self.results[result.index] = result
+            self.backend._wake.notify_all()
+        if self.on_result is not None:
+            self.on_result(result)
+
+    def _take_locked(self, worker: _RemoteWorker) -> Optional[_PendingJob]:
+        """Next pending job this worker may run (its own past failure
+        excludes it — unless it is the only worker left standing)."""
+        alone = all(w.excluded or w is worker
+                    for w in self.backend._workers)
+        for position, job in enumerate(self.pending):
+            if job.excluded_url == worker.url and not alone:
+                continue
+            del self.pending[position]
+            return job
+        return None
+
+    # -- worker thread -------------------------------------------------
+    def serve(self, worker: _RemoteWorker) -> None:
+        backend = self.backend
+        client = backend._client_factory(worker)
+        try:
+            while True:
+                with backend._lock:
+                    job = None
+                    while job is None:
+                        if worker.excluded:
+                            return
+                        if len(self.results) == len(self.payloads):
+                            return
+                        job = self._take_locked(worker)
+                        if job is None:
+                            if self.outstanding == 0 and not self.pending:
+                                return
+                            # a retry may be requeued for us: wait, bounded
+                            backend._wake.wait(0.05)
+                    job.attempts += 1
+                    self.outstanding += 1
+                    worker.dispatched += 1
+                if self.on_dispatch is not None:
+                    self.on_dispatch(job.index, worker.url)
+                self._execute(client, worker, job)
+        finally:
+            client.close()
+
+    def _execute(self, client, worker: _RemoteWorker,
+                 job: _PendingJob) -> None:
+        backend = self.backend
+        started = time.monotonic()
+        try:
+            reply = client.worker_execute(self.payloads[job.index])
+        except TimeoutError:
+            if backend.job_timeout_s is None:
+                # no job budget configured: a socket timeout is just a
+                # slow/dead transport — retry like any other failure
+                self._retry_or_crash(worker, job, started)
+                return
+            # enforced client-side; matches the process pool's message so
+            # timeout records are identical across backends.  No retry.
+            self._settle(worker, job, JobResult(
+                index=job.index, kind="timeout",
+                error=f"job exceeded {backend.job_timeout_s:g}s timeout",
+                worker=worker.url, elapsed_s=time.monotonic() - started),
+                transport_failure=False)
+            return
+        except Exception as exc:  # noqa: BLE001 - refused/reset/rejected
+            from repro.server.protocol import ApiError
+            if isinstance(exc, ApiError):
+                # an HTTP error reply is deterministic (bad payload, not
+                # a bad worker): final on first answer, like ok=False
+                self._settle(worker, job, JobResult(
+                    index=job.index, kind="error",
+                    error=f"worker rejected job: {exc}", worker=worker.url,
+                    elapsed_s=time.monotonic() - started),
+                    transport_failure=False)
+                return
+            self._retry_or_crash(worker, job, started)
+            return
+        elapsed = time.monotonic() - started
+        if reply.get("ok"):
+            result = JobResult(index=job.index, kind="ok",
+                               value=reply.get("value"), worker=worker.url,
+                               elapsed_s=elapsed)
+        else:
+            result = JobResult(index=job.index,
+                               kind=str(reply.get("kind", "error")),
+                               error=str(reply.get("error", "?")),
+                               worker=worker.url, elapsed_s=elapsed)
+        self._settle(worker, job, result, transport_failure=False)
+
+    def _settle(self, worker: _RemoteWorker, job: _PendingJob,
+                result: JobResult, transport_failure: bool) -> None:
+        with self.backend._lock:
+            self.outstanding -= 1
+            if transport_failure:
+                self._note_failure_locked(worker)
+            else:
+                worker.consecutive_failures = 0
+                if result.ok:
+                    worker.ok += 1
+        self.finish(result)
+
+    def _retry_or_crash(self, worker: _RemoteWorker, job: _PendingJob,
+                        started: float) -> None:
+        """Transport failure mid-job: re-dispatch once, then give up."""
+        with self.backend._lock:
+            self.outstanding -= 1
+            self._note_failure_locked(worker)
+            if job.attempts <= 1:
+                job.excluded_url = worker.url
+                self.pending.append(job)
+                self.backend._wake.notify_all()
+                return
+        self.finish(JobResult(index=job.index, kind="crash",
+                              error=_CRASH_MESSAGE, worker=worker.url,
+                              elapsed_s=time.monotonic() - started))
+
+    def _note_failure_locked(self, worker: _RemoteWorker) -> None:
+        worker.failures += 1
+        worker.consecutive_failures += 1
+        if worker.consecutive_failures >= self.backend.fail_threshold:
+            worker.excluded = True
+            self.backend._wake.notify_all()
+
+
+def resolve_backend(name: Optional[str], workers: Optional[int] = None,
+                    job_timeout_s: Optional[float] = None,
+                    start_method: Optional[str] = None,
+                    worker_urls: Sequence[str] = ()) -> ExecutionBackend:
+    """Build a backend from CLI-shaped arguments.
+
+    ``name=None`` keeps the historical inference: ``workers == 0`` is
+    serial, anything else the process pool.
+    """
+    if name is None:
+        name = "serial" if workers == 0 else "process"
+    if name == "serial":
+        return SerialBackend()
+    if name == "process":
+        return ProcessBackend(workers=workers or None,
+                              job_timeout_s=job_timeout_s,
+                              start_method=start_method)
+    if name == "remote":
+        return RemoteBackend(worker_urls, job_timeout_s=job_timeout_s)
+    raise ValueError(f"unknown backend {name!r} "
+                     f"(one of {list(BACKEND_NAMES)})")

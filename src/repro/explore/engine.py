@@ -1,13 +1,15 @@
-"""Sweep execution engine: plan -> run (serial or pooled) -> records.
+"""Sweep execution engine: plan -> run (on a pluggable backend) -> records.
 
 ``run_sweep`` is the one entry point every layer shares (CLI mode, server
-endpoints, the ported ablation benches, the scaling benchmark).  With
-``workers=0`` it is literally the hand-rolled serial loop the ablation
-suites used to be; with ``workers=N`` the identical job payloads run on a
-:class:`repro.explore.pool.ProcessWorkerPool`.  Records carry no host-side
-timing, so the two modes produce **bit-identical per-run statistics** —
-the property the scaling benchmark pins — while wall-clock scales with the
-worker count.
+endpoints, the ported ablation benches, the scaling benchmark).  Execution
+is delegated to an :class:`repro.explore.backend.ExecutionBackend`:
+``workers=0`` resolves to the in-process serial loop, ``workers=N`` to the
+local process pool, and an explicit ``backend=`` (e.g. a
+:class:`repro.explore.backend.RemoteBackend` over a worker fleet) plugs in
+anything else.  Records carry no host-side timing, so **every backend
+produces bit-identical per-run statistics** — the property the scaling
+benchmark and the distributed smoke test pin — while wall-clock scales
+with the backend's parallelism.
 """
 
 from __future__ import annotations
@@ -16,10 +18,10 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Union
 
+from repro.explore.backend import ExecutionBackend, resolve_backend
 from repro.explore.plan import Job, plan_jobs
-from repro.explore.pool import JobResult, ProcessWorkerPool
+from repro.explore.pool import JobResult
 from repro.explore.report import SweepReport
-from repro.explore.runner import execute_payload
 from repro.explore.spec import SweepSpec
 from repro.explore.store import ResultStore
 
@@ -31,13 +33,25 @@ RUNNER_TASK = "repro.explore.runner:execute_payload"
 
 @dataclass
 class SweepRun:
-    """A finished sweep: ordered records plus execution metadata."""
+    """A finished sweep: ordered records plus execution metadata.
+
+    ``records`` is the deterministic, backend-independent payload;
+    ``backend``/``workers``/``elapsed_s``/``timings``/``execution`` are
+    host-side metadata (never merged into the records, so the JSONL
+    mirror stays byte-identical across backends).
+    """
 
     spec: SweepSpec
     jobs: List[Job]
     records: List[dict] = field(default_factory=list)
     workers: int = 0
     elapsed_s: float = 0.0
+    backend: str = "serial"
+    #: per-job host-side timing, in job-index order:
+    #: {"index", "kind", "worker", "elapsedS"}
+    timings: List[dict] = field(default_factory=list)
+    #: backend.describe() taken after the run (per-worker health rows)
+    execution: dict = field(default_factory=dict)
 
     @property
     def ok_records(self) -> List[dict]:
@@ -54,11 +68,14 @@ class SweepRun:
         return {
             "name": self.spec.name,
             "jobs": len(self.jobs),
+            "backend": self.backend,
             "workers": self.workers,
             "elapsedS": round(self.elapsed_s, 4),
             "ok": len(self.ok_records),
             "failed": len(self.failures),
             "records": self.records,
+            "timings": self.timings,
+            "execution": self.execution,
         }
 
 
@@ -79,7 +96,11 @@ def run_sweep(spec: Union[SweepSpec, dict], workers: int = 0,
               store: Optional[ResultStore] = None,
               on_record: Optional[Callable[[dict], None]] = None,
               jobs: Optional[List[Job]] = None,
-              start_method: Optional[str] = None) -> SweepRun:
+              start_method: Optional[str] = None,
+              backend: Optional[ExecutionBackend] = None,
+              on_result: Optional[Callable[[JobResult], None]] = None,
+              on_dispatch: Optional[Callable[[int, object], None]] = None
+              ) -> SweepRun:
     """Plan and execute a sweep.
 
     Parameters
@@ -89,27 +110,39 @@ def run_sweep(spec: Union[SweepSpec, dict], workers: int = 0,
     workers:
         ``0`` — run every job in-process, in order (the serial baseline).
         ``>= 1`` — run on a process pool of that size with crash isolation
-        and the given per-job timeout.
+        and the given per-job timeout.  Ignored when ``backend`` is given.
     job_timeout_s:
-        Per-job wall-clock budget (pool mode only; the serial loop runs a
-        job to completion — its cycle budget already bounds it).
+        Per-job wall-clock budget (process/remote backends; the serial
+        loop runs a job to completion — its cycle budget already bounds
+        it).
     store:
         Optional :class:`ResultStore`; records are appended in job-index
         order after the run completes, so the JSONL mirror is deterministic.
     on_record:
-        Progress callback, fired in completion order.
+        Progress callback, fired in completion order with each record.
     jobs:
         A job list previously produced by :func:`plan_jobs` for this very
         spec — callers that already planned (the server's submit path)
         pass it through so a big grid is never expanded twice.  Planning
         is deterministic, so this is purely an optimization.
     start_method:
-        Multiprocessing start method for the pool.  Single-threaded
+        Multiprocessing start method for the process pool.  Single-threaded
         callers (CLI, benches) keep the platform default (``fork`` on
         Linux: fastest); **multi-threaded hosts must pass a fork-free
         method** (``forkserver``/``spawn``) — forking a threaded process
         can deadlock the child before it reaches the job loop.  The task
         is a dotted reference precisely so every method works.
+    backend:
+        An explicit :class:`ExecutionBackend` (e.g. ``RemoteBackend``).
+        The caller keeps ownership (it is *not* closed here), so one
+        backend — and its worker fleet health state — can serve many
+        sweeps.
+    on_result:
+        Raw :class:`JobResult` callback, fired in completion order —
+        host-side timing/worker metadata the record deliberately omits.
+    on_dispatch:
+        ``(index, worker)`` callback when a job is handed to a worker —
+        live queued/running introspection for the status endpoint.
     """
     if isinstance(spec, dict):
         spec = SweepSpec.from_json(spec)
@@ -117,36 +150,36 @@ def run_sweep(spec: Union[SweepSpec, dict], workers: int = 0,
         raise ValueError("workers must be >= 0 (0 = serial)")
     if jobs is None:
         jobs = plan_jobs(spec)
-    run = SweepRun(spec=spec, jobs=jobs, workers=workers)
-    started = time.monotonic()
-    if workers == 0:
-        for job in jobs:
-            t0 = time.monotonic()
-            try:
-                value = execute_payload(job.payload)
-                result = JobResult(index=job.index, kind="ok", value=value,
-                                   elapsed_s=time.monotonic() - t0)
-            except Exception as exc:  # noqa: BLE001 - per-job isolation
-                result = JobResult(index=job.index, kind="error",
-                                   error=f"{type(exc).__name__}: {exc}",
-                                   elapsed_s=time.monotonic() - t0)
-            record = _record_of(job, result)
-            run.records.append(record)
-            if on_record is not None:
-                on_record(record)
-    else:
-        def on_result(result: JobResult) -> None:
-            if on_record is not None:
-                on_record(_record_of(jobs[result.index], result))
+    owned = backend is None
+    if backend is None:
+        backend = resolve_backend(None, workers=workers,
+                                  job_timeout_s=job_timeout_s,
+                                  start_method=start_method)
+    run = SweepRun(spec=spec, jobs=jobs, workers=backend.workers,
+                   backend=backend.name)
 
-        with ProcessWorkerPool(RUNNER_TASK, workers=workers,
-                               job_timeout_s=job_timeout_s,
-                               start_method=start_method) as pool:
-            results = pool.map([job.payload for job in jobs],
-                               on_result=on_result)
-        run.records = [_record_of(job, result)
-                       for job, result in zip(jobs, results)]
+    def handle_result(result: JobResult) -> None:
+        if on_record is not None:
+            on_record(_record_of(jobs[result.index], result))
+        if on_result is not None:
+            on_result(result)
+
+    started = time.monotonic()
+    try:
+        results = backend.run([job.payload for job in jobs],
+                              on_result=handle_result,
+                              on_dispatch=on_dispatch)
+    finally:
+        if owned:
+            backend.close()
     run.elapsed_s = time.monotonic() - started
+    run.records = [_record_of(job, result)
+                   for job, result in zip(jobs, results)]
+    run.timings = [{"index": result.index, "kind": result.kind,
+                    "worker": result.worker,
+                    "elapsedS": round(result.elapsed_s, 6)}
+                   for result in results]
+    run.execution = backend.describe()
     if store is not None:
         store.extend(run.records)
     return run

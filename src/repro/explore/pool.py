@@ -209,12 +209,15 @@ class ProcessWorkerPool:
 
     # ------------------------------------------------------------------
     def map(self, payloads: Sequence[object],
-            on_result: Optional[Callable[[JobResult], None]] = None
+            on_result: Optional[Callable[[JobResult], None]] = None,
+            on_dispatch: Optional[Callable[[int, object], None]] = None
             ) -> List[JobResult]:
         """Run every payload; return results ordered by submission index.
 
         ``on_result`` (optional) fires in *completion* order as each job
-        finishes — progress reporting for long sweeps.
+        finishes — progress reporting for long sweeps.  ``on_dispatch``
+        (optional) fires with ``(index, worker_id)`` the moment a job is
+        handed to a worker — live queued/running introspection.
         """
         if self._closed:
             raise RuntimeError("pool is closed")
@@ -259,6 +262,8 @@ class ProcessWorkerPool:
                 worker.started = time.monotonic()
                 worker.deadline = (worker.started + self.job_timeout_s
                                    if self.job_timeout_s else None)
+                if on_dispatch is not None:
+                    on_dispatch(index, worker.wid)
             busy = [w for w in self._pool if not w.idle]
             if not busy:  # pragma: no cover - defensive (dispatch failed)
                 continue

@@ -3,11 +3,19 @@
 ``execute_payload`` is the :class:`repro.explore.pool.ProcessWorkerPool`
 task (referenced as ``"repro.explore.runner:execute_payload"`` so spawned
 workers import it instead of unpickling a closure).  It is also called
-directly by the serial execution path, which is what makes serial and
-parallel sweeps bit-identical: the exact same function produces the record
-either way, and the record deliberately contains **no host-side timing** —
-only simulated quantities, which are deterministic for a (program, config)
+directly by the serial execution path and by the remote sweep worker's
+``/worker/execute`` endpoint, which is what makes all execution backends
+bit-identical: the exact same function produces the record everywhere,
+and the record deliberately contains **no host-side timing** — only
+simulated quantities, which are deterministic for a (program, config)
 pair.
+
+Per-job setup (C compile, assembly) goes through a content-addressed
+:class:`repro.explore.artifacts.ArtifactCache`, so design points that
+share a program skip re-compiling/re-assembling it.  Cache hits are
+byte-identical to cold builds by construction (artifacts are addressed
+by the content of every input), so the determinism pin holds warm or
+cold.
 """
 
 from __future__ import annotations
@@ -16,44 +24,49 @@ from typing import Optional
 
 from repro.core.config import CpuConfig
 from repro.errors import ReproError
-from repro.memory.layout import MemoryLocation
+from repro.explore.artifacts import ArtifactCache, default_cache
 from repro.sim.energy import estimate_area, estimate_energy
 from repro.sim.simulation import Simulation
 
-__all__ = ["execute_payload", "JobError"]
+__all__ = ["execute_payload", "build_simulation", "JobError"]
 
 
 class JobError(ReproError):
     """A sweep job failed for a reportable, per-job reason."""
 
 
-def _build_simulation(payload: dict) -> Simulation:
-    program = payload.get("program") or {}
-    source: Optional[str] = program.get("source")
+def build_simulation(payload: dict,
+                     cache: Optional[ArtifactCache] = None) -> Simulation:
+    """Per-job setup: payload -> ready-to-run :class:`Simulation`.
+
+    All the work a cache hit elides lives here (compile, assemble); the
+    benchmark suite times this function cold vs warm.  *cache* defaults
+    to the process-wide cache (:func:`repro.explore.artifacts.default_cache`).
+    """
+    if cache is None:
+        cache = default_cache()
+    program_spec = payload.get("program") or {}
+    source: Optional[str] = program_spec.get("source")
     if source is None:
-        c_source = program.get("c")
+        c_source = program_spec.get("c")
         if c_source is None:
-            raise JobError(f"program '{program.get('name', '?')}' carries "
-                           f"neither assembly nor C source")
-        from repro.compiler.driver import compile_c
+            raise JobError(f"program '{program_spec.get('name', '?')}' "
+                           f"carries neither assembly nor C source")
         level = int(payload.get("optimizeLevel",
-                                program.get("optimizeLevel", 1)))
-        result = compile_c(c_source, level)
-        if not result.success:
-            raise JobError(f"C compilation failed at O{level}: "
-                           f"{result.errors}")
-        source = result.assembly
+                                program_spec.get("optimizeLevel", 1)))
+        source = cache.compiled_assembly(c_source, level)
     config = CpuConfig.from_json(payload["config"])
     if payload.get("maxCycles") is not None:
         config.max_cycles = int(payload["maxCycles"])
-    memory = [MemoryLocation.from_json(d)
-              for d in program.get("memory", [])]
-    entry = payload.get("entry", program.get("entry"))
-    return Simulation.from_source(source, config=config, entry=entry,
-                                  memory_locations=memory)
+    entry = payload.get("entry", program_spec.get("entry"))
+    program = cache.assembled_program(
+        source, stack_size=config.memory.call_stack_size, entry=entry,
+        memory_locations=program_spec.get("memory", []))
+    return Simulation(program, config)
 
 
-def execute_payload(payload: dict) -> dict:
+def execute_payload(payload: dict,
+                    cache: Optional[ArtifactCache] = None) -> dict:
     """Run one planned job; return its per-run statistics record body.
 
     The summary covers every metric the paper's evaluation compares —
@@ -63,7 +76,7 @@ def execute_payload(payload: dict) -> dict:
     off the record alone.  ``collect: "full"`` additionally embeds the
     complete statistics page.
     """
-    simulation = _build_simulation(payload)
+    simulation = build_simulation(payload, cache)
     result = simulation.run()
     cpu = simulation.cpu
     stats = result.statistics

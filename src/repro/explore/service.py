@@ -9,6 +9,7 @@ for a bounded number of finished sweeps (oldest evicted first).
 
 from __future__ import annotations
 
+import math
 import multiprocessing
 import threading
 import time
@@ -22,7 +23,19 @@ from repro.explore.pool import default_worker_count
 from repro.explore.report import METRICS, MetricError, SweepReport
 from repro.explore.spec import SweepSpec, SweepSpecError
 
-__all__ = ["ExploreManager", "SweepState"]
+__all__ = ["ExploreManager", "SweepState", "nearest_rank"]
+
+
+def nearest_rank(ordered: List[float], quantile: float) -> float:
+    """Nearest-rank percentile over an ascending-sorted list.
+
+    The textbook rule — ``ceil(q * n)``-th smallest — so p50 of
+    ``[1, 2, 3, 4, 5]`` is the 3rd element (the median), where a
+    ``round()``-based index would land on the 2nd via banker's rounding.
+    Shared by the status payload and the CLI execution summary, so the
+    two never disagree about the same sweep's distribution."""
+    index = max(0, math.ceil(quantile * len(ordered)) - 1)
+    return ordered[index]
 
 
 class SweepState:
@@ -30,7 +43,8 @@ class SweepState:
 
     __slots__ = ("id", "spec", "jobs", "workers", "job_timeout_s", "state",
                  "total", "completed", "failed", "records", "error",
-                 "submitted", "started", "finished", "elapsed_s")
+                 "submitted", "started", "finished", "elapsed_s",
+                 "backend", "running", "dispatched", "elapsed_jobs")
 
     def __init__(self, spec: SweepSpec, jobs: list, workers: int,
                  job_timeout_s: Optional[float] = None):
@@ -49,8 +63,19 @@ class SweepState:
         self.started: Optional[float] = None
         self.finished: Optional[float] = None
         self.elapsed_s = 0.0
+        self.backend = "serial" if workers == 0 else "process"
+        #: job indices currently on a worker (dispatched, not finished)
+        self.running: set = set()
+        #: every job index ever handed to a worker
+        self.dispatched: set = set()
+        #: host-side wall time of each finished job, completion order
+        self.elapsed_jobs: List[float] = []
 
     def status_json(self) -> dict:
+        """Progress payload — enriched so a long sweep is observable
+        without pulling the full ``/explore/result``: the per-job
+        wall-time distribution (min/p50/p90/max, :func:`nearest_rank`)
+        plus which job ids are in flight and which still queue."""
         data = {
             "sweepId": self.id,
             "name": self.spec.name,
@@ -58,8 +83,20 @@ class SweepState:
             "jobs": self.total,
             "completed": self.completed,
             "failed": self.failed,
+            "backend": self.backend,
             "workers": self.workers,
+            "runningJobs": sorted(self.running),
+            "queuedJobs": [index for index in range(self.total)
+                           if index not in self.dispatched],
         }
+        if self.elapsed_jobs:
+            ordered = sorted(self.elapsed_jobs)
+            data["jobWallTime"] = {
+                "minS": round(ordered[0], 4),
+                "p50S": round(nearest_rank(ordered, 0.5), 4),
+                "p90S": round(nearest_rank(ordered, 0.9), 4),
+                "maxS": round(ordered[-1], 4),
+            }
         if self.state in ("done", "failed"):
             data["elapsedS"] = round(self.elapsed_s, 4)
         if self.error is not None:
@@ -180,28 +217,39 @@ class ExploreManager:
                 state.state = "running"
                 state.started = time.monotonic()
 
-            def on_record(record: dict, state: SweepState = state) -> None:
+            def on_dispatch(index: int, _worker: object,
+                            state: SweepState = state) -> None:
                 with self._lock:
+                    state.dispatched.add(index)
+                    state.running.add(index)
+
+            def on_result(result, state: SweepState = state) -> None:
+                with self._lock:
+                    state.running.discard(result.index)
                     state.completed += 1
-                    if not record.get("ok"):
+                    if not result.ok:
                         state.failed += 1
+                    state.elapsed_jobs.append(result.elapsed_s)
 
             try:
                 run = run_sweep(state.spec, workers=state.workers,
                                 job_timeout_s=state.job_timeout_s,
                                 jobs=state.jobs,
-                                on_record=on_record,
+                                on_dispatch=on_dispatch,
+                                on_result=on_result,
                                 start_method=self.start_method)
                 with self._lock:
                     state.records = run.records
                     state.completed = len(run.records)
                     state.failed = len(run.failures)
                     state.elapsed_s = run.elapsed_s
+                    state.running.clear()
                     state.state = "done"
                     state.finished = time.monotonic()
             except Exception as exc:  # noqa: BLE001 - keep serving
                 with self._lock:
                     state.error = f"{type(exc).__name__}: {exc}"
+                    state.running.clear()
                     state.state = "failed"
                     state.finished = time.monotonic()
                     state.elapsed_s = state.finished - (state.started

@@ -38,7 +38,16 @@ class SimClient:
             self._conn = None
 
     def request(self, method: str, path: str,
-                payload: Optional[dict] = None) -> dict:
+                payload: Optional[dict] = None,
+                retry_stale: bool = True) -> dict:
+        """One JSON request/response exchange.
+
+        ``retry_stale=False`` disables the transparent once-retry on a
+        broken keep-alive connection — callers with their own retry
+        policy (the remote sweep backend) must see the first transport
+        failure, not a silently re-sent request that could execute the
+        same job twice.
+        """
         body = None
         headers = {"Accept": "application/json"}
         if self.use_gzip:
@@ -54,6 +63,8 @@ class SimClient:
         except (http.client.HTTPException, OSError):
             # stale keep-alive connection: retry once on a fresh one
             self.close()
+            if not retry_stale:
+                raise
             conn = self._connection()
             conn.request(method, path, body=body, headers=headers)
             response = conn.getresponse()
@@ -137,3 +148,14 @@ class SimClient:
         is still queued/running — poll :meth:`explore_status` first)."""
         return self.request("POST", "/explore/result",
                             {"sweepId": sweep_id, "metric": metric})
+
+    # -- distributed sweep worker (protocol v4) -------------------------
+    def worker_execute(self, job_payload: dict) -> dict:
+        """Run one planned sweep job on a remote sweep worker.
+
+        Returns the worker's ``{"ok", "value" | "kind"/"error", ...}``
+        reply.  The stale-connection retry is off: the caller
+        (:class:`repro.explore.backend.RemoteBackend`) owns retry policy,
+        and a transparently re-sent job could execute twice."""
+        return self.request("POST", "/worker/execute",
+                            {"payload": job_payload}, retry_stale=False)

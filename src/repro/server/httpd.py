@@ -122,8 +122,15 @@ class SimServer(ThreadingHTTPServer):
 def serve(host: str = "127.0.0.1", port: int = 8045,
           enable_gzip: bool = True, overhead_ms: float = 0.0,
           verbose: bool = True, session_workers: Optional[int] = None,
-          explore_workers: Optional[int] = None) -> None:
-    """Run the server in the foreground (``repro-server`` entry point)."""
+          explore_workers: Optional[int] = None,
+          role: str = "simulation server") -> None:
+    """Run the server in the foreground (``repro-server`` entry point).
+
+    *role* only changes the banner: a distributed-sweep worker
+    (``repro-sim worker``) is a full repro-server whose expected traffic
+    is the protocol-v4 ``/worker/execute`` endpoint, so fleet operators
+    can tell the two apart in process listings and logs.
+    """
     from repro.explore.service import ExploreManager
     from repro.server.protocol import DEFAULT_SESSION_WORKERS
     # explicit None check: --session-workers 0 must reach KeyedThreadPool
@@ -133,11 +140,11 @@ def serve(host: str = "127.0.0.1", port: int = 8045,
               if session_workers is None else session_workers)
     server = SimServer((host, port), api=api, enable_gzip=enable_gzip,
                        overhead_ms=overhead_ms, verbose=verbose)
-    print(f"repro simulation server listening on http://{host}:{server.port}"
+    print(f"repro {role} listening on http://{host}:{server.port}"
           f" (gzip={'on' if enable_gzip else 'off'},"
           f" overhead={overhead_ms}ms,"
           f" session workers={api.session_pool.workers},"
-          f" explore workers={api.explore.workers})")
+          f" explore workers={api.explore.workers})", flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive

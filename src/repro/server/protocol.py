@@ -33,6 +33,7 @@ other behind it.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Optional, Sequence
 
 from repro.asm.parser import Assembler
@@ -40,6 +41,7 @@ from repro.compiler.driver import compile_c
 from repro.core.config import CpuConfig
 from repro.errors import (AsmSyntaxError, ConfigError, MemoryAccessError,
                           ReproError, SourceError)
+from repro.explore.artifacts import ArtifactCache
 from repro.explore.pool import KeyedThreadPool
 from repro.explore.report import MetricError
 from repro.explore.service import ExploreManager
@@ -52,9 +54,12 @@ from repro.sim.state import SNAPSHOT_SCHEMA_VERSION, RawJson
 #: payloads (``/session/step`` with ``"delta": true``), the
 #: ``/session/memory`` view, checkpointed seeking, and strict cycle-count
 #: validation.  v3 adds the ``/explore/*`` design-space sweep endpoints
-#: and moves session simulation onto a worker pool (no wire change for
-#: session clients; v1/v2 clients keep working).
-PROTOCOL_VERSION = 3
+#: and moves session simulation onto a worker pool.  v4 adds the
+#: ``/worker/execute`` sweep-worker endpoint (distributed sweeps fan jobs
+#: out to a fleet of these servers), checkpoint-ring memory gauges on the
+#: ``session/*`` payloads, and the enriched ``/explore/status`` (wall-time
+#: summary, queued/running job ids).  v1-v3 clients keep working.
+PROTOCOL_VERSION = 4
 
 #: executors session work is dispatched onto (per-session FIFO queues keep
 #: request order; the count bounds how many sessions simulate at once)
@@ -143,6 +148,9 @@ SCHEMA = {
          "body": {"sweepId": "id"}},
         {"method": "POST", "path": "/explore/result",
          "body": {"sweepId": "id", "metric": "ranking metric?"}},
+        {"method": "POST", "path": "/worker/execute",
+         "body": {"payload": "one planned sweep-job payload "
+                             "(see repro.explore.plan)"}},
         {"method": "GET", "path": "/schema"},
         {"method": "GET", "path": "/health"},
     ],
@@ -167,6 +175,10 @@ class Api:
         self.explore = explore if explore is not None else ExploreManager()
         self.session_pool = KeyedThreadPool(session_workers,
                                             name="session-worker")
+        #: per-server artifact cache consulted by /worker/execute: a
+        #: remote sweep worker compiles/assembles each distinct program
+        #: once, then serves repeats from memory (see repro.explore.artifacts)
+        self.artifacts = ArtifactCache()
 
     def close(self) -> None:
         """Stop the worker pools (tests; server shutdown)."""
@@ -205,6 +217,8 @@ class Api:
             return self.explore_status(payload)
         if route == ("POST", "/explore/result"):
             return self.explore_result(payload)
+        if route == ("POST", "/worker/execute"):
+            return self.worker_execute(payload)
         raise ApiError(f"no such endpoint: {method} {path}", status=404)
 
     # ------------------------------------------------------------------
@@ -285,6 +299,19 @@ class Api:
             raise ApiError(f"'{key}' must be an integer, got {value!r}")
         return value
 
+    @staticmethod
+    def _checkpoint_gauge(session) -> dict:
+        """Checkpoint-ring memory accounting for session payloads.
+
+        ``bytesRetained`` counts shared frozen page blobs once (see
+        ``CheckpointRing.bytes_retained``), so clients — and operators
+        sizing ``checkpoint_capacity`` — see the ring's real footprint,
+        not capacity x machine size.  Cheap per request: the walk is
+        cached per ring generation."""
+        ring = session.simulation.checkpoints
+        return {"count": len(ring), "capacity": ring.capacity,
+                "bytesRetained": ring.bytes_retained()}
+
     def session_step(self, payload: dict) -> dict:
         session = self._session(payload)
         cycles = self._parse_int(payload, "cycles", default=1)
@@ -314,6 +341,7 @@ class Api:
                 else:
                     out["stateFormat"] = "full"
                     out["state"] = session.serve_state()
+                out["checkpoints"] = self._checkpoint_gauge(session)
             return out
 
         # simulate on a session executor, not the HTTP thread: the pool's
@@ -329,7 +357,8 @@ class Api:
                 return {"success": True,
                         "protocolVersion": PROTOCOL_VERSION,
                         "stateFormat": "full",
-                        "state": session.serve_state()}
+                        "state": session.serve_state(),
+                        "checkpoints": self._checkpoint_gauge(session)}
 
         return self.session_pool.run(session.id, work)
 
@@ -349,7 +378,8 @@ class Api:
                 return {"success": True,
                         "protocolVersion": PROTOCOL_VERSION,
                         "stateFormat": "full",
-                        "state": session.serve_state()}
+                        "state": session.serve_state(),
+                        "checkpoints": self._checkpoint_gauge(session)}
 
         return self.session_pool.run(session.id, work)
 
@@ -466,6 +496,49 @@ class Api:
         except MetricError as exc:
             raise ApiError(str(exc)) from exc
         out["success"] = state.state == "done"
+        return out
+
+    # -- distributed sweep worker (protocol v4) -------------------------
+    def worker_execute(self, payload: dict) -> dict:
+        """Execute one planned sweep job and return its outcome.
+
+        The unit the :class:`repro.explore.backend.RemoteBackend` fans
+        out: the body carries one self-contained job payload (program
+        source + resolved architecture JSON, as produced by
+        ``repro.explore.plan``), the reply mirrors a pool
+        :class:`repro.explore.pool.JobResult` — ``ok`` with the
+        deterministic record ``value``, or ``ok: false`` with the same
+        ``TypeName: message`` error string every other backend produces,
+        so failure records stay byte-identical across backends.  Jobs run
+        on the connection thread (the dispatching backend bounds its
+        in-flight window client-side); per-job setup hits this server's
+        in-memory artifact cache, so repeated-program grids compile and
+        assemble each program once per worker.
+
+        Known limitation: a job abandoned by a client-side timeout keeps
+        simulating here until its *cycle budget* halts it — bounded (every
+        payload carries ``maxCycles`` or the config default), but the
+        worker burns CPU on it meanwhile; the process pool kills such
+        workers instead.  Cooperative server-side cancellation is a
+        ROADMAP item.
+        """
+        job = payload.get("payload")
+        if not isinstance(job, dict):
+            raise ApiError("'payload' (one planned sweep-job object, see "
+                           "repro.explore.plan) is required")
+        from repro.explore.runner import execute_payload
+        started = time.monotonic()
+        out = {"success": True, "protocolVersion": PROTOCOL_VERSION}
+        try:
+            out["ok"] = True
+            out["value"] = execute_payload(job, cache=self.artifacts)
+        except Exception as exc:  # noqa: BLE001 - job isolation, as the
+            # serial loop / pool worker: report, never die
+            out["ok"] = False
+            out["kind"] = "error"
+            out["error"] = f"{type(exc).__name__}: {exc}"
+        out["elapsedS"] = round(time.monotonic() - started, 6)
+        out["artifactCache"] = self.artifacts.stats()
         return out
 
 

@@ -136,6 +136,12 @@ class CheckpointRing:
         self.capacity = capacity
         #: cycle -> Checkpoint, in LRU order (front = least recently used)
         self._ring: "OrderedDict[int, Checkpoint]" = OrderedDict()
+        #: content generation: bumped whenever the stored set changes, so
+        #: the bytes_retained() walk is amortized across the steps between
+        #: checkpoints (the hot session/step path reads the gauge per
+        #: request, but checkpoints only land every `interval` cycles)
+        self._generation = 0
+        self._retained_cache: Optional[Tuple[int, int]] = None
 
     # ------------------------------------------------------------------
     def due(self, cycle: int) -> bool:
@@ -153,6 +159,7 @@ class CheckpointRing:
                     break
             else:  # pragma: no cover - capacity >= 2 keeps cycle 0
                 break
+        self._generation += 1
         return checkpoint
 
     def nearest(self, target: int) -> Optional[Checkpoint]:
@@ -169,8 +176,48 @@ class CheckpointRing:
         """Stored checkpoint cycles, sorted (introspection / tests)."""
         return sorted(self._ring)
 
+    def bytes_retained(self) -> int:
+        """Estimated bytes the stored checkpoints actually retain.
+
+        Page-compressed checkpoints (``MainMemory.save_state``) share
+        clean-page blobs *by reference* across checkpoints, so the ring's
+        real footprint is workload-dependent — summing per-checkpoint
+        sizes would count a shared 1 KiB page once per checkpoint that
+        references it.  This walk deduplicates by object identity:
+        every reachable container/blob is measured exactly once no matter
+        how many checkpoints share it, which is precisely the number a
+        server needs to size ``checkpoint_capacity`` per session.
+
+        The walk is cached per ring generation (put/clear bump it), so
+        between checkpoints the gauge is a dictionary lookup.  Sizes come
+        from ``sys.getsizeof`` — shallow for exotic leaf objects, exact
+        for the bytes/tuples/dicts/lists checkpoints are made of.
+        """
+        cached = self._retained_cache
+        if cached is not None and cached[0] == self._generation:
+            return cached[1]
+        import sys
+        seen = set()
+        total = 0
+        stack: List[object] = [cp.state for cp in self._ring.values()]
+        while stack:
+            node = stack.pop()
+            marker = id(node)
+            if marker in seen:
+                continue
+            seen.add(marker)
+            total += sys.getsizeof(node)
+            if isinstance(node, dict):
+                stack.extend(node.keys())
+                stack.extend(node.values())
+            elif isinstance(node, (list, tuple, set, frozenset)):
+                stack.extend(node)
+        self._retained_cache = (self._generation, total)
+        return total
+
     def clear(self) -> None:
         self._ring.clear()
+        self._generation += 1
 
     def __len__(self) -> int:
         return len(self._ring)

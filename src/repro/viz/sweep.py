@@ -8,7 +8,7 @@ and assertable in tests.
 
 from __future__ import annotations
 
-__all__ = ["render_sweep_report"]
+__all__ = ["render_sweep_report", "render_execution_summary"]
 
 #: pairwise matrices beyond this many runs stop being readable as text
 _MATRIX_LIMIT = 12
@@ -74,6 +74,68 @@ def render_sweep_report(report) -> str:
         lines.append("")
 
     for record in report.failed:
-        lines.append(f"FAILED {record.get('label')}: "
+        # job id + axis values: a failed grid point must map back to its
+        # config without cross-referencing the spec
+        point = ", ".join(f"{k}={v}"
+                          for k, v in record.get("point", {}).items())
+        where = f" [job {record.get('index', '?')}" \
+                + (f"; {point}]" if point else "]")
+        lines.append(f"FAILED {record.get('label')}{where}: "
                      f"{record.get('kind', 'error')}: {record.get('error')}")
     return "\n".join(line.rstrip() for line in lines).rstrip() + "\n"
+
+
+def _wall_time_cells(elapsed: list) -> str:
+    if not elapsed:
+        return "-"
+    # the status endpoint's percentile rule, so the CLI summary and
+    # /explore/status never disagree about the same sweep
+    from repro.explore.service import nearest_rank
+    ordered = sorted(elapsed)
+    return (f"min {ordered[0] * 1e3:.1f} ms "
+            f"/ p50 {nearest_rank(ordered, 0.5) * 1e3:.1f} ms "
+            f"/ p90 {nearest_rank(ordered, 0.9) * 1e3:.1f} ms "
+            f"/ max {ordered[-1] * 1e3:.1f} ms")
+
+
+def render_execution_summary(run_json: dict) -> str:
+    """Host-side execution view of one sweep (``SweepRun.to_json()``).
+
+    Per-backend and per-worker columns: which worker ran how many jobs,
+    how the per-job wall time distributed, and — for the remote backend —
+    each fleet member's health row.  All of this is metadata the records
+    deliberately omit (they must stay bit-identical across backends), so
+    it renders separately from the comparison report."""
+    timings = run_json.get("timings") or []
+    if not timings:
+        return ""
+    lines = [f"execution ({run_json.get('backend', '?')} backend, "
+             f"{run_json.get('workers', 0)} workers, "
+             f"{run_json.get('elapsedS', 0)}s wall):",
+             f"  per-job wall time: "
+             f"{_wall_time_cells([t['elapsedS'] for t in timings])}"]
+    by_worker = {}
+    for timing in timings:
+        entry = by_worker.setdefault(timing.get("worker", "?"),
+                                     {"jobs": 0, "failed": 0, "busy": 0.0})
+        entry["jobs"] += 1
+        entry["failed"] += timing.get("kind") != "ok"
+        entry["busy"] += timing.get("elapsedS", 0.0)
+    health = {w.get("url"): w for w in
+              (run_json.get("execution") or {}).get("remoteWorkers", [])}
+    for worker, entry in sorted(by_worker.items(), key=lambda kv: str(kv[0])):
+        line = (f"  worker {worker}: {entry['jobs']} jobs "
+                f"({entry['failed']} failed), "
+                f"busy {entry['busy']:.2f}s")
+        info = health.pop(worker, None)
+        if info is not None and (info.get("failures") or
+                                 info.get("excluded")):
+            line += (f", transport failures {info['failures']}"
+                     + (", EXCLUDED" if info.get("excluded") else ""))
+        lines.append(line)
+    for url, info in health.items():     # fleet members that ran nothing
+        lines.append(f"  worker {url}: 0 jobs"
+                     + (f", transport failures {info.get('failures', 0)}"
+                        if info.get("failures") else "")
+                     + (", EXCLUDED" if info.get("excluded") else ""))
+    return "\n".join(lines) + "\n"

@@ -219,6 +219,68 @@ class TestExploreMode:
                      "--quiet"]) == 1
         assert "FAILED" in capsys.readouterr().out
 
+    def test_failure_summary_names_job_id_and_axis_values(self, tmp_path,
+                                                          capsys):
+        """A failed grid point must map back to its config: the summary
+        carries the job id and the axis values, not just a label."""
+        path = tmp_path / "half.json"
+        path.write_text(json.dumps({
+            "name": "half-broken",
+            "programs": [{"name": "bad", "source": "    frob x1\n"},
+                         {"name": "good", "source": PROGRAM}],
+            "axes": [{"name": "width", "path": "config.buffers.fetchWidth",
+                      "values": [1, 2]}],
+        }))
+        assert main(["explore", str(path), "--workers", "0",
+                     "--quiet"]) == 1
+        captured = capsys.readouterr()
+        # the report's FAILED lines carry job id + point...
+        assert "[job 0; program=bad, width=1]" in captured.out
+        # ...and so does the stderr summary (independent of --format)
+        assert "FAILED job 0 (program=bad, width=1): error:" in captured.err
+        assert "FAILED job 1 (program=bad, width=2)" in captured.err
+
+    def test_backend_serial_and_explicit_process(self, spec_file, capsys):
+        assert main(["explore", spec_file, "--backend", "serial",
+                     "--quiet"]) == 0
+        assert "serial backend" in capsys.readouterr().out
+        assert main(["explore", spec_file, "--backend", "process",
+                     "--workers", "2", "--quiet"]) == 0
+        assert "process backend" in capsys.readouterr().out
+
+    def test_backend_remote_runs_against_a_worker_fleet(self, spec_file,
+                                                        capsys):
+        workers = [SimServer(("127.0.0.1", 0)) for _ in range(2)]
+        for server in workers:
+            server.start_background()
+        try:
+            code = main(["explore", spec_file, "--backend", "remote",
+                         "--worker-url", f"127.0.0.1:{workers[0].port}",
+                         "--worker-url", f"127.0.0.1:{workers[1].port}"])
+            assert code == 0
+            out = capsys.readouterr().out
+            assert "remote backend" in out
+            assert "Design-space sweep: cli-sweep" in out
+            assert "execution (remote backend" in out
+            assert f"127.0.0.1:{workers[0].port}" in out
+        finally:
+            for server in workers:
+                server.shutdown()
+                server.server_close()
+
+    def test_backend_flag_validation(self, spec_file, capsys):
+        assert main(["explore", spec_file, "--backend", "remote"]) == 2
+        assert "--worker-url" in capsys.readouterr().err
+        assert main(["explore", spec_file, "--worker-url", "h:1"]) == 2
+        assert "requires --backend remote" in capsys.readouterr().err
+        assert main(["explore", spec_file, "--backend", "remote",
+                     "--worker-url", "h:1",
+                     "--host", "127.0.0.1"]) == 2
+        assert "cannot be combined" in capsys.readouterr().err
+        assert main(["explore", spec_file, "--backend", "remote",
+                     "--worker-url", "nonsense"]) == 2
+        assert "worker URL" in capsys.readouterr().err
+
     def test_remote_submission(self, spec_file, capsys):
         server = SimServer(("127.0.0.1", 0))
         server.start_background()
@@ -232,6 +294,62 @@ class TestExploreMode:
         finally:
             server.shutdown()
             server.server_close()
+
+
+class TestWorkerMode:
+    """`repro-sim worker` — the distributed-sweep worker serve mode."""
+
+    def test_worker_parser_defaults(self):
+        from repro.cli.main import build_worker_parser
+        args = build_worker_parser().parse_args([])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8046
+        assert not args.no_gzip
+
+    def test_worker_subprocess_serves_jobs(self):
+        import os
+        import pathlib
+        import re
+        import subprocess
+        import sys
+
+        repo = pathlib.Path(__file__).resolve().parents[2]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(repo / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli.main", "worker", "--port", "0"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, env=env)
+        try:
+            match = None
+            seen = []
+            for _ in range(5):             # interpreter warnings may lead
+                banner = proc.stdout.readline()
+                seen.append(banner)
+                match = re.search(r"sweep worker listening on "
+                                  r"http://127\.0\.0\.1:(\d+)", banner)
+                if match:
+                    break
+            assert match, f"no worker banner in: {seen!r}"
+            port = int(match.group(1))
+            from repro.explore.plan import plan_jobs
+            from repro.explore.spec import SweepSpec
+            from repro.server.client import SimClient
+            job = plan_jobs(SweepSpec.from_json({
+                "name": "smoke",
+                "programs": [{"name": "sum", "source": PROGRAM}],
+            }))[0]
+            client = SimClient("127.0.0.1", port, timeout=30.0)
+            try:
+                assert client.health()["status"] == "ok"
+                out = client.worker_execute(job.payload)
+                assert out["ok"] and out["value"]["stats"]["cycles"] > 0
+            finally:
+                client.close()
+        finally:
+            proc.terminate()
+            proc.wait(timeout=10)
 
 
 class TestExtensionFlags:

@@ -1,0 +1,158 @@
+"""Artifact-cache tests: content addressing, disk sharing, and the
+determinism pin that records are identical with a cold or warm cache."""
+
+import os
+
+import pytest
+
+from repro.explore.artifacts import (ARTIFACT_DIR_ENV, ArtifactCache,
+                                     default_cache, reset_default_cache)
+from repro.explore.runner import JobError, execute_payload
+from repro.explore.spec import SweepSpec
+from repro.explore.plan import plan_jobs
+
+SUM_LOOP = """
+    li a0, 0
+    li t0, 1
+    li t1, 40
+loop:
+    add a0, a0, t0
+    addi t0, t0, 1
+    ble t0, t1, loop
+    ebreak
+"""
+
+C_KERNEL = ("int main(void) { int s = 0; "
+            "for (int i = 1; i <= 12; i++) s += i; return s; }")
+
+
+def c_grid_spec():
+    return SweepSpec.from_json({
+        "name": "c-grid",
+        "programs": [{"name": "sum", "c": C_KERNEL, "entry": "main"}],
+        "axes": [{"name": "width", "path": "config.buffers.fetchWidth",
+                  "values": [1, 2, 4]}],
+    })
+
+
+class TestArtifactCache:
+    def test_compile_artifact_hits_after_first_build(self):
+        cache = ArtifactCache()
+        first = cache.compiled_assembly(C_KERNEL, 1)
+        second = cache.compiled_assembly(C_KERNEL, 1)
+        assert first == second
+        stats = cache.stats()
+        assert stats["compile"] == {"hits": 1, "misses": 1, "entries": 1}
+
+    def test_opt_level_is_part_of_the_address(self):
+        cache = ArtifactCache()
+        o0 = cache.compiled_assembly(C_KERNEL, 0)
+        o2 = cache.compiled_assembly(C_KERNEL, 2)
+        assert o0 != o2
+        assert cache.stats()["compile"]["misses"] == 2
+
+    def test_failed_compile_raises_and_is_not_cached(self):
+        cache = ArtifactCache()
+        for _ in range(2):
+            with pytest.raises(JobError, match="C compilation failed"):
+                cache.compiled_assembly("int main(void) { return x; }", 1)
+        assert cache.stats()["compile"]["misses"] == 2
+
+    def test_assembled_program_shared_within_a_process(self):
+        cache = ArtifactCache()
+        a = cache.assembled_program(SUM_LOOP, 512, None, [])
+        b = cache.assembled_program(SUM_LOOP, 512, None, [])
+        assert a is b
+        # a different stack size shapes the memory layout: new artifact
+        c = cache.assembled_program(SUM_LOOP, 1024, None, [])
+        assert c is not a
+        assert a.stack_pointer != c.stack_pointer
+
+    def test_memory_spec_is_part_of_the_address(self):
+        cache = ArtifactCache()
+        plain = cache.assembled_program(SUM_LOOP, 512, None, [])
+        with_data = cache.assembled_program(
+            SUM_LOOP, 512, None,
+            [{"name": "data", "dtype": "word", "values": [1, 2, 3]}])
+        assert with_data is not plain
+        assert with_data.find_symbol("data") is not None
+
+    def test_disk_tier_shared_across_cache_instances(self, tmp_path):
+        writer = ArtifactCache(directory=str(tmp_path))
+        assembly = writer.compiled_assembly(C_KERNEL, 1)
+        assert any(name.endswith(".json") for name in os.listdir(tmp_path))
+        reader = ArtifactCache(directory=str(tmp_path))
+        assert reader.compiled_assembly(C_KERNEL, 1) == assembly
+        stats = reader.stats()
+        assert stats["compile"]["hits"] == 1
+        assert stats["compile"]["misses"] == 0
+        assert stats["diskHits"] == 1
+
+    def test_corrupt_disk_entry_degrades_to_miss(self, tmp_path):
+        cache = ArtifactCache(directory=str(tmp_path))
+        cache.compiled_assembly(C_KERNEL, 1)
+        for name in os.listdir(tmp_path):
+            (tmp_path / name).write_text("{broken")
+        fresh = ArtifactCache(directory=str(tmp_path))
+        assert fresh.compiled_assembly(C_KERNEL, 1)
+        assert fresh.stats()["compile"]["misses"] == 1
+
+    def test_unwritable_directory_degrades_to_memory_only(self):
+        cache = ArtifactCache(directory="/proc/definitely/not/writable")
+        assert cache.compiled_assembly(C_KERNEL, 1)
+        assert cache.directory is None          # disk tier switched off
+        assert cache.compiled_assembly(C_KERNEL, 1)
+        assert cache.stats()["compile"]["hits"] == 1
+
+    def test_toolchain_fingerprint_invalidates_stale_disk_artifacts(
+            self, tmp_path, monkeypatch):
+        """An artifact compiled by an older code generator must never be
+        served after the toolchain changes: the fingerprint is part of
+        the content address, so stale entries simply miss."""
+        import repro.explore.artifacts as artifacts_module
+        writer = ArtifactCache(directory=str(tmp_path))
+        writer.compiled_assembly(C_KERNEL, 1)
+        monkeypatch.setattr(artifacts_module, "_toolchain_tag",
+                            "pretend-older-toolchain")
+        stale_reader = ArtifactCache(directory=str(tmp_path))
+        stale_reader.compiled_assembly(C_KERNEL, 1)
+        stats = stale_reader.stats()
+        assert stats["compile"]["misses"] == 1
+        assert stats["diskHits"] == 0
+
+    def test_default_cache_honors_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(ARTIFACT_DIR_ENV, str(tmp_path / "arts"))
+        reset_default_cache()
+        try:
+            assert default_cache().directory == str(tmp_path / "arts")
+            monkeypatch.setenv(ARTIFACT_DIR_ENV, "off")
+            reset_default_cache()
+            assert default_cache().directory is None
+        finally:
+            monkeypatch.undo()
+            reset_default_cache()
+
+
+class TestRunnerCacheDeterminism:
+    def test_records_identical_cold_vs_warm(self):
+        """The load-bearing property: a cache hit must never change a
+        record.  Same job twice on one warm cache == two cold caches."""
+        jobs = plan_jobs(c_grid_spec())
+        cold = [execute_payload(j.payload, cache=ArtifactCache())
+                for j in jobs]
+        warm_cache = ArtifactCache()
+        warm = [execute_payload(j.payload, cache=warm_cache)
+                for j in jobs]
+        assert warm == cold
+        stats = warm_cache.stats()
+        # one compile + one assemble, then hits for the remaining jobs
+        assert stats["compile"] == {"hits": 2, "misses": 1, "entries": 1}
+        assert stats["assemble"]["misses"] == 1
+        assert stats["assemble"]["hits"] == 2
+
+    def test_repeated_execution_on_shared_program_is_deterministic(self):
+        cache = ArtifactCache()
+        job = plan_jobs(c_grid_spec())[0]
+        first = execute_payload(job.payload, cache=cache)
+        second = execute_payload(job.payload, cache=cache)
+        assert first == second

@@ -54,6 +54,11 @@ class TestExamples:
         assert "records round-tripped" in out
         assert "0 failures" in out
 
+    def test_design_sweep_remote_fleet(self):
+        out = run_example("design_sweep.py", args=["--backend", "remote"])
+        assert "spawned worker fleet" in out
+        assert "records identical to the local pool run" in out
+
     def test_extensions_tour(self):
         out = run_example("extensions_tour.py")
         assert "pipelined" in out

@@ -158,6 +158,58 @@ class TestExploreEndpoints:
         finally:
             api.close()
 
+    def test_status_carries_wall_time_and_job_queues(self, api):
+        """The enriched status payload: per-job wall-time summary plus
+        queued/running job ids, so long sweeps are observable without
+        polling /explore/result."""
+        out = api.handle("POST", "/explore/submit",
+                         {"spec": tiny_spec("observable"), "workers": 0})
+        status = wait_done(api, out["sweepId"])
+        assert status["backend"] == "serial"
+        assert status["runningJobs"] == []
+        assert status["queuedJobs"] == []
+        wall = status["jobWallTime"]
+        assert 0 <= wall["minS"] <= wall["p50S"] \
+            <= wall["p90S"] <= wall["maxS"]
+
+    def test_nearest_rank_is_the_textbook_rule(self):
+        """p50 of an odd-length list is the median (ceil rule), not the
+        banker's-rounding neighbor — and the CLI execution summary uses
+        the very same function, so the two views cannot diverge."""
+        from repro.explore.service import nearest_rank
+        assert nearest_rank([1, 2, 3, 4, 5], 0.5) == 3
+        assert nearest_rank([1, 2, 3, 4], 0.5) == 2
+        assert nearest_rank([1, 2, 3, 4, 5], 0.9) == 5
+        assert nearest_rank([7], 0.9) == 7
+
+    def test_status_mid_run_shows_in_flight_jobs(self, api):
+        """While a sweep runs, status names the jobs on workers and the
+        jobs still queued (ids, not just counts)."""
+        slow = tiny_spec("in-flight")
+        slow["programs"][0]["source"] = "spin:\n    j spin\n"
+        slow["maxCycles"] = 60000
+        slow["axes"] = [{"name": "width",
+                         "path": "config.buffers.fetchWidth",
+                         "values": [1, 2, 4]}]
+        out = api.handle("POST", "/explore/submit",
+                         {"spec": slow, "workers": 0})
+        observed = False
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            status = api.handle("POST", "/explore/status",
+                                {"sweepId": out["sweepId"]})
+            if status["state"] in ("done", "failed"):
+                break
+            if status["state"] == "running" and status["runningJobs"]:
+                running = set(status["runningJobs"])
+                queued = set(status["queuedJobs"])
+                assert running.isdisjoint(queued)
+                assert running | queued <= {0, 1, 2}
+                observed = True
+            time.sleep(0.01)
+        assert observed, "never caught a job in flight"
+        wait_done(api, out["sweepId"])
+
     def test_failed_job_reported_in_result(self, api):
         spec = {
             "name": "half-broken",

@@ -135,6 +135,23 @@ class TestSessions:
                            {"sessionId": sid})["state"]
         assert state["cycle"] == 0
 
+    def test_session_payloads_carry_checkpoint_gauge(self, api):
+        """Every session/* status payload reports the checkpoint ring's
+        real memory footprint (shared frozen pages counted once)."""
+        sid = api.handle("POST", "/session/new", {"code": PROGRAM})["sessionId"]
+        for method, body in (("/session/state", {}),
+                             ("/session/step", {"cycles": 5}),
+                             ("/session/seek", {"cycle": 2})):
+            out = api.handle("POST", method, {"sessionId": sid, **body})
+            gauge = out["checkpoints"]
+            assert gauge["count"] >= 1              # cycle 0 is pinned
+            assert gauge["capacity"] >= gauge["count"]
+            assert gauge["bytesRetained"] > 0
+        # delta-format steps carry the gauge too
+        out = api.handle("POST", "/session/step",
+                         {"sessionId": sid, "cycles": 1, "delta": True})
+        assert out["checkpoints"]["bytesRetained"] > 0
+
     def test_unknown_session_404(self, api):
         with pytest.raises(ApiError) as info:
             api.handle("POST", "/session/step",

@@ -1,0 +1,120 @@
+"""Protocol-v4 /worker/execute: the distributed-sweep worker endpoint,
+over the in-process Api and over real HTTP with the client wrapper."""
+
+import json
+
+import pytest
+
+from repro.explore.plan import plan_jobs
+from repro.explore.spec import SweepSpec
+from repro.server.client import SimClient
+from repro.server.httpd import SimServer
+from repro.server.protocol import Api, ApiError
+
+SUM_LOOP = """
+    li a0, 0
+    li t0, 1
+    li t1, 30
+loop:
+    add a0, a0, t0
+    addi t0, t0, 1
+    ble t0, t1, loop
+    ebreak
+"""
+
+
+def planned_jobs(source=SUM_LOOP):
+    spec = SweepSpec.from_json({
+        "name": "worker-api",
+        "programs": [{"name": "sum", "source": source}],
+        "axes": [{"name": "width", "path": "config.buffers.fetchWidth",
+                  "values": [1, 2]}],
+    })
+    return plan_jobs(spec)
+
+
+@pytest.fixture
+def api():
+    instance = Api()
+    yield instance
+    instance.close()
+
+
+class TestWorkerExecute:
+    def test_executes_a_planned_job(self, api):
+        job = planned_jobs()[0]
+        out = api.handle("POST", "/worker/execute", {"payload": job.payload})
+        assert out["success"] and out["ok"]
+        assert out["protocolVersion"] >= 4
+        assert out["value"]["stats"]["cycles"] > 0
+        assert out["elapsedS"] >= 0
+
+    def test_result_matches_the_serial_runner_exactly(self, api):
+        """The distributed identity pin at the endpoint level: the value
+        is byte-for-byte what execute_payload produces in-process."""
+        from repro.explore.artifacts import ArtifactCache
+        from repro.explore.runner import execute_payload
+        job = planned_jobs()[1]
+        local = execute_payload(job.payload, cache=ArtifactCache())
+        remote = api.handle("POST", "/worker/execute",
+                            {"payload": job.payload})
+        assert json.dumps(remote["value"], sort_keys=True) \
+            == json.dumps(local, sort_keys=True)
+
+    def test_job_error_is_reported_not_raised(self, api):
+        job = planned_jobs(source="    bogus x0\n")[0]
+        out = api.handle("POST", "/worker/execute", {"payload": job.payload})
+        assert out["success"] and not out["ok"]
+        assert out["kind"] == "error"
+        assert out["error"].startswith("AsmSyntaxError")
+
+    def test_missing_payload_is_400(self, api):
+        for body in ({}, {"payload": "not-an-object"}, {"payload": 3}):
+            with pytest.raises(ApiError) as info:
+                api.handle("POST", "/worker/execute", body)
+            assert info.value.status == 400
+
+    def test_artifact_cache_warms_across_jobs(self, api):
+        jobs = planned_jobs()
+        for job in jobs:
+            out = api.handle("POST", "/worker/execute",
+                             {"payload": job.payload})
+        cache = out["artifactCache"]
+        assert cache["assemble"]["misses"] == 1
+        assert cache["assemble"]["hits"] == len(jobs) - 1
+
+    def test_schema_advertises_the_endpoint(self, api):
+        paths = [e["path"] for e in api.handle("GET", "/schema", None)
+                 ["endpoints"]]
+        assert "/worker/execute" in paths
+
+
+class TestWorkerOverHttp:
+    @pytest.fixture(scope="class")
+    def server(self):
+        srv = SimServer(("127.0.0.1", 0))
+        srv.start_background()
+        yield srv
+        srv.shutdown()
+        srv.server_close()
+
+    def test_client_wrapper_round_trip(self, server):
+        client = SimClient("127.0.0.1", server.port)
+        try:
+            job = planned_jobs()[0]
+            out = client.worker_execute(job.payload)
+            assert out["ok"]
+            assert out["value"]["stats"]["intRegisters"][10] == 465
+        finally:
+            client.close()
+
+    def test_stale_retry_disabled_raises_on_dead_server(self):
+        dead = SimServer(("127.0.0.1", 0))
+        port = dead.port
+        dead.server_close()
+        client = SimClient("127.0.0.1", port, timeout=0.5)
+        try:
+            with pytest.raises(OSError):
+                client.worker_execute(planned_jobs()[0].payload)
+        finally:
+            client.close()

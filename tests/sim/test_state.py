@@ -89,6 +89,46 @@ class TestCheckpointRing:
         ring.put(30, "s30")                # evicts 20, not 10
         assert ring.cycles() == [0, 10, 30]
 
+    def test_bytes_retained_counts_shared_blobs_once(self):
+        """Page-compressed checkpoints share clean-page blobs by
+        reference; the gauge must not multiply a shared 1 KiB page by
+        the number of checkpoints holding it."""
+        ring = CheckpointRing(interval=10, capacity=8)
+        shared = bytes(4096)
+        ring.put(0, {"pages": (shared,), "counters": (0, 0)})
+        single = ring.bytes_retained()
+        assert single > 4096
+        ring.put(10, {"pages": (shared,), "counters": (1, 1)})
+        two = ring.bytes_retained()
+        # the second checkpoint adds envelope bytes, not another blob
+        assert two - single < 1024
+        ring.put(20, {"pages": (bytes(4096),), "counters": (2, 2)})
+        assert ring.bytes_retained() - two > 4096
+
+    def test_bytes_retained_tracks_ring_mutations(self):
+        ring = CheckpointRing(interval=10, capacity=4)
+        assert ring.bytes_retained() == 0
+        ring.put(0, {"pages": (bytes(2048),), "counters": ()})
+        grown = ring.bytes_retained()
+        assert grown > 2048
+        assert ring.bytes_retained() == grown     # cached, same generation
+        ring.clear()
+        assert ring.bytes_retained() == 0
+
+    def test_bytes_retained_on_a_real_simulation(self):
+        simulation = Simulation.from_source(
+            MEM_LOOP, checkpoint_interval=16, checkpoint_capacity=8)
+        base = simulation.checkpoints.bytes_retained()
+        assert base > 0
+        simulation.step(64)
+        assert len(simulation.checkpoints) > 1
+        grown = simulation.checkpoints.bytes_retained()
+        assert grown > base
+        # consecutive checkpoints share clean pages: far below the naive
+        # capacity x full-image estimate (the memory alone is 64 KiB)
+        capacity = simulation.cpu.memory.capacity
+        assert grown < len(simulation.checkpoints) * capacity
+
     def test_degenerate_capacity_rejected(self):
         """capacity=1 could never retain a non-zero checkpoint (cycle 0 is
         pinned, so every put would evict the entry it just added)."""
