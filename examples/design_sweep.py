@@ -110,32 +110,33 @@ print(json.dumps(spec.to_json(), indent=2)[:400], "...")
 #    byte-identical to the pool run above: the backend is invisible in
 #    the results, by design.
 # ---------------------------------------------------------------------------
-def run_remote_fleet() -> None:
+def spawn_server(*args) -> tuple:
+    """Start ``repro-sim worker``/``repro-server`` and parse its port."""
     import re
     import subprocess
     import sys as _sys
 
-    from repro.explore import RemoteBackend
+    process = subprocess.Popen(
+        [_sys.executable, "-m", *args],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    for _ in range(8):                     # interpreter warnings may lead
+        line = process.stdout.readline()
+        found = re.search(r"listening on http://127\.0\.0\.1:(\d+)", line)
+        if found:
+            return process, f"127.0.0.1:{found.group(1)}"
+    process.terminate()
+    process.wait(timeout=10)
+    raise RuntimeError(f"{args[0]} did not start")
 
-    def spawn_worker() -> tuple:
-        process = subprocess.Popen(
-            [_sys.executable, "-m", "repro.cli.main", "worker",
-             "--port", "0"],
-            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
-        for _ in range(8):                 # interpreter warnings may lead
-            line = process.stdout.readline()
-            found = re.search(r"listening on http://127\.0\.0\.1:(\d+)",
-                              line)
-            if found:
-                return process, f"127.0.0.1:{found.group(1)}"
-        process.terminate()
-        process.wait(timeout=10)
-        raise RuntimeError("worker did not start")
+
+def run_remote_fleet() -> None:
+    from repro.explore import RemoteBackend
 
     fleet = []
     try:
         for _ in range(2):                 # incremental: a failed second
-            fleet.append(spawn_worker())   # spawn still cleans up the first
+            fleet.append(spawn_server(     # spawn still cleans up the first
+                "repro.cli.main", "worker", "--port", "0"))
         urls = [url for _process, url in fleet]
         print(f"\nspawned worker fleet: {', '.join(urls)}")
         remote_run = run_sweep(spec, backend=RemoteBackend(
@@ -154,11 +155,72 @@ def run_remote_fleet() -> None:
               f"{worker_row['ok']} ok, {worker_row['failures']} failures")
 
 
+# ---------------------------------------------------------------------------
+# 6. fleet orchestration — run me with `--backend fleet` for the
+#    server-owned version: workers *register themselves* with a frontend
+#    (`repro-sim worker --register HOST:PORT`, periodic heartbeats), the
+#    frontend schedules `"backend": "fleet"` sweeps onto whoever is
+#    currently alive, streams per-job progress, and can cancel in-flight
+#    jobs cooperatively.  No --worker-url bookkeeping on the client.
+# ---------------------------------------------------------------------------
+def run_server_fleet() -> None:
+    import time
+
+    from repro.server.client import SimClient
+
+    frontend = None
+    workers = []
+    try:
+        frontend, frontend_url = spawn_server(
+            "repro.server.httpd", "--port", "0", "--quiet")
+        for _ in range(2):                 # incremental: a failed second
+            workers.append(spawn_server(   # spawn still cleans up the first
+                "repro.cli.main", "worker", "--port", "0",
+                "--register", frontend_url, "--quiet"))
+        host, port = frontend_url.split(":")
+        client = SimClient(host, int(port))
+        try:
+            # wait for both workers' first heartbeat to land
+            for _ in range(100):
+                if client.health()["fleet"]["live"] >= 2:
+                    break
+                time.sleep(0.1)
+            fleet_rows = client.health()["fleet"]
+            print(f"\nfleet frontend {frontend_url}: "
+                  f"{fleet_rows['live']} workers registered")
+            submitted = client.explore_submit(spec.to_json(),
+                                              backend="fleet")
+            sweep_id = submitted["sweepId"]
+            finishes = 0
+            for event in client.explore_stream(sweep_id):
+                if event["event"] == "finish":
+                    finishes += 1
+                    print(f"  [{event['job']}] {event['label']} "
+                          f"{event['kind']} on {event['worker']}")
+            result = client.explore_result(sweep_id)
+            assert result["success"], result.get("error")
+            assert result["records"] == run.records, \
+                "fleet records must be byte-identical to the pool run"
+            print(f"fleet ran {len(result['records'])} jobs "
+                  f"({finishes} streamed finish events) — records "
+                  f"identical to the local pool run")
+        finally:
+            client.close()
+    finally:
+        for process in ([frontend] if frontend else []) \
+                + [p for p, _url in workers]:
+            process.terminate()
+            process.wait(timeout=10)
+
+
 if "--backend" in sys.argv[1:]:
     backend_name = sys.argv[sys.argv.index("--backend") + 1:][:1]
     if backend_name == ["remote"]:
         run_remote_fleet()
+    elif backend_name == ["fleet"]:
+        run_server_fleet()
     else:
         raise SystemExit(f"unknown --backend {backend_name}; this demo "
-                         f"only adds 'remote' (the sections above are "
-                         f"the serial/process tour)")
+                         f"adds 'remote' (client-assembled fleet) and "
+                         f"'fleet' (server-owned registry) — the "
+                         f"sections above are the serial/process tour)")

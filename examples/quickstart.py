@@ -145,6 +145,36 @@ for entry in sweep.report(metric="cycles").ranking():
 # the sweep completes on the rest (`run.execution` holds the per-worker
 # health rows).  Repeated-program grids are cheap everywhere: per-job
 # setup (C compile, assembly) hits a content-addressed artifact cache —
-# shared on disk across local pool workers, in memory per remote worker.
+# shared on disk across local pool workers, in memory per remote worker
+# (size-bounded on disk: LRU GC, REPRO_ARTIFACT_MAX_BYTES override).
 # See examples/design_sweep.py --backend remote for a runnable demo.
+# ---------------------------------------------------------------------------
+
+# ---------------------------------------------------------------------------
+# 8. fleet orchestration (server-owned distributed sweeps, repro.fleet)
+#
+# The remote backend above is client-assembled: whoever runs the sweep
+# must know every worker URL.  Fleet mode inverts the ownership — the
+# *server* owns a worker registry, and workers announce themselves:
+#
+#     repro-server --port 8045                          # the frontend
+#     repro-sim worker --register frontend:8045         # on each machine
+#
+# Workers heartbeat (POST /fleet/register, TTL-expired, flap-excluded
+# when they bounce; `GET /health` shows the fleet rows), and a sweep
+# submitted with `"backend": "fleet"` runs on whoever is alive — jobs
+# rebalance when workers join or leave mid-sweep, records stay
+# byte-identical to serial throughout:
+#
+#     repro-sim explore spec.json --host frontend --backend fleet --follow
+#
+# --follow streams live per-job events (chunked GET /explore/stream;
+# SimClient.explore_stream programmatically) instead of polling.  Sweeps
+# are cancellable end to end: POST /explore/cancel drains undispatched
+# jobs and propagates /worker/cancel to in-flight ones, where a cancel
+# token is checked inside the simulation hot loop every ~5k cycles — an
+# abandoned job stops within one check interval (milliseconds) instead
+# of burning its cycle budget.  Worker cache health is one poll away on
+# GET /worker/status.  See examples/design_sweep.py --backend fleet for
+# a runnable two-worker demo against a locally spawned frontend.
 # ---------------------------------------------------------------------------

@@ -19,10 +19,14 @@ program x architecture points runs on a pluggable execution backend —
 ``--backend serial`` (in-process loop), ``--backend process`` (local
 worker pool, the default), or ``--backend remote`` fanning jobs out over
 HTTP to a fleet of sweep workers named by repeatable ``--worker-url``
-flags — or is submitted to a running server with ``--host``.  The
-comparison report (metric table, best-config ranking, pairwise speedups)
-prints as text or JSON.  ``repro-sim worker`` serves one such sweep
-worker (a repro-server whose expected traffic is ``/worker/execute``).
+flags — or is submitted to a running server with ``--host``, where
+``--backend fleet`` runs it on the server's own registered worker fleet
+(:mod:`repro.fleet`) and ``--follow`` streams live per-job progress
+events instead of polling.  The comparison report (metric table,
+best-config ranking, pairwise speedups) prints as text or JSON.
+``repro-sim worker`` serves one such sweep worker (a repro-server whose
+expected traffic is ``/worker/execute``); with ``--register
+FRONTEND:PORT`` it heartbeats into that frontend's fleet registry.
 """
 
 from __future__ import annotations
@@ -143,11 +147,14 @@ def build_explore_parser() -> argparse.ArgumentParser:
         prog="repro-sim explore",
         description="Run a design-space sweep (repro.explore) and report")
     parser.add_argument("spec", help="sweep specification JSON file")
-    parser.add_argument("--backend", choices=("serial", "process", "remote"),
+    parser.add_argument("--backend",
+                        choices=("serial", "process", "remote", "fleet"),
                         default=None,
                         help="execution backend (default: inferred from "
                              "--workers — 0 is serial, anything else the "
-                             "local process pool)")
+                             "local process pool; 'fleet' runs on the "
+                             "server's registered worker fleet and "
+                             "requires --host)")
     parser.add_argument("--worker-url", action="append", default=None,
                         metavar="HOST:PORT", dest="worker_urls",
                         help="remote sweep worker (repeat once per worker; "
@@ -173,7 +180,26 @@ def build_explore_parser() -> argparse.ArgumentParser:
     parser.add_argument("--port", type=int, default=8045)
     parser.add_argument("--poll", type=float, default=0.5,
                         help="status poll interval in remote mode")
+    parser.add_argument("--follow", action="store_true",
+                        help="with --host: stream live per-job progress "
+                             "events (GET /explore/stream) instead of "
+                             "polling /explore/status")
     return parser
+
+
+def _render_event(event: dict) -> str:
+    kind = event.get("event")
+    if kind == "dispatch":
+        return (f"  [{event.get('job', '?')}] {event.get('label', '')} "
+                f"-> worker {event.get('worker')}")
+    if kind == "finish":
+        verdict = event.get("kind", "?")
+        note = "" if verdict == "ok" else f": {event.get('error', '')}"
+        return (f"  [{event.get('job', '?')}] {event.get('label', '')} "
+                f"{verdict} in {event.get('elapsedS', 0):.3f}s{note}")
+    detail = {key: value for key, value in event.items()
+              if key not in ("seq", "event", "sweepId", "tS")}
+    return f"  {kind} {detail}" if detail else f"  {kind}"
 
 
 def _explore_remote(args, spec_data: dict, out) -> int:
@@ -181,21 +207,40 @@ def _explore_remote(args, spec_data: dict, out) -> int:
 
     from repro.server.client import SimClient
     client = SimClient(args.host, args.port)
+    # "remote" + --host already errored out in explore_main, so this is
+    # None or a server-side backend name, forwarded verbatim
+    backend = args.backend
+    if backend == "fleet" and not args.quiet:
+        from repro.viz.sweep import render_fleet_table
+        fleet = client.health().get("fleet")
+        if fleet:
+            print(render_fleet_table(fleet), file=sys.stderr, end="")
     submitted = client.explore_submit(spec_data, workers=args.workers,
                                       metric=args.metric,
-                                      job_timeout_s=args.job_timeout)
+                                      job_timeout_s=args.job_timeout,
+                                      backend=backend)
     sweep_id = submitted["sweepId"]
     if not args.quiet:
         print(f"submitted sweep {sweep_id} "
-              f"({submitted['jobs']} jobs)", file=sys.stderr)
-    while True:
+              f"({submitted['jobs']} jobs, "
+              f"{submitted.get('backend', 'default')} backend)",
+              file=sys.stderr)
+    if args.follow:
+        # live event stream: one line per dispatch/finish, ends with the
+        # terminal event — no polling
+        for event in client.explore_stream(sweep_id):
+            if not args.quiet:
+                print(_render_event(event), file=sys.stderr)
         status = client.explore_status(sweep_id)
-        if status["state"] in ("done", "failed"):
-            break
-        if not args.quiet:
-            print(f"  {status['completed']}/{status['jobs']} jobs done",
-                  file=sys.stderr)
-        time.sleep(max(0.05, args.poll))
+    else:
+        while True:
+            status = client.explore_status(sweep_id)
+            if status["state"] in ("done", "failed", "cancelled"):
+                break
+            if not args.quiet:
+                print(f"  {status['completed']}/{status['jobs']} jobs done",
+                      file=sys.stderr)
+            time.sleep(max(0.05, args.poll))
     result = client.explore_result(sweep_id, metric=args.metric)
     if args.out:
         from repro.explore import ResultStore
@@ -240,6 +285,15 @@ def explore_main(argv: Optional[List[str]] = None) -> int:
             print("error: --backend remote needs at least one --worker-url "
                   "(start workers with 'repro-sim worker')", file=sys.stderr)
             return 2
+    if args.backend == "fleet" and args.host is None:
+        print("error: --backend fleet is server-orchestrated: submit with "
+              "--host to a repro-server whose workers registered via "
+              "'repro-sim worker --register'", file=sys.stderr)
+        return 2
+    if args.follow and args.host is None:
+        print("error: --follow streams server-side progress; it requires "
+              "--host", file=sys.stderr)
+        return 2
     try:
         spec = SweepSpec.load(args.spec)
     except (OSError, ReproError) as exc:
@@ -320,6 +374,25 @@ def build_worker_parser() -> argparse.ArgumentParser:
                              "the startup banner)")
     parser.add_argument("--no-gzip", action="store_true",
                         help="disable gzip content-encoding")
+    parser.add_argument("--register", default=None, metavar="HOST:PORT",
+                        help="fleet frontend to register with "
+                             "(periodic /fleet/register heartbeats; the "
+                             "frontend then schedules 'backend: fleet' "
+                             "sweeps onto this worker)")
+    parser.add_argument("--advertise", default=None, metavar="HOST:PORT",
+                        help="URL the frontend should dial back "
+                             "(default: --host:--port as bound; set this "
+                             "behind NAT / container networking)")
+    parser.add_argument("--capacity", type=int, default=1,
+                        help="advertised parallel-job capacity")
+    parser.add_argument("--heartbeat", type=float, default=None,
+                        metavar="SECONDS",
+                        help="heartbeat interval override (default: "
+                             "what the frontend suggests, TTL/3)")
+    parser.add_argument("--cancel-stride", type=int, default=None,
+                        metavar="CYCLES",
+                        help="cooperative-cancel check interval for "
+                             "jobs this worker executes")
     parser.add_argument("--quiet", action="store_true")
     return parser
 
@@ -329,7 +402,10 @@ def worker_main(argv: Optional[List[str]] = None) -> int:
     args = build_worker_parser().parse_args(argv)
     from repro.server.httpd import serve
     serve(args.host, args.port, enable_gzip=not args.no_gzip,
-          verbose=not args.quiet, role="sweep worker")
+          verbose=not args.quiet, role="sweep worker",
+          register_with=args.register, advertise=args.advertise,
+          capacity=args.capacity, heartbeat_s=args.heartbeat,
+          cancel_stride=args.cancel_stride)
     return 0
 
 

@@ -29,6 +29,16 @@ Two tiers:
 default disk directory is per-host/per-user under the system temp dir
 and can be redirected with ``REPRO_ARTIFACT_DIR=/path`` or disabled
 entirely with ``REPRO_ARTIFACT_DIR=off``.
+
+The disk tier is **size-bounded**: long-lived fleet workers compile
+thousands of distinct programs, and a content-addressed store never
+invalidates on its own.  Writes trigger an LRU garbage collection by
+file mtime (reads touch the mtime, so recently-served artifacts
+survive) whenever the tier exceeds ``max_disk_bytes`` — default
+:data:`DEFAULT_MAX_DISK_BYTES`, overridable with
+``REPRO_ARTIFACT_MAX_BYTES`` (``0``/``unlimited`` disables the GC).
+Hit/miss/size stats are surfaced on the worker's ``/worker/status``
+endpoint via :meth:`ArtifactCache.stats`.
 """
 
 from __future__ import annotations
@@ -42,12 +52,35 @@ from collections import OrderedDict
 from typing import List, Optional
 
 __all__ = ["ArtifactCache", "default_cache", "reset_default_cache",
-           "ARTIFACT_DIR_ENV"]
+           "ARTIFACT_DIR_ENV", "ARTIFACT_MAX_BYTES_ENV",
+           "DEFAULT_MAX_DISK_BYTES"]
 
 #: environment override for the disk tier ("off"/"none"/"0" disables it)
 ARTIFACT_DIR_ENV = "REPRO_ARTIFACT_DIR"
 
+#: environment override for the disk-tier size budget in bytes
+#: ("0"/"unlimited" disables garbage collection)
+ARTIFACT_MAX_BYTES_ENV = "REPRO_ARTIFACT_MAX_BYTES"
+
+#: default disk-tier budget: generous for a laptop, tight enough that a
+#: fleet worker's tmp dir cannot grow without bound
+DEFAULT_MAX_DISK_BYTES = 256 * 1024 * 1024
+
 _DISABLED = ("off", "none", "0", "")
+
+
+def _max_bytes_from_env() -> Optional[int]:
+    env = os.environ.get(ARTIFACT_MAX_BYTES_ENV)
+    if env is None:
+        return DEFAULT_MAX_DISK_BYTES
+    text = env.strip().lower()
+    if text in ("", "0", "off", "none", "unlimited"):
+        return None
+    try:
+        value = int(text)
+    except ValueError:
+        return DEFAULT_MAX_DISK_BYTES
+    return value if value > 0 else None
 
 
 def _default_directory() -> Optional[str]:
@@ -144,22 +177,38 @@ class ArtifactCache:
         sweep worker's per-server mode).
     max_entries:
         Per-kind memory-tier capacity (LRU-evicted).
+    max_disk_bytes:
+        Disk-tier size budget; exceeding it on a write garbage-collects
+        the least-recently-used artifacts (by file mtime — reads touch
+        it) until the tier fits.  ``None`` disables the GC.
     """
 
     def __init__(self, directory: Optional[str] = None,
-                 max_entries: int = 64):
+                 max_entries: int = 64,
+                 max_disk_bytes: Optional[int] = DEFAULT_MAX_DISK_BYTES):
         self.directory = directory
+        self.max_disk_bytes = max_disk_bytes
         self._lock = threading.Lock()
         self._compiled = _LruMap(max_entries)
         self._programs = _LruMap(max_entries)
         self._hits = {"compile": 0, "assemble": 0}
         self._misses = {"compile": 0, "assemble": 0}
         self._disk_hits = 0
+        self._disk_evicted = 0
+        #: incrementally-maintained (files, bytes) of the disk tier —
+        #: scanned once lazily, then updated per write/eviction, so the
+        #: hot paths (/worker/execute replies carry stats()) never pay
+        #: an O(files) directory scan.  Other processes sharing the
+        #: directory can drift these; every GC pass re-syncs them from
+        #: its authoritative scan.
+        self._disk_files: Optional[int] = None
+        self._disk_bytes = 0
 
     @staticmethod
     def from_env() -> "ArtifactCache":
         """Cache with the per-host default (or env-configured) disk tier."""
-        return ArtifactCache(directory=_default_directory())
+        return ArtifactCache(directory=_default_directory(),
+                             max_disk_bytes=_max_bytes_from_env())
 
     # -- disk tier -----------------------------------------------------
     def _disk_read(self, key: str) -> Optional[dict]:
@@ -169,30 +218,108 @@ class ArtifactCache:
             path = os.path.join(self.directory, f"{key}.json")
             with open(path, "r", encoding="utf-8") as handle:
                 data = json.load(handle)
-            return data if isinstance(data, dict) else None
         except (OSError, ValueError):
             return None
+        try:
+            # LRU touch: a served artifact should outlive cold ones when
+            # the size-bounded GC picks eviction victims by mtime
+            os.utime(path, None)
+        except OSError:
+            pass
+        return data if isinstance(data, dict) else None
 
     def _disk_write(self, key: str, payload: dict) -> None:
         if self.directory is None:
             return
         try:
             os.makedirs(self.directory, exist_ok=True)
+            target = os.path.join(self.directory, f"{key}.json")
+            try:
+                previous_size = os.path.getsize(target)
+            except OSError:
+                previous_size = None
             fd, temp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
             try:
                 with os.fdopen(fd, "w", encoding="utf-8") as handle:
                     json.dump(payload, handle)
-                os.replace(temp, os.path.join(self.directory,
-                                              f"{key}.json"))
+                size = os.path.getsize(temp)
+                os.replace(temp, target)
             except BaseException:
                 try:
                     os.unlink(temp)
                 except OSError:
                     pass
                 raise
+            if self._disk_files is not None:
+                if previous_size is None:
+                    self._disk_files += 1
+                    self._disk_bytes += size
+                else:
+                    self._disk_bytes += size - previous_size
+            if self.max_disk_bytes is not None \
+                    and self._disk_usage()[1] > self.max_disk_bytes:
+                self._disk_gc()
         except OSError:
             # read-only tmp, disk full, ...: degrade to the memory tier
             self.directory = None
+
+    def _disk_entries(self) -> List[tuple]:
+        """``(mtime_ns, size, path)`` of every artifact on disk."""
+        entries = []
+        with os.scandir(self.directory) as scan:
+            for entry in scan:
+                if not entry.name.endswith(".json"):
+                    continue
+                try:
+                    info = entry.stat()
+                except OSError:
+                    continue
+                entries.append((info.st_mtime_ns, info.st_size,
+                                entry.path))
+        return entries
+
+    def _disk_usage(self) -> tuple:
+        """``(files, bytes)`` of the disk tier — scanned lazily once,
+        incrementally maintained afterwards (callers hold the lock)."""
+        if self._disk_files is None:
+            try:
+                entries = self._disk_entries()
+            except OSError:
+                return 0, 0
+            self._disk_files = len(entries)
+            self._disk_bytes = sum(size for _m, size, _p in entries)
+        return self._disk_files, self._disk_bytes
+
+    def _disk_gc(self) -> None:
+        """Evict least-recently-used artifacts until the tier fits.
+
+        Only runs when the (incrementally-tracked) usage exceeds the
+        budget, and its scan is authoritative: the counters are re-synced
+        from it, so drift from other processes sharing the directory
+        self-corrects here.  Never raises: eviction is an
+        accelerator-maintenance action, and a GC that cannot stat or
+        unlink simply leaves the file for the next pass."""
+        if self.max_disk_bytes is None or self.directory is None:
+            return
+        try:
+            entries = self._disk_entries()
+        except OSError:
+            return
+        total = sum(size for _mtime, size, _path in entries)
+        files = len(entries)
+        entries.sort()                     # oldest mtime first
+        for _mtime, size, path in entries:
+            if total <= self.max_disk_bytes:
+                break
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            self._disk_evicted += 1
+            total -= size
+            files -= 1
+        self._disk_files = files
+        self._disk_bytes = total
 
     # -- artifacts -----------------------------------------------------
     def compiled_assembly(self, c_source: str, opt_level: int) -> str:
@@ -260,7 +387,7 @@ class ArtifactCache:
     # -- introspection -------------------------------------------------
     def stats(self) -> dict:
         with self._lock:
-            return {
+            data = {
                 "compile": {"hits": self._hits["compile"],
                             "misses": self._misses["compile"],
                             "entries": len(self._compiled)},
@@ -270,6 +397,14 @@ class ArtifactCache:
                 "diskHits": self._disk_hits,
                 "directory": self.directory,
             }
+            disk = {"maxBytes": self.max_disk_bytes,
+                    "evicted": self._disk_evicted}
+            if self.directory is not None:
+                files, size = self._disk_usage()
+                disk["files"] = files
+                disk["bytes"] = size
+            data["disk"] = disk
+            return data
 
     def clear(self) -> None:
         """Drop the memory tier (the disk tier is content-addressed and

@@ -14,6 +14,12 @@ One protocol, three ways to burn CPU on a design-space sweep:
   tracking that excludes a dead worker while the sweep completes on the
   rest.
 
+(The server-owned, dynamically-membered fourth backend —
+:class:`repro.fleet.scheduler.FleetBackend` — extends ``RemoteBackend``
+from the fleet subsystem; its membership comes from a live
+:class:`repro.fleet.registry.WorkerRegistry` instead of a fixed URL
+list.)
+
 The invariant that makes the plurality safe is inherited from the pool
 and extended: every backend runs the *same* worker function
 (:func:`repro.explore.runner.execute_payload`) on the *same* planned
@@ -24,16 +30,28 @@ spec.  Failure records follow the same discipline: a job that raises is
 every backend; a worker that dies mid-job is ``kind="crash"`` and a job
 that overruns its budget is ``kind="timeout"``, with matching messages
 on the process and remote backends.
+
+Cooperative cancellation extends the same discipline: ``run`` accepts an
+optional cancel token (any object with a ``cancelled() -> bool`` method,
+canonically :class:`repro.fleet.cancel.CancelToken`); once it fires, no
+further job is dispatched, undispatched jobs report ``kind="cancelled"``
+with the identical message on every backend, and in-flight jobs are
+stopped as fast as the backend can manage — the serial loop via the
+simulation's stride check, the process pool by killing the worker, the
+remote backends by propagating ``/worker/cancel`` so the worker's own
+stride check halts the job within one interval.
 """
 
 from __future__ import annotations
 
 import threading
 import time
+import uuid
 from collections import deque
 from typing import Callable, Deque, Dict, List, Optional, Sequence
 
-from repro.explore.pool import JobResult, ProcessWorkerPool
+from repro.explore.pool import (CANCELLED_MESSAGE, CancelLike, JobResult,
+                                ProcessWorkerPool)
 
 __all__ = [
     "ExecutionBackend",
@@ -44,7 +62,9 @@ __all__ = [
     "resolve_backend",
 ]
 
-#: names accepted by the CLI / ``resolve_backend``
+#: names accepted by the CLI / ``resolve_backend``.  The server-side
+#: ``/explore/submit`` additionally accepts ``"fleet"`` — that backend is
+#: built from the server's worker registry, never from CLI arguments.
 BACKEND_NAMES = ("serial", "process", "remote")
 
 #: spawn-safe dotted reference of the worker task (shared with the
@@ -59,13 +79,19 @@ OnResult = Optional[Callable[[JobResult], None]]
 OnDispatch = Optional[Callable[[int, object], None]]
 
 
+def _is_cancelled(cancel: CancelLike) -> bool:
+    return cancel is not None and cancel.cancelled()
+
+
 class ExecutionBackend:
     """How a planned job list turns into ordered :class:`JobResult`\\ s.
 
     ``run`` executes every payload and returns results ordered by
     submission index; ``on_result`` fires in completion order,
     ``on_dispatch`` fires with ``(index, worker)`` when a job is handed
-    to a worker.  ``workers`` is the backend's parallelism (0 = serial),
+    to a worker, and ``cancel`` (an object with ``cancelled()``) stops
+    dispatch and drains the queue as ``kind="cancelled"`` results once
+    fired.  ``workers`` is the backend's parallelism (0 = serial),
     ``describe()`` its JSON-shaped execution metadata (per-worker rows
     for the sweep report's execution summary).
     """
@@ -74,7 +100,8 @@ class ExecutionBackend:
     workers = 0
 
     def run(self, payloads: Sequence[dict], on_result: OnResult = None,
-            on_dispatch: OnDispatch = None) -> List[JobResult]:
+            on_dispatch: OnDispatch = None,
+            cancel: CancelLike = None) -> List[JobResult]:
         raise NotImplementedError
 
     def describe(self) -> dict:
@@ -97,23 +124,32 @@ class SerialBackend(ExecutionBackend):
     workers = 0
 
     def run(self, payloads: Sequence[dict], on_result: OnResult = None,
-            on_dispatch: OnDispatch = None) -> List[JobResult]:
-        from repro.explore.runner import execute_payload
+            on_dispatch: OnDispatch = None,
+            cancel: CancelLike = None) -> List[JobResult]:
+        from repro.explore.runner import JobCancelled, execute_payload
         results: List[JobResult] = []
         for index, payload in enumerate(payloads):
-            if on_dispatch is not None:
-                on_dispatch(index, 0)
-            t0 = time.monotonic()
-            try:
-                value = execute_payload(payload)
-                result = JobResult(index=index, kind="ok", value=value,
-                                   worker=0,
-                                   elapsed_s=time.monotonic() - t0)
-            except Exception as exc:  # noqa: BLE001 - per-job isolation
-                result = JobResult(index=index, kind="error",
-                                   error=f"{type(exc).__name__}: {exc}",
-                                   worker=0,
-                                   elapsed_s=time.monotonic() - t0)
+            if _is_cancelled(cancel):
+                result = JobResult(index=index, kind="cancelled",
+                                   error=CANCELLED_MESSAGE, worker=0)
+            else:
+                if on_dispatch is not None:
+                    on_dispatch(index, 0)
+                t0 = time.monotonic()
+                try:
+                    value = execute_payload(payload, cancel=cancel)
+                    result = JobResult(index=index, kind="ok", value=value,
+                                       worker=0,
+                                       elapsed_s=time.monotonic() - t0)
+                except JobCancelled:
+                    result = JobResult(index=index, kind="cancelled",
+                                       error=CANCELLED_MESSAGE, worker=0,
+                                       elapsed_s=time.monotonic() - t0)
+                except Exception as exc:  # noqa: BLE001 - per-job isolation
+                    result = JobResult(index=index, kind="error",
+                                       error=f"{type(exc).__name__}: {exc}",
+                                       worker=0,
+                                       elapsed_s=time.monotonic() - t0)
             results.append(result)
             if on_result is not None:
                 on_result(result)
@@ -135,9 +171,10 @@ class ProcessBackend(ExecutionBackend):
         self.job_timeout_s = job_timeout_s
 
     def run(self, payloads: Sequence[dict], on_result: OnResult = None,
-            on_dispatch: OnDispatch = None) -> List[JobResult]:
+            on_dispatch: OnDispatch = None,
+            cancel: CancelLike = None) -> List[JobResult]:
         return self._pool.map(payloads, on_result=on_result,
-                              on_dispatch=on_dispatch)
+                              on_dispatch=on_dispatch, cancel=cancel)
 
     def close(self) -> None:
         self._pool.close()
@@ -147,7 +184,7 @@ class _RemoteWorker:
     """Parent-side health record of one sweep-worker server."""
 
     __slots__ = ("url", "host", "port", "dispatched", "ok", "failures",
-                 "consecutive_failures", "excluded")
+                 "consecutive_failures", "excluded", "excluded_reason")
 
     def __init__(self, url: str):
         self.url = url
@@ -157,11 +194,28 @@ class _RemoteWorker:
         self.failures = 0
         self.consecutive_failures = 0
         self.excluded = False
+        #: human-readable *why* (debuggability of mid-sweep exclusions;
+        #: surfaced on describe() rows and /explore/status)
+        self.excluded_reason: Optional[str] = None
+
+    def exclude(self, reason: str) -> None:
+        self.excluded = True
+        if self.excluded_reason is None:
+            self.excluded_reason = reason
+
+    def readmit(self) -> None:
+        """Clear exclusion state (a fleet worker re-joining mid-sweep)."""
+        self.excluded = False
+        self.excluded_reason = None
+        self.consecutive_failures = 0
 
     def to_json(self) -> dict:
-        return {"url": self.url, "dispatched": self.dispatched,
-                "ok": self.ok, "failures": self.failures,
-                "excluded": self.excluded}
+        row = {"url": self.url, "dispatched": self.dispatched,
+               "ok": self.ok, "failures": self.failures,
+               "excluded": self.excluded}
+        if self.excluded_reason is not None:
+            row["excludedReason"] = self.excluded_reason
+        return row
 
 
 def _parse_worker_url(url: str) -> tuple:
@@ -208,6 +262,13 @@ class RemoteBackend(ExecutionBackend):
     fail_threshold:
         Consecutive transport failures after which a worker is excluded
         from the rest of the sweep.
+    cancel_jobs_on_workers:
+        When true, every dispatch carries a ``cancelId`` and a fired
+        cancel token is propagated to the owning worker via
+        ``POST /worker/cancel`` — the worker's stride check then stops
+        the job within one interval.  The fleet backend turns this on;
+        the plain CLI remote backend leaves it off by default (its jobs
+        are bounded by ``job_timeout_s`` / the cycle budget either way).
 
     A job lost to a transport failure (connection refused/reset — the
     worker died) is re-dispatched **at most once**, preferably to a
@@ -224,7 +285,8 @@ class RemoteBackend(ExecutionBackend):
                  job_timeout_s: Optional[float] = None,
                  inflight_per_worker: int = 2,
                  fail_threshold: int = 2,
-                 client_factory: Optional[Callable] = None):
+                 client_factory: Optional[Callable] = None,
+                 cancel_jobs_on_workers: bool = False):
         if not worker_urls:
             raise ValueError("remote backend needs at least one worker URL")
         if inflight_per_worker < 1:
@@ -242,6 +304,7 @@ class RemoteBackend(ExecutionBackend):
         self.job_timeout_s = job_timeout_s
         self.inflight_per_worker = inflight_per_worker
         self.fail_threshold = fail_threshold
+        self.cancel_jobs_on_workers = cancel_jobs_on_workers
         self._client_factory = client_factory or self._default_client
         self._lock = threading.Lock()
         self._wake = threading.Condition(self._lock)
@@ -251,6 +314,10 @@ class RemoteBackend(ExecutionBackend):
     #: socket cannot stall a sweep forever
     DEFAULT_SOCKET_TIMEOUT_S = 600.0
 
+    #: supervision tick: how often the run loop checks thread liveness,
+    #: the cancel token, and (fleet) registry membership
+    SUPERVISE_TICK_S = 0.05
+
     def _default_client(self, worker: _RemoteWorker):
         from repro.server.client import SimClient
         timeout = self.job_timeout_s if self.job_timeout_s is not None \
@@ -259,30 +326,73 @@ class RemoteBackend(ExecutionBackend):
 
     # ------------------------------------------------------------------
     def run(self, payloads: Sequence[dict], on_result: OnResult = None,
-            on_dispatch: OnDispatch = None) -> List[JobResult]:
+            on_dispatch: OnDispatch = None,
+            cancel: CancelLike = None) -> List[JobResult]:
         total = len(payloads)
         if total == 0:
             return []
-        state = _RemoteRun(self, payloads, on_result, on_dispatch)
-        threads = []
+        state = _RemoteRun(self, payloads, on_result, on_dispatch, cancel)
         for worker in self._workers:
-            worker.excluded = False
-            worker.consecutive_failures = 0
-            for slot in range(self.inflight_per_worker):
-                thread = threading.Thread(
-                    target=state.serve, args=(worker,), daemon=True,
-                    name=f"remote-sweep-{worker.url}-{slot}")
-                threads.append(thread)
-                thread.start()
-        for thread in threads:
-            thread.join()
-        # jobs no healthy worker could take (every worker excluded)
+            worker.readmit()
+            self._start_worker(state, worker)
+        self._supervise(state)
+        # jobs no healthy worker could take (every worker excluded),
+        # unless the run was cancelled — then they are cancellations
+        tail_kind = "cancelled" if state.cancel_fired else "crash"
+        tail_error = CANCELLED_MESSAGE if state.cancel_fired \
+            else "no healthy remote workers remain"
         for index in range(total):
             if index not in state.results:
-                state.finish(JobResult(
-                    index=index, kind="crash",
-                    error="no healthy remote workers remain"))
+                state.finish(JobResult(index=index, kind=tail_kind,
+                                       error=tail_error))
         return [state.results[index] for index in range(total)]
+
+    def _start_worker(self, state: "_RemoteRun",
+                      worker: _RemoteWorker) -> None:
+        """Spawn the serve threads of one worker for this run."""
+        for slot in range(self.inflight_per_worker):
+            thread = threading.Thread(
+                target=state.serve, args=(worker,), daemon=True,
+                name=f"remote-sweep-{worker.url}-{slot}")
+            state.threads.append(thread)
+            thread.start()
+
+    def _supervise(self, state: "_RemoteRun") -> None:
+        """Babysit the serve threads until the run settles.
+
+        Checks the cancel token (draining + propagating on the first
+        fire) and gives subclasses a membership hook each tick; exits
+        when every thread is done and :meth:`_keep_waiting` declines to
+        wait for replacements.
+        """
+        while True:
+            if _is_cancelled(state.cancel):
+                state.handle_cancel()
+            self._poll_membership(state)
+            alive = False
+            for thread in list(state.threads):
+                thread.join(timeout=self.SUPERVISE_TICK_S)
+                if thread.is_alive():
+                    alive = True
+                    break
+            if alive:
+                continue
+            with self._lock:
+                settled = len(state.results) == len(state.payloads)
+            if settled or state.cancel_fired \
+                    or not self._keep_waiting(state):
+                return
+            time.sleep(self.SUPERVISE_TICK_S)
+
+    # -- subclass hooks -------------------------------------------------
+    def _poll_membership(self, state: "_RemoteRun") -> None:
+        """Fleet hook: reconcile workers with live registry membership."""
+
+    def _keep_waiting(self, state: "_RemoteRun") -> bool:
+        """Whether an idle run (no live threads, jobs unfinished) should
+        keep waiting for workers to appear.  The static remote backend
+        never waits — its fleet cannot grow."""
+        return False
 
     def describe(self) -> dict:
         return {"backend": self.name, "workers": self.workers,
@@ -294,15 +404,28 @@ class _RemoteRun:
     """Shared state of one :meth:`RemoteBackend.run` invocation."""
 
     def __init__(self, backend: RemoteBackend, payloads: Sequence[dict],
-                 on_result: OnResult, on_dispatch: OnDispatch):
+                 on_result: OnResult, on_dispatch: OnDispatch,
+                 cancel: CancelLike = None):
         self.backend = backend
         self.payloads = payloads
         self.on_result = on_result
         self.on_dispatch = on_dispatch
+        self.cancel = cancel
+        self.cancel_fired = False         #: handle_cancel ran
+        self.run_id = uuid.uuid4().hex[:12]
         self.pending: Deque[_PendingJob] = deque(
             _PendingJob(index) for index in range(len(payloads)))
         self.results: Dict[int, JobResult] = {}
         self.outstanding = 0
+        #: job index -> worker currently executing it (cancel targets)
+        self.inflight: Dict[int, _RemoteWorker] = {}
+        #: every serve thread of this run (supervision; grows mid-run
+        #: when a fleet worker joins — mutated only by the supervisor
+        #: and the initial spawn, both on the run's calling thread)
+        self.threads: List[threading.Thread] = []
+
+    def cancel_id(self, index: int) -> str:
+        return f"{self.run_id}:{index}"
 
     # -- locked helpers ------------------------------------------------
     def finish(self, result: JobResult) -> None:
@@ -324,6 +447,44 @@ class _RemoteRun:
             return job
         return None
 
+    # -- cancellation --------------------------------------------------
+    def handle_cancel(self) -> None:
+        """First-fire cancel handling: drain undispatched jobs as
+        ``cancelled`` results and propagate ``/worker/cancel`` for every
+        in-flight job (when the backend dispatches cancel ids)."""
+        with self.backend._lock:
+            if self.cancel_fired:
+                return
+            self.cancel_fired = True
+            drained = []
+            while self.pending:
+                job = self.pending.popleft()
+                if job.index not in self.results:
+                    drained.append(job.index)
+            inflight = dict(self.inflight)
+            self.backend._wake.notify_all()
+        for index in drained:
+            self.finish(JobResult(index=index, kind="cancelled",
+                                  error=CANCELLED_MESSAGE))
+        if self.backend.cancel_jobs_on_workers:
+            reason = getattr(self.cancel, "reason", None) or "cancelled"
+            for index, worker in inflight.items():
+                self._send_worker_cancel(worker, self.cancel_id(index),
+                                         reason)
+
+    def _send_worker_cancel(self, worker: _RemoteWorker, cancel_id: str,
+                            reason: str) -> None:
+        """Best-effort ``POST /worker/cancel`` (the job is also bounded
+        by its timeout/cycle budget, so a lost cancel only wastes CPU)."""
+        from repro.server.client import SimClient
+        client = SimClient(worker.host, worker.port, timeout=5.0)
+        try:
+            client.worker_cancel(cancel_id, reason=reason)
+        except Exception:  # noqa: BLE001 - worker gone: nothing to stop
+            pass
+        finally:
+            client.close()
+
     # -- worker thread -------------------------------------------------
     def serve(self, worker: _RemoteWorker) -> None:
         backend = self.backend
@@ -334,6 +495,12 @@ class _RemoteRun:
                     job = None
                     while job is None:
                         if worker.excluded:
+                            return
+                        if self.cancel_fired:
+                            return
+                        if _is_cancelled(self.cancel):
+                            # fired but not yet drained by the
+                            # supervisor: stop taking work immediately
                             return
                         if len(self.results) == len(self.payloads):
                             return
@@ -346,6 +513,7 @@ class _RemoteRun:
                     job.attempts += 1
                     self.outstanding += 1
                     worker.dispatched += 1
+                    self.inflight[job.index] = worker
                 if self.on_dispatch is not None:
                     self.on_dispatch(job.index, worker.url)
                 self._execute(client, worker, job)
@@ -356,8 +524,11 @@ class _RemoteRun:
                  job: _PendingJob) -> None:
         backend = self.backend
         started = time.monotonic()
+        cancel_id = self.cancel_id(job.index) \
+            if backend.cancel_jobs_on_workers else None
         try:
-            reply = client.worker_execute(self.payloads[job.index])
+            reply = client.worker_execute(self.payloads[job.index],
+                                          cancel_id=cancel_id)
         except TimeoutError:
             if backend.job_timeout_s is None:
                 # no job budget configured: a socket timeout is just a
@@ -401,6 +572,7 @@ class _RemoteRun:
                 result: JobResult, transport_failure: bool) -> None:
         with self.backend._lock:
             self.outstanding -= 1
+            self.inflight.pop(job.index, None)
             if transport_failure:
                 self._note_failure_locked(worker)
             else:
@@ -414,12 +586,19 @@ class _RemoteRun:
         """Transport failure mid-job: re-dispatch once, then give up."""
         with self.backend._lock:
             self.outstanding -= 1
+            self.inflight.pop(job.index, None)
             self._note_failure_locked(worker)
-            if job.attempts <= 1:
+            if job.attempts <= 1 and not self.cancel_fired:
                 job.excluded_url = worker.url
                 self.pending.append(job)
                 self.backend._wake.notify_all()
                 return
+            cancelled = self.cancel_fired
+        if cancelled:
+            self.finish(JobResult(index=job.index, kind="cancelled",
+                                  error=CANCELLED_MESSAGE, worker=worker.url,
+                                  elapsed_s=time.monotonic() - started))
+            return
         self.finish(JobResult(index=job.index, kind="crash",
                               error=_CRASH_MESSAGE, worker=worker.url,
                               elapsed_s=time.monotonic() - started))
@@ -428,7 +607,8 @@ class _RemoteRun:
         worker.failures += 1
         worker.consecutive_failures += 1
         if worker.consecutive_failures >= self.backend.fail_threshold:
-            worker.excluded = True
+            worker.exclude(f"{worker.consecutive_failures} consecutive "
+                           f"transport failures")
             self.backend._wake.notify_all()
 
 
@@ -439,7 +619,9 @@ def resolve_backend(name: Optional[str], workers: Optional[int] = None,
     """Build a backend from CLI-shaped arguments.
 
     ``name=None`` keeps the historical inference: ``workers == 0`` is
-    serial, anything else the process pool.
+    serial, anything else the process pool.  ``"fleet"`` is deliberately
+    absent: the fleet backend belongs to a server's worker registry
+    (submit the sweep with ``--host`` / ``"backend": "fleet"`` instead).
     """
     if name is None:
         name = "serial" if workers == 0 else "process"

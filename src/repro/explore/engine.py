@@ -99,8 +99,8 @@ def run_sweep(spec: Union[SweepSpec, dict], workers: int = 0,
               start_method: Optional[str] = None,
               backend: Optional[ExecutionBackend] = None,
               on_result: Optional[Callable[[JobResult], None]] = None,
-              on_dispatch: Optional[Callable[[int, object], None]] = None
-              ) -> SweepRun:
+              on_dispatch: Optional[Callable[[int, object], None]] = None,
+              cancel: Optional[object] = None) -> SweepRun:
     """Plan and execute a sweep.
 
     Parameters
@@ -143,6 +143,12 @@ def run_sweep(spec: Union[SweepSpec, dict], workers: int = 0,
     on_dispatch:
         ``(index, worker)`` callback when a job is handed to a worker —
         live queued/running introspection for the status endpoint.
+    cancel:
+        Optional cancel token (``cancelled() -> bool``, canonically
+        :class:`repro.fleet.cancel.CancelToken`).  Once fired, the
+        backend stops dispatching, drains undispatched jobs as
+        ``kind="cancelled"`` records, and stops in-flight jobs as fast
+        as it can (stride check / worker kill / ``/worker/cancel``).
     """
     if isinstance(spec, dict):
         spec = SweepSpec.from_json(spec)
@@ -168,7 +174,8 @@ def run_sweep(spec: Union[SweepSpec, dict], workers: int = 0,
     try:
         results = backend.run([job.payload for job in jobs],
                               on_result=handle_result,
-                              on_dispatch=on_dispatch)
+                              on_dispatch=on_dispatch,
+                              cancel=cancel)
     finally:
         if owned:
             backend.close()

@@ -42,9 +42,19 @@ __all__ = [
     "Future",
     "KeyedThreadPool",
     "default_worker_count",
+    "CANCELLED_MESSAGE",
 ]
 
 TaskRef = Union[str, Callable[[object], object]]
+
+#: duck type of a cancellation token (``repro.fleet.cancel.CancelToken``
+#: canonically): anything with a ``cancelled() -> bool`` method.  Typed
+#: loosely so this transport-free layer needs no fleet import.
+CancelLike = Optional[object]
+
+#: error string of a job stopped by cancellation — byte-identical on
+#: every backend, like the crash/timeout messages
+CANCELLED_MESSAGE = "job cancelled"
 
 
 def default_worker_count(jobs: Optional[int] = None) -> int:
@@ -61,7 +71,8 @@ class JobResult:
 
     ``kind`` is one of ``ok`` / ``error`` (the task raised) / ``crash``
     (the worker process died) / ``timeout`` (the per-job deadline passed
-    and the worker was killed).  Only ``ok`` results carry a ``value``.
+    and the worker was killed) / ``cancelled`` (a cancel token fired
+    before or during the job).  Only ``ok`` results carry a ``value``.
     """
 
     index: int
@@ -210,14 +221,18 @@ class ProcessWorkerPool:
     # ------------------------------------------------------------------
     def map(self, payloads: Sequence[object],
             on_result: Optional[Callable[[JobResult], None]] = None,
-            on_dispatch: Optional[Callable[[int, object], None]] = None
-            ) -> List[JobResult]:
+            on_dispatch: Optional[Callable[[int, object], None]] = None,
+            cancel: CancelLike = None) -> List[JobResult]:
         """Run every payload; return results ordered by submission index.
 
         ``on_result`` (optional) fires in *completion* order as each job
         finishes — progress reporting for long sweeps.  ``on_dispatch``
         (optional) fires with ``(index, worker_id)`` the moment a job is
         handed to a worker — live queued/running introspection.
+        ``cancel`` (optional, any object with ``cancelled() -> bool``)
+        stops the run once fired: undispatched jobs report
+        ``kind="cancelled"`` and in-flight workers are killed and
+        respawned, the same mechanics as a per-job timeout.
         """
         if self._closed:
             raise RuntimeError("pool is closed")
@@ -245,6 +260,17 @@ class ProcessWorkerPool:
             self._pool[self._pool.index(worker)] = self._spawn()
 
         while len(results) < total:
+            if cancel is not None and cancel.cancelled():
+                # drain the queue, then stop in-flight jobs the way a
+                # timeout does (kill + respawn keeps the pool reusable)
+                while pending:
+                    finish(JobResult(index=pending.popleft(),
+                                     kind="cancelled",
+                                     error=CANCELLED_MESSAGE))
+                for worker in self._pool:
+                    if not worker.idle:
+                        fail_running(worker, "cancelled", CANCELLED_MESSAGE)
+                continue
             # dispatch to every idle worker
             for slot, worker in enumerate(self._pool):
                 if not worker.idle or not pending:
@@ -271,6 +297,10 @@ class ProcessWorkerPool:
             wait_s: Optional[float] = None
             if deadlines:
                 wait_s = max(0.0, min(deadlines) - time.monotonic())
+            if cancel is not None:
+                # wake periodically so a cancel is honored promptly even
+                # while every worker is deep in a long job
+                wait_s = 0.1 if wait_s is None else min(wait_s, 0.1)
             ready = connection.wait([w.conn for w in busy], timeout=wait_s)
             now = time.monotonic()
             for conn_ in ready:

@@ -26,13 +26,23 @@ from repro.core.config import CpuConfig
 from repro.errors import ReproError
 from repro.explore.artifacts import ArtifactCache, default_cache
 from repro.sim.energy import estimate_area, estimate_energy
-from repro.sim.simulation import Simulation
+from repro.sim.simulation import CANCELLED_HALT_REASON, Simulation
 
-__all__ = ["execute_payload", "build_simulation", "JobError"]
+__all__ = ["execute_payload", "build_simulation", "JobError",
+           "JobCancelled"]
 
 
 class JobError(ReproError):
     """A sweep job failed for a reportable, per-job reason."""
+
+
+class JobCancelled(ReproError):
+    """The job's cancel token fired mid-run (cooperative cancellation).
+
+    Raised by :func:`execute_payload` — never by a cold simulation — so
+    callers (the serial backend, the ``/worker/execute`` endpoint) can
+    map it to a ``kind="cancelled"`` record distinct from job errors.
+    """
 
 
 def build_simulation(payload: dict,
@@ -66,7 +76,9 @@ def build_simulation(payload: dict,
 
 
 def execute_payload(payload: dict,
-                    cache: Optional[ArtifactCache] = None) -> dict:
+                    cache: Optional[ArtifactCache] = None,
+                    cancel: Optional[object] = None,
+                    cancel_stride: Optional[int] = None) -> dict:
     """Run one planned job; return its per-run statistics record body.
 
     The summary covers every metric the paper's evaluation compares —
@@ -75,9 +87,16 @@ def execute_payload(payload: dict,
     correctness-across-configs assertions (the ablation suites) can run
     off the record alone.  ``collect: "full"`` additionally embeds the
     complete statistics page.
+
+    *cancel* (a token with ``cancelled()``) makes the simulation
+    cooperatively cancellable at *cancel_stride* cycles; a run halted by
+    the token raises :class:`JobCancelled` instead of returning a
+    half-simulated record.
     """
     simulation = build_simulation(payload, cache)
-    result = simulation.run()
+    result = simulation.run(cancel=cancel, cancel_stride=cancel_stride)
+    if result.halt_reason == CANCELLED_HALT_REASON:
+        raise JobCancelled("job cancelled")
     cpu = simulation.cpu
     stats = result.statistics
     predictor = stats["branchPredictor"]

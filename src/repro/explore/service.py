@@ -1,10 +1,28 @@
 """Server-side sweep orchestration (the ``/explore/*`` endpoints' engine).
 
 Submitted sweeps queue up and execute **one at a time** on a background
-thread that drives the process pool — one sweep already saturates its
-workers, so running sweeps concurrently would only thrash the machine and
-blur every wall-clock number.  Status is cheap to poll; results are kept
-for a bounded number of finished sweeps (oldest evicted first).
+thread that drives the execution backend — one sweep already saturates
+its workers, so running sweeps concurrently would only thrash the
+machine and blur every wall-clock number.  Status is cheap to poll;
+results are kept for a bounded number of finished sweeps (oldest evicted
+first).
+
+Three fleet-era capabilities live here:
+
+* **backend selection** — a submit may name its execution backend:
+  ``"serial"``, ``"process"`` (the historical ``workers`` inference
+  picks between these two), or ``"fleet"`` — the server-owned
+  :class:`repro.fleet.scheduler.FleetBackend` built from the live
+  worker registry via the attached :class:`FleetScheduler`.
+* **cancellation** — every sweep carries a
+  :class:`repro.fleet.cancel.CancelToken`; :meth:`ExploreManager.cancel`
+  dequeues a queued sweep outright and fires the token of a running one
+  (the backend drains, in-flight fleet jobs get ``/worker/cancel``).
+* **progress events** — every lifecycle transition and per-job
+  dispatch/finish appends to the sweep's ordered event log;
+  :meth:`ExploreManager.stream` follows it live (the chunked
+  ``GET /explore/stream`` generator) and ``/explore/events`` serves it
+  in one poll.
 """
 
 from __future__ import annotations
@@ -15,15 +33,24 @@ import threading
 import time
 import uuid
 from collections import OrderedDict
-from typing import List, Optional
+from typing import Iterator, List, Optional, Tuple
 
 from repro.explore.engine import run_sweep
 from repro.explore.plan import plan_jobs
 from repro.explore.pool import default_worker_count
 from repro.explore.report import METRICS, MetricError, SweepReport
 from repro.explore.spec import SweepSpec, SweepSpecError
+from repro.fleet.cancel import CancelToken
 
-__all__ = ["ExploreManager", "SweepState", "nearest_rank"]
+__all__ = ["ExploreManager", "SweepState", "nearest_rank",
+           "SERVER_BACKENDS"]
+
+#: backend names ``/explore/submit`` accepts (``None`` keeps the
+#: historical inference: ``workers == 0`` serial, otherwise process)
+SERVER_BACKENDS = ("serial", "process", "fleet")
+
+#: sweep states that accept no further work
+TERMINAL_STATES = ("done", "failed", "cancelled")
 
 
 def nearest_rank(ordered: List[float], quantile: float) -> float:
@@ -44,16 +71,18 @@ class SweepState:
     __slots__ = ("id", "spec", "jobs", "workers", "job_timeout_s", "state",
                  "total", "completed", "failed", "records", "error",
                  "submitted", "started", "finished", "elapsed_s",
-                 "backend", "running", "dispatched", "elapsed_jobs")
+                 "backend", "running", "dispatched", "elapsed_jobs",
+                 "cancel", "events", "execution", "live_backend")
 
     def __init__(self, spec: SweepSpec, jobs: list, workers: int,
-                 job_timeout_s: Optional[float] = None):
+                 job_timeout_s: Optional[float] = None,
+                 backend: Optional[str] = None):
         self.id = uuid.uuid4().hex[:16]
         self.spec = spec
         self.jobs = jobs                  #: planned once, at submit time
         self.workers = workers
         self.job_timeout_s = job_timeout_s
-        self.state = "queued"             #: queued/running/done/failed
+        self.state = "queued"             #: queued/running + TERMINAL_STATES
         self.total = len(jobs)
         self.completed = 0
         self.failed = 0
@@ -63,19 +92,40 @@ class SweepState:
         self.started: Optional[float] = None
         self.finished: Optional[float] = None
         self.elapsed_s = 0.0
-        self.backend = "serial" if workers == 0 else "process"
+        self.backend = backend if backend is not None \
+            else ("serial" if workers == 0 else "process")
         #: job indices currently on a worker (dispatched, not finished)
         self.running: set = set()
         #: every job index ever handed to a worker
         self.dispatched: set = set()
         #: host-side wall time of each finished job, completion order
         self.elapsed_jobs: List[float] = []
+        #: fired by /explore/cancel; checked by the executing backend
+        self.cancel = CancelToken()
+        #: ordered progress events (seq-stamped; see ExploreManager)
+        self.events: List[dict] = []
+        #: backend.describe() — live while running (fleet), final after
+        self.execution: Optional[dict] = None
+        self.live_backend = None
+
+    def wall_time_json(self) -> Optional[dict]:
+        if not self.elapsed_jobs:
+            return None
+        ordered = sorted(self.elapsed_jobs)
+        return {
+            "minS": round(ordered[0], 4),
+            "p50S": round(nearest_rank(ordered, 0.5), 4),
+            "p90S": round(nearest_rank(ordered, 0.9), 4),
+            "maxS": round(ordered[-1], 4),
+        }
 
     def status_json(self) -> dict:
         """Progress payload — enriched so a long sweep is observable
         without pulling the full ``/explore/result``: the per-job
-        wall-time distribution (min/p50/p90/max, :func:`nearest_rank`)
-        plus which job ids are in flight and which still queue."""
+        wall-time distribution (min/p50/p90/max, :func:`nearest_rank`),
+        which job ids are in flight and which still queue, plus the
+        backend's per-worker execution rows (health, exclusion reasons)
+        once it is running."""
         data = {
             "sweepId": self.id,
             "name": self.spec.name,
@@ -88,29 +138,37 @@ class SweepState:
             "runningJobs": sorted(self.running),
             "queuedJobs": [index for index in range(self.total)
                            if index not in self.dispatched],
+            "events": len(self.events),
         }
-        if self.elapsed_jobs:
-            ordered = sorted(self.elapsed_jobs)
-            data["jobWallTime"] = {
-                "minS": round(ordered[0], 4),
-                "p50S": round(nearest_rank(ordered, 0.5), 4),
-                "p90S": round(nearest_rank(ordered, 0.9), 4),
-                "maxS": round(ordered[-1], 4),
-            }
-        if self.state in ("done", "failed"):
+        wall = self.wall_time_json()
+        if wall is not None:
+            data["jobWallTime"] = wall
+        backend_obj = self.live_backend
+        if backend_obj is not None:
+            data["execution"] = backend_obj.describe()
+        elif self.execution is not None:
+            data["execution"] = self.execution
+        if self.state in ("done", "failed", "cancelled"):
             data["elapsedS"] = round(self.elapsed_s, 4)
+        if self.cancel.cancelled():
+            data["cancelRequested"] = True
         if self.error is not None:
             data["error"] = self.error
         return data
 
 
 class ExploreManager:
-    """Bounded queue + registry of design-space sweeps."""
+    """Bounded queue + registry of design-space sweeps.
+
+    ``scheduler`` (a :class:`repro.fleet.scheduler.FleetScheduler`) is
+    attached by the server's :class:`repro.server.protocol.Api`; without
+    one, ``"backend": "fleet"`` submissions are rejected.
+    """
 
     def __init__(self, workers: Optional[int] = None,
                  job_timeout_s: Optional[float] = 300.0,
                  max_pending: int = 8, max_finished: int = 32,
-                 max_jobs: int = 4096):
+                 max_jobs: int = 4096, scheduler=None):
         self.workers = workers if workers is not None \
             else min(4, default_worker_count())
         self.job_timeout_s = job_timeout_s
@@ -128,6 +186,7 @@ class ExploreManager:
         methods = multiprocessing.get_all_start_methods()
         self.start_method = "forkserver" if "forkserver" in methods \
             else "spawn"
+        self.scheduler = scheduler
         self._lock = threading.Lock()
         self._sweeps: "OrderedDict[str, SweepState]" = OrderedDict()
         self._queue: List[SweepState] = []
@@ -135,23 +194,53 @@ class ExploreManager:
         self._thread: Optional[threading.Thread] = None
         self._closed = False
 
+    # -- events ---------------------------------------------------------
+    def _emit_locked(self, state: SweepState, event_kind: str,
+                     **data) -> None:
+        event = {"seq": len(state.events), "event": event_kind,
+                 "sweepId": state.id,
+                 "tS": round(time.monotonic() - state.submitted, 4)}
+        event.update(data)
+        state.events.append(event)
+        self._wake.notify_all()
+
+    def _emit(self, state: SweepState, event_kind: str, **data) -> None:
+        with self._lock:
+            self._emit_locked(state, event_kind, **data)
+
     # ------------------------------------------------------------------
     def submit(self, spec_data: dict, workers: Optional[int] = None,
                metric: str = "cycles",
-               job_timeout_s: Optional[float] = None) -> SweepState:
+               job_timeout_s: Optional[float] = None,
+               backend: Optional[str] = None) -> SweepState:
         """Validate, plan, and enqueue a sweep; returns its state handle.
 
         Planning happens exactly once, here: the job list is carried on
         the state and reused by the runner thread, so a bad spec fails the
         submit (not the sweep) and a big grid is never expanded twice.
         Raises :class:`repro.explore.spec.SweepSpecError` on a bad spec,
-        :class:`MetricError` on a bad metric and :class:`OverflowError`
-        when the queue is full — the protocol layer maps each to an HTTP
-        error without this module knowing about transports.
+        :class:`MetricError` on a bad metric,
+        :class:`repro.fleet.scheduler.FleetError` on a fleet submit with
+        no registered workers, and :class:`OverflowError` when the queue
+        is full — the protocol layer maps each to an HTTP error without
+        this module knowing about transports.
         """
         if metric not in METRICS:
             raise MetricError(f"unknown ranking metric {metric!r} "
                               f"(one of {sorted(METRICS)})")
+        if backend is not None and backend not in SERVER_BACKENDS:
+            raise SweepSpecError(
+                f"unknown backend {backend!r} "
+                f"(one of {list(SERVER_BACKENDS)})")
+        if backend == "fleet":
+            from repro.fleet.scheduler import FleetError
+            if self.scheduler is None:
+                raise FleetError("this server has no fleet scheduler")
+            if self.scheduler.available() < 1:
+                raise FleetError(
+                    "no registered fleet workers (start workers with "
+                    "'repro-sim worker --register HOST:PORT' and wait "
+                    "for their first heartbeat)")
         spec = SweepSpec.from_json(spec_data)
         planned = spec.samples if spec.sampling == "random" \
             else spec.grid_size()
@@ -163,10 +252,17 @@ class ExploreManager:
         jobs = plan_jobs(spec)            # deterministic; also validates
         sweep_workers = self.workers if workers is None \
             else min(max(0, int(workers)), self.max_workers)
+        if backend == "serial":
+            sweep_workers = 0
+        elif backend == "process":
+            # an explicit process request must not fall through the
+            # historical workers==0 inference into the serial loop
+            sweep_workers = max(1, sweep_workers)
         state = SweepState(spec, jobs, sweep_workers,
                            job_timeout_s=job_timeout_s
                            if job_timeout_s is not None
-                           else self.job_timeout_s)
+                           else self.job_timeout_s,
+                           backend=backend)
         with self._lock:
             if self._closed:
                 raise RuntimeError("explore manager is closed")
@@ -178,6 +274,8 @@ class ExploreManager:
             self._sweeps[state.id] = state
             self._queue.append(state)
             self._evict_finished_locked()
+            self._emit_locked(state, "queued", jobs=state.total,
+                              backend=state.backend)
             if self._thread is None or not self._thread.is_alive():
                 self._thread = threading.Thread(
                     target=self._run_loop, daemon=True, name="explore-runner")
@@ -199,12 +297,90 @@ class ExploreManager:
         data["reportText"] = report.render_text()
         return data
 
+    # -- cancellation ---------------------------------------------------
+    def cancel(self, sweep_id: str,
+               reason: str = "client request") -> dict:
+        """Cancel a sweep: dequeue it if still queued, fire its token if
+        running (the backend drains and stops in-flight jobs), no-op on
+        a finished one.  Returns ``{"cancelled": bool, "state": ...}``;
+        raises :class:`KeyError` for an unknown id."""
+        with self._lock:
+            state = self._sweeps.get(sweep_id)
+            if state is None:
+                raise KeyError(sweep_id)
+            if state.state in TERMINAL_STATES:
+                return {"cancelled": False, "state": state.state}
+            if state.state == "queued":
+                self._queue = [s for s in self._queue if s.id != sweep_id]
+                state.state = "cancelled"
+                state.finished = time.monotonic()
+                state.cancel.cancel(reason)
+                self._emit_locked(state, "cancelled", where="queue",
+                                  reason=reason)
+                return {"cancelled": True, "state": "cancelled"}
+            # running: fire the token; the backend does the rest
+            state.cancel.cancel(reason)
+            self._emit_locked(state, "cancelling", reason=reason)
+            return {"cancelled": True, "state": "running"}
+
+    # -- event streaming ------------------------------------------------
+    def events_since(self, sweep_id: str,
+                     from_seq: int = 0) -> Tuple[List[dict], str]:
+        """One poll: ``(events[from_seq:], current state)``.
+
+        Raises :class:`KeyError` for an unknown sweep id."""
+        with self._lock:
+            state = self._sweeps.get(sweep_id)
+            if state is None:
+                raise KeyError(sweep_id)
+            return list(state.events[from_seq:]), state.state
+
+    def stream(self, sweep_id: str, from_seq: int = 0,
+               poll_s: float = 0.25) -> Iterator[dict]:
+        """Follow a sweep's event log live; ends after the terminal
+        event (or when the sweep is evicted mid-stream).  Raises
+        :class:`KeyError` immediately for an unknown sweep id."""
+        with self._lock:
+            if sweep_id not in self._sweeps:
+                raise KeyError(sweep_id)
+        seq = max(0, int(from_seq))
+        while True:
+            with self._lock:
+                state = self._sweeps.get(sweep_id)
+                if state is None:
+                    return                 # evicted mid-stream
+                events = list(state.events[seq:])
+                terminal = state.state in TERMINAL_STATES
+                if not events and not terminal:
+                    self._wake.wait(poll_s)
+                    continue
+            for event in events:
+                yield event
+            seq += len(events)
+            if terminal:
+                with self._lock:
+                    state = self._sweeps.get(sweep_id)
+                    drained = state is None or seq >= len(state.events)
+                if drained:
+                    return
+
     # ------------------------------------------------------------------
     def _evict_finished_locked(self) -> None:
         finished = [sid for sid, s in self._sweeps.items()
-                    if s.state in ("done", "failed")]
+                    if s.state in TERMINAL_STATES]
         while len(finished) > self.max_finished:
             del self._sweeps[finished.pop(0)]
+
+    def _build_backend(self, state: SweepState):
+        """Fleet sweeps get a registry-backed backend; serial/process
+        keep the historical ``workers`` resolution inside run_sweep."""
+        if state.backend != "fleet":
+            return None
+        from repro.fleet.scheduler import FleetError
+        if self.scheduler is None:  # pragma: no cover - submit rejects
+            raise FleetError("this server has no fleet scheduler")
+        return self.scheduler.build_backend(
+            job_timeout_s=state.job_timeout_s)
 
     def _run_loop(self) -> None:
         while True:
@@ -217,11 +393,14 @@ class ExploreManager:
                 state.state = "running"
                 state.started = time.monotonic()
 
-            def on_dispatch(index: int, _worker: object,
+            def on_dispatch(index: int, worker: object,
                             state: SweepState = state) -> None:
                 with self._lock:
                     state.dispatched.add(index)
                     state.running.add(index)
+                    self._emit_locked(state, "dispatch", job=index,
+                                      label=state.jobs[index].label,
+                                      worker=worker)
 
             def on_result(result, state: SweepState = state) -> None:
                 with self._lock:
@@ -230,30 +409,64 @@ class ExploreManager:
                     if not result.ok:
                         state.failed += 1
                     state.elapsed_jobs.append(result.elapsed_s)
+                    self._emit_locked(
+                        state, "finish", job=result.index,
+                        label=state.jobs[result.index].label,
+                        kind=result.kind, worker=result.worker,
+                        elapsedS=round(result.elapsed_s, 6),
+                        **({} if result.ok else {"error": result.error}))
 
+            backend = None
             try:
+                backend = self._build_backend(state)
+                state.live_backend = backend
+                self._emit(state, "started", backend=state.backend,
+                           workers=(backend.workers if backend is not None
+                                    else state.workers))
                 run = run_sweep(state.spec, workers=state.workers,
                                 job_timeout_s=state.job_timeout_s,
                                 jobs=state.jobs,
                                 on_dispatch=on_dispatch,
                                 on_result=on_result,
-                                start_method=self.start_method)
+                                start_method=self.start_method,
+                                backend=backend,
+                                cancel=state.cancel)
                 with self._lock:
                     state.records = run.records
                     state.completed = len(run.records)
                     state.failed = len(run.failures)
                     state.elapsed_s = run.elapsed_s
+                    state.execution = run.execution
+                    state.live_backend = None
                     state.running.clear()
-                    state.state = "done"
                     state.finished = time.monotonic()
+                    if state.cancel.cancelled():
+                        state.state = "cancelled"
+                        self._emit_locked(
+                            state, "cancelled", where="run",
+                            reason=state.cancel.reason,
+                            completed=state.completed,
+                            elapsedS=round(state.elapsed_s, 4))
+                    else:
+                        state.state = "done"
+                        self._emit_locked(
+                            state, "done", ok=state.completed - state.failed,
+                            failed=state.failed,
+                            elapsedS=round(state.elapsed_s, 4),
+                            jobWallTime=state.wall_time_json())
             except Exception as exc:  # noqa: BLE001 - keep serving
                 with self._lock:
                     state.error = f"{type(exc).__name__}: {exc}"
+                    state.live_backend = None
                     state.running.clear()
                     state.state = "failed"
                     state.finished = time.monotonic()
                     state.elapsed_s = state.finished - (state.started
                                                         or state.finished)
+                    self._emit_locked(state, "failed", error=state.error)
+            finally:
+                if backend is not None:
+                    backend.close()
 
     # ------------------------------------------------------------------
     def close(self) -> None:

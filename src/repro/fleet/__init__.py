@@ -1,0 +1,45 @@
+"""repro.fleet — server-owned fleet orchestration.
+
+PR 4's distributed sweeps were client-assembled: whoever ran
+``repro-sim explore --backend remote`` had to know every worker URL, and
+the server behind ``/explore/submit`` could only use its own serial or
+process backends.  This subsystem moves fleet ownership into the server,
+turning one repro-server into a sweep **frontend** for many worker
+machines:
+
+* :mod:`repro.fleet.registry` — the :class:`WorkerRegistry`: workers
+  announce themselves with ``POST /fleet/register`` heartbeats (capacity
+  + artifact-cache stats in the payload), expire on a TTL, re-join after
+  restarts, and get flap-excluded when they bounce; the
+  :class:`Heartbeater` is the worker-side loop behind
+  ``repro-sim worker --register``.
+* :mod:`repro.fleet.scheduler` — the :class:`FleetScheduler` /
+  :class:`FleetBackend`: ``/explore/submit`` with ``"backend": "fleet"``
+  runs the sweep on a server-owned remote backend built from the live
+  registry, reconciling membership every poll so jobs rebalance when
+  workers join or leave mid-sweep — with records byte-identical to the
+  serial baseline throughout.
+* :mod:`repro.fleet.cancel` — cooperative cancellation: the
+  :class:`CancelToken` that ``/explore/cancel`` fires, checked inside
+  the simulation hot loop every ``cancel_stride`` cycles and propagated
+  to workers via ``/worker/cancel`` (:class:`CancelRegistry`), so an
+  abandoned job stops within one check interval instead of burning its
+  cycle budget.
+"""
+
+from repro.fleet.cancel import CancelRegistry, CancelToken
+from repro.fleet.registry import (DEFAULT_TTL_S, FleetWorker, Heartbeater,
+                                  WorkerRegistry)
+from repro.fleet.scheduler import FleetBackend, FleetError, FleetScheduler
+
+__all__ = [
+    "CancelToken",
+    "CancelRegistry",
+    "WorkerRegistry",
+    "FleetWorker",
+    "Heartbeater",
+    "DEFAULT_TTL_S",
+    "FleetBackend",
+    "FleetScheduler",
+    "FleetError",
+]

@@ -1,0 +1,104 @@
+"""Cooperative cancellation primitives for fleet-orchestrated work.
+
+A :class:`CancelToken` is the one signalling object every layer shares:
+the server's ``/explore/cancel`` handler fires the sweep's token, the
+execution backends stop dispatching and drain their queues, and
+:meth:`repro.sim.simulation.Simulation.run` polls the token inside its
+hot loop every ``cancel_stride`` cycles — so an in-flight job stops
+within **one check interval** instead of burning the rest of its cycle
+budget.  The simulation layer deliberately does *not* import this
+module (it would invert the layering); it duck-types the token through
+its ``cancelled()`` method.
+
+A :class:`CancelRegistry` is the worker-server side of remote
+cancellation: ``/worker/execute`` registers a token under the caller's
+``cancelId`` before running the job, ``/worker/cancel`` fires it.  A
+cancel that arrives *before* its execute request (the two race over
+separate connections) is remembered in a bounded pre-cancel set, so the
+job still stops on its first stride check.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, Optional
+
+__all__ = ["CancelToken", "CancelRegistry"]
+
+
+class CancelToken:
+    """Thread-safe one-shot cancellation flag with an optional reason.
+
+    ``cancelled()`` is the only method the hot loop calls — it is a
+    bound :meth:`threading.Event.is_set` lookup, cheap enough to poll
+    every few thousand simulated cycles.
+    """
+
+    __slots__ = ("_event", "reason")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self.reason: Optional[str] = None
+
+    def cancel(self, reason: str = "cancelled") -> None:
+        """Fire the token (idempotent; the first reason wins)."""
+        if not self._event.is_set():
+            self.reason = reason
+            self._event.set()
+
+    def cancelled(self) -> bool:
+        return self._event.is_set()
+
+
+class CancelRegistry:
+    """Worker-side map of in-flight cancellable jobs.
+
+    ``create`` registers a fresh token under the remote caller's id;
+    ``cancel`` fires it (or records a *pre-cancel* when the id is not
+    yet registered — the cancel request can overtake the execute
+    request on a separate connection).  Pre-cancels are bounded LRU so
+    a misbehaving client cannot grow the set without limit.
+    """
+
+    def __init__(self, max_pre_cancelled: int = 256):
+        self._lock = threading.Lock()
+        self._tokens: Dict[str, CancelToken] = {}
+        self._pre: "OrderedDict[str, str]" = OrderedDict()
+        self.max_pre_cancelled = max_pre_cancelled
+
+    def create(self, cancel_id: str) -> CancelToken:
+        """Register (and return) the token for one job execution."""
+        token = CancelToken()
+        with self._lock:
+            reason = self._pre.pop(cancel_id, None)
+            self._tokens[cancel_id] = token
+        if reason is not None:
+            token.cancel(reason)
+        return token
+
+    def cancel(self, cancel_id: str, reason: str = "cancelled") -> bool:
+        """Fire the token for *cancel_id*.
+
+        Returns ``True`` when a registered job was signalled; ``False``
+        records a pre-cancel for an id not (yet) executing."""
+        with self._lock:
+            token = self._tokens.get(cancel_id)
+            if token is None:
+                self._pre[cancel_id] = reason
+                self._pre.move_to_end(cancel_id)
+                while len(self._pre) > self.max_pre_cancelled:
+                    self._pre.popitem(last=False)
+                return False
+        token.cancel(reason)
+        return True
+
+    def remove(self, cancel_id: str) -> None:
+        """Forget a finished job's token (idempotent)."""
+        with self._lock:
+            self._tokens.pop(cancel_id, None)
+
+    def active(self) -> int:
+        """Number of registered (executing) cancellable jobs."""
+        with self._lock:
+            return len(self._tokens)

@@ -1,0 +1,194 @@
+"""Fleet scheduling: server-owned sweep execution on the live registry.
+
+:class:`FleetBackend` is a :class:`repro.explore.backend.RemoteBackend`
+whose membership is **dynamic**: instead of a fixed ``--worker-url``
+list assembled by the client, it snapshots the
+:class:`repro.fleet.registry.WorkerRegistry` at construction and then
+reconciles against it every ``poll_s`` while the sweep runs —
+
+* a worker that **joins** (first heartbeat mid-sweep) is added and
+  starts pulling pending jobs immediately;
+* a worker that **leaves** (heartbeat TTL expired, or flap-excluded by
+  the registry) is excluded with a reason string; its in-flight job
+  either completes (the machine was alive, just late) or fails the
+  transport and is re-dispatched to a survivor — the at-most-one-retry
+  discipline is inherited unchanged;
+* a previously-expired worker that **re-joins** (restart, network blip
+  over) is readmitted and serves again.
+
+Because membership only decides *where* jobs run — never what they
+compute — fleet records stay byte-identical to the serial baseline
+through any amount of mid-sweep churn (pinned by
+``tests/fleet/test_scheduler.py`` and the CI ``fleet-smoke`` job).
+
+Every dispatch carries a ``cancelId``, so a fired sweep cancel token
+propagates to the owning workers via ``POST /worker/cancel`` and the
+job's stride check stops it within one interval.
+
+:class:`FleetScheduler` is the thin policy object the
+:class:`repro.explore.service.ExploreManager` consults: it owns the
+registry reference and the per-sweep backend parameters, and builds one
+``FleetBackend`` per ``"backend": "fleet"`` sweep.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.errors import ReproError
+from repro.explore.backend import RemoteBackend, _RemoteWorker
+from repro.fleet.registry import WorkerRegistry
+
+__all__ = ["FleetBackend", "FleetScheduler", "FleetError"]
+
+
+class FleetError(ReproError):
+    """Fleet scheduling failed for an operator-reportable reason
+    (typically: no registered workers to run on)."""
+
+
+class FleetBackend(RemoteBackend):
+    """Registry-membered remote backend (the ``"backend": "fleet"``
+    execution engine behind ``/explore/submit``).
+
+    Parameters mirror :class:`RemoteBackend`; *registry* supplies (and
+    keeps supplying) the worker set, *poll_s* is the membership
+    reconciliation period, and *no_worker_grace_s* bounds how long a
+    sweep whose entire fleet vanished waits for a replacement to
+    register before giving up (remaining jobs report ``kind="crash"``).
+    """
+
+    name = "fleet"
+
+    def __init__(self, registry: WorkerRegistry,
+                 job_timeout_s: Optional[float] = None,
+                 inflight_per_worker: int = 2,
+                 fail_threshold: int = 2,
+                 poll_s: float = 0.25,
+                 no_worker_grace_s: float = 5.0,
+                 client_factory=None):
+        members = registry.live()
+        if not members:
+            raise FleetError(
+                "no registered fleet workers (start workers with "
+                "'repro-sim worker --register HOST:PORT' and wait for "
+                "their first heartbeat)")
+        super().__init__([m.url for m in members],
+                         job_timeout_s=job_timeout_s,
+                         inflight_per_worker=inflight_per_worker,
+                         fail_threshold=fail_threshold,
+                         client_factory=client_factory,
+                         cancel_jobs_on_workers=True)
+        self.registry = registry
+        self.poll_s = poll_s
+        self.no_worker_grace_s = no_worker_grace_s
+        self._next_poll = 0.0
+        self._idle_since: Optional[float] = None
+        #: registry generation last seen per URL — a *bumped* generation
+        #: means the worker re-registered after expiring (restart /
+        #: recovery), which is the readmission signal that clears even a
+        #: transport-failure exclusion: the process we failed against is
+        #: gone, so its failure streak says nothing about its successor
+        self._seen_generation = {m.url: m.generation for m in members}
+
+    # -- membership reconciliation --------------------------------------
+    def _poll_membership(self, state) -> None:
+        now = time.monotonic()
+        if now < self._next_poll:
+            return
+        self._next_poll = now + self.poll_s
+        live = {member.url: member.generation
+                for member in self.registry.live()}
+        joined = []
+        with self._lock:
+            known = {worker.url: worker for worker in self._workers}
+            for worker in self._workers:
+                if worker.url in live:
+                    generation = live[worker.url]
+                    seen = self._seen_generation.get(worker.url,
+                                                     generation)
+                    rejoined = generation > seen
+                    self._seen_generation[worker.url] = max(generation,
+                                                            seen)
+                    if worker.excluded and (
+                            rejoined or (worker.excluded_reason or "")
+                            .startswith("left the fleet")):
+                        # a new generation (restarted worker) clears any
+                        # exclusion; a same-generation return only
+                        # clears a membership one — a worker we excluded
+                        # for transport failures that never restarted is
+                        # still the same broken process
+                        worker.readmit()
+                        joined.append(worker)
+                elif not worker.excluded:
+                    worker.excluded = True
+                    worker.excluded_reason = ("left the fleet "
+                                              "(heartbeat expired)")
+                    self._wake.notify_all()
+            for url in set(live) - set(known):
+                worker = _RemoteWorker(url)
+                self._workers.append(worker)
+                self._seen_generation[url] = live[url]
+                joined.append(worker)
+            self.workers = sum(1 for w in self._workers if not w.excluded)
+        for worker in joined:
+            self._start_worker(state, worker)
+
+    def _keep_waiting(self, state) -> bool:
+        """With every serve thread gone and jobs unfinished, wait up to
+        ``no_worker_grace_s`` for a replacement worker to register."""
+        now = time.monotonic()
+        if self._idle_since is None:
+            self._idle_since = now
+        if now - self._idle_since > self.no_worker_grace_s:
+            return False
+        self._next_poll = 0.0          # poll eagerly while stranded
+        return True
+
+    def _start_worker(self, state, worker) -> None:
+        self._idle_since = None
+        super()._start_worker(state, worker)
+
+    def describe(self) -> dict:
+        data = super().describe()
+        data["membership"] = "registry"
+        data["pollS"] = self.poll_s
+        return data
+
+
+class FleetScheduler:
+    """Builds per-sweep fleet backends from the server's registry."""
+
+    def __init__(self, registry: WorkerRegistry,
+                 inflight_per_worker: int = 2,
+                 fail_threshold: int = 2,
+                 poll_s: float = 0.25,
+                 client_factory=None):
+        self.registry = registry
+        self.inflight_per_worker = inflight_per_worker
+        self.fail_threshold = fail_threshold
+        self.poll_s = poll_s
+        self.client_factory = client_factory
+
+    def available(self) -> int:
+        """Live (schedulable) worker count right now."""
+        return len(self.registry.live_urls())
+
+    def build_backend(self,
+                      job_timeout_s: Optional[float] = None) -> FleetBackend:
+        """One fresh backend per sweep (health rows are per-run state).
+
+        Raises :class:`FleetError` when the registry is empty — the
+        protocol layer maps that to a 503 at submit time."""
+        return FleetBackend(self.registry,
+                            job_timeout_s=job_timeout_s,
+                            inflight_per_worker=self.inflight_per_worker,
+                            fail_threshold=self.fail_threshold,
+                            poll_s=self.poll_s,
+                            client_factory=self.client_factory)
+
+    def describe(self) -> dict:
+        return {"backend": "fleet",
+                "inflightPerWorker": self.inflight_per_worker,
+                "registry": self.registry.snapshot()}

@@ -131,13 +131,21 @@ class SimClient:
     # -- design-space sweeps (repro.explore) ----------------------------
     def explore_submit(self, spec: dict, workers: Optional[int] = None,
                        metric: str = "cycles",
-                       job_timeout_s: Optional[float] = None) -> dict:
-        """Queue a sweep; returns ``{"sweepId", "jobs", "workers"}``."""
+                       job_timeout_s: Optional[float] = None,
+                       backend: Optional[str] = None) -> dict:
+        """Queue a sweep; returns ``{"sweepId", "jobs", "workers"}``.
+
+        ``backend`` picks the server-side execution backend:
+        ``"serial"``, ``"process"``, or ``"fleet"`` (the server's
+        registered worker fleet — protocol v5); ``None`` keeps the
+        historical ``workers`` inference."""
         payload: dict = {"spec": spec, "metric": metric}
         if workers is not None:
             payload["workers"] = workers
         if job_timeout_s is not None:
             payload["jobTimeoutS"] = job_timeout_s
+        if backend is not None:
+            payload["backend"] = backend
         return self.request("POST", "/explore/submit", payload)
 
     def explore_status(self, sweep_id: str) -> dict:
@@ -149,13 +157,91 @@ class SimClient:
         return self.request("POST", "/explore/result",
                             {"sweepId": sweep_id, "metric": metric})
 
-    # -- distributed sweep worker (protocol v4) -------------------------
-    def worker_execute(self, job_payload: dict) -> dict:
+    def explore_cancel(self, sweep_id: str,
+                       reason: Optional[str] = None) -> dict:
+        """Cancel a queued/running sweep (protocol v5): queued sweeps are
+        dequeued, running ones drain and stop in-flight jobs within one
+        cancel-check stride."""
+        payload: dict = {"sweepId": sweep_id}
+        if reason is not None:
+            payload["reason"] = reason
+        return self.request("POST", "/explore/cancel", payload)
+
+    def explore_events(self, sweep_id: str, from_seq: int = 0) -> dict:
+        """One poll of a sweep's progress-event log."""
+        return self.request("POST", "/explore/events",
+                            {"sweepId": sweep_id, "fromSeq": from_seq})
+
+    def explore_stream(self, sweep_id: str, from_seq: int = 0,
+                       timeout: Optional[float] = None):
+        """Follow a sweep live: yields progress-event dicts from the
+        chunked ``GET /explore/stream`` until the terminal event.
+
+        Uses a dedicated connection (the stream occupies it for the
+        sweep's whole lifetime) with a generous default timeout —
+        events can be minutes apart on a long sweep."""
+        conn = http.client.HTTPConnection(
+            self.host, self.port,
+            timeout=timeout if timeout is not None else 600.0)
+        try:
+            conn.request("GET",
+                         f"/explore/stream?sweepId={sweep_id}"
+                         f"&fromSeq={int(from_seq)}",
+                         headers={"Accept": "application/x-ndjson"})
+            response = conn.getresponse()
+            if response.status >= 400:
+                raw = response.read()
+                data = json.loads(raw.decode("utf-8")) if raw else {}
+                raise ApiError(data.get("error",
+                                        f"HTTP {response.status}"),
+                               status=response.status)
+            for line in response:
+                line = line.strip()
+                if line:
+                    yield json.loads(line.decode("utf-8"))
+        finally:
+            conn.close()
+
+    # -- fleet registry (protocol v5) -----------------------------------
+    def fleet_register(self, url: str, capacity: int = 1,
+                       cache: Optional[dict] = None) -> dict:
+        """Register (or heartbeat) a worker in the server's fleet
+        registry; *url* is the worker's address as reachable from the
+        server."""
+        payload: dict = {"url": url, "capacity": capacity}
+        if cache is not None:
+            payload["cache"] = cache
+        return self.request("POST", "/fleet/register", payload)
+
+    def fleet_status(self) -> dict:
+        """Worker-registry snapshot (health rows, exclusion reasons)."""
+        return self.request("GET", "/fleet/status")
+
+    # -- distributed sweep worker (protocol v4/v5) ----------------------
+    def worker_execute(self, job_payload: dict,
+                       cancel_id: Optional[str] = None) -> dict:
         """Run one planned sweep job on a remote sweep worker.
 
         Returns the worker's ``{"ok", "value" | "kind"/"error", ...}``
         reply.  The stale-connection retry is off: the caller
         (:class:`repro.explore.backend.RemoteBackend`) owns retry policy,
-        and a transparently re-sent job could execute twice."""
-        return self.request("POST", "/worker/execute",
-                            {"payload": job_payload}, retry_stale=False)
+        and a transparently re-sent job could execute twice.
+        *cancel_id* makes the job cooperatively cancellable via
+        :meth:`worker_cancel` from another connection."""
+        payload: dict = {"payload": job_payload}
+        if cancel_id is not None:
+            payload["cancelId"] = cancel_id
+        return self.request("POST", "/worker/execute", payload,
+                            retry_stale=False)
+
+    def worker_cancel(self, cancel_id: str,
+                      reason: Optional[str] = None) -> dict:
+        """Fire the cancel token of an in-flight ``worker_execute``."""
+        payload: dict = {"cancelId": cancel_id}
+        if reason is not None:
+            payload["reason"] = reason
+        return self.request("POST", "/worker/cancel", payload)
+
+    def worker_status(self) -> dict:
+        """Worker health: artifact-cache stats + active-job gauge."""
+        return self.request("GET", "/worker/status")

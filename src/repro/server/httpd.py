@@ -5,6 +5,12 @@ bodies, JSON responses, optional gzip content-encoding (which the paper
 measured at +40 % throughput), and a configurable per-request overhead used
 to emulate the Docker deployment rows of Table I on machines without
 Docker.
+
+Two transports share the handler: the JSON request/response endpoints
+(buffered, optionally gzipped) and the chunked NDJSON progress stream
+behind ``GET /explore/stream`` — one event per chunk, flushed as it
+happens, so ``repro-sim explore --follow`` renders sweep progress live
+instead of polling ``/explore/status``.
 """
 
 from __future__ import annotations
@@ -16,6 +22,7 @@ import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
 
 from repro.server.protocol import Api, ApiError
 from repro.sim.state import dumps_raw
@@ -79,10 +86,51 @@ class _Handler(BaseHTTPRequestHandler):
             self._send(500, {"error": f"internal error: {exc}", "status": 500})
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        if urlsplit(self.path).path.rstrip("/") == "/explore/stream":
+            self._stream_explore()
+            return
         self._dispatch("GET")
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
         self._dispatch("POST")
+
+    # ------------------------------------------------------------------
+    def _stream_explore(self) -> None:
+        """Chunked NDJSON live progress stream (``GET /explore/stream``).
+
+        One event per chunk, flushed immediately; the stream ends (with
+        the terminating zero chunk) after the sweep's terminal event, so
+        a client can simply iterate lines until EOF.  Errors before the
+        first byte are ordinary JSON error responses."""
+        query = parse_qs(urlsplit(self.path).query)
+        sweep_id = (query.get("sweepId") or [""])[0]
+        try:
+            from_seq = int((query.get("fromSeq") or ["0"])[0] or 0)
+        except ValueError:
+            self._send(400, {"error": "fromSeq must be an integer",
+                             "status": 400})
+            return
+        try:
+            events = self.server.api.explore_stream(sweep_id, from_seq)
+        except ApiError as exc:
+            self._send(exc.status, exc.to_json())
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Cache-Control", "no-cache")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.end_headers()
+        try:
+            for event in events:
+                chunk = (json.dumps(event) + "\n").encode("utf-8")
+                self.wfile.write(f"{len(chunk):x}\r\n".encode("ascii")
+                                 + chunk + b"\r\n")
+                self.wfile.flush()
+            self.wfile.write(b"0\r\n\r\n")
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            # client went away mid-stream: nothing to clean up — the
+            # generator holds no locks between yields
+            self.close_connection = True
 
 
 class SimServer(ThreadingHTTPServer):
@@ -123,34 +171,64 @@ def serve(host: str = "127.0.0.1", port: int = 8045,
           enable_gzip: bool = True, overhead_ms: float = 0.0,
           verbose: bool = True, session_workers: Optional[int] = None,
           explore_workers: Optional[int] = None,
-          role: str = "simulation server") -> None:
+          role: str = "simulation server",
+          register_with: Optional[str] = None,
+          advertise: Optional[str] = None,
+          capacity: Optional[int] = None,
+          heartbeat_s: Optional[float] = None,
+          cancel_stride: Optional[int] = None) -> None:
     """Run the server in the foreground (``repro-server`` entry point).
 
     *role* only changes the banner: a distributed-sweep worker
     (``repro-sim worker``) is a full repro-server whose expected traffic
-    is the protocol-v4 ``/worker/execute`` endpoint, so fleet operators
-    can tell the two apart in process listings and logs.
+    is the ``/worker/execute`` endpoint, so fleet operators can tell the
+    two apart in process listings and logs.
+
+    *register_with* (``host:port`` of a fleet frontend) starts a
+    heartbeat thread announcing this server to that frontend's worker
+    registry — the ``repro-sim worker --register`` mode.  *advertise*
+    overrides the URL the frontend should dial back (defaults to
+    ``host:port`` as bound, which is wrong behind NAT/containers);
+    *capacity* is the advertised parallel-job capacity and *heartbeat_s*
+    overrides the frontend-suggested beat interval.  *cancel_stride* is
+    the cooperative-cancel check interval (cycles) for jobs this server
+    executes.
     """
     from repro.explore.service import ExploreManager
     from repro.server.protocol import DEFAULT_SESSION_WORKERS
+    from repro.sim.simulation import DEFAULT_CANCEL_STRIDE
     # explicit None check: --session-workers 0 must reach KeyedThreadPool
     # and fail its validation loudly, not silently fall back to the default
     api = Api(explore=ExploreManager(workers=explore_workers),
               session_workers=DEFAULT_SESSION_WORKERS
-              if session_workers is None else session_workers)
+              if session_workers is None else session_workers,
+              cancel_stride=DEFAULT_CANCEL_STRIDE
+              if cancel_stride is None else cancel_stride)
     server = SimServer((host, port), api=api, enable_gzip=enable_gzip,
                        overhead_ms=overhead_ms, verbose=verbose)
+    heartbeater = None
+    if register_with:
+        from repro.fleet.registry import Heartbeater
+        heartbeater = Heartbeater(
+            register_with, advertise or f"{host}:{server.port}",
+            capacity=capacity if capacity is not None else 1,
+            interval_s=heartbeat_s, cache_stats_fn=api.artifacts.stats)
+        heartbeater.start()
     print(f"repro {role} listening on http://{host}:{server.port}"
           f" (gzip={'on' if enable_gzip else 'off'},"
           f" overhead={overhead_ms}ms,"
           f" session workers={api.session_pool.workers},"
-          f" explore workers={api.explore.workers})", flush=True)
+          f" explore workers={api.explore.workers}"
+          + (f", fleet frontend={register_with}" if register_with else "")
+          + ")", flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive
         print("shutting down")
         server.shutdown()
     finally:
+        if heartbeater is not None:
+            heartbeater.stop()
         server.server_close()
 
 
@@ -167,12 +245,17 @@ def main(argv=None) -> int:
                         help="session executor threads (per-session queues)")
     parser.add_argument("--explore-workers", type=int, default=None,
                         help="worker processes for /explore sweeps")
+    parser.add_argument("--cancel-stride", type=int, default=None,
+                        metavar="CYCLES",
+                        help="cooperative-cancel check interval for "
+                             "/worker/execute jobs")
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args(argv)
     serve(args.host, args.port, enable_gzip=not args.no_gzip,
           overhead_ms=args.overhead_ms, verbose=not args.quiet,
           session_workers=args.session_workers,
-          explore_workers=args.explore_workers)
+          explore_workers=args.explore_workers,
+          cancel_stride=args.cancel_stride)
     return 0
 
 

@@ -14,8 +14,16 @@ Endpoints mirror the paper's server API:
 ``POST /explore/submit``  queue a design-space sweep (repro.explore)
 ``POST /explore/status``  sweep progress (state, jobs completed/failed)
 ``POST /explore/result``  per-run records + comparison report
+``POST /explore/cancel``  cancel a queued/running sweep (fires its token)
+``POST /explore/events``  one poll of a sweep's progress-event log
+``GET  /explore/stream``  chunked NDJSON live event stream (HTTP layer)
+``POST /fleet/register``  worker registration + heartbeat (repro.fleet)
+``GET  /fleet/status``    worker-registry snapshot (health rows)
+``POST /worker/execute``  run one planned sweep job (distributed sweeps)
+``POST /worker/cancel``   fire the cancel token of an in-flight job
+``GET  /worker/status``   artifact-cache stats + active-job gauge
 ``GET  /schema``          machine-readable endpoint list
-``GET  /health``          liveness probe
+``GET  /health``          liveness probe (+ fleet health rows)
 ========================  ===================================================
 
 Handlers receive/return plain dicts; the HTTP layer (or the in-process test
@@ -42,12 +50,16 @@ from repro.core.config import CpuConfig
 from repro.errors import (AsmSyntaxError, ConfigError, MemoryAccessError,
                           ReproError, SourceError)
 from repro.explore.artifacts import ArtifactCache
-from repro.explore.pool import KeyedThreadPool
+from repro.explore.pool import CANCELLED_MESSAGE, KeyedThreadPool
 from repro.explore.report import MetricError
 from repro.explore.service import ExploreManager
 from repro.explore.spec import SweepSpecError
+from repro.fleet.cancel import CancelRegistry
+from repro.fleet.registry import WorkerRegistry
+from repro.fleet.scheduler import FleetError, FleetScheduler
 from repro.memory.layout import MemoryLocation, decode_values
 from repro.server.session import SessionManager
+from repro.sim.simulation import DEFAULT_CANCEL_STRIDE
 from repro.sim.state import SNAPSHOT_SCHEMA_VERSION, RawJson
 
 #: wire-protocol version served by this module.  v2 added delta state
@@ -58,8 +70,14 @@ from repro.sim.state import SNAPSHOT_SCHEMA_VERSION, RawJson
 #: ``/worker/execute`` sweep-worker endpoint (distributed sweeps fan jobs
 #: out to a fleet of these servers), checkpoint-ring memory gauges on the
 #: ``session/*`` payloads, and the enriched ``/explore/status`` (wall-time
-#: summary, queued/running job ids).  v1-v3 clients keep working.
-PROTOCOL_VERSION = 4
+#: summary, queued/running job ids).  v5 adds the fleet-orchestration
+#: surface: ``/fleet/register`` heartbeats + fleet health rows in
+#: ``/health``, server-owned ``"backend": "fleet"`` sweeps on
+#: ``/explore/submit``, cooperative cancellation (``/explore/cancel`` ->
+#: ``/worker/cancel`` -> the simulation's cancel-stride check), live
+#: progress (``/explore/events`` + chunked ``/explore/stream``), and
+#: ``/worker/status`` cache metrics.  v1-v4 clients keep working.
+PROTOCOL_VERSION = 5
 
 #: executors session work is dispatched onto (per-session FIFO queues keep
 #: request order; the count bounds how many sessions simulate at once)
@@ -142,15 +160,39 @@ SCHEMA = {
         {"method": "POST", "path": "/explore/submit",
          "body": {"spec": "sweep spec JSON (see repro.explore.spec)",
                   "workers": "int? (0 = serial)",
+                  "backend": "serial/process/fleet? (default inferred "
+                             "from workers; 'fleet' runs on registered "
+                             "fleet workers)",
                   "metric": "ranking metric? (default 'cycles')",
                   "jobTimeoutS": "number? per-job wall-clock budget"}},
         {"method": "POST", "path": "/explore/status",
          "body": {"sweepId": "id"}},
         {"method": "POST", "path": "/explore/result",
          "body": {"sweepId": "id", "metric": "ranking metric?"}},
+        {"method": "POST", "path": "/explore/cancel",
+         "body": {"sweepId": "id", "reason": "string?"}},
+        {"method": "POST", "path": "/explore/events",
+         "body": {"sweepId": "id", "fromSeq": "int? (default 0)"}},
+        {"method": "GET", "path": "/explore/stream",
+         "query": {"sweepId": "id", "fromSeq": "int? (default 0)"},
+         "notes": "chunked NDJSON progress events, ends after the "
+                  "terminal event (SimClient.explore_stream)"},
+        {"method": "POST", "path": "/fleet/register",
+         "body": {"url": "worker host:port (as reachable from this "
+                         "server)",
+                  "capacity": "int? advertised parallel-job capacity",
+                  "cache": "worker artifact-cache stats? "
+                           "(surfaced on fleet health rows)"}},
+        {"method": "GET", "path": "/fleet/status"},
         {"method": "POST", "path": "/worker/execute",
          "body": {"payload": "one planned sweep-job payload "
-                             "(see repro.explore.plan)"}},
+                             "(see repro.explore.plan)",
+                  "cancelId": "string? cooperative-cancel handle "
+                              "(fire it via /worker/cancel)"}},
+        {"method": "POST", "path": "/worker/cancel",
+         "body": {"cancelId": "id from the matching /worker/execute",
+                  "reason": "string?"}},
+        {"method": "GET", "path": "/worker/status"},
         {"method": "GET", "path": "/schema"},
         {"method": "GET", "path": "/health"},
     ],
@@ -163,12 +205,17 @@ class Api:
     ``session_workers`` sizes the :class:`KeyedThreadPool` session work
     runs on (threads start lazily, so idle Apis cost nothing); ``explore``
     may inject a pre-configured :class:`ExploreManager` (the HTTP entry
-    point passes worker counts through).
+    point passes worker counts through); ``fleet`` a pre-configured
+    :class:`WorkerRegistry` (tests inject short TTLs / fake clocks).
+    ``cancel_stride`` is the cooperative-cancel check interval (cycles)
+    for jobs this server executes via ``/worker/execute``.
     """
 
     def __init__(self, sessions: Optional[SessionManager] = None,
                  explore: Optional[ExploreManager] = None,
-                 session_workers: int = DEFAULT_SESSION_WORKERS):
+                 session_workers: int = DEFAULT_SESSION_WORKERS,
+                 fleet: Optional[WorkerRegistry] = None,
+                 cancel_stride: int = DEFAULT_CANCEL_STRIDE):
         # explicit None checks: both managers define __len__, so an empty
         # (still perfectly valid) instance is falsy and `or` would drop it
         self.sessions = sessions if sessions is not None else SessionManager()
@@ -179,6 +226,14 @@ class Api:
         #: remote sweep worker compiles/assembles each distinct program
         #: once, then serves repeats from memory (see repro.explore.artifacts)
         self.artifacts = ArtifactCache()
+        #: the server-owned worker registry behind /fleet/register and
+        #: the "fleet" sweep backend
+        self.fleet = fleet if fleet is not None else WorkerRegistry()
+        if self.explore.scheduler is None:
+            self.explore.scheduler = FleetScheduler(self.fleet)
+        #: in-flight cancellable jobs (/worker/execute <-> /worker/cancel)
+        self.cancels = CancelRegistry()
+        self.cancel_stride = cancel_stride
 
     def close(self) -> None:
         """Stop the worker pools (tests; server shutdown)."""
@@ -192,7 +247,8 @@ class Api:
         if route == ("GET", "/schema"):
             return SCHEMA
         if route == ("GET", "/health"):
-            return {"status": "ok", "sessions": len(self.sessions)}
+            return {"status": "ok", "sessions": len(self.sessions),
+                    "fleet": self.fleet.snapshot()}
         if route == ("POST", "/compile"):
             return self.compile(payload)
         if route == ("POST", "/parseAsm"):
@@ -217,8 +273,24 @@ class Api:
             return self.explore_status(payload)
         if route == ("POST", "/explore/result"):
             return self.explore_result(payload)
+        if route == ("POST", "/explore/cancel"):
+            return self.explore_cancel(payload)
+        if route == ("POST", "/explore/events"):
+            return self.explore_events(payload)
+        if route in (("GET", "/explore/stream"), ("POST", "/explore/stream")):
+            raise ApiError("/explore/stream is a chunked NDJSON stream; "
+                           "use SimClient.explore_stream (or poll "
+                           "/explore/events)", status=400)
+        if route == ("POST", "/fleet/register"):
+            return self.fleet_register(payload)
+        if route in (("GET", "/fleet/status"), ("POST", "/fleet/status")):
+            return self.fleet_status()
         if route == ("POST", "/worker/execute"):
             return self.worker_execute(payload)
+        if route == ("POST", "/worker/cancel"):
+            return self.worker_cancel(payload)
+        if route in (("GET", "/worker/status"), ("POST", "/worker/status")):
+            return self.worker_status()
         raise ApiError(f"no such endpoint: {method} {path}", status=404)
 
     # ------------------------------------------------------------------
@@ -456,11 +528,19 @@ class Api:
                     or not isinstance(job_timeout_s, (int, float)) \
                     or job_timeout_s <= 0:
                 raise ApiError("'jobTimeoutS' must be a positive number")
+        backend = payload.get("backend")
+        if backend is not None and not isinstance(backend, str):
+            raise ApiError("'backend' must be a string "
+                           "(serial/process/fleet)")
         try:
             state = self.explore.submit(
                 spec, workers=workers,
                 metric=str(payload.get("metric", "cycles")),
-                job_timeout_s=job_timeout_s)
+                job_timeout_s=job_timeout_s, backend=backend)
+        except FleetError as exc:
+            # a fleet submit with no registered workers is the server's
+            # (transient) state, not a bad request: 503, retry later
+            raise ApiError(str(exc), status=503) from exc
         except (SweepSpecError, MetricError, ConfigError,
                 ValueError, TypeError, KeyError) as exc:
             # ValueError/TypeError/KeyError cover malformed field types the
@@ -471,7 +551,7 @@ class Api:
             raise ApiError(str(exc), status=429) from exc
         return {"success": True, "protocolVersion": PROTOCOL_VERSION,
                 "sweepId": state.id, "jobs": state.total,
-                "workers": state.workers}
+                "workers": state.workers, "backend": state.backend}
 
     def _sweep(self, payload: dict):
         sweep_id = payload.get("sweepId")
@@ -487,7 +567,7 @@ class Api:
 
     def explore_result(self, payload: dict) -> dict:
         state = self._sweep(payload)
-        if state.state not in ("done", "failed"):
+        if state.state not in ("done", "failed", "cancelled"):
             raise ApiError(f"sweep '{state.id}' is {state.state}; poll "
                            f"/explore/status until it is done", status=409)
         try:
@@ -498,7 +578,75 @@ class Api:
         out["success"] = state.state == "done"
         return out
 
-    # -- distributed sweep worker (protocol v4) -------------------------
+    def explore_cancel(self, payload: dict) -> dict:
+        """Cancel a sweep: dequeues a queued one, fires the cancel token
+        of a running one (undispatched jobs drain as ``cancelled``
+        records; in-flight fleet jobs get ``/worker/cancel`` and stop
+        within one cancel-check stride)."""
+        state = self._sweep(payload)
+        try:
+            out = self.explore.cancel(
+                state.id,
+                reason=str(payload.get("reason", "client request")))
+        except KeyError:  # evicted between lookup and cancel
+            raise ApiError(f"unknown sweep '{state.id}'",
+                           status=404) from None
+        out["success"] = True
+        out["sweepId"] = state.id
+        out["protocolVersion"] = PROTOCOL_VERSION
+        return out
+
+    def explore_events(self, payload: dict) -> dict:
+        """One poll of a sweep's progress-event log (the poll-shaped
+        sibling of the chunked ``/explore/stream``)."""
+        state = self._sweep(payload)
+        from_seq = self._parse_int(payload, "fromSeq", default=0)
+        if from_seq < 0:
+            raise ApiError("'fromSeq' must be >= 0")
+        try:
+            events, sweep_state = self.explore.events_since(state.id,
+                                                            from_seq)
+        except KeyError:  # evicted between lookup and poll
+            raise ApiError(f"unknown sweep '{state.id}'",
+                           status=404) from None
+        return {"success": True, "sweepId": state.id, "state": sweep_state,
+                "events": events, "nextSeq": from_seq + len(events)}
+
+    def explore_stream(self, sweep_id: str, from_seq: int = 0):
+        """Live event generator behind ``GET /explore/stream`` (the HTTP
+        layer writes each yielded event as one chunked NDJSON line).
+        Raises 404 before the first byte for an unknown sweep."""
+        if not sweep_id or self.explore.get(sweep_id) is None:
+            raise ApiError(f"unknown sweep '{sweep_id}'", status=404)
+        return self.explore.stream(sweep_id, from_seq=max(0, from_seq))
+
+    # -- fleet registry (protocol v5) -----------------------------------
+    def fleet_register(self, payload: dict) -> dict:
+        """Worker registration/heartbeat: the worker announces the URL it
+        is reachable at, its capacity, and (optionally) its artifact-cache
+        stats; re-posting keeps the registration alive (TTL)."""
+        url = payload.get("url")
+        if not isinstance(url, str) or not url:
+            raise ApiError("'url' (worker host:port as reachable from "
+                           "this server) is required")
+        capacity = payload.get("capacity", 1)
+        cache_stats = payload.get("cache")
+        if cache_stats is not None and not isinstance(cache_stats, dict):
+            raise ApiError("'cache' must be an object (worker cache stats)")
+        try:
+            ack = self.fleet.register(url, capacity=capacity,
+                                      cache_stats=cache_stats)
+        except ValueError as exc:
+            raise ApiError(str(exc)) from exc
+        ack["success"] = True
+        ack["protocolVersion"] = PROTOCOL_VERSION
+        return ack
+
+    def fleet_status(self) -> dict:
+        return {"success": True, "protocolVersion": PROTOCOL_VERSION,
+                "fleet": self.fleet.snapshot()}
+
+    # -- distributed sweep worker (protocol v4/v5) ----------------------
     def worker_execute(self, payload: dict) -> dict:
         """Execute one planned sweep job and return its outcome.
 
@@ -515,31 +663,70 @@ class Api:
         in-memory artifact cache, so repeated-program grids compile and
         assemble each program once per worker.
 
-        Known limitation: a job abandoned by a client-side timeout keeps
-        simulating here until its *cycle budget* halts it — bounded (every
-        payload carries ``maxCycles`` or the config default), but the
-        worker burns CPU on it meanwhile; the process pool kills such
-        workers instead.  Cooperative server-side cancellation is a
-        ROADMAP item.
+        A body with a ``cancelId`` makes the job cooperatively
+        cancellable: the id is registered while the job runs, and a
+        ``POST /worker/cancel`` for it fires a token the simulation
+        checks every ``cancel_stride`` cycles — the job then stops
+        within one stride and replies ``kind="cancelled"`` instead of
+        burning the rest of its cycle budget (the v4 known-limitation
+        this closes).  A cancel that arrives *before* the execute
+        request is remembered and honored on the first stride check.
         """
         job = payload.get("payload")
         if not isinstance(job, dict):
             raise ApiError("'payload' (one planned sweep-job object, see "
                            "repro.explore.plan) is required")
-        from repro.explore.runner import execute_payload
+        cancel_id = payload.get("cancelId")
+        if cancel_id is not None and not isinstance(cancel_id, str):
+            raise ApiError("'cancelId' must be a string")
+        from repro.explore.runner import JobCancelled, execute_payload
+        token = self.cancels.create(cancel_id) if cancel_id else None
         started = time.monotonic()
         out = {"success": True, "protocolVersion": PROTOCOL_VERSION}
         try:
             out["ok"] = True
-            out["value"] = execute_payload(job, cache=self.artifacts)
+            out["value"] = execute_payload(job, cache=self.artifacts,
+                                           cancel=token,
+                                           cancel_stride=self.cancel_stride)
+        except JobCancelled:
+            out["ok"] = False
+            out["kind"] = "cancelled"
+            out["error"] = CANCELLED_MESSAGE
         except Exception as exc:  # noqa: BLE001 - job isolation, as the
             # serial loop / pool worker: report, never die
             out["ok"] = False
             out["kind"] = "error"
             out["error"] = f"{type(exc).__name__}: {exc}"
+        finally:
+            if cancel_id:
+                self.cancels.remove(cancel_id)
         out["elapsedS"] = round(time.monotonic() - started, 6)
         out["artifactCache"] = self.artifacts.stats()
         return out
+
+    def worker_cancel(self, payload: dict) -> dict:
+        """Fire the cancel token of an in-flight ``/worker/execute`` job.
+
+        Idempotent and race-tolerant: an unknown id is recorded as a
+        pre-cancel (the cancel may overtake its execute request on a
+        separate connection) and reported with ``cancelled: false``."""
+        cancel_id = payload.get("cancelId")
+        if not isinstance(cancel_id, str) or not cancel_id:
+            raise ApiError("'cancelId' (string) is required")
+        hit = self.cancels.cancel(
+            cancel_id, reason=str(payload.get("reason", "cancelled")))
+        return {"success": True, "protocolVersion": PROTOCOL_VERSION,
+                "cancelled": hit}
+
+    def worker_status(self) -> dict:
+        """Worker health: artifact-cache hit/miss/size stats (memory and
+        disk tiers, GC evictions) plus the in-flight cancellable-job
+        gauge — one poll per fleet member keeps long-lived fleets
+        observable."""
+        return {"success": True, "protocolVersion": PROTOCOL_VERSION,
+                "artifactCache": self.artifacts.stats(),
+                "activeJobs": self.cancels.active(),
+                "cancelStride": self.cancel_stride}
 
 
 _default_api: Optional[Api] = None

@@ -24,6 +24,18 @@ from repro.isa.isa import InstructionSet
 from repro.sim.state import SNAPSHOT_SCHEMA_VERSION, CheckpointRing
 from repro.sim.statistics import RuntimeStatistics
 
+#: cycles simulated between cooperative cancel-token checks in
+#: :meth:`Simulation.run`.  The documented worst case: once a token
+#: fires, at most this many more cycles execute before the run halts
+#: (one check interval; ~tens of milliseconds of wall time at the
+#: simulator's measured cycle throughput).  Pinned by
+#: ``tests/fleet/test_cancel.py``.
+DEFAULT_CANCEL_STRIDE = 5_000
+
+#: halt reason of a run stopped by a cancel token — deterministic (no
+#: reason text embedded) so cancelled records stay comparable
+CANCELLED_HALT_REASON = "cancelled"
+
 
 @dataclass
 class SimulationResult:
@@ -182,23 +194,55 @@ class Simulation:
         self._view_mark = None
 
     # ------------------------------------------------------------------
-    def run(self, max_cycles: Optional[int] = None) -> SimulationResult:
+    def run(self, max_cycles: Optional[int] = None,
+            cancel: Optional[object] = None,
+            cancel_stride: Optional[int] = None) -> SimulationResult:
         """Run continuously until the program ends (or a cycle budget).
 
         With no registered observers this takes the uninstrumented fast
         path (:meth:`repro.core.pipeline.Cpu.run`): no per-cycle observer
         dispatch, no snapshots — run-to-completion simulations only pay for
-        the pipeline blocks themselves."""
+        the pipeline blocks themselves.
+
+        *cancel* (any object with a ``cancelled() -> bool`` method,
+        canonically :class:`repro.fleet.cancel.CancelToken`) makes the
+        run cooperatively cancellable: the token is checked every
+        *cancel_stride* cycles (default :data:`DEFAULT_CANCEL_STRIDE`),
+        so a fired token halts the run — ``halt_reason`` becomes
+        :data:`CANCELLED_HALT_REASON` — within **one stride** instead of
+        burning the rest of the budget.  A pre-fired token halts before
+        the first cycle.  Without a token the fast path is unchanged
+        (zero per-cycle overhead)."""
         budget = max_cycles if max_cycles is not None else self.config.max_cycles
-        if not self.observers:
-            self.cpu.run(budget)
+        cpu = self.cpu
+        if cancel is None:
+            if not self.observers:
+                cpu.run(budget)
+            else:
+                while not cpu.halted and cpu.cycle < budget:
+                    cpu.step()
+                    for observer in self.observers:
+                        observer(cpu)
         else:
-            while not self.cpu.halted and self.cpu.cycle < budget:
-                self.cpu.step()
-                for observer in self.observers:
-                    observer(self.cpu)
-        if not self.cpu.halted:
-            self.cpu.halted = f"cycle budget reached ({budget})"
+            stride = cancel_stride if cancel_stride is not None \
+                else DEFAULT_CANCEL_STRIDE
+            if stride < 1:
+                raise ValueError("cancel_stride must be >= 1")
+            cancelled = cancel.cancelled
+            while not cpu.halted and cpu.cycle < budget:
+                if cancelled():
+                    cpu.halted = CANCELLED_HALT_REASON
+                    break
+                chunk = min(budget, cpu.cycle + stride)
+                if not self.observers:
+                    cpu.run(chunk)
+                else:
+                    while not cpu.halted and cpu.cycle < chunk:
+                        cpu.step()
+                        for observer in self.observers:
+                            observer(cpu)
+        if not cpu.halted:
+            cpu.halted = f"cycle budget reached ({budget})"
         return SimulationResult(
             halt_reason=self.cpu.halted,
             cycles=self.cpu.cycle,

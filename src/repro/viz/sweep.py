@@ -8,7 +8,8 @@ and assertable in tests.
 
 from __future__ import annotations
 
-__all__ = ["render_sweep_report", "render_execution_summary"]
+__all__ = ["render_sweep_report", "render_execution_summary",
+           "render_fleet_table"]
 
 #: pairwise matrices beyond this many runs stop being readable as text
 _MATRIX_LIMIT = 12
@@ -123,6 +124,13 @@ def render_execution_summary(run_json: dict) -> str:
         entry["busy"] += timing.get("elapsedS", 0.0)
     health = {w.get("url"): w for w in
               (run_json.get("execution") or {}).get("remoteWorkers", [])}
+
+    def excluded_cell(info: dict) -> str:
+        if not info.get("excluded"):
+            return ""
+        reason = info.get("excludedReason")
+        return f", EXCLUDED ({reason})" if reason else ", EXCLUDED"
+
     for worker, entry in sorted(by_worker.items(), key=lambda kv: str(kv[0])):
         line = (f"  worker {worker}: {entry['jobs']} jobs "
                 f"({entry['failed']} failed), "
@@ -131,11 +139,50 @@ def render_execution_summary(run_json: dict) -> str:
         if info is not None and (info.get("failures") or
                                  info.get("excluded")):
             line += (f", transport failures {info['failures']}"
-                     + (", EXCLUDED" if info.get("excluded") else ""))
+                     + excluded_cell(info))
         lines.append(line)
     for url, info in health.items():     # fleet members that ran nothing
         lines.append(f"  worker {url}: 0 jobs"
                      + (f", transport failures {info.get('failures', 0)}"
                         if info.get("failures") else "")
-                     + (", EXCLUDED" if info.get("excluded") else ""))
+                     + excluded_cell(info))
+    return "\n".join(lines) + "\n"
+
+
+def render_fleet_table(fleet_json: dict) -> str:
+    """Fleet health table from a registry snapshot (the ``fleet`` object
+    on ``/health`` and ``/fleet/status``).
+
+    One row per known worker: address, advertised capacity, heartbeat
+    count, seconds since the last beat, and live/EXCLUDED status with
+    the registry's reason string — the operator view of who a
+    ``"backend": "fleet"`` sweep will actually run on."""
+    rows = fleet_json.get("rows") or []
+    header = (f"fleet: {fleet_json.get('live', 0)} live / "
+              f"{fleet_json.get('known', 0)} known workers "
+              f"(heartbeat TTL {fleet_json.get('ttlS', '?')}s)")
+    if not rows:
+        return header + "\n"
+    lines = [header]
+    columns = ["url", "cap", "beats", "gen", "last beat", "status"]
+    cells = []
+    for row in rows:
+        if row.get("excluded"):
+            status = "EXCLUDED" + (f" ({row['excludedReason']})"
+                                   if row.get("excludedReason") else "")
+        else:
+            status = "live"
+        cells.append([str(row.get("url", "?")),
+                      str(row.get("capacity", "?")),
+                      str(row.get("heartbeats", 0)),
+                      str(row.get("generation", 1)),
+                      f"{row.get('ageS', 0):.1f}s ago",
+                      status])
+    widths = [max(len(columns[i]), max(len(r[i]) for r in cells))
+              for i in range(len(columns))]
+    lines.append("  " + "  ".join(f"{c:<{w}}"
+                                  for c, w in zip(columns, widths)))
+    for row_cells in cells:
+        lines.append("  " + "  ".join(f"{c:<{w}}"
+                                      for c, w in zip(row_cells, widths)))
     return "\n".join(lines) + "\n"

@@ -280,6 +280,31 @@ class TestExploreMode:
         assert main(["explore", spec_file, "--backend", "remote",
                      "--worker-url", "nonsense"]) == 2
         assert "worker URL" in capsys.readouterr().err
+        assert main(["explore", spec_file, "--backend", "fleet"]) == 2
+        assert "server-orchestrated" in capsys.readouterr().err
+        assert main(["explore", spec_file, "--follow"]) == 2
+        assert "requires --host" in capsys.readouterr().err
+
+    def test_fleet_submission_with_follow(self, spec_file, capsys):
+        """--host --backend fleet --follow against a server whose
+        registry holds one self-registered worker (the server itself)."""
+        server = SimServer(("127.0.0.1", 0))
+        server.start_background()
+        try:
+            # the frontend doubles as its own (only) fleet worker
+            server.api.fleet.register(f"127.0.0.1:{server.port}")
+            code = main(["explore", spec_file, "--backend", "fleet",
+                         "--follow", "--host", "127.0.0.1",
+                         "--port", str(server.port)])
+            assert code == 0
+            captured = capsys.readouterr()
+            assert "Design-space sweep: cli-sweep" in captured.out
+            assert "fleet: 1 live / 1 known workers" in captured.err
+            assert "-> worker" in captured.err      # dispatch events
+            assert "done" in captured.err           # terminal event
+        finally:
+            server.shutdown()
+            server.server_close()
 
     def test_remote_submission(self, spec_file, capsys):
         server = SimServer(("127.0.0.1", 0))

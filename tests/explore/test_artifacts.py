@@ -5,7 +5,9 @@ import os
 
 import pytest
 
-from repro.explore.artifacts import (ARTIFACT_DIR_ENV, ArtifactCache,
+from repro.explore.artifacts import (ARTIFACT_DIR_ENV,
+                                     ARTIFACT_MAX_BYTES_ENV,
+                                     DEFAULT_MAX_DISK_BYTES, ArtifactCache,
                                      default_cache, reset_default_cache)
 from repro.explore.runner import JobError, execute_payload
 from repro.explore.spec import SweepSpec
@@ -128,6 +130,87 @@ class TestArtifactCache:
             monkeypatch.setenv(ARTIFACT_DIR_ENV, "off")
             reset_default_cache()
             assert default_cache().directory is None
+        finally:
+            monkeypatch.undo()
+            reset_default_cache()
+
+
+class TestDiskGc:
+    """Size-bounded LRU eviction of the disk tier (fleet-scale hygiene)."""
+
+    def kernels(self, count):
+        return [f"int main(void) {{ return {i}; }}" for i in range(count)]
+
+    def test_gc_evicts_oldest_until_under_budget(self, tmp_path):
+        cache = ArtifactCache(directory=str(tmp_path), max_disk_bytes=1)
+        for source in self.kernels(4):
+            cache.compiled_assembly(source, 0)
+        # a 1-byte budget can keep nothing but the file just written
+        # (the GC stops once under budget, checking after each unlink)
+        files = [n for n in os.listdir(tmp_path) if n.endswith(".json")]
+        assert len(files) <= 1
+        assert cache.stats()["disk"]["evicted"] >= 3
+
+    def test_gc_keeps_everything_under_a_big_budget(self, tmp_path):
+        cache = ArtifactCache(directory=str(tmp_path),
+                              max_disk_bytes=DEFAULT_MAX_DISK_BYTES)
+        for source in self.kernels(3):
+            cache.compiled_assembly(source, 0)
+        files = [n for n in os.listdir(tmp_path) if n.endswith(".json")]
+        assert len(files) == 3
+        stats = cache.stats()["disk"]
+        assert stats["evicted"] == 0
+        assert stats["files"] == 3 and stats["bytes"] > 0
+
+    def test_gc_disabled_with_none(self, tmp_path):
+        cache = ArtifactCache(directory=str(tmp_path), max_disk_bytes=None)
+        for source in self.kernels(3):
+            cache.compiled_assembly(source, 0)
+        assert cache.stats()["disk"]["evicted"] == 0
+        assert cache.stats()["disk"]["maxBytes"] is None
+
+    def test_reads_touch_mtime_so_hot_artifacts_survive(self, tmp_path):
+        """LRU by mtime means a *served* artifact outlives never-read
+        ones, regardless of write order."""
+        cache = ArtifactCache(directory=str(tmp_path),
+                              max_disk_bytes=None)
+        hot, cold_a, cold_b = self.kernels(3)
+        cache.compiled_assembly(hot, 0)
+        hot_file = next(tmp_path.glob("*.json"))
+        os.utime(hot_file, (1, 1))          # pretend it is ancient
+        cache.compiled_assembly(cold_a, 0)
+        cache.compiled_assembly(cold_b, 0)
+        # a fresh instance reads the hot artifact from disk: the hit
+        # touches its mtime, moving it to the LRU front
+        reader = ArtifactCache(directory=str(tmp_path),
+                               max_disk_bytes=None)
+        reader.compiled_assembly(hot, 0)
+        assert os.stat(hot_file).st_mtime > 1
+        # age the cold ones below the hot one, then force one eviction
+        cold_files = [f for f in tmp_path.glob("*.json") if f != hot_file]
+        for age, path in zip((1000, 2000), sorted(cold_files)):
+            os.utime(path, (age, age))
+        total = sum(os.stat(f).st_size for f in tmp_path.glob("*.json"))
+        evictor = ArtifactCache(directory=str(tmp_path),
+                                max_disk_bytes=total - 1)
+        evictor._disk_gc()                  # one eviction brings it under
+        remaining = list(tmp_path.glob("*.json"))
+        assert hot_file in remaining        # the touched one survived
+        assert len(remaining) == 2          # exactly the oldest evicted
+
+    def test_max_bytes_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(ARTIFACT_DIR_ENV, str(tmp_path))
+        monkeypatch.setenv(ARTIFACT_MAX_BYTES_ENV, "12345")
+        reset_default_cache()
+        try:
+            assert default_cache().max_disk_bytes == 12345
+            monkeypatch.setenv(ARTIFACT_MAX_BYTES_ENV, "unlimited")
+            reset_default_cache()
+            assert default_cache().max_disk_bytes is None
+            monkeypatch.delenv(ARTIFACT_MAX_BYTES_ENV)
+            reset_default_cache()
+            assert default_cache().max_disk_bytes \
+                == DEFAULT_MAX_DISK_BYTES
         finally:
             monkeypatch.undo()
             reset_default_cache()

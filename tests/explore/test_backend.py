@@ -237,6 +237,63 @@ class TestExecutionSummary:
         assert render_execution_summary({"timings": []}) == ""
 
 
+class TestCancellation:
+    """Uniform cancelled-record discipline: once a token fires, every
+    backend reports the identical ``kind="cancelled"`` / ``job
+    cancelled`` for work it never dispatched or had to stop."""
+
+    def test_prefired_token_drains_all_backends_identically(
+            self, worker_urls):
+        from repro.fleet.cancel import CancelToken
+        token = CancelToken()
+        token.cancel("before the sweep")
+        spec = grid_spec("pre-cancelled")
+        with ProcessBackend(workers=2) as pool:
+            runs = [run_sweep(spec, backend=SerialBackend(), cancel=token),
+                    run_sweep(spec, backend=pool, cancel=token),
+                    run_sweep(spec, backend=RemoteBackend(worker_urls),
+                              cancel=token)]
+        baseline = record_bytes(runs[0])
+        for run in runs:
+            assert record_bytes(run) == baseline
+            assert all(r["kind"] == "cancelled" for r in run.records)
+            assert all(r["error"] == "job cancelled" for r in run.records)
+
+    def test_serial_cancel_mid_sweep_stops_in_flight_job(self):
+        """Token fired during job 1: job 0 finished, the in-flight job
+        stops at its stride check, the rest never dispatch."""
+        from repro.fleet.cancel import CancelToken
+        spec = grid_spec("serial-cancel", source=SPIN,
+                         maxCycles=50_000_000)
+        token = CancelToken()
+
+        def fire_on_dispatch(index, _worker):
+            token.cancel()
+
+        started = time.time()
+        run = run_sweep(spec, backend=SerialBackend(), cancel=token,
+                        on_dispatch=fire_on_dispatch)
+        assert time.time() - started < 30.0      # not 4 x 50M cycles
+        assert all(r["kind"] == "cancelled" for r in run.records)
+
+    def test_process_cancel_kills_in_flight_workers(self):
+        from repro.fleet.cancel import CancelToken
+        spec = grid_spec("pool-cancel", source=SPIN,
+                         maxCycles=50_000_000)
+        token = CancelToken()
+
+        def fire_on_dispatch(index, _worker):
+            token.cancel()
+
+        with ProcessBackend(workers=2) as pool:
+            started = time.time()
+            run = run_sweep(spec, backend=pool, cancel=token,
+                            on_dispatch=fire_on_dispatch)
+            assert time.time() - started < 30.0
+        assert all(r["kind"] == "cancelled" for r in run.records)
+        assert all(r["error"] == "job cancelled" for r in run.records)
+
+
 class TestResolveBackend:
     def test_inference_matches_the_historical_workers_contract(self):
         serial = resolve_backend(None, workers=0)

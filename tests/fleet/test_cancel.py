@@ -1,0 +1,171 @@
+"""Cooperative cancellation: token/registry semantics, the simulation's
+cancel-stride check (the documented worst-case latency, pinned
+deterministically), and the runner/backend cancelled-record discipline."""
+
+import threading
+import time
+
+import pytest
+
+from repro.fleet.cancel import CancelRegistry, CancelToken
+from repro.sim.simulation import (CANCELLED_HALT_REASON,
+                                  DEFAULT_CANCEL_STRIDE, Simulation)
+
+SPIN = "spin:\n    j spin\n"
+
+SUM_LOOP = """
+    li a0, 0
+    li t0, 1
+    li t1, 50
+loop:
+    add a0, a0, t0
+    addi t0, t0, 1
+    ble t0, t1, loop
+    ebreak
+"""
+
+
+class CountingToken:
+    """Deterministic token: fires on the Nth+1 ``cancelled()`` check."""
+
+    def __init__(self, fire_after_checks):
+        self.checks = 0
+        self.fire_after = fire_after_checks
+
+    def cancelled(self):
+        self.checks += 1
+        return self.checks > self.fire_after
+
+
+class TestCancelToken:
+    def test_fire_once_first_reason_wins(self):
+        token = CancelToken()
+        assert not token.cancelled() and token.reason is None
+        token.cancel("first")
+        token.cancel("second")
+        assert token.cancelled() and token.reason == "first"
+
+
+class TestCancelRegistry:
+    def test_cancel_registered_job(self):
+        registry = CancelRegistry()
+        token = registry.create("job-1")
+        assert registry.active() == 1
+        assert registry.cancel("job-1", reason="why") is True
+        assert token.cancelled() and token.reason == "why"
+        registry.remove("job-1")
+        assert registry.active() == 0
+
+    def test_pre_cancel_fires_on_create(self):
+        """A cancel overtaking its execute request still stops the job."""
+        registry = CancelRegistry()
+        assert registry.cancel("early", reason="raced") is False
+        token = registry.create("early")
+        assert token.cancelled() and token.reason == "raced"
+
+    def test_pre_cancel_set_is_bounded(self):
+        registry = CancelRegistry(max_pre_cancelled=2)
+        for i in range(5):
+            registry.cancel(f"id-{i}")
+        assert not registry.create("id-0").cancelled()   # evicted
+        assert registry.create("id-4").cancelled()       # retained
+
+
+class TestSimulationCancelStride:
+    def test_checked_exactly_every_stride_cycles(self):
+        """The worst-case latency pin: between two checks exactly one
+        stride executes, so a token observed un-fired at check N costs
+        at most ``stride`` more cycles."""
+        for fire_after, stride in ((3, 2000), (1, 500), (5, 128)):
+            sim = Simulation.from_source(SPIN)
+            token = CountingToken(fire_after)
+            result = sim.run(max_cycles=10_000_000, cancel=token,
+                             cancel_stride=stride)
+            assert result.halt_reason == CANCELLED_HALT_REASON
+            assert result.cycles == fire_after * stride
+
+    def test_prefired_token_halts_before_the_first_cycle(self):
+        sim = Simulation.from_source(SPIN)
+        token = CancelToken()
+        token.cancel()
+        result = sim.run(max_cycles=1_000_000, cancel=token)
+        assert result.cycles == 0
+        assert result.halt_reason == CANCELLED_HALT_REASON
+
+    def test_unfired_token_changes_nothing(self):
+        """The chunked cancellable path is bit-identical to the plain
+        fast path when the token never fires."""
+        plain = Simulation.from_source(SUM_LOOP)
+        plain_result = plain.run()
+        chunked = Simulation.from_source(SUM_LOOP)
+        chunked_result = chunked.run(cancel=CancelToken(), cancel_stride=7)
+        assert chunked_result.to_json() == plain_result.to_json()
+        assert chunked.register_value("a0") == plain.register_value("a0")
+
+    def test_instrumented_run_is_cancellable_too(self):
+        sim = Simulation.from_source(SPIN)
+        seen = []
+        sim.subscribe(lambda cpu: seen.append(cpu.cycle))
+        result = sim.run(max_cycles=100_000, cancel=CountingToken(2),
+                         cancel_stride=100)
+        assert result.halt_reason == CANCELLED_HALT_REASON
+        assert result.cycles == 200 and len(seen) == 200
+
+    def test_bad_stride_rejected(self):
+        sim = Simulation.from_source(SPIN)
+        with pytest.raises(ValueError):
+            sim.run(max_cycles=100, cancel=CancelToken(), cancel_stride=0)
+
+    def test_default_stride_is_documented_value(self):
+        assert DEFAULT_CANCEL_STRIDE == 5_000
+
+    def test_mid_run_cancel_stops_within_wall_clock_bound(self):
+        """End-to-end: firing the token from another thread stops a
+        budget-bound spin long before its budget."""
+        sim = Simulation.from_source(SPIN)
+        token = CancelToken()
+        done = {}
+
+        def run():
+            done["result"] = sim.run(max_cycles=50_000_000, cancel=token,
+                                     cancel_stride=1_000)
+
+        thread = threading.Thread(target=run)
+        thread.start()
+        time.sleep(0.15)                  # let it get going
+        token.cancel("test")
+        thread.join(timeout=30.0)
+        assert not thread.is_alive()
+        assert done["result"].halt_reason == CANCELLED_HALT_REASON
+        assert done["result"].cycles < 50_000_000
+
+
+class TestRunnerCancelled:
+    def payload(self, source=SPIN, max_cycles=1_000_000):
+        from repro.explore.plan import plan_jobs
+        from repro.explore.spec import SweepSpec
+        spec = SweepSpec.from_json({
+            "name": "cancel-runner",
+            "programs": [{"name": "prog", "source": source}],
+            "axes": [{"name": "width", "path": "config.buffers.fetchWidth",
+                      "values": [1]}],
+            "maxCycles": max_cycles,
+        })
+        return plan_jobs(spec)[0].payload
+
+    def test_execute_payload_raises_job_cancelled(self):
+        from repro.explore.artifacts import ArtifactCache
+        from repro.explore.runner import JobCancelled, execute_payload
+        token = CancelToken()
+        token.cancel()
+        with pytest.raises(JobCancelled):
+            execute_payload(self.payload(), cache=ArtifactCache(),
+                            cancel=token)
+
+    def test_uncancelled_payload_runs_normally(self):
+        from repro.explore.artifacts import ArtifactCache
+        from repro.explore.runner import execute_payload
+        record = execute_payload(self.payload(source=SUM_LOOP),
+                                 cache=ArtifactCache(),
+                                 cancel=CancelToken())
+        assert record["stats"]["intRegisters"][10] == 1275

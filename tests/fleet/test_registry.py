@@ -1,0 +1,150 @@
+"""WorkerRegistry lifecycle: heartbeat TTL expiry, re-registration,
+flap exclusion — all on an injected fake clock, so every transition is
+deterministic."""
+
+import pytest
+
+from repro.fleet.registry import WorkerRegistry
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 100.0
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, seconds):
+        self.t += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def registry(clock):
+    return WorkerRegistry(ttl_s=10.0, flap_threshold=3, flap_window_s=60.0,
+                          flap_cooldown_s=30.0, time_fn=clock)
+
+
+class TestRegistration:
+    def test_register_and_heartbeat(self, registry):
+        ack = registry.register("127.0.0.1:9001", capacity=2)
+        assert ack["registered"] and ack["workers"] == 1
+        assert ack["ttlS"] == 10.0
+        assert ack["heartbeatS"] == pytest.approx(10.0 / 3, abs=0.01)
+        ack = registry.register("127.0.0.1:9001", capacity=2)
+        assert ack["workers"] == 1            # idempotent per URL
+        assert registry.live_urls() == ["127.0.0.1:9001"]
+        assert registry.capacities() == {"127.0.0.1:9001": 2}
+
+    def test_url_normalization(self, registry):
+        registry.register("http://host:9001/")
+        assert registry.live_urls() == ["host:9001"]
+        registry.register("host:9001")        # same worker, not a second
+        assert len(registry) == 1
+
+    def test_bad_inputs_raise_value_error(self, registry):
+        with pytest.raises(ValueError):
+            registry.register("no-port")
+        with pytest.raises(ValueError):
+            registry.register("host:9001", capacity=0)
+        with pytest.raises(ValueError):
+            registry.register("host:9001", capacity=True)
+        with pytest.raises(ValueError):
+            WorkerRegistry(ttl_s=0)
+
+    def test_cache_stats_ride_the_heartbeat(self, registry):
+        registry.register("h:1", cache_stats={"compile": {"hits": 3}})
+        row = registry.snapshot()["rows"][0]
+        assert row["cache"] == {"compile": {"hits": 3}}
+
+
+class TestTtlExpiry:
+    def test_worker_expires_after_ttl(self, registry, clock):
+        registry.register("h:1")
+        clock.advance(9.0)
+        assert registry.live_urls() == ["h:1"]
+        clock.advance(2.0)                    # 11s since last beat > ttl
+        assert registry.live_urls() == []
+        assert len(registry) == 0             # dropped outright
+
+    def test_heartbeat_refreshes_ttl(self, registry, clock):
+        registry.register("h:1")
+        for _ in range(5):
+            clock.advance(8.0)
+            registry.register("h:1")
+        assert registry.live_urls() == ["h:1"]
+        assert registry.snapshot()["rows"][0]["heartbeats"] == 6
+
+    def test_reregistration_after_expiry_bumps_generation(self, registry,
+                                                          clock):
+        registry.register("h:1")
+        clock.advance(11.0)
+        ack = registry.register("h:1")        # restart / recovery
+        assert ack["registered"]
+        row = registry.snapshot()["rows"][0]
+        assert row["generation"] == 2
+        assert registry.live_urls() == ["h:1"]
+
+
+class TestFlapExclusion:
+    def flap(self, registry, clock, times):
+        for _ in range(times):
+            registry.register("h:1")
+            clock.advance(11.0)               # miss the TTL
+            registry.expire()
+
+    def test_flapping_worker_is_excluded_with_reason(self, registry, clock):
+        self.flap(registry, clock, 3)
+        registry.register("h:1")              # comes back once more
+        assert registry.live_urls() == []     # but is not schedulable
+        row = registry.snapshot()["rows"][0]
+        assert row["excluded"]
+        assert "flapping" in row["excludedReason"]
+
+    def test_exclusion_expires_after_cooldown(self, registry, clock):
+        """A flap-excluded worker that then heartbeats *steadily* is
+        readmitted once the cooldown lapses (a 30s+ gap would count as
+        yet another drop and re-exclude — also correct)."""
+        self.flap(registry, clock, 3)
+        registry.register("h:1")
+        for _ in range(4):                    # steady beats through the
+            clock.advance(8.0)                # 30s cooldown, inside TTL
+            registry.register("h:1")
+        assert registry.live_urls() == ["h:1"]
+        assert registry.snapshot()["rows"][0]["excluded"] is False
+
+    def test_two_drops_is_not_flapping(self, registry, clock):
+        self.flap(registry, clock, 2)
+        registry.register("h:1")
+        assert registry.live_urls() == ["h:1"]
+
+    def test_old_drops_age_out_of_the_window(self, registry, clock):
+        self.flap(registry, clock, 2)
+        clock.advance(70.0)                   # past flap_window_s
+        self.flap(registry, clock, 1)
+        registry.register("h:1")
+        # only 1 drop inside the window: not flapping
+        assert registry.live_urls() == ["h:1"]
+
+
+class TestSnapshot:
+    def test_snapshot_shape(self, registry, clock):
+        registry.register("b:2", capacity=4)
+        registry.register("a:1")
+        clock.advance(11.0)
+        registry.register("a:1")              # a re-joined; b expired
+        snap = registry.snapshot()
+        assert snap["live"] == 1
+        assert snap["ttlS"] == 10.0
+        assert [row["url"] for row in snap["rows"]] == ["a:1"]
+
+    def test_forget_is_not_a_flap_event(self, registry):
+        registry.register("h:1")
+        assert registry.forget("h:1")
+        assert not registry.forget("h:1")
+        registry.register("h:1")
+        assert registry.live_urls() == ["h:1"]

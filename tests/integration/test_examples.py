@@ -59,6 +59,12 @@ class TestExamples:
         assert "spawned worker fleet" in out
         assert "records identical to the local pool run" in out
 
+    def test_design_sweep_server_fleet(self):
+        out = run_example("design_sweep.py", args=["--backend", "fleet"])
+        assert "2 workers registered" in out
+        assert "4 streamed finish events" in out
+        assert "records identical to the local pool run" in out
+
     def test_extensions_tour(self):
         out = run_example("extensions_tour.py")
         assert "pipelined" in out

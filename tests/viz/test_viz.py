@@ -185,3 +185,42 @@ class TestStatisticsPage:
         sim = Simulation.from_source("nop\nebreak", config=config)
         sim.run()
         assert "cache statistics" not in render_statistics(sim.stats)
+
+
+class TestFleetTable:
+    def test_renders_rows_with_status_and_reason(self):
+        from repro.viz.sweep import render_fleet_table
+        text = render_fleet_table({
+            "live": 1, "known": 2, "ttlS": 10.0,
+            "rows": [
+                {"url": "a:1", "capacity": 2, "heartbeats": 14,
+                 "generation": 1, "ageS": 0.31, "excluded": False},
+                {"url": "b:2", "capacity": 1, "heartbeats": 3,
+                 "generation": 2, "ageS": 4.0, "excluded": True,
+                 "excludedReason": "flapping: 3 drops in 60s"},
+            ]})
+        assert "fleet: 1 live / 2 known workers" in text
+        assert "a:1" in text and "live" in text
+        assert "EXCLUDED (flapping: 3 drops in 60s)" in text
+
+    def test_empty_fleet_renders_header_only(self):
+        from repro.viz.sweep import render_fleet_table
+        text = render_fleet_table({"live": 0, "known": 0, "ttlS": 10.0,
+                                   "rows": []})
+        assert text == ("fleet: 0 live / 0 known workers "
+                        "(heartbeat TTL 10.0s)\n")
+
+    def test_execution_summary_shows_exclusion_reason(self):
+        from repro.viz.sweep import render_execution_summary
+        text = render_execution_summary({
+            "backend": "fleet", "workers": 2, "elapsedS": 1.0,
+            "timings": [{"index": 0, "kind": "ok", "worker": "a:1",
+                         "elapsedS": 0.5}],
+            "execution": {"remoteWorkers": [
+                {"url": "a:1", "dispatched": 1, "ok": 1, "failures": 0,
+                 "excluded": False},
+                {"url": "b:2", "dispatched": 0, "ok": 0, "failures": 0,
+                 "excluded": True,
+                 "excludedReason": "left the fleet (heartbeat expired)"}]},
+        })
+        assert "EXCLUDED (left the fleet (heartbeat expired))" in text
