@@ -178,3 +178,47 @@ for entry in sweep.report(metric="cycles").ranking():
 # GET /worker/status.  See examples/design_sweep.py --backend fleet for
 # a runnable two-worker demo against a locally spawned frontend.
 # ---------------------------------------------------------------------------
+
+# ---------------------------------------------------------------------------
+# 9. repro-lint (the invariant checker, repro.analyze)
+#
+# Several of the guarantees above are *conventions*, not things the type
+# system enforces: records must be byte-identical across backends, every
+# save_state component must bump its dirty version so snapshot caches
+# notice mutations, shared fields in the threaded modules must only be
+# touched under their lock, and every protocol route needs a client
+# wrapper plus a test.  `repro-sim lint` parses src/repro with the ast
+# module and machine-checks all four families:
+#
+#   SC001/SC002  state contracts   save_state <-> restore_state pairing;
+#                                  mutators of persisted attrs bump the
+#                                  version counter (stale-cache guard)
+#   LD001/LD002  lock discipline   lock-guarded attrs never touched
+#                                  outside the lock; no lock-order
+#                                  inversions or self-deadlocks
+#   DT001-DT005  determinism       no wall clocks, unseeded random,
+#                                  id()-keyed maps, set-iteration
+#                                  ordering, or non-REPRO_* env reads
+#                                  anywhere a sweep job can execute
+#                                  (the byte-identical-records bar)
+#   PC001-PC003  protocol surface  every route has a SimClient wrapper
+#                                  + a test; PROTOCOL_VERSION bumps
+#                                  when the route set changes
+#
+# Verified-harmless findings live in lint-baseline.json with an inline
+# justification; anything new fails CI (and tier-1, via the self-check
+# test).  To accept a finding intentionally, run
+# `repro-sim lint --update-baseline` and add a justification string to
+# the new entry.  `--format json` emits a stable machine-readable report.
+# ---------------------------------------------------------------------------
+from repro.analyze import LintEngine, Project
+from repro.analyze.baseline import Baseline
+from repro.analyze.project import discover_root
+
+root = discover_root()
+baseline = Baseline.load(root / "lint-baseline.json")
+new, baselined = baseline.split(
+    LintEngine(Project.load(root), baseline=baseline).run())
+print(f"\nrepro-lint: {len(new)} new findings, "
+      f"{len(baselined)} baselined (verified harmless)")
+assert not new, [f.render() for f in new]

@@ -1,0 +1,23 @@
+"""repro-lint: AST-based invariant checking for the repro tree.
+
+The packages grown around the simulator (explore, fleet, server) rest on
+conventions that ordinary tests cannot see: the save/restore state
+contract with dirty-version counters (``repro.sim.state``), the
+lock-discipline of the concurrent modules, the byte-identical-records
+determinism bar of the sweep backends, and the completeness of the HTTP
+protocol surface.  This package parses the whole ``src/repro`` tree with
+:mod:`ast` and runs a pluggable set of project-specific rules over it,
+emitting structured findings checked against a committed baseline.
+
+Entry points:
+
+- :func:`repro.analyze.cli.lint_main` -- the ``repro-sim lint`` command
+- :class:`repro.analyze.engine.LintEngine` -- in-process API (used by the
+  self-check test in ``tests/analyze``)
+"""
+
+from repro.analyze.findings import Finding, Severity
+from repro.analyze.project import Project
+from repro.analyze.engine import LintEngine, default_rules
+
+__all__ = ["Finding", "Severity", "Project", "LintEngine", "default_rules"]

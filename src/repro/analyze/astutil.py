@@ -1,0 +1,83 @@
+"""Small AST helpers shared by the lint rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Tuple
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """Render ``a.b.c`` attribute/name chains; None for anything else."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def self_attr(node: ast.AST) -> Optional[str]:
+    """Attribute name when *node* is exactly ``self.<attr>``."""
+    if (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"):
+        return node.attr
+    return None
+
+
+def iter_functions(class_node: ast.ClassDef) -> Iterator[ast.FunctionDef]:
+    """Direct methods of a class (sync and async)."""
+    for stmt in class_node.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield stmt
+
+
+def iter_classes(tree: ast.Module) -> Iterator[ast.ClassDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            yield node
+
+
+def assign_targets(node: ast.AST) -> List[ast.expr]:
+    """Store-context target expressions of any assignment statement."""
+    if isinstance(node, ast.Assign):
+        return list(node.targets)
+    if isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        return [node.target]
+    return []
+
+
+def assigned_self_attrs(func: ast.AST) -> List[Tuple[str, int]]:
+    """``(attr, line)`` for every ``self.X`` target assigned in *func*,
+    including subscript/slice stores (``self.X[i] = ...``) and tuple
+    unpacking (``self.a, self.b = ...``)."""
+    out: List[Tuple[str, int]] = []
+
+    def visit_target(target: ast.expr, line: int) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                visit_target(element, line)
+            return
+        if isinstance(target, ast.Starred):
+            visit_target(target.value, line)
+            return
+        base = target
+        while isinstance(base, ast.Subscript):
+            base = base.value
+        attr = self_attr(base)
+        if attr is not None:
+            out.append((attr, line))
+
+    for node in ast.walk(func):
+        for target in assign_targets(node):
+            visit_target(target, node.lineno)
+    return out
+
+
+def string_constants(node: ast.AST) -> Iterator[Tuple[str, int]]:
+    """Every string literal in *node*, including f-string fragments."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+            yield sub.value, sub.lineno

@@ -1,0 +1,103 @@
+"""Committed lint baseline.
+
+The baseline records findings that were inspected and judged harmless
+(each with a human-written justification) so they do not block CI, while
+any *new* finding still fails.  Entries are keyed by
+``(rule, file, message)`` -- line numbers are excluded so unrelated edits
+do not churn the file.
+
+The baseline also pins the HTTP protocol surface (``PROTOCOL_VERSION`` +
+route list) so the protocol-completeness rule can detect a route-set
+change that forgot to bump the version.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.analyze.findings import Finding
+
+BASELINE_SCHEMA_VERSION = 1
+
+Key = Tuple[str, str, str]
+
+
+class Baseline:
+    def __init__(self,
+                 entries: Optional[Dict[Key, str]] = None,
+                 protocol_version: Optional[int] = None,
+                 protocol_routes: Optional[List[str]] = None):
+        #: accepted finding key -> justification text
+        self.entries: Dict[Key, str] = dict(entries or {})
+        #: protocol surface pinned at baseline time (None = not pinned yet)
+        self.protocol_version = protocol_version
+        self.protocol_routes = list(protocol_routes or []) or None
+
+    # -- queries --------------------------------------------------------
+    def is_baselined(self, finding: Finding) -> bool:
+        return finding.key() in self.entries
+
+    def split(self, findings: Iterable[Finding]):
+        """Partition into (new, baselined) preserving order."""
+        new: List[Finding] = []
+        old: List[Finding] = []
+        for finding in findings:
+            (old if self.is_baselined(finding) else new).append(finding)
+        return new, old
+
+    def stale_keys(self, findings: Iterable[Finding]) -> List[Key]:
+        """Baseline entries that no finding matched (candidates for
+        removal on the next ``--update-baseline``)."""
+        live = {f.key() for f in findings}
+        return sorted(k for k in self.entries if k not in live)
+
+    # -- persistence ----------------------------------------------------
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        data = json.loads(path.read_text(encoding="utf-8"))
+        entries: Dict[Key, str] = {}
+        for item in data.get("findings", []):
+            key = (item["rule"], item["file"], item["message"])
+            entries[key] = item.get("justification", "")
+        protocol = data.get("protocol") or {}
+        return cls(entries,
+                   protocol_version=protocol.get("version"),
+                   protocol_routes=protocol.get("routes"))
+
+    def save(self, path: Path) -> None:
+        items = []
+        for (rule, file, message) in sorted(self.entries):
+            item = {"rule": rule, "file": file, "message": message}
+            justification = self.entries[(rule, file, message)]
+            if justification:
+                item["justification"] = justification
+            items.append(item)
+        data: dict = {"version": BASELINE_SCHEMA_VERSION, "findings": items}
+        if self.protocol_version is not None:
+            data["protocol"] = {"version": self.protocol_version,
+                                "routes": sorted(self.protocol_routes or [])}
+        Path(path).write_text(json.dumps(data, indent=2, sort_keys=False)
+                              + "\n", encoding="utf-8")
+
+    def updated(self, findings: Iterable[Finding],
+                protocol_version: Optional[int] = None,
+                protocol_routes: Optional[List[str]] = None) -> "Baseline":
+        """New baseline accepting *findings*, keeping existing
+        justifications for keys that persist."""
+        entries: Dict[Key, str] = {}
+        for finding in findings:
+            key = finding.key()
+            entries[key] = self.entries.get(key, "")
+        return Baseline(
+            entries,
+            protocol_version=(protocol_version
+                              if protocol_version is not None
+                              else self.protocol_version),
+            protocol_routes=(protocol_routes
+                             if protocol_routes is not None
+                             else self.protocol_routes))

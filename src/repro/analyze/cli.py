@@ -1,0 +1,102 @@
+"""``repro-sim lint`` — run the invariant checker from the command line.
+
+Exit codes: 0 when every finding is baselined (or there are none),
+1 when new findings exist, 2 on usage errors (argparse convention).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analyze.baseline import Baseline
+from repro.analyze.engine import LintEngine
+from repro.analyze.findings import Finding
+from repro.analyze.project import Project, discover_root
+from repro.analyze.rules.protocol import extract_protocol
+
+#: JSON report schema version (tests pin this; bump on shape changes)
+REPORT_SCHEMA_VERSION = 1
+
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sim lint",
+        description="Static invariant checker for the repro tree "
+                    "(state contracts, lock discipline, determinism, "
+                    "protocol completeness)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", help="report format")
+    parser.add_argument("--baseline", default=None, metavar="PATH",
+                        help=f"baseline file (default: "
+                             f"<root>/{DEFAULT_BASELINE})")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="accept all current findings into the "
+                             "baseline (preserving justifications) and "
+                             "re-pin the protocol surface")
+    parser.add_argument("--root", default=None, metavar="PATH",
+                        help="repo root holding src/repro (default: "
+                             "discovered from the installed package)")
+    return parser
+
+
+def _report_json(new: List[Finding], baselined: List[Finding],
+                 stale: list) -> dict:
+    return {
+        "version": REPORT_SCHEMA_VERSION,
+        "findings": [f.to_json() for f in new],
+        "baselined": [f.to_json() for f in baselined],
+        "staleBaselineEntries": [list(key) for key in stale],
+        "counts": {"new": len(new), "baselined": len(baselined),
+                   "stale": len(stale)},
+    }
+
+
+def lint_main(argv: Optional[List[str]] = None, out=None) -> int:
+    args = build_parser().parse_args(argv)
+    out = out if out is not None else sys.stdout
+
+    try:
+        root = (Path(args.root).resolve() if args.root
+                else discover_root())
+        project = Project.load(root)
+    except (FileNotFoundError, SyntaxError) as exc:
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return 2
+
+    baseline_path = (Path(args.baseline) if args.baseline
+                     else root / DEFAULT_BASELINE)
+    baseline = Baseline.load(baseline_path)
+    engine = LintEngine(project, baseline=baseline)
+    findings = engine.run()
+    new, baselined = baseline.split(findings)
+    stale = baseline.stale_keys(findings)
+
+    if args.update_baseline:
+        version, routes = extract_protocol(project)
+        updated = baseline.updated(findings, protocol_version=version,
+                                   protocol_routes=routes)
+        updated.save(baseline_path)
+        print(f"baseline updated: {baseline_path} "
+              f"({len(findings)} finding(s) accepted)", file=out)
+        return 0
+
+    if args.format == "json":
+        json.dump(_report_json(new, baselined, stale), out, indent=2)
+        print(file=out)
+    else:
+        for finding in new:
+            print(finding.render(), file=out)
+        for key in stale:
+            print(f"note: stale baseline entry (no longer fires): "
+                  f"{key[0]} {key[1]}: {key[2]}", file=out)
+        print(f"repro-lint: {len(new)} new finding(s), "
+              f"{len(baselined)} baselined, {len(stale)} stale "
+              f"baseline entr{'y' if len(stale) == 1 else 'ies'}",
+              file=out)
+    return 1 if new else 0

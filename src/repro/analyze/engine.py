@@ -1,0 +1,51 @@
+"""The lint engine: run a set of rules over a parsed project."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.analyze.baseline import Baseline
+from repro.analyze.findings import Finding, sort_findings
+from repro.analyze.project import Project
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set :attr:`name` (the rule-family slug used in docs and
+    tests) and implement :meth:`run`, returning findings whose ``rule``
+    ids start with the family's prefix (e.g. ``SC001``).
+    """
+
+    name: str = "rule"
+
+    def run(self, project: Project, baseline: Baseline) -> List[Finding]:
+        raise NotImplementedError
+
+
+def default_rules() -> List[Rule]:
+    """The four project rule families, in documentation order."""
+    # imported here so `repro.analyze.engine` stays importable from rule
+    # modules without a cycle
+    from repro.analyze.rules.state_contract import StateContractRule
+    from repro.analyze.rules.lock_discipline import LockDisciplineRule
+    from repro.analyze.rules.determinism import DeterminismRule
+    from repro.analyze.rules.protocol import ProtocolCompletenessRule
+    return [StateContractRule(), LockDisciplineRule(), DeterminismRule(),
+            ProtocolCompletenessRule()]
+
+
+class LintEngine:
+    def __init__(self, project: Project,
+                 rules: Optional[Sequence[Rule]] = None,
+                 baseline: Optional[Baseline] = None):
+        self.project = project
+        self.rules = list(rules) if rules is not None else default_rules()
+        self.baseline = baseline if baseline is not None else Baseline()
+
+    def run(self) -> List[Finding]:
+        """All findings from all rules, sorted by location."""
+        findings: List[Finding] = []
+        for rule in self.rules:
+            findings.extend(rule.run(self.project, self.baseline))
+        return sort_findings(findings)

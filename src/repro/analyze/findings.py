@@ -1,0 +1,60 @@
+"""Structured lint findings.
+
+A finding is identified for baseline purposes by ``(rule, file, message)``
+-- deliberately *not* by line number, so that unrelated edits shifting a
+baselined construct up or down the file do not invalidate the baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+class Severity:
+    ERROR = "error"
+    WARNING = "warning"
+
+    ALL = (ERROR, WARNING)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location.
+
+    ``file`` is repo-root-relative with POSIX separators (stable across
+    machines, usable as a baseline key).
+    """
+
+    rule: str
+    file: str
+    line: int
+    message: str
+    severity: str = Severity.ERROR
+
+    def key(self) -> Tuple[str, str, str]:
+        """Identity used for baseline matching (line-number independent)."""
+        return (self.rule, self.file, self.message)
+
+    def to_json(self) -> dict:
+        return {
+            "rule": self.rule,
+            "file": self.file,
+            "line": self.line,
+            "message": self.message,
+            "severity": self.severity,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "Finding":
+        return cls(rule=data["rule"], file=data["file"],
+                   line=int(data.get("line", 0)), message=data["message"],
+                   severity=data.get("severity", Severity.ERROR))
+
+    def render(self) -> str:
+        return (f"{self.file}:{self.line}: {self.rule} "
+                f"[{self.severity}] {self.message}")
+
+
+def sort_findings(findings) -> list:
+    return sorted(findings, key=lambda f: (f.file, f.line, f.rule, f.message))

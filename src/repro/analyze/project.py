@@ -1,0 +1,157 @@
+"""Project loader: parse the ``src/repro`` tree and build an import graph.
+
+Rules operate on :class:`Project`, which holds every module of the
+package as a parsed :mod:`ast` tree plus enough metadata (dotted name,
+repo-relative path) to emit stable findings.  The import graph covers
+*all* import statements -- including imports nested inside functions,
+which the explore/fleet modules use to defer heavy dependencies -- so
+reachability queries (e.g. "everything a sweep job can execute") see the
+true runtime footprint.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Set
+
+
+class Module:
+    """One parsed source file of the project package."""
+
+    def __init__(self, name: str, path: Path, rel: str, source: str,
+                 tree: ast.Module):
+        self.name = name          # dotted module name, e.g. "repro.sim.state"
+        self.path = path          # absolute path on disk
+        self.rel = rel            # repo-root-relative POSIX path
+        self.source = source
+        self.tree = tree
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Module({self.name!r})"
+
+
+class Project:
+    """All parsed modules of a package tree, keyed by dotted name."""
+
+    def __init__(self, root: Path, package: str, modules: Dict[str, Module]):
+        self.root = root
+        self.package = package
+        self.modules = modules
+        self._imports: Optional[Dict[str, Set[str]]] = None
+
+    # -- loading --------------------------------------------------------
+    @classmethod
+    def load(cls, root: Path, package: str = "repro",
+             src_dir: str = "src") -> "Project":
+        """Parse every ``.py`` file under ``<root>/<src_dir>/<package>``."""
+        root = Path(root).resolve()
+        package_dir = root / src_dir / package
+        if not package_dir.is_dir():
+            raise FileNotFoundError(
+                f"package directory not found: {package_dir}")
+        modules: Dict[str, Module] = {}
+        for path in sorted(package_dir.rglob("*.py")):
+            rel_parts = path.relative_to(package_dir).with_suffix("").parts
+            if rel_parts[-1] == "__init__":
+                rel_parts = rel_parts[:-1]
+            name = ".".join((package,) + rel_parts)
+            source = path.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=str(path))
+            rel = path.relative_to(root).as_posix()
+            modules[name] = Module(name, path, rel, source, tree)
+        return cls(root, package, modules)
+
+    # -- lookups --------------------------------------------------------
+    def get(self, name: str) -> Optional[Module]:
+        return self.modules.get(name)
+
+    def by_rel(self, rel: str) -> Optional[Module]:
+        for module in self.modules.values():
+            if module.rel == rel:
+                return module
+        return None
+
+    def __iter__(self) -> Iterable[Module]:
+        return iter(self.modules.values())
+
+    # -- import graph ---------------------------------------------------
+    def imports_of(self, name: str) -> Set[str]:
+        """Project-internal modules imported (anywhere) by *name*."""
+        if self._imports is None:
+            self._imports = {m: self._extract_imports(self.modules[m])
+                             for m in self.modules}
+        return self._imports.get(name, set())
+
+    def reachable_from(self, name: str) -> Set[str]:
+        """Transitive closure of :meth:`imports_of` including *name*."""
+        seen: Set[str] = set()
+        stack: List[str] = [name]
+        while stack:
+            current = stack.pop()
+            if current in seen or current not in self.modules:
+                continue
+            seen.add(current)
+            stack.extend(self.imports_of(current))
+        return seen
+
+    def _extract_imports(self, module: Module) -> Set[str]:
+        out: Set[str] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self._note(alias.name, out)
+            elif isinstance(node, ast.ImportFrom):
+                base = self._resolve_from(module, node)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    # "from repro.x import y": y may itself be a module
+                    candidate = f"{base}.{alias.name}"
+                    if candidate in self.modules:
+                        out.add(candidate)
+                    else:
+                        self._note(base, out)
+        out.discard(module.name)
+        return out
+
+    def _resolve_from(self, module: Module,
+                      node: ast.ImportFrom) -> Optional[str]:
+        if node.level == 0:
+            return node.module if (node.module or "").startswith(
+                self.package) else None
+        # relative import: trim `level` components off the importer
+        parts = module.name.split(".")
+        if module.path.name == "__init__.py":
+            parts = parts + ["__init__"]
+        base_parts = parts[:-node.level]
+        if not base_parts:
+            return None
+        base = ".".join(base_parts)
+        return f"{base}.{node.module}" if node.module else base
+
+    def _note(self, name: str, out: Set[str]) -> None:
+        """Record *name* (or its deepest existing parent package)."""
+        if not name.startswith(self.package):
+            return
+        parts = name.split(".")
+        while parts:
+            candidate = ".".join(parts)
+            if candidate in self.modules:
+                out.add(candidate)
+                return
+            parts.pop()
+
+
+def discover_root(start: Optional[Path] = None) -> Path:
+    """Find the repo root: the nearest ancestor holding ``src/repro``.
+
+    Defaults to starting from this file's own location, which resolves to
+    the checkout the running package was imported from.
+    """
+    here = (start or Path(__file__)).resolve()
+    for candidate in [here] + list(here.parents):
+        if (candidate / "src" / "repro").is_dir():
+            return candidate
+    raise FileNotFoundError(
+        f"no src/repro tree found above {here}")

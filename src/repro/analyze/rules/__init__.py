@@ -1,0 +1,9 @@
+"""Project-specific lint rules (see each module's docstring)."""
+
+from repro.analyze.rules.state_contract import StateContractRule
+from repro.analyze.rules.lock_discipline import LockDisciplineRule
+from repro.analyze.rules.determinism import DeterminismRule
+from repro.analyze.rules.protocol import ProtocolCompletenessRule
+
+__all__ = ["StateContractRule", "LockDisciplineRule", "DeterminismRule",
+           "ProtocolCompletenessRule"]

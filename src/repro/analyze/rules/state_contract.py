@@ -1,0 +1,132 @@
+"""State-contract rules (the ``repro.sim.state`` save/restore protocol).
+
+The checkpoint engine relies on two conventions:
+
+- **SC001** -- a component that defines ``save_state`` must define
+  ``restore_state`` and vice versa; a one-sided component either cannot
+  be checkpointed or cannot be rewound.
+- **SC002** -- components with a dirty-version counter (``self.version``
+  / ``sver``, used by the snapshot caches to skip re-serialising
+  unchanged sections) must bump it in **every** method that mutates an
+  attribute captured by ``save_state``.  A missing bump silently serves
+  stale checkpoint sections.
+
+Persisted attributes are inferred from ``save_state`` itself: every
+``self.X`` the method reads is part of the frozen state.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set
+
+from repro.analyze import astutil
+from repro.analyze.baseline import Baseline
+from repro.analyze.engine import Rule
+from repro.analyze.findings import Finding
+from repro.analyze.project import Project
+
+#: attribute names recognised as dirty-version counters
+VERSION_ATTRS = ("version", "_version", "sver", "_sver")
+
+#: methods never treated as mutators (the protocol itself + construction)
+EXEMPT_METHODS = ("__init__", "save_state")
+
+
+class StateContractRule(Rule):
+    name = "state-contract"
+
+    def run(self, project: Project, baseline: Baseline) -> List[Finding]:
+        findings: List[Finding] = []
+        for module in project:
+            for class_node in astutil.iter_classes(module.tree):
+                findings.extend(self._check_class(module.rel, class_node))
+        return findings
+
+    # ------------------------------------------------------------------
+    def _check_class(self, rel: str,
+                     class_node: ast.ClassDef) -> List[Finding]:
+        methods: Dict[str, ast.FunctionDef] = {
+            f.name: f for f in astutil.iter_functions(class_node)}
+        save = methods.get("save_state")
+        restore = methods.get("restore_state")
+        findings: List[Finding] = []
+
+        if (save is None) != (restore is None):
+            have, miss = (("save_state", "restore_state") if save
+                          else ("restore_state", "save_state"))
+            findings.append(Finding(
+                rule="SC001", file=rel, line=class_node.lineno,
+                message=(f"class {class_node.name} defines {have} "
+                         f"without {miss}")))
+        if save is None:
+            return findings
+
+        version_attr = self._version_attr(methods.get("__init__"))
+        if version_attr is None:
+            return findings
+        persisted = self._persisted_attrs(save)
+        persisted.discard(version_attr)
+        if not persisted:
+            return findings
+
+        for method in astutil.iter_functions(class_node):
+            if method.name in EXEMPT_METHODS:
+                continue
+            mutated = sorted({attr for attr, _ in
+                              astutil.assigned_self_attrs(method)}
+                             & persisted)
+            if not mutated and method.name != "restore_state":
+                continue
+            if self._bumps(method, version_attr):
+                continue
+            if method.name == "restore_state":
+                findings.append(Finding(
+                    rule="SC002", file=rel, line=method.lineno,
+                    message=(f"{class_node.name}.restore_state does not "
+                             f"bump {version_attr} (snapshot caches keyed "
+                             f"on it go stale after a rewind)")))
+            else:
+                findings.append(Finding(
+                    rule="SC002", file=rel, line=method.lineno,
+                    message=(f"{class_node.name}.{method.name} mutates "
+                             f"persisted attribute(s) "
+                             f"{', '.join(mutated)} without bumping "
+                             f"{version_attr}")))
+        return findings
+
+    # ------------------------------------------------------------------
+    def _version_attr(self,
+                      init: Optional[ast.FunctionDef]) -> Optional[str]:
+        """The dirty-counter attribute assigned in ``__init__`` (if any)."""
+        if init is None:
+            return None
+        for attr, _ in astutil.assigned_self_attrs(init):
+            if attr in VERSION_ATTRS:
+                return attr
+        return None
+
+    def _persisted_attrs(self, save: ast.FunctionDef) -> Set[str]:
+        """``self.X`` attributes read by ``save_state`` (excluding method
+        calls like ``self.helper()``)."""
+        call_funcs = {id(node.func) for node in ast.walk(save)
+                      if isinstance(node, ast.Call)}
+        out: Set[str] = set()
+        for node in ast.walk(save):
+            if not isinstance(node, ast.Attribute):
+                continue
+            if not isinstance(node.ctx, ast.Load):
+                continue
+            if id(node) in call_funcs:
+                continue
+            attr = astutil.self_attr(node)
+            if attr is not None:
+                out.add(attr)
+        return out
+
+    def _bumps(self, method: ast.FunctionDef, version_attr: str) -> bool:
+        for node in ast.walk(method):
+            for target in astutil.assign_targets(node):
+                if astutil.self_attr(target) == version_attr:
+                    return True
+        return False

@@ -27,6 +27,12 @@ best-config ranking, pairwise speedups) prints as text or JSON.
 ``repro-sim worker`` serves one such sweep worker (a repro-server whose
 expected traffic is ``/worker/execute``); with ``--register
 FRONTEND:PORT`` it heartbeats into that frontend's fleet registry.
+
+``repro-sim lint`` runs repro-lint (:mod:`repro.analyze`), the static
+invariant checker: state-contract pairing and dirty-version bumps,
+lock discipline in the threaded modules, determinism of the record
+paths, and protocol-surface completeness — against the committed
+``lint-baseline.json``.
 """
 
 from __future__ import annotations
@@ -50,7 +56,8 @@ def build_parser() -> argparse.ArgumentParser:
         epilog="Design-space sweeps: 'repro-sim explore SPEC.json --help' "
                "runs grids/samples of configurations on a worker pool or "
                "a remote fleet; 'repro-sim worker --help' serves one "
-               "fleet worker.")
+               "fleet worker; 'repro-sim lint --help' runs the static "
+               "invariant checker over src/repro.")
     parser.add_argument("program",
                         help="assembly source file (or C file with --compile)")
     parser.add_argument("architecture",
@@ -416,6 +423,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         return explore_main(argv[1:])
     if argv and argv[0] == "worker":
         return worker_main(argv[1:])
+    if argv and argv[0] == "lint":
+        from repro.analyze.cli import lint_main
+        return lint_main(argv[1:])
     args = build_parser().parse_args(argv)
     out = sys.stdout
 

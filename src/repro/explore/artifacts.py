@@ -211,7 +211,7 @@ class ArtifactCache:
                              max_disk_bytes=_max_bytes_from_env())
 
     # -- disk tier -----------------------------------------------------
-    def _disk_read(self, key: str) -> Optional[dict]:
+    def _disk_read_locked(self, key: str) -> Optional[dict]:
         if self.directory is None:
             return None
         try:
@@ -228,7 +228,7 @@ class ArtifactCache:
             pass
         return data if isinstance(data, dict) else None
 
-    def _disk_write(self, key: str, payload: dict) -> None:
+    def _disk_write_locked(self, key: str, payload: dict) -> None:
         if self.directory is None:
             return
         try:
@@ -257,8 +257,8 @@ class ArtifactCache:
                 else:
                     self._disk_bytes += size - previous_size
             if self.max_disk_bytes is not None \
-                    and self._disk_usage()[1] > self.max_disk_bytes:
-                self._disk_gc()
+                    and self._disk_usage_locked()[1] > self.max_disk_bytes:
+                self._disk_gc_locked()
         except OSError:
             # read-only tmp, disk full, ...: degrade to the memory tier
             self.directory = None
@@ -278,7 +278,7 @@ class ArtifactCache:
                                 entry.path))
         return entries
 
-    def _disk_usage(self) -> tuple:
+    def _disk_usage_locked(self) -> tuple:
         """``(files, bytes)`` of the disk tier — scanned lazily once,
         incrementally maintained afterwards (callers hold the lock)."""
         if self._disk_files is None:
@@ -290,7 +290,7 @@ class ArtifactCache:
             self._disk_bytes = sum(size for _m, size, _p in entries)
         return self._disk_files, self._disk_bytes
 
-    def _disk_gc(self) -> None:
+    def _disk_gc_locked(self) -> None:
         """Evict least-recently-used artifacts until the tier fits.
 
         Only runs when the (incrementally-tracked) usage exceeds the
@@ -336,7 +336,7 @@ class ArtifactCache:
             if cached is not None:
                 self._hits["compile"] += 1
                 return cached
-            disk = self._disk_read(key)
+            disk = self._disk_read_locked(key)
             if disk is not None and isinstance(disk.get("assembly"), str):
                 self._hits["compile"] += 1
                 self._disk_hits += 1
@@ -351,7 +351,7 @@ class ArtifactCache:
                            f"{result.errors}")
         with self._lock:
             self._compiled.put(key, result.assembly)
-            self._disk_write(key, {"assembly": result.assembly})
+            self._disk_write_locked(key, {"assembly": result.assembly})
         return result.assembly
 
     def assembled_program(self, source: str, stack_size: int,
@@ -400,7 +400,7 @@ class ArtifactCache:
             disk = {"maxBytes": self.max_disk_bytes,
                     "evicted": self._disk_evicted}
             if self.directory is not None:
-                files, size = self._disk_usage()
+                files, size = self._disk_usage_locked()
                 disk["files"] = files
                 disk["bytes"] = size
             data["disk"] = disk

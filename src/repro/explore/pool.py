@@ -491,8 +491,11 @@ class KeyedThreadPool:
                 return
             self._closed = True
             self._work_ready.notify_all()
+            # snapshot under the lock: submit() may be growing the list
+            # concurrently right up to the _closed flip above
+            threads = list(self._threads)
         if drain:
-            for thread in self._threads:
+            for thread in threads:
                 thread.join(timeout=10.0)
 
     def __enter__(self) -> "KeyedThreadPool":

@@ -473,7 +473,7 @@ class ExploreManager:
         with self._lock:
             self._closed = True
             self._wake.notify_all()
-        thread = self._thread
+            thread = self._thread
         if thread is not None:
             thread.join(timeout=10.0)
 

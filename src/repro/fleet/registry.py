@@ -224,8 +224,9 @@ class WorkerRegistry:
     def live(self) -> List[FleetWorker]:
         """Schedulable workers: heartbeat fresh, not flap-excluded."""
         self.expire()
+        now = self._now()
         with self._lock:
-            return self._live_locked(self._now())
+            return self._live_locked(now)
 
     def live_urls(self) -> List[str]:
         return [worker.url for worker in self.live()]

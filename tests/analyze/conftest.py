@@ -1,0 +1,51 @@
+"""Fixture-project scaffolding for the repro-lint rule tests.
+
+Each test builds a miniature ``<root>/src/repro`` tree in ``tmp_path``,
+loads it as a :class:`repro.analyze.project.Project`, and runs one rule
+against it — so positive and negative cases are plain source snippets.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.analyze.project import Project
+
+
+class ProjectBuilder:
+    def __init__(self, root):
+        self.root = root
+
+    def write(self, rel, source):
+        """Add ``src/repro/<rel>`` with *source* (dedented)."""
+        path = self.root / "src" / "repro" / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        for parent in path.relative_to(self.root / "src").parents:
+            init = self.root / "src" / parent / "__init__.py"
+            if str(parent) != "." and not init.exists():
+                init.write_text("")
+        path.write_text(textwrap.dedent(source))
+        return self
+
+    def write_test(self, rel, source):
+        """Add ``tests/<rel>`` (for the protocol-coverage rule)."""
+        path = self.root / "tests" / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+        return self
+
+    def load(self) -> Project:
+        init = self.root / "src" / "repro" / "__init__.py"
+        init.parent.mkdir(parents=True, exist_ok=True)
+        if not init.exists():
+            init.write_text("")
+        return Project.load(self.root)
+
+
+@pytest.fixture
+def builder(tmp_path):
+    return ProjectBuilder(tmp_path)
+
+
+def rules_of(findings, rule):
+    return [f for f in findings if f.rule == rule]

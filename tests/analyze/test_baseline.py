@@ -1,0 +1,79 @@
+"""Baseline persistence: round-trip, justification retention, staleness."""
+
+from repro.analyze.baseline import Baseline
+from repro.analyze.findings import Finding, sort_findings
+
+
+def finding(rule="SC001", file="src/repro/a.py", line=3, message="boom"):
+    return Finding(rule=rule, file=file, line=line, message=message)
+
+
+class TestMatching:
+    def test_match_ignores_line_numbers(self):
+        baseline = Baseline().updated([finding(line=3)])
+        assert baseline.is_baselined(finding(line=99))
+
+    def test_match_is_keyed_on_rule_file_message(self):
+        baseline = Baseline().updated([finding()])
+        assert not baseline.is_baselined(finding(rule="SC002"))
+        assert not baseline.is_baselined(finding(file="src/repro/b.py"))
+        assert not baseline.is_baselined(finding(message="other"))
+
+    def test_split_partitions_in_order(self):
+        baseline = Baseline().updated([finding()])
+        new, old = baseline.split([finding(message="fresh"), finding()])
+        assert [f.message for f in new] == ["fresh"]
+        assert [f.message for f in old] == ["boom"]
+
+    def test_stale_keys_reports_unmatched_entries(self):
+        baseline = Baseline().updated([finding()])
+        assert baseline.stale_keys([]) == [
+            ("SC001", "src/repro/a.py", "boom")]
+        assert baseline.stale_keys([finding()]) == []
+
+
+class TestRoundTrip:
+    def test_save_load_round_trip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        original = Baseline().updated(
+            [finding(), finding(rule="DT001", message="clock")],
+            protocol_version=5, protocol_routes=["GET /health"])
+        original.entries[("SC001", "src/repro/a.py", "boom")] = "verified"
+        original.save(path)
+
+        loaded = Baseline.load(path)
+        assert loaded.is_baselined(finding())
+        assert loaded.entries[("SC001", "src/repro/a.py", "boom")] \
+            == "verified"
+        assert loaded.protocol_version == 5
+        assert loaded.protocol_routes == ["GET /health"]
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        baseline = Baseline.load(tmp_path / "absent.json")
+        assert baseline.entries == {}
+        assert baseline.protocol_version is None
+
+    def test_update_preserves_existing_justifications(self):
+        first = Baseline().updated([finding()])
+        first.entries[finding().key()] = "looked at it, harmless"
+        second = first.updated([finding(), finding(message="new one")])
+        assert second.entries[finding().key()] == "looked at it, harmless"
+        assert second.entries[finding(message="new one").key()] == ""
+
+    def test_update_drops_entries_for_fixed_findings(self):
+        baseline = Baseline().updated([finding()])
+        assert baseline.updated([]).entries == {}
+
+
+class TestFindingShape:
+    def test_json_round_trip(self):
+        f = finding()
+        assert Finding.from_json(f.to_json()) == f
+
+    def test_sort_is_by_location(self):
+        unsorted = [finding(file="src/repro/b.py", line=1),
+                    finding(line=9), finding(line=2)]
+        ordered = sort_findings(unsorted)
+        assert [(f.file, f.line) for f in ordered] == [
+            ("src/repro/a.py", 2), ("src/repro/a.py", 9),
+            ("src/repro/b.py", 1)]

@@ -1,0 +1,155 @@
+"""DT001-DT005: the byte-identical-records determinism bar.
+
+The rule scopes itself to ``explore/runner.py`` plus everything that
+module (transitively) imports — fixtures exercise both direct and
+import-reachable violations."""
+
+from repro.analyze.baseline import Baseline
+from repro.analyze.rules.determinism import DeterminismRule
+
+from tests.analyze.conftest import rules_of
+
+
+def run_rule(builder):
+    return DeterminismRule().run(builder.load(), Baseline())
+
+
+class TestWallClock:
+    def test_time_time_in_runner_fires(self, builder):
+        builder.write("explore/runner.py", """
+            import time
+
+            def execute_payload(payload):
+                return {"startedAt": time.time()}
+        """)
+        findings = rules_of(run_rule(builder), "DT001")
+        assert len(findings) == 1
+        assert "time.time" in findings[0].message
+
+    def test_from_import_alias_fires(self, builder):
+        builder.write("explore/runner.py", """
+            from time import monotonic as clock
+
+            def execute_payload(payload):
+                return {"t": clock()}
+        """)
+        assert len(rules_of(run_rule(builder), "DT001")) == 1
+
+    def test_reachable_module_is_in_scope(self, builder):
+        builder.write("explore/runner.py", """
+            from repro.sim.core import run
+
+            def execute_payload(payload):
+                return run(payload)
+        """)
+        builder.write("sim/core.py", """
+            import time
+
+            def run(payload):
+                return {"t": time.monotonic()}
+        """)
+        findings = rules_of(run_rule(builder), "DT001")
+        assert [f.file for f in findings] == ["src/repro/sim/core.py"]
+
+    def test_unreachable_module_is_out_of_scope(self, builder):
+        builder.write("explore/runner.py", """
+            def execute_payload(payload):
+                return {}
+        """)
+        builder.write("server/clockwatch.py", """
+            import time
+
+            def now():
+                return time.time()
+        """)
+        assert rules_of(run_rule(builder), "DT001") == []
+
+
+class TestRandomness:
+    def test_global_random_fires(self, builder):
+        builder.write("explore/runner.py", """
+            import random
+
+            def execute_payload(payload):
+                return {"jitter": random.random()}
+        """)
+        assert len(rules_of(run_rule(builder), "DT002")) == 1
+
+    def test_seeded_instance_is_clean(self, builder):
+        builder.write("explore/runner.py", """
+            import random
+
+            def execute_payload(payload):
+                rng = random.Random(payload["seed"])
+                return {"jitter": rng.random()}
+        """)
+        assert rules_of(run_rule(builder), "DT002") == []
+
+
+class TestIdKeysAndSets:
+    def test_id_keyed_dict_fires(self, builder):
+        builder.write("explore/runner.py", """
+            def execute_payload(payload):
+                table = {}
+                for item in payload["items"]:
+                    table[id(item)] = item
+                return table
+        """)
+        assert len(rules_of(run_rule(builder), "DT003")) == 1
+
+    def test_id_in_a_set_is_dedup_not_ordering(self, builder):
+        builder.write("explore/runner.py", """
+            def execute_payload(payload):
+                seen = set()
+                for item in payload["items"]:
+                    seen.add(id(item))
+                return {"unique": len(seen)}
+        """)
+        assert rules_of(run_rule(builder), "DT003") == []
+
+    def test_set_iteration_fires(self, builder):
+        builder.write("explore/runner.py", """
+            def execute_payload(payload):
+                return [x for x in set(payload["items"])]
+        """)
+        assert len(rules_of(run_rule(builder), "DT004")) == 1
+
+    def test_sorted_set_is_clean(self, builder):
+        builder.write("explore/runner.py", """
+            def execute_payload(payload):
+                return sorted(set(payload["items"]))
+        """)
+        assert rules_of(run_rule(builder), "DT004") == []
+
+
+class TestEnvironment:
+    def test_non_repro_env_read_fires(self, builder):
+        builder.write("explore/runner.py", """
+            import os
+
+            def execute_payload(payload):
+                return {"home": os.environ.get("HOME")}
+        """)
+        findings = rules_of(run_rule(builder), "DT005")
+        assert len(findings) == 1
+        assert "'HOME'" in findings[0].message
+
+    def test_repro_prefixed_env_is_allowed(self, builder):
+        builder.write("explore/runner.py", """
+            import os
+
+            def execute_payload(payload):
+                return {"dir": os.environ.get("REPRO_ARTIFACT_DIR")}
+        """)
+        assert rules_of(run_rule(builder), "DT005") == []
+
+    def test_module_constant_key_is_resolved(self, builder):
+        builder.write("explore/runner.py", """
+            import os
+
+            KEY = "REPRO_WORKERS"
+
+            def execute_payload(payload):
+                return {"workers": os.getenv(KEY)}
+        """)
+        assert rules_of(run_rule(builder), "DT005") == []

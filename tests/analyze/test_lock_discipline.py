@@ -1,0 +1,161 @@
+"""LD001/LD002: guarded-attribute and lock-ordering discipline.
+
+Fixtures are written to ``explore/pool.py`` — one of the lock-bearing
+modules the rule scopes itself to."""
+
+from repro.analyze.baseline import Baseline
+from repro.analyze.rules.lock_discipline import LockDisciplineRule
+
+from tests.analyze.conftest import rules_of
+
+
+def run_rule(builder):
+    return LockDisciplineRule().run(builder.load(), Baseline())
+
+
+GUARDED = """
+    import threading
+
+    class Pool:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._items = []
+            self._closed = False
+
+        def add(self, item):
+            with self._lock:
+                self._items.append(item)
+
+        def size(self):
+            with self._lock:
+                return len(self._items)
+
+        def _drain_locked(self):
+            return list(self._items)
+
+        def leak(self):
+            %s
+"""
+
+
+class TestLD001GuardedAccess:
+    def test_unguarded_access_fires(self, builder):
+        builder.write("explore/pool.py", GUARDED % "return self._items[-1]")
+        findings = rules_of(run_rule(builder), "LD001")
+        assert len(findings) == 1
+        assert "Pool._items" in findings[0].message
+        assert "leak()" in findings[0].message
+
+    def test_guarded_access_is_clean(self, builder):
+        builder.write("explore/pool.py", GUARDED % (
+            "with self._lock:\n                return self._items[-1]"))
+        assert rules_of(run_rule(builder), "LD001") == []
+
+    def test_locked_suffix_methods_are_held_by_convention(self, builder):
+        # _drain_locked touches _items with no with-block and is not
+        # flagged; its access also keeps _items in the guarded set
+        builder.write("explore/pool.py", GUARDED % "return None")
+        assert rules_of(run_rule(builder), "LD001") == []
+
+    def test_condition_alias_counts_as_the_lock(self, builder):
+        builder.write("explore/pool.py", """
+            import threading
+
+            class Waiter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._wake = threading.Condition(self._lock)
+                    self._queue = []
+
+                def put(self, item):
+                    with self._lock:
+                        self._queue.append(item)
+                        self._wake.notify()
+
+                def take(self):
+                    with self._wake:
+                        return self._queue.pop()
+        """)
+        assert rules_of(run_rule(builder), "LD001") == []
+
+    def test_module_outside_scope_is_ignored(self, builder):
+        builder.write("sim/other.py", GUARDED % "return self._items[-1]")
+        assert rules_of(run_rule(builder), "LD001") == []
+
+
+class TestLD002Ordering:
+    def test_abba_inversion_fires(self, builder):
+        builder.write("explore/pool.py", """
+            import threading
+
+            class TwoLocks:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._aux_lock = threading.Lock()
+
+                def forward(self):
+                    with self._lock:
+                        with self._aux_lock:
+                            pass
+
+                def backward(self):
+                    with self._aux_lock:
+                        with self._lock:
+                            pass
+        """)
+        findings = rules_of(run_rule(builder), "LD002")
+        assert len(findings) == 1
+        assert "inversion" in findings[0].message
+
+    def test_consistent_order_is_clean(self, builder):
+        builder.write("explore/pool.py", """
+            import threading
+
+            class TwoLocks:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._aux_lock = threading.Lock()
+
+                def forward(self):
+                    with self._lock:
+                        with self._aux_lock:
+                            pass
+
+                def also_forward(self):
+                    with self._lock:
+                        with self._aux_lock:
+                            pass
+        """)
+        assert rules_of(run_rule(builder), "LD002") == []
+
+    def test_reacquiring_a_plain_lock_fires(self, builder):
+        builder.write("explore/pool.py", """
+            import threading
+
+            class SelfDeadlock:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def oops(self):
+                    with self._lock:
+                        with self._lock:
+                            pass
+        """)
+        findings = rules_of(run_rule(builder), "LD002")
+        assert len(findings) == 1
+        assert "self-deadlock" in findings[0].message
+
+    def test_reacquiring_an_rlock_is_clean(self, builder):
+        builder.write("explore/pool.py", """
+            import threading
+
+            class Reentrant:
+                def __init__(self):
+                    self._lock = threading.RLock()
+
+                def fine(self):
+                    with self._lock:
+                        with self._lock:
+                            pass
+        """)
+        assert rules_of(run_rule(builder), "LD002") == []

@@ -1,0 +1,130 @@
+"""SC001/SC002: the save/restore pairing and dirty-version contract."""
+
+from repro.analyze.baseline import Baseline
+from repro.analyze.rules.state_contract import StateContractRule
+
+from tests.analyze.conftest import rules_of
+
+
+def run_rule(builder):
+    return StateContractRule().run(builder.load(), Baseline())
+
+
+class TestSC001Pairing:
+    def test_save_without_restore_fires(self, builder):
+        builder.write("comp.py", """
+            class Half:
+                def save_state(self):
+                    return {"x": self.x}
+        """)
+        findings = rules_of(run_rule(builder), "SC001")
+        assert len(findings) == 1
+        assert "save_state without restore_state" in findings[0].message
+        assert findings[0].file == "src/repro/comp.py"
+
+    def test_restore_without_save_fires(self, builder):
+        builder.write("comp.py", """
+            class Half:
+                def restore_state(self, state):
+                    self.x = state["x"]
+        """)
+        findings = rules_of(run_rule(builder), "SC001")
+        assert len(findings) == 1
+        assert "restore_state without save_state" in findings[0].message
+
+    def test_paired_class_is_clean(self, builder):
+        builder.write("comp.py", """
+            class Whole:
+                def save_state(self):
+                    return {"x": self.x}
+                def restore_state(self, state):
+                    self.x = state["x"]
+        """)
+        assert rules_of(run_rule(builder), "SC001") == []
+
+
+VERSIONED = """
+    class Component:
+        def __init__(self):
+            self.data = []
+            self.count = 0
+            self.version = 0
+
+        def save_state(self):
+            return {"data": list(self.data), "count": self.count}
+
+        def restore_state(self, state):
+            self.data = list(state["data"])
+            self.count = state["count"]
+            self.version += 1
+
+        def mutate(self, item):
+            self.data.append(item)   # container mutation: out of scope
+            self.count += 1
+            %s
+"""
+
+
+class TestSC002VersionBump:
+    def test_mutator_without_bump_fires(self, builder):
+        builder.write("comp.py", VERSIONED % "pass")
+        findings = rules_of(run_rule(builder), "SC002")
+        assert len(findings) == 1
+        assert "Component.mutate" in findings[0].message
+        assert "count" in findings[0].message
+
+    def test_mutator_with_bump_is_clean(self, builder):
+        builder.write("comp.py", VERSIONED % "self.version += 1")
+        assert rules_of(run_rule(builder), "SC002") == []
+
+    def test_restore_state_must_bump_too(self, builder):
+        builder.write("comp.py", """
+            class Component:
+                def __init__(self):
+                    self.x = 0
+                    self.version = 0
+                def save_state(self):
+                    return {"x": self.x}
+                def restore_state(self, state):
+                    self.x = state["x"]
+                def poke(self):
+                    self.x += 1
+                    self.version += 1
+        """)
+        findings = rules_of(run_rule(builder), "SC002")
+        assert len(findings) == 1
+        assert "restore_state" in findings[0].message
+
+    def test_versionless_component_is_out_of_scope(self, builder):
+        # a view/delegate (e.g. RuntimeStatistics) has no dirty counter:
+        # the bump contract does not apply
+        builder.write("comp.py", """
+            class View:
+                def __init__(self):
+                    self.source = None
+                def save_state(self):
+                    return {"source": self.source}
+                def restore_state(self, state):
+                    self.source = state["source"]
+                def rebind(self, source):
+                    self.source = source
+        """)
+        assert rules_of(run_rule(builder), "SC002") == []
+
+    def test_subscript_store_counts_as_mutation(self, builder):
+        builder.write("comp.py", """
+            class Table:
+                def __init__(self):
+                    self.rows = {}
+                    self.version = 0
+                def save_state(self):
+                    return {"rows": dict(self.rows)}
+                def restore_state(self, state):
+                    self.rows = dict(state["rows"])
+                    self.version += 1
+                def put(self, key, value):
+                    self.rows[key] = value
+        """)
+        findings = rules_of(run_rule(builder), "SC002")
+        assert len(findings) == 1
+        assert "Table.put" in findings[0].message

@@ -393,3 +393,87 @@ class TestExtensionFlags:
         path = tmp_path / "bad.s"
         path.write_text("frob x1\n")
         assert main([str(path), arch_file, "--disassemble"]) == 1
+
+
+class TestLintMode:
+    """``repro-sim lint`` — the static invariant checker
+    (:mod:`repro.analyze`)."""
+
+    @staticmethod
+    def fixture_root(tmp_path, source):
+        import textwrap
+        pkg = tmp_path / "src" / "repro"
+        pkg.mkdir(parents=True)
+        (pkg / "__init__.py").write_text("")
+        (pkg / "comp.py").write_text(textwrap.dedent(source))
+        return tmp_path
+
+    CLEAN = """
+        class Whole:
+            def save_state(self):
+                return {"x": self.x}
+            def restore_state(self, state):
+                self.x = state["x"]
+    """
+
+    DIRTY = """
+        class Half:
+            def save_state(self):
+                return {"x": self.x}
+    """
+
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        root = self.fixture_root(tmp_path, self.CLEAN)
+        assert main(["lint", "--root", str(root)]) == 0
+        assert "0 new finding(s)" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        root = self.fixture_root(tmp_path, self.DIRTY)
+        assert main(["lint", "--root", str(root)]) == 1
+        out = capsys.readouterr().out
+        assert "SC001" in out
+        assert "1 new finding(s)" in out
+
+    def test_usage_error_exits_two(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["lint", "--format", "yaml"])
+        assert excinfo.value.code == 2
+
+    def test_missing_root_exits_two(self, tmp_path, capsys):
+        assert main(["lint", "--root", str(tmp_path / "nowhere")]) == 2
+
+    def test_json_report_parses_and_is_schema_stable(self, tmp_path,
+                                                     capsys):
+        root = self.fixture_root(tmp_path, self.DIRTY)
+        assert main(["lint", "--root", str(root),
+                     "--format", "json"]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["version"] == 1
+        assert set(report) == {"version", "findings", "baselined",
+                               "staleBaselineEntries", "counts"}
+        (finding,) = report["findings"]
+        assert set(finding) == {"rule", "file", "line", "message",
+                                "severity"}
+        assert finding["rule"] == "SC001"
+        assert report["counts"] == {"new": 1, "baselined": 0, "stale": 0}
+
+    def test_update_baseline_round_trip(self, tmp_path, capsys):
+        root = self.fixture_root(tmp_path, self.DIRTY)
+        baseline = root / "lint-baseline.json"
+        assert main(["lint", "--root", str(root),
+                     "--update-baseline"]) == 0
+        assert baseline.exists()
+        capsys.readouterr()
+        # same findings, now baselined: clean run
+        assert main(["lint", "--root", str(root)]) == 0
+        assert "1 baselined" in capsys.readouterr().out
+
+    def test_fixed_finding_goes_stale_not_fatal(self, tmp_path, capsys):
+        root = self.fixture_root(tmp_path, self.DIRTY)
+        assert main(["lint", "--root", str(root),
+                     "--update-baseline"]) == 0
+        (root / "src" / "repro" / "comp.py").write_text(
+            "class Gone:\n    pass\n")
+        capsys.readouterr()
+        assert main(["lint", "--root", str(root)]) == 0
+        assert "stale" in capsys.readouterr().out

@@ -193,7 +193,7 @@ class TestDiskGc:
         total = sum(os.stat(f).st_size for f in tmp_path.glob("*.json"))
         evictor = ArtifactCache(directory=str(tmp_path),
                                 max_disk_bytes=total - 1)
-        evictor._disk_gc()                  # one eviction brings it under
+        evictor._disk_gc_locked()                  # one eviction brings it under
         remaining = list(tmp_path.glob("*.json"))
         assert hot_file in remaining        # the touched one survived
         assert len(remaining) == 2          # exactly the oldest evicted
