@@ -54,6 +54,40 @@ print(f"after seek(24): cycle={sim.cycle} "
       f"(replayed {sim.last_replay_cycles} from checkpoint @16)")
 
 # ---------------------------------------------------------------------------
+# 2b. how the trace tier works (the run-to-completion fast path)
+#
+# Uninstrumented runs (`sim.run()` with no observers, and the fast-forward
+# leg of far-forward `seek`s) execute through a *superblock trace tier*:
+#
+#   * at startup the static code is split into superblocks (straight-line
+#     runs with at most one terminating branch);
+#   * every interpreted fetch of a block head is counted, and a block that
+#     reaches the hot threshold (16 fetches; REPRO_TRACE_THRESHOLD
+#     overrides) is compiled into specialized Python fetch/dispatch/eval
+#     functions with the configuration's constants folded in;
+#   * anything the specialized code cannot decide locally — a structural
+#     stall, a mispredicted branch, a store into the code image — takes a
+#     *side exit* back to the interpreter, so behaviour is bit-identical
+#     by construction (pinned by the golden determinism suite).
+#
+# Stepped (instrumented) simulation is untouched.  Far-forward seeks run
+# uninstrumented to the last checkpoint boundary below the target, drop
+# the checkpoint there, and step only the tail interval —
+# `sim.last_fast_forward` reports the fast-forwarded share.  When
+# bisecting a timing bug you can rule the tier out by disabling it:
+# set the environment variable REPRO_TRACE=0, or `config.trace = False`.
+#
+# `repro-sim run --verbosity 2` prints the tier's counters (superblocks
+# compiled, side exits, invalidations) after the checkpoint-ring line.
+# ---------------------------------------------------------------------------
+sim = Simulation.from_source(SOURCE, checkpoint_interval=16)
+sim.seek(90)             # far-forward: uninstrumented to cycle 80, step 10
+tier = sim.cpu._trace_tier
+print(f"\nseek(90): fast-forwarded {sim.last_fast_forward} cycles"
+      + (f", trace tier compiled {tier.stats['compiled']} superblock(s)"
+         if tier is not None else " (trace tier disabled)"))
+
+# ---------------------------------------------------------------------------
 # 3. compile C and watch the optimizer work
 # ---------------------------------------------------------------------------
 C_SOURCE = """

@@ -229,6 +229,10 @@ class CpuConfig:
     predictor: PredictorConfig = field(default_factory=PredictorConfig)
     max_cycles: int = 1_000_000
     halt_on_exception: bool = True
+    #: superblock trace tier (repro.core.trace) for uninstrumented runs;
+    #: bit-exact vs the interpreter — disable when bisecting whether a
+    #: result depends on the execution tier (env override: REPRO_TRACE=0)
+    trace: bool = True
 
     # ------------------------------------------------------------------
     def validate(self) -> None:
@@ -261,7 +265,7 @@ class CpuConfig:
 
     # ------------------------------------------------------------------
     def to_json(self) -> dict:
-        return {
+        data = {
             "name": self.name,
             "coreClockHz": self.core_clock_hz,
             "memoryClockHz": self.memory_clock_hz,
@@ -274,6 +278,9 @@ class CpuConfig:
             "maxCycles": self.max_cycles,
             "haltOnException": self.halt_on_exception,
         }
+        if not self.trace:  # emitted only when non-default (cf. pipelined)
+            data["trace"] = False
+        return data
 
     def to_json_str(self, indent: int = 2) -> str:
         return json.dumps(self.to_json(), indent=indent)
@@ -292,6 +299,7 @@ class CpuConfig:
             predictor=PredictorConfig.from_json(data.get("branchPredictor", {})),
             max_cycles=int(data.get("maxCycles", 1_000_000)),
             halt_on_exception=bool(data.get("haltOnException", True)),
+            trace=bool(data.get("trace", True)),
         )
         if "functionalUnits" in data:
             cfg.fus = [FuSpec.from_json(d) for d in data["functionalUnits"]]

@@ -61,7 +61,8 @@ class FuRuntime:
     ones are still in flight."""
 
     __slots__ = ("spec", "simcode", "busy_until", "busy_cycles",
-                 "inflight", "last_issue_cycle", "pipelined", "ops_set")
+                 "inflight", "last_issue_cycle", "pipelined", "ops_set",
+                 "name", "flat_latency", "ops_lat")
 
     def __init__(self, spec: FuSpec):
         self.spec = spec
@@ -75,6 +76,12 @@ class FuRuntime:
         self.pipelined = spec.pipelined
         #: None = supports every op class (see FuSpec.supported_set)
         self.ops_set: Optional[frozenset] = spec.supported_set()
+        #: latency_of() split into data (trace-tier issue path): FX/FP
+        #: use the per-op-class dict, everything else the flat latency
+        self.name = spec.name
+        self.flat_latency: Optional[int] = (
+            None if spec.kind in ("FX", "FP") else spec.latency)
+        self.ops_lat: Dict[str, int] = spec.operations
 
     @property
     def busy(self) -> bool:
@@ -239,6 +246,14 @@ class Cpu:
         self.fetch_stall_until = -1
         self.fetch_past_end = False
 
+        # -- superblock trace tier (repro.core.trace) ----------------------
+        #: tri-state gate: None = not yet resolved, False = disabled for
+        #: this CPU (config/env/unsupported), True = tier engaged
+        self._trace_wanted: Optional[bool] = None
+        self._trace_tier = None
+        #: first byte past the code region (self-modifying-store guard)
+        self._code_limit = program.code_size_bytes
+
         # -- bookkeeping ---------------------------------------------------
         self.cycle = 0
         self.next_id = 0
@@ -349,7 +364,24 @@ class Cpu:
 
         Equivalent to calling :meth:`step` in a loop; exists so that
         run-to-completion simulations (no observers, no snapshots) avoid
-        per-cycle bookkeeping in callers."""
+        per-cycle bookkeeping in callers.  When the superblock trace tier
+        is enabled (``CpuConfig.trace`` / ``REPRO_TRACE``) the loop runs
+        through its configuration-specialized step function instead —
+        bit-exact, pinned by the golden determinism suite.  A commit hook
+        (the debugger's probe) forces the interpreter path."""
+        if self._trace_wanted is not False and self.commit_hook is None:
+            tier = self._trace_tier
+            if tier is None:
+                from repro.core.trace import (TraceTier, trace_enabled,
+                                              trace_supported)
+                if trace_enabled(self.config) and trace_supported(self):
+                    tier = self._trace_tier = TraceTier(self)
+                    self._trace_wanted = True
+                else:
+                    self._trace_wanted = False
+            if tier is not None:
+                tier.run(budget)
+                return
         step = self.step
         while self.halted is None and self.cycle < budget:
             step()
@@ -598,6 +630,12 @@ class Cpu:
         entry.drain_until = self.cycle + max(1, delay)
         simcode.sver += 1
         self.v_storeb += 1
+        # self-modifying store: compiled superblocks are stale the moment
+        # the (notional) code region is architecturally written
+        if self._trace_tier is not None and entry.address is not None \
+                and entry.address < self._code_limit:
+            self._trace_tier.on_code_write(entry.address,
+                                           len(entry.data or b""))
 
     # ==================================================================
     # execute: functional units (sub-step 1 of Sec. III-A)

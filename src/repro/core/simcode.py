@@ -29,34 +29,50 @@ class Phase(str, enum.Enum):
 
 
 class SimCode:
-    """A dynamic instruction instance travelling through the pipeline."""
+    """A dynamic instruction instance travelling through the pipeline.
 
-    __slots__ = (
-        "id", "instruction", "dop", "pc",
-        "timestamps", "squashed", "exception",
-        # dirty-tracked payload caches (see repro.sim.state): the pipeline
-        # bumps `sver` at every mutation site; to_json / to_json_str
-        # rebuild lazily.  Mutation counts are deterministic, so `sver` is
-        # a pure function of (instruction id, cycle) along the trajectory
-        # and stays comparable across checkpoint restores and replays —
-        # which is what lets delta serving skip unchanged entries.
-        "sver", "_json", "_json_ver", "_json_str",
-        # renaming
-        "renamed_sources", "dest_arch", "dest_tag",
-        # operand capture: arg name -> ('val', value) | ('tag', tag)
-        "operands",
-        # fast-path mirrors of `operands`: captured values / unresolved tags
-        "op_values", "pending_tags",
-        # results
-        "result", "assignments",
-        # branch bookkeeping
-        "predicted_taken", "predicted_target", "actual_taken",
-        "actual_target", "mispredicted", "pht_index",
-        # memory bookkeeping
-        "address", "mem_delay", "store_data", "transaction",
-        # execution bookkeeping
-        "fu_name", "finish_cycle",
-    )
+    Every attribute whose default is immutable lives on the *class*, not
+    the instance: a construction (one per fetched instruction — the
+    hottest allocation in the simulator) stores only the identity fields
+    and the per-instance containers, and a read of a never-written field
+    falls through to the class default.  All pipeline mutation sites
+    rebind the attribute on the instance (nothing updates these defaults
+    in place), so instances never observe each other's state.
+    """
+
+    # dirty-tracked payload caches (see repro.sim.state): the pipeline
+    # bumps `sver` at every mutation site; to_json / to_json_str rebuild
+    # lazily.  Mutation counts are deterministic, so `sver` is a pure
+    # function of (instruction id, cycle) along the trajectory and stays
+    # comparable across checkpoint restores and replays — which is what
+    # lets delta serving skip unchanged entries.
+    sver = 0
+    _json: Optional[dict] = None
+    _json_ver = -1
+    _json_str: Optional[str] = None
+
+    squashed = False
+    exception: Optional[SimulationException] = None
+    # renaming
+    dest_arch: Optional[str] = None
+    dest_tag: Optional[int] = None
+    # results
+    result = None
+    # branch bookkeeping
+    predicted_taken = False
+    predicted_target: Optional[int] = None
+    actual_taken: Optional[bool] = None
+    actual_target: Optional[int] = None
+    mispredicted = False
+    pht_index: Optional[int] = None
+    # memory bookkeeping
+    address: Optional[int] = None
+    mem_delay: Optional[int] = None
+    store_data: Optional[bytes] = None
+    transaction = None
+    # execution bookkeeping
+    fu_name: Optional[str] = None
+    finish_cycle: Optional[int] = None
 
     def __init__(self, uid: int, instruction: ParsedInstruction,
                  dop=None):
@@ -68,37 +84,13 @@ class SimCode:
         self.dop = dop
         self.pc = instruction.pc
         self.timestamps: Dict[str, int] = {}
-        self.squashed = False
-        self.exception: Optional[SimulationException] = None
-        self.sver = 0
-        self._json: Optional[dict] = None
-        self._json_ver = -1
-        self._json_str: Optional[str] = None
-
         self.renamed_sources: Dict[str, str] = {}   # arg -> "t3" / "arch"
-        self.dest_arch: Optional[str] = None
-        self.dest_tag: Optional[int] = None
+        #: operand capture: arg name -> ('val', value) | ('tag', tag),
+        #: with fast-path mirrors for captured values / unresolved tags
         self.operands: Dict[str, Tuple[str, object]] = {}
         self.op_values: Dict[str, object] = {}
         self.pending_tags: Dict[str, int] = {}
-
-        self.result = None
         self.assignments: List[Tuple[str, object]] = []
-
-        self.predicted_taken = False
-        self.predicted_target: Optional[int] = None
-        self.actual_taken: Optional[bool] = None
-        self.actual_target: Optional[int] = None
-        self.mispredicted = False
-        self.pht_index: Optional[int] = None
-
-        self.address: Optional[int] = None
-        self.mem_delay: Optional[int] = None
-        self.store_data: Optional[bytes] = None
-        self.transaction = None
-
-        self.fu_name: Optional[str] = None
-        self.finish_cycle: Optional[int] = None
 
     # ------------------------------------------------------------------
     @property

@@ -1,0 +1,250 @@
+"""Superblock trace tier: hot-block detection + specialized execution.
+
+The second codegen tier on top of PR 1's per-expression compilation.  The
+uninstrumented run loop (``Cpu.run``) is replaced by a single function
+specialized to the processor configuration (``tracegen.compile_step``);
+within it, straight-line *superblocks* of the program that prove hot are
+specialized further: per-block fetch stubs fuse the whole block into one
+call, and per-op dispatch/eval stubs fold the operand plumbing and the
+``_evaluate`` kind ladder down to literals.  Any situation the stubs do
+not model — structural stalls, mispredicted branches, exceptions — side-
+exits back to the interpreter's own methods, so behaviour is bit-exact
+by construction (and pinned by the golden determinism suite).
+
+Detection is a simple counter: every time the fetch unit lands on a
+block head still served by the interpreter, the tier counts it; at
+``threshold`` hits (default 16, ``REPRO_TRACE_THRESHOLD``) the block is
+compiled and its stubs installed.  The whole tier is disabled with
+``CpuConfig.trace = False`` or ``REPRO_TRACE=0`` — useful when bisecting
+a timing bug, see ``examples/quickstart.py``.
+
+Invalidation: the machine is Harvard-style — instructions are fetched
+from the static decode cache, never from data memory — but the notional
+code region ``[0, code_size)`` aliases low data memory (the call stack
+lives at the bottom of the address space).  A drained store into that
+range is treated conservatively as self-modifying: every compiled
+superblock whose instruction bytes overlap the stored range is dropped
+and falls back to the interpreter (whose result is, by the Harvard
+property, exactly what the trace produced — dropping traces keeps the
+tier honest rather than fast).  Invalidation is *selective* and applies
+exponential backoff to the victim's recompile threshold, so stack
+traffic aliasing one hot block cannot thrash the whole tier or pay a
+recompile per store.  ``MainMemory.set_image`` (image replaced
+wholesale) drops everything.  All invalidation mutates the stub
+containers *in place*: running generated code holds direct references
+to them.
+
+Determinism: block discovery iterates dicts and sorted lists only, the
+tier keeps no wall-clock state, and the only environment reads are the
+``REPRO_*`` toggles the lint determinism rules allow.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.decoded import DecodedOp
+from repro.core.tracegen import compile_block, compile_step
+
+#: default fetch count at which a block head is considered hot
+DEFAULT_THRESHOLD = 16
+#: longest superblock worth fusing into one fetch stub
+MAX_BLOCK_OPS = 24
+
+
+def trace_enabled(config) -> bool:
+    """Session-level gate: config field AND the ``REPRO_TRACE`` env toggle."""
+    if not getattr(config, "trace", True):
+        return False
+    return os.environ.get("REPRO_TRACE", "1") != "0"
+
+
+def trace_supported(cpu) -> bool:
+    """Whether the specialized step loop models this configuration.
+
+    Pipelined functional units (the ``FuSpec.pipelined`` future-work mode)
+    take the interpreter path; everything else is supported.
+    """
+    for fu in cpu.fus:
+        if fu.pipelined:
+            return False
+    for fu in cpu.memory_units:
+        if fu.pipelined:
+            return False
+    return True
+
+
+class Superblock:
+    """One straight-line run of decoded ops ending at a branch/halt."""
+
+    __slots__ = ("head_pc", "ops")
+
+    def __init__(self, head_pc: int, ops: Tuple[DecodedOp, ...]):
+        self.head_pc = head_pc
+        self.ops = ops
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Superblock(pc={self.head_pc:#x}, "
+                f"ops={len(self.ops)})")
+
+
+def discover_superblocks(decoded: List[DecodedOp],
+                         entry_pc: int) -> Dict[int, Superblock]:
+    """Partition the static program into superblocks, keyed by head pc.
+
+    Leaders are the program start, the entry point, every static branch
+    target, and every fall-through successor of a branch or halt.  A block
+    runs from its leader to the first branch/halt (inclusive), the next
+    leader, or ``MAX_BLOCK_OPS`` — whichever comes first.  Blocks are
+    disjoint, so the per-pc / per-index stub tables never collide.
+    """
+    n = len(decoded)
+    if n == 0:
+        return {}
+    leaders: Dict[int, bool] = {0: True}
+    entry_index = entry_pc >> 2
+    if not entry_pc & 3 and 0 <= entry_index < n:
+        leaders[entry_index] = True
+    for dop in decoded:
+        if dop.is_branch or dop.is_halt:
+            if dop.index + 1 < n:
+                leaders[dop.index + 1] = True
+        if dop.is_branch:
+            target = dop.static_target
+            if target is not None and not target & 3:
+                ti = target >> 2
+                if 0 <= ti < n:
+                    leaders[ti] = True
+    blocks: Dict[int, Superblock] = {}
+    order = sorted(leaders)
+    for pos, start in enumerate(order):
+        end_limit = order[pos + 1] if pos + 1 < len(order) else n
+        ops: List[DecodedOp] = []
+        i = start
+        while i < end_limit and len(ops) < MAX_BLOCK_OPS:
+            dop = decoded[i]
+            ops.append(dop)
+            if dop.is_branch or dop.is_halt:
+                break
+            i += 1
+        if ops:
+            block = Superblock(decoded[start].pc, tuple(ops))
+            blocks[block.head_pc] = block
+    return blocks
+
+
+class TraceTier:
+    """Per-``Cpu`` trace state: counters, stub tables, statistics.
+
+    Created lazily on the first uninstrumented :meth:`Cpu.run` call and
+    kept for the CPU's lifetime — checkpoint restores rewind processor
+    state but compiled stubs stay valid (they bind only identity-stable
+    structures and read everything else through attributes).
+    """
+
+    def __init__(self, cpu, threshold: Optional[int] = None):
+        self.cpu = cpu
+        if threshold is None:
+            raw = os.environ.get("REPRO_TRACE_THRESHOLD", "")
+            threshold = int(raw) if raw.isdigit() else DEFAULT_THRESHOLD
+        self.threshold = max(1, threshold)
+        self.blocks = discover_superblocks(cpu.decoded, cpu.program.entry_pc)
+        #: block-head pcs still interpreted: pc -> fetch count so far
+        self.cold_heads: Dict[int, int] = {pc: 0 for pc in self.blocks}
+        #: currently installed blocks (selective invalidation scans these)
+        self.compiled_heads: Dict[int, Superblock] = {}
+        #: per-block recompile threshold, doubled on each invalidation of
+        #: that block (backoff against stores aliasing a hot block)
+        self.block_threshold: Dict[int, int] = {}
+        #: pc -> fetch stub (the generated loop reads these via .get)
+        self.fetch_stubs: Dict[int, object] = {}
+        #: static index -> dispatch / eval stub (None = interpreter)
+        count = len(cpu.decoded)
+        self.dispatch_stubs: List[Optional[object]] = [None] * count
+        self.eval_stubs: List[Optional[object]] = [None] * count
+        self.stats: Dict[str, int] = {
+            "blocks": len(self.blocks),
+            "compiled": 0,
+            "sideExits": 0,
+            "invalidations": 0,
+        }
+        self._step_loop = compile_step(cpu)
+        # drop stale traces when the code image is replaced or stored into
+        cpu.memory.on_set_image = self.on_set_image
+
+    # ------------------------------------------------------------------
+    def run(self, budget: int) -> None:
+        """Run the specialized step loop until halt or *budget* cycles."""
+        self._step_loop(self.cpu, self, budget)
+
+    # ------------------------------------------------------------------
+    def note_block(self, pc: int) -> None:
+        """Hot-detection hook, called by the generated fetch path whenever
+        an interpreted fetch lands on a block head."""
+        count = self.cold_heads[pc] + 1
+        if count < self.block_threshold.get(pc, self.threshold):
+            self.cold_heads[pc] = count
+            return
+        del self.cold_heads[pc]
+        block = self.blocks[pc]
+        fetch, dispatch, evals = compile_block(self.cpu, block)
+        self.fetch_stubs.update(fetch)
+        errors = self.cpu._dispatch_error
+        for index, stub in dispatch.items():
+            # ops the configuration cannot execute keep the interpreter's
+            # dispatch (the stub folds the error check away)
+            if errors[index] is None:
+                self.dispatch_stubs[index] = stub
+        for index, stub in evals.items():
+            self.eval_stubs[index] = stub
+        self.compiled_heads[pc] = block
+        self.stats["compiled"] += 1
+
+    # ------------------------------------------------------------------
+    def _drop_block(self, block: Superblock) -> None:
+        """Uninstall one block's stubs (in place) and re-arm its counter."""
+        dispatch = self.dispatch_stubs
+        evals = self.eval_stubs
+        for dop in block.ops:
+            self.fetch_stubs.pop(dop.pc, None)
+            dispatch[dop.index] = None
+            evals[dop.index] = None
+        del self.compiled_heads[block.head_pc]
+        self.cold_heads[block.head_pc] = 0
+        self.stats["compiled"] -= 1
+
+    def invalidate(self) -> None:
+        """Drop every compiled stub and restart detection from zero.
+
+        In-place container mutation only: generated code currently on the
+        stack holds direct references to these tables.
+        """
+        for block in list(self.compiled_heads.values()):
+            self._drop_block(block)
+        self.block_threshold.clear()
+        self.stats["invalidations"] += 1
+
+    def on_code_write(self, address: int, size: int) -> None:
+        """A drained store landed in the notional code region.
+
+        Selective: only superblocks whose instruction bytes overlap the
+        stored range are dropped; each drop doubles that block's recompile
+        threshold so a store loop aliasing a hot block degrades it to the
+        interpreter instead of thrashing compile/invalidate every
+        iteration.
+        """
+        lo, hi = address, address + size
+        victims = [block for block in self.compiled_heads.values()
+                   if block.head_pc < hi
+                   and block.head_pc + 4 * len(block.ops) > lo]
+        for block in victims:
+            self._drop_block(block)
+            pc = block.head_pc
+            self.block_threshold[pc] = 2 * self.block_threshold.get(
+                pc, self.threshold)
+            self.stats["invalidations"] += 1
+
+    def on_set_image(self) -> None:
+        """The memory image was replaced wholesale: drop stale traces."""
+        self.invalidate()

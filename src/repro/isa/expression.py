@@ -249,6 +249,96 @@ _FLOAT_UNARY: Dict[str, Callable] = {
 }
 
 
+# ----------------------------------------------------------------------
+# Source-level operator inlining for the fused fast path.
+#
+# The simple wrap-and-compare operators compile to straight-line
+# arithmetic inside the generated function instead of a Python call into
+# the lambda tables above (each of which costs a call frame plus one or
+# two ``to_int32`` calls).  The templates reproduce the table semantics
+# token for token — ``to_int32`` becomes the mask-and-bias pair,
+# comparisons produce plain ints — so results are bit-identical.  Maps
+# are keyed by the operator *callables*, so the token stream is
+# unchanged and any operator not listed keeps the call form (division,
+# conversions, sign-injection).
+
+def _i32_wrap(var: str) -> List[str]:
+    """In-place two's-complement wrap of local *var* (= ``to_int32``)."""
+    return [f"{var} &= 4294967295",
+            f"if {var} >= 2147483648:",
+            f"    {var} -= 4294967296"]
+
+
+_ARITH_OPS = {"+": "+", "-": "-", "*": "*", "&": "&", "|": "|", "^": "^"}
+_CMP_OPS = {"==": "==", "!=": "!=", "<": "<", "<=": "<=",
+            ">": ">", ">=": ">="}
+_UCMP_OPS = {"u<": "<", "u<=": "<=", "u>": ">", "u>=": ">="}
+_FARITH_OPS = {"f+": "+", "f-": "-", "f*": "*"}
+_FCMP_OPS = {"f==": "==", "f<": "<", "f<=": "<="}
+
+
+def _inline_binary_lines(opname: str, name: str,
+                         a: str, b: str) -> List[str]:
+    """Lines computing binary *opname* of *a*, *b* into local *name*."""
+    sym = _ARITH_OPS.get(opname)
+    if sym is not None:
+        return [f"{name} = int({a}) {sym} int({b})"] + _i32_wrap(name)
+    sym = _CMP_OPS.get(opname)
+    if sym is not None:
+        nb = f"{name}_r"
+        return ([f"{name} = int({a})"] + _i32_wrap(name)
+                + [f"{nb} = int({b})"] + _i32_wrap(nb)
+                + [f"{name} = 1 if {name} {sym} {nb} else 0"])
+    sym = _UCMP_OPS.get(opname)
+    if sym is not None:
+        return [f"{name} = 1 if int({a}) & 4294967295 {sym} "
+                f"int({b}) & 4294967295 else 0"]
+    if opname == "<<":
+        return ([f"{name} = (int({a}) & 4294967295) << (int({b}) & 31)"]
+                + _i32_wrap(name))
+    if opname == ">>":
+        return ([f"{name} = int({a})"] + _i32_wrap(name)
+                + [f"{name} >>= int({b}) & 31"] + _i32_wrap(name))
+    if opname == ">>u":
+        return ([f"{name} = (int({a}) & 4294967295) >> (int({b}) & 31)"]
+                + _i32_wrap(name))
+    sym = _FARITH_OPS.get(opname)
+    if sym is not None:
+        return [f"{name} = _f32r(float({a}) {sym} float({b}))"]
+    sym = _FCMP_OPS.get(opname)
+    if sym is not None:
+        return [f"{name} = 1 if float({a}) {sym} float({b}) else 0"]
+    raise AssertionError(opname)  # pragma: no cover - map mismatch
+
+
+def _inline_unary_lines(opname: str, name: str, a: str) -> List[str]:
+    """Lines computing unary *opname* of *a* into local *name*."""
+    if opname == "~":
+        return [f"{name} = ~int({a})"] + _i32_wrap(name)
+    if opname == "neg":
+        return [f"{name} = -int({a})"] + _i32_wrap(name)
+    if opname == "fneg":
+        return [f"{name} = -float({a})"]
+    if opname == "fabs":
+        return [f"{name} = abs(float({a}))"]
+    raise AssertionError(opname)  # pragma: no cover - map mismatch
+
+
+_INLINE_BINARY_NAMES: Dict[object, str] = {}
+for _k in (*_ARITH_OPS, *_CMP_OPS, *_UCMP_OPS, "<<", ">>", ">>u"):
+    _INLINE_BINARY_NAMES[_INT_BINARY[_k]] = _k
+for _k in (*_FARITH_OPS, *_FCMP_OPS):
+    _INLINE_BINARY_NAMES[_FLOAT_BINARY[_k]] = _k
+del _k
+
+_INLINE_UNARY_NAMES: Dict[object, str] = {
+    _INT_UNARY["~"]: "~",
+    _INT_UNARY["neg"]: "neg",
+    _FLOAT_UNARY["fneg"]: "fneg",
+    _FLOAT_UNARY["fabs"]: "fabs",
+}
+
+
 class Expression:
     """A compiled postfix expression.
 
@@ -394,7 +484,8 @@ class Expression:
         Returns ``None`` for malformed shapes; those keep falling back to
         the interpreter, which raises the matching :class:`ExpressionError`.
         """
-        env: Dict[str, object] = {"_getv": _fast_get, "_Exc": _ExcCell}
+        env: Dict[str, object] = {"_getv": _fast_get, "_Exc": _ExcCell,
+                                  "_f32r": float32_round}
         lines: List[str] = []
         stack: List[Tuple[str, str]] = []
         #: name -> local temp holding its most recent assigned value
@@ -434,22 +525,37 @@ class Expression:
                 if target != "pc":   # \pc reads always resolve to the pc
                     assigned[target] = var
             else:
-                op = f"_op{len(env)}"
-                env[op] = payload
                 cast = "int" if kind in ("ib", "iu") else "float"
-                ctx_arg = "_exc" if needs_exc else "None"
+                name = f"_t{temp}"
                 if kind in ("ib", "fb"):
                     if len(stack) < 2:
                         return None
                     b = resolve(stack.pop())
                     a = resolve(stack.pop())
+                    opname = _INLINE_BINARY_NAMES.get(payload)
+                    if opname is not None:
+                        temp += 1
+                        lines += _inline_binary_lines(opname, name, a, b)
+                        stack.append(("val", name))
+                        continue
+                    op = f"_op{len(env)}"
+                    env[op] = payload
+                    ctx_arg = "_exc" if needs_exc else "None"
                     call = f"{op}({ctx_arg}, {cast}({a}), {cast}({b}))"
                 else:
                     if not stack:
                         return None
                     a = resolve(stack.pop())
+                    opname = _INLINE_UNARY_NAMES.get(payload)
+                    if opname is not None:
+                        temp += 1
+                        lines += _inline_unary_lines(opname, name, a)
+                        stack.append(("val", name))
+                        continue
+                    op = f"_op{len(env)}"
+                    env[op] = payload
+                    ctx_arg = "_exc" if needs_exc else "None"
                     call = f"{op}({ctx_arg}, {cast}({a}))"
-                name = f"_t{temp}"
                 temp += 1
                 lines.append(f"{name} = {call}")
                 stack.append(("val", name))

@@ -115,6 +115,12 @@ class SimClient:
                             {"sessionId": session_id})
 
     def session_seek(self, session_id: str, cycle: int) -> dict:
+        """Jump the session to an absolute cycle.
+
+        The response's ``fastForward`` field (protocol v6) reports how
+        many cycles of the move the server served uninstrumented via
+        checkpoint-seeded fast-forward (0 = stepped / checkpoint replay
+        only)."""
         return self.request("POST", "/session/seek",
                             {"sessionId": session_id, "cycle": cycle})
 

@@ -76,8 +76,12 @@ from repro.sim.state import SNAPSHOT_SCHEMA_VERSION, RawJson
 #: ``/explore/submit``, cooperative cancellation (``/explore/cancel`` ->
 #: ``/worker/cancel`` -> the simulation's cancel-stride check), live
 #: progress (``/explore/events`` + chunked ``/explore/stream``), and
-#: ``/worker/status`` cache metrics.  v1-v4 clients keep working.
-PROTOCOL_VERSION = 5
+#: ``/worker/status`` cache metrics.  v6 adds the ``fastForward`` field
+#: on ``/session/seek`` responses: the cycles of the move served by the
+#: uninstrumented fast path (checkpoint-seeded fast-forward through the
+#: superblock trace tier), 0 when the move was stepped or replayed from a
+#: nearby checkpoint.  v1-v5 clients keep working.
+PROTOCOL_VERSION = 6
 
 #: executors session work is dispatched onto (per-session FIFO queues keep
 #: request order; the count bounds how many sessions simulate at once)
@@ -446,11 +450,13 @@ class Api:
 
         def work() -> dict:
             with session.lock:
-                session.simulation.seek(cycle)
+                simulation = session.simulation
+                simulation.seek(cycle)
                 return {"success": True,
                         "protocolVersion": PROTOCOL_VERSION,
                         "stateFormat": "full",
                         "state": session.serve_state(),
+                        "fastForward": simulation.last_fast_forward,
                         "checkpoints": self._checkpoint_gauge(session)}
 
         return self.session_pool.run(session.id, work)

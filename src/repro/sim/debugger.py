@@ -28,7 +28,7 @@ from repro.sim.simulation import Simulation
 class DebugEvent:
     """One debugger stop."""
 
-    kind: str          # 'breakpoint' | 'register' | 'memory' | 'halt'
+    kind: str     # 'breakpoint' | 'register' | 'memory' | 'halt' | 'seek'
     cycle: int
     pc: Optional[int] = None
     register: Optional[str] = None
@@ -45,6 +45,8 @@ class DebugEvent:
         if self.kind == "memory":
             return (f"watch [{self.address:#x}]: {self.old_value!r} -> "
                     f"{self.new_value!r} (cycle {self.cycle})")
+        if self.kind == "seek":
+            return f"seeked to cycle {self.cycle}"
         return f"halted (cycle {self.cycle})"
 
 
@@ -154,3 +156,51 @@ class DebugSession:
     def continue_(self, max_cycles: int = 1_000_000) -> DebugEvent:
         """Alias for :meth:`run` (gdb-style naming)."""
         return self.run(max_cycles)
+
+    def run_to(self, target_cycle: int) -> DebugEvent:
+        """Jump to an absolute *target_cycle* (checkpoint-seeded).
+
+        With no breakpoints or watches installed there is nothing to
+        probe along the way: the commit hook is lifted so the move runs
+        on the uninstrumented fast path (the superblock trace tier via
+        :meth:`Simulation.seek` — checkpoint-seeded fast-forward), and
+        the hook is reinstalled before instrumented stepping resumes.
+        Determinism makes the fast-forwarded state bit-identical to the
+        stepped one, so breakpoints added afterwards behave as if every
+        cycle had been stepped.
+
+        With debug state installed, falls back to the instrumented loop
+        so events along the way still fire; the returned event is then
+        whatever stopped the run first."""
+        sim = self.simulation
+        cpu = sim.cpu
+        if (not self._breakpoints and not self._reg_watches
+                and not self._mem_watches):
+            hook = cpu.commit_hook
+            cpu.commit_hook = None
+            try:
+                sim.seek(target_cycle)
+            finally:
+                cpu = sim.cpu          # seek may rebuild the CPU (reset)
+                cpu.commit_hook = hook
+            kind = "halt" if cpu.halted else "seek"
+            event = DebugEvent(kind=kind, cycle=cpu.cycle)
+            self.events.append(event)
+            return event
+        if target_cycle <= cpu.cycle:
+            # backward targets cannot re-fire events deterministically
+            # already delivered: plain seek, keep the probes installed
+            sim.seek(target_cycle)
+            event = DebugEvent(kind="seek", cycle=sim.cpu.cycle)
+            self.events.append(event)
+            return event
+        while sim.cpu.cycle < target_cycle and not sim.cpu.halted:
+            event = self.run(max_cycles=target_cycle - sim.cpu.cycle)
+            if event.kind != "halt" or sim.cpu.halted:
+                return event
+            # budget-exhausted pseudo-halt: the target was reached with
+            # no event on the way — replace it with the seek event below
+            self.events.pop()
+        event = DebugEvent(kind="seek", cycle=sim.cpu.cycle)
+        self.events.append(event)
+        return event

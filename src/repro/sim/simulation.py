@@ -69,7 +69,8 @@ class Simulation:
 
     def __init__(self, program: Program, config: Optional[CpuConfig] = None,
                  checkpoint_interval: int = 128,
-                 checkpoint_capacity: int = 24):
+                 checkpoint_capacity: int = 24,
+                 checkpoint_max_bytes: Optional[int] = None):
         self.program = program
         self.config = config or CpuConfig()
         self.cpu = Cpu(program, self.config)
@@ -79,11 +80,15 @@ class Simulation:
         #: every-K-cycles checkpoint store for O(K) time travel; the cycle-0
         #: checkpoint is captured eagerly so any target has a restore base
         self.checkpoints = CheckpointRing(checkpoint_interval,
-                                          checkpoint_capacity)
+                                          checkpoint_capacity,
+                                          max_bytes=checkpoint_max_bytes)
         self.checkpoints.put(0, self.cpu.save_state())
         #: cycles re-executed by the most recent backward step / seek
         #: (0 = resolved without replay); pinned by the O(K) benchmarks
         self.last_replay_cycles = 0
+        #: cycles covered by the uninstrumented fast-forward leg of the
+        #: most recent seek / step_back (0 = the move was stepped)
+        self.last_fast_forward = 0
         #: (cycle, section versions, log length, per-instruction versions,
         #: per-store-buffer-entry versions) of the last snapshot served —
         #: the base the next snapshot_delta() is computed against
@@ -98,7 +103,9 @@ class Simulation:
                     memory_locations: Sequence[object] = (),
                     instruction_set: Optional[InstructionSet] = None,
                     checkpoint_interval: int = 128,
-                    checkpoint_capacity: int = 24) -> "Simulation":
+                    checkpoint_capacity: int = 24,
+                    checkpoint_max_bytes: Optional[int] = None
+                    ) -> "Simulation":
         """Assemble *source* and build a simulation with a consistent layout."""
         config = config or CpuConfig()
         assembler = Assembler(instruction_set)
@@ -107,7 +114,8 @@ class Simulation:
             stack_size=config.memory.call_stack_size)
         return Simulation(program, config,
                           checkpoint_interval=checkpoint_interval,
-                          checkpoint_capacity=checkpoint_capacity)
+                          checkpoint_capacity=checkpoint_capacity,
+                          checkpoint_max_bytes=checkpoint_max_bytes)
 
     # ------------------------------------------------------------------
     @property
@@ -161,6 +169,7 @@ class Simulation:
 
     def _travel_to(self, target: int) -> None:
         current = self.cpu.cycle
+        self.last_fast_forward = 0
         if target == current:
             self.last_replay_cycles = 0
             return
@@ -169,7 +178,7 @@ class Simulation:
                                  or checkpoint.cycle <= current):
             # plain forward stepping from where we stand is the best base
             self.last_replay_cycles = 0
-            self.step(target - current)
+            self._advance(target)
             return
         if checkpoint is None:
             # the ring was cleared externally: degrade gracefully to the
@@ -177,11 +186,34 @@ class Simulation:
             self.reset()
             self.checkpoints.put(0, self.cpu.save_state())
             self.last_replay_cycles = target
-            self.step(target)
+            self._advance(target)
             return
         self.cpu.restore_state(checkpoint.state)
         self.last_replay_cycles = target - checkpoint.cycle
-        self.step(self.last_replay_cycles)
+        self._advance(target)
+
+    def _advance(self, target: int) -> None:
+        """Forward move to absolute cycle *target* from where we stand.
+
+        With no observers and a gap worth more than two checkpoint
+        intervals, the bulk of the move runs **uninstrumented**
+        (:meth:`Cpu.run` — the superblock trace tier when enabled) to the
+        last interval boundary below the target, drops the checkpoint the
+        stepped path would have left there, and only the tail interval is
+        stepped.  Determinism makes the two paths land in bit-identical
+        state, so instrumented stepping resumes seamlessly afterwards."""
+        cpu = self.cpu
+        interval = self.checkpoints.interval or 256
+        gap = target - cpu.cycle
+        if not self.observers and cpu.halted is None and gap > 2 * interval:
+            boundary = target - target % interval
+            if boundary > cpu.cycle:
+                before = cpu.cycle
+                cpu.run(boundary)
+                self.last_fast_forward = cpu.cycle - before
+                if self.checkpoints.due(cpu.cycle):
+                    self.checkpoints.put(cpu.cycle, cpu.save_state())
+        self.step(target - cpu.cycle)
 
     def reset(self) -> None:
         """Rebuild all processor state at cycle 0.

@@ -114,7 +114,11 @@ class CheckpointRing:
     * ``due(cycle)`` — True when a checkpoint should be captured at *cycle*
       (the cycle is a multiple of the interval and not already stored).
     * ``put(cycle, state)`` — store a checkpoint; evicts the least recently
-      used one when over capacity.  The cycle-0 checkpoint is pinned: time
+      used one when over capacity, then — when a ``max_bytes`` budget is
+      set — keeps evicting LRU-first while :meth:`bytes_retained` exceeds
+      the budget (never below the pinned cycle-0 base plus one more, so
+      time travel always has a restore base and the freshest checkpoint
+      survives its own put).  The cycle-0 checkpoint is pinned: time
       travel to any target always has a restore base, and restoring it is
       the in-place equivalent of rebuilding the CPU from scratch.
     * ``nearest(target)`` — the stored checkpoint with the greatest cycle
@@ -125,15 +129,19 @@ class CheckpointRing:
     stepping back to cycle 100, because the trajectory is unique.
     """
 
-    def __init__(self, interval: int = 128, capacity: int = 24):
+    def __init__(self, interval: int = 128, capacity: int = 24,
+                 max_bytes: Optional[int] = None):
         if interval < 0:
             raise ValueError("checkpoint interval must be >= 0 (0 disables)")
         if capacity < 2:
             # cycle 0 is pinned, so capacity 1 could never retain any other
             # checkpoint: every put() would evict the entry it just added
             raise ValueError("checkpoint capacity must be >= 2")
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError("checkpoint max_bytes must be > 0 (or None)")
         self.interval = interval
         self.capacity = capacity
+        self.max_bytes = max_bytes
         #: cycle -> Checkpoint, in LRU order (front = least recently used)
         self._ring: "OrderedDict[int, Checkpoint]" = OrderedDict()
         #: content generation: bumped whenever the stored set changes, so
@@ -160,6 +168,19 @@ class CheckpointRing:
             else:  # pragma: no cover - capacity >= 2 keeps cycle 0
                 break
         self._generation += 1
+        if self.max_bytes is not None:
+            # byte budget: page-compressed states share clean-page blobs,
+            # so each eviction's real savings only show in the next
+            # deduplicated walk — re-measure after every victim
+            while (len(self._ring) > 2
+                   and self.bytes_retained() > self.max_bytes):
+                for victim in self._ring:      # front = LRU
+                    if victim != 0:            # cycle 0 is pinned
+                        del self._ring[victim]
+                        self._generation += 1
+                        break
+                else:  # pragma: no cover - len > 2 keeps non-zero entries
+                    break
         return checkpoint
 
     def nearest(self, target: int) -> Optional[Checkpoint]:

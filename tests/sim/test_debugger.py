@@ -139,3 +139,87 @@ class TestInteropWithSimulationApi:
         dbg.add_breakpoint("after")
         dbg.run()
         assert dbg.simulation.stats.committed_instructions > 0
+
+
+LONG_PROGRAM = """
+main:
+    li   s0, 0
+    li   s1, 500
+loop:
+    addi s0, s0, 1
+    blt  s0, s1, loop
+after:
+    li   a0, 99
+    ebreak
+"""
+
+
+def long_session(checkpoint_interval=16):
+    sim = Simulation.from_source(LONG_PROGRAM, entry="main",
+                                 checkpoint_interval=checkpoint_interval)
+    return DebugSession(sim)
+
+
+class TestRunTo:
+    def test_run_to_without_probes_fast_forwards(self):
+        dbg = long_session()
+        event = dbg.run_to(200)
+        assert event.kind == "seek"
+        assert event.cycle == 200
+        assert dbg.simulation.cycle == 200
+        # no probes installed: the move ran uninstrumented (checkpoint-
+        # seeded fast-forward), not cycle by cycle
+        assert dbg.simulation.last_fast_forward > 0
+        assert str(event) == "seeked to cycle 200"
+        assert dbg.events[-1] is event
+
+    def test_run_to_past_halt_reports_halt(self):
+        dbg = long_session()
+        reference = Simulation.from_source(LONG_PROGRAM, entry="main")
+        reference.run()
+        event = dbg.run_to(reference.cycle + 10_000)
+        assert event.kind == "halt"
+        assert event.cycle == reference.cycle
+
+    def test_breakpoints_behave_as_if_stepped_after_fast_forward(self):
+        """Determinism bar: fast-forwarded state is indistinguishable from
+        stepped state, so a breakpoint added afterwards fires exactly
+        where it would have on the stepped trajectory."""
+        dbg = long_session()
+        dbg.run_to(300)
+        assert dbg.simulation.last_fast_forward > 0
+        dbg.add_breakpoint("loop")
+        event = dbg.run()
+        stepped = long_session()
+        stepped.simulation.step(300)
+        stepped.add_breakpoint("loop")
+        reference = stepped.run()
+        assert (event.kind, event.cycle, event.pc) \
+            == (reference.kind, reference.cycle, reference.pc)
+
+    def test_run_to_with_breakpoint_en_route_stops_there(self):
+        dbg = long_session()
+        dbg.add_breakpoint("after")
+        event = dbg.run_to(10_000)
+        assert event.kind == "breakpoint"
+        assert event.cycle < 10_000
+        assert dbg.simulation.cycle == event.cycle
+
+    def test_run_to_with_armed_probe_that_never_fires(self):
+        dbg = long_session()
+        dbg.watch_register("s11")          # never written by the program
+        before = len(dbg.events)
+        event = dbg.run_to(120)
+        assert event.kind == "seek" and event.cycle == 120
+        # instrumented path: every cycle visited, no fast-forward
+        assert dbg.simulation.last_fast_forward == 0
+        # the budget-exhausted pseudo-halt was replaced by the seek event
+        assert len(dbg.events) == before + 1
+
+    def test_run_to_backward_keeps_probes(self):
+        dbg = long_session()
+        dbg.add_breakpoint("after")
+        dbg.run_to(150)
+        event = dbg.run_to(40)
+        assert event.kind == "seek" and dbg.simulation.cycle == 40
+        assert dbg.simulation.symbol_address("after") in dbg.breakpoints()

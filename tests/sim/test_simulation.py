@@ -1,5 +1,7 @@
 """Simulation manager tests: stepping, backward simulation, determinism."""
 
+import json
+
 import pytest
 from hypothesis import given, settings, strategies as st
 
@@ -186,3 +188,76 @@ class TestDeterminismProperty:
         assert sim2.snapshot() == state_a
         sim2.run()
         assert sim2.snapshot() == final_a
+
+
+#: long enough that a far-forward seek has room to fast-forward
+LONG_LOOP = """
+    li a0, 0
+    li t0, 1
+    li t1, 2000
+loop:
+    add a0, a0, t0
+    addi t0, t0, 1
+    ble t0, t1, loop
+    ebreak
+"""
+
+
+class TestFastForwardSeek:
+    def test_far_forward_seek_fast_forwards_to_boundary(self):
+        sim = Simulation.from_source(LONG_LOOP, checkpoint_interval=16)
+        sim.seek(200)
+        assert sim.cycle == 200
+        # uninstrumented to the last interval boundary below the target,
+        # stepped for the tail only
+        assert sim.last_fast_forward == 192
+        # the checkpoint the stepped path would have dropped there exists
+        assert 192 in sim.checkpoints.cycles()
+
+    def test_fast_forwarded_state_is_bit_exact(self):
+        fast = Simulation.from_source(LONG_LOOP, checkpoint_interval=16)
+        slow = Simulation.from_source(LONG_LOOP, checkpoint_interval=16)
+        fast.seek(500)
+        slow.step(500)
+        assert fast.last_fast_forward > 0
+        assert json.dumps(fast.snapshot_cold(), sort_keys=True) \
+            == json.dumps(slow.snapshot_cold(), sort_keys=True)
+        # instrumented stepping resumes seamlessly on the restored state
+        fast.step(10)
+        slow.step(10)
+        assert fast.snapshot() == slow.snapshot()
+
+    def test_short_forward_seek_is_stepped(self):
+        sim = Simulation.from_source(LONG_LOOP, checkpoint_interval=16)
+        sim.seek(20)                       # gap <= 2 intervals: just step
+        assert sim.cycle == 20
+        assert sim.last_fast_forward == 0
+
+    def test_observers_disable_fast_forward(self):
+        """Observer dispatch is per-step instrumentation: a seek with
+        observers attached must visit every cycle."""
+        sim = Simulation.from_source(LONG_LOOP, checkpoint_interval=16)
+        seen = []
+        sim.subscribe(lambda cpu: seen.append(cpu.cycle))
+        sim.seek(200)
+        assert sim.last_fast_forward == 0
+        assert seen == list(range(1, 201))
+
+    def test_backward_seek_resets_fast_forward_gauge(self):
+        sim = Simulation.from_source(LONG_LOOP, checkpoint_interval=16)
+        sim.seek(300)
+        assert sim.last_fast_forward > 0
+        sim.step_back(5)
+        assert sim.cycle == 295
+        assert sim.last_fast_forward == 0
+
+    def test_seek_past_halt_stops_at_halt(self):
+        sim = Simulation.from_source(LONG_LOOP, checkpoint_interval=16)
+        reference = Simulation.from_source(LONG_LOOP)
+        reference.run()
+        end = reference.cycle
+        sim.seek(end + 10_000)
+        assert sim.cycle == end
+        assert sim.cpu.halted
+        assert json.dumps(sim.snapshot_cold(), sort_keys=True) \
+            == json.dumps(reference.snapshot_cold(), sort_keys=True)

@@ -135,6 +135,62 @@ class TestCheckpointRing:
         with pytest.raises(ValueError):
             CheckpointRing(interval=10, capacity=1)
 
+    def test_degenerate_max_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            CheckpointRing(interval=10, capacity=4, max_bytes=0)
+        with pytest.raises(ValueError):
+            CheckpointRing(interval=10, capacity=4, max_bytes=-1)
+        CheckpointRing(interval=10, capacity=4, max_bytes=None)  # unbounded
+
+    def test_byte_budget_evicts_lru_first(self):
+        """Over-budget puts evict in LRU order, exactly like capacity."""
+        blob = lambda: {"pages": (bytes(4096),)}   # ~4 KiB, unshared
+        budget = 3 * 4096 + 2048                   # room for ~3 blobs
+        ring = CheckpointRing(interval=10, capacity=24, max_bytes=budget)
+        for cycle in (0, 10, 20):
+            ring.put(cycle, blob())
+        assert ring.cycles() == [0, 10, 20]        # within budget
+        ring.put(30, blob())                       # over: 10 is LRU
+        assert ring.cycles() == [0, 20, 30]
+        ring.nearest(20)                           # 20 most recently used
+        ring.put(40, blob())                       # over: 30 is LRU now
+        assert ring.cycles() == [0, 20, 40]
+
+    def test_byte_budget_pins_cycle_zero_and_newest(self):
+        """A budget smaller than any state still keeps the cycle-0 base
+        plus the just-stored checkpoint — time travel stays possible."""
+        ring = CheckpointRing(interval=10, capacity=24, max_bytes=1)
+        for cycle in (0, 10, 20, 30):
+            ring.put(cycle, {"pages": (bytes(4096),)})
+        assert ring.cycles() == [0, 30]
+        assert ring.bytes_retained() > 1           # floor, not budget
+
+    def test_byte_budget_counts_shared_blobs_once(self):
+        """Eviction pressure follows the *deduplicated* footprint: many
+        checkpoints sharing clean pages fit where unshared ones don't."""
+        shared = bytes(8192)
+        ring = CheckpointRing(interval=10, capacity=24, max_bytes=3 * 8192)
+        for cycle in (0, 10, 20, 30, 40, 50):
+            ring.put(cycle, {"pages": (shared,), "cycle": cycle})
+        assert ring.cycles() == [0, 10, 20, 30, 40, 50]
+
+    def test_byte_budget_seek_stays_bit_exact(self):
+        """A budget tight enough to force evictions only changes *which*
+        checkpoints time travel restores from, never where it lands."""
+        tight = Simulation.from_source(MEM_LOOP, checkpoint_interval=8,
+                                       checkpoint_capacity=24,
+                                       checkpoint_max_bytes=96 * 1024)
+        free = Simulation.from_source(MEM_LOOP, checkpoint_interval=8,
+                                      checkpoint_capacity=24)
+        tight.step(120)
+        free.step(120)
+        assert len(tight.checkpoints) < len(free.checkpoints)  # evicted
+        for target in (97, 40, 3, 111):
+            tight.seek(target)
+            free.seek(target)
+            assert json.dumps(tight.snapshot_cold(), sort_keys=True) \
+                == json.dumps(free.snapshot_cold(), sort_keys=True)
+
     def test_cleared_ring_degrades_to_from_zero_rerun(self):
         sim = Simulation.from_source(LOOP, checkpoint_interval=16)
         sim.step(100)
