@@ -41,6 +41,7 @@ LOCK_MODULES = (
     "src/repro/fleet/scheduler.py",
     "src/repro/fleet/cancel.py",
     "src/repro/server/session.py",
+    "src/repro/obs/metrics.py",
 )
 
 #: attribute names accepted as lock objects when the owning class does not

@@ -191,7 +191,28 @@ def build_explore_parser() -> argparse.ArgumentParser:
                         help="with --host: stream live per-job progress "
                              "events (GET /explore/stream) instead of "
                              "polling /explore/status")
+    parser.add_argument("--trace-out", default=None, metavar="FILE.ndjson",
+                        dest="trace_out",
+                        help="with --host: export the sweep's span tree "
+                             "(GET /trace/<sweepId>) as NDJSON, one span "
+                             "per line, after the sweep finishes")
     return parser
+
+
+def _follow_summary(finished: list, total: int) -> str:
+    """One "repro-sim top"-style live line: completion, verdicts, and
+    the wall-time percentiles (shared nearest-rank rule) so a slow tail
+    is visible while the sweep is still running."""
+    ok = sum(1 for event in finished if event.get("kind") == "ok")
+    failed = len(finished) - ok
+    line = f"  == {len(finished)}/{total} jobs ({ok} ok, {failed} failed)"
+    elapsed = sorted(event.get("elapsedS", 0.0) for event in finished
+                     if event.get("elapsedS") is not None)
+    if elapsed:
+        from repro.obs.metrics import nearest_rank
+        line += (f", wall p50 {nearest_rank(elapsed, 0.5) * 1e3:.0f}ms"
+                 f" p90 {nearest_rank(elapsed, 0.9) * 1e3:.0f}ms")
+    return line
 
 
 def _render_event(event: dict) -> str:
@@ -233,11 +254,17 @@ def _explore_remote(args, spec_data: dict, out) -> int:
               f"{submitted.get('backend', 'default')} backend)",
               file=sys.stderr)
     if args.follow:
-        # live event stream: one line per dispatch/finish, ends with the
-        # terminal event — no polling
+        # live event stream: one line per dispatch/finish plus a rolling
+        # top-style summary, ends with the terminal event — no polling
+        finished = []
+        total = submitted["jobs"]
         for event in client.explore_stream(sweep_id):
-            if not args.quiet:
-                print(_render_event(event), file=sys.stderr)
+            if args.quiet:
+                continue
+            print(_render_event(event), file=sys.stderr)
+            if event.get("event") == "finish":
+                finished.append(event)
+                print(_follow_summary(finished, total), file=sys.stderr)
         status = client.explore_status(sweep_id)
     else:
         while True:
@@ -249,6 +276,14 @@ def _explore_remote(args, spec_data: dict, out) -> int:
                       file=sys.stderr)
             time.sleep(max(0.05, args.poll))
     result = client.explore_result(sweep_id, metric=args.metric)
+    if args.trace_out:
+        trace = client.trace(sweep_id)
+        with open(args.trace_out, "w", encoding="utf-8") as handle:
+            for span in trace["spans"]:
+                handle.write(json.dumps(span, sort_keys=True) + "\n")
+        if not args.quiet:
+            print(f"wrote {len(trace['spans'])} spans to {args.trace_out}",
+                  file=sys.stderr)
     if args.out:
         from repro.explore import ResultStore
         with ResultStore(args.out) as store:

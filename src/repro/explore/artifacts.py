@@ -51,9 +51,18 @@ import threading
 from collections import OrderedDict
 from typing import List, Optional
 
+from repro.obs.metrics import default_registry
+
 __all__ = ["ArtifactCache", "default_cache", "reset_default_cache",
            "ARTIFACT_DIR_ENV", "ARTIFACT_MAX_BYTES_ENV",
            "DEFAULT_MAX_DISK_BYTES"]
+
+# this module sits inside the runner's deterministic closure, so the
+# instrumentation is counter bumps only (repro.obs.metrics is clock- and
+# environment-free by contract)
+_CACHE_REQUESTS = default_registry().counter(
+    "repro_artifact_cache_requests_total",
+    "Artifact cache lookups, by tier and outcome")
 
 #: environment override for the disk tier ("off"/"none"/"0" disables it)
 ARTIFACT_DIR_ENV = "REPRO_ARTIFACT_DIR"
@@ -335,14 +344,17 @@ class ArtifactCache:
             cached = self._compiled.get(key)
             if cached is not None:
                 self._hits["compile"] += 1
+                _CACHE_REQUESTS.inc(tier="compile", outcome="hit")
                 return cached
             disk = self._disk_read_locked(key)
             if disk is not None and isinstance(disk.get("assembly"), str):
                 self._hits["compile"] += 1
                 self._disk_hits += 1
+                _CACHE_REQUESTS.inc(tier="compile", outcome="diskHit")
                 self._compiled.put(key, disk["assembly"])
                 return disk["assembly"]
             self._misses["compile"] += 1
+            _CACHE_REQUESTS.inc(tier="compile", outcome="miss")
         from repro.compiler.driver import compile_c
         from repro.explore.runner import JobError
         result = compile_c(c_source, int(opt_level))
@@ -371,8 +383,10 @@ class ArtifactCache:
             cached = self._programs.get(key)
             if cached is not None:
                 self._hits["assemble"] += 1
+                _CACHE_REQUESTS.inc(tier="assemble", outcome="hit")
                 return cached
             self._misses["assemble"] += 1
+            _CACHE_REQUESTS.inc(tier="assemble", outcome="miss")
         from repro.asm.parser import Assembler
         from repro.memory.layout import MemoryLocation
         program = Assembler().assemble(

@@ -52,6 +52,7 @@ from typing import Callable, Deque, Dict, List, Optional, Sequence
 
 from repro.explore.pool import (CANCELLED_MESSAGE, CancelLike, JobResult,
                                 ProcessWorkerPool)
+from repro.obs.metrics import default_registry
 
 __all__ = [
     "ExecutionBackend",
@@ -77,6 +78,29 @@ _CRASH_MESSAGE = "worker process died mid-job"
 
 OnResult = Optional[Callable[[JobResult], None]]
 OnDispatch = Optional[Callable[[int, object], None]]
+
+# every backend reports finished jobs into the same two series, labelled
+# by backend name — the substrate /metrics exposes for placement logic
+_JOBS_TOTAL = default_registry().counter(
+    "repro_sweep_jobs_total", "Sweep jobs finished, by backend and kind")
+_JOB_WALL = default_registry().histogram(
+    "repro_job_wall_seconds", "Per-job wall time, by backend")
+
+
+def _observe_result(backend_name: str, result: JobResult) -> None:
+    _JOBS_TOTAL.inc(backend=backend_name, kind=result.kind)
+    if result.elapsed_s:
+        _JOB_WALL.observe(result.elapsed_s, backend=backend_name)
+
+
+def _job_tracer(payload: dict):
+    """Build a :class:`repro.obs.trace.JobTracer` from a payload's
+    ``trace`` context (``None`` when the sweep is untraced)."""
+    context = payload.get("trace")
+    if not context:
+        return None
+    from repro.obs.trace import JobTracer
+    return JobTracer(context["traceId"], context["parentId"])
 
 
 def _is_cancelled(cancel: CancelLike) -> bool:
@@ -135,21 +159,29 @@ class SerialBackend(ExecutionBackend):
             else:
                 if on_dispatch is not None:
                     on_dispatch(index, 0)
+                tracer = _job_tracer(payload)
+                spans = (lambda: tracer.export()) if tracer \
+                    else (lambda: None)
                 t0 = time.monotonic()
                 try:
-                    value = execute_payload(payload, cancel=cancel)
+                    value = execute_payload(payload, cancel=cancel,
+                                            tracer=tracer)
                     result = JobResult(index=index, kind="ok", value=value,
                                        worker=0,
-                                       elapsed_s=time.monotonic() - t0)
+                                       elapsed_s=time.monotonic() - t0,
+                                       spans=spans())
                 except JobCancelled:
                     result = JobResult(index=index, kind="cancelled",
                                        error=CANCELLED_MESSAGE, worker=0,
-                                       elapsed_s=time.monotonic() - t0)
+                                       elapsed_s=time.monotonic() - t0,
+                                       spans=spans())
                 except Exception as exc:  # noqa: BLE001 - per-job isolation
                     result = JobResult(index=index, kind="error",
                                        error=f"{type(exc).__name__}: {exc}",
                                        worker=0,
-                                       elapsed_s=time.monotonic() - t0)
+                                       elapsed_s=time.monotonic() - t0,
+                                       spans=spans())
+            _observe_result(self.name, result)
             results.append(result)
             if on_result is not None:
                 on_result(result)
@@ -173,7 +205,11 @@ class ProcessBackend(ExecutionBackend):
     def run(self, payloads: Sequence[dict], on_result: OnResult = None,
             on_dispatch: OnDispatch = None,
             cancel: CancelLike = None) -> List[JobResult]:
-        return self._pool.map(payloads, on_result=on_result,
+        def observed(result: JobResult) -> None:
+            _observe_result(self.name, result)
+            if on_result is not None:
+                on_result(result)
+        return self._pool.map(payloads, on_result=observed,
                               on_dispatch=on_dispatch, cancel=cancel)
 
     def close(self) -> None:
@@ -432,6 +468,10 @@ class _RemoteRun:
         with self.backend._lock:
             self.results[result.index] = result
             self.backend._wake.notify_all()
+        # every settle path funnels through here, so the counter sees
+        # drained cancellations and crash tails too (labelled "fleet"
+        # for the registry-backed subclass via backend.name)
+        _observe_result(self.backend.name, result)
         if self.on_result is not None:
             self.on_result(result)
 
@@ -557,15 +597,17 @@ class _RemoteRun:
             self._retry_or_crash(worker, job, started)
             return
         elapsed = time.monotonic() - started
+        spans = reply.get("spans")   # worker-side trace spans (protocol v7)
         if reply.get("ok"):
             result = JobResult(index=job.index, kind="ok",
                                value=reply.get("value"), worker=worker.url,
-                               elapsed_s=elapsed)
+                               elapsed_s=elapsed, spans=spans)
         else:
             result = JobResult(index=job.index,
                                kind=str(reply.get("kind", "error")),
                                error=str(reply.get("error", "?")),
-                               worker=worker.url, elapsed_s=elapsed)
+                               worker=worker.url, elapsed_s=elapsed,
+                               spans=spans)
         self._settle(worker, job, result, transport_failure=False)
 
     def _settle(self, worker: _RemoteWorker, job: _PendingJob,

@@ -73,6 +73,10 @@ class JobResult:
     (the worker process died) / ``timeout`` (the per-job deadline passed
     and the worker was killed) / ``cancelled`` (a cancel token fired
     before or during the job).  Only ``ok`` results carry a ``value``.
+
+    ``spans`` (optional) carries the job's trace spans when the backend
+    ran it under a tracer — host-side telemetry, like ``elapsed_s`` and
+    ``worker``, that the sweep engine keeps out of the records.
     """
 
     index: int
@@ -81,6 +85,7 @@ class JobResult:
     error: Optional[str] = None
     worker: int = -1
     elapsed_s: float = 0.0
+    spans: Optional[list] = None
 
     @property
     def ok(self) -> bool:

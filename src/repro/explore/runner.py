@@ -20,6 +20,7 @@ cold.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Optional
 
 from repro.core.config import CpuConfig
@@ -43,6 +44,20 @@ class JobCancelled(ReproError):
     callers (the serial backend, the ``/worker/execute`` endpoint) can
     map it to a ``kind="cancelled"`` record distinct from job errors.
     """
+
+
+class _NullTracer:
+    """Default no-op tracer: ``execute_payload`` runs the same code path
+    traced or not, and this module never imports :mod:`repro.obs.trace`
+    (tracers cross in duck-typed), so the deterministic closure stays
+    clock-free."""
+
+    @contextmanager
+    def span(self, name, **tags):
+        yield
+
+
+_NULL_TRACER = _NullTracer()
 
 
 def build_simulation(payload: dict,
@@ -78,7 +93,8 @@ def build_simulation(payload: dict,
 def execute_payload(payload: dict,
                     cache: Optional[ArtifactCache] = None,
                     cancel: Optional[object] = None,
-                    cancel_stride: Optional[int] = None) -> dict:
+                    cancel_stride: Optional[int] = None,
+                    tracer: Optional[object] = None) -> dict:
     """Run one planned job; return its per-run statistics record body.
 
     The summary covers every metric the paper's evaluation compares —
@@ -92,44 +108,54 @@ def execute_payload(payload: dict,
     cooperatively cancellable at *cancel_stride* cycles; a run halted by
     the token raises :class:`JobCancelled` instead of returning a
     half-simulated record.
+
+    *tracer* (anything with a ``span(name, **tags)`` context manager,
+    canonically :class:`repro.obs.trace.JobTracer`) times the compile /
+    simulate / record phases; timings stay on the tracer, never in the
+    returned record.
     """
-    simulation = build_simulation(payload, cache)
-    result = simulation.run(cancel=cancel, cancel_stride=cancel_stride)
+    if tracer is None:
+        tracer = _NULL_TRACER
+    with tracer.span("compile"):
+        simulation = build_simulation(payload, cache)
+    with tracer.span("simulate"):
+        result = simulation.run(cancel=cancel, cancel_stride=cancel_stride)
     if result.halt_reason == CANCELLED_HALT_REASON:
         raise JobCancelled("job cancelled")
-    cpu = simulation.cpu
-    stats = result.statistics
-    predictor = stats["branchPredictor"]
-    summary = {
-        "haltReason": result.halt_reason,
-        "cycles": result.cycles,
-        "committedInstructions": result.committed,
-        "ipc": stats["ipc"],
-        "branchAccuracy": predictor["accuracy"],
-        "branchPredictions": predictor["predictions"],
-        "robFlushes": stats["robFlushes"],
-        "flopsTotal": stats["flopsTotal"],
-        "dynamicMix": stats["dynamicMix"],
-        "memory": stats["memory"],
-        "intRegisters": cpu.arch_regs.snapshot()["int"],
-    }
-    for level in ("cache", "l2Cache"):
-        if level in stats:
-            cache = stats[level]
-            summary[level] = {
-                "hitRatio": cache["hitRatio"],
-                "missRatio": cache["missRatio"],
-                "accesses": cache["accesses"],
-                "bytesWritten": cache["bytesWritten"],
-            }
-    energy = estimate_energy(cpu)
-    summary["energy"] = {
-        "totalPj": round(energy.total_pj, 2),
-        "dynamicPj": round(energy.dynamic_total_pj, 2),
-        "staticPj": round(energy.static_pj, 2),
-    }
-    summary["areaKGE"] = round(estimate_area(cpu.config).total, 3)
-    record = {"stats": summary}
-    if payload.get("collect") == "full":
-        record["statistics"] = stats
+    with tracer.span("record"):
+        cpu = simulation.cpu
+        stats = result.statistics
+        predictor = stats["branchPredictor"]
+        summary = {
+            "haltReason": result.halt_reason,
+            "cycles": result.cycles,
+            "committedInstructions": result.committed,
+            "ipc": stats["ipc"],
+            "branchAccuracy": predictor["accuracy"],
+            "branchPredictions": predictor["predictions"],
+            "robFlushes": stats["robFlushes"],
+            "flopsTotal": stats["flopsTotal"],
+            "dynamicMix": stats["dynamicMix"],
+            "memory": stats["memory"],
+            "intRegisters": cpu.arch_regs.snapshot()["int"],
+        }
+        for level in ("cache", "l2Cache"):
+            if level in stats:
+                cache = stats[level]
+                summary[level] = {
+                    "hitRatio": cache["hitRatio"],
+                    "missRatio": cache["missRatio"],
+                    "accesses": cache["accesses"],
+                    "bytesWritten": cache["bytesWritten"],
+                }
+        energy = estimate_energy(cpu)
+        summary["energy"] = {
+            "totalPj": round(energy.total_pj, 2),
+            "dynamicPj": round(energy.dynamic_total_pj, 2),
+            "staticPj": round(energy.static_pj, 2),
+        }
+        summary["areaKGE"] = round(estimate_area(cpu.config).total, 3)
+        record = {"stats": summary}
+        if payload.get("collect") == "full":
+            record["statistics"] = stats
     return record

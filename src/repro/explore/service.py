@@ -27,13 +27,12 @@ Three fleet-era capabilities live here:
 
 from __future__ import annotations
 
-import math
 import multiprocessing
 import threading
 import time
 import uuid
 from collections import OrderedDict
-from typing import Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.explore.engine import run_sweep
 from repro.explore.plan import plan_jobs
@@ -41,9 +40,19 @@ from repro.explore.pool import default_worker_count
 from repro.explore.report import METRICS, MetricError, SweepReport
 from repro.explore.spec import SweepSpec, SweepSpecError
 from repro.fleet.cancel import CancelToken
+# nearest_rank is re-exported: the one percentile rule lives with the
+# metrics registry now, but `from repro.explore.service import
+# nearest_rank` keeps working for every historical caller
+from repro.obs.metrics import default_registry, nearest_rank
+from repro.obs.trace import make_span, rebase
 
 __all__ = ["ExploreManager", "SweepState", "nearest_rank",
            "SERVER_BACKENDS"]
+
+_SWEEPS_SUBMITTED = default_registry().counter(
+    "repro_sweeps_submitted_total", "Sweeps accepted by /explore/submit")
+_SWEEPS_FINISHED = default_registry().counter(
+    "repro_sweeps_finished_total", "Sweeps reaching a terminal state")
 
 #: backend names ``/explore/submit`` accepts (``None`` keeps the
 #: historical inference: ``workers == 0`` serial, otherwise process)
@@ -53,18 +62,6 @@ SERVER_BACKENDS = ("serial", "process", "fleet")
 TERMINAL_STATES = ("done", "failed", "cancelled")
 
 
-def nearest_rank(ordered: List[float], quantile: float) -> float:
-    """Nearest-rank percentile over an ascending-sorted list.
-
-    The textbook rule — ``ceil(q * n)``-th smallest — so p50 of
-    ``[1, 2, 3, 4, 5]`` is the 3rd element (the median), where a
-    ``round()``-based index would land on the 2nd via banker's rounding.
-    Shared by the status payload and the CLI execution summary, so the
-    two never disagree about the same sweep's distribution."""
-    index = max(0, math.ceil(quantile * len(ordered)) - 1)
-    return ordered[index]
-
-
 class SweepState:
     """Lifecycle record of one submitted sweep."""
 
@@ -72,7 +69,8 @@ class SweepState:
                  "total", "completed", "failed", "records", "error",
                  "submitted", "started", "finished", "elapsed_s",
                  "backend", "running", "dispatched", "elapsed_jobs",
-                 "cancel", "events", "execution", "live_backend")
+                 "cancel", "events", "execution", "live_backend",
+                 "trace_enabled", "spans", "job_starts")
 
     def __init__(self, spec: SweepSpec, jobs: list, workers: int,
                  job_timeout_s: Optional[float] = None,
@@ -107,6 +105,14 @@ class SweepState:
         #: backend.describe() — live while running (fleet), final after
         self.execution: Optional[dict] = None
         self.live_backend = None
+        #: span tree bookkeeping (GET /trace/<sweepId>); job/worker
+        #: spans accumulate here, the root and queueWait spans are
+        #: synthesized at read time so a mid-run trace is still a tree
+        self.trace_enabled = True
+        self.spans: List[dict] = []
+        #: job index -> dispatch offset on the sweep timeline (seconds
+        #: since submit) — worker spans are re-based by this
+        self.job_starts: Dict[int, float] = {}
 
     def wall_time_json(self) -> Optional[dict]:
         if not self.elapsed_jobs:
@@ -155,6 +161,30 @@ class SweepState:
         if self.error is not None:
             data["error"] = self.error
         return data
+
+    def trace_json(self) -> dict:
+        """The sweep's span tree (``GET /trace/<sweepId>``).
+
+        The root ``sweep`` span and its ``queueWait`` child are built
+        from the lifecycle timestamps at read time, so the tree is
+        connected whether the sweep is queued, mid-run, or finished;
+        job and worker spans are whatever has accumulated so far."""
+        now = time.monotonic()
+        end = (self.finished if self.finished is not None else now) \
+            - self.submitted
+        queue_end = (self.started if self.started is not None
+                     else (self.finished if self.finished is not None
+                           else now)) - self.submitted
+        spans = [
+            make_span(self.id, self.id, None, "sweep", 0.0, end,
+                      {"name": self.spec.name, "state": self.state,
+                       "backend": self.backend, "jobs": self.total}),
+            make_span(self.id, f"{self.id}.queue", self.id, "queueWait",
+                      0.0, queue_end, {}),
+        ]
+        spans.extend(self.spans)
+        return {"sweepId": self.id, "state": self.state,
+                "traceEnabled": self.trace_enabled, "spans": spans}
 
 
 class ExploreManager:
@@ -212,7 +242,8 @@ class ExploreManager:
     def submit(self, spec_data: dict, workers: Optional[int] = None,
                metric: str = "cycles",
                job_timeout_s: Optional[float] = None,
-               backend: Optional[str] = None) -> SweepState:
+               backend: Optional[str] = None,
+               trace: bool = True) -> SweepState:
         """Validate, plan, and enqueue a sweep; returns its state handle.
 
         Planning happens exactly once, here: the job list is carried on
@@ -263,6 +294,17 @@ class ExploreManager:
                            if job_timeout_s is not None
                            else self.job_timeout_s,
                            backend=backend)
+        state.trace_enabled = bool(trace)
+        if state.trace_enabled:
+            # trace context rides in the job payload (the one channel
+            # that reaches every backend, local or HTTP); records never
+            # echo the payload, so the byte-identity pin is untouched
+            for index, job in enumerate(jobs):
+                job.payload["trace"] = {
+                    "traceId": state.id,
+                    "parentId": f"{state.id}.j{index}",
+                }
+        _SWEEPS_SUBMITTED.inc(backend=state.backend)
         with self._lock:
             if self._closed:
                 raise RuntimeError("explore manager is closed")
@@ -317,6 +359,7 @@ class ExploreManager:
                 state.cancel.cancel(reason)
                 self._emit_locked(state, "cancelled", where="queue",
                                   reason=reason)
+                _SWEEPS_FINISHED.inc(state="cancelled")
                 return {"cancelled": True, "state": "cancelled"}
             # running: fire the token; the backend does the rest
             state.cancel.cancel(reason)
@@ -398,17 +441,33 @@ class ExploreManager:
                 with self._lock:
                     state.dispatched.add(index)
                     state.running.add(index)
+                    state.job_starts[index] = round(
+                        time.monotonic() - state.submitted, 6)
                     self._emit_locked(state, "dispatch", job=index,
                                       label=state.jobs[index].label,
                                       worker=worker)
 
             def on_result(result, state: SweepState = state) -> None:
                 with self._lock:
+                    now = time.monotonic() - state.submitted
                     state.running.discard(result.index)
                     state.completed += 1
                     if not result.ok:
                         state.failed += 1
                     state.elapsed_jobs.append(result.elapsed_s)
+                    if state.trace_enabled:
+                        # close the job span on the sweep timeline and
+                        # graft the backend's interior spans under it
+                        start = state.job_starts.get(result.index, now)
+                        state.spans.append(make_span(
+                            state.id, f"{state.id}.j{result.index}",
+                            state.id, "job", start, now,
+                            {"index": result.index,
+                             "label": state.jobs[result.index].label,
+                             "kind": result.kind,
+                             "worker": result.worker}))
+                        if result.spans:
+                            state.spans.extend(rebase(result.spans, start))
                     self._emit_locked(
                         state, "finish", job=result.index,
                         label=state.jobs[result.index].label,
@@ -465,10 +524,21 @@ class ExploreManager:
                                                         or state.finished)
                     self._emit_locked(state, "failed", error=state.error)
             finally:
+                _SWEEPS_FINISHED.inc(state=state.state)
                 if backend is not None:
                     backend.close()
 
     # ------------------------------------------------------------------
+    def queue_depth(self) -> dict:
+        """Scrape-time queue gauges: queued / running / known sweeps."""
+        with self._lock:
+            return {
+                "queued": len(self._queue),
+                "running": sum(1 for s in self._sweeps.values()
+                               if s.state == "running"),
+                "known": len(self._sweeps),
+            }
+
     def close(self) -> None:
         with self._lock:
             self._closed = True

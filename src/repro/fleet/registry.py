@@ -34,11 +34,19 @@ import time
 from typing import Callable, Dict, List, Optional
 
 from repro.explore.backend import _parse_worker_url
+from repro.obs.metrics import default_registry
 
 __all__ = ["WorkerRegistry", "FleetWorker", "Heartbeater"]
 
 #: default heartbeat TTL; a worker missing 3+ heartbeats in a row expires
 DEFAULT_TTL_S = 10.0
+
+_HEARTBEATS = default_registry().counter(
+    "repro_fleet_heartbeats_total",
+    "Worker registrations/heartbeats accepted by the registry")
+_EXPIRIES = default_registry().counter(
+    "repro_fleet_expiries_total",
+    "Workers dropped from the live set by heartbeat TTL expiry")
 
 
 class FleetWorker:
@@ -66,8 +74,13 @@ class FleetWorker:
         self.expired = False
 
     def to_json(self, now: float) -> dict:
+        # lastHeartbeatAgeS is the staleness gauge (computed from the
+        # registry's injected clock, never a render-time wall read);
+        # ageS stays as a protocol-v5/v6 alias of the same value
+        age = round(now - self.last_seen, 3)
         row = {"url": self.url, "capacity": self.capacity,
-               "ageS": round(now - self.last_seen, 3),
+               "ageS": age,
+               "lastHeartbeatAgeS": age,
                "heartbeats": self.heartbeats,
                "generation": self.generation,
                "excluded": self.excluded_until is not None}
@@ -153,6 +166,7 @@ class WorkerRegistry:
                 worker.cache_stats = cache_stats
             self._refresh_exclusion_locked(worker, now)
             live = self._live_locked(now)
+        _HEARTBEATS.inc()
         return {"registered": True, "url": normalized,
                 "ttlS": self.ttl_s,
                 "heartbeatS": round(self.ttl_s / 3.0, 3),
@@ -208,6 +222,8 @@ class WorkerRegistry:
                     dropped.append(url)
                 if age > retention:
                     del self._workers[url]
+        if dropped:
+            _EXPIRIES.inc(len(dropped))
         return dropped
 
     def _live_locked(self, now: float) -> List[FleetWorker]:

@@ -138,13 +138,15 @@ class SimClient:
     def explore_submit(self, spec: dict, workers: Optional[int] = None,
                        metric: str = "cycles",
                        job_timeout_s: Optional[float] = None,
-                       backend: Optional[str] = None) -> dict:
+                       backend: Optional[str] = None,
+                       trace: Optional[bool] = None) -> dict:
         """Queue a sweep; returns ``{"sweepId", "jobs", "workers"}``.
 
         ``backend`` picks the server-side execution backend:
         ``"serial"``, ``"process"``, or ``"fleet"`` (the server's
         registered worker fleet — protocol v5); ``None`` keeps the
-        historical ``workers`` inference."""
+        historical ``workers`` inference.  ``trace=False`` opts the
+        sweep out of span collection (protocol v7; default on)."""
         payload: dict = {"spec": spec, "metric": metric}
         if workers is not None:
             payload["workers"] = workers
@@ -152,6 +154,8 @@ class SimClient:
             payload["jobTimeoutS"] = job_timeout_s
         if backend is not None:
             payload["backend"] = backend
+        if trace is not None:
+            payload["trace"] = trace
         return self.request("POST", "/explore/submit", payload)
 
     def explore_status(self, sweep_id: str) -> dict:
@@ -207,6 +211,38 @@ class SimClient:
                     yield json.loads(line.decode("utf-8"))
         finally:
             conn.close()
+
+    # -- telemetry plane (protocol v7) ----------------------------------
+    def metrics(self) -> dict:
+        """Telemetry scrape: counters, gauges, histograms (JSON)."""
+        return self.request("GET", "/metrics")
+
+    def metrics_text(self) -> str:
+        """Prometheus text exposition of the same scrape.
+
+        Uses a dedicated plain-text exchange (the shared :meth:`request`
+        path assumes JSON bodies)."""
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            conn.request("GET", "/metrics?format=prometheus",
+                         headers={"Accept": "text/plain"})
+            response = conn.getresponse()
+            raw = response.read()
+            if response.status >= 400:
+                raise ApiError(f"HTTP {response.status}",
+                               status=response.status)
+            return raw.decode("utf-8")
+        finally:
+            conn.close()
+
+    def trace(self, sweep_id: str) -> dict:
+        """One sweep's span tree (``GET /trace/<sweepId>``): root sweep
+        span, queue wait, and per-job dispatch/compile/simulate/record
+        spans — renderable with
+        :func:`repro.viz.render_span_waterfall` or exportable as
+        NDJSON."""
+        return self.request("GET", "/trace" + f"/{sweep_id}")
 
     # -- fleet registry (protocol v5) -----------------------------------
     def fleet_register(self, url: str, capacity: int = 1,

@@ -86,8 +86,13 @@ class _Handler(BaseHTTPRequestHandler):
             self._send(500, {"error": f"internal error: {exc}", "status": 500})
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
-        if urlsplit(self.path).path.rstrip("/") == "/explore/stream":
+        split = urlsplit(self.path)
+        if split.path.rstrip("/") == "/explore/stream":
             self._stream_explore()
+            return
+        if split.path.rstrip("/") == "/metrics" \
+                and "prometheus" in parse_qs(split.query).get("format", []):
+            self._metrics_text()
             return
         self._dispatch("GET")
 
@@ -95,6 +100,24 @@ class _Handler(BaseHTTPRequestHandler):
         self._dispatch("POST")
 
     # ------------------------------------------------------------------
+    def _metrics_text(self) -> None:
+        """``GET /metrics?format=prometheus``: text exposition format.
+
+        The only non-JSON buffered response the server serves — scrapers
+        (and ``curl``) expect ``text/plain``, so it bypasses the JSON
+        ``_send`` path."""
+        try:
+            body = self.server.api.metrics_text().encode("utf-8")
+        except Exception as exc:  # noqa: BLE001 - server must not die
+            self._send(500, {"error": f"internal error: {exc}",
+                             "status": 500})
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", "text/plain; version=0.0.4")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
     def _stream_explore(self) -> None:
         """Chunked NDJSON live progress stream (``GET /explore/stream``).
 
@@ -164,7 +187,11 @@ class SimServer(ThreadingHTTPServer):
 
     def server_close(self) -> None:
         super().server_close()
-        self.api.close()
+        # bind failures call server_close() from TCPServer.__init__
+        # before __init__ here ever assigned self.api
+        api = getattr(self, "api", None)
+        if api is not None:
+            api.close()
 
 
 def serve(host: str = "127.0.0.1", port: int = 8045,

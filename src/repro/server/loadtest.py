@@ -9,12 +9,12 @@ throughput in transactions per second.
 
 from __future__ import annotations
 
-import statistics
 import threading
 import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
+from repro.obs.metrics import nearest_rank
 from repro.server.client import SimClient
 
 
@@ -40,17 +40,20 @@ class LoadTestResult:
     latencies_ms: List[float] = field(default_factory=list)
     duration_s: float = 0.0
 
+    # both percentiles go through the shared nearest-rank rule
+    # (repro.obs.metrics), so Table I and /explore/status can never
+    # disagree about what "median" or "p90" means
     @property
     def median_ms(self) -> float:
-        return statistics.median(self.latencies_ms) if self.latencies_ms else 0.0
+        if not self.latencies_ms:
+            return 0.0
+        return nearest_rank(sorted(self.latencies_ms), 0.5)
 
     @property
     def p90_ms(self) -> float:
         if not self.latencies_ms:
             return 0.0
-        ordered = sorted(self.latencies_ms)
-        index = max(0, int(round(0.9 * len(ordered))) - 1)
-        return ordered[index]
+        return nearest_rank(sorted(self.latencies_ms), 0.9)
 
     @property
     def throughput_tps(self) -> float:

@@ -22,6 +22,8 @@ Endpoints mirror the paper's server API:
 ``POST /worker/execute``  run one planned sweep job (distributed sweeps)
 ``POST /worker/cancel``   fire the cancel token of an in-flight job
 ``GET  /worker/status``   artifact-cache stats + active-job gauge
+``GET  /metrics``         telemetry scrape (JSON; Prometheus text at HTTP)
+``GET  /trace/<sweepId>`` one sweep's span tree (queue/dispatch/compile/...)
 ``GET  /schema``          machine-readable endpoint list
 ``GET  /health``          liveness probe (+ fleet health rows)
 ========================  ===================================================
@@ -58,6 +60,7 @@ from repro.fleet.cancel import CancelRegistry
 from repro.fleet.registry import WorkerRegistry
 from repro.fleet.scheduler import FleetError, FleetScheduler
 from repro.memory.layout import MemoryLocation, decode_values
+from repro.obs.metrics import default_registry, render_prometheus
 from repro.server.session import SessionManager
 from repro.sim.simulation import DEFAULT_CANCEL_STRIDE
 from repro.sim.state import SNAPSHOT_SCHEMA_VERSION, RawJson
@@ -80,8 +83,15 @@ from repro.sim.state import SNAPSHOT_SCHEMA_VERSION, RawJson
 #: on ``/session/seek`` responses: the cycles of the move served by the
 #: uninstrumented fast path (checkpoint-seeded fast-forward through the
 #: superblock trace tier), 0 when the move was stepped or replayed from a
-#: nearby checkpoint.  v1-v5 clients keep working.
-PROTOCOL_VERSION = 6
+#: nearby checkpoint.  v7 adds the telemetry plane: ``GET /metrics``
+#: (registry scrape; JSON here, Prometheus text exposition at the HTTP
+#: layer via ``?format=prometheus``), ``GET /trace/<sweepId>`` (one
+#: sweep's span tree — queue wait, dispatch, per-job compile/simulate/
+#: record), trace-context propagation through ``/explore/submit`` job
+#: payloads and ``/worker/execute`` (whose replies gain ``spans``), the
+#: ``"trace"`` opt-out on submit, and ``lastHeartbeatAgeS`` on fleet
+#: health rows.  v1-v6 clients keep working.
+PROTOCOL_VERSION = 7
 
 #: executors session work is dispatched onto (per-session FIFO queues keep
 #: request order; the count bounds how many sessions simulate at once)
@@ -168,7 +178,9 @@ SCHEMA = {
                              "from workers; 'fleet' runs on registered "
                              "fleet workers)",
                   "metric": "ranking metric? (default 'cycles')",
-                  "jobTimeoutS": "number? per-job wall-clock budget"}},
+                  "jobTimeoutS": "number? per-job wall-clock budget",
+                  "trace": "bool? (default true) collect the sweep's "
+                           "span tree for GET /trace/<sweepId>"}},
         {"method": "POST", "path": "/explore/status",
          "body": {"sweepId": "id"}},
         {"method": "POST", "path": "/explore/result",
@@ -197,10 +209,49 @@ SCHEMA = {
          "body": {"cancelId": "id from the matching /worker/execute",
                   "reason": "string?"}},
         {"method": "GET", "path": "/worker/status"},
+        {"method": "GET", "path": "/metrics",
+         "query": {"format": "'prometheus'? (HTTP layer; default JSON)"},
+         "notes": "process-wide telemetry scrape: counters, gauges, "
+                  "histograms with nearest-rank summaries"},
+        {"method": "GET", "path": "/trace/<sweepId>",
+         "notes": "one sweep's span tree (root sweep span, queueWait, "
+                  "per-job dispatch + worker compile/simulate/record), "
+                  "exportable as NDJSON via SimClient.trace"},
         {"method": "GET", "path": "/schema"},
         {"method": "GET", "path": "/health"},
     ],
 }
+
+#: route label set for the request counter — unmatched paths collapse to
+#: "other" so a 404 scan cannot explode the label cardinality
+_COUNTED_ROUTES = frozenset((
+    "/", "/schema", "/health", "/compile", "/parseAsm", "/simulate",
+    "/session/new", "/session/step", "/session/state", "/session/seek",
+    "/session/memory", "/session/close", "/explore/submit",
+    "/explore/status", "/explore/result", "/explore/cancel",
+    "/explore/events", "/explore/stream", "/fleet/register",
+    "/fleet/status", "/worker/execute", "/worker/cancel",
+    "/worker/status", "/metrics", "/trace",
+))
+
+_REQUESTS = default_registry().counter(
+    "repro_requests_total", "API requests handled, by method and route")
+_WORKER_JOBS = default_registry().counter(
+    "repro_worker_jobs_total", "/worker/execute jobs, by outcome kind")
+_WORKER_EXECUTE_SECONDS = default_registry().histogram(
+    "repro_worker_execute_seconds", "Wall time of /worker/execute jobs")
+_SESSIONS_LIVE = default_registry().gauge(
+    "repro_sessions_live", "Interactive sessions currently open")
+_SESSION_POOL_PENDING = default_registry().gauge(
+    "repro_session_pool_pending",
+    "Session-pool tasks queued or running")
+_SWEEP_QUEUE = default_registry().gauge(
+    "repro_sweep_queue_depth", "Explore-queue depth, by sweep state")
+_FLEET_WORKERS = default_registry().gauge(
+    "repro_fleet_workers", "Fleet registry population, by liveness")
+_HEARTBEAT_AGE = default_registry().gauge(
+    "repro_fleet_worker_heartbeat_age_seconds",
+    "Seconds since each known worker's last heartbeat")
 
 
 class Api:
@@ -247,9 +298,21 @@ class Api:
     # ------------------------------------------------------------------
     def handle(self, method: str, path: str, payload: Optional[dict]) -> dict:
         payload = payload or {}
+        path = path.split("?", 1)[0]       # transports may pass the query
         route = (method.upper(), path.rstrip("/") or "/")
+        counted = "/trace" if route[1].startswith("/trace") else route[1]
+        _REQUESTS.inc(method=route[0],
+                      route=counted if counted in _COUNTED_ROUTES
+                      else "other")
         if route == ("GET", "/schema"):
             return SCHEMA
+        if route == ("GET", "/metrics"):
+            return self.metrics_json()
+        if route == ("GET", "/trace"):
+            raise ApiError("trace requests name a sweep: "
+                           "GET /trace/<sweepId>", status=400)
+        if route[0] == "GET" and route[1].startswith("/trace/"):
+            return self.trace(route[1][len("/trace/"):])
         if route == ("GET", "/health"):
             return {"status": "ok", "sessions": len(self.sessions),
                     "fleet": self.fleet.snapshot()}
@@ -538,11 +601,15 @@ class Api:
         if backend is not None and not isinstance(backend, str):
             raise ApiError("'backend' must be a string "
                            "(serial/process/fleet)")
+        trace = payload.get("trace", True)
+        if not isinstance(trace, bool):
+            raise ApiError("'trace' must be a boolean")
         try:
             state = self.explore.submit(
                 spec, workers=workers,
                 metric=str(payload.get("metric", "cycles")),
-                job_timeout_s=job_timeout_s, backend=backend)
+                job_timeout_s=job_timeout_s, backend=backend,
+                trace=trace)
         except FleetError as exc:
             # a fleet submit with no registered workers is the server's
             # (transient) state, not a bad request: 503, retry later
@@ -687,27 +754,44 @@ class Api:
             raise ApiError("'cancelId' must be a string")
         from repro.explore.runner import JobCancelled, execute_payload
         token = self.cancels.create(cancel_id) if cancel_id else None
+        tracer = None
+        context = job.get("trace")
+        if isinstance(context, dict) and context.get("traceId"):
+            from repro.obs.trace import JobTracer
+            tracer = JobTracer(str(context["traceId"]),
+                               str(context.get("parentId",
+                                               context["traceId"])))
         started = time.monotonic()
         out = {"success": True, "protocolVersion": PROTOCOL_VERSION}
+        kind = "ok"
         try:
             out["ok"] = True
             out["value"] = execute_payload(job, cache=self.artifacts,
                                            cancel=token,
-                                           cancel_stride=self.cancel_stride)
+                                           cancel_stride=self.cancel_stride,
+                                           tracer=tracer)
         except JobCancelled:
             out["ok"] = False
-            out["kind"] = "cancelled"
+            out["kind"] = kind = "cancelled"
             out["error"] = CANCELLED_MESSAGE
         except Exception as exc:  # noqa: BLE001 - job isolation, as the
             # serial loop / pool worker: report, never die
             out["ok"] = False
-            out["kind"] = "error"
+            out["kind"] = kind = "error"
             out["error"] = f"{type(exc).__name__}: {exc}"
         finally:
             if cancel_id:
                 self.cancels.remove(cancel_id)
-        out["elapsedS"] = round(time.monotonic() - started, 6)
+        elapsed = round(time.monotonic() - started, 6)
+        out["elapsedS"] = elapsed
         out["artifactCache"] = self.artifacts.stats()
+        if tracer is not None:
+            # span times are relative to this worker's job start; the
+            # frontend rebases them onto the sweep timeline at dispatch
+            # offset, so clock domains never mix
+            out["spans"] = tracer.export()
+        _WORKER_JOBS.inc(kind=kind)
+        _WORKER_EXECUTE_SECONDS.observe(elapsed)
         return out
 
     def worker_cancel(self, payload: dict) -> dict:
@@ -723,6 +807,54 @@ class Api:
             cancel_id, reason=str(payload.get("reason", "cancelled")))
         return {"success": True, "protocolVersion": PROTOCOL_VERSION,
                 "cancelled": hit}
+
+    # -- telemetry plane (protocol v7) ----------------------------------
+    def _set_gauges(self) -> None:
+        """Refresh scrape-time gauges from the live subsystems.
+
+        Gauges are point-in-time reads of state the server already owns
+        (session table, explore queue, fleet registry); sampling them at
+        scrape time keeps the hot paths free of gauge writes entirely."""
+        _SESSIONS_LIVE.set(len(self.sessions))
+        _SESSION_POOL_PENDING.set(self.session_pool.pending())
+        depth = self.explore.queue_depth()
+        _SWEEP_QUEUE.set(depth["queued"], state="queued")
+        _SWEEP_QUEUE.set(depth["running"], state="running")
+        snap = self.fleet.snapshot()
+        _FLEET_WORKERS.set(snap["live"], liveness="live")
+        _FLEET_WORKERS.set(snap["known"], liveness="known")
+        # clear-then-set: a forgotten/expired worker must not linger as
+        # a stale per-url series on the next scrape
+        _HEARTBEAT_AGE.clear()
+        for row in snap["rows"]:
+            _HEARTBEAT_AGE.set(row["lastHeartbeatAgeS"], url=row["url"])
+
+    def metrics_json(self) -> dict:
+        """``GET /metrics``: full registry scrape as JSON."""
+        self._set_gauges()
+        return {"success": True, "protocolVersion": PROTOCOL_VERSION,
+                "metrics": default_registry().scrape()}
+
+    def metrics_text(self) -> str:
+        """Prometheus text exposition (the HTTP layer serves this for
+        ``GET /metrics?format=prometheus`` with ``text/plain``)."""
+        self._set_gauges()
+        return render_prometheus(default_registry().scrape())
+
+    def trace(self, sweep_id: str) -> dict:
+        """``GET /trace/<sweepId>``: one sweep's span tree.
+
+        Served for queued/running sweeps too — the root and queueWait
+        spans are synthesized at read time, so a mid-flight tree is
+        already connected (it just grows more job spans on later polls).
+        """
+        state = self.explore.get(sweep_id) if sweep_id else None
+        if state is None:
+            raise ApiError(f"unknown sweep '{sweep_id}'", status=404)
+        out = state.trace_json()
+        out["success"] = True
+        out["protocolVersion"] = PROTOCOL_VERSION
+        return out
 
     def worker_status(self) -> dict:
         """Worker health: artifact-cache hit/miss/size stats (memory and

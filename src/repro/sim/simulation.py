@@ -8,6 +8,21 @@ While this approach significantly simplifies the implementation, it
 requires the simulation to be deterministic."*  All sources of randomness
 (Random cache replacement, random array fills) are seeded, so re-running is
 bit-exact.
+
+Observability boundary
+----------------------
+
+This module (and everything below it — :mod:`repro.core.pipeline`,
+:mod:`repro.core.trace`) is *outside* the telemetry plane: it never
+imports :mod:`repro.obs`, reads no wall clock, and emits no metrics.
+Profiling is attach-from-outside only — :class:`repro.obs.profile`
+wraps stage methods as instance attributes and removes them on detach,
+so an unprofiled ``Simulation.run()`` executes the exact same code as
+a build that has never heard of the profiler (pinned by
+``tests/obs/test_profile.py::TestLayering`` and the throughput ratio
+in ``benchmarks/test_obs_overhead.py``).  Telemetry for sweeps happens
+one layer up, in the explore backends, keyed off the deterministic
+:class:`SimulationResult` this module returns.
 """
 
 from __future__ import annotations

@@ -11,14 +11,19 @@ reproducible, testable, and usable from the CLI:
 * :func:`render_statistics` — the runtime-statistics page (Fig. 10);
 * :func:`render_processor` — the full main window (Fig. 12);
 * :func:`render_sweep_report` — the experiment engine's design-space
-  comparison table (``repro.explore``).
+  comparison table (``repro.explore``);
+* :func:`render_metrics_table` / :func:`render_span_waterfall` — the
+  telemetry plane: a ``GET /metrics`` scrape as a table, one sweep's
+  ``GET /trace/<sweepId>`` span tree as a text waterfall.
 """
 
 from repro.viz.blocks import render_block, render_processor
 from repro.viz.memory import render_memory_popup
 from repro.viz.instruction import render_instruction_popup
 from repro.viz.stats import render_statistics
-from repro.viz.sweep import render_sweep_report
+from repro.viz.sweep import (render_execution_summary, render_fleet_table,
+                             render_sweep_report)
+from repro.viz.obs import render_metrics_table, render_span_waterfall
 
 __all__ = [
     "render_block",
@@ -27,4 +32,8 @@ __all__ = [
     "render_instruction_popup",
     "render_statistics",
     "render_sweep_report",
+    "render_execution_summary",
+    "render_fleet_table",
+    "render_metrics_table",
+    "render_span_waterfall",
 ]

@@ -1,0 +1,118 @@
+"""Observability renderers: metrics table and span waterfall as text.
+
+Same philosophy as the rest of :mod:`repro.viz`: everything the
+telemetry plane knows — the ``GET /metrics`` scrape, one sweep's span
+tree from ``GET /trace/<sweepId>`` — as monospace text, readable from
+the CLI and assertable as golden strings in tests.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+__all__ = ["render_metrics_table", "render_span_waterfall"]
+
+#: character budget of a waterfall bar row
+_BAR_WIDTH = 40
+
+
+def _format_number(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def _series_name(family_name: str, labels: dict) -> str:
+    if not labels:
+        return family_name
+    cells = ",".join(f"{key}={labels[key]}" for key in sorted(labels))
+    return f"{family_name}{{{cells}}}"
+
+
+def render_metrics_table(scrape: List[dict]) -> str:
+    """Render a :meth:`MetricsRegistry.scrape` payload as a table.
+
+    One row per series (family x label set); histograms show count,
+    sum, and the shared nearest-rank summary instead of raw buckets —
+    the buckets are for Prometheus, the summary is for humans."""
+    series = sum(len(family["values"]) for family in scrape)
+    lines = [f"metrics: {len(scrape)} families, {series} series"]
+    if not series:
+        return lines[0] + "\n"
+    rows = []
+    for family in scrape:
+        for cell in family["values"]:
+            name = _series_name(family["name"], cell["labels"])
+            if family["type"] == "histogram":
+                summary = cell.get("summary") or {}
+                value = (f"count {cell['count']}  "
+                         f"sum {_format_number(round(cell['sum'], 6))}")
+                if summary:
+                    value += (f"  p50 {_format_number(summary['p50'])}"
+                              f"  p90 {_format_number(summary['p90'])}")
+            else:
+                value = _format_number(cell["value"])
+            rows.append([family["type"], name, value])
+    width_type = max(len(row[0]) for row in rows)
+    width_name = max(len(row[1]) for row in rows)
+    for kind, name, value in rows:
+        lines.append(f"  {kind:<{width_type}}  {name:<{width_name}}  {value}")
+    return "\n".join(line.rstrip() for line in lines) + "\n"
+
+
+def _format_duration(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    return f"{seconds * 1e3:.1f}ms"
+
+
+def render_span_waterfall(spans: List[dict]) -> str:
+    """Render one sweep's span tree as an indented text waterfall.
+
+    Each row is a span: tree-indented name, a bar positioned on the
+    sweep timeline, duration, and start offset.  Sibling order and bar
+    geometry are deterministic, so the output is golden-testable."""
+    from repro.obs.trace import span_tree
+    if not spans:
+        return "trace: no spans\n"
+    roots, children = span_tree(spans)
+    t_min = min(span["startS"] for span in spans)
+    t_max = max(span["endS"] for span in spans)
+    extent = max(t_max - t_min, 1e-9)
+    trace_id = spans[0]["traceId"]
+    lines = [f"trace {trace_id}: {len(spans)} spans, "
+             f"{_format_duration(t_max - t_min)} total"]
+
+    rows = []
+
+    def visit(span: dict, depth: int) -> None:
+        rows.append((span, depth))
+        for child in children.get(span["spanId"], []):
+            visit(child, depth + 1)
+
+    for root in roots:
+        visit(root, 0)
+
+    labels = []
+    for span, depth in rows:
+        label = "  " * depth + span["name"]
+        tags = span.get("tags") or {}
+        if tags:
+            label += " [" + ", ".join(f"{k}={tags[k]}"
+                                      for k in sorted(tags)) + "]"
+        labels.append(label)
+    width_label = max(len(label) for label in labels)
+
+    for (span, _depth), label in zip(rows, labels):
+        start = (span["startS"] - t_min) / extent
+        end = (span["endS"] - t_min) / extent
+        col0 = int(start * _BAR_WIDTH)
+        col1 = max(int(end * _BAR_WIDTH), col0 + 1)
+        bar = (" " * col0 + "#" * (col1 - col0)).ljust(_BAR_WIDTH)
+        lines.append(
+            f"  {label:<{width_label}} |{bar}| "
+            f"{_format_duration(span['endS'] - span['startS']):>8} "
+            f"@ {_format_duration(span['startS'] - t_min):>8}")
+    return "\n".join(line.rstrip() for line in lines) + "\n"

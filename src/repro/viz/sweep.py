@@ -172,11 +172,12 @@ def render_fleet_table(fleet_json: dict) -> str:
                                    if row.get("excludedReason") else "")
         else:
             status = "live"
+        age = row.get("lastHeartbeatAgeS", row.get("ageS", 0))
         cells.append([str(row.get("url", "?")),
                       str(row.get("capacity", "?")),
                       str(row.get("heartbeats", 0)),
                       str(row.get("generation", 1)),
-                      f"{row.get('ageS', 0):.1f}s ago",
+                      f"{age:.1f}s ago",
                       status])
     widths = [max(len(columns[i]), max(len(r[i]) for r in cells))
               for i in range(len(columns))]

@@ -65,9 +65,21 @@ class TestPercentileMath:
         result = LoadTestResult(users=1,
                                 latencies_ms=[float(i) for i in
                                               range(1, 11)])
-        assert result.median_ms == 5.5
-        # p90 of 10 ordered samples: index round(0.9*10)-1 = 8 -> value 9
+        # nearest-rank (no interpolation): median of 10 samples is the
+        # ceil(0.5*10)=5th ordered value, p90 the ceil(0.9*10)=9th
+        assert result.median_ms == 5.0
         assert result.p90_ms == 9.0
+
+    def test_pins_shared_percentile_rule(self):
+        """Table I math IS the /explore/status math: both sides go
+        through repro.obs.metrics.nearest_rank, so the same samples give
+        byte-identical percentiles in both reports."""
+        from repro.explore.service import nearest_rank
+        latencies = [12.5, 3.0, 47.1, 8.8, 21.0, 5.5, 33.3]
+        result = LoadTestResult(users=1, latencies_ms=list(latencies))
+        ordered = sorted(latencies)
+        assert result.median_ms == nearest_rank(ordered, 0.5)
+        assert result.p90_ms == nearest_rank(ordered, 0.9)
 
     def test_percentiles_are_order_independent(self):
         ordered = LoadTestResult(users=1,

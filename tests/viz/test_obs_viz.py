@@ -1,0 +1,130 @@
+"""Observability renderers: golden text for the metrics table and the
+span waterfall, plus the fleet-table edge cases (excluded workers, empty
+fleet) the sweep renderer left untested."""
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import JobTracer, make_span
+from repro.viz import (render_fleet_table, render_metrics_table,
+                       render_span_waterfall)
+
+
+def scrape_fixture():
+    registry = MetricsRegistry()
+    requests = registry.counter("demo_requests_total", "requests")
+    requests.inc(route="/simulate")
+    requests.inc(2, route="/compile")
+    registry.gauge("demo_sessions_live", "sessions").set(3)
+    wall = registry.histogram("demo_wall_seconds", "wall",
+                              buckets=(0.1, 1.0))
+    for value in (0.05, 0.2, 0.3, 2.0):
+        wall.observe(value)
+    return registry.scrape()
+
+
+class TestMetricsTable:
+    def test_golden(self):
+        assert render_metrics_table(scrape_fixture()) == (
+            "metrics: 3 families, 4 series\n"
+            "  counter    demo_requests_total{route=/compile}   2\n"
+            "  counter    demo_requests_total{route=/simulate}  1\n"
+            "  gauge      demo_sessions_live                    3\n"
+            "  histogram  demo_wall_seconds                     "
+            "count 4  sum 2.55  p50 0.2  p90 2\n")
+
+    def test_empty_scrape(self):
+        assert render_metrics_table([]) == "metrics: 0 families, 0 series\n"
+        registry = MetricsRegistry()
+        registry.counter("never_touched_total", "no series yet")
+        assert render_metrics_table(registry.scrape()) \
+            == "metrics: 1 families, 0 series\n"
+
+
+def span_fixture():
+    spans = [
+        make_span("sweep1", "sweep1", None, "sweep", 0.0, 4.0,
+                  {"jobs": 2}),
+        make_span("sweep1", "sweep1.queue", "sweep1", "queueWait",
+                  0.0, 0.5),
+        make_span("sweep1", "sweep1.j0", "sweep1", "job", 0.5, 2.0,
+                  {"index": 0}),
+        make_span("sweep1", "sweep1.j0.s1", "sweep1.j0", "compile",
+                  0.5, 1.0),
+        make_span("sweep1", "sweep1.j0.s2", "sweep1.j0", "simulate",
+                  1.0, 2.0),
+        make_span("sweep1", "sweep1.j1", "sweep1", "job", 2.0, 4.0,
+                  {"index": 1}),
+    ]
+    return spans
+
+
+class TestSpanWaterfall:
+    def test_golden(self):
+        assert render_span_waterfall(span_fixture()) == (
+            "trace sweep1: 6 spans, 4.00s total\n"
+            "  sweep [jobs=2]  |########################################|"
+            "    4.00s @    0.0ms\n"
+            "    queueWait     |#####                                   |"
+            "  500.0ms @    0.0ms\n"
+            "    job [index=0] |     ###############                    |"
+            "    1.50s @  500.0ms\n"
+            "      compile     |     #####                              |"
+            "  500.0ms @  500.0ms\n"
+            "      simulate    |          ##########                    |"
+            "    1.00s @    1.00s\n"
+            "    job [index=1] |                    ####################|"
+            "    2.00s @    2.00s\n")
+
+    def test_empty(self):
+        assert render_span_waterfall([]) == "trace: no spans\n"
+
+    def test_unordered_input_is_sorted(self):
+        spans = span_fixture()
+        assert render_span_waterfall(list(reversed(spans))) \
+            == render_span_waterfall(spans)
+
+    def test_renders_job_tracer_export(self):
+        clock = iter([10.0, 10.0, 10.5, 10.5, 11.25]).__next__
+        tracer = JobTracer("t1", "t1.j0", time_fn=clock)
+        with tracer.span("compile"):
+            pass
+        with tracer.span("simulate"):
+            pass
+        text = render_span_waterfall(tracer.export())
+        assert "compile" in text and "simulate" in text
+        assert text.startswith("trace t1: 2 spans")
+
+
+class TestFleetTableEdgeCases:
+    def test_empty_fleet_is_header_only(self):
+        text = render_fleet_table({"live": 0, "known": 0, "ttlS": 10.0,
+                                   "rows": []})
+        assert text == "fleet: 0 live / 0 known workers " \
+                       "(heartbeat TTL 10.0s)\n"
+
+    def test_excluded_worker_row(self):
+        text = render_fleet_table({
+            "live": 1, "known": 2, "ttlS": 10.0,
+            "rows": [
+                {"url": "127.0.0.1:9001", "capacity": 2, "heartbeats": 7,
+                 "generation": 1, "lastHeartbeatAgeS": 1.25,
+                 "excluded": False},
+                {"url": "127.0.0.1:9002", "capacity": 1, "heartbeats": 3,
+                 "generation": 4, "lastHeartbeatAgeS": 0.5,
+                 "excluded": True,
+                 "excludedReason": "flapping: 3 drops in 60s "
+                                   "(cooldown 30s)"},
+            ]})
+        lines = text.splitlines()
+        assert lines[0] == ("fleet: 1 live / 2 known workers "
+                            "(heartbeat TTL 10.0s)")
+        assert "1.2s ago" in lines[2] and lines[2].rstrip().endswith("live")
+        assert "EXCLUDED (flapping: 3 drops in 60s (cooldown 30s))" \
+            in lines[3]
+
+    def test_falls_back_to_v5_age_alias(self):
+        # pre-v7 snapshots only carry ageS; the renderer must not crash
+        text = render_fleet_table({
+            "live": 1, "known": 1, "ttlS": 10.0,
+            "rows": [{"url": "h:1", "capacity": 1, "heartbeats": 1,
+                      "generation": 1, "ageS": 2.0, "excluded": False}]})
+        assert "2.0s ago" in text
