@@ -1,0 +1,201 @@
+"""Artifact data plane acceptance (protocol v8): fetch-by-hash must cut
+cold-fleet setup >= 3x on a repeated-program C sweep, without moving a
+record byte.
+
+**Setup reduction** — a fleet of W cold workers starting the same C
+sweep pays W compiles without the data plane (each worker's first job
+compiles locally) and ~one with it (the origin compiles once; every
+worker fetches the compiled artifact by its content key).  The bench
+measures fleet-wide first-touch acquisition — the summed wall time for
+every worker to obtain the compiled assembly — cold versus fetching
+from a live origin server over real HTTP.  ``BENCH_dataplane.json``
+pins the committed numbers.
+
+**Identity** — the same sweep through ``RemoteBackend`` over live
+worker servers produces records byte-identical to serial with the
+plane on, with the ``REPRO_ARTIFACT_FETCH=0`` kill switch, and with
+every fetch source dead (degrade-to-inline) — the plane is an
+accelerator, never a correctness dependency.
+"""
+
+import json
+import pathlib
+import socket
+import time
+
+import pytest
+
+from repro.explore import ArtifactCache, RemoteBackend, SweepSpec, run_sweep
+from repro.server.httpd import SimServer
+
+BASELINE = pathlib.Path(__file__).with_name("BENCH_dataplane.json")
+
+#: acceptance bar: cold-fleet setup at least this much cheaper with the
+#: data plane fetching from a warm-capable origin
+MIN_FLEET_SETUP_REDUCTION_X = 3.0
+
+#: cold workers in the measured fleet (in-process caches; the origin is
+#: a real HTTP server, so every fetch pays the full wire round trip)
+FLEET_WORKERS = 6
+
+
+def heavy_kernel(funcs: int = 24) -> str:
+    """A compile-bound C workload: enough functions and loop nests that
+    one compile dwarfs one localhost artifact fetch (~70 ms vs ~1 ms),
+    which is the regime the data plane exists for."""
+    parts = ["extern int data[64];"]
+    for i in range(funcs):
+        parts.append(f"""
+int stage{i}(int a, int b) {{
+    int acc = a ^ (b + {i});
+    for (int r = 0; r < {3 + i % 3}; r++) {{
+        acc += (a << (r % 5)) ^ (b >> (r % 3));
+        acc ^= acc * {2 * i + 3} + r;
+        if (acc > {1000 + i}) acc -= b * {i + 1};
+        else acc += a - r;
+    }}
+    return acc;
+}}""")
+    calls = " + ".join(f"stage{i}(acc, data[i % 64])"
+                       for i in range(funcs))
+    parts.append(f"""
+int main(void) {{
+    int acc = 7;
+    for (int i = 0; i < 2; i++) acc = {calls};
+    return acc;
+}}""")
+    return "\n".join(parts)
+
+
+HEAVY_KERNEL = heavy_kernel()
+
+SMALL_KERNEL = ("int main(void) { int s = 0; "
+                "for (int i = 1; i <= 10; i++) s += i; return s; }")
+
+
+def sweep_spec(kernel=SMALL_KERNEL, points=4) -> SweepSpec:
+    return SweepSpec.from_json({
+        "name": "dataplane-bench",
+        "programs": [{"name": "kernel", "c": kernel, "entry": "main",
+                      "memory": [{"name": "data", "dtype": "word",
+                                  "values": [(7 * i + 3) % 64
+                                             for i in range(64)]}]}],
+        "axes": [{"name": "width", "path": "config.buffers.fetchWidth",
+                  "values": [1, 2, 3, 4][:points]}],
+    })
+
+
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def record_bytes(run):
+    return [json.dumps(r, sort_keys=True) for r in run.records]
+
+
+@pytest.fixture(scope="module")
+def fleet_setup_times():
+    """(cold, dataplane) fleet-wide first-touch acquisition seconds,
+    best-of-3 rounds."""
+    origin = SimServer(("127.0.0.1", 0))
+    origin.start_background()
+    origin_url = f"127.0.0.1:{origin.port}"
+    try:
+        cold = plane = None
+        for _ in range(3):
+            # cold fleet: every worker compiles the shared program
+            started = time.perf_counter()
+            for _worker in range(FLEET_WORKERS):
+                ArtifactCache().compiled_assembly(HEAVY_KERNEL, 2)
+            cold_round = time.perf_counter() - started
+            # data plane: the origin compiles once (on the first fetch,
+            # single-flighted behind its recipe), everyone else fetches
+            origin.api.artifacts.clear()
+            ref = origin.api.artifacts.register_program(
+                {"name": "kernel", "c": HEAVY_KERNEL}, 2)
+            started = time.perf_counter()
+            for _worker in range(FLEET_WORKERS):
+                ArtifactCache().compiled_assembly(
+                    HEAVY_KERNEL, 2, fetch_from=[origin_url])
+            plane_round = time.perf_counter() - started
+            assert ref["compileKey"]
+            cold = cold_round if cold is None else min(cold, cold_round)
+            plane = plane_round if plane is None \
+                else min(plane, plane_round)
+        print(f"\ncold-fleet setup ({FLEET_WORKERS} workers): "
+              f"cold={cold * 1e3:.1f} ms dataplane={plane * 1e3:.1f} ms "
+              f"reduction={cold / plane:.2f}x")
+        return cold, plane
+    finally:
+        origin.shutdown()
+        origin.server_close()
+
+
+class TestFleetSetupReduction:
+    def test_dataplane_cuts_cold_fleet_setup_3x(self, fleet_setup_times):
+        cold, plane = fleet_setup_times
+        assert cold / plane >= MIN_FLEET_SETUP_REDUCTION_X, \
+            f"cold-fleet setup reduction {cold / plane:.2f}x " \
+            f"< {MIN_FLEET_SETUP_REDUCTION_X}x"
+
+
+class TestDataPlaneIdentity:
+    """Serial-vs-fleet byte identity with the plane on, off, and broken."""
+
+    @pytest.fixture(scope="class")
+    def serial_records(self):
+        return record_bytes(run_sweep(sweep_spec(), workers=0))
+
+    def run_fleet(self, origin_url=None, workers=2):
+        servers = [SimServer(("127.0.0.1", 0)) for _ in range(workers)]
+        for server in servers:
+            server.start_background()
+        store_server = SimServer(("127.0.0.1", 0))
+        store_server.start_background()
+        try:
+            backend = RemoteBackend(
+                [f"127.0.0.1:{s.port}" for s in servers],
+                artifact_store=store_server.api.artifacts,
+                artifact_origin=origin_url if origin_url is not None
+                else f"127.0.0.1:{store_server.port}")
+            return record_bytes(run_sweep(sweep_spec(), backend=backend))
+        finally:
+            for server in servers + [store_server]:
+                server.shutdown()
+                server.server_close()
+
+    def test_plane_on_records_identical_to_serial(self, serial_records):
+        assert self.run_fleet() == serial_records
+
+    def test_kill_switch_records_identical_to_serial(
+            self, serial_records, monkeypatch):
+        from repro.explore.artifacts import ARTIFACT_FETCH_ENV
+        monkeypatch.setenv(ARTIFACT_FETCH_ENV, "0")
+        assert self.run_fleet() == serial_records
+
+    def test_injected_fetch_failure_records_identical_to_serial(
+            self, serial_records):
+        # every fetchFrom source dead: workers answer artifactUnavailable,
+        # the backend re-dispatches inline, records do not move
+        assert self.run_fleet(origin_url=f"127.0.0.1:{free_port()}") \
+            == serial_records
+
+
+def test_baseline_file_is_committed_and_consistent():
+    """BENCH_dataplane.json anchors the dataplane-smoke trajectory."""
+    baseline = json.loads(BASELINE.read_text())
+    assert baseline["acceptance"]["minFleetSetupReductionX"] \
+        == MIN_FLEET_SETUP_REDUCTION_X
+    assert baseline["fleet"]["workers"] == FLEET_WORKERS
+    measured = baseline["measured"]
+    assert measured["coldFleetSetupMs"] > 0
+    assert measured["dataplaneFleetSetupMs"] > 0
+    assert measured["fleetSetupReductionX"] == pytest.approx(
+        measured["coldFleetSetupMs"] / measured["dataplaneFleetSetupMs"],
+        rel=0.02)
+    assert measured["fleetSetupReductionX"] >= MIN_FLEET_SETUP_REDUCTION_X
+    assert baseline["identity"]["planeOn"] == "byte-identical"
+    assert baseline["identity"]["killSwitch"] == "byte-identical"
+    assert baseline["identity"]["injectedFetchFailure"] == "byte-identical"

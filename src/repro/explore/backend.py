@@ -268,12 +268,15 @@ def _parse_worker_url(url: str) -> tuple:
 
 
 class _PendingJob:
-    __slots__ = ("index", "attempts", "excluded_url")
+    __slots__ = ("index", "attempts", "excluded_url", "inline")
 
     def __init__(self, index: int):
         self.index = index
         self.attempts = 0          #: dispatches so far (0 or 1)
         self.excluded_url: Optional[str] = None
+        #: dispatch the original inline payload instead of the artifact
+        #: reference (set after a worker answers artifactUnavailable)
+        self.inline = False
 
 
 class RemoteBackend(ExecutionBackend):
@@ -305,6 +308,19 @@ class RemoteBackend(ExecutionBackend):
         the job within one interval.  The fleet backend turns this on;
         the plain CLI remote backend leaves it off by default (its jobs
         are bounded by ``job_timeout_s`` / the cycle budget either way).
+    artifact_store:
+        The frontend's :class:`repro.explore.artifacts.ArtifactCache`.
+        Together with *artifact_origin* it turns on the artifact data
+        plane (protocol v8): dispatch payloads replace inline program
+        sources with ``{sourceKey, compileKey?, fetchFrom}`` references
+        registered in this store, each worker gets the sweep's key-set
+        warm-pushed (``POST /artifact/prefetch``) before its first job,
+        and a worker that cannot resolve a reference gets the job
+        re-sent inline.  ``None`` (or ``REPRO_ARTIFACT_FETCH=0``)
+        keeps every dispatch inline.
+    artifact_origin:
+        ``host:port`` workers can fetch artifacts from (normally the
+        frontend server's bound address).
 
     A job lost to a transport failure (connection refused/reset — the
     worker died) is re-dispatched **at most once**, preferably to a
@@ -322,7 +338,9 @@ class RemoteBackend(ExecutionBackend):
                  inflight_per_worker: int = 2,
                  fail_threshold: int = 2,
                  client_factory: Optional[Callable] = None,
-                 cancel_jobs_on_workers: bool = False):
+                 cancel_jobs_on_workers: bool = False,
+                 artifact_store=None,
+                 artifact_origin: Optional[str] = None):
         if not worker_urls:
             raise ValueError("remote backend needs at least one worker URL")
         if inflight_per_worker < 1:
@@ -341,6 +359,8 @@ class RemoteBackend(ExecutionBackend):
         self.inflight_per_worker = inflight_per_worker
         self.fail_threshold = fail_threshold
         self.cancel_jobs_on_workers = cancel_jobs_on_workers
+        self.artifact_store = artifact_store
+        self.artifact_origin = artifact_origin
         self._client_factory = client_factory or self._default_client
         self._lock = threading.Lock()
         self._wake = threading.Condition(self._lock)
@@ -360,6 +380,54 @@ class RemoteBackend(ExecutionBackend):
             else self.DEFAULT_SOCKET_TIMEOUT_S
         return SimClient(worker.host, worker.port, timeout=timeout)
 
+    # -- artifact data plane (protocol v8) -------------------------------
+    def _fetch_from_for(self, ref: dict) -> List[str]:
+        """Fetch-source URLs for one artifact reference: the frontend
+        origin; the fleet subclass appends peer-worker hints for keys
+        other workers already advertise."""
+        return [self.artifact_origin]
+
+    def _prepare_dataplane(self, payloads: Sequence[dict]):
+        """``(wire payloads, prefetch refs)`` for this run.
+
+        With the data plane on (store + origin configured, kill switch
+        unset), each payload's inline program is registered in the
+        artifact store and replaced by its content-keyed reference; the
+        deduplicated reference list is what :meth:`_RemoteRun.serve`
+        warm-pushes to each worker before its first job.  Otherwise the
+        payloads go out unchanged."""
+        from repro.explore.artifacts import fetch_enabled
+        if self.artifact_store is None or not self.artifact_origin \
+                or not fetch_enabled():
+            return list(payloads), []
+        wire: List[dict] = []
+        refs: List[dict] = []
+        seen: Dict[str, bool] = {}
+        for payload in payloads:
+            spec = payload.get("program")
+            if not isinstance(spec, dict) or not (
+                    isinstance(spec.get("c"), str)
+                    or isinstance(spec.get("source"), str)):
+                wire.append(payload)
+                continue
+            # same level resolution as the worker's build_simulation, so
+            # the registered recipe compiles exactly what the job would
+            level = int(payload.get("optimizeLevel",
+                                    spec.get("optimizeLevel", 1)))
+            ref = dict(self.artifact_store.register_program(spec, level))
+            ref["fetchFrom"] = self._fetch_from_for(ref)
+            program = {"artifactRef": ref}
+            if "name" in spec:
+                program["name"] = spec["name"]
+            stripped = dict(payload)
+            stripped["program"] = program
+            wire.append(stripped)
+            dedup = ref.get("compileKey") or ref["sourceKey"]
+            if dedup not in seen:
+                seen[dedup] = True
+                refs.append(ref)
+        return wire, refs
+
     # ------------------------------------------------------------------
     def run(self, payloads: Sequence[dict], on_result: OnResult = None,
             on_dispatch: OnDispatch = None,
@@ -367,7 +435,10 @@ class RemoteBackend(ExecutionBackend):
         total = len(payloads)
         if total == 0:
             return []
-        state = _RemoteRun(self, payloads, on_result, on_dispatch, cancel)
+        wire_payloads, prefetch_refs = self._prepare_dataplane(payloads)
+        state = _RemoteRun(self, payloads, on_result, on_dispatch, cancel,
+                           wire_payloads=wire_payloads,
+                           prefetch_refs=prefetch_refs)
         for worker in self._workers:
             worker.readmit()
             self._start_worker(state, worker)
@@ -441,9 +512,20 @@ class _RemoteRun:
 
     def __init__(self, backend: RemoteBackend, payloads: Sequence[dict],
                  on_result: OnResult, on_dispatch: OnDispatch,
-                 cancel: CancelLike = None):
+                 cancel: CancelLike = None,
+                 wire_payloads: Optional[Sequence[dict]] = None,
+                 prefetch_refs: Optional[List[dict]] = None):
         self.backend = backend
         self.payloads = payloads
+        #: what actually goes on the wire: reference payloads when the
+        #: data plane is on, the originals otherwise (and per-job after
+        #: an artifactUnavailable re-dispatch)
+        self.wire_payloads = wire_payloads \
+            if wire_payloads is not None else payloads
+        self.prefetch_refs = prefetch_refs or []
+        #: worker URLs already sent the prefetch announcement (once per
+        #: worker per run, under the backend lock)
+        self.prefetched: Dict[str, bool] = {}
         self.on_result = on_result
         self.on_dispatch = on_dispatch
         self.cancel = cancel
@@ -530,6 +612,7 @@ class _RemoteRun:
         backend = self.backend
         client = backend._client_factory(worker)
         try:
+            self._announce_prefetch(client, worker)
             while True:
                 with backend._lock:
                     job = None
@@ -560,15 +643,32 @@ class _RemoteRun:
         finally:
             client.close()
 
+    def _announce_prefetch(self, client, worker: _RemoteWorker) -> None:
+        """Warm-push the sweep's artifact key-set, once per worker per
+        run, before its first job — fetches then overlap the first jobs'
+        simulation time.  Best-effort: a worker that cannot prefetch
+        (old protocol, fetch disabled) just fetches lazily on miss."""
+        if not self.prefetch_refs:
+            return
+        with self.backend._lock:
+            if worker.url in self.prefetched:
+                return
+            self.prefetched[worker.url] = True
+        try:
+            client.artifact_prefetch(self.prefetch_refs)
+        except Exception:  # noqa: BLE001 - data-plane errors never
+            pass           # fail jobs; the per-job miss path still works
+
     def _execute(self, client, worker: _RemoteWorker,
                  job: _PendingJob) -> None:
         backend = self.backend
         started = time.monotonic()
         cancel_id = self.cancel_id(job.index) \
             if backend.cancel_jobs_on_workers else None
+        body = self.payloads[job.index] if job.inline \
+            else self.wire_payloads[job.index]
         try:
-            reply = client.worker_execute(self.payloads[job.index],
-                                          cancel_id=cancel_id)
+            reply = client.worker_execute(body, cancel_id=cancel_id)
         except TimeoutError:
             if backend.job_timeout_s is None:
                 # no job budget configured: a socket timeout is just a
@@ -603,12 +703,33 @@ class _RemoteRun:
                                value=reply.get("value"), worker=worker.url,
                                elapsed_s=elapsed, spans=spans)
         else:
-            result = JobResult(index=job.index,
-                               kind=str(reply.get("kind", "error")),
+            kind = str(reply.get("kind", "error"))
+            if kind == "artifactUnavailable" and not job.inline:
+                # the worker could not resolve the job's artifact
+                # reference: degrade, never fail — re-dispatch with the
+                # program inline (this reply is not a job outcome)
+                self._redispatch_inline(worker, job)
+                return
+            result = JobResult(index=job.index, kind=kind,
                                error=str(reply.get("error", "?")),
                                worker=worker.url, elapsed_s=elapsed,
                                spans=spans)
         self._settle(worker, job, result, transport_failure=False)
+
+    def _redispatch_inline(self, worker: _RemoteWorker,
+                           job: _PendingJob) -> None:
+        """Re-queue a job whose artifact reference a worker could not
+        resolve, marked for inline dispatch.  The attempt is refunded:
+        the reference dispatch never ran the job, so transport-crash
+        accounting must look exactly as if the data plane were off."""
+        with self.backend._lock:
+            self.outstanding -= 1
+            self.inflight.pop(job.index, None)
+            worker.consecutive_failures = 0
+            job.inline = True
+            job.attempts -= 1
+            self.pending.append(job)
+            self.backend._wake.notify_all()
 
     def _settle(self, worker: _RemoteWorker, job: _PendingJob,
                 result: JobResult, transport_failure: bool) -> None:

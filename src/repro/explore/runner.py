@@ -71,6 +71,16 @@ def build_simulation(payload: dict,
     if cache is None:
         cache = default_cache()
     program_spec = payload.get("program") or {}
+    fetch_from = None
+    ref = program_spec.get("artifactRef")
+    if isinstance(ref, dict):
+        # data-plane dispatch (protocol v8): the payload carries a
+        # content-keyed reference instead of the inline program; resolve
+        # the original spec first (local registry, then remote fetch).
+        # Raises ArtifactUnavailable — never a JobError — so the
+        # dispatcher re-sends the job inline instead of failing it.
+        program_spec = cache.resolve_source(ref)
+        fetch_from = list(ref.get("fetchFrom") or ())
     source: Optional[str] = program_spec.get("source")
     if source is None:
         c_source = program_spec.get("c")
@@ -79,7 +89,8 @@ def build_simulation(payload: dict,
                            f"carries neither assembly nor C source")
         level = int(payload.get("optimizeLevel",
                                 program_spec.get("optimizeLevel", 1)))
-        source = cache.compiled_assembly(c_source, level)
+        source = cache.compiled_assembly(c_source, level,
+                                         fetch_from=fetch_from)
     config = CpuConfig.from_json(payload["config"])
     if payload.get("maxCycles") is not None:
         config.max_cycles = int(payload["maxCycles"])

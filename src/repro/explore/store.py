@@ -11,24 +11,40 @@ from __future__ import annotations
 
 import json
 import os
+import warnings
 from typing import IO, Iterable, List, Optional
 
 __all__ = ["ResultStore", "load_records"]
 
 
 def load_records(path: str) -> List[dict]:
-    """Read every record of a JSONL result file (blank lines skipped)."""
+    """Read every record of a JSONL result file (blank lines skipped).
+
+    A final line with **no trailing newline** that fails to parse is the
+    signature of an append interrupted mid-write (crash, SIGKILL, full
+    disk): it is dropped with a warning instead of poisoning every
+    complete record before it.  Corruption anywhere else — including a
+    newline-terminated bad last line — still raises ``ValueError``:
+    that is a damaged file, not an interrupted writer.
+    """
     records: List[dict] = []
     with open(path, "r", encoding="utf-8") as handle:
-        for line_number, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                records.append(json.loads(line))
-            except json.JSONDecodeError as exc:
-                raise ValueError(f"{path}:{line_number}: bad JSONL record: "
-                                 f"{exc}") from exc
+        lines = handle.readlines()
+    for line_number, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            if line_number == len(lines) and not raw.endswith("\n"):
+                warnings.warn(
+                    f"{path}:{line_number}: dropping truncated trailing "
+                    f"JSONL record (interrupted append?): {exc}",
+                    RuntimeWarning, stacklevel=2)
+                break
+            raise ValueError(f"{path}:{line_number}: bad JSONL record: "
+                             f"{exc}") from exc
     return records
 
 

@@ -67,7 +67,9 @@ class FleetBackend(RemoteBackend):
                  fail_threshold: int = 2,
                  poll_s: float = 0.25,
                  no_worker_grace_s: float = 5.0,
-                 client_factory=None):
+                 client_factory=None,
+                 artifact_store=None,
+                 artifact_origin: Optional[str] = None):
         members = registry.live()
         if not members:
             raise FleetError(
@@ -79,7 +81,12 @@ class FleetBackend(RemoteBackend):
                          inflight_per_worker=inflight_per_worker,
                          fail_threshold=fail_threshold,
                          client_factory=client_factory,
-                         cancel_jobs_on_workers=True)
+                         cancel_jobs_on_workers=True,
+                         artifact_store=artifact_store,
+                         artifact_origin=artifact_origin)
+        #: compile key -> worker URLs advertising it (heartbeat cache
+        #: stats); snapshotted once per run, used for peer fetch hints
+        self._peer_sources: dict = {}
         self.registry = registry
         self.poll_s = poll_s
         self.no_worker_grace_s = no_worker_grace_s
@@ -91,6 +98,41 @@ class FleetBackend(RemoteBackend):
         #: transport-failure exclusion: the process we failed against is
         #: gone, so its failure streak says nothing about its successor
         self._seen_generation = {m.url: m.generation for m in members}
+
+    # -- artifact data plane: peer fetch hints ---------------------------
+    def run(self, payloads, on_result=None, on_dispatch=None, cancel=None):
+        self._peer_sources = self._advertised_keys()
+        return super().run(payloads, on_result=on_result,
+                           on_dispatch=on_dispatch, cancel=cancel)
+
+    def _advertised_keys(self) -> dict:
+        """``compile key -> advertising worker URLs`` from the latest
+        heartbeat cache stats (see
+        :meth:`repro.explore.artifacts.ArtifactCache.heartbeat_stats`)."""
+        peers: dict = {}
+        for member in self.registry.live():
+            stats = member.cache_stats or {}
+            if not isinstance(stats, dict):
+                continue
+            keys = stats.get("keys") or {}
+            advertised = keys.get("compiled") if isinstance(keys, dict) \
+                else None
+            for key in advertised or ():
+                if isinstance(key, str):
+                    peers.setdefault(key, []).append(member.url)
+        return peers
+
+    def _fetch_from_for(self, ref: dict) -> list:
+        """Origin first, then up to two peer workers that already
+        advertise the compile key — when the frontend is the fetch
+        bottleneck, cold workers can pull from warmed siblings."""
+        urls = super()._fetch_from_for(ref)
+        key = ref.get("compileKey")
+        if isinstance(key, str):
+            for url in self._peer_sources.get(key, ())[:2]:
+                if url not in urls:
+                    urls.append(url)
+        return urls
 
     # -- membership reconciliation --------------------------------------
     def _poll_membership(self, state) -> None:
@@ -164,12 +206,19 @@ class FleetScheduler:
                  inflight_per_worker: int = 2,
                  fail_threshold: int = 2,
                  poll_s: float = 0.25,
-                 client_factory=None):
+                 client_factory=None,
+                 artifact_store=None):
         self.registry = registry
         self.inflight_per_worker = inflight_per_worker
         self.fail_threshold = fail_threshold
         self.poll_s = poll_s
         self.client_factory = client_factory
+        #: artifact data plane (protocol v8): the server's ArtifactCache
+        #: plus the origin URL workers fetch from.  Both must be set for
+        #: fleet dispatches to go out as references; the HTTP layer
+        #: fills ``origin`` once it knows its bound address.
+        self.artifact_store = artifact_store
+        self.origin: Optional[str] = None
 
     def available(self) -> int:
         """Live (schedulable) worker count right now."""
@@ -186,7 +235,9 @@ class FleetScheduler:
                             inflight_per_worker=self.inflight_per_worker,
                             fail_threshold=self.fail_threshold,
                             poll_s=self.poll_s,
-                            client_factory=self.client_factory)
+                            client_factory=self.client_factory,
+                            artifact_store=self.artifact_store,
+                            artifact_origin=self.origin)
 
     def describe(self) -> dict:
         return {"backend": "fleet",

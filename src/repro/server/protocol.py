@@ -51,7 +51,7 @@ from repro.compiler.driver import compile_c
 from repro.core.config import CpuConfig
 from repro.errors import (AsmSyntaxError, ConfigError, MemoryAccessError,
                           ReproError, SourceError)
-from repro.explore.artifacts import ArtifactCache
+from repro.explore.artifacts import ArtifactCache, ArtifactUnavailable
 from repro.explore.pool import CANCELLED_MESSAGE, KeyedThreadPool
 from repro.explore.report import MetricError
 from repro.explore.service import ExploreManager
@@ -90,8 +90,17 @@ from repro.sim.state import SNAPSHOT_SCHEMA_VERSION, RawJson
 #: record), trace-context propagation through ``/explore/submit`` job
 #: payloads and ``/worker/execute`` (whose replies gain ``spans``), the
 #: ``"trace"`` opt-out on submit, and ``lastHeartbeatAgeS`` on fleet
-#: health rows.  v1-v6 clients keep working.
-PROTOCOL_VERSION = 7
+#: health rows.  v8 adds the fleet artifact data plane:
+#: ``GET /artifact/<key>`` serves content-addressed compile/assembly
+#: artifacts out of the server's cache, ``POST /artifact/prefetch``
+#: warm-pushes a sweep's key-set to a worker at first dispatch,
+#: ``/worker/execute`` payloads may carry an ``artifactRef``
+#: (``{sourceKey, compileKey?, fetchFrom}``) instead of the inline
+#: program — unresolvable references answer ``kind:
+#: "artifactUnavailable"`` and the dispatcher re-sends the job inline —
+#: and heartbeat cache stats gain the advertised compiled-key set used
+#: for peer-worker fetch hints.  v1-v7 clients keep working.
+PROTOCOL_VERSION = 8
 
 #: executors session work is dispatched onto (per-session FIFO queues keep
 #: request order; the count bounds how many sessions simulate at once)
@@ -202,9 +211,19 @@ SCHEMA = {
         {"method": "GET", "path": "/fleet/status"},
         {"method": "POST", "path": "/worker/execute",
          "body": {"payload": "one planned sweep-job payload "
-                             "(see repro.explore.plan)",
+                             "(see repro.explore.plan); its 'program' "
+                             "may be an artifactRef instead of inline "
+                             "source",
                   "cancelId": "string? cooperative-cancel handle "
                               "(fire it via /worker/cancel)"}},
+        {"method": "GET", "path": "/artifact/<key>",
+         "notes": "content-addressed artifact fetch (data plane): "
+                  "compiled assembly, registered program specs, and "
+                  "compile recipes served by SHA-256 key; 404 for "
+                  "unknown keys (SimClient.artifact)"},
+        {"method": "POST", "path": "/artifact/prefetch",
+         "body": {"artifacts": "[{sourceKey, compileKey?, fetchFrom}] "
+                               "references to warm in the background"}},
         {"method": "POST", "path": "/worker/cancel",
          "body": {"cancelId": "id from the matching /worker/execute",
                   "reason": "string?"}},
@@ -231,7 +250,8 @@ _COUNTED_ROUTES = frozenset((
     "/explore/status", "/explore/result", "/explore/cancel",
     "/explore/events", "/explore/stream", "/fleet/register",
     "/fleet/status", "/worker/execute", "/worker/cancel",
-    "/worker/status", "/metrics", "/trace",
+    "/worker/status", "/metrics", "/trace", "/artifact",
+    "/artifact/prefetch",
 ))
 
 _REQUESTS = default_registry().counter(
@@ -285,10 +305,23 @@ class Api:
         #: the "fleet" sweep backend
         self.fleet = fleet if fleet is not None else WorkerRegistry()
         if self.explore.scheduler is None:
-            self.explore.scheduler = FleetScheduler(self.fleet)
+            self.explore.scheduler = FleetScheduler(
+                self.fleet, artifact_store=self.artifacts)
+        #: data-plane origin URL ("host:port") fleet dispatches tell
+        #: workers to fetch artifacts from; the HTTP server sets it to
+        #: its bound address, None keeps dispatches inline
+        self.dataplane_origin: Optional[str] = None
         #: in-flight cancellable jobs (/worker/execute <-> /worker/cancel)
         self.cancels = CancelRegistry()
         self.cancel_stride = cancel_stride
+
+    def set_dataplane_origin(self, origin: str) -> None:
+        """Announce this server's reachable ``host:port`` as the fleet's
+        artifact fetch origin (called by the HTTP layer once bound)."""
+        self.dataplane_origin = origin
+        scheduler = self.explore.scheduler
+        if scheduler is not None and hasattr(scheduler, "origin"):
+            scheduler.origin = origin
 
     def close(self) -> None:
         """Stop the worker pools (tests; server shutdown)."""
@@ -300,7 +333,12 @@ class Api:
         payload = payload or {}
         path = path.split("?", 1)[0]       # transports may pass the query
         route = (method.upper(), path.rstrip("/") or "/")
-        counted = "/trace" if route[1].startswith("/trace") else route[1]
+        counted = route[1]
+        if counted.startswith("/trace"):
+            counted = "/trace"
+        elif counted.startswith("/artifact") \
+                and counted != "/artifact/prefetch":
+            counted = "/artifact"
         _REQUESTS.inc(method=route[0],
                       route=counted if counted in _COUNTED_ROUTES
                       else "other")
@@ -313,6 +351,13 @@ class Api:
                            "GET /trace/<sweepId>", status=400)
         if route[0] == "GET" and route[1].startswith("/trace/"):
             return self.trace(route[1][len("/trace/"):])
+        if route == ("GET", "/artifact"):
+            raise ApiError("artifact requests name a key: "
+                           "GET /artifact/<key>", status=400)
+        if route == ("POST", "/artifact/prefetch"):
+            return self.artifact_prefetch(payload)
+        if route[0] == "GET" and route[1].startswith("/artifact/"):
+            return self.artifact(route[1][len("/artifact/"):])
         if route == ("GET", "/health"):
             return {"status": "ok", "sessions": len(self.sessions),
                     "fleet": self.fleet.snapshot()}
@@ -724,17 +769,41 @@ class Api:
         """Execute one planned sweep job and return its outcome.
 
         The unit the :class:`repro.explore.backend.RemoteBackend` fans
-        out: the body carries one self-contained job payload (program
-        source + resolved architecture JSON, as produced by
-        ``repro.explore.plan``), the reply mirrors a pool
+        out.  The body's ``payload`` is one self-contained job object as
+        produced by ``repro.explore.plan``:
+
+        ========================  =========================================
+        field                     meaning
+        ========================  =========================================
+        ``program``               inline program spec (``source`` assembly
+                                  or ``c`` + ``optimizeLevel``, plus
+                                  ``entry``/``memory``) — **or**, since
+                                  protocol v8, ``{"name", "artifactRef":
+                                  {sourceKey, compileKey?, optimizeLevel?,
+                                  fetchFrom}}`` referencing artifacts by
+                                  content key instead of carrying source
+        ``config``                resolved architecture JSON
+        ``collect``               ``"full"`` embeds the statistics page
+        ``maxCycles``             per-job cycle budget override
+        ``optimizeLevel``         job-level C opt-level override (axes)
+        ``entry``                 job-level entry-point override (axes)
+        ``trace``                 trace context (``traceId``/``parentId``)
+        ========================  =========================================
+
+        The reply mirrors a pool
         :class:`repro.explore.pool.JobResult` — ``ok`` with the
         deterministic record ``value``, or ``ok: false`` with the same
         ``TypeName: message`` error string every other backend produces,
-        so failure records stay byte-identical across backends.  Jobs run
-        on the connection thread (the dispatching backend bounds its
+        so failure records stay byte-identical across backends.  An
+        ``artifactRef`` this worker cannot resolve (fetch failed, no
+        local tier has it) answers ``kind: "artifactUnavailable"``
+        instead of an error — the dispatcher re-sends the job with the
+        program inline, so data-plane failures never fail a job.  Jobs
+        run on the connection thread (the dispatching backend bounds its
         in-flight window client-side); per-job setup hits this server's
         in-memory artifact cache, so repeated-program grids compile and
-        assemble each program once per worker.
+        assemble each program once per worker — and with the data plane,
+        once per *fleet* (cold workers fetch by hash before compiling).
 
         A body with a ``cancelId`` makes the job cooperatively
         cancellable: the id is registered while the job runs, and a
@@ -774,6 +843,12 @@ class Api:
             out["ok"] = False
             out["kind"] = kind = "cancelled"
             out["error"] = CANCELLED_MESSAGE
+        except ArtifactUnavailable as exc:
+            # data-plane degradation, not a job failure: the dispatcher
+            # re-sends the job with the program inline (never recorded)
+            out["ok"] = False
+            out["kind"] = kind = "artifactUnavailable"
+            out["error"] = str(exc)
         except Exception as exc:  # noqa: BLE001 - job isolation, as the
             # serial loop / pool worker: report, never die
             out["ok"] = False
@@ -807,6 +882,42 @@ class Api:
             cancel_id, reason=str(payload.get("reason", "cancelled")))
         return {"success": True, "protocolVersion": PROTOCOL_VERSION,
                 "cancelled": hit}
+
+    # -- artifact data plane (protocol v8) -------------------------------
+    def artifact(self, key: str) -> dict:
+        """``GET /artifact/<key>``: serve one content-addressed artifact.
+
+        Answers out of this server's :class:`ArtifactCache` — compiled
+        assembly from the memory/disk tiers, program specs and compile
+        recipes registered at dispatch time (a recipe key compiles on
+        demand, single-flighted).  404 for keys no tier knows; workers
+        negative-cache that answer, so a missing key costs each worker
+        one fetch round, not one per job."""
+        if not key:
+            raise ApiError("artifact requests name a key: "
+                           "GET /artifact/<key>", status=400)
+        artifact = self.artifacts.serve_artifact(key)
+        if artifact is None:
+            raise ApiError(f"unknown artifact '{key}'", status=404)
+        return {"success": True, "protocolVersion": PROTOCOL_VERSION,
+                "key": key, "artifact": artifact}
+
+    def artifact_prefetch(self, payload: dict) -> dict:
+        """``POST /artifact/prefetch``: warm-push a sweep's key-set.
+
+        The dispatching backend announces every artifact reference of a
+        sweep at first dispatch; this worker starts fetching them in the
+        background so the transfers overlap the first jobs' simulation
+        time.  Best-effort by design — the reply's ``accepted`` count is
+        informational, and ``0`` (e.g. ``REPRO_ARTIFACT_FETCH=0``) just
+        means jobs fall back to fetch-on-miss or local compile."""
+        refs = payload.get("artifacts")
+        if not isinstance(refs, list):
+            raise ApiError("'artifacts' (list of artifact references) "
+                           "is required")
+        accepted = self.artifacts.prefetch(refs)
+        return {"success": True, "protocolVersion": PROTOCOL_VERSION,
+                "accepted": accepted}
 
     # -- telemetry plane (protocol v7) ----------------------------------
     def _set_gauges(self) -> None:

@@ -1,0 +1,363 @@
+"""Artifact data plane (protocol v8): dispatch-time references, the
+fetch-by-hash tier, single-flight miss storms, disk-GC races, and the
+degrade-to-inline guarantee that fetch failures never fail a job."""
+
+import json
+import socket
+import threading
+import types
+
+import pytest
+
+from repro.explore.artifacts import (ARTIFACT_FETCH_ENV, ArtifactCache,
+                                     ArtifactUnavailable,
+                                     RemoteArtifactSource, _digest,
+                                     fetch_enabled)
+from repro.explore.backend import RemoteBackend
+from repro.explore.plan import plan_jobs
+from repro.explore.runner import execute_payload
+from repro.explore.spec import SweepSpec
+from repro.server.httpd import SimServer
+
+SUM_LOOP = """
+    li a0, 0
+    li t0, 1
+    li t1, 25
+loop:
+    add a0, a0, t0
+    addi t0, t0, 1
+    ble t0, t1, loop
+    ebreak
+"""
+
+C_KERNEL = ("int main(void) { int s = 0; "
+            "for (int i = 1; i <= 9; i++) s += i; return s; }")
+
+BAD_C = "int main(void) { return undefined_symbol; }"
+
+
+def c_grid_spec(points=3):
+    return SweepSpec.from_json({
+        "name": "dataplane-grid",
+        "programs": [{"name": "sum", "c": C_KERNEL, "entry": "main"}],
+        "axes": [{"name": "width", "path": "config.buffers.fetchWidth",
+                  "values": [1, 2, 4][:points]}],
+    })
+
+
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def counting_compile(monkeypatch):
+    """Wrap the real compiler with a call counter (thread-safe)."""
+    import repro.compiler.driver as driver
+    real = driver.compile_c
+    lock = threading.Lock()
+    calls = []
+
+    def counted(source, opt_level=1, **kw):
+        with lock:
+            calls.append((source, opt_level))
+        return real(source, opt_level, **kw)
+
+    monkeypatch.setattr(driver, "compile_c", counted)
+    return calls
+
+
+class TestSingleFlight:
+    def test_miss_storm_compiles_exactly_once(self, monkeypatch):
+        """N threads racing one cold key must cost one compile: the
+        first caller builds, the rest wait on the flight and take the
+        memory tier (satellite of the fetch-by-hash plane — without
+        this, a prefetch announcement fanning into worker threads
+        would stampede the compiler)."""
+        calls = counting_compile(monkeypatch)
+        cache = ArtifactCache()
+        results = [None] * 8
+        barrier = threading.Barrier(len(results))
+
+        def storm(slot):
+            barrier.wait()
+            results[slot] = cache.compiled_assembly(C_KERNEL, 1)
+
+        threads = [threading.Thread(target=storm, args=(slot,))
+                   for slot in range(len(results))]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(set(results)) == 1 and results[0]
+        assert len(calls) == 1
+        stats = cache.stats()["compile"]
+        assert stats["misses"] == 1
+        assert stats["hits"] == len(results) - 1
+
+    def test_waiter_takes_over_after_builder_failure(self):
+        """A failing build is signalled to waiters, who re-check the
+        tiers and retry themselves — failures are never cached, so
+        every storm participant sees the compile error."""
+        from repro.explore.runner import JobError
+        cache = ArtifactCache()
+        errors = []
+        barrier = threading.Barrier(4)
+
+        def storm():
+            barrier.wait()
+            try:
+                cache.compiled_assembly(BAD_C, 1)
+            except JobError as exc:
+                errors.append(str(exc))
+
+        threads = [threading.Thread(target=storm) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(errors) == 4
+        assert len(set(errors)) == 1          # identical message each time
+        assert cache.stats()["compile"]["entries"] == 0
+
+
+class TestDiskGcRace:
+    def test_gc_racing_reads_never_serves_partial_artifacts(
+            self, tmp_path, monkeypatch):
+        """Aggressive eviction concurrent with cold reads: every read
+        returns the full artifact bytes or degrades to a (identical)
+        rebuild — never a torn file.  Writes are atomic (temp +
+        os.replace) and corrupt/missing entries read as misses."""
+        import repro.compiler.driver as driver
+        fake = types.SimpleNamespace
+        monkeypatch.setattr(
+            driver, "compile_c",
+            lambda source, opt_level=1, **kw: fake(
+                success=True, assembly=f"# asm for {hash(source)}\n",
+                errors=[]))
+        expected = f"# asm for {hash('hot')}\n"
+        stop = threading.Event()
+        mismatches = []
+
+        def reader():
+            while not stop.is_set():
+                cache = ArtifactCache(directory=str(tmp_path),
+                                      max_disk_bytes=None)
+                if cache.compiled_assembly("hot", 0) != expected:
+                    mismatches.append("torn read")
+                    return
+
+        def churn():
+            evictor = ArtifactCache(directory=str(tmp_path),
+                                    max_disk_bytes=1)
+            index = 0
+            while not stop.is_set():
+                evictor.compiled_assembly(f"cold-{index}", 0)
+                evictor._disk_gc_locked()
+                index += 1
+
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        threads.append(threading.Thread(target=churn))
+        for thread in threads:
+            thread.start()
+        threading.Event().wait(0.5)
+        stop.set()
+        for thread in threads:
+            thread.join()
+        assert mismatches == []
+
+
+class TestRemoteArtifactSource:
+    def test_unreachable_source_is_error_not_negative_cached(self):
+        source = RemoteArtifactSource(timeout_s=0.2)
+        dead = [f"127.0.0.1:{free_port()}"]
+        assert source.fetch("k" * 64, dead) is None
+        assert source.fetch("k" * 64, dead) is None
+        stats = source.stats()
+        # both attempts dialled: transport errors must not poison the
+        # key — the artifact may exist, the source was just unreachable
+        assert stats["errors"] == 2
+        assert stats["negativeHits"] == 0
+
+    def test_clean_404_is_negative_cached_until_forgotten(self):
+        server = SimServer(("127.0.0.1", 0))
+        server.start_background()
+        try:
+            origin = [f"127.0.0.1:{server.port}"]
+            source = RemoteArtifactSource(timeout_s=2.0)
+            key = "a" * 64
+            assert source.fetch(key, origin) is None
+            assert source.fetch(key, origin) is None   # served negatively
+            stats = source.stats()
+            assert stats["misses"] == 1
+            assert stats["negativeHits"] == 1
+            source.forget_negative([key])
+            assert source.fetch(key, origin) is None   # dials again
+            assert source.stats()["misses"] == 2
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_malformed_source_url_is_a_transport_error(self):
+        source = RemoteArtifactSource()
+        assert source.fetch("b" * 64, ["not-a-host-port"]) is None
+        assert source.stats()["errors"] == 1
+
+
+class TestDataPlaneRegistry:
+    def test_register_and_serve_source_spec(self):
+        cache = ArtifactCache()
+        spec = {"name": "sum", "source": SUM_LOOP}
+        ref = cache.register_program(spec, 1)
+        assert "compileKey" not in ref          # nothing to compile
+        served = cache.serve_artifact(ref["sourceKey"])
+        assert served == {"kind": "source", "program": spec}
+
+    def test_c_recipe_compiles_on_demand(self):
+        cache = ArtifactCache()
+        ref = cache.register_program({"name": "sum", "c": C_KERNEL}, 1)
+        assert ref["compileKey"] == _digest("compile", C_KERNEL, 1)
+        assert ref["optimizeLevel"] == 1
+        served = cache.serve_artifact(ref["compileKey"])
+        assert served["kind"] == "assembly"
+        # and byte-identical to a direct compile through the cache
+        assert served["assembly"] == cache.compiled_assembly(C_KERNEL, 1)
+        assert cache.stats()["compile"]["misses"] == 1
+
+    def test_unknown_key_serves_none(self):
+        assert ArtifactCache().serve_artifact("f" * 64) is None
+
+    def test_failing_recipe_served_as_compile_error_artifact(self):
+        cache = ArtifactCache()
+        ref = cache.register_program({"name": "bad", "c": BAD_C}, 1)
+        served = cache.serve_artifact(ref["compileKey"])
+        assert served["kind"] == "compileError"
+        assert served["error"].startswith("C compilation failed")
+
+    def test_resolve_source_local_then_unavailable(self):
+        frontend = ArtifactCache()
+        spec = {"name": "sum", "c": C_KERNEL}
+        ref = frontend.register_program(spec, 1)
+        assert frontend.resolve_source(ref) == spec
+        cold = ArtifactCache()
+        with pytest.raises(ArtifactUnavailable, match="not available"):
+            cold.resolve_source({"sourceKey": ref["sourceKey"],
+                                 "fetchFrom": []})
+        with pytest.raises(ArtifactUnavailable, match="no sourceKey"):
+            cold.resolve_source({})
+
+    def test_heartbeat_stats_advertises_compiled_keys(self):
+        cache = ArtifactCache()
+        cache.compiled_assembly(C_KERNEL, 1)
+        data = cache.heartbeat_stats()
+        assert data["keys"]["compiled"] == [_digest("compile", C_KERNEL, 1)]
+        assert data["compile"]["misses"] == 1    # plain stats ride along
+
+    def test_kill_switch_disables_every_fetch_path(self, monkeypatch):
+        monkeypatch.setenv(ARTIFACT_FETCH_ENV, "0")
+        assert not fetch_enabled()
+        cache = ArtifactCache()
+        ref = {"sourceKey": "c" * 64,
+               "fetchFrom": [f"127.0.0.1:{free_port()}"]}
+        assert cache.prefetch([ref]) == 0
+        with pytest.raises(ArtifactUnavailable):
+            cache.resolve_source(ref)
+        # no fetch was attempted: the switch cuts before the dial
+        assert cache.remote.stats() == {"hits": 0, "misses": 0,
+                                        "errors": 0, "negativeHits": 0}
+        monkeypatch.setenv(ARTIFACT_FETCH_ENV, "1")
+        assert fetch_enabled()
+
+
+class TestWireDispatch:
+    def origin(self):
+        return "127.0.0.1:9"
+
+    def test_prepare_rewrites_programs_to_references(self):
+        store = ArtifactCache()
+        backend = RemoteBackend(["127.0.0.1:1"], artifact_store=store,
+                                artifact_origin=self.origin())
+        payloads = [job.payload for job in plan_jobs(c_grid_spec())]
+        wire, refs = backend._prepare_dataplane(payloads)
+        assert len(wire) == len(payloads)
+        for original, rewritten in zip(payloads, wire):
+            program = rewritten["program"]
+            assert program["name"] == "sum"
+            ref = program["artifactRef"]
+            assert ref["fetchFrom"] == [self.origin()]
+            assert "c" not in program          # source left off the wire
+            assert original["program"]["c"] == C_KERNEL   # input untouched
+        # one shared program -> one deduplicated prefetch reference
+        assert len(refs) == 1
+        assert refs[0]["compileKey"]
+
+    def test_prepare_is_passthrough_without_store_or_with_kill_switch(
+            self, monkeypatch):
+        payloads = [job.payload for job in plan_jobs(c_grid_spec())]
+        plain = RemoteBackend(["127.0.0.1:1"])
+        assert plain._prepare_dataplane(payloads) == (payloads, [])
+        monkeypatch.setenv(ARTIFACT_FETCH_ENV, "off")
+        armed = RemoteBackend(["127.0.0.1:1"],
+                              artifact_store=ArtifactCache(),
+                              artifact_origin=self.origin())
+        assert armed._prepare_dataplane(payloads) == (payloads, [])
+
+    def test_runner_resolves_reference_to_identical_record(self):
+        """A worker holding the registered spec executes the reference
+        payload to the exact bytes the inline payload produces."""
+        store = ArtifactCache()
+        backend = RemoteBackend(["127.0.0.1:1"], artifact_store=store,
+                                artifact_origin=self.origin())
+        payloads = [job.payload for job in plan_jobs(c_grid_spec())]
+        wire, _refs = backend._prepare_dataplane(payloads)
+        for original, rewritten in zip(payloads, wire):
+            inline = execute_payload(original, cache=ArtifactCache())
+            via_ref = execute_payload(rewritten, cache=store)
+            assert json.dumps(via_ref, sort_keys=True) \
+                == json.dumps(inline, sort_keys=True)
+
+    def test_artifact_unavailable_redispatches_inline(self):
+        """A worker that cannot resolve a reference answers
+        ``artifactUnavailable``; the backend re-sends the job inline
+        (attempt refunded) and the sweep completes with records
+        byte-identical to a serial run."""
+        store = ArtifactCache()
+        seen = {"reference": 0, "inline": 0, "prefetch": 0}
+        lock = threading.Lock()
+
+        class FakeClient:
+            def worker_execute(self, body, cancel_id=None):
+                program = body.get("program") or {}
+                if "artifactRef" in program:
+                    with lock:
+                        seen["reference"] += 1
+                    return {"success": True, "ok": False,
+                            "kind": "artifactUnavailable",
+                            "error": "no fetch source reachable"}
+                with lock:
+                    seen["inline"] += 1
+                value = execute_payload(body, cache=ArtifactCache())
+                return {"success": True, "ok": True, "value": value}
+
+            def artifact_prefetch(self, artifacts):
+                with lock:
+                    seen["prefetch"] += 1
+                return {"accepted": len(artifacts)}
+
+            def close(self):
+                pass
+
+        backend = RemoteBackend(["127.0.0.1:1"],
+                                client_factory=lambda worker: FakeClient(),
+                                artifact_store=store,
+                                artifact_origin=self.origin())
+        payloads = [job.payload for job in plan_jobs(c_grid_spec())]
+        results = backend.run(payloads)
+        assert [r.kind for r in results] == ["ok"] * len(payloads)
+        baseline = [execute_payload(p, cache=ArtifactCache())
+                    for p in payloads]
+        assert [json.dumps(r.value, sort_keys=True) for r in results] \
+            == [json.dumps(v, sort_keys=True) for v in baseline]
+        assert seen["reference"] == len(payloads)
+        assert seen["inline"] == len(payloads)
+        assert seen["prefetch"] == 1           # once per worker per run

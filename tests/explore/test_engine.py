@@ -151,6 +151,33 @@ class TestStore:
         with pytest.raises(ValueError, match="bad JSONL record"):
             load_records(path)
 
+    def test_truncated_trailing_line_is_dropped_with_warning(self,
+                                                             tmp_path):
+        """An append interrupted mid-write (no trailing newline) must
+        not poison the complete records before it; corruption anywhere
+        else still raises."""
+        path = str(tmp_path / "t.jsonl")
+        with ResultStore(path) as store:
+            store.append({"a": 1})
+            store.append({"b": 2})
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"c": 3, "unfin')      # crash mid-append
+        with pytest.warns(RuntimeWarning, match="truncated trailing"):
+            assert load_records(path) == [{"a": 1}, {"b": 2}]
+        # the same bytes *with* a newline are a damaged file, not an
+        # interrupted writer: the hard error stays
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("\n")
+        with pytest.raises(ValueError, match="bad JSONL record"):
+            load_records(path)
+
+    def test_mid_file_corruption_still_raises(self, tmp_path):
+        path = str(tmp_path / "m.jsonl")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write('{"a": 1}\n{bad\n{"b": 2}')
+        with pytest.raises(ValueError, match=r"m\.jsonl:2"):
+            load_records(path)
+
 
 class TestReport:
     def test_ranking_and_best(self, serial_run):

@@ -305,3 +305,54 @@ class TestFleetCancellation:
         # 50M spin cycles would take minutes; cancellation must stop the
         # in-flight job within (stride + propagation) — seconds at most
         assert elapsed < 30.0
+
+
+class TestPeerFetchHints:
+    """Artifact data plane (protocol v8): heartbeat key-sets become
+    peer ``fetchFrom`` hints, so a cold worker can pull a compiled
+    artifact from a warmed sibling instead of the frontend."""
+
+    def registry_with_advertisers(self):
+        registry = WorkerRegistry()
+        registry.register("127.0.0.1:7101",
+                          cache_stats={"keys": {"compiled": ["k1", "k2"]}})
+        registry.register("127.0.0.1:7102",
+                          cache_stats={"keys": {"compiled": ["k1"]}})
+        registry.register("127.0.0.1:7103",
+                          cache_stats={"keys": {"compiled": ["k1"]}})
+        registry.register("127.0.0.1:7104", cache_stats={"hits": 3})
+        return registry
+
+    def test_advertised_keys_index_by_compile_key(self):
+        backend = FleetBackend(self.registry_with_advertisers(),
+                               artifact_origin="127.0.0.1:7000")
+        peers = backend._advertised_keys()
+        assert set(peers["k1"]) == {"127.0.0.1:7101", "127.0.0.1:7102",
+                                    "127.0.0.1:7103"}
+        assert peers["k2"] == ["127.0.0.1:7101"]
+        # the stats-only worker (old heartbeat shape) is simply absent
+
+    def test_fetch_from_is_origin_then_at_most_two_peers(self):
+        backend = FleetBackend(self.registry_with_advertisers(),
+                               artifact_origin="127.0.0.1:7000")
+        backend._peer_sources = backend._advertised_keys()
+        urls = backend._fetch_from_for({"sourceKey": "s",
+                                        "compileKey": "k1"})
+        assert urls[0] == "127.0.0.1:7000"      # origin always first
+        assert len(urls) == 3                   # capped at two peer hints
+        assert set(urls[1:]) < {"127.0.0.1:7101", "127.0.0.1:7102",
+                                "127.0.0.1:7103"}
+        # a key nobody advertises falls back to the origin alone
+        assert backend._fetch_from_for({"sourceKey": "s"}) \
+            == ["127.0.0.1:7000"]
+
+    def test_scheduler_threads_store_and_origin_into_backends(self):
+        from repro.explore.artifacts import ArtifactCache
+        registry = WorkerRegistry()
+        registry.register("127.0.0.1:7105")
+        store = ArtifactCache()
+        scheduler = FleetScheduler(registry, artifact_store=store)
+        scheduler.origin = "127.0.0.1:7000"
+        backend = scheduler.build_backend()
+        assert backend.artifact_store is store
+        assert backend.artifact_origin == "127.0.0.1:7000"
