@@ -213,6 +213,51 @@ def run_server_fleet() -> None:
             process.wait(timeout=10)
 
 
+# ---------------------------------------------------------------------------
+# 6. the cross-run result warehouse — run me with `--warehouse` to feed
+#    the run above (plus a synthetic "nightly" rerun with one planted
+#    slowdown) into repro.explore.ResultWarehouse: bulk import, a pinned
+#    baseline, the regression sentinel, and a cross-run Pareto frontier.
+#    The CLI equivalent against the same store file:
+#        repro-sim warehouse ingest records.jsonl --store wh.jsonl
+#        repro-sim warehouse baseline <sweep-id> --store wh.jsonl
+#        repro-sim warehouse diff --store wh.jsonl     # exit 1 on flags
+# ---------------------------------------------------------------------------
+def run_warehouse_tour() -> None:
+    import copy
+
+    from repro.explore import ResultWarehouse
+    from repro.viz import render_pareto_frontier, render_regression_report
+
+    store_path = os.path.join(os.path.dirname(records_path),
+                              "warehouse.jsonl")
+    with ResultWarehouse(store_path) as warehouse:
+        ack = warehouse.import_file(records_path, name="width-x-cache")
+        warehouse.set_baseline(ack["sweepId"])
+        print(f"\nimported {ack['ingested']} records as baseline sweep "
+              f"{ack['sweepId']} (content-hash id: re-importing the "
+              f"same file is a no-op)")
+
+        nightly = copy.deepcopy(run.records)
+        nightly[0]["stats"]["cycles"] = \
+            int(nightly[0]["stats"]["cycles"] * 1.25)
+        ack = warehouse.ingest(nightly, "nightly", name="nightly")
+        print(f"nightly rerun ingested: {ack['regressions']} config(s) "
+              f"flagged by the sentinel at ingest time\n")
+        print(render_regression_report(warehouse.regressions()), end="")
+        print()
+        print(render_pareto_frontier(
+            warehouse.pareto(x="cycles", y="energy")), end="")
+    # the store file (including the baseline pin) survives reopening:
+    with ResultWarehouse(store_path) as warehouse:
+        assert warehouse.baseline() is not None
+        print(f"\nwarehouse persisted to {store_path} "
+              f"({len(warehouse)} rows, baseline pin included)")
+
+
+if "--warehouse" in sys.argv[1:]:
+    run_warehouse_tour()
+
 if "--backend" in sys.argv[1:]:
     backend_name = sys.argv[sys.argv.index("--backend") + 1:][:1]
     if backend_name == ["remote"]:

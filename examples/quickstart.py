@@ -372,3 +372,38 @@ top = max(report["stages"], key=lambda stage: stage["share"])
 print(f"sampled pipeline profile (stride {report['stride']}): "
       f"hottest stage '{top['stage']}' at {top['share']:.0%} "
       f"of sampled time")
+
+# ---------------------------------------------------------------------------
+# 11. the result warehouse (cross-run observability, protocol v9)
+#
+# One sweep answers "which config wins today"; the warehouse answers the
+# longitudinal questions: how does this week's frontier compare with
+# last week's, and which config regressed between two runs.  A server's
+# warehouse ingests every finished sweep automatically (query it over
+# GET /warehouse/query|pareto|regressions, pin a baseline with
+# POST /warehouse/baseline); `repro-sim warehouse` is the same console
+# against a local append-only store file.  Everything it returns is
+# canonically ordered, so query/frontier/diff payloads are
+# byte-deterministic and independent of ingest order.
+# ---------------------------------------------------------------------------
+import copy
+
+from repro.explore import ResultWarehouse
+from repro.viz import render_pareto_frontier, render_regression_report
+
+warehouse = ResultWarehouse()           # ResultWarehouse("wh.jsonl") persists
+warehouse.ingest(sweep.records, "week0", name="fetch-width")
+warehouse.set_baseline("week0")
+
+# a later run of the same grid where one config got slower (say a
+# scheduling change landed): same labels, one planted regression
+nightly = copy.deepcopy(sweep.records)
+nightly[0]["stats"]["cycles"] = int(nightly[0]["stats"]["cycles"] * 1.3)
+ack = warehouse.ingest(nightly, "week1", name="fetch-width-nightly")
+print("\n--- regression sentinel (flagged at ingest: "
+      f"{ack['regressions']} config(s)) ---")
+print(render_regression_report(warehouse.regressions()), end="")
+
+print("\n--- cross-run Pareto frontier, cycles vs energy ---")
+print(render_pareto_frontier(warehouse.pareto(x="cycles", y="energy")),
+      end="")

@@ -37,6 +37,7 @@ LOCK_MODULES = (
     "src/repro/explore/service.py",
     "src/repro/explore/artifacts.py",
     "src/repro/explore/backend.py",
+    "src/repro/explore/warehouse.py",
     "src/repro/fleet/registry.py",
     "src/repro/fleet/scheduler.py",
     "src/repro/fleet/cancel.py",

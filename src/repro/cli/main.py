@@ -28,6 +28,14 @@ best-config ranking, pairwise speedups) prints as text or JSON.
 expected traffic is ``/worker/execute``); with ``--register
 FRONTEND:PORT`` it heartbeats into that frontend's fleet registry.
 
+``repro-sim warehouse`` is the cross-run result warehouse console
+(:mod:`repro.explore.warehouse`): ``ingest`` historical run JSONL files
+into a local ``--store`` file, then ``query`` / ``pareto`` / ``diff`` /
+``baseline`` against it — or against a running server's warehouse with
+``--host``, where every finished sweep is ingested automatically and
+``repro-sim explore --follow`` warns when the just-finished sweep
+regressed against the pinned baseline.
+
 ``repro-sim lint`` runs repro-lint (:mod:`repro.analyze`), the static
 invariant checker: state-contract pairing and dirty-version bumps,
 lock discipline in the threaded modules, determinism of the record
@@ -56,8 +64,10 @@ def build_parser() -> argparse.ArgumentParser:
         epilog="Design-space sweeps: 'repro-sim explore SPEC.json --help' "
                "runs grids/samples of configurations on a worker pool or "
                "a remote fleet; 'repro-sim worker --help' serves one "
-               "fleet worker; 'repro-sim lint --help' runs the static "
-               "invariant checker over src/repro.")
+               "fleet worker; 'repro-sim warehouse --help' queries the "
+               "cross-run result warehouse (Pareto frontiers, baseline "
+               "regression diffs); 'repro-sim lint --help' runs the "
+               "static invariant checker over src/repro.")
     parser.add_argument("program",
                         help="assembly source file (or C file with --compile)")
     parser.add_argument("architecture",
@@ -230,6 +240,29 @@ def _render_event(event: dict) -> str:
     return f"  {kind} {detail}" if detail else f"  {kind}"
 
 
+def _warn_regressions(client, sweep_id: str) -> None:
+    """One-line warning after ``--follow`` when the finished sweep
+    regressed against the warehouse baseline (the server-side sentinel,
+    reused as a pure query here).  Silent by design when no baseline is
+    pinned (409) or the diff fails — the warning is advisory, never a
+    reason to fail the sweep."""
+    from repro.server.protocol import ApiError
+    try:
+        diff = client.warehouse_regressions(sweep=sweep_id)
+    except (ApiError, OSError):
+        return
+    flags = [flag for entry in diff.get("sweeps", [])
+             for flag in entry.get("flags", [])]
+    if not flags:
+        return
+    worst = max(flags, key=lambda flag: abs(flag.get("deltaPct", 0)))
+    print(f"WARNING: sweep {sweep_id} regressed vs baseline "
+          f"{diff.get('baseline')}: {len(flags)} metric delta(s) beyond "
+          f"{diff.get('tolerance', 0) * 100:g}% (worst: {worst['label']} "
+          f"{worst['metric']} {worst.get('deltaPct', 0):+g}%) — "
+          f"see 'repro-sim warehouse diff'", file=sys.stderr)
+
+
 def _explore_remote(args, spec_data: dict, out) -> int:
     import time
 
@@ -266,6 +299,8 @@ def _explore_remote(args, spec_data: dict, out) -> int:
                 finished.append(event)
                 print(_follow_summary(finished, total), file=sys.stderr)
         status = client.explore_status(sweep_id)
+        if status["state"] == "done":
+            _warn_regressions(client, sweep_id)
     else:
         while True:
             status = client.explore_status(sweep_id)
@@ -403,6 +438,193 @@ def explore_main(argv: Optional[List[str]] = None) -> int:
     return 0 if not run.failures else 1
 
 
+def build_warehouse_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sim warehouse",
+        description="Cross-run result warehouse console: ingest run "
+                    "JSONL files, query records, extract Pareto "
+                    "frontiers, pin a baseline, and diff sweeps "
+                    "against it (repro.explore.warehouse)",
+        epilog="Local mode (--store FILE.jsonl) keeps the warehouse in "
+               "one append-only file that survives invocations "
+               "(including the baseline pin); remote mode (--host) "
+               "talks to a running repro-server, whose warehouse "
+               "ingests every finished sweep automatically.")
+    parser.add_argument("action",
+                        choices=("ingest", "query", "pareto", "diff",
+                                 "baseline"),
+                        help="ingest RUN.jsonl...  |  query  |  pareto  "
+                             "|  diff (exit 1 when regressions are "
+                             "flagged)  |  baseline SWEEP_ID")
+    parser.add_argument("args", nargs="*",
+                        help="run JSONL files for 'ingest'; the sweep "
+                             "id for 'baseline'")
+    parser.add_argument("--store", default=None, metavar="FILE.jsonl",
+                        help="local warehouse file (created on first "
+                             "use; mutually exclusive with --host)")
+    parser.add_argument("--host", default=None,
+                        help="query a running repro-server's warehouse")
+    parser.add_argument("--port", type=int, default=8045)
+    parser.add_argument("--sweep", default=None,
+                        help="filter to one sweep id or name (diff: the "
+                             "sweep to compare against the baseline)")
+    parser.add_argument("--program", default=None,
+                        help="filter to one program name")
+    parser.add_argument("--axis", action="append", default=None,
+                        metavar="AXIS=VALUE", dest="axis_filters",
+                        help="filter by an axis point value (repeatable)")
+    parser.add_argument("-x", default="cycles", dest="x_metric",
+                        metavar="METRIC", help="pareto: x metric "
+                        "(default cycles)")
+    parser.add_argument("-y", default="energy", dest="y_metric",
+                        metavar="METRIC", help="pareto: y metric "
+                        "(default energy)")
+    parser.add_argument("--metrics", default=None,
+                        help="diff: comma-separated metrics "
+                             "(default cycles,energy,area)")
+    parser.add_argument("--tolerance", type=float, default=None,
+                        help="diff: relative worse-direction delta "
+                             "beyond which a config is flagged "
+                             "(default 0.05)")
+    parser.add_argument("--name", default=None,
+                        help="ingest: sweep display name "
+                             "(default: the file stem)")
+    parser.add_argument("--sweep-id", default=None, dest="sweep_id",
+                        help="ingest: explicit sweep id (default: a "
+                             "content hash of the records)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text")
+    return parser
+
+
+def _warehouse_axes(axis_filters) -> Optional[dict]:
+    if not axis_filters:
+        return None
+    axes = {}
+    for item in axis_filters:
+        name, sep, value = item.partition("=")
+        if not sep or not name:
+            raise ValueError(f"--axis takes AXIS=VALUE, got {item!r}")
+        axes[name] = value
+    return axes
+
+
+def warehouse_main(argv: Optional[List[str]] = None) -> int:
+    """``repro-sim warehouse`` — the cross-run result warehouse console."""
+    args = build_warehouse_parser().parse_args(argv)
+    out = sys.stdout
+    if (args.store is None) == (args.host is None):
+        print("error: pick exactly one warehouse: --store FILE.jsonl "
+              "(local) or --host HOST (a running repro-server)",
+              file=sys.stderr)
+        return 2
+    try:
+        axes = _warehouse_axes(args.axis_filters)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    metrics = None
+    if args.metrics is not None:
+        metrics = [m.strip() for m in args.metrics.split(",") if m.strip()]
+
+    from repro.server.protocol import ApiError
+    from repro.viz.warehouse import (render_pareto_frontier,
+                                     render_regression_report,
+                                     render_warehouse_table)
+
+    local = client = None
+    if args.store is not None:
+        from repro.explore.warehouse import ResultWarehouse
+        local = ResultWarehouse(args.store)
+    else:
+        from repro.server.client import SimClient
+        client = SimClient(args.host, args.port)
+
+    try:
+        if args.action == "ingest":
+            if client is not None:
+                print("error: 'ingest' is local-only (a server's "
+                      "warehouse ingests every finished sweep "
+                      "automatically)", file=sys.stderr)
+                return 2
+            if not args.args:
+                print("error: 'ingest' needs at least one run JSONL "
+                      "file (e.g. from 'repro-sim explore --out')",
+                      file=sys.stderr)
+                return 2
+            import time as _time
+            for path in args.args:
+                ack = local.import_file(path, sweep_id=args.sweep_id,
+                                        name=args.name,
+                                        ingested_at=_time.time())
+                print(f"ingested {path} as sweep {ack['sweepId']}: "
+                      f"{ack['ingested']} new / {ack['skipped']} known "
+                      f"record(s)"
+                      + (f", {ack['regressions']} regression(s) vs "
+                         f"baseline" if ack["regressions"] else ""),
+                      file=out)
+            return 0
+        if args.action == "baseline":
+            if len(args.args) != 1:
+                print("error: 'baseline' takes exactly one sweep id",
+                      file=sys.stderr)
+                return 2
+            ack = client.warehouse_baseline(args.args[0]) \
+                if client is not None else local.set_baseline(args.args[0])
+            print(f"baseline pinned: sweep {ack['baseline']} "
+                  f"({ack['name']}, {ack['records']} record(s))", file=out)
+            return 0
+        if args.action == "query":
+            result = client.warehouse_query(
+                sweep=args.sweep, program=args.program, axes=axes,
+                metrics=metrics) if client is not None else \
+                local.query(sweep=args.sweep, program=args.program,
+                            axes=axes,
+                            **({"metrics": metrics} if metrics else {}))
+            if args.format == "json":
+                json.dump(result, out, indent=2, sort_keys=True)
+                print(file=out)
+            else:
+                print(render_warehouse_table(result), file=out, end="")
+            return 0
+        if args.action == "pareto":
+            result = client.warehouse_pareto(
+                x=args.x_metric, y=args.y_metric, sweep=args.sweep,
+                program=args.program, axes=axes) if client is not None \
+                else local.pareto(x=args.x_metric, y=args.y_metric,
+                                  sweep=args.sweep, program=args.program,
+                                  axes=axes)
+            if args.format == "json":
+                json.dump(result, out, indent=2, sort_keys=True)
+                print(file=out)
+            else:
+                print(render_pareto_frontier(result), file=out, end="")
+            return 0
+        # diff: exit 1 when the sentinel flags anything (CI-friendly)
+        kwargs = {}
+        if args.tolerance is not None:
+            kwargs["tolerance"] = args.tolerance
+        if metrics:
+            kwargs["metrics"] = metrics
+        result = client.warehouse_regressions(sweep=args.sweep, **kwargs) \
+            if client is not None \
+            else local.regressions(sweep=args.sweep, **kwargs)
+        if args.format == "json":
+            json.dump(result, out, indent=2, sort_keys=True)
+            print(file=out)
+        else:
+            print(render_regression_report(result), file=out, end="")
+        return 1 if result.get("flagged") else 0
+    except (ApiError, OSError, KeyError, ValueError) as exc:
+        message = exc.args[0] if isinstance(exc, KeyError) and exc.args \
+            else exc
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    finally:
+        if local is not None:
+            local.close()
+
+
 def build_worker_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-sim worker",
@@ -458,6 +680,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return explore_main(argv[1:])
     if argv and argv[0] == "worker":
         return worker_main(argv[1:])
+    if argv and argv[0] == "warehouse":
+        return warehouse_main(argv[1:])
     if argv and argv[0] == "lint":
         from repro.analyze.cli import lint_main
         return lint_main(argv[1:])

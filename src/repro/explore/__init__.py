@@ -25,7 +25,10 @@ turns that pattern into a first-class batch subsystem:
   speedups (text rendering in :mod:`repro.viz.sweep`);
 * :mod:`repro.explore.engine` — ``run_sweep``, the one entry point;
 * :mod:`repro.explore.service` — the server-side sweep queue behind the
-  ``/explore/*`` endpoints.
+  ``/explore/*`` endpoints;
+* :mod:`repro.explore.warehouse` — the cross-run result warehouse behind
+  ``/warehouse/*``: longitudinal queries, Pareto frontiers, and the
+  baseline regression sentinel over every ingested sweep.
 
 Quick tour::
 
@@ -63,6 +66,8 @@ from repro.explore.service import ExploreManager
 from repro.explore.spec import (Axis, ProgramSpec, SweepPoint, SweepSpec,
                                 SweepSpecError)
 from repro.explore.store import ResultStore, load_records
+from repro.explore.warehouse import (BaselineMissing, ResultWarehouse,
+                                     WarehouseError)
 
 __all__ = [
     "ArtifactCache",
@@ -96,4 +101,7 @@ __all__ = [
     "run_sweep",
     "RUNNER_TASK",
     "ExploreManager",
+    "ResultWarehouse",
+    "WarehouseError",
+    "BaselineMissing",
 ]

@@ -217,6 +217,10 @@ class ExploreManager:
         self.start_method = "forkserver" if "forkserver" in methods \
             else "spawn"
         self.scheduler = scheduler
+        #: attached cross-run result warehouse
+        #: (:class:`repro.explore.warehouse.ResultWarehouse`); when set,
+        #: the runner thread ingests every sweep that finishes ``done``
+        self.warehouse = None
         self._lock = threading.Lock()
         self._sweeps: "OrderedDict[str, SweepState]" = OrderedDict()
         self._queue: List[SweepState] = []
@@ -513,6 +517,17 @@ class ExploreManager:
                             failed=state.failed,
                             elapsedS=round(state.elapsed_s, 4),
                             jobWallTime=state.wall_time_json())
+                if state.state == "done" and self.warehouse is not None:
+                    # warehouse ingest is best-effort bookkeeping on top
+                    # of a finished sweep: it must never flip the sweep
+                    # to failed, so it gets its own exception scope
+                    try:
+                        self.warehouse.ingest(
+                            state.records, sweep_id=state.id,
+                            name=state.spec.name,
+                            ingested_at=time.time())
+                    except Exception:  # noqa: BLE001 - bookkeeping only
+                        pass
             except Exception as exc:  # noqa: BLE001 - keep serving
                 with self._lock:
                     state.error = f"{type(exc).__name__}: {exc}"

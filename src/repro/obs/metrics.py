@@ -317,23 +317,41 @@ def _format_value(value: float) -> str:
     return repr(value) if isinstance(value, float) else str(value)
 
 
+def _escape_help(text: str) -> str:
+    """``# HELP`` escaping per the exposition format (v0.0.4):
+    backslash and newline only."""
+    return str(text).replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(value: object) -> str:
+    """Label-value escaping: backslash, double quote, newline."""
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
 def _format_labels(labels: dict, extra: Optional[dict] = None) -> str:
     merged = dict(labels)
     if extra:
         merged.update(extra)
     if not merged:
         return ""
-    cells = ",".join(f'{key}="{merged[key]}"' for key in sorted(merged))
+    cells = ",".join(f'{key}="{_escape_label_value(merged[key])}"'
+                     for key in sorted(merged))
     return "{" + cells + "}"
 
 
 def render_prometheus(scrape: List[dict]) -> str:
-    """Prometheus text exposition (v0.0.4) of a :meth:`scrape` payload."""
+    """Prometheus text exposition (v0.0.4) of a :meth:`scrape` payload.
+
+    Emits ``# HELP`` / ``# TYPE`` comment lines and, for histograms,
+    cumulative ``_bucket{le=...}`` series (``+Inf`` included) plus the
+    ``_sum`` / ``_count`` pair — the exact shape a stock Prometheus
+    scraper ingests (pinned byte-for-byte by a golden test)."""
     lines: List[str] = []
     for family in scrape:
         name = family["name"]
         if family.get("help"):
-            lines.append(f"# HELP {name} {family['help']}")
+            lines.append(f"# HELP {name} {_escape_help(family['help'])}")
         lines.append(f"# TYPE {name} {family['type']}")
         if family["type"] != "histogram":
             for cell in family["values"]:

@@ -303,3 +303,54 @@ class SimClient:
         by :meth:`repro.explore.artifacts.ArtifactCache.register_program`."""
         return self.request("POST", "/artifact/prefetch",
                             {"artifacts": artifacts})
+
+    # -- result warehouse (protocol v9) ----------------------------------
+    def warehouse_query(self, sweep: Optional[str] = None,
+                        program: Optional[str] = None,
+                        axes: Optional[dict] = None,
+                        since: Optional[float] = None,
+                        until: Optional[float] = None,
+                        metrics: Optional[list] = None,
+                        limit: Optional[int] = None) -> dict:
+        """Query the cross-run result warehouse (``/warehouse/query``):
+        rows filtered by sweep id/name, program, axis point values, or
+        ingest-time range, plus min/p50/p90/max summaries for *metrics*."""
+        payload = {key: value for key, value in
+                   (("sweep", sweep), ("program", program), ("axes", axes),
+                    ("since", since), ("until", until),
+                    ("metrics", metrics), ("limit", limit))
+                   if value is not None}
+        return self.request("POST", "/warehouse/query", payload)
+
+    def warehouse_pareto(self, x: str = "cycles", y: str = "energy",
+                         sweep: Optional[str] = None,
+                         program: Optional[str] = None,
+                         axes: Optional[dict] = None) -> dict:
+        """Direction-aware Pareto frontier over the metric pair (x, y)
+        across the warehouse (``/warehouse/pareto``), with per-point
+        dominated counts — renderable with
+        :func:`repro.viz.render_pareto_frontier`."""
+        payload: dict = {"x": x, "y": y}
+        payload.update({key: value for key, value in
+                        (("sweep", sweep), ("program", program),
+                         ("axes", axes))
+                        if value is not None})
+        return self.request("POST", "/warehouse/pareto", payload)
+
+    def warehouse_regressions(self, sweep: Optional[str] = None,
+                              tolerance: Optional[float] = None,
+                              metrics: Optional[list] = None) -> dict:
+        """Regression-sentinel diff against the pinned baseline sweep
+        (``/warehouse/regressions``); raises :class:`ApiError` 409 until
+        a baseline is pinned via :meth:`warehouse_baseline`."""
+        payload = {key: value for key, value in
+                   (("sweep", sweep), ("tolerance", tolerance),
+                    ("metrics", metrics))
+                   if value is not None}
+        return self.request("POST", "/warehouse/regressions", payload)
+
+    def warehouse_baseline(self, sweep_id: str) -> dict:
+        """Pin *sweep_id* as the warehouse regression baseline
+        (``POST /warehouse/baseline``)."""
+        return self.request("POST", "/warehouse/baseline",
+                            {"sweepId": sweep_id})

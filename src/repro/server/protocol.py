@@ -22,6 +22,10 @@ Endpoints mirror the paper's server API:
 ``POST /worker/execute``  run one planned sweep job (distributed sweeps)
 ``POST /worker/cancel``   fire the cancel token of an in-flight job
 ``GET  /worker/status``   artifact-cache stats + active-job gauge
+``GET  /warehouse/query`` cross-run result warehouse: rows + summaries
+``GET  /warehouse/pareto``  Pareto frontier over any metric pair
+``GET  /warehouse/regressions``  sentinel diff vs the pinned baseline
+``POST /warehouse/baseline``  pin a sweep as the regression baseline
 ``GET  /metrics``         telemetry scrape (JSON; Prometheus text at HTTP)
 ``GET  /trace/<sweepId>`` one sweep's span tree (queue/dispatch/compile/...)
 ``GET  /schema``          machine-readable endpoint list
@@ -45,6 +49,7 @@ from __future__ import annotations
 
 import time
 from typing import Dict, List, Optional, Sequence
+from urllib.parse import parse_qs
 
 from repro.asm.parser import Assembler
 from repro.compiler.driver import compile_c
@@ -56,6 +61,8 @@ from repro.explore.pool import CANCELLED_MESSAGE, KeyedThreadPool
 from repro.explore.report import MetricError
 from repro.explore.service import ExploreManager
 from repro.explore.spec import SweepSpecError
+from repro.explore.warehouse import (BaselineMissing, ResultWarehouse,
+                                     WarehouseError)
 from repro.fleet.cancel import CancelRegistry
 from repro.fleet.registry import WorkerRegistry
 from repro.fleet.scheduler import FleetError, FleetScheduler
@@ -99,8 +106,18 @@ from repro.sim.state import SNAPSHOT_SCHEMA_VERSION, RawJson
 #: program — unresolvable references answer ``kind:
 #: "artifactUnavailable"`` and the dispatcher re-sends the job inline —
 #: and heartbeat cache stats gain the advertised compiled-key set used
-#: for peer-worker fetch hints.  v1-v7 clients keep working.
-PROTOCOL_VERSION = 8
+#: for peer-worker fetch hints.  v9 adds the cross-run result warehouse:
+#: every sweep that finishes ``done`` is ingested into an indexed,
+#: append-only store; ``GET /warehouse/query`` filters rows by
+#: sweep/program/axis value/ingest time and serves shared nearest-rank
+#: metric summaries, ``GET /warehouse/pareto`` extracts direction-aware
+#: Pareto frontiers over any metric pair, ``POST /warehouse/baseline``
+#: pins a baseline sweep, and ``GET /warehouse/regressions`` diffs
+#: matching configs (by record label) against it, flagging metric
+#: deltas beyond a tolerance (409 until a baseline is pinned).  The
+#: warehouse GETs accept their filters as query strings; POST bodies
+#: work identically.  v1-v8 clients keep working.
+PROTOCOL_VERSION = 9
 
 #: executors session work is dispatched onto (per-session FIFO queues keep
 #: request order; the count bounds how many sessions simulate at once)
@@ -228,6 +245,36 @@ SCHEMA = {
          "body": {"cancelId": "id from the matching /worker/execute",
                   "reason": "string?"}},
         {"method": "GET", "path": "/worker/status"},
+        {"method": "GET", "path": "/warehouse/query",
+         "query": {"sweep": "sweep id or name?", "program": "program name?",
+                   "axes": "'axis=value,...'? (an object in a POST body)",
+                   "since": "ingest-time lower bound (epoch seconds)?",
+                   "until": "ingest-time upper bound?",
+                   "metrics": "comma-separated summary metrics?",
+                   "limit": "max rows returned?"},
+         "notes": "cross-run result warehouse: filtered records plus "
+                  "min/p50/p90/max metric summaries (POST body works "
+                  "identically)"},
+        {"method": "GET", "path": "/warehouse/pareto",
+         "query": {"x": "metric? (default 'cycles')",
+                   "y": "metric? (default 'energy')",
+                   "sweep": "sweep id or name?", "program": "program?",
+                   "axes": "'axis=value,...'?"},
+         "notes": "direction-aware Pareto frontier over any metric "
+                  "pair, with per-point dominated counts"},
+        {"method": "GET", "path": "/warehouse/regressions",
+         "query": {"sweep": "diff one sweep? (default: every "
+                            "non-baseline sweep)",
+                   "tolerance": "relative worse-direction delta? "
+                                "(default 0.05)",
+                   "metrics": "comma-separated? "
+                              "(default cycles,energy,area)"},
+         "notes": "regression sentinel: configs matched by label are "
+                  "diffed against the pinned baseline sweep; 409 until "
+                  "one is pinned via POST /warehouse/baseline"},
+        {"method": "POST", "path": "/warehouse/baseline",
+         "body": {"sweepId": "ingested sweep to pin as the regression "
+                             "baseline"}},
         {"method": "GET", "path": "/metrics",
          "query": {"format": "'prometheus'? (HTTP layer; default JSON)"},
          "notes": "process-wide telemetry scrape: counters, gauges, "
@@ -251,7 +298,8 @@ _COUNTED_ROUTES = frozenset((
     "/explore/events", "/explore/stream", "/fleet/register",
     "/fleet/status", "/worker/execute", "/worker/cancel",
     "/worker/status", "/metrics", "/trace", "/artifact",
-    "/artifact/prefetch",
+    "/artifact/prefetch", "/warehouse/query", "/warehouse/pareto",
+    "/warehouse/regressions", "/warehouse/baseline",
 ))
 
 _REQUESTS = default_registry().counter(
@@ -307,6 +355,12 @@ class Api:
         if self.explore.scheduler is None:
             self.explore.scheduler = FleetScheduler(
                 self.fleet, artifact_store=self.artifacts)
+        #: the cross-run result warehouse behind /warehouse/*; attached
+        #: to the explore manager so its runner thread ingests every
+        #: sweep that finishes done
+        self.warehouse = ResultWarehouse()
+        if getattr(self.explore, "warehouse", None) is None:
+            self.explore.warehouse = self.warehouse
         #: data-plane origin URL ("host:port") fleet dispatches tell
         #: workers to fetch artifacts from; the HTTP server sets it to
         #: its bound address, None keeps dispatches inline
@@ -331,8 +385,14 @@ class Api:
     # ------------------------------------------------------------------
     def handle(self, method: str, path: str, payload: Optional[dict]) -> dict:
         payload = payload or {}
-        path = path.split("?", 1)[0]       # transports may pass the query
+        path, _sep, query = path.partition("?")   # transports pass the query
         route = (method.upper(), path.rstrip("/") or "/")
+        if query and route[1].startswith("/warehouse/"):
+            # the warehouse GETs take their filters on the query string;
+            # explicit JSON-body keys win over query duplicates
+            payload = dict(payload)
+            for key, values in parse_qs(query).items():
+                payload.setdefault(key, values[0])
         counted = route[1]
         if counted.startswith("/trace"):
             counted = "/trace"
@@ -393,6 +453,17 @@ class Api:
             raise ApiError("/explore/stream is a chunked NDJSON stream; "
                            "use SimClient.explore_stream (or poll "
                            "/explore/events)", status=400)
+        if route in (("GET", "/warehouse/query"),
+                     ("POST", "/warehouse/query")):
+            return self.warehouse_query(payload)
+        if route in (("GET", "/warehouse/pareto"),
+                     ("POST", "/warehouse/pareto")):
+            return self.warehouse_pareto(payload)
+        if route in (("GET", "/warehouse/regressions"),
+                     ("POST", "/warehouse/regressions")):
+            return self.warehouse_regressions(payload)
+        if route == ("POST", "/warehouse/baseline"):
+            return self.warehouse_baseline(payload)
         if route == ("POST", "/fleet/register"):
             return self.fleet_register(payload)
         if route in (("GET", "/fleet/status"), ("POST", "/fleet/status")):
@@ -737,6 +808,154 @@ class Api:
         if not sweep_id or self.explore.get(sweep_id) is None:
             raise ApiError(f"unknown sweep '{sweep_id}'", status=404)
         return self.explore.stream(sweep_id, from_seq=max(0, from_seq))
+
+    # -- result warehouse (protocol v9) ---------------------------------
+    @staticmethod
+    def _warehouse_filters(payload: dict) -> dict:
+        """Shared filter parsing for the ``/warehouse/*`` reads.
+
+        Over GET every value arrives as a query-string *string*, so
+        ``axes`` accepts a compact ``axis=value[,axis=value...]`` form
+        alongside the JSON-body object."""
+        filters: dict = {}
+        for key in ("sweep", "program"):
+            value = payload.get(key)
+            if value is None and key == "sweep":
+                value = payload.get("sweepId")
+            if value is not None:
+                if not isinstance(value, str) or not value:
+                    raise ApiError(f"'{key}' must be a non-empty string")
+                filters[key] = value
+        axes = payload.get("axes")
+        if axes is not None:
+            if isinstance(axes, str):
+                parsed = {}
+                for part in axes.replace("/", ",").split(","):
+                    part = part.strip()
+                    if not part:
+                        continue
+                    name, sep, value = part.partition("=")
+                    if not sep or not name:
+                        raise ApiError("string 'axes' must be "
+                                       "'axis=value[,axis=value...]'")
+                    parsed[name] = value
+                axes = parsed
+            if not isinstance(axes, dict):
+                raise ApiError("'axes' must be an object or an "
+                               "'axis=value,...' string")
+            filters["axes"] = axes
+        return filters
+
+    @staticmethod
+    def _parse_number(payload: dict, key: str) -> Optional[float]:
+        """Optional numeric field, tolerant of query-string strings."""
+        value = payload.get(key)
+        if value is None:
+            return None
+        if isinstance(value, str):
+            try:
+                value = float(value)
+            except ValueError:
+                raise ApiError(f"'{key}' must be a number") from None
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ApiError(f"'{key}' must be a number")
+        return float(value)
+
+    @staticmethod
+    def _parse_metrics(payload: dict) -> Optional[List[str]]:
+        metrics = payload.get("metrics")
+        if metrics is None:
+            return None
+        if isinstance(metrics, str):
+            metrics = [m.strip() for m in metrics.split(",") if m.strip()]
+        if not isinstance(metrics, list) \
+                or not all(isinstance(m, str) and m for m in metrics):
+            raise ApiError("'metrics' must be a list of metric names "
+                           "(or a comma-separated string)")
+        return metrics or None
+
+    def warehouse_query(self, payload: dict) -> dict:
+        """``/warehouse/query``: filtered rows + shared metric summaries."""
+        filters = self._warehouse_filters(payload)
+        since = self._parse_number(payload, "since")
+        until = self._parse_number(payload, "until")
+        metrics = self._parse_metrics(payload)
+        if metrics is not None:
+            filters["metrics"] = metrics
+        limit = payload.get("limit")
+        if limit is not None:
+            try:
+                limit = int(limit)
+            except (TypeError, ValueError):
+                raise ApiError("'limit' must be an integer") from None
+            if limit < 0:
+                raise ApiError("'limit' must be >= 0")
+        try:
+            out = self.warehouse.query(since=since, until=until,
+                                       limit=limit, **filters)
+        except (WarehouseError, MetricError) as exc:
+            raise ApiError(str(exc)) from exc
+        out["success"] = True
+        out["protocolVersion"] = PROTOCOL_VERSION
+        return out
+
+    def warehouse_pareto(self, payload: dict) -> dict:
+        """``/warehouse/pareto``: direction-aware frontier over (x, y)."""
+        filters = self._warehouse_filters(payload)
+        x = payload.get("x", "cycles")
+        y = payload.get("y", "energy")
+        if not isinstance(x, str) or not isinstance(y, str):
+            raise ApiError("'x' and 'y' must be metric name strings")
+        try:
+            out = self.warehouse.pareto(x=x, y=y, **filters)
+        except (WarehouseError, MetricError) as exc:
+            raise ApiError(str(exc)) from exc
+        out["success"] = True
+        out["protocolVersion"] = PROTOCOL_VERSION
+        return out
+
+    def warehouse_regressions(self, payload: dict) -> dict:
+        """``/warehouse/regressions``: sentinel diff vs the baseline.
+
+        409 until a baseline sweep is pinned — the one status clients
+        (e.g. the ``--follow`` warning) treat as "sentinel not armed"."""
+        sweep = payload.get("sweep") or payload.get("sweepId")
+        if sweep is not None and (not isinstance(sweep, str) or not sweep):
+            raise ApiError("'sweep' must be a non-empty string")
+        kwargs: dict = {}
+        tolerance = self._parse_number(payload, "tolerance")
+        if tolerance is not None:
+            kwargs["tolerance"] = tolerance
+        metrics = self._parse_metrics(payload)
+        if metrics is not None:
+            kwargs["metrics"] = metrics
+        try:
+            out = self.warehouse.regressions(sweep=sweep, **kwargs)
+        except BaselineMissing as exc:
+            raise ApiError(str(exc), status=409) from exc
+        except KeyError:
+            raise ApiError(f"unknown sweep '{sweep}' (not ingested)",
+                           status=404) from None
+        except (WarehouseError, MetricError) as exc:
+            raise ApiError(str(exc)) from exc
+        out["success"] = True
+        out["protocolVersion"] = PROTOCOL_VERSION
+        return out
+
+    def warehouse_baseline(self, payload: dict) -> dict:
+        """``POST /warehouse/baseline``: pin the regression baseline."""
+        sweep_id = payload.get("sweepId") or payload.get("sweep")
+        if not isinstance(sweep_id, str) or not sweep_id:
+            raise ApiError("'sweepId' (an ingested sweep id) is required")
+        try:
+            out = self.warehouse.set_baseline(sweep_id)
+        except KeyError:
+            raise ApiError(f"unknown sweep '{sweep_id}' (the warehouse "
+                           f"only pins ingested sweeps)",
+                           status=404) from None
+        out["success"] = True
+        out["protocolVersion"] = PROTOCOL_VERSION
+        return out
 
     # -- fleet registry (protocol v5) -----------------------------------
     def fleet_register(self, payload: dict) -> dict:

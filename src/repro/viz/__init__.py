@@ -14,7 +14,11 @@ reproducible, testable, and usable from the CLI:
   comparison table (``repro.explore``);
 * :func:`render_metrics_table` / :func:`render_span_waterfall` — the
   telemetry plane: a ``GET /metrics`` scrape as a table, one sweep's
-  ``GET /trace/<sweepId>`` span tree as a text waterfall.
+  ``GET /trace/<sweepId>`` span tree as a text waterfall;
+* :func:`render_warehouse_table` / :func:`render_pareto_frontier` /
+  :func:`render_regression_report` — the cross-run result warehouse:
+  filtered record tables, Pareto frontiers with dominated counts,
+  baseline regression reports (``/warehouse/*``).
 """
 
 from repro.viz.blocks import render_block, render_processor
@@ -24,6 +28,9 @@ from repro.viz.stats import render_statistics
 from repro.viz.sweep import (render_execution_summary, render_fleet_table,
                              render_sweep_report)
 from repro.viz.obs import render_metrics_table, render_span_waterfall
+from repro.viz.warehouse import (render_pareto_frontier,
+                                 render_regression_report,
+                                 render_warehouse_table)
 
 __all__ = [
     "render_block",
@@ -36,4 +43,7 @@ __all__ = [
     "render_fleet_table",
     "render_metrics_table",
     "render_span_waterfall",
+    "render_warehouse_table",
+    "render_pareto_frontier",
+    "render_regression_report",
 ]

@@ -1,0 +1,124 @@
+"""Result-warehouse views as text (the longitudinal observability pane).
+
+Same philosophy as the other renderers in :mod:`repro.viz`: everything
+the cross-run warehouse serves — filtered record tables with metric
+summaries, Pareto frontiers with dominated-point counts, regression
+reports with per-metric deltas — as monospace text, so the experiment
+trajectory is readable from the CLI and assertable in tests.  Each
+renderer takes the matching ``/warehouse/*`` response payload (also what
+:class:`repro.explore.warehouse.ResultWarehouse` returns in-process).
+"""
+
+from __future__ import annotations
+
+from repro.explore.report import metric_value
+
+__all__ = ["render_warehouse_table", "render_pareto_frontier",
+           "render_regression_report"]
+
+#: metric columns of the query table (shared with the query summaries)
+_TABLE_METRICS = ("cycles", "ipc", "energy", "area")
+
+
+def _format_cell(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def _table(columns, rows, lines) -> None:
+    widths = [len(str(column)) for column in columns]
+    for row in rows:
+        widths = [max(w, len(c)) for w, c in zip(widths, row)]
+    header = "  ".join(f"{c:<{w}}" if i < 2 else f"{c:>{w}}"
+                       for i, (c, w) in enumerate(zip(columns, widths)))
+    lines.append("  " + header)
+    lines.append("  " + "-" * len(header))
+    for row in rows:
+        lines.append("  " + "  ".join(
+            f"{c:<{w}}" if i < 2 else f"{c:>{w}}"
+            for i, (c, w) in enumerate(zip(row, widths))))
+
+
+def render_warehouse_table(query_json: dict) -> str:
+    """Render a ``/warehouse/query`` payload: one row per record, plus
+    the min/p50/p90/max summary block."""
+    count = query_json.get("count", 0)
+    sweeps = query_json.get("sweeps") or []
+    lines = [f"warehouse: {count} record(s) across {len(sweeps)} sweep(s)"]
+    baseline = query_json.get("baseline")
+    if baseline:
+        lines[0] += f", baseline {baseline}"
+    rows = query_json.get("rows") or []
+    if rows:
+        cells = []
+        for row in rows:
+            cells.append([str(row.get("sweep", row.get("sweepId", "?"))),
+                          str(row.get("label", "?"))]
+                         + [_format_cell(metric_value(row, metric))
+                            if row.get("ok") else "FAILED"
+                            for metric in _TABLE_METRICS])
+        _table(["sweep", "label"] + list(_TABLE_METRICS), cells, lines)
+    summary = query_json.get("summary") or {}
+    if summary:
+        lines.append("summary (ok rows):")
+        for metric, stats in summary.items():
+            lines.append(
+                f"  {metric}: min {_format_cell(stats.get('min'))} "
+                f"/ p50 {_format_cell(stats.get('p50'))} "
+                f"/ p90 {_format_cell(stats.get('p90'))} "
+                f"/ max {_format_cell(stats.get('max'))} "
+                f"({stats.get('count', 0)} values)")
+    return "\n".join(line.rstrip() for line in lines).rstrip() + "\n"
+
+
+def render_pareto_frontier(pareto_json: dict) -> str:
+    """Render a ``/warehouse/pareto`` payload: the non-dominated set
+    with each point's dominated count."""
+    x = pareto_json.get("x", "x")
+    y = pareto_json.get("y", "y")
+    frontier = pareto_json.get("frontier") or []
+    lines = [f"Pareto frontier ({x} vs {y}): {len(frontier)} of "
+             f"{pareto_json.get('points', 0)} point(s) non-dominated, "
+             f"{pareto_json.get('dominated', 0)} dominated"]
+    if frontier:
+        cells = [[str(point.get("sweep", point.get("sweepId", "?"))),
+                  str(point.get("label", "?")),
+                  _format_cell(point.get("x")),
+                  _format_cell(point.get("y")),
+                  str(point.get("dominates", 0))]
+                 for point in frontier]
+        _table(["sweep", "label", x, y, "dominates"], cells, lines)
+    return "\n".join(line.rstrip() for line in lines).rstrip() + "\n"
+
+
+def render_regression_report(diff_json: dict) -> str:
+    """Render a ``/warehouse/regressions`` payload: per-sweep compare
+    counts and every flag's per-metric delta."""
+    tolerance = diff_json.get("tolerance", 0)
+    lines = [f"regression sentinel vs baseline "
+             f"{diff_json.get('baseline', '?')} "
+             f"({diff_json.get('baselineName', '?')}), "
+             f"tolerance {tolerance * 100:g}%, metrics "
+             f"{','.join(diff_json.get('metrics') or [])}"]
+    sweeps = diff_json.get("sweeps") or []
+    if not sweeps:
+        lines.append("  nothing to diff (no non-baseline sweeps ingested)")
+    for entry in sweeps:
+        flags = entry.get("flags") or []
+        lines.append(f"sweep {entry.get('sweepId', '?')} "
+                     f"({entry.get('name', '?')}): "
+                     f"{entry.get('compared', 0)} config(s) compared, "
+                     f"{len(flags)} regression(s)")
+        for flag in flags:
+            lines.append(
+                f"  REGRESSED {flag.get('label')}: {flag.get('metric')} "
+                f"{_format_cell(flag.get('baseline'))} -> "
+                f"{_format_cell(flag.get('value'))} "
+                f"({flag.get('deltaPct', 0):+g}%)")
+    total = diff_json.get("flagged", 0)
+    lines.append(f"{total} regression(s) flagged"
+                 if total else "no regressions beyond tolerance")
+    return "\n".join(line.rstrip() for line in lines).rstrip() + "\n"

@@ -178,6 +178,47 @@ class TestStore:
         with pytest.raises(ValueError, match=r"m\.jsonl:2"):
             load_records(path)
 
+    def test_empty_store_round_trip(self, tmp_path):
+        path = str(tmp_path / "empty.jsonl")
+        with ResultStore(path) as store:
+            assert len(store) == 0
+            assert store.records() == []
+        assert load_records(path) == []
+        # a file of only blank lines is just as empty
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("\n\n   \n")
+        assert load_records(path) == []
+
+    def test_append_reopen_preserves_and_w_mode_truncates(self, tmp_path):
+        path = str(tmp_path / "reopen.jsonl")
+        with ResultStore(path) as store:
+            store.extend([{"a": 1}, {"b": 2}])
+        with ResultStore(path, append=True) as store:
+            assert store.records() == []       # memory starts fresh...
+            store.append({"c": 3})
+        assert load_records(path) == [{"a": 1}, {"b": 2}, {"c": 3}]
+        # ...but the default (non-append) mode truncates on open
+        with ResultStore(path) as store:
+            store.append({"d": 4})
+        assert load_records(path) == [{"d": 4}]
+
+    def test_truncated_warning_names_position_and_drops_one_line(
+            self, tmp_path):
+        path = str(tmp_path / "w.jsonl")
+        with ResultStore(path) as store:
+            store.extend([{"a": 1}, {"b": 2}, {"c": 3}])
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"d": 4, "unfin')     # interrupted 4th append
+        with pytest.warns(RuntimeWarning) as captured:
+            records = load_records(path)
+        # exactly the truncated line is dropped, nothing before it
+        assert records == [{"a": 1}, {"b": 2}, {"c": 3}]
+        assert len(captured) == 1
+        message = str(captured[0].message)
+        assert "dropping truncated trailing JSONL record " \
+               "(interrupted append?)" in message
+        assert f"{path}:4" in message
+
 
 class TestReport:
     def test_ranking_and_best(self, serial_run):

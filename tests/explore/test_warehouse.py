@@ -1,0 +1,345 @@
+"""Result-warehouse tests: ingest/dedup, filtered queries, Pareto
+frontiers, the regression sentinel, persistence replay, and the
+ingest-order-independence (byte-identity) acceptance pin."""
+
+import json
+import random
+
+import pytest
+
+from repro.explore import (BaselineMissing, ResultWarehouse, WarehouseError)
+from repro.explore.report import MetricError
+from repro.explore.store import ResultStore
+from repro.obs.metrics import default_registry
+
+
+def record(index, width, cycles, energy, area, ipc=1.0, ok=True,
+           program="sum"):
+    rec = {"index": index,
+           "label": f"program={program}/width={width}",
+           "point": {"program": program, "width": width},
+           "ok": ok,
+           "stats": {"cycles": cycles, "ipc": ipc,
+                     "energy": {"totalPj": energy}, "areaKGE": area}}
+    if not ok:
+        rec["kind"] = "error"
+        rec["error"] = "RuntimeError: boom"
+        del rec["stats"]
+    return rec
+
+
+BASE = [record(0, "w1", 100, 50.0, 10.0, ipc=0.8),
+        record(1, "w2", 80, 70.0, 14.0, ipc=1.0),
+        record(2, "w4", 70, 90.0, 20.0, ipc=1.2)]
+#: same labels as BASE; w2 regressed on cycles, w4 improved
+NEW = [record(0, "w1", 100, 50.0, 10.0, ipc=0.8),
+       record(1, "w2", 95, 70.0, 14.0, ipc=0.9),
+       record(2, "w4", 60, 90.0, 20.0, ipc=1.4)]
+
+
+def loaded():
+    warehouse = ResultWarehouse()
+    warehouse.ingest(BASE, "day0", name="base", ingested_at=100.0)
+    warehouse.ingest(NEW, "day1", name="new", ingested_at=200.0)
+    return warehouse
+
+
+class TestIngest:
+    def test_ingest_counts_and_len(self):
+        warehouse = ResultWarehouse()
+        ack = warehouse.ingest(BASE, "day0", name="base")
+        assert ack == {"sweepId": "day0", "ingested": 3, "skipped": 0,
+                       "records": 3, "regressions": 0}
+        assert len(warehouse) == 3
+
+    def test_reingest_is_idempotent(self):
+        warehouse = ResultWarehouse()
+        warehouse.ingest(BASE, "day0")
+        ack = warehouse.ingest(BASE, "day0")
+        assert ack["ingested"] == 0 and ack["skipped"] == 3
+        assert len(warehouse) == 3
+
+    def test_ingest_rejects_empty_sweep_id(self):
+        with pytest.raises(WarehouseError):
+            ResultWarehouse().ingest(BASE, "")
+
+    def test_sweeps_listing_sorted(self):
+        warehouse = loaded()
+        assert warehouse.sweeps() == [
+            {"sweepId": "day0", "name": "base", "records": 3},
+            {"sweepId": "day1", "name": "new", "records": 3}]
+
+    def test_records_gauge_tracks_rows(self):
+        warehouse = loaded()
+        scrape = {family["name"]: family
+                  for family in default_registry().scrape()}
+        gauge = scrape["repro_warehouse_records"]
+        assert gauge["values"][0]["value"] == len(warehouse)
+
+
+class TestQuery:
+    def test_rows_canonically_ordered_with_summary(self):
+        out = loaded().query()
+        assert out["count"] == 6
+        assert out["sweeps"] == ["day0", "day1"]
+        keys = [(row["sweepId"], row["index"]) for row in out["rows"]]
+        assert keys == sorted(keys)
+        # nearest-rank summaries over ok rows
+        assert out["summary"]["cycles"]["min"] == 60
+        assert out["summary"]["cycles"]["max"] == 100
+        assert out["summary"]["cycles"]["count"] == 6
+        assert set(out["summary"]) == {"cycles", "ipc", "energy", "area"}
+
+    def test_sweep_filter_matches_id_and_name(self):
+        warehouse = loaded()
+        assert warehouse.query(sweep="day0")["count"] == 3
+        assert warehouse.query(sweep="new")["count"] == 3
+        assert warehouse.query(sweep="nope")["count"] == 0
+
+    def test_axis_and_program_filters(self):
+        warehouse = loaded()
+        assert warehouse.query(axes={"width": "w2"})["count"] == 2
+        assert warehouse.query(program="sum")["count"] == 6
+        assert warehouse.query(program="other")["count"] == 0
+
+    def test_time_range_filter(self):
+        warehouse = loaded()
+        assert warehouse.query(since=150.0)["sweeps"] == ["day1"]
+        assert warehouse.query(until=150.0)["sweeps"] == ["day0"]
+        assert warehouse.query(since=50.0, until=250.0)["count"] == 6
+        # rows ingested without a stamp fail any time filter
+        warehouse.ingest([record(0, "w1", 1, 1.0, 1.0)], "unstamped")
+        assert warehouse.query(since=0.0)["count"] == 6
+
+    def test_limit_and_failed_rows_excluded_from_summary(self):
+        warehouse = ResultWarehouse()
+        warehouse.ingest(BASE + [record(3, "w8", 0, 0, 0, ok=False)],
+                         "day0")
+        out = warehouse.query(limit=2)
+        assert out["count"] == 4 and len(out["rows"]) == 2
+        assert out["summary"]["cycles"]["count"] == 3
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(MetricError):
+            loaded().query(metrics=("",))
+
+
+class TestPareto:
+    def test_minimize_minimize_frontier(self):
+        out = ResultWarehouse()
+        out.ingest(BASE, "day0")
+        frontier = out.pareto(x="cycles", y="energy")
+        # all three BASE points trade cycles against energy: none dominated
+        assert [p["label"] for p in frontier["frontier"]] == [
+            "program=sum/width=w4", "program=sum/width=w2",
+            "program=sum/width=w1"]
+        assert frontier["dominated"] == 0
+
+    def test_dominated_points_and_counts(self):
+        warehouse = loaded()
+        out = warehouse.pareto(x="cycles", y="energy")
+        assert out["points"] == 6
+        by_key = {(p["sweepId"], p["label"]): p for p in out["frontier"]}
+        # day1/w4 (60 cycles, same energy) dominates day0/w4 (70 cycles)
+        assert ("day0", "program=sum/width=w4") not in by_key
+        assert by_key[("day1", "program=sum/width=w4")]["dominates"] >= 1
+        assert out["dominated"] == 6 - len(out["frontier"])
+
+    def test_direction_aware_higher_is_better(self):
+        warehouse = ResultWarehouse()
+        warehouse.ingest(BASE, "day0")
+        out = warehouse.pareto(x="ipc", y="area")
+        # maximizing ipc vs minimizing area: again a pure trade-off
+        assert len(out["frontier"]) == 3
+        # frontier sorted by normalized x: best ipc first
+        assert out["frontier"][0]["label"] == "program=sum/width=w4"
+
+    def test_equal_points_both_stay(self):
+        warehouse = ResultWarehouse()
+        warehouse.ingest(BASE, "day0")
+        warehouse.ingest(BASE, "copy")         # identical metric values
+        out = warehouse.pareto(x="cycles", y="energy")
+        assert len(out["frontier"]) == 6 and out["dominated"] == 0
+
+    def test_degenerate_pair_rejected(self):
+        with pytest.raises(WarehouseError):
+            loaded().pareto(x="cycles", y="cycles")
+
+    def test_matches_brute_force(self):
+        rng = random.Random(7)
+        records = [record(i, f"w{i}", rng.randrange(50, 150),
+                          rng.uniform(10, 100), 1.0)
+                   for i in range(25)]
+        warehouse = ResultWarehouse()
+        warehouse.ingest(records, "rand")
+        out = warehouse.pareto(x="cycles", y="energy")
+        points = [(r["stats"]["cycles"], r["stats"]["energy"]["totalPj"],
+                   r["label"]) for r in records]
+        expected = {label for cx, cy, label in points
+                    if not any(ox <= cx and oy <= cy
+                               and (ox < cx or oy < cy)
+                               for ox, oy, other in points
+                               if other != label)}
+        assert {p["label"] for p in out["frontier"]} == expected
+
+
+class TestSentinel:
+    def test_regressions_flag_worse_direction_only(self):
+        warehouse = loaded()
+        warehouse.set_baseline("day0")
+        out = warehouse.regressions()
+        assert out["baseline"] == "day0"
+        assert out["baselineName"] == "base"
+        assert out["flagged"] == 1
+        flag = out["sweeps"][0]["flags"][0]
+        # w2 regressed (+18.75% cycles); the w4 improvement is no flag
+        assert flag["label"] == "program=sum/width=w2"
+        assert flag["metric"] == "cycles"
+        assert flag["baseline"] == 80 and flag["value"] == 95
+        assert flag["deltaPct"] == pytest.approx(18.75)
+        assert out["sweeps"][0]["compared"] == 3
+
+    def test_higher_is_better_metric_direction(self):
+        warehouse = loaded()
+        warehouse.set_baseline("day0")
+        out = warehouse.regressions(metrics=("ipc",))
+        # ipc dropped 1.0 -> 0.9 on w2: a regression for a maximized metric
+        assert [f["label"] for f in out["sweeps"][0]["flags"]] == [
+            "program=sum/width=w2"]
+        assert out["sweeps"][0]["flags"][0]["deltaPct"] < 0
+
+    def test_tolerance_gates_flags(self):
+        warehouse = loaded()
+        warehouse.set_baseline("day0")
+        assert warehouse.regressions(tolerance=0.5)["flagged"] == 0
+        assert warehouse.regressions(tolerance=0.0)["flagged"] >= 1
+
+    def test_no_baseline_raises_baseline_missing(self):
+        with pytest.raises(BaselineMissing):
+            loaded().regressions()
+
+    def test_unknown_baseline_or_sweep_raises_key_error(self):
+        warehouse = loaded()
+        with pytest.raises(KeyError):
+            warehouse.set_baseline("nope")
+        warehouse.set_baseline("day0")
+        with pytest.raises(KeyError):
+            warehouse.regressions(sweep="nope")
+
+    def test_ingest_time_sentinel_bumps_counter(self):
+        def flags_total():
+            for family in default_registry().scrape():
+                if family["name"] == "repro_warehouse_regressions_total":
+                    return sum(cell["value"] for cell in family["values"])
+            return 0
+
+        warehouse = ResultWarehouse()
+        warehouse.ingest(BASE, "day0")
+        warehouse.set_baseline("day0")
+        before = flags_total()
+        ack = warehouse.ingest(NEW, "day1")
+        assert ack["regressions"] == 1
+        assert flags_total() == before + 1
+        # a pure regressions() query moves nothing
+        warehouse.regressions()
+        assert flags_total() == before + 1
+
+    def test_bad_arguments_rejected(self):
+        warehouse = loaded()
+        warehouse.set_baseline("day0")
+        with pytest.raises(WarehouseError):
+            warehouse.regressions(metrics=())
+        with pytest.raises(WarehouseError):
+            warehouse.regressions(tolerance=-0.1)
+
+
+class TestDeterminism:
+    """Acceptance pin: warehouse output is a pure function of the
+    ingested set — shuffling ingest order changes nothing, byte for
+    byte."""
+
+    @staticmethod
+    def build(seed):
+        warehouse = ResultWarehouse()
+        rows = [("day0", "base", r) for r in BASE] \
+            + [("day1", "new", r) for r in NEW]
+        random.Random(seed).shuffle(rows)
+        for sweep_id, name, rec in rows:
+            warehouse.ingest([rec], sweep_id, name=name, ingested_at=100.0)
+        warehouse.set_baseline("day0")
+        return warehouse
+
+    def test_shuffled_ingest_byte_identical_output(self):
+        a, b = self.build(1), self.build(99)
+        for payload in ("query", "pareto", "regressions"):
+            left = json.dumps(getattr(a, payload)(), sort_keys=True)
+            right = json.dumps(getattr(b, payload)(), sort_keys=True)
+            assert left == right, payload
+
+
+class TestPersistence:
+    def test_rows_and_baseline_survive_reopen(self, tmp_path):
+        path = str(tmp_path / "wh" / "warehouse.jsonl")
+        with ResultWarehouse(path) as warehouse:
+            warehouse.ingest(BASE, "day0", name="base", ingested_at=100.0)
+            warehouse.set_baseline("day0")
+            warehouse.ingest(NEW, "day1", name="new", ingested_at=200.0)
+            expected = json.dumps(warehouse.query(), sort_keys=True)
+        with ResultWarehouse(path) as reopened:
+            assert json.dumps(reopened.query(), sort_keys=True) == expected
+            assert reopened.baseline() == "day0"
+            assert reopened.regressions()["flagged"] == 1
+            # reopen dedups: re-ingesting is still a no-op
+            assert reopened.ingest(BASE, "day0")["ingested"] == 0
+
+    def test_truncated_trailing_line_tolerated_on_reopen(self, tmp_path):
+        path = str(tmp_path / "warehouse.jsonl")
+        with ResultWarehouse(path) as warehouse:
+            warehouse.ingest(BASE, "day0")
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"sweepId": "day1", "unfin')  # interrupted append
+        with pytest.warns(RuntimeWarning, match="truncated trailing"):
+            reopened = ResultWarehouse(path)
+        try:
+            assert len(reopened) == 3
+        finally:
+            reopened.close()
+
+    def test_last_baseline_pin_wins_on_replay(self, tmp_path):
+        path = str(tmp_path / "warehouse.jsonl")
+        with ResultWarehouse(path) as warehouse:
+            warehouse.ingest(BASE, "day0")
+            warehouse.ingest(NEW, "day1")
+            warehouse.set_baseline("day0")
+            warehouse.set_baseline("day1")
+        with ResultWarehouse(path) as reopened:
+            assert reopened.baseline() == "day1"
+
+
+class TestImportFile:
+    def test_import_gets_content_hash_id_and_stem_name(self, tmp_path):
+        path = str(tmp_path / "night-run.jsonl")
+        with ResultStore(path) as store:
+            store.extend(BASE)
+        warehouse = ResultWarehouse()
+        ack = warehouse.import_file(path)
+        assert ack["ingested"] == 3
+        assert len(ack["sweepId"]) == 16
+        sweep = warehouse.sweeps()[0]
+        assert sweep["name"] == "night-run"
+        # same bytes under another path -> same sweep id -> no-op
+        other = str(tmp_path / "copy.jsonl")
+        with ResultStore(other) as store:
+            store.extend(BASE)
+        again = warehouse.import_file(other)
+        assert again["sweepId"] == ack["sweepId"]
+        assert again["ingested"] == 0 and again["skipped"] == 3
+
+    def test_explicit_id_and_name_override(self, tmp_path):
+        path = str(tmp_path / "r.jsonl")
+        with ResultStore(path) as store:
+            store.extend(NEW)
+        warehouse = ResultWarehouse()
+        ack = warehouse.import_file(path, sweep_id="pinned", name="named")
+        assert ack["sweepId"] == "pinned"
+        assert warehouse.sweeps()[0]["name"] == "named"

@@ -176,3 +176,43 @@ class TestDeterminismCleanliness:
                     for node in ast.walk(tree)
                     if isinstance(node, ast.ImportFrom) and node.module}
         assert not imports & {"time", "random", "os", "datetime", "uuid"}
+
+
+class TestPrometheusGolden:
+    def test_exposition_is_byte_exact(self):
+        """Golden pin of the text exposition (v0.0.4): HELP/TYPE pairs,
+        escaping in help text and label values, cumulative buckets, and
+        the histogram ``_sum``/``_count`` pair — the exact bytes a stock
+        Prometheus scraper ingests."""
+        registry = MetricsRegistry()
+        registry.counter("demo_total", "Demo events by mode") \
+            .inc(mode="serial")
+        registry.counter("demo_total", "Demo events by mode") \
+            .inc(2, mode="fleet")
+        registry.gauge(
+            "demo_gauge",
+            "Live demo value with a \\ backslash\nand a newline") \
+            .set(2.5, q='va"l')
+        hist = registry.histogram("demo_seconds", "Demo wall time",
+                                  buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 5.0):
+            hist.observe(value)
+
+        expected = "\n".join([
+            "# HELP demo_gauge Live demo value with a \\\\ backslash"
+            "\\nand a newline",
+            "# TYPE demo_gauge gauge",
+            'demo_gauge{q="va\\"l"} 2.5',
+            "# HELP demo_seconds Demo wall time",
+            "# TYPE demo_seconds histogram",
+            'demo_seconds_bucket{le="0.1"} 1',
+            'demo_seconds_bucket{le="1.0"} 2',
+            'demo_seconds_bucket{le="+Inf"} 3',
+            "demo_seconds_sum 5.55",
+            "demo_seconds_count 3",
+            "# HELP demo_total Demo events by mode",
+            "# TYPE demo_total counter",
+            'demo_total{mode="fleet"} 2',
+            'demo_total{mode="serial"} 1',
+        ]) + "\n"
+        assert render_prometheus(registry.scrape()) == expected

@@ -1,0 +1,154 @@
+"""/warehouse endpoints: auto-ingest of finished sweeps, query-string
+GET transport, error mapping (400/404/409), and the four SimClient
+wrappers over real HTTP (PC002 coverage)."""
+
+import time
+
+import pytest
+
+from repro.server.client import SimClient
+from repro.server.httpd import SimServer
+from repro.server.protocol import Api, ApiError
+
+SUM_LOOP = """
+    li a0, 0
+    li t0, 1
+    li t1, 10
+loop:
+    add a0, a0, t0
+    addi t0, t0, 1
+    ble t0, t1, loop
+    ebreak
+"""
+
+
+def tiny_spec(name="wh-sweep"):
+    return {
+        "name": name,
+        "programs": [{"name": "sum", "source": SUM_LOOP}],
+        "axes": [{"name": "width", "path": "config.buffers.fetchWidth",
+                  "values": [1, 2]}],
+    }
+
+
+def wait_done(status_fn, sweep_id, timeout_s=30.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        status = status_fn(sweep_id)
+        if status["state"] in ("done", "failed"):
+            assert status["state"] == "done"
+            return status
+        time.sleep(0.02)
+    raise AssertionError("sweep did not finish in time")
+
+
+def run_sweep(api: Api, name) -> str:
+    out = api.handle("POST", "/explore/submit",
+                     {"spec": tiny_spec(name), "workers": 0})
+    wait_done(lambda sid: api.handle("POST", "/explore/status",
+                                     {"sweepId": sid}), out["sweepId"])
+    return out["sweepId"]
+
+
+@pytest.fixture
+def api():
+    instance = Api()
+    yield instance
+    instance.close()
+
+
+class TestAutoIngest:
+    def test_finished_sweep_lands_in_warehouse(self, api):
+        sweep_id = run_sweep(api, "auto")
+        out = api.handle("GET", "/warehouse/query", {})
+        assert out["success"]
+        assert out["sweeps"] == [sweep_id]
+        assert out["count"] == 2
+        # rows carry the spec name and a server-side ingest stamp
+        assert out["rows"][0]["sweep"] == "auto"
+        assert out["rows"][0]["ingestedAt"] > 0
+        assert "cycles" in out["summary"]
+
+    def test_query_string_transport(self, api):
+        sweep_id = run_sweep(api, "qs")
+        out = api.handle(
+            "GET", f"/warehouse/query?sweep={sweep_id}&axes=width=1&limit=5",
+            {})
+        assert out["count"] == 1
+        assert out["rows"][0]["point"]["width"] == "1"
+        pareto = api.handle("GET", "/warehouse/pareto?x=cycles&y=ipc", {})
+        assert pareto["success"] and pareto["points"] == 2
+        # body keys win over duplicated query keys
+        out = api.handle("GET", "/warehouse/query?sweep=no-such",
+                         {"sweep": sweep_id})
+        assert out["count"] == 2
+
+
+class TestErrorMapping:
+    def test_regressions_without_baseline_is_409(self, api):
+        with pytest.raises(ApiError) as info:
+            api.handle("GET", "/warehouse/regressions", {})
+        assert info.value.status == 409
+
+    def test_unknown_baseline_sweep_is_404(self, api):
+        with pytest.raises(ApiError) as info:
+            api.handle("POST", "/warehouse/baseline", {"sweepId": "ghost"})
+        assert info.value.status == 404
+
+    def test_bad_axes_and_degenerate_pareto_are_400(self, api):
+        with pytest.raises(ApiError) as info:
+            api.handle("GET", "/warehouse/query", {"axes": "width"})
+        assert info.value.status == 400
+        with pytest.raises(ApiError) as info:
+            api.handle("GET", "/warehouse/pareto",
+                       {"x": "cycles", "y": "cycles"})
+        assert info.value.status == 400
+        with pytest.raises(ApiError) as info:
+            api.handle("GET", "/warehouse/query", {"limit": "many"})
+        assert info.value.status == 400
+
+
+@pytest.fixture(scope="module")
+def server():
+    srv = SimServer(("127.0.0.1", 0))
+    srv.start_background()
+    yield srv
+    srv.shutdown()
+
+
+@pytest.fixture
+def client(server):
+    c = SimClient("127.0.0.1", server.port)
+    yield c
+    c.close()
+
+
+class TestClientWrappers:
+    def test_warehouse_round_trip_over_http(self, client):
+        first = client.explore_submit(tiny_spec("http-base"), workers=0)
+        wait_done(client.explore_status, first["sweepId"])
+        second = client.explore_submit(tiny_spec("http-new"), workers=0)
+        wait_done(client.explore_status, second["sweepId"])
+
+        out = client.warehouse_query(sweep="http-base",
+                                     axes={"width": "1"}, limit=10)
+        assert out["success"] and out["count"] == 1
+
+        pareto = client.warehouse_pareto(x="cycles", y="energy",
+                                         sweep=first["sweepId"])
+        assert pareto["success"]
+        assert pareto["points"] == 2 and pareto["frontier"]
+
+        pinned = client.warehouse_baseline(first["sweepId"])
+        assert pinned["success"]
+        assert pinned["baseline"] == first["sweepId"]
+
+        diff = client.warehouse_regressions(sweep=second["sweepId"],
+                                            tolerance=0.5,
+                                            metrics=["cycles"])
+        assert diff["success"]
+        assert diff["baseline"] == first["sweepId"]
+        # identical spec under a different name: configs match by label,
+        # nothing regressed
+        assert diff["sweeps"][0]["compared"] == 2
+        assert diff["flagged"] == 0

@@ -1,0 +1,83 @@
+"""Text renderers for the /warehouse/* payloads."""
+
+from repro.explore import ResultWarehouse
+from repro.viz import (render_pareto_frontier, render_regression_report,
+                       render_warehouse_table)
+
+
+def record(index, width, cycles, energy, ok=True):
+    rec = {"index": index, "label": f"program=sum/width={width}",
+           "point": {"program": "sum", "width": width}, "ok": ok,
+           "stats": {"cycles": cycles, "ipc": 1.0,
+                     "energy": {"totalPj": energy}, "areaKGE": 12.5}}
+    if not ok:
+        del rec["stats"]
+    return rec
+
+
+def loaded():
+    warehouse = ResultWarehouse()
+    warehouse.ingest([record(0, "w1", 100, 50.0),
+                      record(1, "w2", 80, 70.0),
+                      record(2, "w4", 0, 0, ok=False)],
+                     "day0", name="base")
+    warehouse.ingest([record(0, "w1", 100, 50.0),
+                      record(1, "w2", 95, 70.0)], "day1", name="new")
+    warehouse.set_baseline("day0")
+    return warehouse
+
+
+class TestWarehouseTable:
+    def test_header_rows_and_summary(self):
+        text = render_warehouse_table(loaded().query())
+        assert text.startswith(
+            "warehouse: 5 record(s) across 2 sweep(s), baseline day0")
+        assert "program=sum/width=w2" in text
+        assert "FAILED" in text                 # the not-ok row
+        assert "summary (ok rows):" in text
+        assert "cycles: min 80 / p50 95 / p90 100 / max 100 (4 values)" \
+            in text
+        assert text.endswith("\n")
+
+    def test_empty_query_renders_header_only(self):
+        text = render_warehouse_table(
+            {"count": 0, "sweeps": [], "baseline": None,
+             "summary": {}, "rows": []})
+        assert text == "warehouse: 0 record(s) across 0 sweep(s)\n"
+
+
+class TestParetoFrontier:
+    def test_counts_and_dominates_column(self):
+        text = render_pareto_frontier(loaded().pareto())
+        assert text.startswith("Pareto frontier (cycles vs energy):")
+        assert "non-dominated" in text and "dominated" in text
+        assert "dominates" in text
+        # day1/w2 (95 cycles, 70 pJ) is dominated by day0/w2 (80, 70)
+        lines = [line for line in text.splitlines() if "width=w2" in line]
+        assert any(line.lstrip().startswith("base") for line in lines)
+        assert not any(line.lstrip().startswith("new") for line in lines)
+
+
+class TestRegressionReport:
+    def test_flags_and_footer(self):
+        text = render_regression_report(loaded().regressions())
+        assert text.startswith(
+            "regression sentinel vs baseline day0 (base), tolerance 5%")
+        assert "metrics cycles,energy,area" in text
+        assert "sweep day1 (new): 2 config(s) compared, 1 regression(s)" \
+            in text
+        assert "REGRESSED program=sum/width=w2: cycles 80 -> 95 (+18.75%)" \
+            in text
+        assert text.rstrip().endswith("1 regression(s) flagged")
+
+    def test_clean_diff_renders_quiet_footer(self):
+        warehouse = loaded()
+        text = render_regression_report(warehouse.regressions(tolerance=0.9))
+        assert text.rstrip().endswith("no regressions beyond tolerance")
+
+    def test_no_comparison_sweeps(self):
+        warehouse = ResultWarehouse()
+        warehouse.ingest([record(0, "w1", 1, 1.0)], "only")
+        warehouse.set_baseline("only")
+        text = render_regression_report(warehouse.regressions())
+        assert "nothing to diff" in text
